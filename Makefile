@@ -1,0 +1,29 @@
+# Convenience targets for the query-flocks reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples lint-flocks clean outputs
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f ==="; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+# The deliverable outputs referenced by the project brief.
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,111 @@
+"""Fig. 1: the pair query in SQL, on a real SQL engine.
+
+Paper artifact: the SELECT/GROUP BY/HAVING formulation, and the Section
+1.3 observation that "the right optimizations are beyond the state of
+the art in commercial database systems" — a conventional optimizer will
+not discover the a-priori rewrite, so applying it by hand is the win.
+
+Reproduction: we generate both the naive SQL (Fig. 1) and the rewritten
+script (materialized frequent-items table + reduced pair query)
+mechanically from the flock, run both on SQLite — a real conventional
+engine whose optimizer certainly does not know the a-priori trick — and
+compare.
+"""
+
+import sqlite3
+import time
+
+from repro.flocks import flock_to_sql, itemset_plan, plan_to_sql, fig1_sql
+
+from conftest import report
+
+
+def _load_sqlite(db) -> sqlite3.Connection:
+    conn = sqlite3.connect(":memory:")
+    rel = db.get("baskets")
+    conn.execute("CREATE TABLE baskets (BID, Item)")
+    conn.executemany("INSERT INTO baskets VALUES (?, ?)", list(rel.tuples))
+    return conn
+
+
+def _run_script(conn: sqlite3.Connection, script: str) -> list[tuple]:
+    statements = [s.strip() for s in script.split(";") if s.strip()]
+    rows: list[tuple] = []
+    for i, statement in enumerate(statements):
+        cursor = conn.execute(statement)
+        if i == len(statements) - 1:
+            rows = cursor.fetchall()
+    return rows
+
+
+def test_fig1_text_is_generated(benchmark, word_db, basket_flock_20):
+    """The generated SQL must have the Fig. 1 shape (and generating it
+    must be cheap — it sits in interactive paths)."""
+    sql = benchmark(lambda: flock_to_sql(basket_flock_20, word_db))
+    assert "GROUP BY" in sql and "HAVING" in sql
+    assert "baskets t0, baskets t1" in sql
+    assert "FROM baskets i1, baskets i2" in fig1_sql()
+
+
+def test_sqlite_naive(benchmark, word_db, basket_flock_20):
+    sql = flock_to_sql(basket_flock_20, word_db)
+
+    def run():
+        conn = _load_sqlite(word_db)
+        rows = _run_script(conn, sql)
+        conn.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rows
+
+
+def test_sqlite_rewritten(benchmark, word_db, basket_flock_20):
+    script = plan_to_sql(
+        basket_flock_20, itemset_plan(basket_flock_20), word_db
+    )
+
+    def run():
+        conn = _load_sqlite(word_db)
+        rows = _run_script(conn, script)
+        conn.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rows
+
+
+def test_sqlite_speedup_and_agreement(benchmark, word_db, basket_flock_20):
+    naive_sql = flock_to_sql(basket_flock_20, word_db)
+    plan_sql = plan_to_sql(
+        basket_flock_20, itemset_plan(basket_flock_20), word_db
+    )
+    outcome = {}
+
+    def compare():
+        conn = _load_sqlite(word_db)
+        started = time.perf_counter()
+        naive_rows = _run_script(conn, naive_sql)
+        outcome["naive_s"] = time.perf_counter() - started
+        conn.close()
+
+        conn = _load_sqlite(word_db)
+        started = time.perf_counter()
+        plan_rows = _run_script(conn, plan_sql)
+        outcome["plan_s"] = time.perf_counter() - started
+        conn.close()
+        outcome["agree"] = set(naive_rows) == set(plan_rows)
+        outcome["pairs"] = len(naive_rows)
+
+    benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert outcome["agree"]
+    speedup = outcome["naive_s"] / outcome["plan_s"]
+    report(
+        "fig1",
+        "conventional optimizers do not find the a-priori rewrite; doing "
+        "it by hand gave 20x on the authors' DBMS",
+        f"SQLite: naive {outcome['naive_s'] * 1e3:.0f} ms vs rewritten "
+        f"{outcome['plan_s'] * 1e3:.0f} ms = {speedup:.1f}x on "
+        f"{outcome['pairs']} result pairs (same answer)",
+    )
+    assert speedup > 1.5

@@ -1,0 +1,102 @@
+"""Figs. 8-9 / Example 4.4: dynamic selection of filter steps.
+
+Paper artifacts: the join-order tree for the medical flock, the
+decision procedure (filter a new parameter set when tuples-per-
+assignment is below the support threshold), and the resulting Fig. 9
+plan with explicit joins.  The measurement runs the dynamic evaluator on
+two variants of the medical workload — one with many rare symptoms
+(filtering pays at the exhibits leaf, as Example 4.4 assumes) and one
+where every symptom is common (filtering is skipped) — showing the
+*decisions themselves* flip with the statistics, which is the whole
+point of the dynamic strategy.
+"""
+
+import pytest
+
+from repro.flocks import evaluate_flock, evaluate_flock_dynamic, parse_flock
+from repro.workloads import generate_medical
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def rare_symptom_workload():
+    """Many symptoms, few patients each: exhibits ratio below 20."""
+    return generate_medical(
+        n_patients=2000, n_symptoms=900, noise_symptom_rate=1.5, seed=201
+    )
+
+
+@pytest.fixture(scope="module")
+def common_symptom_workload():
+    """Few symptoms shared by everyone: exhibits ratio far above 20."""
+    return generate_medical(
+        n_patients=2500, n_symptoms=12, noise_symptom_rate=1.5, seed=202
+    )
+
+
+def test_dynamic_rare_symptoms(benchmark, rare_symptom_workload, medical_flock_20):
+    result = benchmark.pedantic(
+        lambda: evaluate_flock_dynamic(
+            rare_symptom_workload.db, medical_flock_20
+        ),
+        rounds=2, iterations=1,
+    )
+    assert result[0].relation == evaluate_flock(
+        rare_symptom_workload.db, medical_flock_20
+    )
+
+
+def test_dynamic_common_symptoms(benchmark, common_symptom_workload, medical_flock_20):
+    result = benchmark.pedantic(
+        lambda: evaluate_flock_dynamic(
+            common_symptom_workload.db, medical_flock_20
+        ),
+        rounds=2, iterations=1,
+    )
+    assert result[0].relation == evaluate_flock(
+        common_symptom_workload.db, medical_flock_20
+    )
+
+
+def test_decisions_follow_statistics(
+    benchmark, rare_symptom_workload, common_symptom_workload, medical_flock_20
+):
+    """Example 4.4's reasoning, observed: the exhibits leaf is filtered
+    when symptoms are rare (ratio < 20) and skipped when they are
+    common (ratio > 20)."""
+    outcome = {}
+
+    def run():
+        _, rare_trace = evaluate_flock_dynamic(
+            rare_symptom_workload.db, medical_flock_20
+        )
+        _, common_trace = evaluate_flock_dynamic(
+            common_symptom_workload.db, medical_flock_20
+        )
+        outcome["rare"] = _symptom_leaf_decision(rare_trace)
+        outcome["common"] = _symptom_leaf_decision(common_trace)
+        outcome["rare_plan"] = rare_trace.render_plan()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rare, common = outcome["rare"], outcome["common"]
+    report(
+        "fig9/ex4.4",
+        "filter the exhibits leaf when tuples-per-symptom is below the "
+        "threshold; skip when above ('we may decide that filtering $m at "
+        "this time is likely to be unproductive')",
+        f"rare-symptom db: ratio {rare.tuples_per_assignment:.1f} -> "
+        f"{'FILTER' if rare.filtered else 'skip'}; common-symptom db: "
+        f"ratio {common.tuples_per_assignment:.1f} -> "
+        f"{'FILTER' if common.filtered else 'skip'}",
+    )
+    assert rare.filtered
+    assert not common.filtered
+    assert "FILTER" in outcome["rare_plan"]
+
+
+def _symptom_leaf_decision(trace):
+    for decision in trace.decisions:
+        if decision.parameter_columns == ("$s",) and "exhibits" in decision.node:
+            return decision
+    raise AssertionError("no $s leaf decision recorded")

@@ -1,0 +1,115 @@
+"""Ablation: cost-model quality (Section 4.4's statistics gathering).
+
+The paper: "we may want to do substantial gathering of statistics to
+support the filter/don't filter decision."  This bench compares the
+three decision sources on a long-tailed basket workload:
+
+* pigeonhole estimates only (cheap, no data access);
+* gathered statistics (exact survivor counts for single-subgoal
+  candidates — one group-by scan each);
+* fully dynamic decisions (Section 4.4).
+
+All three must return the naive answer; the interesting output is the
+quality/overhead trade-off.
+"""
+
+import time
+
+from repro.flocks import (
+    FlockOptimizer,
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    execute_plan,
+    itemset_flock,
+)
+from repro.workloads import basket_database
+
+from conftest import report
+
+
+def _workload():
+    return basket_database(
+        n_baskets=700, n_items=1500, avg_basket_size=8, skew=1.0, seed=401
+    )
+
+
+def test_pigeonhole_optimizer(benchmark):
+    db = _workload()
+    flock = itemset_flock(2, support=15)
+
+    def run():
+        plan = FlockOptimizer(db, flock, gather_statistics=False).best_plan().plan
+        return execute_plan(db, flock, plan, validate=False)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.relation == evaluate_flock(db, flock)
+
+
+def test_gathered_statistics_optimizer(benchmark):
+    db = _workload()
+    flock = itemset_flock(2, support=15)
+
+    def run():
+        plan = FlockOptimizer(db, flock, gather_statistics=True).best_plan().plan
+        return execute_plan(db, flock, plan, validate=False)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.relation == evaluate_flock(db, flock)
+
+
+def test_dynamic_decisions(benchmark):
+    db = _workload()
+    flock = itemset_flock(2, support=15)
+    result = benchmark.pedantic(
+        lambda: evaluate_flock_dynamic(db, flock), rounds=2, iterations=1
+    )
+    assert result[0].relation == evaluate_flock(db, flock)
+
+
+def test_mode_comparison(benchmark):
+    db = _workload()
+    flock = itemset_flock(2, support=15)
+    outcome = {}
+
+    def compare():
+        started = time.perf_counter()
+        naive = evaluate_flock(db, flock)
+        outcome["naive_s"] = time.perf_counter() - started
+
+        for label, gather in (("pigeonhole", False), ("gathered", True)):
+            started = time.perf_counter()
+            opt = FlockOptimizer(db, flock, gather_statistics=gather)
+            scored = opt.best_plan()
+            plan_time = time.perf_counter() - started
+            started = time.perf_counter()
+            result = execute_plan(db, flock, scored.plan, validate=False)
+            outcome[label] = (
+                plan_time,
+                time.perf_counter() - started,
+                len(scored.plan),
+                scored.estimated_cost,
+            )
+            assert result.relation == naive
+
+        started = time.perf_counter()
+        dyn, trace = evaluate_flock_dynamic(db, flock)
+        outcome["dynamic_s"] = time.perf_counter() - started
+        outcome["dynamic_filters"] = trace.filters_applied()
+        assert dyn.relation == naive
+
+    benchmark.pedantic(compare, rounds=1, iterations=1)
+    pg_plan, pg_exec, pg_steps, pg_cost = outcome["pigeonhole"]
+    gs_plan, gs_exec, gs_steps, gs_cost = outcome["gathered"]
+    report(
+        "sec4.4-statistics",
+        "gathering statistics sharpens the filter/don't-filter decision",
+        f"naive {outcome['naive_s'] * 1e3:.0f} ms | pigeonhole: plan "
+        f"{pg_plan * 1e3:.0f} ms + exec {pg_exec * 1e3:.0f} ms "
+        f"({pg_steps} steps, est {pg_cost:,.0f}) | gathered: plan "
+        f"{gs_plan * 1e3:.0f} ms + exec {gs_exec * 1e3:.0f} ms "
+        f"({gs_steps} steps, est {gs_cost:,.0f}) | dynamic "
+        f"{outcome['dynamic_s'] * 1e3:.0f} ms "
+        f"({outcome['dynamic_filters']} filters)",
+    )
+    # Gathered statistics can only tighten the cost estimate.
+    assert gs_cost <= pg_cost + 1e-9

@@ -1,0 +1,129 @@
+"""Section 1.3: the a-priori rewrite speedup.
+
+Paper claim: rewriting the Fig. 1 SQL pair query "to first find those
+items that appeared in at least 20 baskets ... and then joining the set
+of these items with the baskets relation ... resulted in a 20-fold
+speedup", on newspaper word-occurrence data at support 20.
+
+Reproduction: the same flock over a synthetic Zipf word-occurrence
+corpus (see ``repro.workloads.text`` for the substitution note),
+evaluated three ways on our engine — naive (full self-join + HAVING),
+the a-priori plan, and the dynamic evaluator.  We expect the rewrite to
+win by roughly an order of magnitude; the precise factor depends on the
+engine, exactly as the paper's 20x depended on theirs.
+"""
+
+import time
+
+from repro.flocks import (
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    execute_plan,
+    itemset_plan,
+    single_step_plan,
+)
+
+from conftest import report
+
+
+def _plan(flock):
+    return itemset_plan(flock)
+
+
+def test_naive_baseline(benchmark, word_db, basket_flock_20):
+    result = benchmark.pedantic(
+        lambda: evaluate_flock(word_db, basket_flock_20), rounds=2, iterations=1
+    )
+    assert len(result) > 0
+
+
+def test_apriori_rewrite(benchmark, word_db, basket_flock_20):
+    plan = _plan(basket_flock_20)
+    result = benchmark.pedantic(
+        lambda: execute_plan(word_db, basket_flock_20, plan, validate=False),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.relation == evaluate_flock(word_db, basket_flock_20)
+
+
+def test_dynamic_rewrite(benchmark, word_db, basket_flock_20):
+    result = benchmark.pedantic(
+        lambda: evaluate_flock_dynamic(word_db, basket_flock_20),
+        rounds=2,
+        iterations=1,
+    )
+    assert result[0].relation == evaluate_flock(word_db, basket_flock_20)
+
+
+def test_speedup_factor(benchmark, word_db, basket_flock_20):
+    """The headline number: naive time / rewritten time."""
+
+    def timed(fn, rounds=2):
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    measurements = {}
+
+    def compare():
+        plan = _plan(basket_flock_20)
+        measurements["naive"] = timed(
+            lambda: evaluate_flock(word_db, basket_flock_20)
+        )
+        measurements["rewrite"] = timed(
+            lambda: execute_plan(word_db, basket_flock_20, plan, validate=False)
+        )
+        measurements["dynamic"] = timed(
+            lambda: evaluate_flock_dynamic(word_db, basket_flock_20)
+        )
+
+    benchmark.pedantic(compare, rounds=1, iterations=1)
+    naive_s = measurements["naive"]
+    rewrite_s = measurements["rewrite"]
+    dynamic_s = measurements["dynamic"]
+
+    speedup = naive_s / rewrite_s
+    dynamic_speedup = naive_s / dynamic_s
+    report(
+        "sec1.3",
+        "20-fold speedup from the a-priori rewrite at support 20 "
+        "(word occurrences in newspaper articles, commercial DBMS)",
+        f"static rewrite {speedup:.1f}x, dynamic {dynamic_speedup:.1f}x "
+        f"(naive {naive_s * 1e3:.0f} ms, rewrite {rewrite_s * 1e3:.0f} ms, "
+        f"dynamic {dynamic_s * 1e3:.0f} ms) on the synthetic Zipf corpus",
+    )
+    # Shape check: the rewrite must win clearly (the exact 20x was an
+    # artifact of the authors' DBMS; we require a material speedup).
+    assert speedup > 2.0
+
+
+def test_tuple_reduction(benchmark, word_db, basket_flock_20):
+    """The mechanism: pre-filtering must eliminate most of the tuples
+    before the self-join ("If c is high enough, we can eliminate most of
+    the tuples in the baskets relation before we do the hard part")."""
+    plan = _plan(basket_flock_20)
+    results = {}
+
+    def run():
+        results["rewritten"] = execute_plan(
+            word_db, basket_flock_20, plan, validate=False
+        )
+        results["plain"] = execute_plan(
+            word_db, basket_flock_20, single_step_plan(basket_flock_20),
+            validate=False,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rewritten_join = results["rewritten"].trace.steps[-1].input_tuples
+    naive_join = results["plain"].trace.steps[-1].input_tuples
+    report(
+        "sec1.3-mechanism",
+        "a-priori eliminates most tuples before the join",
+        f"self-join answer tuples {naive_join} -> {rewritten_join} "
+        f"({naive_join / max(rewritten_join, 1):.1f}x fewer)",
+    )
+    assert rewritten_join < naive_join / 2

@@ -1,0 +1,107 @@
+"""Section 1.4: DBMS-based vs file-based mining.
+
+Paper claims: (1) "SQL systems are unable to compete with ad-hoc file
+processing algorithms such as a-priori and its variants"; (2) the
+flock optimizations "can be carried over to a file-based, rather than
+DBMS-based setting, with corresponding speedup".
+
+Reproduction: the same pair-mining question answered four ways —
+classic a-priori (the ad-hoc file algorithm), our engine naive, SQLite
+naive (the conventional DBMS), and SQLite with the rewrite script —
+expecting classic to win outright and the rewrite to transfer its
+speedup into the DBMS setting.
+"""
+
+import time
+
+from repro.flocks import (
+    SQLiteBackend,
+    evaluate_flock,
+    frequent_pairs,
+    itemset_flock,
+    itemset_plan,
+    itemsets_from_flock_result,
+)
+
+from conftest import report
+
+
+def test_classic_file_algorithm(benchmark, word_db):
+    baskets = word_db.get("baskets")
+    pairs = benchmark.pedantic(
+        lambda: frequent_pairs(baskets, 20), rounds=2, iterations=1
+    )
+    assert pairs
+
+
+def test_sqlite_naive(benchmark, word_db, basket_flock_20):
+    backend = SQLiteBackend(word_db)
+    result = benchmark.pedantic(
+        lambda: backend.evaluate_flock(basket_flock_20), rounds=2, iterations=1
+    )
+    backend.close()
+    assert len(result) > 0
+
+
+def test_sqlite_rewrite(benchmark, word_db, basket_flock_20):
+    backend = SQLiteBackend(word_db)
+    plan = itemset_plan(basket_flock_20)
+    result = benchmark.pedantic(
+        lambda: backend.execute_plan(basket_flock_20, plan),
+        rounds=2, iterations=1,
+    )
+    backend.close()
+    assert len(result) > 0
+
+
+def test_ranking_and_agreement(benchmark, word_db, basket_flock_20):
+    outcome = {}
+
+    def run():
+        baskets = word_db.get("baskets")
+        plan = itemset_plan(basket_flock_20)
+
+        started = time.perf_counter()
+        classic = frequent_pairs(baskets, 20)
+        outcome["classic_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        engine = evaluate_flock(word_db, basket_flock_20)
+        outcome["engine_s"] = time.perf_counter() - started
+
+        backend = SQLiteBackend(word_db)
+        started = time.perf_counter()
+        dbms = backend.evaluate_flock(basket_flock_20)
+        outcome["dbms_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        dbms_rewrite = backend.execute_plan(basket_flock_20, plan)
+        outcome["dbms_rewrite_s"] = time.perf_counter() - started
+        backend.close()
+
+        outcome["agree"] = (
+            classic
+            == itemsets_from_flock_result(engine)
+            == itemsets_from_flock_result(dbms)
+            == itemsets_from_flock_result(dbms_rewrite)
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "sec1.4",
+        "ad-hoc file algorithms beat DBMS-based mining; the flock "
+        "optimizations carry over to the DBMS with corresponding speedup",
+        f"agree: {outcome['agree']}; classic a-priori "
+        f"{outcome['classic_s'] * 1e3:.0f} ms | engine naive "
+        f"{outcome['engine_s'] * 1e3:.0f} ms | SQLite naive "
+        f"{outcome['dbms_s'] * 1e3:.0f} ms | SQLite rewrite "
+        f"{outcome['dbms_rewrite_s'] * 1e3:.0f} ms "
+        f"({outcome['dbms_s'] / outcome['dbms_rewrite_s']:.1f}x rewrite "
+        "speedup inside the DBMS)",
+    )
+    assert outcome["agree"]
+    # The headline ranking: the ad-hoc algorithm beats both naive paths.
+    assert outcome["classic_s"] < outcome["engine_s"]
+    assert outcome["classic_s"] < outcome["dbms_s"]
+    # And the rewrite transfers into the DBMS setting.
+    assert outcome["dbms_rewrite_s"] < outcome["dbms_s"]

@@ -1,0 +1,122 @@
+"""Shared benchmark fixtures: session-scoped workloads sized so the full
+benchmark run finishes in a couple of minutes while leaving headroom for
+the paper's effects (support-20 thresholds, Zipf tails) to show.
+
+Every bench module prints a ``paper vs measured`` summary via
+:func:`report`; EXPERIMENTS.md collects the numbers.
+"""
+
+import pytest
+
+from repro.flocks import parse_flock
+from repro.workloads import (
+    article_database,
+    basket_database,
+    generate_hub_digraph,
+    generate_medical,
+    generate_webdocs,
+    generate_weighted_baskets,
+)
+
+
+def report(experiment: str, paper: str, measured: str) -> None:
+    """Uniform paper-vs-measured line, grep-able from bench output."""
+    print(f"\n[{experiment}] paper: {paper}")
+    print(f"[{experiment}] measured: {measured}")
+
+
+@pytest.fixture(scope="session")
+def word_db():
+    """The Section 1.3 stand-in corpus: Zipf word occurrences.
+
+    Sized so that most of the vocabulary stays below support 20 (the
+    long tail a-priori eliminates) while articles are long enough that
+    the naive self-join pays a quadratic price per article.
+    """
+    return article_database(
+        n_articles=500, vocabulary=8000, words_per_article=60,
+        skew=0.8, seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def basket_db():
+    return basket_database(
+        n_baskets=1000, n_items=1200, avg_basket_size=8, skew=1.1, seed=102
+    )
+
+
+@pytest.fixture(scope="session")
+def medical_workload():
+    return generate_medical(
+        n_patients=3000, n_diseases=50, n_symptoms=200, n_medicines=100,
+        n_planted=4, seed=103,
+    )
+
+
+@pytest.fixture(scope="session")
+def web_workload():
+    return generate_webdocs(
+        n_documents=1200, n_anchors=3000, vocabulary=700, n_planted=4,
+        seed=104,
+    )
+
+
+@pytest.fixture(scope="session")
+def hub_graph_db():
+    return generate_hub_digraph(
+        n_hubs=20, successors_per_hub=30, core_nodes=250,
+        core_out_degree=3, noise_nodes=1500, noise_arcs=3000, seed=105,
+    )
+
+
+@pytest.fixture(scope="session")
+def weighted_db():
+    return generate_weighted_baskets(
+        n_baskets=800, n_items=600, avg_basket_size=7, skew=1.1,
+        max_weight=10, seed=106,
+    )
+
+
+@pytest.fixture(scope="session")
+def basket_flock_20():
+    return parse_flock(
+        """
+        QUERY:
+        answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+        FILTER:
+        COUNT(answer.B) >= 20
+        """
+    )
+
+
+@pytest.fixture(scope="session")
+def medical_flock_20():
+    return parse_flock(
+        """
+        QUERY:
+        answer(P) :-
+            exhibits(P,$s) AND
+            treatments(P,$m) AND
+            diagnoses(P,D) AND
+            NOT causes(D,$s)
+        FILTER:
+        COUNT(answer.P) >= 20
+        """
+    )
+
+
+@pytest.fixture(scope="session")
+def web_flock_20():
+    return parse_flock(
+        """
+        QUERY:
+        answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+        answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND
+                     inTitle(D2,$2) AND $1 < $2
+        answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND
+                     inTitle(D2,$1) AND $1 < $2
+        FILTER:
+        COUNT(answer(*)) >= 20
+        """
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The pathological path flock and its n+1-step chained plan
+(paper Example 4.3 / Figs. 6-7).
+
+The flock asks, for each node $1: does it have at least 20 successors X
+from which a directed path of length n extends?  Its plan space is not
+exponentially bounded — the Fig. 7 chain filters $1 once per path level
+— and this example executes that chain, showing the candidate set of
+$1 values shrinking level by level.
+
+Run:  python examples/path_queries.py
+"""
+
+import time
+
+from repro import evaluate_flock, execute_plan
+from repro.flocks import fig6_flock, fig7_plan, single_step_plan
+from repro.workloads import generate_hub_digraph
+
+SUPPORT = 20
+N_HOPS = 3
+
+
+def main() -> None:
+    db = generate_hub_digraph(
+        n_hubs=25, successors_per_hub=40, core_nodes=300,
+        core_out_degree=3, noise_nodes=2000, noise_arcs=4000, seed=13,
+    )
+    print(f"database: {db}")
+
+    flock = fig6_flock(N_HOPS, support=SUPPORT)
+    print(f"\nThe path flock (Fig. 6, n={N_HOPS}):\n{flock}\n")
+
+    started = time.perf_counter()
+    naive = evaluate_flock(db, flock)
+    naive_ms = (time.perf_counter() - started) * 1e3
+    print(f"[naive]   {len(naive)} qualifying nodes in {naive_ms:.1f} ms")
+
+    # The Fig. 7 chain: ok0 uses one subgoal, ok1 uses two + ok0, ...
+    plan = fig7_plan(flock)
+    print(f"\nThe Fig. 7 chained plan ({len(plan)} steps):")
+    print(plan.render(flock))
+
+    started = time.perf_counter()
+    result = execute_plan(db, flock, plan, validate=False)
+    chain_ms = (time.perf_counter() - started) * 1e3
+    print(f"\n[chained] {len(result)} qualifying nodes in {chain_ms:.1f} ms")
+    print("\nper-level survivor counts (candidate $1 values):")
+    for step in result.trace.steps:
+        print(f"  {step}")
+
+    plain = execute_plan(db, flock, single_step_plan(flock), validate=False)
+    print(
+        f"\nfinal-join answer tuples: {plain.trace.steps[-1].input_tuples} "
+        f"(naive) vs {result.trace.steps[-1].input_tuples} (chained)"
+    )
+
+    assert result.relation == naive
+    hubs = sorted(row[0] for row in naive.tuples)[:10]
+    print(f"\nsample qualifying nodes: {hubs}")
+
+
+if __name__ == "__main__":
+    main()

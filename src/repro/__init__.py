@@ -1,0 +1,130 @@
+"""repro — a full reproduction of *Query Flocks: A Generalization of
+Association-Rule Mining* (Tsur, Ullman, Abiteboul, Clifton, Motwani,
+Nestorov, Rosenthal; SIGMOD 1998).
+
+Quickstart::
+
+    from repro import parse_flock, database_from_dict, evaluate_flock, optimize, execute_plan
+
+    flock = parse_flock('''
+        QUERY:
+        answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+
+        FILTER:
+        COUNT(answer.B) >= 20
+    ''')
+    result = evaluate_flock(db, flock)          # the naive/SQL way
+    plan = optimize(db, flock)                  # a-priori rewrite
+    fast = execute_plan(db, flock, plan)        # same answer, faster
+    assert fast.relation == result
+
+Subpackages:
+
+* :mod:`repro.datalog` — the flock query language (terms, extended CQs,
+  unions, parser, safety, containment, safe-subquery enumeration);
+* :mod:`repro.relational` — the in-memory relational engine;
+* :mod:`repro.flocks` — flocks, filters, plans, optimizers, executors,
+  SQL translation, the classic a-priori baseline;
+* :mod:`repro.workloads` — synthetic data generators for the paper's
+  example domains.
+"""
+
+from .errors import (
+    EvaluationError,
+    FilterError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SafetyError,
+    SchemaError,
+)
+from .datalog import (
+    ConjunctiveQuery,
+    Parameter,
+    UnionQuery,
+    Variable,
+    atom,
+    comparison,
+    negated,
+    parse_query,
+    parse_rule,
+    rule,
+)
+from .relational import (
+    Database,
+    Relation,
+    database_from_dict,
+    load_database,
+    save_database,
+)
+from .flocks import (
+    FilterCondition,
+    FilterStep,
+    FlockOptimizer,
+    FlockResult,
+    QueryFlock,
+    QueryPlan,
+    apriori_itemsets,
+    evaluate_flock,
+    evaluate_flock_bruteforce,
+    evaluate_flock_dynamic,
+    execute_plan,
+    flock_to_sql,
+    itemset_flock,
+    itemset_plan,
+    mine,
+    optimize,
+    parse_filter,
+    parse_flock,
+    plan_to_sql,
+    support_filter,
+    validate_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConjunctiveQuery",
+    "Database",
+    "EvaluationError",
+    "FilterCondition",
+    "FilterError",
+    "FilterStep",
+    "FlockOptimizer",
+    "FlockResult",
+    "Parameter",
+    "ParseError",
+    "PlanError",
+    "QueryFlock",
+    "QueryPlan",
+    "Relation",
+    "ReproError",
+    "SafetyError",
+    "SchemaError",
+    "UnionQuery",
+    "Variable",
+    "apriori_itemsets",
+    "atom",
+    "comparison",
+    "database_from_dict",
+    "evaluate_flock",
+    "evaluate_flock_bruteforce",
+    "evaluate_flock_dynamic",
+    "execute_plan",
+    "flock_to_sql",
+    "itemset_flock",
+    "itemset_plan",
+    "load_database",
+    "mine",
+    "negated",
+    "optimize",
+    "parse_filter",
+    "parse_flock",
+    "parse_query",
+    "parse_rule",
+    "plan_to_sql",
+    "rule",
+    "save_database",
+    "support_filter",
+    "validate_plan",
+]

@@ -1,0 +1,295 @@
+"""Command-line interface: run query flocks against CSV data.
+
+Subcommands:
+
+* ``run``   — evaluate a flock file against a data directory and print
+  the acceptable parameter assignments;
+* ``plan``  — show the plan a strategy would use (without running it);
+* ``sql``   — emit the naive SQL and the rewritten SQL script;
+* ``explain`` — safety/subquery analysis of the flock text.
+
+A *flock file* is the paper's two-section notation (Fig. 2)::
+
+    QUERY:
+    answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+
+    FILTER:
+    COUNT(answer.B) >= 20
+
+A *data directory* holds one ``<relation>.csv`` per base relation, with
+a header row of column names (see ``repro.relational.io``).
+
+Examples::
+
+    python -m repro run flock.txt data/ --strategy dynamic
+    python -m repro plan flock.txt data/
+    python -m repro sql flock.txt data/ --rewrite
+    python -m repro explain flock.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .datalog.safety import check_safety
+from .datalog.subqueries import safe_subqueries, unsafe_subqueries
+from .errors import ReproError
+from .flocks import (
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    execute_plan,
+    flock_to_sql,
+    parse_flock,
+    plan_to_sql,
+    single_step_plan,
+)
+from .flocks.optimizer import FlockOptimizer
+from .relational.io import load_database
+
+
+STRATEGIES = ("auto", "naive", "optimized", "dynamic", "stats")
+
+
+def _load(flock_path: str, data_dir: str | None):
+    text = Path(flock_path).read_text()
+    flock = parse_flock(text)
+    db = load_database(data_dir) if data_dir else None
+    return flock, db
+
+
+def _optimized_plan(db, flock, gather: bool):
+    if flock.is_union:
+        from .flocks.optimizer import optimize_union
+
+        return optimize_union(db, flock)
+    optimizer = FlockOptimizer(db, flock, gather_statistics=gather)
+    return optimizer.best_plan().plan
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    flock, db = _load(args.flock, args.data)
+    if db is None:
+        print("run requires a data directory", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    if args.strategy == "auto":
+        from .flocks.mining import mine
+
+        relation, report = mine(db, flock)
+        trace_text = str(report)
+    elif args.strategy == "naive":
+        relation = evaluate_flock(db, flock)
+        trace_text = ""
+    elif args.strategy == "dynamic":
+        result, trace = evaluate_flock_dynamic(db, flock)
+        relation = result.relation
+        trace_text = str(trace)
+    else:
+        gather = args.strategy == "stats"
+        plan = _optimized_plan(db, flock, gather)
+        result = execute_plan(db, flock, plan, validate=False)
+        relation = result.relation
+        trace_text = str(result.trace)
+    elapsed = time.perf_counter() - started
+
+    print(f"# {len(relation)} acceptable assignments "
+          f"({args.strategy}, {elapsed * 1e3:.1f} ms)")
+    print("\t".join(relation.columns))
+    for row in sorted(relation.tuples, key=repr)[: args.limit]:
+        print("\t".join(str(v) for v in row))
+    if len(relation) > args.limit:
+        print(f"... and {len(relation) - args.limit} more "
+              f"(raise --limit to see them)")
+    if args.verbose and trace_text:
+        print("\n# trace", file=sys.stderr)
+        print(trace_text, file=sys.stderr)
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    flock, db = _load(args.flock, args.data)
+    if args.strategy == "naive" or db is None:
+        plan = single_step_plan(flock)
+        note = "naive single-step plan" + (
+            "" if db is not None else " (no data directory: no statistics)"
+        )
+    else:
+        plan = _optimized_plan(db, flock, args.strategy == "stats")
+        note = f"cost-based plan ({args.strategy})"
+    print(f"# {note}")
+    print(plan.render(flock))
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    flock, db = _load(args.flock, args.data)
+    print("-- naive translation (Fig. 1 style)")
+    print(flock_to_sql(flock, db))
+    if args.rewrite:
+        if db is None:
+            print("-- (rewrite requires a data directory for statistics)",
+                  file=sys.stderr)
+            return 2
+        plan = _optimized_plan(db, flock, gather=False)
+        print("\n-- a-priori rewrite")
+        print(plan_to_sql(flock, plan, db))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    flock, db = _load(args.flock, args.data)
+    print(f"parameters: {', '.join(flock.parameter_columns)}")
+    print(f"filter:     {flock.filter} "
+          f"(monotone: {flock.filter.is_monotone})")
+    print(f"relations:  {', '.join(sorted(flock.predicates()))}")
+    for index, rule in enumerate(flock.rules):
+        label = f"rule {index + 1}" if flock.is_union else "query"
+        report = check_safety(rule)
+        print(f"\n{label}: {rule}")
+        print(f"  safe: {report.is_safe}")
+        safe = safe_subqueries(rule)
+        unsafe = unsafe_subqueries(rule)
+        print(f"  nontrivial subqueries: {len(safe) + len(unsafe)} "
+              f"({len(safe)} safe)")
+        for candidate in safe:
+            params = ", ".join(sorted(str(p) for p in candidate.parameters))
+            print(f"    [{params or '-'}] {candidate.query}")
+        if db is not None:
+            from .relational.explain import explain_conjunctive
+
+            print()
+            print("  " + explain_conjunctive(db, rule).replace("\n", "\n  "))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .relational.io import save_database
+    from . import workloads
+
+    if args.domain == "baskets":
+        db = workloads.basket_database(
+            n_baskets=args.size, n_items=max(args.size // 2, 10),
+            skew=args.skew, seed=args.seed,
+        )
+    elif args.domain == "weighted":
+        db = workloads.generate_weighted_baskets(
+            n_baskets=args.size, n_items=max(args.size // 2, 10),
+            skew=args.skew, seed=args.seed,
+        )
+    elif args.domain == "medical":
+        db = workloads.generate_medical(
+            n_patients=args.size, seed=args.seed
+        ).db
+    elif args.domain == "web":
+        db = workloads.generate_webdocs(
+            n_documents=args.size, n_anchors=args.size * 3, seed=args.seed
+        ).db
+    elif args.domain == "graph":
+        db = workloads.generate_hub_digraph(seed=args.seed)
+    elif args.domain == "articles":
+        db = workloads.article_database(
+            n_articles=args.size, skew=args.skew, seed=args.seed
+        )
+    else:  # pragma: no cover - argparse choices guard
+        raise AssertionError(args.domain)
+    save_database(db, args.outdir)
+    print(f"wrote {db} to {args.outdir}")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .flocks.lint import lint_flock
+
+    flock, _db = _load(args.flock, None)
+    warnings = lint_flock(flock)
+    if not warnings:
+        print("clean: no warnings")
+        return 0
+    for warning in warnings:
+        print(warning)
+    return 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query flocks (SIGMOD 1998) — mine relational data "
+        "with parametrized queries and support filters.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a flock against CSV data")
+    run.add_argument("flock", help="path to a flock file (QUERY:/FILTER:)")
+    run.add_argument("data", help="directory of <relation>.csv files")
+    run.add_argument("--strategy", choices=STRATEGIES, default="auto")
+    run.add_argument("--limit", type=int, default=50,
+                     help="max result rows to print")
+    run.add_argument("--verbose", action="store_true",
+                     help="print the execution trace to stderr")
+    run.set_defaults(fn=cmd_run)
+
+    plan = sub.add_parser("plan", help="show the chosen query plan")
+    plan.add_argument("flock")
+    plan.add_argument("data", nargs="?", default=None)
+    plan.add_argument("--strategy", choices=("naive", "optimized", "stats"),
+                      default="optimized")
+    plan.set_defaults(fn=cmd_plan)
+
+    sql = sub.add_parser("sql", help="emit SQL translations")
+    sql.add_argument("flock")
+    sql.add_argument("data", nargs="?", default=None)
+    sql.add_argument("--rewrite", action="store_true",
+                     help="also emit the a-priori rewrite script")
+    sql.set_defaults(fn=cmd_sql)
+
+    explain = sub.add_parser(
+        "explain", help="safety and subquery analysis of a flock"
+    )
+    explain.add_argument("flock")
+    explain.add_argument(
+        "data", nargs="?", default=None,
+        help="optional data directory: adds EXPLAIN join-order output",
+    )
+    explain.set_defaults(fn=cmd_explain)
+
+    lint = sub.add_parser(
+        "lint", help="static diagnostics (exit 3 when warnings found)"
+    )
+    lint.add_argument("flock")
+    lint.set_defaults(fn=cmd_lint)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic workload as CSV files"
+    )
+    generate.add_argument(
+        "domain",
+        choices=("baskets", "weighted", "medical", "web", "graph", "articles"),
+    )
+    generate.add_argument("outdir", help="directory for <relation>.csv files")
+    generate.add_argument("--size", type=int, default=500,
+                          help="scale knob (baskets/patients/documents/...)")
+    generate.add_argument("--skew", type=float, default=1.1,
+                          help="Zipf exponent where applicable")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(fn=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Datalog substrate: the query-flock language layer.
+
+Implements the paper's query language — extended conjunctive queries
+(negation + arithmetic) and unions thereof — together with the three
+pieces of theory the optimizer needs: safety (Sections 3.2–3.3),
+containment (Section 3.1), and safe-subquery enumeration.
+"""
+
+from .atoms import (
+    Comparison,
+    ComparisonOp,
+    RelationalAtom,
+    Subgoal,
+    atom,
+    comparison,
+    negated,
+)
+from .arithmetic import ComparisonSystem, entails, is_satisfiable
+from .containment import (
+    contains,
+    contains_extended,
+    equivalent,
+    find_containment_mapping,
+    is_subquery_bound,
+    minimize,
+)
+from .parser import parse_query, parse_rule
+from .program import Program, materialize_views
+from .query import (
+    ConjunctiveQuery,
+    FlockQuery,
+    UnionQuery,
+    as_union,
+    rule,
+)
+from .safety import (
+    SafetyReport,
+    SafetyRule,
+    SafetyViolation,
+    assert_safe,
+    check_safety,
+    is_safe,
+)
+from .subqueries import (
+    SubqueryCandidate,
+    UnionSubqueryCandidate,
+    minimal_safe_subqueries_with_parameters,
+    parameter_subsets,
+    safe_subqueries,
+    safe_subqueries_with_parameters,
+    subgoal_subsets,
+    union_subqueries_with_parameters,
+    unsafe_subqueries,
+)
+from .terms import Constant, Parameter, Term, Variable, make_term
+
+__all__ = [
+    "Comparison",
+    "ComparisonOp",
+    "ComparisonSystem",
+    "ConjunctiveQuery",
+    "Constant",
+    "FlockQuery",
+    "Parameter",
+    "Program",
+    "RelationalAtom",
+    "SafetyReport",
+    "SafetyRule",
+    "SafetyViolation",
+    "Subgoal",
+    "SubqueryCandidate",
+    "Term",
+    "UnionQuery",
+    "UnionSubqueryCandidate",
+    "Variable",
+    "as_union",
+    "assert_safe",
+    "atom",
+    "check_safety",
+    "comparison",
+    "contains",
+    "contains_extended",
+    "entails",
+    "equivalent",
+    "find_containment_mapping",
+    "is_safe",
+    "is_satisfiable",
+    "is_subquery_bound",
+    "make_term",
+    "materialize_views",
+    "minimal_safe_subqueries_with_parameters",
+    "minimize",
+    "negated",
+    "parameter_subsets",
+    "parse_query",
+    "parse_rule",
+    "rule",
+    "safe_subqueries",
+    "safe_subqueries_with_parameters",
+    "subgoal_subsets",
+    "union_subqueries_with_parameters",
+    "unsafe_subqueries",
+]

@@ -1,0 +1,306 @@
+"""Entailment of arithmetic subgoal sets — the [Klu82]/[ZO93] machinery.
+
+Section 3.3 notes that for Datalog with arithmetic, containment needs
+reasoning about the comparisons ("There are decision procedures —
+[Klu82] or [ZO93] for Datalog with arithmetic").  This module implements
+the standard constraint-closure test over a densely ordered domain:
+
+* :class:`ComparisonSystem` — a conjunction of comparisons between
+  terms/constants, with consistency checking and entailment;
+* :func:`entails` — does one set of comparisons imply another?
+
+The closure computes, for every ordered pair of terms, the strongest
+derivable relation among ``<``, ``<=``, ``=`` (plus ``!=`` side
+constraints), propagating through transitivity and constant ordering.
+Over a dense total order (strings, rationals) this is sound and
+complete for conjunctions of ``< <= = !=`` constraints without
+arithmetic expressions, which is exactly the paper's subgoal language.
+
+Used by :func:`repro.datalog.containment.contains_extended` to decide
+containment of conjunctive queries *with* arithmetic, and available to
+the optimizer for pruning trivially unsatisfiable subqueries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from .atoms import Comparison, ComparisonOp
+from .terms import Constant, Term
+
+
+# Strength lattice for derived relations between two terms (a R b):
+# "<" is strictly stronger than "<=".  Equality is tracked by union-find;
+# disequality as a side set.
+_LT = "<"
+_LE = "<="
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def _const_key(value: object) -> tuple:
+    """Order constants within comparable families; mixing families
+    (numbers vs strings) is treated as incomparable and the system
+    refuses to decide (conservative)."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", value)
+    return ("str", value)
+
+
+@dataclass
+class ComparisonSystem:
+    """A conjunction of comparisons, closed under logical consequence.
+
+    Build with :meth:`from_comparisons`; query with :meth:`is_consistent`
+    and :meth:`entails_comparison`.
+    """
+
+    comparisons: tuple[Comparison, ...]
+    _uf: _UnionFind = field(default_factory=_UnionFind, repr=False)
+    # strict[(a, b)] True means a < b derivable; False means a <= b.
+    _edges: dict[tuple[object, object], bool] = field(
+        default_factory=dict, repr=False
+    )
+    _disequal: set[frozenset] = field(default_factory=set, repr=False)
+    _consistent: bool = True
+    _known_constants: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_comparisons(
+        cls,
+        comparisons: Iterable[Comparison],
+        known_constants: Iterable[object] = (),
+    ) -> "ComparisonSystem":
+        """Build and close a system.
+
+        ``known_constants`` registers additional constant values (e.g.
+        those appearing only in the comparisons to be *tested*) so the
+        built-in constant ordering covers them — without it,
+        ``X < 5 ⊨ X < 10`` would fail for lack of a ``5 < 10`` edge.
+        """
+        system = cls(tuple(comparisons))
+        system._known_constants = tuple(known_constants)
+        system._build()
+        return system
+
+    @staticmethod
+    def _node(term: Term) -> object:
+        if isinstance(term, Constant):
+            return ("const", _const_key(term.value))
+        return term
+
+    def _build(self) -> None:
+        # Equalities first (union-find), then order edges.
+        pending: list[tuple[object, object, bool]] = []
+        for comp in self.comparisons:
+            a, b = self._node(comp.left), self._node(comp.right)
+            if comp.op is ComparisonOp.EQ:
+                self._uf.union(a, b)
+            elif comp.op is ComparisonOp.NE:
+                self._disequal.add(frozenset((a, b)))
+            elif comp.op is ComparisonOp.LT:
+                pending.append((a, b, True))
+            elif comp.op is ComparisonOp.LE:
+                pending.append((a, b, False))
+            elif comp.op is ComparisonOp.GT:
+                pending.append((b, a, True))
+            elif comp.op is ComparisonOp.GE:
+                pending.append((b, a, False))
+
+        # Known constant order: add edges between every pair of
+        # same-family constants mentioned anywhere (including constants
+        # registered via ``known_constants``).
+        const_nodes = {
+            node
+            for comp in self.comparisons
+            for node in (self._node(comp.left), self._node(comp.right))
+            if isinstance(node, tuple) and node[0] == "const"
+        }
+        for value in self._known_constants:
+            const_nodes.add(("const", _const_key(value)))
+        constants = sorted(const_nodes, key=lambda n: n[1])
+        for i, a in enumerate(constants):
+            for b in constants[i + 1:]:
+                if a[1][0] != b[1][0]:
+                    continue  # incomparable families
+                if a[1] < b[1]:
+                    pending.append((a, b, True))
+                elif a[1] > b[1]:
+                    pending.append((b, a, True))
+                else:
+                    self._uf.union(a, b)
+
+        for a, b, strict in pending:
+            self._add_edge(a, b, strict)
+        self._close()
+
+    def _add_edge(self, a: object, b: object, strict: bool) -> None:
+        a, b = self._uf.find(a), self._uf.find(b)
+        key = (a, b)
+        if key in self._edges:
+            self._edges[key] = self._edges[key] or strict
+        else:
+            self._edges[key] = strict
+
+    def _close(self) -> None:
+        """Floyd–Warshall-style closure, then consistency checks, then
+        <=-cycle collapse into equalities."""
+        changed = True
+        while changed:
+            changed = False
+            # Renormalize endpoints through union-find.
+            normalized: dict[tuple[object, object], bool] = {}
+            for (a, b), strict in self._edges.items():
+                ra, rb = self._uf.find(a), self._uf.find(b)
+                if ra == rb:
+                    if strict:
+                        self._consistent = False
+                        return
+                    continue
+                key = (ra, rb)
+                normalized[key] = normalized.get(key, False) or strict
+            self._edges = normalized
+
+            # Transitivity: a R1 b, b R2 c  =>  a R c with R strict iff
+            # either premise is.  A derived self-loop a < a is a
+            # contradiction; a <= a is vacuous.
+            items = list(self._edges.items())
+            for (a, b), s1 in items:
+                for (b2, c), s2 in items:
+                    if b != b2:
+                        continue
+                    strict = s1 or s2
+                    if a == c:
+                        if strict:
+                            self._consistent = False
+                            return
+                        continue
+                    key = (a, c)
+                    previous = self._edges.get(key)
+                    if previous is None or (strict and not previous):
+                        self._edges[key] = strict
+                        changed = True
+
+            # a <= b and b <= a (both non-strict) => a = b.
+            for (a, b), strict in list(self._edges.items()):
+                back = self._edges.get((b, a))
+                if back is None:
+                    continue
+                if strict or back:
+                    self._consistent = False
+                    return
+                self._uf.union(a, b)
+                changed = True
+
+        # Disequality vs equality.
+        for pair in self._disequal:
+            members = list(pair)
+            if len(members) == 1:
+                self._consistent = False
+                return
+            if self._uf.find(members[0]) == self._uf.find(members[1]):
+                self._consistent = False
+                return
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_consistent(self) -> bool:
+        return self._consistent
+
+    def _relation(self, a: object, b: object) -> Optional[str]:
+        """The strongest derivable relation from a to b: '<', '<=',
+        '=' or None."""
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return "="
+        edge = self._edges.get((ra, rb))
+        if edge is None:
+            return None
+        return _LT if edge else _LE
+
+    def entails_comparison(self, comp: Comparison) -> bool:
+        """Does this (consistent) system imply ``comp`` over every
+        assignment of its terms in a dense order?"""
+        if not self._consistent:
+            return True  # ex falso
+        a, b = self._node(comp.left), self._node(comp.right)
+        op = comp.op
+        if op is ComparisonOp.GT:
+            a, b, op = b, a, ComparisonOp.LT
+        elif op is ComparisonOp.GE:
+            a, b, op = b, a, ComparisonOp.LE
+
+        relation = self._relation(a, b)
+        if op is ComparisonOp.EQ:
+            return relation == "="
+        if op is ComparisonOp.LT:
+            return relation == _LT
+        if op is ComparisonOp.LE:
+            return relation in (_LT, _LE, "=")
+        if op is ComparisonOp.NE:
+            if relation == _LT or self._relation(b, a) == _LT:
+                return True
+            ra, rb = self._uf.find(a), self._uf.find(b)
+            for pair in self._disequal:
+                members = list(pair)
+                if len(members) != 2:
+                    continue
+                roots = {self._uf.find(members[0]), self._uf.find(members[1])}
+                if roots == {ra, rb}:
+                    return True
+            return False
+        raise AssertionError(f"unhandled operator {op}")
+
+
+def _constants_of(comparisons: Iterable[Comparison]) -> list[object]:
+    values = []
+    for comp in comparisons:
+        for term in (comp.left, comp.right):
+            if isinstance(term, Constant):
+                values.append(term.value)
+    return values
+
+
+def entails(
+    premises: Iterable[Comparison], conclusions: Iterable[Comparison]
+) -> bool:
+    """``premises ⊨ conclusions``: every dense-order assignment
+    satisfying all premises satisfies every conclusion."""
+    conclusions = list(conclusions)
+    system = ComparisonSystem.from_comparisons(
+        premises, known_constants=_constants_of(conclusions)
+    )
+    return all(system.entails_comparison(c) for c in conclusions)
+
+
+def is_satisfiable(comparisons: Iterable[Comparison]) -> bool:
+    """Whether a conjunction of comparisons has any dense-order model —
+    lets the optimizer discard subqueries like ``$1 < $2 AND $2 < $1``
+    without touching the data."""
+    return ComparisonSystem.from_comparisons(comparisons).is_consistent()

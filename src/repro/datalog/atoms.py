@@ -1,0 +1,203 @@
+"""Subgoals (atoms) of the extended conjunctive queries of Section 2.3.
+
+The paper extends plain conjunctive queries with exactly two features:
+
+1. **negated subgoals** — ``NOT causes(D, $s)``;
+2. **arithmetic subgoals** — comparisons such as ``$1 < $2`` between two
+   terms.
+
+A body is a list of subgoals; a :class:`RelationalAtom` may be positive
+or negated, and a :class:`Comparison` carries one of the six standard
+comparison operators.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Union
+
+from .terms import (
+    BindableTerm,
+    Constant,
+    Parameter,
+    Term,
+    Variable,
+    is_bindable,
+    make_term,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RelationalAtom:
+    """A relational subgoal ``p(t1, ..., tk)``, optionally negated.
+
+    ``negated=True`` renders as ``NOT p(...)`` and is evaluated as an
+    anti-join (set difference on the bound columns) by the relational
+    engine.
+    """
+
+    predicate: str
+    terms: tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise ValueError("predicate name must be non-empty")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def bindable_terms(self) -> tuple[BindableTerm, ...]:
+        """Variables and parameters among the arguments, in order, with
+        duplicates preserved."""
+        return tuple(t for t in self.terms if is_bindable(t))
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset(t for t in self.terms if isinstance(t, Parameter))
+
+    def negate(self) -> "RelationalAtom":
+        """A copy of this atom with the opposite polarity."""
+        return RelationalAtom(self.predicate, self.terms, not self.negated)
+
+    def with_positive_polarity(self) -> "RelationalAtom":
+        if not self.negated:
+            return self
+        return RelationalAtom(self.predicate, self.terms, False)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        body = f"{self.predicate}({args})"
+        return f"NOT {body}" if self.negated else body
+
+
+class ComparisonOp(Enum):
+    """The comparison operators admitted in arithmetic subgoals."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+    @property
+    def fn(self) -> Callable[[object, object], bool]:
+        return _OP_FUNCTIONS[self]
+
+    def flipped(self) -> "ComparisonOp":
+        """The operator with its operands swapped: ``a < b`` iff ``b > a``."""
+        return _OP_FLIPPED[self]
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "ComparisonOp":
+        normalized = {"==": "=", "<>": "!="}.get(symbol, symbol)
+        for op in cls:
+            if op.value == normalized:
+                return op
+        raise ValueError(f"unknown comparison operator {symbol!r}")
+
+
+_OP_FUNCTIONS: dict[ComparisonOp, Callable[[object, object], bool]] = {
+    ComparisonOp.LT: operator.lt,
+    ComparisonOp.LE: operator.le,
+    ComparisonOp.GT: operator.gt,
+    ComparisonOp.GE: operator.ge,
+    ComparisonOp.EQ: operator.eq,
+    ComparisonOp.NE: operator.ne,
+}
+
+_OP_FLIPPED: dict[ComparisonOp, ComparisonOp] = {
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """An arithmetic subgoal ``left op right``, e.g. ``$1 < $2``."""
+
+    left: Term
+    op: ComparisonOp
+    right: Term
+
+    def bindable_terms(self) -> tuple[BindableTerm, ...]:
+        return tuple(t for t in (self.left, self.right) if is_bindable(t))
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Parameter)
+        )
+
+    def evaluate(self, binding: dict[BindableTerm, object]) -> bool:
+        """Apply the comparison under a binding of its bindable terms.
+
+        Raises ``KeyError`` if a variable/parameter is unbound — callers
+        (the evaluator) guarantee safety before evaluation, so an unbound
+        term here is a programming error, not a user error.
+        """
+        left = self._resolve(self.left, binding)
+        right = self._resolve(self.right, binding)
+        return self.op.fn(left, right)
+
+    @staticmethod
+    def _resolve(term: Term, binding: dict[BindableTerm, object]) -> object:
+        if isinstance(term, Constant):
+            return term.value
+        return binding[term]
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+#: A subgoal of an extended conjunctive query.
+Subgoal = Union[RelationalAtom, Comparison]
+
+
+def atom(predicate: str, *raw_terms: Union[str, int, float, Term]) -> RelationalAtom:
+    """Convenience constructor: ``atom("baskets", "B", "$1")``.
+
+    Term strings are coerced per :func:`repro.datalog.terms.make_term`.
+    """
+    return RelationalAtom(predicate, tuple(make_term(t) for t in raw_terms))
+
+
+def negated(predicate: str, *raw_terms: Union[str, int, float, Term]) -> RelationalAtom:
+    """Convenience constructor for a negated subgoal:
+    ``negated("causes", "D", "$s")`` is ``NOT causes(D, $s)``."""
+    return RelationalAtom(
+        predicate, tuple(make_term(t) for t in raw_terms), negated=True
+    )
+
+
+def comparison(
+    left: Union[str, int, float, Term],
+    op: Union[str, ComparisonOp],
+    right: Union[str, int, float, Term],
+) -> Comparison:
+    """Convenience constructor: ``comparison("$1", "<", "$2")``."""
+    if isinstance(op, str):
+        op = ComparisonOp.from_symbol(op)
+    return Comparison(make_term(left), op, make_term(right))
+
+
+def subgoal_terms(subgoals: Iterable[Subgoal]) -> frozenset[BindableTerm]:
+    """All variables and parameters appearing anywhere in ``subgoals``."""
+    found: set[BindableTerm] = set()
+    for sg in subgoals:
+        found.update(sg.bindable_terms())
+    return frozenset(found)

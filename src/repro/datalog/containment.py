@@ -1,0 +1,271 @@
+"""Conjunctive-query containment via containment mappings (Section 3.1).
+
+The a-priori generalization rests on upper bounds: a cheaper query Q1
+bounds Q2 whenever Q2 ⊆ Q1 holds *for all databases*.  For pure
+conjunctive queries this containment is decidable by the
+Chandra–Merlin containment-mapping theorem [CM77]: Q2 ⊆ Q1 iff there is
+a homomorphism from Q1 to Q2 that
+
+* maps each constant to itself,
+* maps the head of Q1 onto the head of Q2, and
+* maps every subgoal of Q1 onto some subgoal of Q2.
+
+Flock **parameters** are free terms shared between a query and its
+subqueries — an upper bound for a particular parameter assignment must
+hold for that same assignment — so a containment mapping must map each
+parameter to itself (they behave like distinguished variables).
+
+For the extended language (negation, arithmetic) the paper notes that
+full containment is harder ([Klu82], [ZO93], [LS93]) and that the
+containing query can occasionally fail to be a subgoal subset; it then
+*chooses* to restrict the plan space to subgoal subsets anyway.  We
+follow suit: :func:`contains` decides containment exactly for pure CQs,
+and for extended CQs implements the sound (but not complete)
+subgoal-subset criterion via :func:`is_subquery_bound`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping, Optional
+
+from .atoms import Comparison, RelationalAtom
+from .query import ConjunctiveQuery
+from .terms import Constant, Parameter, Term, Variable
+
+
+def _is_pure(query: ConjunctiveQuery) -> bool:
+    """True when the query is a plain CQ: positive relational atoms only."""
+    return all(
+        isinstance(sg, RelationalAtom) and not sg.negated for sg in query.body
+    )
+
+
+def _extend_mapping(
+    mapping: dict[Term, Term], source: Term, target: Term
+) -> Optional[dict[Term, Term]]:
+    """Try to extend a homomorphism with ``source -> target``.
+
+    Constants and parameters must map to themselves; variables map
+    freely but consistently.  Returns the extended mapping, or ``None``
+    on conflict.
+    """
+    if isinstance(source, Constant):
+        return mapping if source == target else None
+    if isinstance(source, Parameter):
+        return mapping if source == target else None
+    existing = mapping.get(source)
+    if existing is not None:
+        return mapping if existing == target else None
+    extended = dict(mapping)
+    extended[source] = target
+    return extended
+
+
+def find_containment_mapping(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> Optional[Mapping[Term, Term]]:
+    """Search for a containment mapping from ``container`` to ``contained``.
+
+    A non-``None`` result witnesses ``contained ⊆ container`` (for pure
+    CQs).  Both queries must be pure; callers should use
+    :func:`is_subquery_bound` for extended queries.
+    """
+    if not _is_pure(container) or not _is_pure(contained):
+        raise ValueError(
+            "containment mappings are defined for pure conjunctive queries; "
+            "use is_subquery_bound for extended queries"
+        )
+    if len(container.head_terms) != len(contained.head_terms):
+        return None
+
+    # Seed the mapping with the head correspondence.
+    mapping: Optional[dict[Term, Term]] = {}
+    for src, dst in zip(container.head_terms, contained.head_terms):
+        mapping = _extend_mapping(mapping, src, dst)
+        if mapping is None:
+            return None
+
+    container_atoms = [sg for sg in container.body if isinstance(sg, RelationalAtom)]
+    contained_atoms = [sg for sg in contained.body if isinstance(sg, RelationalAtom)]
+
+    def search(index: int, current: dict[Term, Term]) -> Optional[dict[Term, Term]]:
+        if index == len(container_atoms):
+            return current
+        atom = container_atoms[index]
+        for candidate in contained_atoms:
+            if candidate.predicate != atom.predicate:
+                continue
+            if candidate.arity != atom.arity:
+                continue
+            extended: Optional[dict[Term, Term]] = current
+            for src, dst in zip(atom.terms, candidate.terms):
+                extended = _extend_mapping(extended, src, dst)
+                if extended is None:
+                    break
+            if extended is None:
+                continue
+            result = search(index + 1, extended)
+            if result is not None:
+                return result
+        return None
+
+    return search(0, mapping)
+
+
+def contains(container: ConjunctiveQuery, contained: ConjunctiveQuery) -> bool:
+    """Decide ``contained ⊆ container`` for pure conjunctive queries."""
+    return find_containment_mapping(container, contained) is not None
+
+
+def equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide query equivalence: mutual containment."""
+    return contains(q1, q2) and contains(q2, q1)
+
+
+def is_subquery_bound(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> bool:
+    """Sound upper-bound test for the extended language.
+
+    Returns ``True`` when ``container``'s body is a sub-multiset of
+    ``contained``'s body with identical subgoals (same predicate, terms,
+    polarity — or the identical comparison) and the heads agree.  This is
+    exactly the paper's restriction: containing queries are formed by
+    *deleting* subgoals, no variable splitting, no rewriting.  Deleting a
+    positive subgoal can only grow the result; deleting a negated or
+    arithmetic subgoal drops a filter and can also only grow the result —
+    hence soundness under set semantics.
+    """
+    if container.head_name != contained.head_name:
+        return False
+    if container.head_terms != contained.head_terms:
+        return False
+    remaining = list(contained.body)
+    for sg in container.body:
+        try:
+            remaining.remove(sg)
+        except ValueError:
+            return False
+    return True
+
+
+def contains_extended(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> bool:
+    """Sound containment test for CQs **with arithmetic** (no negation).
+
+    Following [Klu82]'s homomorphism criterion: ``contained ⊆ container``
+    if some containment mapping ``h`` over the relational subgoals also
+    makes every arithmetic subgoal of ``container`` a logical consequence
+    of ``contained``'s arithmetic subgoals (entailment over a dense
+    order, via :mod:`repro.datalog.arithmetic`).
+
+    This is sound always, and complete when ``contained``'s comparisons
+    induce a total order on the terms involved (Klug's completeness
+    condition); in the incomplete cases it may return ``False`` for a
+    true containment — never the reverse.  Negated subgoals are not
+    handled; callers should fall back to :func:`is_subquery_bound`.
+    """
+    from .arithmetic import ComparisonSystem
+
+    if any(
+        isinstance(sg, RelationalAtom) and sg.negated
+        for q in (container, contained)
+        for sg in q.body
+    ):
+        raise ValueError(
+            "contains_extended handles arithmetic but not negation; "
+            "use is_subquery_bound for negated queries"
+        )
+    if len(container.head_terms) != len(contained.head_terms):
+        return False
+
+    container_atoms = [
+        sg for sg in container.body if isinstance(sg, RelationalAtom)
+    ]
+    contained_atoms = [
+        sg for sg in contained.body if isinstance(sg, RelationalAtom)
+    ]
+    contained_comparisons = [
+        sg for sg in contained.body if isinstance(sg, Comparison)
+    ]
+    container_comparisons = [
+        sg for sg in container.body if isinstance(sg, Comparison)
+    ]
+    known_constants = [
+        term.value
+        for comp in container_comparisons
+        for term in (comp.left, comp.right)
+        if isinstance(term, Constant)
+    ]
+    system = ComparisonSystem.from_comparisons(
+        contained_comparisons, known_constants=known_constants
+    )
+    if not system.is_consistent():
+        # The contained query is unsatisfiable: contained ⊆ anything.
+        return True
+
+    seed: Optional[dict[Term, Term]] = {}
+    for src, dst in zip(container.head_terms, contained.head_terms):
+        seed = _extend_mapping(seed, src, dst)
+        if seed is None:
+            return False
+
+    def apply(mapping: Mapping[Term, Term], comp: Comparison) -> Comparison:
+        def sub(term: Term) -> Term:
+            if isinstance(term, (Constant,)):
+                return term
+            return mapping.get(term, term)  # type: ignore[arg-type]
+
+        return Comparison(sub(comp.left), comp.op, sub(comp.right))
+
+    def search(index: int, current: dict[Term, Term]) -> bool:
+        if index == len(container_atoms):
+            mapped = [apply(current, c) for c in container_comparisons]
+            return all(system.entails_comparison(c) for c in mapped)
+        atom = container_atoms[index]
+        for candidate in contained_atoms:
+            if (
+                candidate.predicate != atom.predicate
+                or candidate.arity != atom.arity
+            ):
+                continue
+            extended: Optional[dict[Term, Term]] = current
+            for src, dst in zip(atom.terms, candidate.terms):
+                extended = _extend_mapping(extended, src, dst)
+                if extended is None:
+                    break
+            if extended is None:
+                continue
+            if search(index + 1, extended):
+                return True
+        return False
+
+    return search(0, seed)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Chandra–Merlin minimization of a pure CQ.
+
+    Repeatedly drop a subgoal whenever the reduced query still contains
+    the original (i.e. the two are equivalent).  The result is a core of
+    the query: a minimal equivalent subquery.  Useful for normalizing
+    flock queries before subquery enumeration so that redundant subgoals
+    don't inflate the plan space.
+    """
+    if not _is_pure(query):
+        raise ValueError("minimization implemented for pure conjunctive queries")
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current.body)):
+            candidate = current.without_subgoals([i])
+            # candidate has fewer subgoals, so current ⊆ candidate always;
+            # equivalence needs candidate ⊆ current.
+            if candidate.body and contains(current, candidate):
+                current = candidate
+                changed = True
+                break
+    return current

@@ -1,0 +1,217 @@
+"""Parser for the paper's concrete Datalog syntax.
+
+Accepts rule text exactly as the paper writes it, e.g.::
+
+    answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+
+    answer(P) :-
+        exhibits(P,$s) AND
+        treatments(P,$m) AND
+        diagnoses(P,D) AND
+        NOT causes(D,$s)
+
+Multiple rules in one text form a :class:`~repro.datalog.query.UnionQuery`
+(the Fig. 4 strongly-connected-words flock is three rules).  ``AND`` and
+``,`` are both accepted as subgoal separators; identifiers beginning with
+``$`` are parameters; capitalized identifiers are variables; everything
+else is a constant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+from .atoms import Comparison, ComparisonOp, RelationalAtom, Subgoal
+from .query import ConjunctiveQuery, FlockQuery, UnionQuery
+from .terms import Constant, Parameter, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # IDENT PARAM NUMBER STRING PUNCT OP EOF
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*|//[^\n]*)
+  | (?P<IMPLIES>:-)
+  | (?P<OP><=|>=|!=|<>|==|<|>|=)
+  | (?P<PARAM>\$[A-Za-z0-9_]+)
+  | (?P<NUMBER>-?\d+\.\d+|-?\d+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>[(),.])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[pos]!r}", text=text, position=pos
+            )
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            token_kind = "PUNCT" if kind == "IMPLIES" else kind
+            yield _Token(token_kind, match.group(), match.start())
+        pos = match.end()
+    yield _Token("EOF", "", len(text))
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+
+    # -- token utilities ------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r} but found {token.text or 'end of input'!r}",
+                text=self.text,
+                position=token.pos,
+            )
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        return (
+            self.current.kind == "IDENT"
+            and self.current.text.upper() == word.upper()
+        )
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_program(self) -> FlockQuery:
+        rules = [self.parse_rule()]
+        while self.current.kind != "EOF":
+            rules.append(self.parse_rule())
+        if len(rules) == 1:
+            return rules[0]
+        return UnionQuery(tuple(rules))
+
+    def parse_rule(self) -> ConjunctiveQuery:
+        head_name, head_terms = self.parse_atom_shape()
+        self.expect("PUNCT", ":-")
+        body: list[Subgoal] = [self.parse_subgoal()]
+        while True:
+            if self.at_keyword("AND"):
+                self.advance()
+                body.append(self.parse_subgoal())
+            elif self.current.kind == "PUNCT" and self.current.text == ",":
+                self.advance()
+                body.append(self.parse_subgoal())
+            else:
+                break
+        if self.current.kind == "PUNCT" and self.current.text == ".":
+            self.advance()
+        return ConjunctiveQuery(head_name, head_terms, tuple(body))
+
+    def parse_subgoal(self) -> Subgoal:
+        if self.at_keyword("NOT"):
+            self.advance()
+            name, terms = self.parse_atom_shape()
+            return RelationalAtom(name, terms, negated=True)
+        # Could be a relational atom or an arithmetic comparison.  Decide
+        # by lookahead: IDENT followed by "(" is an atom.
+        if (
+            self.current.kind == "IDENT"
+            and self.index + 1 < len(self.tokens)
+            and self.tokens[self.index + 1].kind == "PUNCT"
+            and self.tokens[self.index + 1].text == "("
+        ):
+            name, terms = self.parse_atom_shape()
+            return RelationalAtom(name, terms)
+        left = self.parse_term()
+        op_token = self.expect("OP")
+        right = self.parse_term()
+        return Comparison(left, ComparisonOp.from_symbol(op_token.text), right)
+
+    def parse_atom_shape(self) -> tuple[str, tuple[Term, ...]]:
+        name_token = self.expect("IDENT")
+        self.expect("PUNCT", "(")
+        terms: list[Term] = []
+        if not (self.current.kind == "PUNCT" and self.current.text == ")"):
+            terms.append(self.parse_term())
+            while self.current.kind == "PUNCT" and self.current.text == ",":
+                self.advance()
+                terms.append(self.parse_term())
+        self.expect("PUNCT", ")")
+        return name_token.text, tuple(terms)
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "PARAM":
+            self.advance()
+            return Parameter(token.text[1:])
+        if token.kind == "NUMBER":
+            self.advance()
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            raw = token.text[1:-1]
+            unescaped = raw.replace("\\'", "'").replace('\\"', '"').replace(
+                "\\\\", "\\"
+            )
+            return Constant(unescaped)
+        if token.kind == "IDENT":
+            self.advance()
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        raise ParseError(
+            f"expected a term but found {token.text or 'end of input'!r}",
+            text=self.text,
+            position=token.pos,
+        )
+
+
+def parse_query(text: str) -> FlockQuery:
+    """Parse one or more Datalog rules.
+
+    Returns a :class:`ConjunctiveQuery` for a single rule and a
+    :class:`UnionQuery` when the text contains several rules (as in the
+    paper's Fig. 4).
+    """
+    parser = _Parser(text)
+    return parser.parse_program()
+
+
+def parse_rule(text: str) -> ConjunctiveQuery:
+    """Parse exactly one rule; raise :class:`ParseError` on extra input."""
+    parser = _Parser(text)
+    parsed = parser.parse_rule()
+    if parser.current.kind != "EOF":
+        raise ParseError(
+            f"trailing input after rule: {parser.current.text!r}",
+            text=text,
+            position=parser.current.pos,
+        )
+    return parsed

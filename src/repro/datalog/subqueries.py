@@ -1,0 +1,209 @@
+"""Enumeration of safe subqueries — the candidate a-priori filters.
+
+Section 3.1's Optimization Principle for Conjunctive Queries: *consider
+evaluating only those safe subqueries formed by deleting one or more
+subgoals from Q*.  This module enumerates exactly that space:
+
+* :func:`safe_subqueries` — every nonempty proper subgoal subset of a
+  rule that passes the three safety conditions (Example 3.2: of the 14
+  nontrivial subsets of the medical flock, exactly 8 are safe);
+* :func:`safe_subqueries_with_parameters` — the subsets whose parameter
+  set is exactly a chosen set S (the Section 4.3 heuristic 1 building
+  block: a restriction relation R_S for the parameters S);
+* :func:`union_subqueries_with_parameters` — the Section 3.4 extension:
+  for a union flock, an upper bound is a union of per-rule safe
+  subqueries, one for each rule (Example 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Iterable, Iterator, Sequence
+
+from .query import ConjunctiveQuery, UnionQuery
+from .safety import check_safety
+from .terms import Parameter
+
+
+@dataclass(frozen=True)
+class SubqueryCandidate:
+    """A safe subquery together with which body indices it keeps."""
+
+    indices: tuple[int, ...]
+    query: ConjunctiveQuery
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        return self.query.parameters()
+
+    @property
+    def subgoal_count(self) -> int:
+        return len(self.indices)
+
+    def __str__(self) -> str:
+        return str(self.query)
+
+
+def subgoal_subsets(
+    query: ConjunctiveQuery,
+    include_full: bool = False,
+    include_empty: bool = False,
+) -> Iterator[tuple[int, ...]]:
+    """Yield subgoal index subsets, smallest first.
+
+    By default yields only *nontrivial* subsets (nonempty and proper),
+    matching the paper's "nonempty, proper subset of the subgoals".
+    """
+    n = len(query.body)
+    low = 0 if include_empty else 1
+    high = n if include_full else n - 1
+    for size in range(low, high + 1):
+        for indices in combinations(range(n), size):
+            yield indices
+
+
+def safe_subqueries(
+    query: ConjunctiveQuery,
+    include_full: bool = False,
+) -> list[SubqueryCandidate]:
+    """All safe subqueries formed from nontrivial subgoal subsets.
+
+    ``include_full=True`` additionally admits the full query itself
+    (which is trivially safe whenever the flock query is), useful when a
+    caller wants the bound lattice including its bottom.
+    """
+    candidates: list[SubqueryCandidate] = []
+    for indices in subgoal_subsets(query, include_full=include_full):
+        sub = query.with_body_subset(indices)
+        if check_safety(sub).is_safe:
+            candidates.append(SubqueryCandidate(indices, sub))
+    return candidates
+
+
+def unsafe_subqueries(query: ConjunctiveQuery) -> list[SubqueryCandidate]:
+    """The complement of :func:`safe_subqueries` over nontrivial subsets —
+    exposed so tests and benchmarks can reproduce the Example 3.2 count
+    (14 nontrivial subsets, 8 safe, 6 unsafe)."""
+    rejected: list[SubqueryCandidate] = []
+    for indices in subgoal_subsets(query):
+        sub = query.with_body_subset(indices)
+        if not check_safety(sub).is_safe:
+            rejected.append(SubqueryCandidate(indices, sub))
+    return rejected
+
+
+def safe_subqueries_with_parameters(
+    query: ConjunctiveQuery,
+    parameters: Iterable[Parameter],
+    include_full: bool = False,
+) -> list[SubqueryCandidate]:
+    """Safe subqueries whose parameter set is exactly ``parameters``.
+
+    These are the candidates for a FILTER step that restricts precisely
+    that set of parameters (heuristic 1 of Section 4.3).
+    """
+    wanted = frozenset(parameters)
+    return [
+        cand
+        for cand in safe_subqueries(query, include_full=include_full)
+        if cand.parameters == wanted
+    ]
+
+
+def minimal_safe_subqueries_with_parameters(
+    query: ConjunctiveQuery,
+    parameters: Iterable[Parameter],
+) -> list[SubqueryCandidate]:
+    """The subset-minimal candidates among
+    :func:`safe_subqueries_with_parameters`.
+
+    A candidate is kept when no other candidate for the same parameter
+    set uses a strict subset of its subgoals.  Minimal candidates are the
+    cheapest bounds (fewest joins); the optimizer starts from these.
+    """
+    candidates = safe_subqueries_with_parameters(query, parameters)
+    index_sets = [set(c.indices) for c in candidates]
+    minimal: list[SubqueryCandidate] = []
+    for i, cand in enumerate(candidates):
+        if any(
+            index_sets[j] < index_sets[i] for j in range(len(candidates)) if j != i
+        ):
+            continue
+        minimal.append(cand)
+    return minimal
+
+
+@dataclass(frozen=True)
+class UnionSubqueryCandidate:
+    """A union upper bound: one safe subquery per rule of a union flock."""
+
+    branches: tuple[SubqueryCandidate, ...]
+
+    @property
+    def query(self) -> UnionQuery:
+        return UnionQuery(tuple(b.query for b in self.branches))
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        found: set[Parameter] = set()
+        for branch in self.branches:
+            found.update(branch.parameters)
+        return frozenset(found)
+
+    def __str__(self) -> str:
+        return "\n".join(str(b.query) for b in self.branches)
+
+
+def union_subqueries_with_parameters(
+    union: UnionQuery,
+    parameters: Iterable[Parameter],
+    max_candidates: int | None = None,
+) -> list[UnionSubqueryCandidate]:
+    """Enumerate union upper bounds restricted to exactly ``parameters``.
+
+    Per Section 3.4, each branch must contribute a safe subquery of the
+    corresponding rule; the union of the branch results then bounds the
+    union result.  For pruning a parameter set S every branch must
+    mention exactly S (a branch missing a parameter of S could not
+    constrain it, and a branch with extra parameters would bound a
+    different projection).  Branch choices combine as a cross product;
+    ``max_candidates`` caps the explosion for wide unions.
+    """
+    wanted = frozenset(parameters)
+    per_rule: list[list[SubqueryCandidate]] = []
+    for rule in union.rules:
+        # Rules that never mention a wanted parameter cannot be bounded
+        # for it; Section 3.4 requires a subquery for *each* rule in the
+        # union, so such a union-bound does not exist.
+        choices = [
+            cand
+            for cand in safe_subqueries(rule, include_full=True)
+            if cand.parameters & union.parameters() == wanted
+        ]
+        if not choices:
+            return []
+        # Prefer minimal subgoal counts: cheapest bounds first.
+        choices.sort(key=lambda c: c.subgoal_count)
+        per_rule.append(choices)
+
+    results: list[UnionSubqueryCandidate] = []
+    for combo in product(*per_rule):
+        results.append(UnionSubqueryCandidate(tuple(combo)))
+        if max_candidates is not None and len(results) >= max_candidates:
+            break
+    return results
+
+
+def parameter_subsets(
+    query: ConjunctiveQuery | UnionQuery,
+    min_size: int = 1,
+    max_size: int | None = None,
+) -> Iterator[frozenset[Parameter]]:
+    """All subsets of the flock's parameters, by ascending size —
+    the S sets of heuristic 1 (Section 4.3)."""
+    params = sorted(query.parameters(), key=lambda p: p.name)
+    top = len(params) if max_size is None else min(max_size, len(params))
+    for size in range(min_size, top + 1):
+        for combo in combinations(params, size):
+            yield frozenset(combo)

@@ -1,0 +1,140 @@
+"""Terms of the query-flock Datalog dialect.
+
+The paper's language (Section 2) has three kinds of terms:
+
+* **constants** — ordinary data values (strings, numbers);
+* **variables** — capitalized identifiers such as ``B``, ``P``, ``D`` that
+  range over data values during query evaluation;
+* **parameters** — identifiers beginning with ``$`` such as ``$1``,
+  ``$s``, ``$m``.  A query flock is a query *about its parameters*: the
+  flock's result is the set of parameter assignments whose instantiated
+  query passes the filter.
+
+For the purposes of the safety conditions of Section 3.3, parameters
+behave like variables ("parameters are variables, not constants, as far
+as the above safety conditions are concerned"), which is why
+:class:`Parameter` and :class:`Variable` share a common base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A Datalog variable, e.g. ``B`` in ``baskets(B, $1)``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if self.name.startswith("$"):
+            raise ValueError(
+                f"variable name {self.name!r} must not start with '$'; "
+                "use Parameter for flock parameters"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """A flock parameter, written ``$name`` in the paper's notation.
+
+    The stored :attr:`name` excludes the ``$`` sigil: ``Parameter("s")``
+    renders as ``$s``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if self.name.startswith("$"):
+            raise ValueError(
+                f"parameter name should not include the '$' sigil: {self.name!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant term: a concrete data value appearing in a query."""
+
+    value: Union[str, int, float, bool]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: Any term that may appear as an argument of a subgoal.
+Term = Union[Variable, Parameter, Constant]
+
+#: Terms that bind to data during evaluation (variables and parameters).
+#: The safety rules of Section 3.3 treat both uniformly.
+BindableTerm = Union[Variable, Parameter]
+
+
+def is_bindable(term: Term) -> bool:
+    """Return ``True`` for variables and parameters (anything that must be
+    bound by a positive subgoal for the query to be safe)."""
+    return isinstance(term, (Variable, Parameter))
+
+
+def make_term(raw: Union[str, int, float, bool, Term]) -> Term:
+    """Coerce a convenient Python value into a :data:`Term`.
+
+    Strings follow the paper's lexical conventions:
+
+    * ``"$x"`` becomes ``Parameter("x")``;
+    * a capitalized identifier or ``_``-prefixed name becomes a
+      :class:`Variable`;
+    * a quoted string (``"'beer'"``) becomes a string constant;
+    * anything else that parses as a number becomes a numeric constant;
+    * remaining lowercase strings become string constants.
+
+    Terms pass through unchanged.  This helper backs the friendly
+    constructor API (``atom("baskets", "B", "$1")``).
+    """
+    if isinstance(raw, (Variable, Parameter, Constant)):
+        return raw
+    if isinstance(raw, bool):
+        return Constant(raw)
+    if isinstance(raw, (int, float)):
+        return Constant(raw)
+    if isinstance(raw, str):
+        if not raw:
+            raise ValueError("empty string cannot be coerced to a term")
+        if raw.startswith("$"):
+            return Parameter(raw[1:])
+        if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in ("'", '"'):
+            return Constant(raw[1:-1])
+        if raw[0].isupper() or raw[0] == "_":
+            return Variable(raw)
+        try:
+            return Constant(int(raw))
+        except ValueError:
+            pass
+        try:
+            return Constant(float(raw))
+        except ValueError:
+            pass
+        return Constant(raw)
+    raise TypeError(f"cannot coerce {raw!r} to a term")

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the query-flocks library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single type at the API boundary.  Subclasses partition the
+failure modes by subsystem: language/parsing, safety analysis, relational
+evaluation, and plan construction/validation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ParseError(ReproError):
+    """A query-flock or Datalog text could not be parsed.
+
+    Carries the offending text and, when available, a position to help
+    the caller locate the problem.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """A relation was used with the wrong arity or unknown name."""
+
+
+class SafetyError(ReproError):
+    """A query violates the safety conditions of the paper's Section 3.
+
+    Raised when an unsafe query is submitted for evaluation or when a
+    plan step references an unsafe subquery.
+    """
+
+
+class PlanError(ReproError):
+    """A query plan violates the legality rule of the paper's Section 4.2."""
+
+
+class FilterError(ReproError):
+    """A filter condition is malformed or unsupported for the requested
+    optimization (e.g. a non-monotone filter used with a-priori pruning)."""
+
+
+class EvaluationError(ReproError):
+    """The relational engine could not evaluate a query (e.g. a variable
+    in an arithmetic subgoal was never bound by a positive subgoal)."""

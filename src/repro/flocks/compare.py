@@ -1,0 +1,148 @@
+"""Side-by-side comparison of evaluation strategies.
+
+The paper's whole argument is comparative — naive SQL-style evaluation
+vs the a-priori rewrite vs dynamic filtering — so the library ships the
+comparison harness as a feature rather than leaving it to ad-hoc
+scripts: :func:`compare_strategies` runs any subset of the strategies
+on one flock, verifies they agree exactly, and reports timings.
+
+Used by the benchmark suite and handy for sizing a new workload::
+
+    from repro.flocks import compare_strategies
+    report = compare_strategies(db, flock)
+    print(report.render())
+    # strategy    time      result
+    # naive       812.4 ms  214 assignments
+    # optimized   301.2 ms  = naive
+    # dynamic     176.9 ms  = naive
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import FilterError
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+from .dynamic import evaluate_flock_dynamic
+from .executor import execute_plan
+from .flock import QueryFlock
+from .naive import evaluate_flock
+from .optimizer import FlockOptimizer, optimize_union
+from .sqlbackend import SQLiteBackend
+
+
+#: Everything compare_strategies knows how to run.
+KNOWN_STRATEGIES = ("naive", "optimized", "stats", "dynamic", "sqlite")
+
+
+@dataclass(frozen=True)
+class StrategyTiming:
+    """One strategy's outcome."""
+
+    strategy: str
+    seconds: float
+    result_size: int
+    agrees: bool
+    note: str = ""
+
+    def __str__(self) -> str:
+        tail = f"  ({self.note})" if self.note else ""
+        agreement = "= reference" if self.agrees else "DISAGREES"
+        return (
+            f"{self.strategy:<10s} {self.seconds * 1e3:9.1f} ms  "
+            f"{self.result_size} assignments  {agreement}{tail}"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All strategies' outcomes; ``reference`` is the naive result."""
+
+    flock: QueryFlock
+    reference: Relation
+    timings: tuple[StrategyTiming, ...]
+
+    @property
+    def all_agree(self) -> bool:
+        return all(t.agrees for t in self.timings)
+
+    def speedup(self, strategy: str) -> float:
+        """naive time / strategy time (1.0 for naive itself)."""
+        by_name = {t.strategy: t for t in self.timings}
+        naive = by_name["naive"].seconds
+        return naive / max(by_name[strategy].seconds, 1e-12)
+
+    def fastest(self) -> StrategyTiming:
+        return min(self.timings, key=lambda t: t.seconds)
+
+    def render(self) -> str:
+        header = f"strategies for: {self.flock.filter} over {len(self.reference)} assignments"
+        return "\n".join([header] + [str(t) for t in self.timings])
+
+
+def _run_strategy(
+    db: Database, flock: QueryFlock, strategy: str
+) -> tuple[Relation, str]:
+    if strategy == "naive":
+        return evaluate_flock(db, flock), ""
+    if strategy == "dynamic":
+        result, trace = evaluate_flock_dynamic(db, flock)
+        return result.relation, f"{trace.filters_applied()} filters applied"
+    if strategy in ("optimized", "stats"):
+        if flock.is_union:
+            plan = optimize_union(db, flock)
+        else:
+            plan = FlockOptimizer(
+                db, flock, gather_statistics=(strategy == "stats")
+            ).best_plan().plan
+        result = execute_plan(db, flock, plan, validate=False)
+        return result.relation, f"{len(plan)} plan steps"
+    if strategy == "sqlite":
+        with SQLiteBackend(db) as backend:
+            return backend.evaluate_flock(flock), "Fig. 1 SQL on SQLite"
+    raise FilterError(
+        f"unknown strategy {strategy!r}; choose from {KNOWN_STRATEGIES}"
+    )
+
+
+def compare_strategies(
+    db: Database,
+    flock: QueryFlock,
+    strategies: tuple[str, ...] | list[str] = ("naive", "optimized", "dynamic"),
+    rounds: int = 1,
+) -> ComparisonReport:
+    """Run each strategy (best of ``rounds``), verify exact agreement
+    with naive evaluation, and collect timings.
+
+    ``"naive"`` is always run first as the reference, whether requested
+    or not.  Strategies that cannot apply to the flock (e.g. pruning on
+    a non-monotone filter) raise rather than silently skipping —
+    comparisons should be explicit about what they compare.
+    """
+    ordered = ["naive"] + [s for s in strategies if s != "naive"]
+    reference: Relation | None = None
+    timings: list[StrategyTiming] = []
+    for strategy in ordered:
+        best = float("inf")
+        relation: Relation | None = None
+        note = ""
+        for _ in range(max(rounds, 1)):
+            started = time.perf_counter()
+            relation, note = _run_strategy(db, flock, strategy)
+            best = min(best, time.perf_counter() - started)
+        assert relation is not None
+        if reference is None:
+            reference = relation
+        timings.append(
+            StrategyTiming(
+                strategy=strategy,
+                seconds=best,
+                result_size=len(relation),
+                agrees=relation == reference,
+                note=note,
+            )
+        )
+    assert reference is not None
+    return ComparisonReport(flock, reference, tuple(timings))

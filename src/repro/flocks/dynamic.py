@@ -1,0 +1,368 @@
+"""Dynamic selection of filter steps (Section 4.4).
+
+Instead of fixing the FILTER steps in advance, the dynamic strategy
+chooses a join order, then *watches the sizes of intermediate relations*
+and decides after each join whether inserting a FILTER step would pay:
+
+* when a set of parameters appears for the first time (including the
+  single-subgoal leaves), compare the number of tuples per parameter
+  assignment with the support threshold — **low** means many assignments
+  will be eliminated, so filter; **high** means filtering would remove
+  little, so skip;
+* when the same parameter set has been seen before, filter only if the
+  tuples-per-assignment ratio dropped significantly since the last
+  filter opportunity for that set;
+* the root must always be filtered — that final FILTER *is* the flock's
+  answer.
+
+A filter step is sound here for the same reason as in the static case:
+the subgoals joined so far form a safe subquery of the flock query (the
+evaluator only offers the decision when the filter's count target is
+bound), so its per-assignment answer set is a superset of the full
+query's and a monotone filter that fails on it fails on the whole flock.
+
+The evaluator returns the flock result, a decision log, and a rendered
+plan in the Fig. 9 style showing which joins and FILTERs actually ran.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import FilterError, PlanError
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.safety import assert_safe
+from ..relational.catalog import Database
+from ..relational.evaluate import (
+    atom_binding_relation,
+    greedy_join_order,
+    term_column,
+)
+from ..relational.operators import natural_join, semi_join
+from ..relational.relation import Relation
+from .filters import STAR, iter_conditions, surviving_assignments
+from .flock import QueryFlock
+from .result import FlockResult
+
+
+@dataclass(frozen=True)
+class DynamicDecision:
+    """One filter/don't-filter decision at a node of the join tree."""
+
+    node: str
+    parameter_columns: tuple[str, ...]
+    tuples_per_assignment: float
+    filtered: bool
+    reason: str
+    size_before: int
+    size_after: int
+
+    def __str__(self) -> str:
+        verdict = "FILTER" if self.filtered else "skip"
+        params = ",".join(self.parameter_columns) or "-"
+        return (
+            f"{verdict:6s} at {self.node} [params {params}] "
+            f"ratio={self.tuples_per_assignment:.2f} "
+            f"{self.size_before} -> {self.size_after} tuples ({self.reason})"
+        )
+
+
+@dataclass
+class DynamicTrace:
+    """The full decision log plus the executed step list (Fig. 9 form)."""
+
+    decisions: list[DynamicDecision] = field(default_factory=list)
+    plan_lines: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def filters_applied(self) -> int:
+        return sum(1 for d in self.decisions if d.filtered)
+
+    def render_plan(self) -> str:
+        return "\n".join(self.plan_lines)
+
+    def __str__(self) -> str:
+        return "\n".join(str(d) for d in self.decisions)
+
+
+class DynamicEvaluator:
+    """Evaluates a single-rule flock with size-driven FILTER insertion.
+
+    Args:
+        decision_factor: filter a *new* parameter set when its
+            tuples-per-assignment ratio is below
+            ``decision_factor * threshold`` (the paper wants the ratio
+            "somewhat below" the threshold; 1.0 reproduces the literal
+            comparison with the support level).
+        improvement_factor: filter an *already-seen* parameter set when
+            the ratio fell below ``improvement_factor`` times the best
+            ratio observed for that set.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        flock: QueryFlock,
+        decision_factor: float = 1.0,
+        improvement_factor: float = 0.5,
+    ):
+        if flock.is_union:
+            raise PlanError("dynamic evaluation handles single-rule flocks")
+        if not flock.filter.is_monotone:
+            raise FilterError(
+                f"dynamic filtering needs a monotone filter, got {flock.filter}"
+            )
+        self.db = db
+        self.flock = flock
+        self.rule: ConjunctiveQuery = flock.rules[0]
+        assert_safe(self.rule)
+        self.decision_factor = decision_factor
+        self.improvement_factor = improvement_factor
+        self._param_cols = set(flock.parameter_columns)
+        self._conditions = iter_conditions(flock.filter)
+        self._decision_threshold = self._pick_decision_threshold()
+
+    def _pick_decision_threshold(self) -> float:
+        """The threshold the tuples-per-assignment ratio compares with:
+        the support (COUNT lower-bound) conjunct when present, else the
+        first conjunct's threshold."""
+        for condition in self._conditions:
+            if condition.is_support_condition:
+                return float(condition.threshold)
+        return float(self._conditions[0].threshold)
+
+    def _condition_targets(self, relation: Relation):
+        """Per-condition target columns within ``relation``, or None
+        when some condition's target is not yet bound."""
+        head_cols = [str(t) for t in self.rule.head_terms]
+        resolved: dict = {}
+        for condition in self._conditions:
+            if condition.target == STAR:
+                targets = head_cols
+            else:
+                targets = [condition.target]
+            if not all(c in relation.columns for c in targets):
+                return None
+            resolved[condition] = targets
+        return resolved
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        join_order: list[int] | None = None,
+        order_strategy: str = "greedy",
+    ) -> FlockResult:
+        """Run the dynamic strategy; returns result + :class:`DynamicTrace`
+        (exposed as ``result.trace`` is the static type, so the dynamic
+        trace is returned via :attr:`last_trace`).
+
+        ``order_strategy`` selects the join order when ``join_order`` is
+        not given: ``"greedy"`` (default) or ``"selinger"`` (the [G*79]
+        DP orderer — the paper: "Any of a number of models and
+        approaches to selecting this join order may be used, our idea is
+        independent of how the join order is actually chosen").
+        """
+        started = time.perf_counter()
+        trace = DynamicTrace()
+        positives = self.rule.positive_atoms()
+        if join_order is not None:
+            order = join_order
+        elif order_strategy == "selinger":
+            from ..relational.joinorder import selinger_join_order
+
+            order = selinger_join_order(self.db, positives)
+        else:
+            order = greedy_join_order(self.db, positives)
+        pending_comparisons = list(self.rule.comparisons())
+        pending_negations = list(self.rule.negated_atoms())
+        best_ratio_per_set: dict[frozenset[str], float] = {}
+
+        current: Relation | None = None
+        temp_counter = 0
+        for position, idx in enumerate(order):
+            atom = positives[idx]
+            leaf = atom_binding_relation(self.db, atom)
+            leaf_name = str(atom)
+            # Leaf-level decision (the Fig. 8 leaves: okS on exhibits).
+            leaf = self._maybe_filter(
+                leaf, leaf_name, trace, best_ratio_per_set, force=False
+            )
+            if current is None:
+                current = leaf
+            else:
+                current = natural_join(current, leaf, name=f"temp{temp_counter}")
+                temp_counter += 1
+                trace.plan_lines.append(
+                    f"{current.name}({', '.join(current.columns)}) := JOIN with "
+                    f"{leaf_name}"
+                )
+            current = self._apply_pending(
+                current, pending_comparisons, pending_negations
+            )
+            is_root = position == len(order) - 1
+            if not is_root and current.name.startswith("temp"):
+                current = self._maybe_filter(
+                    current,
+                    current.name,
+                    trace,
+                    best_ratio_per_set,
+                    force=False,
+                )
+
+        if current is None:
+            raise PlanError("flock query has no positive subgoals")
+        if pending_comparisons or pending_negations:
+            raise PlanError("unbound subgoals remain after all joins")
+
+        # The root: "We must filter at the root, simply because that
+        # filtering is necessary to find the answer to the query flock."
+        result = self._final_filter(current, trace)
+        trace.seconds = time.perf_counter() - started
+        self.last_trace = trace
+        return FlockResult(result)
+
+    # ------------------------------------------------------------------
+
+    def _apply_pending(self, current, comparisons, negations):
+        cols = set(current.columns)
+        progress = True
+        while progress:
+            progress = False
+            for comp in list(comparisons):
+                if all(term_column(t) in cols for t in comp.bindable_terms()):
+                    current = current.select(
+                        lambda row, comp=comp: comp.evaluate(
+                            {t: row[term_column(t)] for t in comp.bindable_terms()}
+                        )
+                    )
+                    comparisons.remove(comp)
+                    progress = True
+            for neg in list(negations):
+                if all(term_column(t) in cols for t in neg.bindable_terms()):
+                    from ..relational.operators import anti_join
+
+                    neg_rel = atom_binding_relation(
+                        self.db, neg.with_positive_polarity()
+                    )
+                    current = anti_join(current, neg_rel, name=current.name)
+                    negations.remove(neg)
+                    progress = True
+        return current
+
+    def _maybe_filter(
+        self,
+        relation: Relation,
+        node: str,
+        trace: DynamicTrace,
+        best_ratio_per_set: dict[frozenset[str], float],
+        force: bool,
+    ) -> Relation:
+        params = tuple(c for c in relation.columns if c in self._param_cols)
+        targets = self._condition_targets(relation)
+        if not params or targets is None:
+            return relation
+
+        assignments = len(relation.project(list(params)))
+        ratio = len(relation) / assignments if assignments else 0.0
+        key = frozenset(params)
+        threshold = self._decision_threshold
+
+        seen_before = key in best_ratio_per_set
+        if not seen_before:
+            should = force or ratio < threshold * self.decision_factor
+            reason = (
+                f"new parameter set; ratio {ratio:.2f} "
+                f"{'<' if should else '>='} {threshold * self.decision_factor:.2f}"
+            )
+        else:
+            previous = best_ratio_per_set[key]
+            should = force or ratio < previous * self.improvement_factor
+            reason = (
+                f"seen before (best ratio {previous:.2f}); ratio {ratio:.2f} "
+                f"{'dropped enough' if should else 'not significantly lower'}"
+            )
+        best_ratio_per_set[key] = min(ratio, best_ratio_per_set.get(key, ratio))
+
+        if not should:
+            trace.decisions.append(
+                DynamicDecision(node, params, ratio, False, reason,
+                                len(relation), len(relation))
+            )
+            return relation
+
+        filtered = self._filter_relation(relation, params, targets)
+        trace.decisions.append(
+            DynamicDecision(node, params, ratio, True, reason,
+                            len(relation), len(filtered))
+        )
+        trace.plan_lines.append(
+            f"{node} := FILTER(({', '.join(params)}), "
+            f"{self.flock.filter})"
+        )
+        return filtered
+
+    def _filter_relation(
+        self,
+        relation: Relation,
+        params: tuple[str, ...],
+        targets: dict,
+    ) -> Relation:
+        """Group by ``params``, apply the flock filter (all conjuncts),
+        keep surviving rows."""
+        ok = surviving_assignments(
+            relation,
+            list(params),
+            self.flock.filter,
+            lambda condition: targets[condition],
+            name="ok",
+        )
+        return semi_join(relation, ok, name=relation.name)
+
+    def _final_filter(self, current: Relation, trace: DynamicTrace) -> Relation:
+        params = list(self.flock.parameter_columns)
+        targets = self._condition_targets(current)
+        if targets is None:
+            raise PlanError(
+                "filter target column never became bound; cannot finish"
+            )
+        result = surviving_assignments(
+            current,
+            params,
+            self.flock.filter,
+            lambda condition: targets[condition],
+            name="flock",
+        )
+        trace.plan_lines.append(
+            f"flock({', '.join(params)}) := FILTER(({', '.join(params)}), "
+            f"{self.flock.filter})"
+        )
+        trace.decisions.append(
+            DynamicDecision(
+                "root",
+                tuple(params),
+                0.0,
+                True,
+                "root filter is the flock answer",
+                len(current),
+                len(result),
+            )
+        )
+        return result
+
+
+def evaluate_flock_dynamic(
+    db: Database,
+    flock: QueryFlock,
+    decision_factor: float = 1.0,
+    improvement_factor: float = 0.5,
+    join_order: list[int] | None = None,
+) -> tuple[FlockResult, DynamicTrace]:
+    """One-call dynamic evaluation; returns (result, trace)."""
+    evaluator = DynamicEvaluator(
+        db, flock, decision_factor=decision_factor,
+        improvement_factor=improvement_factor,
+    )
+    result = evaluator.evaluate(join_order=join_order)
+    return result, evaluator.last_trace

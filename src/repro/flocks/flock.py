@@ -1,0 +1,149 @@
+"""The query-flock model (Section 2).
+
+A :class:`QueryFlock` is the paper's four-part specification:
+
+1. data predicates (implicit: whatever relations the query references);
+2. a set of parameters (the ``$``-terms of the query);
+3. a parametrized query (an extended CQ or a union of them);
+4. a filter on the query result.
+
+"Remember: a query flock is a query about its parameters."  The result
+of a flock is a relation over the parameters — one tuple per acceptable
+assignment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import FilterError, ParseError
+from ..datalog.parser import parse_query
+from ..datalog.query import ConjunctiveQuery, FlockQuery, UnionQuery, as_union
+from ..datalog.safety import assert_safe
+from ..datalog.terms import Parameter
+from .filters import AnyFilter, FilterCondition, iter_conditions, parse_filter
+
+
+@dataclass(frozen=True)
+class QueryFlock:
+    """A parametrized query plus a filter — the unit of mining.
+
+    Construction validates that the query is safe and that the filter
+    refers to the query's head predicate.  The parameter tuple is
+    ordered by name for a deterministic result schema.  The filter may
+    be a single :class:`FilterCondition` or a
+    :class:`~repro.flocks.filters.CompositeFilter` conjunction.
+    """
+
+    query: FlockQuery
+    filter: AnyFilter
+
+    def __post_init__(self) -> None:
+        assert_safe(self.query)
+        head = as_union(self.query).head_name
+        if self.filter.relation_name != head:
+            raise FilterError(
+                f"filter refers to {self.filter.relation_name!r} but the "
+                f"query head is {head!r}"
+            )
+        from ..relational.aggregates import AggregateFunction
+
+        for condition in iter_conditions(self.filter):
+            if (
+                isinstance(self.query, ConjunctiveQuery)
+                and condition.target != "*"
+            ):
+                head_columns = {str(t) for t in self.query.head_terms}
+                if condition.target not in head_columns:
+                    raise FilterError(
+                        f"filter target {condition.target!r} is not a head "
+                        f"term of the query (head terms: "
+                        f"{sorted(head_columns)})"
+                    )
+            if isinstance(self.query, UnionQuery) and condition.target != "*":
+                # Union branches may use different head variable names
+                # (Fig. 4 counts answers that are anchor IDs or document
+                # IDs), so a named target is ambiguous; the paper uses
+                # COUNT(answer(*)) there.
+                raise FilterError(
+                    "union flocks require a '*' filter target, e.g. "
+                    "COUNT(answer(*)) >= t"
+                )
+            if (
+                condition.aggregate is AggregateFunction.COUNT
+                and condition.passes(0)
+            ):
+                # A filter satisfied by an empty answer would make every
+                # assignment in the (unbounded) parameter domain
+                # acceptable; the paper's support filters always demand
+                # at least one witness tuple.
+                raise FilterError(
+                    f"filter {condition} accepts an empty answer relation; "
+                    "the flock result would be the entire parameter domain"
+                )
+        for rule in as_union(self.query).rules:
+            missing = as_union(self.query).parameters() - rule.parameters()
+            if missing:
+                names = ", ".join(sorted(str(p) for p in missing))
+                raise FilterError(
+                    f"rule '{rule}' does not mention parameter(s) {names}; "
+                    "every rule of a flock must bind every parameter"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The flock's parameters, sorted by name (the result schema)."""
+        return tuple(
+            sorted(as_union(self.query).parameters(), key=lambda p: p.name)
+        )
+
+    @property
+    def parameter_columns(self) -> tuple[str, ...]:
+        """Result column names: the rendered parameters (``$1``, ``$s``)."""
+        return tuple(str(p) for p in self.parameters)
+
+    @property
+    def is_union(self) -> bool:
+        return isinstance(self.query, UnionQuery)
+
+    @property
+    def rules(self) -> tuple[ConjunctiveQuery, ...]:
+        return as_union(self.query).rules
+
+    def predicates(self) -> frozenset[str]:
+        """The data relations the flock reads."""
+        return as_union(self.query).predicates()
+
+    def __str__(self) -> str:
+        return f"QUERY:\n{self.query}\n\nFILTER:\n{self.filter}"
+
+
+_SECTION_RE = re.compile(
+    r"QUERY\s*:\s*(?P<query>.*?)\s*FILTER\s*:\s*(?P<filter>.*?)\s*$",
+    re.DOTALL | re.IGNORECASE,
+)
+
+
+def parse_flock(text: str, assume_nonnegative: bool = True) -> QueryFlock:
+    """Parse the paper's two-section flock notation (Figs. 2, 3, 4, 10)::
+
+        QUERY:
+        answer(B) :- baskets(B,$1) AND baskets(B,$2)
+
+        FILTER:
+        COUNT(answer.B) >= 20
+    """
+    match = _SECTION_RE.search(text)
+    if match is None:
+        raise ParseError(
+            "flock text must contain 'QUERY:' and 'FILTER:' sections",
+            text=text,
+        )
+    query = parse_query(match.group("query"))
+    condition = parse_filter(
+        match.group("filter"), assume_nonnegative=assume_nonnegative
+    )
+    return QueryFlock(query, condition)

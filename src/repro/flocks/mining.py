@@ -1,0 +1,126 @@
+"""The one-call mining front door.
+
+:func:`mine` wraps the full pipeline a downstream user wants by
+default: lint the flock, pick an evaluation strategy appropriate to its
+shape, execute, and return the result together with a human-readable
+report of what was done.
+
+Strategy selection (``strategy="auto"``):
+
+* non-monotone filter → naive evaluation (nothing else is sound);
+* union flock → the Section 3.4 union optimizer;
+* single-rule monotone flock → the dynamic evaluator (Section 4.4),
+  which needs no cost model and adapts to the data's statistics.
+
+Explicit strategies: ``"naive"``, ``"optimized"`` (static plan search),
+``"stats"`` (static search with Section 4.4 statistics gathering),
+``"dynamic"``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import FilterError
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+from .dynamic import evaluate_flock_dynamic
+from .executor import execute_plan
+from .flock import QueryFlock
+from .lint import LintWarning, lint_flock
+from .naive import evaluate_flock
+from .optimizer import FlockOptimizer, optimize_union
+from .result import FlockResult
+
+
+STRATEGIES = ("auto", "naive", "optimized", "stats", "dynamic")
+
+
+@dataclass(frozen=True)
+class MiningReport:
+    """Everything :func:`mine` did, for logging and debugging."""
+
+    strategy_requested: str
+    strategy_used: str
+    seconds: float
+    warnings: tuple[LintWarning, ...]
+    plan_text: str | None = None
+    decision_text: str | None = None
+
+    def __str__(self) -> str:
+        lines = [
+            f"strategy: {self.strategy_used} "
+            f"(requested {self.strategy_requested}), "
+            f"{self.seconds * 1e3:.1f} ms"
+        ]
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        if self.plan_text:
+            lines.append("plan:")
+            lines.append(self.plan_text)
+        if self.decision_text:
+            lines.append("decisions:")
+            lines.append(self.decision_text)
+        return "\n".join(lines)
+
+
+def _choose_strategy(flock: QueryFlock) -> str:
+    if not flock.filter.is_monotone:
+        return "naive"
+    if flock.is_union:
+        return "optimized"
+    return "dynamic"
+
+
+def mine(
+    db: Database,
+    flock: QueryFlock,
+    strategy: str = "auto",
+    lint: bool = True,
+) -> tuple[Relation, MiningReport]:
+    """Evaluate a flock end to end; returns (result relation, report).
+
+    Raises :class:`FilterError` for an unknown strategy, or when a
+    pruning strategy is requested for a non-monotone filter.
+    """
+    if strategy not in STRATEGIES:
+        raise FilterError(
+            f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
+        )
+    warnings = tuple(lint_flock(flock)) if lint else ()
+    used = _choose_strategy(flock) if strategy == "auto" else strategy
+
+    plan_text: str | None = None
+    decision_text: str | None = None
+    started = time.perf_counter()
+
+    if used == "naive":
+        relation = evaluate_flock(db, flock)
+    elif used == "dynamic":
+        result, trace = evaluate_flock_dynamic(db, flock)
+        relation = result.relation
+        decision_text = str(trace)
+    elif used in ("optimized", "stats"):
+        if flock.is_union:
+            plan = optimize_union(db, flock)
+        else:
+            optimizer = FlockOptimizer(
+                db, flock, gather_statistics=(used == "stats")
+            )
+            plan = optimizer.best_plan().plan
+        plan_text = plan.render(flock)
+        relation = execute_plan(db, flock, plan, validate=False).relation
+    else:  # pragma: no cover - STRATEGIES guard above
+        raise AssertionError(used)
+
+    seconds = time.perf_counter() - started
+    report = MiningReport(
+        strategy_requested=strategy,
+        strategy_used=used,
+        seconds=seconds,
+        warnings=warnings,
+        plan_text=plan_text,
+        decision_text=decision_text,
+    )
+    return relation, report

@@ -1,0 +1,160 @@
+"""Reference evaluators for query flocks.
+
+Two independent implementations of the Section 2 semantics:
+
+* :func:`evaluate_flock` — the "SQL way" (the paper's Fig. 1): compute
+  the full parametrized query once with the parameters as output
+  columns, GROUP BY the parameters, apply the filter as a HAVING
+  condition.  This is the *baseline* every optimized plan must match —
+  and the thing the a-priori plans beat.
+
+* :func:`evaluate_flock_bruteforce` — the literal generate-and-test
+  semantics: enumerate every active-domain assignment of the
+  parameters, instantiate the query, evaluate it, test the filter.
+  Exponentially slower; exists purely as a differential oracle for the
+  test suite ("in principle, trying all such assignments in the query").
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..errors import EvaluationError
+from ..datalog.query import ConjunctiveQuery, as_union
+from ..datalog.terms import Parameter, Term
+from ..relational.aggregates import AggregateFunction
+from ..relational.catalog import Database
+from ..relational.evaluate import evaluate_conjunctive, term_column
+from ..relational.relation import Relation
+from .filters import STAR, iter_conditions, surviving_assignments
+from .flock import QueryFlock
+
+
+def flock_answer_relation(db: Database, flock: QueryFlock) -> Relation:
+    """The ungrouped answer relation: parameter columns + head columns.
+
+    For a single-rule flock the head columns keep their variable names;
+    for a union the branches are aligned positionally under ``_h0..``
+    (branch head variables differ, per Fig. 4).
+    """
+    params = list(flock.parameters)
+    union = as_union(flock.query)
+    if not flock.is_union:
+        rule = union.rules[0]
+        output: list[Term] = list(params) + list(rule.head_terms)
+        return evaluate_conjunctive(db, rule, output_terms=output)
+
+    width = union.head_arity
+    head_cols = tuple(f"_h{i}" for i in range(width))
+    columns = tuple(str(p) for p in params) + head_cols
+    rows: set[tuple] = set()
+    for rule in union.rules:
+        output = list(params) + list(rule.head_terms)
+        branch = evaluate_conjunctive(db, rule, output_terms=output)
+        rows |= branch.tuples
+    return Relation(union.head_name, columns, rows)
+
+
+def _target_resolver(flock: QueryFlock, answer: Relation):
+    """Map one filter condition to the answer columns it aggregates."""
+    param_cols = set(flock.parameter_columns)
+    head_cols = [c for c in answer.columns if c not in param_cols]
+
+    def resolve(condition) -> list[str]:
+        if condition.target == STAR:
+            return head_cols
+        return [condition.target]
+
+    return resolve
+
+
+def evaluate_flock(db: Database, flock: QueryFlock) -> Relation:
+    """Group-by evaluation: the flock result as a relation over its
+    parameter columns (sorted by parameter name).  Composite filters
+    intersect the per-conjunct survivor sets."""
+    answer = flock_answer_relation(db, flock)
+    return surviving_assignments(
+        answer,
+        list(flock.parameter_columns),
+        flock.filter,
+        _target_resolver(flock, answer),
+        name="flock",
+    )
+
+
+def parameter_domains(db: Database, flock: QueryFlock) -> dict[Parameter, set]:
+    """The active domain of each parameter: all values appearing at a
+    position where the parameter occurs in some positive subgoal.
+
+    This is the candidate space the brute-force evaluator enumerates.
+    Any acceptable assignment must draw from these sets — a value never
+    co-occurring with the parameter's positions yields an empty answer,
+    which no admissible filter accepts (flock construction refuses
+    filters that pass on empty answers).
+    """
+    domains: dict[Parameter, set] = {p: set() for p in flock.parameters}
+    for rule in flock.rules:
+        for sg in rule.positive_atoms():
+            base = db.get(sg.predicate)
+            for position, term in enumerate(sg.terms):
+                if isinstance(term, Parameter):
+                    values = {row[position] for row in base.tuples}
+                    domains[term] |= values
+    return domains
+
+
+def evaluate_flock_bruteforce(db: Database, flock: QueryFlock) -> Relation:
+    """The literal Section 2 semantics; exponential, test-oracle only."""
+    params = list(flock.parameters)
+    domains = parameter_domains(db, flock)
+    candidate_lists = [sorted(domains[p], key=repr) for p in params]
+
+    union = as_union(flock.query)
+    rows: set[tuple] = set()
+    for values in product(*candidate_lists):
+        assignment = dict(zip(params, values))
+        instantiated = union.instantiate(assignment)
+        width = instantiated.head_arity
+        head_cols = tuple(f"_h{i}" for i in range(width))
+        answer_rows: set[tuple] = set()
+        for rule in instantiated.rules:
+            branch = evaluate_conjunctive(
+                db, rule, output_terms=list(rule.head_terms)
+            )
+            answer_rows |= branch.tuples
+        answer = Relation("answer", head_cols, answer_rows)
+        if _test_filter_on_answer(flock, answer):
+            rows.add(tuple(values))
+    return Relation("flock", flock.parameter_columns, rows)
+
+
+def _test_filter_on_answer(flock: QueryFlock, answer: Relation) -> bool:
+    """Apply the flock's filter to one instantiated answer relation,
+    resolving a named target to the positional column for unions.  For
+    composite filters every conjunct must pass."""
+    return all(
+        _test_single_condition(flock, condition, answer)
+        for condition in iter_conditions(flock.filter)
+    )
+
+
+def _test_single_condition(
+    flock: QueryFlock, condition, answer: Relation
+) -> bool:
+    if condition.target == STAR:
+        return condition.test_relation(answer)
+    # Single-rule flock: the answer columns are the head variables but
+    # evaluate_conjunctive named them after the terms; map by position.
+    rule = flock.rules[0]
+    head_names = [str(t) for t in rule.head_terms]
+    if condition.target not in head_names:
+        raise EvaluationError(
+            f"filter target {condition.target!r} not among head terms"
+        )
+    position = head_names.index(condition.target)
+    projected = answer.project([answer.columns[position]])
+    if condition.aggregate is AggregateFunction.COUNT:
+        return condition.passes(len(projected))
+    return condition.test_relation(
+        answer.rename({answer.columns[position]: condition.target})
+    )

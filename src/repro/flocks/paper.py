@@ -1,0 +1,150 @@
+"""The paper's figures as ready-made library objects.
+
+Each function returns the flock (or plan) exactly as the corresponding
+figure writes it, with the support threshold as a parameter (the paper
+uses 20 throughout "as an example of a lower bound on support").
+Useful for documentation, tests, and benchmarks — and as executable
+citations: ``fig3_flock()`` *is* Figure 3.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import atom, comparison, negated
+from ..datalog.query import ConjunctiveQuery, UnionQuery, rule
+from ..datalog.subqueries import SubqueryCandidate
+from .filters import support_filter
+from .flock import QueryFlock
+from .plans import QueryPlan, chained_plan, plan_from_subqueries
+
+
+def fig2_flock(support: int = 20, ordered: bool = False) -> QueryFlock:
+    """Fig. 2: pairs of items appearing together in >= ``support``
+    baskets.  ``ordered=True`` adds the Section 2.3 tie-break
+    ``$1 < $2``."""
+    body = [atom("baskets", "B", "$1"), atom("baskets", "B", "$2")]
+    if ordered:
+        body.append(comparison("$1", "<", "$2"))
+    return QueryFlock(
+        rule("answer", ["B"], body), support_filter(support, target="B")
+    )
+
+
+def fig3_flock(support: int = 20) -> QueryFlock:
+    """Fig. 3 / Example 2.2: unexplained side-effects."""
+    query = rule(
+        "answer",
+        ["P"],
+        [
+            atom("exhibits", "P", "$s"),
+            atom("treatments", "P", "$m"),
+            atom("diagnoses", "P", "D"),
+            negated("causes", "D", "$s"),
+        ],
+    )
+    return QueryFlock(query, support_filter(support, target="P"))
+
+
+def fig4_flock(support: int = 20) -> QueryFlock:
+    """Fig. 4 / Example 2.3: strongly connected words (3-rule union)."""
+    r1 = rule(
+        "answer",
+        ["D"],
+        [
+            atom("inTitle", "D", "$1"),
+            atom("inTitle", "D", "$2"),
+            comparison("$1", "<", "$2"),
+        ],
+    )
+    r2 = rule(
+        "answer",
+        ["A"],
+        [
+            atom("link", "A", "D1", "D2"),
+            atom("inAnchor", "A", "$1"),
+            atom("inTitle", "D2", "$2"),
+            comparison("$1", "<", "$2"),
+        ],
+    )
+    r3 = rule(
+        "answer",
+        ["A"],
+        [
+            atom("link", "A", "D1", "D2"),
+            atom("inAnchor", "A", "$2"),
+            atom("inTitle", "D2", "$1"),
+            comparison("$1", "<", "$2"),
+        ],
+    )
+    return QueryFlock(UnionQuery((r1, r2, r3)), support_filter(support))
+
+
+def fig5_plan(flock: QueryFlock | None = None, support: int = 20) -> QueryPlan:
+    """Fig. 5 / Example 4.1: the okS / okM / final medical plan."""
+    flock = flock or fig3_flock(support)
+    medical_rule = flock.rules[0]
+    return plan_from_subqueries(
+        flock,
+        [
+            ("okS", SubqueryCandidate((0,), medical_rule.with_body_subset([0]))),
+            ("okM", SubqueryCandidate((1,), medical_rule.with_body_subset([1]))),
+        ],
+    )
+
+
+def fig6_query(n: int) -> ConjunctiveQuery:
+    """Fig. 6 / Example 4.3: ``answer(X) :- arc($1,X) AND arc(X,Y1) AND
+    ... AND arc(Y[n-1],Yn)`` — nodes $1 with many successors from which
+    an n-hop path extends."""
+    if n < 0:
+        raise ValueError("path length must be non-negative")
+    body = [atom("arc", "$1", "X")]
+    previous = "X"
+    for i in range(1, n + 1):
+        nxt = f"Y{i}"
+        body.append(atom("arc", previous, nxt))
+        previous = nxt
+    return rule("answer", ["X"], body)
+
+
+def fig6_flock(n: int, support: int = 20) -> QueryFlock:
+    """The Fig. 6 path query wrapped as a flock with the usual support
+    filter on the successor count."""
+    return QueryFlock(fig6_query(n), support_filter(support, target="X"))
+
+
+def fig7_plan(flock: QueryFlock) -> QueryPlan:
+    """Fig. 7: the (n+1)-step chained plan for a Fig. 6 flock —
+    ``ok0`` from the first subgoal, each level adding one arc and the
+    previous level's ok relation."""
+    query = flock.rules[0]
+    chain = [
+        (
+            f"ok{level - 1}",
+            SubqueryCandidate(
+                tuple(range(level)), query.with_body_subset(range(level))
+            ),
+        )
+        for level in range(1, len(query.body) + 1)
+    ]
+    return chained_plan(flock, chain)
+
+
+def fig10_flock(threshold: int = 20) -> QueryFlock:
+    """Fig. 10 / Section 5: the weighted-basket monotone SUM flock."""
+    query = rule(
+        "answer",
+        ["B", "W"],
+        [
+            atom("baskets", "B", "$1"),
+            atom("baskets", "B", "$2"),
+            atom("importance", "B", "W"),
+        ],
+    )
+    from .filters import FilterCondition
+    from ..datalog.atoms import ComparisonOp
+    from ..relational.aggregates import AggregateFunction
+
+    condition = FilterCondition(
+        AggregateFunction.SUM, "answer", "W", ComparisonOp.GE, threshold
+    )
+    return QueryFlock(query, condition)

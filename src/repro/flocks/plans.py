@@ -1,0 +1,344 @@
+"""Query plans: sequences of FILTER steps (Sections 4.1–4.2).
+
+The paper's plan notation is::
+
+    R(P) := FILTER(P, Q, C)
+
+— create relation R holding every assignment of the parameters P for
+which the result of query Q satisfies condition C.  A plan is a sequence
+of such steps; later steps may use the relations earlier steps defined
+as extra subgoals.
+
+:func:`validate_plan` enforces the paper's **Rule for Generating Query
+Plans for Conjunctive Query Flocks with Support-Type Filter Conditions**
+(Section 4.2):
+
+1. every step uses the same filter condition as the original flock
+   (structural here: steps carry no filter of their own — the executor
+   applies the flock's);
+2. every step defines a uniquely named relation;
+3. every step is the original query, plus zero or more subgoals copied
+   literally from the left sides of previous steps, minus zero or more
+   original subgoals — and the result must be safe;
+4. the final step deletes no original subgoal.
+
+Union flocks extend the rule branch-wise per Section 3.4: a step over a
+union is a union of per-branch derivations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import FilterError, PlanError
+from ..datalog.atoms import RelationalAtom, Subgoal
+from ..datalog.query import ConjunctiveQuery, FlockQuery, UnionQuery, as_union
+from ..datalog.safety import check_safety
+from ..datalog.subqueries import SubqueryCandidate, UnionSubqueryCandidate
+from ..datalog.terms import Parameter
+from .flock import QueryFlock
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    """One plan step: ``result_name(parameters) := FILTER(parameters,
+    query, <flock filter>)``."""
+
+    result_name: str
+    parameters: tuple[Parameter, ...]
+    query: FlockQuery
+
+    def __post_init__(self) -> None:
+        if not self.result_name:
+            raise PlanError("a filter step needs a result relation name")
+        declared = frozenset(self.parameters)
+        actual = as_union(self.query).parameters()
+        if declared != actual:
+            raise PlanError(
+                f"step {self.result_name}: declared parameters "
+                f"{sorted(str(p) for p in declared)} != parameters of the "
+                f"query {sorted(str(p) for p in actual)}"
+            )
+
+    @property
+    def ok_atom(self) -> RelationalAtom:
+        """The subgoal later steps splice in — the left side of the
+        assignment, copied literally (Section 4.2, Example 4.2)."""
+        return RelationalAtom(self.result_name, tuple(self.parameters))
+
+    @property
+    def parameter_columns(self) -> tuple[str, ...]:
+        return tuple(str(p) for p in self.parameters)
+
+    def render(self, filter_text: str) -> str:
+        params = ", ".join(str(p) for p in self.parameters)
+        if len(self.parameters) > 1:
+            params = f"({params})"
+        query_text = "\n    ".join(str(self.query).splitlines())
+        return (
+            f"{self.result_name}({', '.join(str(p) for p in self.parameters)})"
+            f" := FILTER({params},\n    {query_text},\n    {filter_text}\n)"
+        )
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An ordered sequence of FILTER steps; the last step's result is the
+    flock result."""
+
+    steps: tuple[FilterStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise PlanError("a plan needs at least one step")
+
+    @property
+    def final_step(self) -> FilterStep:
+        return self.steps[-1]
+
+    @property
+    def prefilter_steps(self) -> tuple[FilterStep, ...]:
+        return self.steps[:-1]
+
+    def step_names(self) -> list[str]:
+        return [s.result_name for s in self.steps]
+
+    def render(self, flock: QueryFlock) -> str:
+        """The Fig. 5 textual form of the plan."""
+        filter_text = str(flock.filter)
+        return ";\n".join(s.render(filter_text) for s in self.steps) + ";"
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+# ----------------------------------------------------------------------
+# Legality (Section 4.2)
+# ----------------------------------------------------------------------
+
+
+def _split_step_body(
+    body: Sequence[Subgoal], prior_names: dict[str, FilterStep]
+) -> tuple[list[Subgoal], list[RelationalAtom]]:
+    """Partition a step body into original-query subgoals and ok-atoms
+    referencing prior steps.  Raises if an ok-atom is not copied
+    literally."""
+    original: list[Subgoal] = []
+    ok_atoms: list[RelationalAtom] = []
+    for sg in body:
+        if isinstance(sg, RelationalAtom) and sg.predicate in prior_names:
+            prior = prior_names[sg.predicate]
+            if sg.negated:
+                raise PlanError(
+                    f"ok-relation {sg.predicate} may not be negated"
+                )
+            if sg.terms != tuple(prior.parameters):
+                raise PlanError(
+                    f"subgoal {sg} must copy the left side "
+                    f"{prior.result_name}({', '.join(map(str, prior.parameters))}) "
+                    "literally (same relation name, same parameters)"
+                )
+            ok_atoms.append(sg)
+        else:
+            original.append(sg)
+    return original, ok_atoms
+
+
+def _check_rule_derivation(
+    step_name: str,
+    step_rule: ConjunctiveQuery,
+    flock_rule: ConjunctiveQuery,
+    prior_names: dict[str, FilterStep],
+    require_all_subgoals: bool,
+) -> None:
+    """Check Section 4.2 rule 3 for one branch of a step."""
+    if step_rule.head_name != flock_rule.head_name or (
+        step_rule.head_terms != flock_rule.head_terms
+    ):
+        raise PlanError(
+            f"step {step_name}: head must stay "
+            f"{flock_rule.head_name}({', '.join(map(str, flock_rule.head_terms))})"
+        )
+    original, _ok = _split_step_body(step_rule.body, prior_names)
+    remaining = list(flock_rule.body)
+    for sg in original:
+        try:
+            remaining.remove(sg)
+        except ValueError:
+            raise PlanError(
+                f"step {step_name}: subgoal {sg} is neither an original "
+                "subgoal of the flock query nor the left side of a prior step"
+            ) from None
+    if require_all_subgoals and remaining:
+        raise PlanError(
+            f"final step {step_name} deletes original subgoal(s): "
+            f"{'; '.join(str(s) for s in remaining)}"
+        )
+    report = check_safety(step_rule)
+    if not report.is_safe:
+        raise PlanError(
+            f"step {step_name} is unsafe: "
+            + "; ".join(str(v) for v in report.violations)
+        )
+
+
+def validate_plan(flock: QueryFlock, plan: QueryPlan) -> None:
+    """Enforce the Section 4.2 legality rule; raise :class:`PlanError`
+    on any violation.
+
+    Also checks the precondition the rule is stated for: the flock's
+    filter must be monotone (support-type conditions are; Section 5
+    extends to other monotone filters).  A non-monotone filter would
+    make pre-filter steps unsound.
+    """
+    if len(plan.prefilter_steps) > 0 and not flock.filter.is_monotone:
+        raise FilterError(
+            f"filter {flock.filter} is not monotone; a-priori pre-filter "
+            "steps would be unsound (Section 5)"
+        )
+
+    seen: dict[str, FilterStep] = {}
+    base_predicates = flock.predicates()
+    flock_rules = flock.rules
+
+    for index, step in enumerate(plan.steps):
+        if step.result_name in seen:
+            raise PlanError(
+                f"step relation {step.result_name!r} defined twice (rule 2)"
+            )
+        if step.result_name in base_predicates:
+            raise PlanError(
+                f"step relation {step.result_name!r} shadows a base relation"
+            )
+        is_final = index == len(plan.steps) - 1
+        step_rules = as_union(step.query).rules
+        if len(step_rules) == 1 and not flock.is_union:
+            _check_rule_derivation(
+                step.result_name, step_rules[0], flock_rules[0], seen, is_final
+            )
+        elif flock.is_union:
+            if len(step_rules) != len(flock_rules):
+                raise PlanError(
+                    f"step {step.result_name}: a union-flock step must have "
+                    f"one branch per flock rule ({len(flock_rules)}), got "
+                    f"{len(step_rules)}"
+                )
+            for step_rule, flock_rule in zip(step_rules, flock_rules):
+                _check_rule_derivation(
+                    step.result_name, step_rule, flock_rule, seen, is_final
+                )
+        else:
+            raise PlanError(
+                f"step {step.result_name}: union step over a single-rule flock"
+            )
+        seen[step.result_name] = step
+
+    final = plan.final_step
+    if frozenset(final.parameters) != frozenset(flock.parameters):
+        raise PlanError(
+            "the final step must define all flock parameters "
+            f"({', '.join(flock.parameter_columns)}), got "
+            f"({', '.join(final.parameter_columns)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Plan builders
+# ----------------------------------------------------------------------
+
+
+def single_step_plan(flock: QueryFlock, name: str = "ok") -> QueryPlan:
+    """The trivial plan: one FILTER step that is the whole flock —
+    Section 4.2's 'original query flock expressed as a single filter
+    step'.  This is the naive baseline in plan form."""
+    return QueryPlan(
+        (FilterStep(name, tuple(flock.parameters), flock.query),)
+    )
+
+
+def plan_from_subqueries(
+    flock: QueryFlock,
+    chosen: Sequence[tuple[str, SubqueryCandidate | UnionSubqueryCandidate]],
+    final_name: str = "ok",
+) -> QueryPlan:
+    """Build the Section 4.3 heuristic-1 plan shape (e.g. Fig. 5).
+
+    Each ``(name, candidate)`` pair becomes an independent pre-filter
+    step; the final step is the original query plus every pre-filter's
+    ok-atom.  Per-branch ok-atom placement for unions appends the atom
+    to each branch that mentions all of the step's parameters.
+    """
+    steps: list[FilterStep] = []
+    ok_atoms: list[RelationalAtom] = []
+    for name, candidate in chosen:
+        query: FlockQuery
+        if isinstance(candidate, UnionSubqueryCandidate):
+            query = candidate.query
+            params = tuple(sorted(candidate.parameters, key=lambda p: p.name))
+        else:
+            query = candidate.query
+            params = tuple(sorted(candidate.parameters, key=lambda p: p.name))
+        step = FilterStep(name, params, query)
+        steps.append(step)
+        ok_atoms.append(step.ok_atom)
+
+    if flock.is_union:
+        final_rules = tuple(
+            rule.with_extra_subgoals(ok_atoms) for rule in flock.rules
+        )
+        final_query: FlockQuery = UnionQuery(final_rules)
+    else:
+        final_query = flock.rules[0].with_extra_subgoals(ok_atoms)
+    steps.append(
+        FilterStep(final_name, tuple(flock.parameters), final_query)
+    )
+    plan = QueryPlan(tuple(steps))
+    validate_plan(flock, plan)
+    return plan
+
+
+def chained_plan(
+    flock: QueryFlock,
+    chain: Sequence[tuple[str, SubqueryCandidate]],
+    final_name: str = "ok",
+) -> QueryPlan:
+    """Build the Section 4.3 heuristic-2 plan shape (e.g. Fig. 7).
+
+    Steps form a chain: each step's query gains the ok-atom of the most
+    recent previous step whose parameters are a subset of its own, so
+    each level refines the last (the a-priori level-wise pattern, and
+    the Example 4.3 n+1-step path plan of Fig. 7 — ``ok1`` uses ``ok0``,
+    ``ok2`` uses ``ok1``, ...).  Earlier levels are implied by the most
+    recent one (each ok-relation is a subset of its predecessor), so one
+    atom suffices.
+    """
+    if flock.is_union:
+        raise PlanError("chained plans are defined for single-rule flocks")
+
+    def most_recent_applicable(
+        steps: list[FilterStep], params: frozenset[Parameter]
+    ) -> list[RelationalAtom]:
+        for step in reversed(steps):
+            if frozenset(step.parameters) <= params:
+                return [step.ok_atom]
+        return []
+
+    steps: list[FilterStep] = []
+    for name, candidate in chain:
+        params = frozenset(candidate.parameters)
+        usable = most_recent_applicable(steps, params)
+        query = candidate.query.with_extra_subgoals(usable, prepend=True)
+        steps.append(
+            FilterStep(
+                name,
+                tuple(sorted(candidate.parameters, key=lambda p: p.name)),
+                query,
+            )
+        )
+    final_extra = most_recent_applicable(steps, frozenset(flock.parameters))
+    final_query = flock.rules[0].with_extra_subgoals(final_extra)
+    steps.append(FilterStep(final_name, tuple(flock.parameters), final_query))
+    plan = QueryPlan(tuple(steps))
+    validate_plan(flock, plan)
+    return plan

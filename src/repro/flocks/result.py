@@ -1,0 +1,78 @@
+"""Result and trace types shared by the flock evaluators.
+
+Every evaluator returns the flock result as a :class:`Relation` over the
+parameter columns.  The plan executors additionally produce a
+:class:`ExecutionTrace` recording, per step, the sizes the paper's
+Section 4 reasons about — how many parameter assignments survived each
+FILTER, how large the intermediate relations were, and how long each
+step took — so benchmarks can report *why* a plan won, not just that it
+did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """Measurements for one executed FILTER (or join) step."""
+
+    name: str
+    description: str
+    input_tuples: int
+    output_assignments: int
+    seconds: float
+    filtered: bool = True
+
+    def __str__(self) -> str:
+        action = "FILTER" if self.filtered else "JOIN"
+        return (
+            f"{action} {self.name}: {self.input_tuples} tuples -> "
+            f"{self.output_assignments} assignments in {self.seconds * 1e3:.2f} ms"
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """The ordered step measurements of one plan execution."""
+
+    steps: list[StepTrace] = field(default_factory=list)
+
+    def record(self, step: StepTrace) -> None:
+        self.steps.append(step)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.steps)
+
+    @property
+    def total_intermediate_tuples(self) -> int:
+        return sum(s.input_tuples for s in self.steps)
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.steps)
+
+
+@dataclass(frozen=True)
+class FlockResult:
+    """A flock evaluation outcome: the acceptable parameter assignments
+    plus (for plan execution) the per-step trace."""
+
+    relation: Relation
+    trace: ExecutionTrace | None = None
+
+    @property
+    def assignments(self) -> frozenset[tuple]:
+        return self.relation.tuples
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __iter__(self):
+        return iter(self.relation)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self.relation

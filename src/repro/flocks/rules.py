@@ -1,0 +1,135 @@
+"""Association rules with the paper's three measures (Section 1.1).
+
+The paper opens by recalling the three precise measures of association:
+
+* **support** — "the items must appear in many baskets";
+* **confidence** — "the probability of one item given that the others
+  are in the basket must be high";
+* **interest** — "that probability must be significantly higher or
+  lower than the expected probability if items were purchased at
+  random" (the beer → diapers discussion).
+
+Frequent-itemset mining (the flock machinery) supplies the supports;
+this module derives the rules.  A rule ``antecedent → consequent`` has
+
+* ``support(rule)      = supp(antecedent ∪ {consequent}) / N``
+* ``confidence(rule)   = supp(antecedent ∪ {consequent}) / supp(antecedent)``
+* ``interest(rule)     = confidence(rule) / (supp({consequent}) / N)``
+  (the lift ratio; 1.0 means independence, and the paper's "higher *or
+  lower*" makes |interest − 1| the deviation that matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+from ..relational.relation import Relation
+from .apriori import apriori_itemsets, baskets_as_sets
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One mined rule with all three Section 1.1 measures."""
+
+    antecedent: frozenset
+    consequent: object
+    support_count: int
+    support: float
+    confidence: float
+    interest: float
+
+    @property
+    def itemset(self) -> frozenset:
+        return self.antecedent | {self.consequent}
+
+    def is_interesting(self, min_deviation: float = 0.0) -> bool:
+        """The paper's two-sided notion: probability "significantly
+        higher or lower" than independence."""
+        return abs(self.interest - 1.0) >= min_deviation
+
+    def __str__(self) -> str:
+        items = ", ".join(sorted(map(str, self.antecedent)))
+        return (
+            f"{{{items}}} -> {self.consequent} "
+            f"[supp={self.support:.3f}, conf={self.confidence:.3f}, "
+            f"interest={self.interest:.2f}]"
+        )
+
+
+def mine_association_rules(
+    baskets: Relation,
+    min_support: int,
+    min_confidence: float = 0.0,
+    min_interest_deviation: float = 0.0,
+    max_itemset_size: int | None = None,
+) -> list[AssociationRule]:
+    """Mine rules from a ``baskets(BID, Item)`` relation.
+
+    Rules are generated from every frequent itemset of size >= 2 by
+    holding out each member as the consequent; they are then filtered
+    by confidence and by two-sided interest deviation.  Results are
+    sorted by (confidence, support) descending for stable presentation.
+    """
+    n_baskets = len(baskets_as_sets(baskets))
+    if n_baskets == 0:
+        return []
+    levels = apriori_itemsets(baskets, min_support, max_size=max_itemset_size)
+    if not levels:
+        return []
+    singles = levels.get(1, {})
+
+    def count_of(itemset: frozenset) -> int | None:
+        level = levels.get(len(itemset))
+        if level is None:
+            return None
+        return level.get(itemset)
+
+    rules: list[AssociationRule] = []
+    for size, itemsets in levels.items():
+        if size < 2:
+            continue
+        for itemset, count in itemsets.items():
+            for consequent in itemset:
+                antecedent = itemset - {consequent}
+                antecedent_count = count_of(antecedent)
+                if antecedent_count is None:
+                    # The antecedent is itself frequent whenever the
+                    # itemset is (downward closure), so this cannot
+                    # happen for complete levels; guard anyway.
+                    continue
+                consequent_count = singles.get(frozenset((consequent,)))
+                if consequent_count is None:
+                    continue
+                confidence = count / antecedent_count
+                consequent_probability = consequent_count / n_baskets
+                interest = (
+                    confidence / consequent_probability
+                    if consequent_probability
+                    else 0.0
+                )
+                rule = AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support_count=count,
+                    support=count / n_baskets,
+                    confidence=confidence,
+                    interest=interest,
+                )
+                if rule.confidence < min_confidence:
+                    continue
+                if not rule.is_interesting(min_interest_deviation):
+                    continue
+                rules.append(rule)
+
+    rules.sort(key=lambda r: (-r.confidence, -r.support, str(r.consequent)))
+    return rules
+
+
+def rules_for_consequent(
+    rules: Iterable[AssociationRule], consequent: object
+) -> list[AssociationRule]:
+    """Filter mined rules by their right-hand side (e.g. all rules that
+    predict 'diapers')."""
+    return [r for r in rules if r.consequent == consequent]

@@ -1,0 +1,73 @@
+"""Relational substrate: the in-memory engine flocks run on.
+
+Set-semantics relations, hash joins/anti-joins, grouped aggregation
+(the HAVING machinery), a statistics-bearing catalog, and an evaluator
+for extended conjunctive queries and unions.
+"""
+
+from .aggregates import (
+    AggregateFunction,
+    group_aggregate,
+    grouped_counts,
+    having,
+)
+from .catalog import Database, database_from_dict
+from .explain import explain_conjunctive
+from .evaluate import (
+    atom_binding_relation,
+    evaluate_conjunctive,
+    evaluate_union,
+    greedy_join_order,
+    term_column,
+)
+from .io import load_database, load_relation, save_database, save_relation
+from .joinorder import selinger_join_order
+from .operators import (
+    anti_join,
+    cartesian_product,
+    natural_join,
+    semi_join,
+    shared_columns,
+    union_all,
+)
+from .relation import Relation, relation_from_rows
+from .statistics import (
+    RelationStats,
+    estimate_chain_join_size,
+    estimate_join_size,
+    selectivity_of_filter,
+    tuples_per_assignment,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "Database",
+    "Relation",
+    "RelationStats",
+    "anti_join",
+    "atom_binding_relation",
+    "cartesian_product",
+    "database_from_dict",
+    "estimate_chain_join_size",
+    "estimate_join_size",
+    "evaluate_conjunctive",
+    "evaluate_union",
+    "explain_conjunctive",
+    "greedy_join_order",
+    "group_aggregate",
+    "grouped_counts",
+    "having",
+    "load_database",
+    "load_relation",
+    "natural_join",
+    "relation_from_rows",
+    "save_database",
+    "save_relation",
+    "selectivity_of_filter",
+    "selinger_join_order",
+    "semi_join",
+    "shared_columns",
+    "term_column",
+    "tuples_per_assignment",
+    "union_all",
+]

@@ -1,0 +1,163 @@
+"""Grouped aggregation — the machinery behind flock filters.
+
+A flock filter is a condition on the *query result per parameter
+assignment* (``COUNT(answer.P) >= 20``).  Operationally that is a
+GROUP BY over the parameter columns with an aggregate over the answer
+columns, exactly the SQL ``HAVING`` pattern of the paper's Fig. 1.
+
+:func:`group_aggregate` computes one aggregate per group;
+:func:`grouped_counts` is the common COUNT special case.  When the
+group-by column list is empty the whole relation is one group (a flock
+with no parameters degenerates to a single yes/no test).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+from typing import Callable, Sequence
+
+from ..errors import FilterError
+from .relation import Relation
+
+
+class AggregateFunction(Enum):
+    """Aggregates admitted in filter conditions (Section 2.1, Section 5)."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    MIN = "MIN"
+    MAX = "MAX"
+
+    @classmethod
+    def from_name(cls, name: str) -> "AggregateFunction":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise FilterError(f"unknown aggregate function {name!r}") from None
+
+
+def group_aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    fn: AggregateFunction,
+    target: Sequence[str] | None = None,
+    name: str = "agg",
+    result_column: str = "agg",
+) -> Relation:
+    """GROUP BY ``group_by``, aggregate ``fn`` over the ``target`` columns.
+
+    The members of each group are the **distinct non-group sub-tuples**
+    (set semantics: the query result has no duplicate rows, so a group's
+    members are exactly its distinct answer tuples).
+
+    * For COUNT, ``target`` defaults to all non-group columns; the count
+      is of distinct target sub-tuples within the group.
+    * For SUM/MIN/MAX, ``target`` must be exactly one column; the
+      aggregate ranges over that column's value **in each distinct
+      member tuple** — so in Fig. 10's weighted baskets, two distinct
+      baskets with equal weight both contribute to ``SUM(answer.W)``.
+
+    Returns a relation with columns ``group_by + (result_column,)``.
+    With an empty ``group_by`` the whole relation is one group; COUNT of
+    an empty input yields a single row with value 0 (SQL's scalar
+    aggregate), while other aggregates of an empty input yield no rows.
+    """
+    group_positions = [relation.column_position(c) for c in group_by]
+    group_set = set(group_by)
+    member_columns = [c for c in relation.columns if c not in group_set]
+    member_positions = [relation.column_position(c) for c in member_columns]
+    if target is None:
+        if fn is not AggregateFunction.COUNT:
+            raise FilterError(f"{fn.value} requires an explicit target column")
+        target = member_columns
+    if fn is not AggregateFunction.COUNT and len(target) != 1:
+        raise FilterError(
+            f"{fn.value} aggregates exactly one column, got {list(target)}"
+        )
+    missing = [c for c in target if c not in set(member_columns)]
+    if missing:
+        raise FilterError(
+            f"aggregate target columns {missing} are group-by columns or "
+            "absent; targets must be non-group columns"
+        )
+
+    rows: set[tuple] = set()
+
+    # Fast paths.  Set semantics guarantees rows are distinct, hence the
+    # member sub-tuples *within a group* are distinct too (key + member
+    # = the whole row).  So:
+    #   * COUNT over all member columns = plain row count per group;
+    #   * SUM/MIN/MAX over one column can stream row values directly.
+    if fn is AggregateFunction.COUNT and set(target) == set(member_columns):
+        counts: dict[tuple, int] = defaultdict(int)
+        for row in relation.tuples:
+            counts[tuple(row[p] for p in group_positions)] += 1
+        rows = {key + (value,) for key, value in counts.items()}
+    elif fn is not AggregateFunction.COUNT:
+        target_position = relation.column_position(target[0])
+        if fn is AggregateFunction.SUM:
+            sums: dict[tuple, float] = defaultdict(int)
+            for row in relation.tuples:
+                sums[tuple(row[p] for p in group_positions)] += row[
+                    target_position
+                ]
+            rows = {key + (value,) for key, value in sums.items()}
+        else:
+            pick = min if fn is AggregateFunction.MIN else max
+            extrema: dict[tuple, object] = {}
+            for row in relation.tuples:
+                key = tuple(row[p] for p in group_positions)
+                value = row[target_position]
+                current = extrema.get(key)
+                extrema[key] = value if current is None else pick(current, value)
+            rows = {key + (value,) for key, value in extrema.items()}
+    else:
+        # COUNT over a strict subset of the member columns: distinct
+        # target sub-tuples must be materialized per group.
+        target_positions = [relation.column_position(c) for c in target]
+        groups: dict[tuple, set[tuple]] = defaultdict(set)
+        for row in relation.tuples:
+            key = tuple(row[p] for p in group_positions)
+            groups[key].add(tuple(row[p] for p in target_positions))
+        rows = {key + (len(members),) for key, members in groups.items()}
+
+    if not group_by and not rows and fn is AggregateFunction.COUNT:
+        rows = {(0,)}
+
+    return Relation(name, tuple(group_by) + (result_column,), rows)
+
+
+def grouped_counts(
+    relation: Relation,
+    group_by: Sequence[str],
+    name: str = "counts",
+    result_column: str = "count",
+) -> Relation:
+    """COUNT of distinct non-group sub-tuples per group."""
+    return group_aggregate(
+        relation,
+        group_by,
+        AggregateFunction.COUNT,
+        name=name,
+        result_column=result_column,
+    )
+
+
+def having(
+    counts: Relation,
+    predicate: Callable[[object], bool],
+    result_column: str = "count",
+    name: str = "having",
+    keep_aggregate: bool = False,
+) -> Relation:
+    """Filter a grouped-aggregate relation by its aggregate value —
+    the HAVING clause.  Drops the aggregate column unless asked to keep it.
+    """
+    pos = counts.column_position(result_column)
+    rows = {row for row in counts.tuples if predicate(row[pos])}
+    if keep_aggregate:
+        return Relation(name, counts.columns, rows)
+    keep = [c for c in counts.columns if c != result_column]
+    keep_pos = [counts.column_position(c) for c in keep]
+    return Relation(name, tuple(keep), {tuple(r[p] for p in keep_pos) for r in rows})

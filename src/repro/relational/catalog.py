@@ -1,0 +1,117 @@
+"""The database catalog: named base relations plus cached statistics.
+
+A :class:`Database` is the substrate every flock/plan evaluation runs
+against.  Base relations are immutable once added (replacing a relation
+invalidates its cached statistics).  Plans materialize their ``ok``
+relations into a *scratch* overlay so the base data is never polluted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError
+from .relation import Relation
+from .statistics import RelationStats
+
+
+class Database:
+    """A mapping of relation names to relations, with statistics."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        self._stats: dict[str, RelationStats] = {}
+        for rel in relations:
+            self.add(rel)
+
+    # ------------------------------------------------------------------
+    # Catalog maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, relation: Relation) -> None:
+        """Add or replace a relation under its own name."""
+        self._relations[relation.name] = relation
+        self._stats.pop(relation.name, None)
+
+    def add_rows(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence]
+    ) -> Relation:
+        """Convenience: build and register a relation in one call."""
+        rel = Relation(name, columns, (tuple(r) for r in rows))
+        self.add(rel)
+        return rel
+
+    def remove(self, name: str) -> None:
+        """Drop a relation (no-op when absent)."""
+        self._relations.pop(name, None)
+        self._stats.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> Relation:
+        """The relation registered under ``name``; SchemaError with the
+        known names when absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; known: {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def names(self) -> list[str]:
+        """All relation names, sorted."""
+        return sorted(self._relations)
+
+    def relations(self) -> list[Relation]:
+        """All relations, in name order."""
+        return [self._relations[n] for n in self.names()]
+
+    def stats(self, name: str) -> RelationStats:
+        """Statistics for one relation, computed lazily and cached."""
+        if name not in self._stats:
+            self._stats[name] = RelationStats.of(self.get(name))
+        return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def scratch(self) -> "Database":
+        """A shallow overlay sharing this database's relations.
+
+        Plans materialize their intermediate ``ok`` relations into the
+        scratch copy; the original catalog is untouched.
+        """
+        child = Database()
+        child._relations = dict(self._relations)
+        child._stats = dict(self._stats)
+        return child
+
+    def total_tuples(self) -> int:
+        """Sum of cardinalities across every relation."""
+        return sum(len(r) for r in self._relations.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{n}[{len(self._relations[n])}]" for n in self.names()
+        )
+        return f"Database({parts})"
+
+
+def database_from_dict(
+    data: Mapping[str, tuple[Sequence[str], Iterable[Sequence]]]
+) -> Database:
+    """Build a database from ``{name: (columns, rows)}`` — the most common
+    test/example entry point."""
+    db = Database()
+    for name, (columns, rows) in data.items():
+        db.add_rows(name, columns, rows)
+    return db

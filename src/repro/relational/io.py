@@ -1,0 +1,70 @@
+"""CSV persistence for relations and databases.
+
+Benchmarks and examples generate synthetic workloads; saving them lets a
+run be replayed exactly.  The format is plain CSV with a header row of
+column names.  Values round-trip as strings unless they parse as int or
+float (matching the generators' value domains: IDs, words, counts,
+weights).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .catalog import Database
+from .relation import Relation
+
+
+def _parse_value(text: str) -> Union[str, int, float]:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def save_relation(relation: Relation, path: Union[str, Path]) -> None:
+    """Write one relation to a CSV file (header = column names)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.columns)
+        for row in sorted(relation.tuples, key=repr):
+            writer.writerow(row)
+
+
+def load_relation(path: Union[str, Path], name: str | None = None) -> Relation:
+    """Read one relation from a CSV file written by :func:`save_relation`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            columns = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row") from None
+        rows = [tuple(_parse_value(v) for v in row) for row in reader]
+    return Relation(name or path.stem, columns, rows)
+
+
+def save_database(db: Database, directory: Union[str, Path]) -> None:
+    """Write every relation of a database as ``<directory>/<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in db.names():
+        save_relation(db.get(name), directory / f"{name}.csv")
+
+
+def load_database(directory: Union[str, Path]) -> Database:
+    """Load every ``*.csv`` in a directory into a database."""
+    directory = Path(directory)
+    db = Database()
+    for path in sorted(directory.glob("*.csv")):
+        db.add(load_relation(path))
+    return db

@@ -1,0 +1,119 @@
+"""Relational-algebra operators used by the query evaluator.
+
+Joins are hash joins: build a hash table on the smaller input keyed by
+the shared columns, probe with the larger.  Negated subgoals become
+anti-joins (Section 2.3's ``NOT`` is evaluated against fully bound
+terms, which safety guarantees).  Everything is set-semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from ..errors import SchemaError
+from .relation import Relation
+
+
+def shared_columns(left: Relation, right: Relation) -> tuple[str, ...]:
+    """Columns common to both relations, in ``left``'s order."""
+    right_set = set(right.columns)
+    return tuple(c for c in left.columns if c in right_set)
+
+
+def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
+    """Natural (hash) join on all shared columns.
+
+    With no shared columns this degrades to a cartesian product, which
+    the evaluator's join ordering tries to avoid but must support (the
+    paper's queries can have disconnected subgoal sets after deletion).
+    """
+    keys = shared_columns(left, right)
+    out_columns = left.columns + tuple(
+        c for c in right.columns if c not in set(left.columns)
+    )
+
+    # Build on the smaller side, probe with the larger.
+    build, probe, build_is_left = (
+        (left, right, True) if len(left) <= len(right) else (right, left, False)
+    )
+    build_key_pos = [build.column_position(c) for c in keys]
+    probe_key_pos = [probe.column_position(c) for c in keys]
+
+    table: dict[tuple, list[tuple]] = defaultdict(list)
+    for row in build.tuples:
+        table[tuple(row[p] for p in build_key_pos)].append(row)
+
+    # Output assembly: for each matched (left_row, right_row), emit
+    # left_row + right-only columns.
+    right_only = [c for c in right.columns if c not in set(left.columns)]
+    right_only_pos = [right.column_position(c) for c in right_only]
+
+    rows: set[tuple] = set()
+    for probe_row in probe.tuples:
+        key = tuple(probe_row[p] for p in probe_key_pos)
+        for build_row in table.get(key, ()):
+            left_row, right_row = (
+                (build_row, probe_row) if build_is_left else (probe_row, build_row)
+            )
+            rows.add(left_row + tuple(right_row[p] for p in right_only_pos))
+    return Relation(name, out_columns, rows)
+
+
+def semi_join(left: Relation, right: Relation, name: str = "semijoin") -> Relation:
+    """Tuples of ``left`` that join with at least one tuple of ``right``."""
+    keys = shared_columns(left, right)
+    if not keys:
+        # No shared columns: left survives iff right is nonempty.
+        return left.with_name(name) if len(right) else Relation(name, left.columns)
+    left_pos = [left.column_position(c) for c in keys]
+    right_keys = right.project(keys).tuples
+    rows = {
+        row for row in left.tuples if tuple(row[p] for p in left_pos) in right_keys
+    }
+    return Relation(name, left.columns, rows)
+
+
+def anti_join(left: Relation, right: Relation, name: str = "antijoin") -> Relation:
+    """Tuples of ``left`` that join with **no** tuple of ``right``.
+
+    This is how a fully bound ``NOT p(...)`` subgoal is applied to the
+    current binding relation.
+    """
+    keys = shared_columns(left, right)
+    if not keys:
+        return Relation(name, left.columns) if len(right) else left.with_name(name)
+    left_pos = [left.column_position(c) for c in keys]
+    right_keys = right.project(keys).tuples
+    rows = {
+        row
+        for row in left.tuples
+        if tuple(row[p] for p in left_pos) not in right_keys
+    }
+    return Relation(name, left.columns, rows)
+
+
+def cartesian_product(left: Relation, right: Relation, name: str = "product") -> Relation:
+    """Explicit cartesian product (shared columns must be disjoint)."""
+    if shared_columns(left, right):
+        raise SchemaError(
+            "cartesian_product requires disjoint columns; use natural_join"
+        )
+    out_columns = left.columns + right.columns
+    rows = {l + r for l in left.tuples for r in right.tuples}
+    return Relation(name, out_columns, rows)
+
+
+def union_all(relations: Sequence[Relation], name: str = "union") -> Relation:
+    """Set union of same-schema relations (duplicates collapse)."""
+    if not relations:
+        raise ValueError("union_all needs at least one relation")
+    first = relations[0]
+    rows: set[tuple] = set()
+    for rel in relations:
+        if rel.columns != first.columns:
+            raise SchemaError(
+                f"union_all schema mismatch: {first.columns} vs {rel.columns}"
+            )
+        rows |= rel.tuples
+    return Relation(name, first.columns, rows)

@@ -1,0 +1,194 @@
+"""In-memory relations with set semantics.
+
+The paper's language assumes "conventional set semantics rather than bag
+semantics ... Some of our claims would not hold for bag semantics", so a
+:class:`Relation` stores its tuples in a Python ``set`` — duplicates are
+impossible by construction, which is what makes the subquery upper-bound
+property (Section 3.1) sound.
+
+A relation is a named, column-labelled set of equal-width tuples.
+Columns are strings; by convention the evaluator labels columns with the
+rendered form of the Datalog term they bind (``"P"``, ``"$s"``), which
+makes intermediate results self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import SchemaError
+
+
+class Relation:
+    """A named set of tuples over labelled columns.
+
+    The tuple set is stored as-is (not copied defensively on read access)
+    but never mutated after construction; all operations return new
+    relations.
+    """
+
+    __slots__ = ("name", "columns", "tuples", "_column_index")
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        tuples: Iterable[tuple] = (),
+    ):
+        self.name = name
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in {name}: {self.columns}")
+        width = len(self.columns)
+        normalized: set[tuple] = set()
+        for row in tuples:
+            row_t = tuple(row)
+            if len(row_t) != width:
+                raise SchemaError(
+                    f"tuple {row_t!r} has width {len(row_t)}, relation "
+                    f"{name!r} expects {width}"
+                )
+            normalized.add(row_t)
+        self.tuples: frozenset[tuple] = frozenset(normalized)
+        self._column_index = {c: i for i, c in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.tuples)
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self.tuples
+
+    def __eq__(self, other: object) -> bool:
+        """Equality is by schema and contents; the name is a label only."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self.tuples == other.tuples
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.tuples))
+
+    def column_position(self, column: str) -> int:
+        """The 0-based index of ``column``; SchemaError if unknown."""
+        try:
+            return self._column_index[column]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no column {column!r}; "
+                f"columns are {self.columns}"
+            ) from None
+
+    def column_values(self, column: str) -> set:
+        """The set of distinct values in one column."""
+        pos = self.column_position(column)
+        return {row[pos] for row in self.tuples}
+
+    def distinct_count(self, column: str) -> int:
+        """Number of distinct values in one column."""
+        return len(self.column_values(column))
+
+    # ------------------------------------------------------------------
+    # Core operations (set semantics; all return new relations)
+    # ------------------------------------------------------------------
+
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection with duplicate elimination."""
+        positions = [self.column_position(c) for c in columns]
+        rows = {tuple(row[p] for p in positions) for row in self.tuples}
+        return Relation(name or self.name, tuple(columns), rows)
+
+    def select(
+        self, predicate: Callable[[dict], bool], name: str | None = None
+    ) -> "Relation":
+        """Selection by an arbitrary row predicate.
+
+        The predicate receives each row as a ``{column: value}`` dict.
+        """
+        cols = self.columns
+        rows = {
+            row
+            for row in self.tuples
+            if predicate(dict(zip(cols, row)))
+        }
+        return Relation(name or self.name, cols, rows)
+
+    def select_eq(self, column: str, value: object, name: str | None = None) -> "Relation":
+        """Fast-path selection ``column = value``."""
+        pos = self.column_position(column)
+        rows = {row for row in self.tuples if row[pos] == value}
+        return Relation(name or self.name, self.columns, rows)
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
+        """Rename columns; unmentioned columns keep their names."""
+        new_cols = tuple(mapping.get(c, c) for c in self.columns)
+        return Relation(name or self.name, new_cols, self.tuples)
+
+    def with_name(self, name: str) -> "Relation":
+        """A copy of this relation under a different name."""
+        return Relation(name, self.columns, self.tuples)
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set union with a same-schema relation."""
+        self._require_same_schema(other, "union")
+        return Relation(
+            name or self.name, self.columns, self.tuples | other.tuples
+        )
+
+    def difference(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set difference with a same-schema relation."""
+        self._require_same_schema(other, "difference")
+        return Relation(
+            name or self.name, self.columns, self.tuples - other.tuples
+        )
+
+    def intersection(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set intersection with a same-schema relation."""
+        self._require_same_schema(other, "intersection")
+        return Relation(
+            name or self.name, self.columns, self.tuples & other.tuples
+        )
+
+    def _require_same_schema(self, other: "Relation", op: str) -> None:
+        if self.columns != other.columns:
+            raise SchemaError(
+                f"{op} requires identical columns: "
+                f"{self.columns} vs {other.columns}"
+            )
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, columns={self.columns}, "
+            f"rows={len(self.tuples)})"
+        )
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width text rendering, for examples and debugging."""
+        header = " | ".join(self.columns) if self.columns else "(no columns)"
+        lines = [f"{self.name} ({len(self)} rows)", header, "-" * len(header)]
+        for i, row in enumerate(sorted(self.tuples, key=repr)):
+            if i >= limit:
+                lines.append(f"... and {len(self) - limit} more")
+                break
+            lines.append(" | ".join(str(v) for v in row))
+        return "\n".join(lines)
+
+
+def relation_from_rows(
+    name: str, columns: Sequence[str], rows: Iterable[Sequence]
+) -> Relation:
+    """Build a relation from any iterable of row sequences."""
+    return Relation(name, columns, (tuple(r) for r in rows))

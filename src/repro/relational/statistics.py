@@ -1,0 +1,119 @@
+"""Relation statistics for cost-based plan decisions.
+
+Section 4 decides whether a FILTER step pays off from two kinds of
+numbers: relation cardinalities and "the number of tuples per assignment
+of values to the parameters" (Section 4.4).  :class:`RelationStats`
+caches the per-relation numbers; :func:`tuples_per_assignment` computes
+the Section 4.4 ratio for an intermediate relation and a parameter
+column set; and :func:`estimate_join_size` is the textbook
+(Selinger-style, [G*79]) independence estimate used by the static
+optimizer's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Sequence
+
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Cardinality plus per-column distinct counts for one relation."""
+
+    name: str
+    cardinality: int
+    distinct: dict[str, int]
+
+    @classmethod
+    def of(cls, relation: Relation) -> "RelationStats":
+        return cls(
+            relation.name,
+            len(relation),
+            {c: relation.distinct_count(c) for c in relation.columns},
+        )
+
+    def distinct_count(self, column: str) -> int:
+        return self.distinct.get(column, 0)
+
+    def tuples_per_value(self, column: str) -> float:
+        """Average number of tuples sharing one value of ``column`` —
+        e.g. average patients per symptom in ``exhibits``.  Zero for an
+        empty relation."""
+        d = self.distinct_count(column)
+        if d == 0:
+            return 0.0
+        return self.cardinality / d
+
+
+def tuples_per_assignment(
+    relation: Relation, parameter_columns: Sequence[str]
+) -> float:
+    """The Section 4.4 ratio: average tuples per distinct assignment of
+    the parameter columns.
+
+    "we should ask whether the number of tuples per value-assignment for
+    the parameters is low or high compared with the support threshold."
+    Low (below the threshold) means many assignments are prunable and a
+    FILTER step is likely worthwhile.
+    """
+    if not parameter_columns:
+        return float(len(relation))
+    assignments = len(relation.project(parameter_columns))
+    if assignments == 0:
+        return 0.0
+    return len(relation) / assignments
+
+
+def estimate_join_size(
+    left: RelationStats,
+    right: RelationStats,
+    join_columns: Sequence[str],
+) -> float:
+    """Independence estimate for |left ⋈ right| on ``join_columns``.
+
+    The standard System-R formula: the product of cardinalities divided
+    by the maximum distinct count of each join column.  With no join
+    columns this is the cartesian-product size.
+    """
+    size = float(left.cardinality) * float(right.cardinality)
+    for column in join_columns:
+        d = max(left.distinct_count(column), right.distinct_count(column), 1)
+        size /= d
+    return size
+
+
+def estimate_chain_join_size(
+    stats: Sequence[RelationStats],
+    column_sets: Sequence[Sequence[str]],
+) -> float:
+    """Estimate a left-deep chain of joins: ``stats[0] ⋈ stats[1] ⋈ ...``
+    where ``column_sets[i]`` are the columns shared between the running
+    prefix and ``stats[i+1]``.  Used by the optimizer to price the final
+    step of a plan without executing it."""
+    if not stats:
+        return 0.0
+    size = float(stats[0].cardinality)
+    for i, right in enumerate(stats[1:]):
+        size *= float(right.cardinality)
+        for column in column_sets[i]:
+            # Distinct count in the running prefix is unknown; bound it
+            # by the base relation's distinct count (independence).
+            d = max(right.distinct_count(column), 1)
+            size /= d
+    return size
+
+
+def selectivity_of_filter(
+    relation: Relation,
+    parameter_columns: Sequence[str],
+    surviving_assignments: int,
+) -> float:
+    """Fraction of parameter assignments that survive a filter —
+    the observed pruning power used in the dynamic strategy's reporting."""
+    total = len(relation.project(parameter_columns)) if parameter_columns else 1
+    if total == 0:
+        return 0.0
+    return surviving_assignments / total

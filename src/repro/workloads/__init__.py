@@ -1,0 +1,40 @@
+"""Synthetic workload generators for the paper's example domains.
+
+Every generator is deterministic given a seed, and every domain plants
+ground truth (frequent pairs, side-effects, correlated words, hub nodes)
+so benchmarks can check *what* was found, not only that evaluators
+agree.
+"""
+
+from .baskets import (
+    basket_database,
+    generate_baskets,
+    generate_weighted_baskets,
+    item_names,
+    zipf_weights,
+)
+from .graphs import (
+    generate_hub_digraph,
+    generate_layered_hub_digraph,
+    generate_random_digraph,
+)
+from .medical import MedicalWorkload, generate_medical
+from .text import article_database, generate_articles
+from .webdocs import WebWorkload, generate_webdocs
+
+__all__ = [
+    "MedicalWorkload",
+    "WebWorkload",
+    "article_database",
+    "basket_database",
+    "generate_articles",
+    "generate_baskets",
+    "generate_hub_digraph",
+    "generate_layered_hub_digraph",
+    "generate_medical",
+    "generate_random_digraph",
+    "generate_webdocs",
+    "generate_weighted_baskets",
+    "item_names",
+    "zipf_weights",
+]

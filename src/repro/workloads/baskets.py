@@ -1,0 +1,105 @@
+"""Synthetic market-basket data (the Fig. 2 / Fig. 10 domains).
+
+Item popularity follows a Zipf distribution — the skew that makes the
+a-priori trick effective: a few items are frequent, the long tail never
+reaches support, and pre-filtering the tail shrinks the self-join.
+Generation is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Unnormalized Zipf weights ``1 / rank^s`` for ranks 1..n."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if s < 0:
+        raise ValueError("skew must be non-negative")
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def item_names(n_items: int, prefix: str = "item") -> list[str]:
+    """Stable zero-padded item labels so lexicographic order is sane."""
+    width = max(4, len(str(n_items)))
+    return [f"{prefix}{i:0{width}d}" for i in range(n_items)]
+
+
+def generate_baskets(
+    n_baskets: int,
+    n_items: int,
+    avg_basket_size: float = 8.0,
+    skew: float = 1.1,
+    seed: int = 0,
+    relation_name: str = "baskets",
+    prefix: str = "item",
+    planted_pairs: Sequence[tuple[str, str]] = (),
+    planted_rate: float = 0.15,
+) -> Relation:
+    """A ``baskets(BID, Item)`` relation with Zipf-popular items.
+
+    Basket sizes are geometric-ish around ``avg_basket_size`` (at least
+    1 item); items are drawn with replacement and de-duplicated, so a
+    basket is a set, matching the set semantics of the paper.
+
+    ``planted_pairs`` plants correlated item pairs (the beer-and-diapers
+    effect): each listed pair is inserted together into a fraction
+    ``planted_rate`` of baskets, giving benchmarks a ground truth beyond
+    the Zipf head.
+    """
+    rng = random.Random(seed)
+    names = item_names(n_items, prefix)
+    weights = zipf_weights(n_items, skew)
+    rows: set[tuple] = set()
+    for bid in range(n_baskets):
+        size = max(1, round(rng.expovariate(1.0 / avg_basket_size)))
+        size = min(size, n_items)
+        chosen = set(rng.choices(names, weights=weights, k=size))
+        if planted_pairs and rng.random() < planted_rate:
+            chosen |= set(rng.choice(list(planted_pairs)))
+        for item in chosen:
+            rows.add((bid, item))
+    return Relation(relation_name, ("BID", "Item"), rows)
+
+
+def generate_weighted_baskets(
+    n_baskets: int,
+    n_items: int,
+    avg_basket_size: float = 8.0,
+    skew: float = 1.1,
+    max_weight: int = 10,
+    seed: int = 0,
+) -> Database:
+    """The Fig. 10 weighted workload: ``baskets(BID, Item)`` plus
+    ``importance(BID, W)`` with integer weights 1..max_weight (e.g. the
+    basket's total purchase value, or a document's web hits)."""
+    rng = random.Random(seed + 1)
+    baskets = generate_baskets(
+        n_baskets, n_items, avg_basket_size, skew, seed=seed
+    )
+    bids = baskets.column_values("BID")
+    importance = Relation(
+        "importance",
+        ("BID", "W"),
+        {(bid, rng.randint(1, max_weight)) for bid in bids},
+    )
+    db = Database([baskets, importance])
+    return db
+
+
+def basket_database(
+    n_baskets: int,
+    n_items: int,
+    avg_basket_size: float = 8.0,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> Database:
+    """Just the ``baskets`` relation wrapped in a database."""
+    return Database(
+        [generate_baskets(n_baskets, n_items, avg_basket_size, skew, seed)]
+    )

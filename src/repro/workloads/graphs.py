@@ -1,0 +1,113 @@
+"""Random directed graphs for the Fig. 6 pathological path flock
+(Example 4.3): "about a node $1, whether it has at least c successors
+from which there is a path of length n extending".
+
+Two generators:
+
+* :func:`generate_random_digraph` — plain G(n, m) random arcs;
+* :func:`generate_hub_digraph` — plants *hubs* with many successors
+  that feed a long-path "core", so the n-hop flock has survivors and
+  the chained Fig. 7 plan has real pruning work to do at every level.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+
+
+def generate_random_digraph(
+    n_nodes: int,
+    n_arcs: int,
+    seed: int = 0,
+    relation_name: str = "arc",
+) -> Relation:
+    """Uniform random arcs (no self-loops; duplicates collapse)."""
+    rng = random.Random(seed)
+    rows: set[tuple] = set()
+    while len(rows) < min(n_arcs, n_nodes * (n_nodes - 1)):
+        u = rng.randrange(n_nodes)
+        v = rng.randrange(n_nodes)
+        if u != v:
+            rows.add((u, v))
+    return Relation(relation_name, ("U", "V"), rows)
+
+
+def generate_layered_hub_digraph(
+    max_depth: int = 3,
+    hubs_per_depth: int = 15,
+    successors_per_hub: int = 25,
+    seed: int = 0,
+) -> Database:
+    """Hubs whose successors' outgoing paths die at a controlled depth.
+
+    For each depth ``d`` in 0..max_depth there are ``hubs_per_depth``
+    hubs, each pointing at ``successors_per_hub`` fresh nodes from which
+    a simple chain of exactly ``d`` further arcs extends.  A depth-``d``
+    hub therefore satisfies the Fig. 6 flock for path length n iff
+    n <= d — so the Fig. 7 chained plan prunes a precise slice of the
+    candidate set at *every* level, which is the behaviour Example 4.3
+    is about.
+
+    Hub IDs encode their depth: hub ``h`` for depth ``d`` is
+    ``d * 1000 + h``.
+    """
+    rows: set[tuple] = set()
+    next_node = 100_000
+    for depth in range(max_depth + 1):
+        for h in range(hubs_per_depth):
+            hub = depth * 1000 + h
+            for _ in range(successors_per_hub):
+                successor = next_node
+                next_node += 1
+                rows.add((hub, successor))
+                prev = successor
+                for _ in range(depth):
+                    nxt = next_node
+                    next_node += 1
+                    rows.add((prev, nxt))
+                    prev = nxt
+    return Database([Relation("arc", ("U", "V"), rows)])
+
+
+def generate_hub_digraph(
+    n_hubs: int = 20,
+    successors_per_hub: int = 30,
+    core_nodes: int = 200,
+    core_out_degree: int = 3,
+    noise_nodes: int = 500,
+    noise_arcs: int = 1000,
+    seed: int = 0,
+) -> Database:
+    """A graph where hubs point at many core nodes and the core is dense
+    enough that long paths exist.
+
+    Node IDs: hubs ``0..n_hubs-1``, core ``1000..1000+core_nodes-1``,
+    noise ``10000+``.  Hubs satisfy the path flock for sizable n and
+    support up to ``successors_per_hub``; noise nodes rarely do.
+    """
+    rng = random.Random(seed)
+    rows: set[tuple] = set()
+    core = [1000 + i for i in range(core_nodes)]
+
+    for hub in range(n_hubs):
+        for target in rng.sample(core, min(successors_per_hub, core_nodes)):
+            rows.add((hub, target))
+
+    # Dense-ish core: every core node points at a few others, so paths
+    # of any modest length extend from almost every core node.
+    for node in core:
+        for target in rng.sample(core, core_out_degree):
+            if target != node:
+                rows.add((node, target))
+
+    # Noise: sparse arcs among high-numbered nodes (dead ends mostly).
+    for _ in range(noise_arcs):
+        u = 10000 + rng.randrange(noise_nodes)
+        v = 10000 + rng.randrange(noise_nodes)
+        if u != v:
+            rows.add((u, v))
+
+    return Database([Relation("arc", ("U", "V"), rows)])

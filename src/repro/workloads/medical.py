@@ -1,0 +1,135 @@
+"""Synthetic medical database for the Fig. 3 side-effect flock.
+
+Schema (Example 2.2):
+
+* ``diagnoses(Patient, Disease)`` — one disease per patient (the paper
+  assumes this);
+* ``exhibits(Patient, Symptom)`` — mostly symptoms caused by the
+  patient's disease, plus background noise;
+* ``treatments(Patient, Medicine)`` — medicines chosen per disease;
+* ``causes(Disease, Symptom)`` — the medical knowledge base.
+
+The generator *plants* true unexplained side-effects: chosen medicines
+deterministically produce a symptom that no disease of their takers
+explains.  The planted (symptom, medicine) pairs are returned as ground
+truth so tests and benchmarks can check recall, not just agreement
+between evaluators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class MedicalWorkload:
+    """The generated database plus the planted ground truth."""
+
+    db: Database
+    planted_pairs: frozenset[tuple[str, str]]  # (symptom, medicine)
+    n_patients: int
+
+
+def generate_medical(
+    n_patients: int = 2000,
+    n_diseases: int = 40,
+    n_symptoms: int = 120,
+    n_medicines: int = 60,
+    symptoms_per_disease: int = 4,
+    medicines_per_disease: int = 3,
+    noise_symptom_rate: float = 0.5,
+    n_planted: int = 3,
+    planted_rate: float = 0.9,
+    seed: int = 0,
+) -> MedicalWorkload:
+    """Build the four-relation medical database.
+
+    Args:
+        noise_symptom_rate: expected number of random (possibly
+            explained) extra symptoms per patient.
+        n_planted: how many medicines get a planted side-effect symptom.
+        planted_rate: probability that a patient on a planted medicine
+            exhibits its side-effect symptom.
+    """
+    rng = random.Random(seed)
+    diseases = [f"disease{d:03d}" for d in range(n_diseases)]
+    symptoms = [f"symptom{s:03d}" for s in range(n_symptoms)]
+    medicines = [f"med{m:03d}" for m in range(n_medicines)]
+
+    # Knowledge base: each disease causes a few symptoms.
+    causes_rows: set[tuple] = set()
+    disease_symptoms: dict[str, list[str]] = {}
+    for disease in diseases:
+        caused = rng.sample(symptoms, symptoms_per_disease)
+        disease_symptoms[disease] = caused
+        for symptom in caused:
+            causes_rows.add((disease, symptom))
+
+    # Each disease has a standard medicine repertoire.
+    disease_medicines: dict[str, list[str]] = {
+        disease: rng.sample(medicines, medicines_per_disease)
+        for disease in diseases
+    }
+
+    # Planted side-effects: medicine -> a symptom it secretly causes.
+    # Plant on the most widely prescribed medicines (those in many
+    # diseases' repertoires) so the pair can reach support, and choose
+    # symptoms not caused by any disease that uses the medicine, so the
+    # pair is genuinely unexplained for every taker.
+    usage_count: dict[str, int] = {m: 0 for m in medicines}
+    for meds in disease_medicines.values():
+        for medicine in meds:
+            usage_count[medicine] += 1
+    by_popularity = sorted(medicines, key=lambda m: -usage_count[m])
+    planted: dict[str, str] = {}
+    planted_candidates = by_popularity[:n_planted]
+    for medicine in planted_candidates:
+        users = [
+            d for d, meds in disease_medicines.items() if medicine in meds
+        ]
+        explained = {s for d in users for s in disease_symptoms[d]}
+        free = [s for s in symptoms if s not in explained]
+        if free:
+            planted[medicine] = rng.choice(free)
+
+    diagnoses_rows: set[tuple] = set()
+    exhibits_rows: set[tuple] = set()
+    treatments_rows: set[tuple] = set()
+    for patient in range(n_patients):
+        disease = rng.choice(diseases)
+        diagnoses_rows.add((patient, disease))
+        # Disease symptoms appear with high probability.
+        for symptom in disease_symptoms[disease]:
+            if rng.random() < 0.8:
+                exhibits_rows.add((patient, symptom))
+        # Background noise symptoms.
+        noise = rng.expovariate(1.0 / noise_symptom_rate) if noise_symptom_rate else 0
+        for _ in range(round(noise)):
+            exhibits_rows.add((patient, rng.choice(symptoms)))
+        # Treatment: one or two medicines from the disease's repertoire.
+        prescribed = rng.sample(
+            disease_medicines[disease],
+            k=rng.randint(1, min(2, medicines_per_disease)),
+        )
+        for medicine in prescribed:
+            treatments_rows.add((patient, medicine))
+            side_effect = planted.get(medicine)
+            if side_effect is not None and rng.random() < planted_rate:
+                exhibits_rows.add((patient, side_effect))
+
+    db = Database(
+        [
+            Relation("diagnoses", ("P", "D"), diagnoses_rows),
+            Relation("exhibits", ("P", "S"), exhibits_rows),
+            Relation("treatments", ("P", "M"), treatments_rows),
+            Relation("causes", ("D", "S"), causes_rows),
+        ]
+    )
+    planted_pairs = frozenset(
+        (symptom, medicine) for medicine, symptom in planted.items()
+    )
+    return MedicalWorkload(db, planted_pairs, n_patients)

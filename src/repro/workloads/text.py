@@ -1,0 +1,59 @@
+"""Newspaper-style word-occurrence data for the Section 1.3 experiment.
+
+The paper's one empirical claim: rewriting the Fig. 1 SQL pair query to
+pre-filter items appearing in ≥ 20 baskets gave a **20-fold speedup**,
+measured on "word occurrences in newspaper articles".  We cannot obtain
+that proprietary corpus, so this generator synthesizes its statistical
+shape: articles as baskets, words as items, frequencies Zipf-distributed
+with exponent ≈ 1 (Zipf's law of natural language).  The skew is the
+mechanism under test — the overwhelming majority of vocabulary words
+fall below support and are eliminated by the pre-filter — so the
+substitution preserves the behaviour the measurement exercises.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+from .baskets import zipf_weights
+
+
+def generate_articles(
+    n_articles: int = 2000,
+    vocabulary: int = 5000,
+    words_per_article: int = 30,
+    skew: float = 1.1,
+    seed: int = 0,
+    relation_name: str = "baskets",
+) -> Relation:
+    """An ``(ArticleID, Word)`` occurrence relation with Zipf vocabulary.
+
+    Column names match the basket schema (``BID``, ``Item``) so the
+    Fig. 1 / Fig. 2 machinery applies unchanged — the paper itself ran
+    the basket query over word occurrences.
+    """
+    rng = random.Random(seed)
+    words = [f"word{w:05d}" for w in range(vocabulary)]
+    weights = zipf_weights(vocabulary, skew)
+    rows: set[tuple] = set()
+    for article in range(n_articles):
+        occurrences = rng.choices(words, weights=weights, k=words_per_article)
+        for word in set(occurrences):
+            rows.add((article, word))
+    return Relation(relation_name, ("BID", "Item"), rows)
+
+
+def article_database(
+    n_articles: int = 2000,
+    vocabulary: int = 5000,
+    words_per_article: int = 30,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> Database:
+    """The word-occurrence corpus wrapped in a database (see
+    :func:`generate_articles`)."""
+    return Database(
+        [generate_articles(n_articles, vocabulary, words_per_article, skew, seed)]
+    )

@@ -1,0 +1,97 @@
+"""Synthetic HTML-corpus data for the Fig. 4 strongly-connected-words
+flock (Example 2.3).
+
+Schema:
+
+* ``inTitle(D, W)`` — word W in the title of document D;
+* ``inAnchor(A, W)`` — word W in the text of anchor A;
+* ``link(A, D1, D2)`` — anchor A links document D1 to document D2.
+
+Words are drawn from a Zipf vocabulary, and a set of *topic pairs* is
+planted: correlated word pairs that co-occur in titles and across
+anchor→target-title edges far more often than chance, so the flock has
+something real to find.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+from .baskets import zipf_weights
+
+
+@dataclass(frozen=True)
+class WebWorkload:
+    """The generated corpus plus the planted correlated word pairs."""
+
+    db: Database
+    planted_pairs: frozenset[tuple[str, str]]  # lexicographically ordered
+
+
+def generate_webdocs(
+    n_documents: int = 1000,
+    n_anchors: int = 3000,
+    vocabulary: int = 400,
+    title_words: int = 4,
+    anchor_words: int = 2,
+    skew: float = 1.0,
+    n_planted: int = 4,
+    planted_rate: float = 0.35,
+    seed: int = 0,
+) -> WebWorkload:
+    """Build the three-relation web corpus.
+
+    Document IDs are ``d<no>``; anchor IDs are ``a<no>`` — disjoint, as
+    the paper's Example 2.3 requires ("we assume that there are no
+    values in common between these two types of ID's").
+    """
+    rng = random.Random(seed)
+    words = [f"w{w:04d}" for w in range(vocabulary)]
+    weights = zipf_weights(vocabulary, skew)
+
+    # Planted topics: pairs of mid-frequency words that travel together.
+    mid = words[vocabulary // 10: vocabulary // 2] or words
+    planted: list[tuple[str, str]] = []
+    pool = rng.sample(mid, min(2 * n_planted, len(mid) - len(mid) % 2))
+    for i in range(0, len(pool) - 1, 2):
+        a, b = sorted((pool[i], pool[i + 1]))
+        planted.append((a, b))
+
+    documents = [f"d{d:05d}" for d in range(n_documents)]
+    in_title: set[tuple] = set()
+    doc_topics: dict[str, tuple[str, str] | None] = {}
+    for doc in documents:
+        topic = rng.choice(planted) if planted and rng.random() < planted_rate else None
+        doc_topics[doc] = topic
+        title = set(rng.choices(words, weights=weights, k=title_words))
+        if topic is not None:
+            title |= set(topic)
+        for word in title:
+            in_title.add((doc, word))
+
+    in_anchor: set[tuple] = set()
+    link: set[tuple] = set()
+    for a in range(n_anchors):
+        anchor = f"a{a:05d}"
+        source = rng.choice(documents)
+        target = rng.choice(documents)
+        link.add((anchor, source, target))
+        text = set(rng.choices(words, weights=weights, k=anchor_words))
+        # Anchors often echo one topic word of the target's title.
+        topic = doc_topics.get(target)
+        if topic is not None and rng.random() < 0.8:
+            text.add(rng.choice(topic))
+        for word in text:
+            in_anchor.add((anchor, word))
+
+    db = Database(
+        [
+            Relation("inTitle", ("D", "W"), in_title),
+            Relation("inAnchor", ("A", "W"), in_anchor),
+            Relation("link", ("A", "D1", "D2"), link),
+        ]
+    )
+    return WebWorkload(db, frozenset(planted))

@@ -1,0 +1,168 @@
+"""Tests for comparison entailment and arithmetic-aware containment
+(the [Klu82]/[ZO93] machinery of Section 3.3)."""
+
+import pytest
+
+from repro.datalog import (
+    ComparisonSystem,
+    atom,
+    comparison,
+    contains_extended,
+    entails,
+    is_satisfiable,
+    negated,
+    rule,
+)
+
+
+def cmp(*args):
+    return comparison(*args)
+
+
+class TestEntailment:
+    def test_transitivity(self):
+        assert entails([cmp("X", "<", "Y"), cmp("Y", "<", "Z")],
+                       [cmp("X", "<", "Z")])
+
+    def test_strictness_not_invented(self):
+        assert not entails([cmp("X", "<=", "Y")], [cmp("X", "<", "Y")])
+
+    def test_mixed_strict_chain(self):
+        assert entails([cmp("X", "<=", "Y"), cmp("Y", "<", "Z")],
+                       [cmp("X", "<", "Z")])
+
+    def test_antisymmetry_yields_equality(self):
+        assert entails([cmp("X", "<=", "Y"), cmp("Y", "<=", "X")],
+                       [cmp("X", "=", "Y")])
+
+    def test_equality_implies_le_and_ge(self):
+        assert entails([cmp("X", "=", "Y")], [cmp("X", "<=", "Y")])
+        assert entails([cmp("X", "=", "Y")], [cmp("X", ">=", "Y")])
+
+    def test_constant_ordering(self):
+        assert entails([cmp("X", "<", 5)], [cmp("X", "<", 10)])
+        assert not entails([cmp("X", "<", 10)], [cmp("X", "<", 5)])
+
+    def test_constant_equality(self):
+        assert entails([cmp("X", "=", 3)], [cmp("X", "<=", 3)])
+        assert entails([cmp("X", "=", 3)], [cmp("X", "<", 4)])
+
+    def test_strict_implies_disequality(self):
+        assert entails([cmp("X", "<", "Y")], [cmp("X", "!=", "Y")])
+
+    def test_explicit_disequality(self):
+        assert entails([cmp("X", "!=", "Y")], [cmp("X", "!=", "Y")])
+        assert not entails([cmp("X", "!=", "Y")], [cmp("X", "<", "Y")])
+
+    def test_gt_ge_normalized(self):
+        assert entails([cmp("X", ">", "Y")], [cmp("Y", "<", "X")])
+        assert entails([cmp("X", ">=", "Y"), cmp("Y", ">=", "X")],
+                       [cmp("X", "=", "Y")])
+
+    def test_string_constants_ordered(self):
+        assert entails([cmp("X", "<", "'apple'")], [cmp("X", "<", "'berry'")])
+
+    def test_mixed_constant_families_conservative(self):
+        # Numbers vs strings: no derivable order, so no entailment.
+        assert not entails([cmp("X", "<", 5)], [cmp("X", "<", "'zzz'")])
+
+    def test_empty_premises(self):
+        assert entails([], [])
+        assert not entails([], [cmp("X", "<", "Y")])
+
+    def test_inconsistent_premises_entail_anything(self):
+        assert entails([cmp("X", "<", "Y"), cmp("Y", "<", "X")],
+                       [cmp("A", "=", "B")])
+
+
+class TestSatisfiability:
+    def test_cycle_unsatisfiable(self):
+        assert not is_satisfiable([cmp("X", "<", "Y"), cmp("Y", "<", "X")])
+
+    def test_longer_cycle(self):
+        assert not is_satisfiable(
+            [cmp("X", "<", "Y"), cmp("Y", "<", "Z"), cmp("Z", "<=", "X")]
+        )
+
+    def test_le_cycle_satisfiable(self):
+        assert is_satisfiable([cmp("X", "<=", "Y"), cmp("Y", "<=", "X")])
+
+    def test_eq_with_ne_unsatisfiable(self):
+        assert not is_satisfiable([cmp("X", "=", "Y"), cmp("X", "!=", "Y")])
+
+    def test_self_disequality_unsatisfiable(self):
+        assert not is_satisfiable([cmp("X", "!=", "X")])
+
+    def test_constant_contradiction(self):
+        assert not is_satisfiable([cmp("X", "<", 3), cmp("X", ">", 7)])
+
+    def test_plain_conjunction_satisfiable(self):
+        assert is_satisfiable([cmp("X", "<", "Y"), cmp("Y", "<", "Z")])
+
+    def test_eq_collapse_with_strict_unsat(self):
+        assert not is_satisfiable(
+            [cmp("X", "=", "Y"), cmp("X", "<", "Y")]
+        )
+
+
+class TestContainsExtended:
+    def test_weaker_comparison_contains(self):
+        q_le = rule("answer", ["X"], [atom("r", "X", "Y"), cmp("X", "<=", "Y")])
+        q_lt = rule("answer", ["X"], [atom("r", "X", "Y"), cmp("X", "<", "Y")])
+        assert contains_extended(q_le, q_lt)
+        assert not contains_extended(q_lt, q_le)
+
+    def test_no_comparisons_reduces_to_cm(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X"], [atom("r", "X", "Y"), atom("r", "X", "Z")])
+        assert contains_extended(q1, q2)
+        assert contains_extended(q2, q1)
+
+    def test_constant_threshold_containment(self):
+        q10 = rule("answer", ["X"], [atom("r", "X", "Y"), cmp("Y", "<", 10)])
+        q5 = rule("answer", ["X"], [atom("r", "X", "Y"), cmp("Y", "<", 5)])
+        assert contains_extended(q10, q5)
+        assert not contains_extended(q5, q10)
+
+    def test_unsatisfiable_contained_in_anything(self):
+        q = rule("answer", ["X"], [atom("r", "X", "Y"), cmp("X", "<", "Y")])
+        empty = rule(
+            "answer",
+            ["X"],
+            [atom("r", "X", "Y"), cmp("X", "<", "Y"), cmp("Y", "<", "X")],
+        )
+        assert contains_extended(q, empty)
+
+    def test_mapping_must_respect_comparisons(self):
+        # container: r(X,Y), X<Y; contained: r(A,B) with no ordering —
+        # the mapping exists but the comparison is not entailed.
+        container = rule("answer", ["X"], [atom("r", "X", "Y"), cmp("X", "<", "Y")])
+        contained = rule("answer", ["A"], [atom("r", "A", "B")])
+        assert not contains_extended(container, contained)
+        assert contains_extended(contained, container)
+
+    def test_parameters_fixed(self):
+        q1 = rule("answer", ["B"], [atom("baskets", "B", "$1")])
+        q2 = rule("answer", ["B"], [atom("baskets", "B", "$2")])
+        assert not contains_extended(q1, q2)
+
+    def test_negation_rejected(self):
+        q = rule("answer", ["P"], [atom("e", "P", "$s"), negated("c", "P", "$s")])
+        with pytest.raises(ValueError):
+            contains_extended(q, q)
+
+    def test_head_arity_mismatch(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X", "Y"], [atom("r", "X", "Y")])
+        assert not contains_extended(q1, q2)
+
+
+class TestComparisonSystem:
+    def test_reusable_for_many_queries(self):
+        system = ComparisonSystem.from_comparisons(
+            [cmp("X", "<", "Y"), cmp("Y", "<=", "Z")]
+        )
+        assert system.is_consistent()
+        assert system.entails_comparison(cmp("X", "<", "Z"))
+        assert system.entails_comparison(cmp("X", "!=", "Z"))
+        assert not system.entails_comparison(cmp("Z", "<", "X"))

@@ -1,0 +1,131 @@
+"""Unit tests for repro.datalog.atoms."""
+
+import pytest
+
+from repro.datalog.atoms import (
+    Comparison,
+    ComparisonOp,
+    RelationalAtom,
+    atom,
+    comparison,
+    negated,
+    subgoal_terms,
+)
+from repro.datalog.terms import Constant, Parameter, Variable
+
+
+class TestRelationalAtom:
+    def test_constructor_helper(self):
+        a = atom("baskets", "B", "$1")
+        assert a.predicate == "baskets"
+        assert a.terms == (Variable("B"), Parameter("1"))
+        assert not a.negated
+
+    def test_str(self):
+        assert str(atom("baskets", "B", "$1")) == "baskets(B, $1)"
+
+    def test_negated_str(self):
+        assert str(negated("causes", "D", "$s")) == "NOT causes(D, $s)"
+
+    def test_arity(self):
+        assert atom("link", "A", "D1", "D2").arity == 3
+
+    def test_bindable_terms_excludes_constants(self):
+        a = atom("baskets", "B", "'beer'")
+        assert a.bindable_terms() == (Variable("B"),)
+
+    def test_variables_and_parameters(self):
+        a = atom("exhibits", "P", "$s")
+        assert a.variables() == frozenset({Variable("P")})
+        assert a.parameters() == frozenset({Parameter("s")})
+
+    def test_negate_round_trip(self):
+        a = atom("causes", "D", "$s")
+        assert a.negate().negated
+        assert a.negate().negate() == a
+
+    def test_with_positive_polarity(self):
+        n = negated("causes", "D", "$s")
+        assert not n.with_positive_polarity().negated
+        p = atom("causes", "D", "$s")
+        assert p.with_positive_polarity() is p
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            RelationalAtom("", (Variable("X"),))
+
+
+class TestComparisonOp:
+    def test_from_symbol(self):
+        assert ComparisonOp.from_symbol("<") is ComparisonOp.LT
+        assert ComparisonOp.from_symbol(">=") is ComparisonOp.GE
+        assert ComparisonOp.from_symbol("==") is ComparisonOp.EQ
+        assert ComparisonOp.from_symbol("<>") is ComparisonOp.NE
+
+    def test_from_symbol_unknown(self):
+        with pytest.raises(ValueError):
+            ComparisonOp.from_symbol("~")
+
+    def test_flipped(self):
+        assert ComparisonOp.LT.flipped() is ComparisonOp.GT
+        assert ComparisonOp.EQ.flipped() is ComparisonOp.EQ
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LT, 2, 1, False),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, 3, 2, True),
+            (ComparisonOp.GE, 2, 3, False),
+            (ComparisonOp.EQ, "a", "a", True),
+            (ComparisonOp.NE, "a", "b", True),
+        ],
+    )
+    def test_fn(self, op, a, b, expected):
+        assert op.fn(a, b) is expected
+
+
+class TestComparison:
+    def test_constructor_helper(self):
+        c = comparison("$1", "<", "$2")
+        assert c.left == Parameter("1")
+        assert c.op is ComparisonOp.LT
+        assert c.right == Parameter("2")
+
+    def test_str(self):
+        assert str(comparison("$1", "<", "$2")) == "$1 < $2"
+
+    def test_evaluate_with_binding(self):
+        c = comparison("$1", "<", "$2")
+        assert c.evaluate({Parameter("1"): "apple", Parameter("2"): "beer"})
+        assert not c.evaluate({Parameter("1"): "beer", Parameter("2"): "apple"})
+
+    def test_evaluate_with_constant_side(self):
+        c = comparison("X", ">=", 20)
+        assert c.evaluate({Variable("X"): 25})
+        assert not c.evaluate({Variable("X"): 10})
+
+    def test_evaluate_unbound_raises(self):
+        c = comparison("X", "<", "Y")
+        with pytest.raises(KeyError):
+            c.evaluate({Variable("X"): 1})
+
+    def test_bindable_terms(self):
+        c = comparison("X", "<", 20)
+        assert c.bindable_terms() == (Variable("X"),)
+
+
+class TestSubgoalTerms:
+    def test_collects_across_subgoals(self):
+        sgs = [
+            atom("baskets", "B", "$1"),
+            atom("baskets", "B", "$2"),
+            comparison("$1", "<", "$2"),
+        ]
+        assert subgoal_terms(sgs) == frozenset(
+            {Variable("B"), Parameter("1"), Parameter("2")}
+        )
+
+    def test_empty(self):
+        assert subgoal_terms([]) == frozenset()

@@ -1,0 +1,132 @@
+"""Containment-mapping tests (Chandra–Merlin, Section 3.1)."""
+
+import pytest
+
+from repro.datalog import (
+    atom,
+    comparison,
+    contains,
+    equivalent,
+    find_containment_mapping,
+    is_subquery_bound,
+    minimize,
+    negated,
+    rule,
+)
+from repro.datalog.terms import Parameter, Variable
+
+
+class TestContains:
+    def test_reflexive(self, basket_query):
+        assert contains(basket_query, basket_query)
+
+    def test_subgoal_subset_contains_full(self, basket_query):
+        sub = basket_query.with_body_subset([0])
+        assert contains(sub, basket_query)
+
+    def test_full_does_not_contain_subset(self, basket_query):
+        sub = basket_query.with_body_subset([0])
+        # A one-subgoal query returns at least as much; containment the
+        # other way fails because the $2 subgoal cannot be mapped.
+        assert not contains(basket_query, sub)
+
+    def test_parameters_map_only_to_themselves(self):
+        q1 = rule("answer", ["B"], [atom("baskets", "B", "$1")])
+        q2 = rule("answer", ["B"], [atom("baskets", "B", "$2")])
+        # Different parameters: not containment in the flock sense.
+        assert not contains(q1, q2)
+
+    def test_variable_can_collapse(self):
+        # q1: r(X,Y); q2: r(X,X). q2 ⊆ q1 by mapping Y -> X.
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X"], [atom("r", "X", "X")])
+        assert contains(q1, q2)
+        assert not contains(q2, q1)
+
+    def test_different_predicates_not_contained(self):
+        q1 = rule("answer", ["X"], [atom("r", "X")])
+        q2 = rule("answer", ["X"], [atom("s", "X")])
+        assert not contains(q1, q2)
+
+    def test_different_head_arity_not_contained(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X", "Y"], [atom("r", "X", "Y")])
+        assert not contains(q1, q2)
+
+    def test_constant_must_match(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "'a'")])
+        q2 = rule("answer", ["X"], [atom("r", "X", "'b'")])
+        assert not contains(q1, q2)
+        assert contains(q1, q1)
+
+    def test_classic_redundant_subgoal(self):
+        # q2 has a redundant subgoal r(X,Z): mapping shows equivalence.
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X"], [atom("r", "X", "Y"), atom("r", "X", "Z")])
+        assert contains(q1, q2)
+        assert contains(q2, q1)
+        assert equivalent(q1, q2)
+
+    def test_rejects_extended_queries(self, medical_query):
+        with pytest.raises(ValueError):
+            contains(medical_query, medical_query)
+
+    def test_mapping_witness_structure(self, basket_query):
+        sub = basket_query.with_body_subset([0])
+        mapping = find_containment_mapping(sub, basket_query)
+        assert mapping is not None
+        assert mapping[Variable("B")] == Variable("B")
+
+
+class TestIsSubqueryBound:
+    def test_subset_is_bound(self, medical_query):
+        sub = medical_query.with_body_subset([0, 1])
+        assert is_subquery_bound(sub, medical_query)
+
+    def test_full_query_bounds_itself(self, medical_query):
+        assert is_subquery_bound(medical_query, medical_query)
+
+    def test_superset_is_not_bound(self, medical_query):
+        extra = medical_query.with_extra_subgoals([atom("okS", "$s")])
+        assert not is_subquery_bound(extra, medical_query)
+
+    def test_works_with_negation_and_arithmetic(self, basket_query_ordered):
+        sub = basket_query_ordered.with_body_subset([0])
+        assert is_subquery_bound(sub, basket_query_ordered)
+
+    def test_head_mismatch_rejected(self, medical_query):
+        renamed = medical_query.rename_head("other")
+        assert not is_subquery_bound(renamed, medical_query)
+
+    def test_modified_subgoal_not_bound(self, basket_query):
+        tweaked = rule(
+            "answer", ["B"], [atom("baskets", "B", "$3")]
+        )
+        assert not is_subquery_bound(tweaked, basket_query)
+
+    def test_duplicate_subgoals_respect_multiplicity(self):
+        q = rule("answer", ["X"], [atom("r", "X"), atom("r", "X")])
+        twice = rule("answer", ["X"], [atom("r", "X"), atom("r", "X"), atom("r", "X")])
+        assert is_subquery_bound(q, twice)
+        assert not is_subquery_bound(twice, q)
+
+
+class TestMinimize:
+    def test_removes_redundant_subgoal(self):
+        q = rule("answer", ["X"], [atom("r", "X", "Y"), atom("r", "X", "Z")])
+        core = minimize(q)
+        assert len(core.body) == 1
+
+    def test_keeps_necessary_subgoals(self, basket_query):
+        core = minimize(basket_query)
+        # $1 and $2 subgoals are both necessary (parameters are fixed).
+        assert len(core.body) == 2
+
+    def test_idempotent(self):
+        q = rule("answer", ["X"], [atom("r", "X", "Y"), atom("r", "X", "Z")])
+        once = minimize(q)
+        assert minimize(once) == once
+
+    def test_rejects_extended(self, medical_query):
+        with pytest.raises(ValueError):
+            minimize(medical_query)

@@ -1,0 +1,118 @@
+"""Unit tests for the Datalog parser against the paper's figure texts."""
+
+import pytest
+
+from repro.datalog import (
+    Comparison,
+    ComparisonOp,
+    ConjunctiveQuery,
+    UnionQuery,
+    parse_query,
+    parse_rule,
+)
+from repro.datalog.terms import Constant, Parameter, Variable
+from repro.errors import ParseError
+
+
+class TestParseRule:
+    def test_fig2_market_basket(self):
+        q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2)")
+        assert q.head_name == "answer"
+        assert q.head_terms == (Variable("B"),)
+        assert len(q.body) == 2
+        assert q.parameters() == {Parameter("1"), Parameter("2")}
+
+    def test_fig3_medical_with_negation(self):
+        q = parse_rule(
+            """
+            answer(P) :-
+                exhibits(P,$s) AND
+                treatments(P,$m) AND
+                diagnoses(P,D) AND
+                NOT causes(D,$s)
+            """
+        )
+        assert len(q.body) == 4
+        assert q.negated_atoms()[0].predicate == "causes"
+        assert q.parameters() == {Parameter("s"), Parameter("m")}
+
+    def test_arithmetic_subgoal(self):
+        q = parse_rule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2")
+        comp = q.comparisons()[0]
+        assert comp.op is ComparisonOp.LT
+        assert comp.left == Parameter("1")
+        assert comp.right == Parameter("2")
+
+    def test_comma_separator(self):
+        q = parse_rule("answer(B) :- baskets(B,$1), baskets(B,$2)")
+        assert len(q.body) == 2
+
+    def test_trailing_period(self):
+        q = parse_rule("answer(X) :- arc($1,X).")
+        assert len(q.body) == 1
+
+    def test_string_constant(self):
+        q = parse_rule("answer(B) :- baskets(B,'beer')")
+        assert q.body[0].terms[1] == Constant("beer")
+
+    def test_numeric_constant(self):
+        q = parse_rule("answer(X) :- scores(X,N) AND N >= 20")
+        assert q.comparisons()[0].right == Constant(20)
+
+    def test_lowercase_bare_word_is_constant(self):
+        q = parse_rule("answer(X) :- color(X, red)")
+        assert q.body[0].terms[1] == Constant("red")
+
+    def test_comments_ignored(self):
+        q = parse_rule(
+            "answer(B) :- baskets(B,$1) # first item\n AND baskets(B,$2)"
+        )
+        assert len(q.body) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("answer(B) :- baskets(B,$1) extra(B)")
+
+    def test_missing_implies_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("answer(B) baskets(B,$1)")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("answer(B) :- baskets(B,@1)")
+
+    def test_parse_error_has_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_rule("answer(B) :- baskets(B,@1)")
+        assert exc.value.position is not None
+
+
+class TestParseQuery:
+    def test_single_rule_returns_cq(self):
+        q = parse_query("answer(B) :- baskets(B,$1)")
+        assert isinstance(q, ConjunctiveQuery)
+
+    def test_fig4_union_three_rules(self):
+        text = """
+        answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+        answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+        answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+        """
+        q = parse_query(text)
+        assert isinstance(q, UnionQuery)
+        assert len(q.rules) == 3
+        assert q.parameters() == {Parameter("1"), Parameter("2")}
+
+    def test_round_trip_through_str(self):
+        text = "answer(P) :- exhibits(P, $s) AND NOT causes(D, $s) AND diagnoses(P, D)"
+        q = parse_rule(text)
+        again = parse_rule(str(q))
+        assert again == q
+
+    def test_union_round_trip(self, web_union_query):
+        again = parse_query(str(web_union_query))
+        assert again == web_union_query
+
+    def test_zero_arity_atom(self):
+        q = parse_rule("answer(X) :- flag() AND data(X)")
+        assert q.body[0].arity == 0

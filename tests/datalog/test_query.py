@@ -1,0 +1,145 @@
+"""Unit tests for repro.datalog.query."""
+
+import pytest
+
+from repro.datalog import (
+    ConjunctiveQuery,
+    UnionQuery,
+    as_union,
+    atom,
+    comparison,
+    negated,
+    rule,
+)
+from repro.datalog.terms import Constant, Parameter, Variable
+
+
+class TestConjunctiveQuery:
+    def test_str_matches_paper_notation(self, basket_query):
+        assert str(basket_query) == "answer(B) :- baskets(B, $1) AND baskets(B, $2)"
+
+    def test_parameters(self, medical_query):
+        assert medical_query.parameters() == frozenset(
+            {Parameter("s"), Parameter("m")}
+        )
+
+    def test_variables_include_head_and_body(self, medical_query):
+        assert medical_query.variables() == frozenset(
+            {Variable("P"), Variable("D")}
+        )
+
+    def test_positive_negated_split(self, medical_query):
+        assert len(medical_query.positive_atoms()) == 3
+        assert len(medical_query.negated_atoms()) == 1
+        assert medical_query.negated_atoms()[0].predicate == "causes"
+
+    def test_comparisons(self, basket_query_ordered):
+        assert len(basket_query_ordered.comparisons()) == 1
+
+    def test_predicates(self, medical_query):
+        assert medical_query.predicates() == frozenset(
+            {"exhibits", "treatments", "diagnoses", "causes"}
+        )
+
+    def test_parameter_in_head_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery("answer", (Parameter("s"),), ())
+
+    def test_with_body_subset_preserves_order(self, medical_query):
+        sub = medical_query.with_body_subset([2, 0])
+        assert [s.predicate for s in sub.body] == ["exhibits", "diagnoses"]
+
+    def test_with_body_subset_out_of_range(self, medical_query):
+        with pytest.raises(IndexError):
+            medical_query.with_body_subset([99])
+
+    def test_without_subgoals(self, medical_query):
+        sub = medical_query.without_subgoals([3])
+        assert len(sub.body) == 3
+        assert sub.predicates() == frozenset({"exhibits", "treatments", "diagnoses"})
+
+    def test_with_extra_subgoals_appends(self, medical_query):
+        extra = atom("okS", "$s")
+        extended = medical_query.with_extra_subgoals([extra])
+        assert extended.body[-1] == extra
+        assert len(extended.body) == 5
+
+    def test_with_extra_subgoals_prepends(self, medical_query):
+        extra = atom("okS", "$s")
+        extended = medical_query.with_extra_subgoals([extra], prepend=True)
+        assert extended.body[0] == extra
+
+    def test_instantiate_replaces_parameters(self, basket_query):
+        inst = basket_query.instantiate(
+            {Parameter("1"): "beer", Parameter("2"): "diapers"}
+        )
+        assert inst.parameters() == frozenset()
+        assert inst.body[0].terms[1] == Constant("beer")
+        assert inst.body[1].terms[1] == Constant("diapers")
+
+    def test_instantiate_partial(self, basket_query):
+        inst = basket_query.instantiate({Parameter("1"): "beer"})
+        assert inst.parameters() == frozenset({Parameter("2")})
+
+    def test_instantiate_comparison_sides(self, basket_query_ordered):
+        inst = basket_query_ordered.instantiate(
+            {Parameter("1"): "a", Parameter("2"): "b"}
+        )
+        comp = inst.comparisons()[0]
+        assert comp.left == Constant("a")
+        assert comp.right == Constant("b")
+
+    def test_instantiate_preserves_negation(self, medical_query):
+        inst = medical_query.instantiate({Parameter("s"): "rash"})
+        assert inst.negated_atoms()[0].negated
+
+    def test_rename_head(self, basket_query):
+        assert basket_query.rename_head("ok").head_name == "ok"
+
+    def test_empty_head_name_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery("", (Variable("X"),), ())
+
+
+class TestUnionQuery:
+    def test_head_name_and_arity(self, web_union_query):
+        assert web_union_query.head_name == "answer"
+        assert web_union_query.head_arity == 1
+
+    def test_parameters_across_rules(self, web_union_query):
+        assert web_union_query.parameters() == frozenset(
+            {Parameter("1"), Parameter("2")}
+        )
+
+    def test_predicates_across_rules(self, web_union_query):
+        assert web_union_query.predicates() == frozenset(
+            {"inTitle", "inAnchor", "link"}
+        )
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            UnionQuery(())
+
+    def test_requires_same_head_name(self, basket_query):
+        other = rule("other", ["B"], [atom("baskets", "B", "$1")])
+        with pytest.raises(ValueError):
+            UnionQuery((basket_query, other))
+
+    def test_requires_same_arity(self, basket_query):
+        wide = rule("answer", ["B", "C"], [atom("pairs", "B", "C", "$1")])
+        with pytest.raises(ValueError):
+            UnionQuery((basket_query, wide))
+
+    def test_instantiate(self, web_union_query):
+        inst = web_union_query.instantiate(
+            {Parameter("1"): "alpha", Parameter("2"): "beta"}
+        )
+        assert inst.parameters() == frozenset()
+
+    def test_as_union_wraps_single_rule(self, basket_query):
+        u = as_union(basket_query)
+        assert isinstance(u, UnionQuery)
+        assert u.rules == (basket_query,)
+
+    def test_as_union_passthrough(self, web_union_query):
+        assert as_union(web_union_query) is web_union_query

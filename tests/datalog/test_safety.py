@@ -1,0 +1,149 @@
+"""Safety-condition tests, centered on the paper's Example 3.2."""
+
+import pytest
+
+from repro.datalog import (
+    SafetyRule,
+    assert_safe,
+    atom,
+    check_safety,
+    comparison,
+    is_safe,
+    negated,
+    parse_rule,
+    rule,
+    UnionQuery,
+)
+from repro.errors import SafetyError
+
+
+class TestBasicSafety:
+    def test_market_basket_query_is_safe(self, basket_query):
+        assert is_safe(basket_query)
+
+    def test_medical_query_is_safe(self, medical_query):
+        assert is_safe(medical_query)
+
+    def test_union_query_is_safe(self, web_union_query):
+        assert is_safe(web_union_query)
+
+    def test_head_variable_unbound_is_unsafe(self):
+        q = rule("answer", ["X"], [atom("r", "Y")])
+        report = check_safety(q)
+        assert not report.is_safe
+        assert report.violations[0].rule is SafetyRule.HEAD_VARIABLE
+
+    def test_head_constant_is_fine(self):
+        q = rule("answer", [1], [atom("r", "Y")])
+        assert is_safe(q)
+
+    def test_empty_body_with_variable_head_unsafe(self):
+        q = rule("answer", ["X"], [])
+        assert not is_safe(q)
+
+
+class TestNegationSafety:
+    def test_only_negated_subgoal_is_unsafe(self):
+        # The paper: "answer(P) :- NOT causes(D,$s)" makes no sense.
+        q = rule("answer", ["P"], [negated("causes", "D", "$s")])
+        report = check_safety(q)
+        assert not report.is_safe
+        rules = {v.rule for v in report.violations}
+        assert SafetyRule.HEAD_VARIABLE in rules
+        assert SafetyRule.NEGATED_SUBGOAL in rules
+
+    def test_negated_variable_needs_positive_binding(self):
+        q = rule(
+            "answer",
+            ["P"],
+            [atom("exhibits", "P", "$s"), negated("causes", "D", "$s")],
+        )
+        report = check_safety(q)
+        assert not report.is_safe
+        # D is unbound; $s is bound by exhibits.
+        assert [str(v.term) for v in report.violations] == ["D"]
+
+    def test_negated_parameter_needs_positive_binding(self):
+        q = rule(
+            "answer",
+            ["P"],
+            [atom("diagnoses", "P", "D"), negated("causes", "D", "$s")],
+        )
+        report = check_safety(q)
+        assert not report.is_safe
+        assert [str(v.term) for v in report.violations] == ["$s"]
+
+    def test_fully_bound_negation_is_safe(self):
+        q = rule(
+            "answer",
+            ["P"],
+            [
+                atom("diagnoses", "P", "D"),
+                atom("exhibits", "P", "$s"),
+                negated("causes", "D", "$s"),
+            ],
+        )
+        assert is_safe(q)
+
+
+class TestArithmeticSafety:
+    def test_comparison_needs_positive_bindings(self):
+        q = rule("answer", ["B"], [atom("baskets", "B", "$1"), comparison("$1", "<", "$2")])
+        report = check_safety(q)
+        assert not report.is_safe
+        assert report.violations[0].rule is SafetyRule.ARITHMETIC_SUBGOAL
+        assert str(report.violations[0].term) == "$2"
+
+    def test_comparison_with_constant_side_is_safe(self):
+        q = rule("answer", ["X"], [atom("scores", "X", "N"), comparison("N", ">=", 20)])
+        assert is_safe(q)
+
+    def test_ordered_basket_query_is_safe(self, basket_query_ordered):
+        assert is_safe(basket_query_ordered)
+
+
+class TestExample32:
+    """Example 3.2: the 14 nontrivial subgoal subsets of the medical flock."""
+
+    def test_head_only_condition_rules_out_one(self, medical_query):
+        # Only {NOT causes(D,$s)} lacks P in a positive subgoal.
+        q = medical_query.with_body_subset([3])
+        assert not is_safe(q)
+
+    def test_negation_requires_both_diagnoses_and_exhibits(self, medical_query):
+        # NOT causes + diagnoses alone: $s unbound.
+        assert not is_safe(medical_query.with_body_subset([2, 3]))
+        # NOT causes + exhibits alone: D unbound.
+        assert not is_safe(medical_query.with_body_subset([0, 3]))
+        # NOT causes + treatments: both D and $s unbound.
+        assert not is_safe(medical_query.with_body_subset([1, 3]))
+        # All three positives + negation is the full query (safe).
+        assert is_safe(medical_query.with_body_subset([0, 1, 2, 3]))
+        # exhibits + diagnoses + NOT causes: safe (subquery 3 of the paper).
+        assert is_safe(medical_query.with_body_subset([0, 2, 3]))
+
+
+class TestAssertSafe:
+    def test_passes_for_safe(self, medical_query):
+        assert_safe(medical_query)
+
+    def test_raises_with_details(self):
+        q = rule("answer", ["P"], [negated("causes", "D", "$s")])
+        with pytest.raises(SafetyError) as exc:
+            assert_safe(q)
+        assert "D" in str(exc.value)
+
+    def test_union_any_unsafe_rule_fails(self, basket_query):
+        bad = rule("answer", ["B"], [negated("baskets", "B", "$1")])
+        union = UnionQuery((basket_query, bad))
+        assert not is_safe(union)
+        with pytest.raises(SafetyError):
+            assert_safe(union)
+
+    def test_report_is_truthy_when_safe(self, basket_query):
+        assert check_safety(basket_query)
+
+    def test_violation_str_mentions_rule_number(self):
+        q = parse_rule("answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)")
+        report = check_safety(q)
+        assert "rule 2" in str(report.violations[0])

@@ -1,0 +1,161 @@
+"""Safe-subquery enumeration tests, reproducing Examples 3.1–3.3."""
+
+import pytest
+
+from repro.datalog import (
+    Parameter,
+    atom,
+    parameter_subsets,
+    rule,
+    safe_subqueries,
+    safe_subqueries_with_parameters,
+    minimal_safe_subqueries_with_parameters,
+    subgoal_subsets,
+    union_subqueries_with_parameters,
+    unsafe_subqueries,
+)
+
+
+class TestSubgoalSubsets:
+    def test_nontrivial_count_for_four_subgoals(self, medical_query):
+        # 2^4 - 2 = 14 nontrivial subsets (Example 3.2).
+        assert len(list(subgoal_subsets(medical_query))) == 14
+
+    def test_include_full_and_empty(self, medical_query):
+        assert len(list(subgoal_subsets(medical_query, True, True))) == 16
+
+    def test_sizes_ascending(self, medical_query):
+        sizes = [len(s) for s in subgoal_subsets(medical_query)]
+        assert sizes == sorted(sizes)
+
+
+class TestExample31:
+    """The basket flock has exactly two nontrivial subqueries, and they
+    prune symmetric parameter sets."""
+
+    def test_two_nontrivial_safe_subqueries(self, basket_query):
+        candidates = safe_subqueries(basket_query)
+        assert len(candidates) == 2
+        texts = {str(c.query) for c in candidates}
+        assert texts == {
+            "answer(B) :- baskets(B, $1)",
+            "answer(B) :- baskets(B, $2)",
+        }
+
+    def test_each_restricts_one_parameter(self, basket_query):
+        by_params = {c.parameters for c in safe_subqueries(basket_query)}
+        assert by_params == {
+            frozenset({Parameter("1")}),
+            frozenset({Parameter("2")}),
+        }
+
+
+class TestExample32:
+    """Of the 14 nontrivial subsets, exactly 8 are safe and 6 unsafe."""
+
+    def test_eight_safe(self, medical_query):
+        assert len(safe_subqueries(medical_query)) == 8
+
+    def test_six_unsafe(self, medical_query):
+        assert len(unsafe_subqueries(medical_query)) == 6
+
+    def test_papers_four_candidates_present(self, medical_query):
+        texts = {str(c.query) for c in safe_subqueries(medical_query)}
+        assert "answer(P) :- exhibits(P, $s)" in texts
+        assert "answer(P) :- treatments(P, $m)" in texts
+        assert (
+            "answer(P) :- exhibits(P, $s) AND diagnoses(P, D) AND "
+            "NOT causes(D, $s)" in texts
+        )
+        assert "answer(P) :- exhibits(P, $s) AND treatments(P, $m)" in texts
+
+    def test_safe_plus_unsafe_is_fourteen(self, medical_query):
+        total = len(safe_subqueries(medical_query)) + len(
+            unsafe_subqueries(medical_query)
+        )
+        assert total == 14
+
+
+class TestParameterRestriction:
+    def test_subqueries_for_symptom_only(self, medical_query):
+        cands = safe_subqueries_with_parameters(medical_query, [Parameter("s")])
+        texts = {str(c.query) for c in cands}
+        # Candidates mentioning exactly $s: subqueries (1) and (3) of the
+        # paper, plus (1)+diagnoses.
+        assert "answer(P) :- exhibits(P, $s)" in texts
+        assert all("$m" not in t for t in texts)
+
+    def test_minimal_candidates(self, medical_query):
+        minimal = minimal_safe_subqueries_with_parameters(
+            medical_query, [Parameter("s")]
+        )
+        texts = {str(c.query) for c in minimal}
+        assert texts == {"answer(P) :- exhibits(P, $s)"}
+
+    def test_pair_parameter_set(self, medical_query):
+        cands = minimal_safe_subqueries_with_parameters(
+            medical_query, [Parameter("s"), Parameter("m")]
+        )
+        texts = {str(c.query) for c in cands}
+        assert "answer(P) :- exhibits(P, $s) AND treatments(P, $m)" in texts
+
+    def test_no_candidates_for_unknown_parameter(self, medical_query):
+        assert (
+            safe_subqueries_with_parameters(medical_query, [Parameter("zzz")])
+            == []
+        )
+
+
+class TestExample33:
+    """Union subqueries restricted to parameter $1: one forced choice per
+    rule of the Fig. 4 union."""
+
+    def test_branch_shapes(self, web_union_query):
+        cands = union_subqueries_with_parameters(web_union_query, [Parameter("1")])
+        assert cands, "expected at least one union bound"
+        best = cands[0]
+        texts = [str(b.query) for b in best.branches]
+        assert texts == [
+            "answer(D) :- inTitle(D, $1)",
+            "answer(A) :- inAnchor(A, $1)",
+            "answer(A) :- link(A, D1, D2) AND inTitle(D2, $1)",
+        ]
+
+    def test_cheapest_choice_subgoal_counts(self, web_union_query):
+        # The paper notes there is "essentially only one choice" per rule:
+        # the cheapest candidates keep 1, 1, and 2 subgoals respectively
+        # (the third rule needs link() to bind D2).
+        cands = union_subqueries_with_parameters(web_union_query, [Parameter("1")])
+        best = cands[0]
+        assert [b.subgoal_count for b in best.branches] == [1, 1, 2]
+
+    def test_union_parameters(self, web_union_query):
+        cands = union_subqueries_with_parameters(web_union_query, [Parameter("1")])
+        assert cands[0].parameters == frozenset({Parameter("1")})
+
+    def test_max_candidates_cap(self, web_union_query):
+        cands = union_subqueries_with_parameters(
+            web_union_query, [Parameter("1")], max_candidates=1
+        )
+        assert len(cands) == 1
+
+    def test_empty_when_rule_cannot_participate(self, web_union_query, basket_query):
+        # Parameter $9 appears nowhere: no bound exists.
+        assert (
+            union_subqueries_with_parameters(web_union_query, [Parameter("9")])
+            == []
+        )
+
+
+class TestParameterSubsets:
+    def test_all_subsets_by_size(self, medical_query):
+        subsets = list(parameter_subsets(medical_query))
+        assert subsets == [
+            frozenset({Parameter("m")}),
+            frozenset({Parameter("s")}),
+            frozenset({Parameter("m"), Parameter("s")}),
+        ]
+
+    def test_max_size_cap(self, medical_query):
+        subsets = list(parameter_subsets(medical_query, max_size=1))
+        assert all(len(s) == 1 for s in subsets)

@@ -1,0 +1,56 @@
+"""Additional subquery-enumeration coverage."""
+
+import pytest
+
+from repro.datalog import (
+    Parameter,
+    safe_subqueries,
+    union_subqueries_with_parameters,
+)
+from repro.datalog.subqueries import SubqueryCandidate, UnionSubqueryCandidate
+
+
+class TestIncludeFull:
+    def test_full_query_admitted(self, basket_query):
+        with_full = safe_subqueries(basket_query, include_full=True)
+        without = safe_subqueries(basket_query)
+        assert len(with_full) == len(without) + 1
+        full = max(with_full, key=lambda c: c.subgoal_count)
+        assert full.query == basket_query
+
+    def test_candidate_str(self, basket_query):
+        candidate = safe_subqueries(basket_query)[0]
+        assert str(candidate) == str(candidate.query)
+
+    def test_candidate_parameters_property(self, basket_query):
+        candidates = safe_subqueries(basket_query)
+        assert all(
+            isinstance(c.parameters, frozenset) for c in candidates
+        )
+
+
+class TestUnionCandidates:
+    def test_union_candidate_query_builds(self, web_union_query):
+        cands = union_subqueries_with_parameters(
+            web_union_query, [Parameter("1")]
+        )
+        union = cands[0].query
+        assert union.head_name == "answer"
+        assert len(union.rules) == 3
+
+    def test_union_candidate_str(self, web_union_query):
+        cands = union_subqueries_with_parameters(
+            web_union_query, [Parameter("1")]
+        )
+        text = str(cands[0])
+        assert "inTitle(D, $1)" in text
+        assert "\n" in text  # one branch per line
+
+    def test_cross_product_of_choices(self, web_union_query):
+        # With include_full choices per rule, the cross product yields
+        # several distinct candidates for $1.
+        cands = union_subqueries_with_parameters(
+            web_union_query, [Parameter("1")]
+        )
+        assert len(cands) > 1
+        assert len({str(c) for c in cands}) == len(cands)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    Parameter,
+    Variable,
+    is_bindable,
+    make_term,
+)
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("B")) == "B"
+
+    def test_equality_by_name(self):
+        assert Variable("P") == Variable("P")
+        assert Variable("P") != Variable("D")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_rejects_dollar_prefix(self):
+        with pytest.raises(ValueError):
+            Variable("$s")
+
+
+class TestParameter:
+    def test_str_includes_sigil(self):
+        assert str(Parameter("s")) == "$s"
+
+    def test_numeric_parameter_names(self):
+        assert str(Parameter("1")) == "$1"
+
+    def test_rejects_sigil_in_name(self):
+        with pytest.raises(ValueError):
+            Parameter("$s")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+
+    def test_distinct_from_variable(self):
+        assert Parameter("s") != Variable("s")
+
+
+class TestConstant:
+    def test_string_renders_quoted(self):
+        assert str(Constant("beer")) == "'beer'"
+
+    def test_number_renders_bare(self):
+        assert str(Constant(20)) == "20"
+
+    def test_equality(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+
+class TestIsBindable:
+    def test_variable_and_parameter_bindable(self):
+        assert is_bindable(Variable("X"))
+        assert is_bindable(Parameter("x"))
+
+    def test_constant_not_bindable(self):
+        assert not is_bindable(Constant(1))
+
+
+class TestMakeTerm:
+    def test_dollar_string_is_parameter(self):
+        assert make_term("$1") == Parameter("1")
+        assert make_term("$item") == Parameter("item")
+
+    def test_capitalized_is_variable(self):
+        assert make_term("B") == Variable("B")
+        assert make_term("Disease") == Variable("Disease")
+
+    def test_underscore_is_variable(self):
+        assert make_term("_x") == Variable("_x")
+
+    def test_quoted_is_string_constant(self):
+        assert make_term("'beer'") == Constant("beer")
+        assert make_term('"beer"') == Constant("beer")
+
+    def test_int_passthrough(self):
+        assert make_term(20) == Constant(20)
+
+    def test_numeric_string(self):
+        assert make_term("20") == Constant(20)
+        assert make_term("2.5") == Constant(2.5)
+
+    def test_lowercase_is_string_constant(self):
+        assert make_term("beer") == Constant("beer")
+
+    def test_term_passthrough(self):
+        v = Variable("X")
+        assert make_term(v) is v
+
+    def test_bool_becomes_constant(self):
+        assert make_term(True) == Constant(True)
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            make_term("")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_term(object())

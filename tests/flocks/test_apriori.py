@@ -1,0 +1,152 @@
+"""Classic a-priori tests and the flock-equivalence claim (Section 4.3)."""
+
+import pytest
+
+from repro.flocks import (
+    apriori_itemsets,
+    baskets_as_sets,
+    evaluate_flock,
+    execute_plan,
+    frequent_pairs,
+    itemset_flock,
+    itemset_plan,
+    itemsets_from_flock_result,
+    support_filter,
+)
+from repro.relational import Relation
+from repro.workloads import generate_baskets
+
+
+@pytest.fixture
+def toy_baskets():
+    return Relation(
+        "baskets",
+        ("BID", "Item"),
+        {
+            (1, "beer"), (1, "diapers"), (1, "chips"),
+            (2, "beer"), (2, "diapers"),
+            (3, "beer"), (3, "diapers"), (3, "chips"),
+            (4, "beer"), (4, "chips"),
+            (5, "soap"),
+        },
+    )
+
+
+class TestBasketsAsSets:
+    def test_grouping(self, toy_baskets):
+        sets = baskets_as_sets(toy_baskets)
+        assert sets[1] == frozenset({"beer", "diapers", "chips"})
+        assert sets[5] == frozenset({"soap"})
+
+
+class TestAprioriItemsets:
+    def test_level_one(self, toy_baskets):
+        levels = apriori_itemsets(toy_baskets, support=2)
+        assert levels[1][frozenset({"beer"})] == 4
+        assert levels[1][frozenset({"chips"})] == 3
+        assert frozenset({"soap"}) not in levels[1]
+
+    def test_level_two(self, toy_baskets):
+        levels = apriori_itemsets(toy_baskets, support=2)
+        assert levels[2][frozenset({"beer", "diapers"})] == 3
+        assert levels[2][frozenset({"beer", "chips"})] == 3
+        assert levels[2][frozenset({"diapers", "chips"})] == 2
+
+    def test_level_three(self, toy_baskets):
+        levels = apriori_itemsets(toy_baskets, support=2)
+        assert levels[3] == {frozenset({"beer", "diapers", "chips"}): 2}
+
+    def test_max_size_stops_early(self, toy_baskets):
+        levels = apriori_itemsets(toy_baskets, support=2, max_size=2)
+        assert 3 not in levels
+
+    def test_high_support_empty(self, toy_baskets):
+        assert apriori_itemsets(toy_baskets, support=10) == {}
+
+    def test_candidate_pruning_respects_downward_closure(self, toy_baskets):
+        # Every frequent k-set's (k-1)-subsets must be frequent.
+        levels = apriori_itemsets(toy_baskets, support=2)
+        from itertools import combinations
+
+        for k in levels:
+            if k == 1:
+                continue
+            for itemset in levels[k]:
+                for sub in combinations(itemset, k - 1):
+                    assert frozenset(sub) in levels[k - 1]
+
+    def test_frequent_pairs_helper(self, toy_baskets):
+        pairs = frequent_pairs(toy_baskets, support=3)
+        assert pairs == {
+            frozenset({"beer", "diapers"}),
+            frozenset({"beer", "chips"}),
+        }
+
+
+class TestItemsetFlock:
+    def test_k2_shape(self):
+        flock = itemset_flock(2, support=20)
+        assert flock.parameter_columns == ("$1", "$2")
+        assert len(flock.rules[0].comparisons()) == 1
+
+    def test_k3_shape(self):
+        flock = itemset_flock(3, support=5)
+        assert flock.parameter_columns == ("$1", "$2", "$3")
+        assert len(flock.rules[0].comparisons()) == 2
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            itemset_flock(0, support=5)
+
+    def test_unordered_variant(self):
+        flock = itemset_flock(2, support=5, ordered=False)
+        assert not flock.rules[0].comparisons()
+
+
+class TestEquivalence:
+    """The headline claim: classic a-priori == flock evaluation == plan."""
+
+    @pytest.mark.parametrize("support", [2, 3, 4])
+    def test_pairs_all_three_agree(self, toy_baskets, support):
+        from repro.relational import Database
+
+        db = Database([toy_baskets])
+        flock = itemset_flock(2, support=support)
+
+        classic = frequent_pairs(toy_baskets, support)
+        naive = itemsets_from_flock_result(evaluate_flock(db, flock))
+        plan = itemset_plan(flock)
+        planned = itemsets_from_flock_result(
+            execute_plan(db, flock, plan).relation
+        )
+        assert classic == naive == planned
+
+    def test_triples_agree(self, toy_baskets):
+        from repro.relational import Database
+
+        db = Database([toy_baskets])
+        flock = itemset_flock(3, support=2)
+        classic = set(apriori_itemsets(toy_baskets, support=2).get(3, {}))
+        naive = itemsets_from_flock_result(evaluate_flock(db, flock))
+        assert classic == naive
+
+    def test_on_generated_workload(self):
+        baskets = generate_baskets(
+            n_baskets=200, n_items=50, avg_basket_size=5, skew=1.2, seed=5
+        )
+        from repro.relational import Database
+
+        db = Database([baskets])
+        flock = itemset_flock(2, support=10)
+        classic = frequent_pairs(baskets, 10)
+        naive = itemsets_from_flock_result(evaluate_flock(db, flock))
+        plan = itemset_plan(flock)
+        planned = itemsets_from_flock_result(
+            execute_plan(db, flock, plan).relation
+        )
+        assert classic == naive == planned
+
+    def test_plan_has_one_prefilter_per_parameter(self):
+        flock = itemset_flock(2, support=20)
+        plan = itemset_plan(flock)
+        assert len(plan) == 3  # okItem1, okItem2, final

@@ -1,0 +1,95 @@
+"""Tests for the strategy-comparison harness."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.flocks import (
+    compare_strategies,
+    fig2_flock,
+    fig3_flock,
+    fig4_flock,
+    parse_filter,
+    QueryFlock,
+)
+from repro.workloads import basket_database, generate_medical, generate_webdocs
+
+
+@pytest.fixture(scope="module")
+def db():
+    return basket_database(150, 200, skew=1.0, seed=31)
+
+
+class TestCompareStrategies:
+    def test_default_strategies(self, db):
+        report = compare_strategies(db, fig2_flock(support=5, ordered=True))
+        assert [t.strategy for t in report.timings] == [
+            "naive", "optimized", "dynamic",
+        ]
+        assert report.all_agree
+
+    def test_naive_always_reference(self, db):
+        report = compare_strategies(
+            db, fig2_flock(support=5, ordered=True), strategies=("dynamic",)
+        )
+        assert report.timings[0].strategy == "naive"
+        assert report.speedup("naive") == pytest.approx(1.0)
+
+    def test_sqlite_strategy(self, db):
+        report = compare_strategies(
+            db, fig2_flock(support=5, ordered=True), strategies=("sqlite",)
+        )
+        assert report.all_agree
+
+    def test_union_flock(self):
+        web = generate_webdocs(n_documents=80, n_anchors=160, seed=33)
+        report = compare_strategies(
+            web.db, fig4_flock(support=5), strategies=("optimized", "sqlite")
+        )
+        assert report.all_agree
+
+    def test_medical_flock_with_stats(self):
+        medical = generate_medical(n_patients=250, seed=35)
+        report = compare_strategies(
+            medical.db, fig3_flock(support=5),
+            strategies=("optimized", "stats", "dynamic"),
+        )
+        assert report.all_agree
+        assert len(report.timings) == 4
+
+    def test_render_contains_all_rows(self, db):
+        report = compare_strategies(db, fig2_flock(support=5, ordered=True))
+        text = report.render()
+        for t in report.timings:
+            assert t.strategy in text
+
+    def test_fastest(self, db):
+        report = compare_strategies(db, fig2_flock(support=5, ordered=True))
+        assert report.fastest().seconds == min(
+            t.seconds for t in report.timings
+        )
+
+    def test_unknown_strategy_rejected(self, db):
+        with pytest.raises(FilterError):
+            compare_strategies(
+                db, fig2_flock(support=5, ordered=True), strategies=("magic",)
+            )
+
+    def test_non_monotone_pruning_raises(self, db):
+        flock = QueryFlock(
+            fig2_flock(support=5, ordered=True).query,
+            parse_filter("COUNT(answer.B) = 5"),
+        )
+        with pytest.raises(FilterError):
+            compare_strategies(db, flock, strategies=("dynamic",))
+        # ...but comparing naive vs sqlite still works.
+        report = compare_strategies(db, flock, strategies=("sqlite",))
+        assert report.all_agree
+
+    def test_rounds_best_of(self, db):
+        single = compare_strategies(
+            db, fig2_flock(support=5, ordered=True), strategies=(), rounds=1
+        )
+        double = compare_strategies(
+            db, fig2_flock(support=5, ordered=True), strategies=(), rounds=2
+        )
+        assert single.reference == double.reference

@@ -1,0 +1,195 @@
+"""Composite (conjunction) filters — the Section 5 generalization.
+
+A conjunction of monotone conditions is monotone, so every evaluation
+strategy must support it and agree.
+"""
+
+import pytest
+
+from repro.datalog.subqueries import SubqueryCandidate
+from repro.errors import FilterError
+from repro.flocks import (
+    CompositeFilter,
+    QueryFlock,
+    evaluate_flock,
+    evaluate_flock_bruteforce,
+    evaluate_flock_dynamic,
+    evaluate_flock_sqlite,
+    execute_plan,
+    flock_to_sql,
+    parse_filter,
+    parse_flock,
+    plan_from_subqueries,
+    support_filter,
+)
+from repro.relational import database_from_dict
+
+
+WEIGHTED_TEXT = """
+QUERY:
+answer(B,W) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    importance(B,W) AND
+    $1 < $2
+
+FILTER:
+COUNT(answer.B) >= 2 AND SUM(answer.W) >= 20
+"""
+
+
+@pytest.fixture
+def weighted_db():
+    """(a,b): 3 baskets, weights 10+10+5 = 25 -> passes both.
+    (a,c): 2 baskets, weights 5+5 = 10 -> passes COUNT, fails SUM.
+    (b,c): 1 basket, weight 10 -> fails COUNT, would pass SUM at 10."""
+    return database_from_dict(
+        {
+            "baskets": (
+                ("BID", "Item"),
+                [
+                    (1, "a"), (1, "b"),
+                    (2, "a"), (2, "b"),
+                    (3, "a"), (3, "b"), (3, "c"),
+                    (4, "a"), (4, "c"),
+                    (5, "a"), (5, "c"),
+                ],
+            ),
+            "importance": (
+                ("BID", "W"),
+                [(1, 10), (2, 10), (3, 5), (4, 5), (5, 5)],
+            ),
+        }
+    )
+
+
+class TestParseComposite:
+    def test_parses_to_composite(self):
+        condition = parse_filter("COUNT(answer.B) >= 2 AND SUM(answer.W) >= 20")
+        assert isinstance(condition, CompositeFilter)
+        assert len(condition.conditions) == 2
+
+    def test_str_round_trip(self):
+        condition = parse_filter("COUNT(answer.B) >= 2 AND SUM(answer.W) >= 20")
+        assert parse_filter(str(condition)) == condition
+
+    def test_monotone_iff_all_monotone(self):
+        both = parse_filter("COUNT(answer.B) >= 2 AND SUM(answer.W) >= 20")
+        assert both.is_monotone
+        mixed = parse_filter("COUNT(answer.B) >= 2 AND COUNT(answer.B) = 5")
+        assert not mixed.is_monotone
+
+    def test_support_threshold_takes_max_count(self):
+        condition = parse_filter(
+            "COUNT(answer.B) >= 2 AND COUNT(answer.B) >= 7 AND "
+            "SUM(answer.W) >= 20"
+        )
+        assert condition.support_threshold() == 7
+
+    def test_single_condition_rejected(self):
+        with pytest.raises(FilterError):
+            CompositeFilter((support_filter(2),))
+
+    def test_mixed_relations_rejected(self):
+        a = support_filter(2, relation_name="answer")
+        b = support_filter(2, relation_name="other")
+        with pytest.raises(FilterError):
+            CompositeFilter((a, b))
+
+
+class TestCompositeEvaluation:
+    def test_naive_semantics(self, weighted_db):
+        flock = parse_flock(WEIGHTED_TEXT)
+        result = evaluate_flock(weighted_db, flock)
+        assert result.tuples == frozenset({("a", "b")})
+
+    def test_bruteforce_agrees(self, weighted_db):
+        flock = parse_flock(WEIGHTED_TEXT)
+        assert evaluate_flock_bruteforce(weighted_db, flock) == (
+            evaluate_flock(weighted_db, flock)
+        )
+
+    def test_dynamic_agrees(self, weighted_db):
+        flock = parse_flock(WEIGHTED_TEXT)
+        result, trace = evaluate_flock_dynamic(weighted_db, flock)
+        assert result.relation == evaluate_flock(weighted_db, flock)
+        # The decision threshold comes from the COUNT conjunct.
+        assert trace.decisions
+
+    def test_plan_agrees(self, weighted_db):
+        flock = parse_flock(WEIGHTED_TEXT)
+        rule = flock.rules[0]
+        candidate = SubqueryCandidate((0, 2), rule.with_body_subset([0, 2]))
+        plan = plan_from_subqueries(flock, [("okW1", candidate)])
+        assert execute_plan(weighted_db, flock, plan).relation == (
+            evaluate_flock(weighted_db, flock)
+        )
+
+    def test_sqlite_agrees(self, weighted_db):
+        flock = parse_flock(WEIGHTED_TEXT)
+        assert evaluate_flock_sqlite(weighted_db, flock) == (
+            evaluate_flock(weighted_db, flock)
+        )
+
+    def test_sql_contains_both_clauses(self, weighted_db):
+        flock = parse_flock(WEIGHTED_TEXT)
+        sql = flock_to_sql(flock, weighted_db)
+        assert "COUNT(DISTINCT" in sql
+        assert "SUM(" in sql
+        assert " AND SUM" in sql
+
+
+class TestSumDistinctBugRegression:
+    """SUM must be row-wise, not value-distinct: two different baskets
+    with equal weight both contribute (the SUM(DISTINCT) bug)."""
+
+    def test_equal_weights_counted_twice_on_sqlite(self):
+        db = database_from_dict(
+            {
+                "baskets": (
+                    ("BID", "Item"),
+                    [(1, "x"), (1, "y"), (2, "x"), (2, "y")],
+                ),
+                # Both baskets weigh 10: SUM must be 20, not 10.
+                "importance": (("BID", "W"), [(1, 10), (2, 10)]),
+            }
+        )
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B,W) :- baskets(B,$1) AND baskets(B,$2) AND
+                           importance(B,W) AND $1 < $2
+            FILTER:
+            SUM(answer.W) >= 20
+            """
+        )
+        ours = evaluate_flock(db, flock)
+        assert ours.tuples == frozenset({("x", "y")})
+        assert evaluate_flock_sqlite(db, flock) == ours
+
+    def test_non_monotone_composite_refused_for_dynamic(self, weighted_db):
+        flock_text = WEIGHTED_TEXT.replace("SUM(answer.W) >= 20",
+                                           "COUNT(answer.B) = 3")
+        flock = parse_flock(flock_text)
+        with pytest.raises(FilterError):
+            evaluate_flock_dynamic(weighted_db, flock)
+
+
+class TestCompositeOptimizer:
+    def test_optimizer_handles_composite(self, weighted_db):
+        from repro.flocks import FlockOptimizer
+
+        flock = parse_flock(WEIGHTED_TEXT)
+        opt = FlockOptimizer(weighted_db, flock)
+        best = opt.best_plan()
+        assert execute_plan(weighted_db, flock, best.plan).relation == (
+            evaluate_flock(weighted_db, flock)
+        )
+
+    def test_mine_auto_with_composite(self, weighted_db):
+        from repro import mine
+
+        flock = parse_flock(WEIGHTED_TEXT)
+        relation, report = mine(weighted_db, flock)
+        assert relation == evaluate_flock(weighted_db, flock)
+        assert report.strategy_used == "dynamic"

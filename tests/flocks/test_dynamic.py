@@ -1,0 +1,129 @@
+"""Dynamic-evaluation tests (Section 4.4)."""
+
+import pytest
+
+from repro.errors import FilterError, PlanError
+from repro.flocks import (
+    DynamicEvaluator,
+    QueryFlock,
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    parse_filter,
+    support_filter,
+)
+from repro.workloads import generate_medical
+
+
+class TestCorrectness:
+    def test_matches_naive_on_baskets(self, small_basket_db, basket_flock):
+        naive = evaluate_flock(small_basket_db, basket_flock)
+        result, _trace = evaluate_flock_dynamic(small_basket_db, basket_flock)
+        assert result.relation == naive
+
+    def test_matches_naive_on_medical(self, small_medical_db, medical_flock):
+        naive = evaluate_flock(small_medical_db, medical_flock)
+        result, _trace = evaluate_flock_dynamic(small_medical_db, medical_flock)
+        assert result.relation == naive
+
+    @pytest.mark.parametrize("decision_factor", [0.0, 0.5, 1.0, 5.0, 100.0])
+    def test_any_decision_factor_is_sound(
+        self, small_medical_db, medical_flock, decision_factor
+    ):
+        """Filtering decisions affect speed, never the answer."""
+        naive = evaluate_flock(small_medical_db, medical_flock)
+        result, _ = evaluate_flock_dynamic(
+            small_medical_db, medical_flock, decision_factor=decision_factor
+        )
+        assert result.relation == naive
+
+    def test_explicit_join_orders_are_sound(self, small_medical_db, medical_flock):
+        naive = evaluate_flock(small_medical_db, medical_flock)
+        for order in ([0, 1, 2], [1, 0, 2], [2, 1, 0]):
+            result, _ = evaluate_flock_dynamic(
+                small_medical_db, medical_flock, join_order=order
+            )
+            assert result.relation == naive
+
+    def test_on_generated_workload(self):
+        workload = generate_medical(n_patients=300, seed=3)
+        from repro.datalog import atom, negated, rule
+
+        query = rule(
+            "answer",
+            ["P"],
+            [
+                atom("exhibits", "P", "$s"),
+                atom("treatments", "P", "$m"),
+                atom("diagnoses", "P", "D"),
+                negated("causes", "D", "$s"),
+            ],
+        )
+        flock = QueryFlock(query, support_filter(8, target="P"))
+        naive = evaluate_flock(workload.db, flock)
+        result, trace = evaluate_flock_dynamic(workload.db, flock)
+        assert result.relation == naive
+        assert trace.decisions  # decisions were recorded
+
+
+class TestDecisions:
+    def test_root_always_filtered(self, small_medical_db, medical_flock):
+        _, trace = evaluate_flock_dynamic(small_medical_db, medical_flock)
+        assert trace.decisions[-1].node == "root"
+        assert trace.decisions[-1].filtered
+
+    def test_high_factor_filters_aggressively(
+        self, small_medical_db, medical_flock
+    ):
+        _, eager = evaluate_flock_dynamic(
+            small_medical_db, medical_flock, decision_factor=1000.0
+        )
+        _, lazy = evaluate_flock_dynamic(
+            small_medical_db, medical_flock, decision_factor=0.0
+        )
+        assert eager.filters_applied() >= lazy.filters_applied()
+
+    def test_lazy_factor_only_filters_root(self, small_medical_db, medical_flock):
+        _, trace = evaluate_flock_dynamic(
+            small_medical_db,
+            medical_flock,
+            decision_factor=0.0,
+            improvement_factor=0.0,
+        )
+        assert trace.filters_applied() == 1  # just the root
+
+    def test_plan_lines_rendered(self, small_medical_db, medical_flock):
+        _, trace = evaluate_flock_dynamic(
+            small_medical_db, medical_flock, decision_factor=1000.0
+        )
+        text = trace.render_plan()
+        assert "FILTER" in text
+        assert "flock($m, $s)" in text
+
+    def test_decision_str_readable(self, small_medical_db, medical_flock):
+        _, trace = evaluate_flock_dynamic(small_medical_db, medical_flock)
+        for decision in trace.decisions:
+            line = str(decision)
+            assert "ratio=" in line
+
+    def test_ratio_computation(self, small_medical_db, medical_flock):
+        # exhibits has 7 tuples over 3 distinct symptoms (fever, rash,
+        # cough) -> ratio 7/3 at the $s leaf.
+        _, trace = evaluate_flock_dynamic(
+            small_medical_db, medical_flock, decision_factor=1.0
+        )
+        leaf_decisions = [
+            d for d in trace.decisions if d.parameter_columns == ("$s",)
+        ]
+        assert leaf_decisions
+        assert leaf_decisions[0].tuples_per_assignment == pytest.approx(7 / 3)
+
+
+class TestValidation:
+    def test_union_rejected(self, small_web_db, web_flock):
+        with pytest.raises(PlanError):
+            DynamicEvaluator(small_web_db, web_flock)
+
+    def test_non_monotone_rejected(self, small_medical_db, medical_query):
+        flock = QueryFlock(medical_query, parse_filter("COUNT(answer.P) = 3"))
+        with pytest.raises(FilterError):
+            DynamicEvaluator(small_medical_db, flock)

@@ -1,0 +1,138 @@
+"""Plan-executor tests: every legal plan computes the naive result."""
+
+import pytest
+
+from repro.datalog import Parameter
+from repro.datalog.subqueries import (
+    SubqueryCandidate,
+    union_subqueries_with_parameters,
+)
+from repro.flocks import (
+    FilterStep,
+    QueryFlock,
+    QueryPlan,
+    evaluate_flock,
+    execute_plan,
+    execute_step,
+    plan_from_subqueries,
+    single_step_plan,
+    support_filter,
+)
+
+
+def fig5_plan(flock):
+    rule = flock.rules[0]
+    chosen = [
+        ("okS", SubqueryCandidate((0,), rule.with_body_subset([0]))),
+        ("okM", SubqueryCandidate((1,), rule.with_body_subset([1]))),
+    ]
+    return plan_from_subqueries(flock, chosen)
+
+
+class TestExecuteStep:
+    def test_prefilter_step_result(self, small_medical_db, medical_flock):
+        rule = medical_flock.rules[0]
+        step = FilterStep("okS", (Parameter("s"),), rule.with_body_subset([0]))
+        ok, answer_tuples = execute_step(small_medical_db, medical_flock, step)
+        assert ok.name == "okS"
+        assert ok.columns == ("$s",)
+        # Symptoms with >= 2 patients: fever (1,2,4) and rash (1,2,5).
+        assert ok.tuples == frozenset({("fever",), ("rash",)})
+        assert answer_tuples == 7  # |exhibits|
+
+    def test_step_with_ok_atom(self, small_medical_db, medical_flock):
+        plan = fig5_plan(medical_flock)
+        scratch = small_medical_db.scratch()
+        for step in plan.steps[:-1]:
+            ok, _ = execute_step(scratch, medical_flock, step)
+            scratch.add(ok)
+        final_ok, _ = execute_step(scratch, medical_flock, plan.final_step)
+        assert final_ok.project(["$m", "$s"]).tuples == frozenset(
+            {("aspirin", "rash")}
+        )
+
+
+class TestExecutePlan:
+    def test_single_step_plan_equals_naive(self, small_medical_db, medical_flock):
+        naive = evaluate_flock(small_medical_db, medical_flock)
+        result = execute_plan(
+            small_medical_db, medical_flock, single_step_plan(medical_flock)
+        )
+        assert result.relation == naive
+
+    def test_fig5_plan_equals_naive(self, small_medical_db, medical_flock):
+        naive = evaluate_flock(small_medical_db, medical_flock)
+        result = execute_plan(small_medical_db, medical_flock, fig5_plan(medical_flock))
+        assert result.relation == naive
+
+    def test_trace_records_every_step(self, small_medical_db, medical_flock):
+        result = execute_plan(
+            small_medical_db, medical_flock, fig5_plan(medical_flock)
+        )
+        assert result.trace is not None
+        assert [s.name for s in result.trace.steps] == ["okS", "okM", "ok"]
+        assert all(s.seconds >= 0 for s in result.trace.steps)
+
+    def test_prefilters_shrink_final_join(self, small_medical_db, medical_flock):
+        with_prefilters = execute_plan(
+            small_medical_db, medical_flock, fig5_plan(medical_flock)
+        )
+        plain = execute_plan(
+            small_medical_db, medical_flock, single_step_plan(medical_flock)
+        )
+        final_filtered = with_prefilters.trace.steps[-1].input_tuples
+        final_plain = plain.trace.steps[-1].input_tuples
+        assert final_filtered <= final_plain
+
+    def test_base_db_not_polluted(self, small_medical_db, medical_flock):
+        execute_plan(small_medical_db, medical_flock, fig5_plan(medical_flock))
+        assert "okS" not in small_medical_db
+        assert "okM" not in small_medical_db
+
+    def test_result_columns_canonical_order(self, small_medical_db, medical_flock):
+        result = execute_plan(
+            small_medical_db, medical_flock, fig5_plan(medical_flock)
+        )
+        assert result.relation.columns == ("$m", "$s")
+
+    def test_validate_flag(self, small_medical_db, medical_flock):
+        plan = fig5_plan(medical_flock)
+        fast = execute_plan(small_medical_db, medical_flock, plan, validate=False)
+        slow = execute_plan(small_medical_db, medical_flock, plan, validate=True)
+        assert fast.relation == slow.relation
+
+    def test_union_plan_execution(self, small_web_db, web_flock):
+        naive = evaluate_flock(small_web_db, web_flock)
+        cands = union_subqueries_with_parameters(web_flock.query, [Parameter("1")])
+        plan = plan_from_subqueries(web_flock, [("ok1", cands[0])])
+        result = execute_plan(small_web_db, web_flock, plan)
+        assert result.relation == naive
+
+    def test_flock_result_container_api(self, small_medical_db, medical_flock):
+        result = execute_plan(
+            small_medical_db, medical_flock, single_step_plan(medical_flock)
+        )
+        assert len(result) == 1
+        assert ("aspirin", "rash") in result
+        assert list(result)
+
+
+class TestPlanCorrectnessAcrossThresholds:
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 5])
+    def test_baskets_all_thresholds(
+        self, small_basket_db, basket_query_ordered, threshold
+    ):
+        flock = QueryFlock(
+            basket_query_ordered, support_filter(threshold, target="B")
+        )
+        rule = flock.rules[0]
+        plan = plan_from_subqueries(
+            flock,
+            [
+                ("ok1", SubqueryCandidate((0,), rule.with_body_subset([0]))),
+                ("ok2", SubqueryCandidate((1,), rule.with_body_subset([1]))),
+            ],
+        )
+        naive = evaluate_flock(small_basket_db, flock)
+        planned = execute_plan(small_basket_db, flock, plan)
+        assert planned.relation == naive

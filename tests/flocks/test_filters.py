@@ -1,0 +1,124 @@
+"""Unit tests for filter conditions and monotonicity (Sections 2.1, 5)."""
+
+import pytest
+
+from repro.datalog.atoms import ComparisonOp
+from repro.errors import FilterError, ParseError
+from repro.flocks import STAR, FilterCondition, parse_filter, support_filter
+from repro.relational import AggregateFunction, Relation
+
+
+class TestParseFilter:
+    def test_fig2_style(self):
+        f = parse_filter("COUNT(answer.B) >= 20")
+        assert f.aggregate is AggregateFunction.COUNT
+        assert f.relation_name == "answer"
+        assert f.target == "B"
+        assert f.op is ComparisonOp.GE
+        assert f.threshold == 20
+
+    def test_fig4_star_style(self):
+        f = parse_filter("COUNT(answer(*)) >= 20")
+        assert f.target == STAR
+
+    def test_fig1_flipped_style(self):
+        # The SQL HAVING clause writes "20 <= COUNT(...)".
+        f = parse_filter("20 <= COUNT(answer.BID)")
+        assert f.op is ComparisonOp.GE
+        assert f.threshold == 20
+
+    def test_sum_filter(self):
+        f = parse_filter("SUM(answer.W) >= 20")
+        assert f.aggregate is AggregateFunction.SUM
+
+    def test_float_threshold(self):
+        f = parse_filter("SUM(answer.W) >= 2.5")
+        assert f.threshold == 2.5
+
+    def test_case_insensitive_aggregate(self):
+        assert parse_filter("count(answer.B) >= 1").aggregate is AggregateFunction.COUNT
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_filter("COUNT answer >= 20")
+
+    def test_star_with_sum_rejected(self):
+        with pytest.raises(FilterError):
+            parse_filter("SUM(answer(*)) >= 20")
+
+    def test_round_trip_str(self):
+        f = parse_filter("COUNT(answer.B) >= 20")
+        assert parse_filter(str(f)) == f
+
+    def test_star_round_trip(self):
+        f = parse_filter("COUNT(answer(*)) >= 20")
+        assert str(f) == "COUNT(answer(*)) >= 20"
+
+
+class TestPasses:
+    def test_count_ge(self):
+        f = support_filter(20)
+        assert f.passes(20)
+        assert f.passes(25)
+        assert not f.passes(19)
+
+    def test_support_filter_helper(self):
+        f = support_filter(5, target="B")
+        assert str(f) == "COUNT(answer.B) >= 5"
+
+
+class TestTestRelation:
+    def test_count_star(self):
+        f = support_filter(2)
+        rel = Relation("answer", ("B",), {(1,), (2,)})
+        assert f.test_relation(rel)
+        assert not f.test_relation(Relation("answer", ("B",), {(1,)}))
+
+    def test_count_named_column(self):
+        f = parse_filter("COUNT(answer.B) >= 2")
+        rel = Relation("answer", ("B", "W"), {(1, 5), (1, 6), (2, 5)})
+        assert f.test_relation(rel)  # distinct B = {1, 2}
+
+    def test_sum(self):
+        f = parse_filter("SUM(answer.W) >= 10")
+        rel = Relation("answer", ("B", "W"), {(1, 5), (2, 5)})
+        assert f.test_relation(rel)
+        assert not f.test_relation(Relation("answer", ("B", "W"), {(1, 5)}))
+
+    def test_sum_empty_relation_fails(self):
+        f = parse_filter("SUM(answer.W) >= 0")
+        assert not f.test_relation(Relation("answer", ("B", "W")))
+
+    def test_min_le(self):
+        f = parse_filter("MIN(answer.W) <= 3")
+        assert f.test_relation(Relation("answer", ("B", "W"), {(1, 2), (2, 9)}))
+        assert not f.test_relation(Relation("answer", ("B", "W"), {(2, 9)}))
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("COUNT(answer.B) >= 20", True),
+            ("COUNT(answer.B) > 20", True),
+            ("COUNT(answer.B) <= 20", False),
+            ("COUNT(answer.B) = 20", False),
+            ("SUM(answer.W) >= 20", True),
+            ("SUM(answer.W) <= 20", False),
+            ("MAX(answer.W) >= 20", True),
+            ("MAX(answer.W) <= 20", False),
+            ("MIN(answer.W) <= 20", True),
+            ("MIN(answer.W) >= 20", False),
+        ],
+    )
+    def test_classification(self, text, expected):
+        assert parse_filter(text).is_monotone is expected
+
+    def test_sum_needs_nonnegativity(self):
+        f = parse_filter("SUM(answer.W) >= 20", assume_nonnegative=False)
+        assert not f.is_monotone
+
+    def test_support_condition(self):
+        assert parse_filter("COUNT(answer.B) >= 20").is_support_condition
+        assert not parse_filter("SUM(answer.W) >= 20").is_support_condition
+        assert not parse_filter("COUNT(answer.B) <= 20").is_support_condition

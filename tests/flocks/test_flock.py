@@ -1,0 +1,143 @@
+"""Unit tests for the QueryFlock model and the flock parser."""
+
+import pytest
+
+from repro.datalog import Parameter, atom, negated, rule
+from repro.errors import FilterError, ParseError, SafetyError
+from repro.flocks import QueryFlock, parse_flock, support_filter
+
+
+FIG2_TEXT = """
+QUERY:
+answer(B) :-
+    baskets(B,$1) AND
+    baskets(B,$2)
+
+FILTER:
+COUNT(answer.B) >= 20
+"""
+
+FIG3_TEXT = """
+QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+
+FILTER:
+COUNT(answer.P) >= 20
+"""
+
+FIG4_TEXT = """
+QUERY:
+answer(D) :-
+    inTitle(D,$1) AND
+    inTitle(D,$2) AND
+    $1 < $2
+
+answer(A) :-
+    link(A,D1,D2) AND
+    inAnchor(A,$1) AND
+    inTitle(D2,$2) AND
+    $1 < $2
+
+answer(A) :-
+    link(A,D1,D2) AND
+    inAnchor(A,$2) AND
+    inTitle(D2,$1) AND
+    $1 < $2
+
+FILTER:
+COUNT(answer(*)) >= 20
+"""
+
+FIG10_TEXT = """
+QUERY:
+answer(B,W) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    importance(B,W)
+
+FILTER:
+SUM(answer.W) >= 20
+"""
+
+
+class TestParseFlock:
+    def test_fig2(self):
+        flock = parse_flock(FIG2_TEXT)
+        assert flock.parameter_columns == ("$1", "$2")
+        assert flock.filter.threshold == 20
+        assert not flock.is_union
+
+    def test_fig3(self):
+        flock = parse_flock(FIG3_TEXT)
+        assert flock.parameter_columns == ("$m", "$s")
+        assert flock.predicates() == {
+            "exhibits", "treatments", "diagnoses", "causes",
+        }
+
+    def test_fig4_union(self):
+        flock = parse_flock(FIG4_TEXT)
+        assert flock.is_union
+        assert len(flock.rules) == 3
+        assert flock.filter.target == "*"
+
+    def test_fig10_weighted(self):
+        flock = parse_flock(FIG10_TEXT)
+        assert flock.filter.aggregate.value == "SUM"
+        assert flock.filter.is_monotone
+
+    def test_missing_sections(self):
+        with pytest.raises(ParseError):
+            parse_flock("answer(B) :- baskets(B,$1)")
+
+    def test_str_round_trip(self):
+        flock = parse_flock(FIG2_TEXT)
+        assert parse_flock(str(flock)) == flock
+
+
+class TestValidation:
+    def test_unsafe_query_rejected(self):
+        q = rule("answer", ["P"], [negated("causes", "D", "$s")])
+        with pytest.raises(SafetyError):
+            QueryFlock(q, support_filter(2, target="P"))
+
+    def test_filter_head_mismatch(self, basket_query):
+        bad = support_filter(2, relation_name="other", target="B")
+        with pytest.raises(FilterError):
+            QueryFlock(basket_query, bad)
+
+    def test_filter_target_must_be_head_term(self, basket_query):
+        bad = support_filter(2, target="Z")
+        with pytest.raises(FilterError):
+            QueryFlock(basket_query, bad)
+
+    def test_union_requires_star_target(self, web_union_query):
+        with pytest.raises(FilterError):
+            QueryFlock(web_union_query, support_filter(2, target="D"))
+
+    def test_empty_accepting_count_rejected(self, basket_query):
+        with pytest.raises(FilterError):
+            QueryFlock(basket_query, support_filter(0, target="B"))
+
+    def test_rule_missing_parameter_rejected(self):
+        from repro.datalog import UnionQuery
+
+        r1 = rule("answer", ["B"], [atom("r", "B", "$1"), atom("r", "B", "$2")])
+        r2 = rule("answer", ["B"], [atom("r", "B", "$1")])
+        with pytest.raises(FilterError):
+            QueryFlock(UnionQuery((r1, r2)), support_filter(2))
+
+
+class TestProperties:
+    def test_parameters_sorted_by_name(self, medical_flock):
+        assert medical_flock.parameters == (Parameter("m"), Parameter("s"))
+
+    def test_rules_view(self, basket_flock):
+        assert len(basket_flock.rules) == 1
+
+    def test_str_contains_sections(self, basket_flock):
+        text = str(basket_flock)
+        assert "QUERY:" in text and "FILTER:" in text

@@ -1,0 +1,152 @@
+"""Tests for the flock linter."""
+
+import pytest
+
+from repro.datalog import atom, comparison, negated, rule, UnionQuery
+from repro.flocks import (
+    LintCode,
+    QueryFlock,
+    lint_flock,
+    parse_filter,
+    parse_flock,
+    support_filter,
+)
+
+
+def codes(flock):
+    return {w.code for w in lint_flock(flock)}
+
+
+class TestCleanFlocks:
+    def test_fig2_is_clean(self, basket_flock):
+        assert lint_flock(basket_flock) == []
+
+    def test_fig3_is_clean(self, medical_flock):
+        assert lint_flock(medical_flock) == []
+
+    def test_fig4_union_is_clean(self, web_flock):
+        assert lint_flock(web_flock) == []
+
+
+class TestUnsatisfiableComparisons:
+    def test_contradictory_tie_breaks(self):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B) :- baskets(B,$1) AND baskets(B,$2) AND
+                         $1 < $2 AND $2 < $1
+            FILTER:
+            COUNT(answer.B) >= 2
+            """
+        )
+        assert LintCode.UNSATISFIABLE_COMPARISONS in codes(flock)
+
+    def test_constant_contradiction(self):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(X) :- scores(X,N) AND N < 3 AND N > 7
+            FILTER:
+            COUNT(answer.X) >= 2
+            """
+        )
+        assert LintCode.UNSATISFIABLE_COMPARISONS in codes(flock)
+
+
+class TestCartesianProduct:
+    def test_disconnected_atoms_flagged(self):
+        q = rule(
+            "answer", ["X"],
+            [atom("r", "X", "$1"), atom("s", "Y", "$2")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="X"))
+        assert LintCode.CARTESIAN_PRODUCT in codes(flock)
+
+    def test_comparison_connects_components(self):
+        q = rule(
+            "answer", ["X"],
+            [atom("r", "X", "$1"), atom("s", "Y", "$2"),
+             comparison("$1", "<", "$2")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="X"))
+        assert LintCode.CARTESIAN_PRODUCT not in codes(flock)
+
+
+class TestUnconstrainedParameter:
+    def test_isolated_parameter_subgoal_flagged(self):
+        q = rule(
+            "answer", ["X"],
+            [atom("r", "X", "Y"), atom("s", "Z", "$p")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="X"))
+        warnings = [
+            w for w in lint_flock(flock)
+            if w.code is LintCode.UNCONSTRAINED_PARAMETER
+        ]
+        assert len(warnings) == 1
+        assert "$p" in warnings[0].message
+
+    def test_parameter_alone_with_no_variables_flagged(self):
+        q = rule(
+            "answer", ["X"],
+            [atom("r", "X"), atom("flag", "$p")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="X"))
+        assert LintCode.UNCONSTRAINED_PARAMETER in codes(flock)
+
+    def test_medical_style_single_occurrence_is_clean(self, medical_flock):
+        # $m occurs once (treatments(P,$m)) but P links it to the body:
+        # exactly the Fig. 3 shape, which must NOT be flagged.
+        assert LintCode.UNCONSTRAINED_PARAMETER not in codes(medical_flock)
+
+    def test_basket_parameters_not_flagged(self, basket_flock):
+        assert LintCode.UNCONSTRAINED_PARAMETER not in codes(basket_flock)
+
+
+class TestDuplicateSubgoal:
+    def test_duplicate_flagged(self):
+        q = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$1"),
+             atom("r", "B", "$2")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="B"))
+        assert LintCode.DUPLICATE_SUBGOAL in codes(flock)
+
+
+class TestRedundantSubgoal:
+    def test_cm_redundancy_flagged(self):
+        q = rule(
+            "answer", ["X"],
+            [atom("r", "X", "$1"), atom("r", "X", "Z")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="X"))
+        found = codes(flock)
+        assert LintCode.REDUNDANT_SUBGOAL in found
+
+    def test_extended_rules_skip_redundancy_check(self, medical_flock):
+        # Negation present: the CM check does not apply, no crash.
+        assert LintCode.REDUNDANT_SUBGOAL not in codes(medical_flock)
+
+
+class TestNonMonotoneFilter:
+    def test_flagged(self, medical_query):
+        flock = QueryFlock(medical_query, parse_filter("COUNT(answer.P) = 5"))
+        assert LintCode.NON_MONOTONE_FILTER in codes(flock)
+
+
+class TestUnionRuleIndices:
+    def test_rule_index_reported(self):
+        r1 = rule("answer", ["B"], [atom("r", "B", "$1"), atom("r", "B", "$2")])
+        r2 = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$1", "<", "$2"), comparison("$2", "<", "$1")],
+        )
+        flock = QueryFlock(UnionQuery((r1, r2)), support_filter(2))
+        warnings = [
+            w for w in lint_flock(flock)
+            if w.code is LintCode.UNSATISFIABLE_COMPARISONS
+        ]
+        assert warnings[0].rule_index == 1
+        assert "rule 2" in str(warnings[0])

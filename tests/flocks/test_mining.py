@@ -1,0 +1,118 @@
+"""Tests for the mine() front door and bag-semantics documentation tests."""
+
+import pytest
+
+from repro import mine
+from repro.errors import FilterError
+from repro.flocks import (
+    QueryFlock,
+    evaluate_flock,
+    parse_filter,
+    support_filter,
+)
+from repro.datalog import atom, comparison, rule
+
+
+class TestMine:
+    @pytest.mark.parametrize(
+        "strategy", ["auto", "naive", "optimized", "stats", "dynamic"]
+    )
+    def test_all_strategies_agree(self, small_basket_db, basket_flock, strategy):
+        reference = evaluate_flock(small_basket_db, basket_flock)
+        relation, report = mine(small_basket_db, basket_flock, strategy=strategy)
+        assert relation == reference
+        assert report.strategy_requested == strategy
+
+    def test_auto_uses_dynamic_for_single_rule(self, small_basket_db, basket_flock):
+        _, report = mine(small_basket_db, basket_flock)
+        assert report.strategy_used == "dynamic"
+        assert report.decision_text
+
+    def test_auto_uses_optimized_for_unions(self, small_web_db, web_flock):
+        relation, report = mine(small_web_db, web_flock)
+        assert report.strategy_used == "optimized"
+        assert relation == evaluate_flock(small_web_db, web_flock)
+
+    def test_auto_falls_back_to_naive_for_non_monotone(
+        self, small_medical_db, medical_query
+    ):
+        flock = QueryFlock(medical_query, parse_filter("COUNT(answer.P) = 2"))
+        relation, report = mine(small_medical_db, flock)
+        assert report.strategy_used == "naive"
+        assert relation == evaluate_flock(small_medical_db, flock)
+
+    def test_lint_warnings_in_report(self, small_basket_db):
+        q = rule(
+            "answer", ["B"],
+            [atom("baskets", "B", "$1"), atom("baskets", "B", "$2"),
+             comparison("$1", "<", "$2"), comparison("$2", "<", "$1")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="B"))
+        _, report = mine(small_basket_db, flock)
+        assert report.warnings
+        assert "unsatisfiable" in str(report)
+
+    def test_lint_disabled(self, small_basket_db, basket_flock):
+        _, report = mine(small_basket_db, basket_flock, lint=False)
+        assert report.warnings == ()
+
+    def test_unknown_strategy_rejected(self, small_basket_db, basket_flock):
+        with pytest.raises(FilterError):
+            mine(small_basket_db, basket_flock, strategy="magic")
+
+    def test_plan_text_for_optimized(self, small_basket_db, basket_flock):
+        _, report = mine(small_basket_db, basket_flock, strategy="optimized")
+        assert report.plan_text is not None
+        assert "FILTER" in report.plan_text
+
+    def test_report_str_readable(self, small_basket_db, basket_flock):
+        _, report = mine(small_basket_db, basket_flock, strategy="optimized")
+        text = str(report)
+        assert "strategy: optimized" in text
+        assert "ms" in text
+
+
+class TestBagSemanticsCaveat:
+    """The paper: "we assume that extended CQ's follow the conventional
+    set semantics rather than bag semantics ... Some of our claims would
+    not hold for bag semantics."  This test documents the counterexample:
+    under bags, a subquery can *under*-count relative to the full query,
+    so the upper-bound property (the basis of a-priori) fails.
+    """
+
+    def test_bag_counts_break_the_upper_bound(self):
+        # Database: baskets(B, I) with items i1, i2 in one basket.
+        # Full query: answer(B) :- baskets(B,$1) AND baskets(B,$2)
+        # with $1=i1, $2=i2 matches once per (row1, row2) combination —
+        # under bag semantics the JOIN of the two subgoals yields MORE
+        # rows than either single subgoal, so the single-subgoal
+        # "bound" |answer_sub| >= |answer_full| fails.
+        rows = [("b1", "i1"), ("b1", "i2"), ("b1", "i2")]  # a bag: i2 twice
+
+        def bag_eval_full(rows, item1, item2):
+            return [
+                (r1[0],)
+                for r1 in rows
+                for r2 in rows
+                if r1[0] == r2[0] and r1[1] == item1 and r2[1] == item2
+            ]
+
+        def bag_eval_sub(rows, item1):
+            return [(r[0],) for r in rows if r[1] == item1]
+
+        full = bag_eval_full(rows, "i1", "i2")   # 1 x 2 = 2 bag-tuples
+        sub = bag_eval_sub(rows, "i1")           # 1 bag-tuple
+        # Bag semantics: the "cheaper" subquery count (1) is NOT an
+        # upper bound on the full count (2).
+        assert len(sub) < len(full)
+
+        # Set semantics (our engine): the bound holds, always.
+        from repro.relational import Relation, Database, evaluate_conjunctive
+        from repro.datalog import parse_rule
+
+        db = Database([Relation("baskets", ("B", "I"), set(rows))])
+        full_q = parse_rule("answer(B) :- baskets(B,'i1') AND baskets(B,'i2')")
+        sub_q = parse_rule("answer(B) :- baskets(B,'i1')")
+        assert len(evaluate_conjunctive(db, sub_q)) >= len(
+            evaluate_conjunctive(db, full_q)
+        )

@@ -1,0 +1,131 @@
+"""Static-optimizer tests: candidate pools, cost model, plan search."""
+
+import pytest
+
+from repro.datalog import Parameter
+from repro.errors import FilterError, PlanError
+from repro.flocks import (
+    FlockOptimizer,
+    QueryFlock,
+    estimate_rule_size,
+    evaluate_flock,
+    execute_plan,
+    optimize,
+    parse_filter,
+    support_filter,
+)
+from repro.workloads import basket_database, generate_medical
+
+
+@pytest.fixture(scope="module")
+def skewed_basket_db():
+    """Zipf-skewed baskets where pre-filtering pays off."""
+    return basket_database(n_baskets=300, n_items=150, avg_basket_size=6,
+                           skew=1.3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def medical_workload():
+    return generate_medical(n_patients=400, seed=11)
+
+
+class TestEstimateRuleSize:
+    def test_single_atom_is_cardinality(self, small_basket_db, basket_query):
+        sub = basket_query.with_body_subset([0])
+        est = estimate_rule_size(small_basket_db, sub)
+        assert est == len(small_basket_db.get("baskets"))
+
+    def test_self_join_divides_by_distinct(self, small_basket_db, basket_query):
+        est = estimate_rule_size(small_basket_db, basket_query)
+        n = len(small_basket_db.get("baskets"))
+        bids = small_basket_db.get("baskets").distinct_count("BID")
+        assert est == pytest.approx(n * n / bids)
+
+    def test_comparison_halves(self, small_basket_db, basket_query,
+                               basket_query_ordered):
+        plain = estimate_rule_size(small_basket_db, basket_query)
+        ordered = estimate_rule_size(small_basket_db, basket_query_ordered)
+        assert ordered == pytest.approx(plain / 2)
+
+    def test_negation_selectivity(self, small_medical_db, medical_query):
+        with_neg = estimate_rule_size(small_medical_db, medical_query)
+        without = estimate_rule_size(
+            small_medical_db, medical_query.without_subgoals([3])
+        )
+        assert with_neg == pytest.approx(without / 2)
+
+
+class TestFlockOptimizer:
+    def test_candidate_pool_covers_parameter_sets(
+        self, small_medical_db, medical_flock
+    ):
+        opt = FlockOptimizer(small_medical_db, medical_flock)
+        pool = opt.candidate_steps()
+        param_sets = {frozenset(c.parameters) for _, c in pool}
+        assert frozenset({Parameter("s")}) in param_sets
+        assert frozenset({Parameter("m")}) in param_sets
+        assert frozenset({Parameter("s"), Parameter("m")}) in param_sets
+
+    def test_rejects_non_monotone(self, medical_query, small_medical_db):
+        flock = QueryFlock(medical_query, parse_filter("COUNT(answer.P) = 5"))
+        with pytest.raises(FilterError):
+            FlockOptimizer(small_medical_db, flock)
+
+    def test_rejects_unions(self, small_web_db, web_flock):
+        with pytest.raises(PlanError):
+            FlockOptimizer(small_web_db, web_flock)
+
+    def test_enumerate_includes_trivial_plan(
+        self, small_medical_db, medical_flock
+    ):
+        opt = FlockOptimizer(small_medical_db, medical_flock)
+        plans = opt.enumerate_plans(max_prefilters=1)
+        assert any(len(p) == 1 for p in plans)
+        assert any(len(p) == 2 for p in plans)
+
+    def test_all_enumerated_plans_are_correct(
+        self, small_medical_db, medical_flock
+    ):
+        naive = evaluate_flock(small_medical_db, medical_flock)
+        opt = FlockOptimizer(small_medical_db, medical_flock)
+        for plan in opt.enumerate_plans(max_prefilters=2):
+            result = execute_plan(small_medical_db, medical_flock, plan)
+            assert result.relation == naive, plan.render(medical_flock)
+
+    def test_best_plan_scores_finite(self, small_medical_db, medical_flock):
+        scored = FlockOptimizer(small_medical_db, medical_flock).best_plan()
+        assert scored.estimated_cost >= 0
+        assert len(scored.step_costs) == len(scored.plan)
+
+    def test_optimize_on_skewed_data_uses_prefilters(self, skewed_basket_db):
+        from repro.flocks import itemset_flock
+
+        flock = itemset_flock(2, support=20)
+        plan = optimize(skewed_basket_db, flock)
+        # With strong skew and a high threshold the optimizer should
+        # choose at least one pre-filter step.
+        assert len(plan) >= 2
+
+    def test_optimized_plan_correct_on_real_workload(self, medical_workload):
+        flock = QueryFlock(
+            _medical_query(), support_filter(10, target="P")
+        )
+        naive = evaluate_flock(medical_workload.db, flock)
+        plan = optimize(medical_workload.db, flock)
+        result = execute_plan(medical_workload.db, flock, plan)
+        assert result.relation == naive
+
+
+def _medical_query():
+    from repro.datalog import atom, negated, rule
+
+    return rule(
+        "answer",
+        ["P"],
+        [
+            atom("exhibits", "P", "$s"),
+            atom("treatments", "P", "$m"),
+            atom("diagnoses", "P", "D"),
+            negated("causes", "D", "$s"),
+        ],
+    )

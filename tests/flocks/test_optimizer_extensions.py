@@ -1,0 +1,133 @@
+"""Tests for the union optimizer and heuristic-2 chained-plan search."""
+
+import pytest
+
+from repro.datalog import atom, rule
+from repro.errors import FilterError, PlanError
+from repro.flocks import (
+    FlockOptimizer,
+    QueryFlock,
+    evaluate_flock,
+    execute_plan,
+    optimize_union,
+    parse_flock,
+    support_filter,
+)
+from repro.workloads import generate_layered_hub_digraph, generate_webdocs
+
+
+@pytest.fixture(scope="module")
+def web():
+    return generate_webdocs(
+        n_documents=400, n_anchors=900, vocabulary=500, seed=55
+    )
+
+
+@pytest.fixture(scope="module")
+def web_flock20():
+    return parse_flock(
+        """
+        QUERY:
+        answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+        answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND
+                     inTitle(D2,$2) AND $1 < $2
+        answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND
+                     inTitle(D2,$1) AND $1 < $2
+        FILTER:
+        COUNT(answer(*)) >= 20
+        """
+    )
+
+
+class TestOptimizeUnion:
+    def test_produces_prefilters_when_beneficial(self, web, web_flock20):
+        plan = optimize_union(web.db, web_flock20)
+        assert len(plan) >= 2  # at least one okU step + final
+
+    def test_result_matches_naive(self, web, web_flock20):
+        plan = optimize_union(web.db, web_flock20)
+        naive = evaluate_flock(web.db, web_flock20)
+        assert execute_plan(web.db, web_flock20, plan).relation == naive
+
+    def test_strict_benefit_factor_falls_back(self, web, web_flock20):
+        plan = optimize_union(web.db, web_flock20, benefit_factor=0.01)
+        assert plan.step_names() == ["ok"]
+        naive = evaluate_flock(web.db, web_flock20)
+        assert execute_plan(web.db, web_flock20, plan).relation == naive
+
+    def test_max_bounds_cap(self, web, web_flock20):
+        plan = optimize_union(web.db, web_flock20, max_bounds=1)
+        assert len(plan) <= 2
+
+    def test_rejects_single_rule_flock(self, web):
+        single = QueryFlock(
+            rule("answer", ["D"], [atom("inTitle", "D", "$1")]),
+            support_filter(5, target="D"),
+        )
+        with pytest.raises(PlanError):
+            optimize_union(web.db, single)
+
+    def test_rejects_non_monotone(self, web, web_flock20):
+        from repro.flocks import parse_filter
+
+        bad = QueryFlock(web_flock20.query, parse_filter("COUNT(answer(*)) = 5"))
+        with pytest.raises(FilterError):
+            optimize_union(web.db, bad)
+
+
+class TestChainedSearch:
+    @pytest.fixture(scope="class")
+    def path_setup(self):
+        db = generate_layered_hub_digraph(
+            max_depth=2, hubs_per_depth=10, successors_per_hub=25, seed=8
+        )
+        query = rule(
+            "answer",
+            ["X"],
+            [
+                atom("arc", "$1", "X"),
+                atom("arc", "X", "Y1"),
+                atom("arc", "Y1", "Y2"),
+            ],
+        )
+        flock = QueryFlock(query, support_filter(20, target="X"))
+        return db, flock
+
+    def test_chains_enumerated(self, path_setup):
+        db, flock = path_setup
+        opt = FlockOptimizer(db, flock)
+        chains = opt.enumerate_chained_plans()
+        assert chains
+        # A chain has > 2 steps (several levels + final).
+        assert any(len(plan) > 2 for plan in chains)
+
+    def test_chain_levels_nest(self, path_setup):
+        db, flock = path_setup
+        opt = FlockOptimizer(db, flock)
+        for plan in opt.enumerate_chained_plans():
+            # Every non-final step after the first must reference its
+            # predecessor's ok relation.
+            names = plan.step_names()
+            for i, step in enumerate(plan.prefilter_steps[1:], start=1):
+                body_text = str(step.query)
+                assert names[i - 1] in body_text
+
+    def test_chained_plans_correct(self, path_setup):
+        db, flock = path_setup
+        naive = evaluate_flock(db, flock)
+        opt = FlockOptimizer(db, flock)
+        for plan in opt.enumerate_chained_plans():
+            assert execute_plan(db, flock, plan).relation == naive
+
+    def test_best_plan_with_chains_correct(self, path_setup):
+        db, flock = path_setup
+        naive = evaluate_flock(db, flock)
+        best = FlockOptimizer(db, flock).best_plan(include_chains=True)
+        assert execute_plan(db, flock, best.plan).relation == naive
+
+    def test_chain_search_never_worse_estimated(self, path_setup):
+        db, flock = path_setup
+        opt = FlockOptimizer(db, flock)
+        without = opt.best_plan(include_chains=False)
+        with_chains = opt.best_plan(include_chains=True)
+        assert with_chains.estimated_cost <= without.estimated_cost + 1e-9

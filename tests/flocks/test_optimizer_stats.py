@@ -1,0 +1,84 @@
+"""Tests for the Section 4.4 statistics-gathering optimizer mode."""
+
+import pytest
+
+from repro.flocks import (
+    FlockOptimizer,
+    evaluate_flock,
+    execute_plan,
+    itemset_flock,
+)
+from repro.workloads import basket_database
+
+
+@pytest.fixture(scope="module")
+def long_tail_db():
+    """Most items below support: exact statistics reveal far more
+    pruning than the pigeonhole bound predicts."""
+    return basket_database(
+        n_baskets=500, n_items=800, avg_basket_size=7, skew=1.0, seed=77
+    )
+
+
+class TestGatherStatistics:
+    def test_exact_mode_still_correct(self, long_tail_db):
+        flock = itemset_flock(2, support=15)
+        naive = evaluate_flock(long_tail_db, flock)
+        opt = FlockOptimizer(long_tail_db, flock, gather_statistics=True)
+        plan = opt.best_plan().plan
+        result = execute_plan(long_tail_db, flock, plan, validate=False)
+        assert result.relation == naive
+
+    def test_exact_never_exceeds_pigeonhole(self, long_tail_db):
+        flock = itemset_flock(2, support=15)
+        loose = FlockOptimizer(long_tail_db, flock, gather_statistics=False)
+        tight = FlockOptimizer(long_tail_db, flock, gather_statistics=True)
+        for _name, candidate in loose.candidate_steps():
+            if len(candidate.query.body) != 1:
+                continue
+            bound = loose.estimate_ok_assignments(candidate)
+            exact = tight.estimate_ok_assignments(candidate)
+            assert exact <= bound + 1e-9
+
+    def test_exact_cost_leq_estimated(self, long_tail_db):
+        """Better statistics can only make the chosen plan look cheaper
+        (its prefilter selectivities are no larger)."""
+        flock = itemset_flock(2, support=15)
+        loose_best = FlockOptimizer(
+            long_tail_db, flock, gather_statistics=False
+        ).best_plan()
+        tight_best = FlockOptimizer(
+            long_tail_db, flock, gather_statistics=True
+        ).best_plan()
+        assert tight_best.estimated_cost <= loose_best.estimated_cost + 1e-9
+
+    def test_probe_results_cached(self, long_tail_db):
+        flock = itemset_flock(2, support=15)
+        opt = FlockOptimizer(long_tail_db, flock, gather_statistics=True)
+        pool = opt.candidate_steps()
+        single = next(c for _n, c in pool if len(c.query.body) == 1)
+        first = opt.estimate_ok_assignments(single)
+        assert opt._exact_ok_cache  # populated
+        second = opt.estimate_ok_assignments(single)
+        assert first == second
+
+    def test_probe_does_not_pollute_database(self, long_tail_db):
+        flock = itemset_flock(2, support=15)
+        opt = FlockOptimizer(long_tail_db, flock, gather_statistics=True)
+        opt.best_plan()
+        assert "_stats_probe" not in long_tail_db
+
+    def test_exact_matches_true_survivor_count(self, long_tail_db):
+        flock = itemset_flock(2, support=15)
+        opt = FlockOptimizer(long_tail_db, flock, gather_statistics=True)
+        single = next(
+            c for _n, c in opt.candidate_steps() if len(c.query.body) == 1
+        )
+        measured = opt.estimate_ok_assignments(single)
+        # Independently: items in >= 15 baskets.
+        baskets = long_tail_db.get("baskets")
+        from collections import Counter
+
+        counts = Counter(item for _bid, item in baskets.tuples)
+        true_survivors = sum(1 for c in counts.values() if c >= 15)
+        assert measured == true_survivors

@@ -1,0 +1,89 @@
+"""Tests for the canned paper-figure objects."""
+
+import pytest
+
+from repro.flocks import (
+    evaluate_flock,
+    execute_plan,
+    fig2_flock,
+    fig3_flock,
+    fig4_flock,
+    fig5_plan,
+    fig6_flock,
+    fig6_query,
+    fig7_plan,
+    fig10_flock,
+    validate_plan,
+)
+from repro.relational import database_from_dict
+
+
+class TestFigureObjects:
+    def test_fig2_shape(self):
+        flock = fig2_flock(support=20)
+        assert flock.parameter_columns == ("$1", "$2")
+        assert str(flock.filter) == "COUNT(answer.B) >= 20"
+        assert not flock.rules[0].comparisons()
+
+    def test_fig2_ordered(self):
+        assert fig2_flock(ordered=True).rules[0].comparisons()
+
+    def test_fig3_shape(self, medical_query):
+        assert fig3_flock().query == medical_query
+
+    def test_fig4_shape(self, web_union_query):
+        assert fig4_flock().query == web_union_query
+
+    def test_fig5_plan_is_legal(self):
+        flock = fig3_flock()
+        plan = fig5_plan(flock)
+        validate_plan(flock, plan)
+        assert plan.step_names() == ["okS", "okM", "ok"]
+
+    def test_fig6_query_matches_paper_structure(self):
+        query = fig6_query(3)
+        assert len(query.body) == 4
+        assert str(query.body[0]) == "arc($1, X)"
+        assert str(query.body[-1]) == "arc(Y2, Y3)"
+
+    def test_fig6_zero_hops(self):
+        query = fig6_query(0)
+        assert len(query.body) == 1
+
+    def test_fig6_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fig6_query(-1)
+
+    def test_fig7_plan_is_legal(self):
+        flock = fig6_flock(2, support=20)
+        plan = fig7_plan(flock)
+        validate_plan(flock, plan)
+        assert plan.step_names()[:3] == ["ok0", "ok1", "ok2"]
+
+    def test_fig10_monotone(self):
+        flock = fig10_flock(20)
+        assert flock.filter.is_monotone
+        assert str(flock.filter) == "SUM(answer.W) >= 20"
+
+
+class TestFigureExecution:
+    def test_fig5_equals_naive(self, small_medical_db):
+        flock = fig3_flock(support=2)
+        plan = fig5_plan(flock)
+        naive = evaluate_flock(small_medical_db, flock)
+        assert execute_plan(small_medical_db, flock, plan).relation == naive
+
+    def test_fig7_equals_naive(self):
+        db = database_from_dict(
+            {
+                "arc": (
+                    ("U", "V"),
+                    [(0, i) for i in range(1, 5)]
+                    + [(i, i + 10) for i in range(1, 5)],
+                )
+            }
+        )
+        flock = fig6_flock(1, support=3)
+        plan = fig7_plan(flock)
+        naive = evaluate_flock(db, flock)
+        assert execute_plan(db, flock, plan).relation == naive

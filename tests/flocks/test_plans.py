@@ -1,0 +1,236 @@
+"""Plan notation and Section 4.2 legality tests, centered on Fig. 5."""
+
+import pytest
+
+from repro.datalog import Parameter, atom, comparison, negated, rule
+from repro.datalog.subqueries import SubqueryCandidate
+from repro.errors import FilterError, PlanError
+from repro.flocks import (
+    FilterStep,
+    QueryFlock,
+    QueryPlan,
+    chained_plan,
+    parse_filter,
+    plan_from_subqueries,
+    single_step_plan,
+    support_filter,
+    validate_plan,
+)
+
+
+def fig5_plan(medical_flock):
+    """Hand-build the exact Fig. 5 plan: okS, okM, final."""
+    medical_rule = medical_flock.rules[0]
+    ok_s = FilterStep(
+        "okS",
+        (Parameter("s"),),
+        medical_rule.with_body_subset([0]),  # exhibits(P,$s)
+    )
+    ok_m = FilterStep(
+        "okM",
+        (Parameter("m"),),
+        medical_rule.with_body_subset([1]),  # treatments(P,$m)
+    )
+    final = FilterStep(
+        "ok",
+        (Parameter("m"), Parameter("s")),
+        medical_rule.with_extra_subgoals([ok_s.ok_atom, ok_m.ok_atom], prepend=True),
+    )
+    return QueryPlan((ok_s, ok_m, final))
+
+
+class TestFilterStep:
+    def test_parameters_must_match_query(self, medical_query):
+        with pytest.raises(PlanError):
+            FilterStep("okS", (Parameter("m"),), medical_query.with_body_subset([0]))
+
+    def test_ok_atom_copies_left_side(self, medical_query):
+        step = FilterStep("okS", (Parameter("s"),), medical_query.with_body_subset([0]))
+        assert str(step.ok_atom) == "okS($s)"
+
+    def test_render_contains_filter(self, medical_query):
+        step = FilterStep("okS", (Parameter("s"),), medical_query.with_body_subset([0]))
+        text = step.render("COUNT(answer.P) >= 20")
+        assert "okS($s) := FILTER($s," in text
+        assert "COUNT(answer.P) >= 20" in text
+
+    def test_empty_name_rejected(self, medical_query):
+        with pytest.raises(PlanError):
+            FilterStep("", (Parameter("s"),), medical_query.with_body_subset([0]))
+
+
+class TestValidatePlan:
+    def test_fig5_plan_is_legal(self, medical_flock):
+        validate_plan(medical_flock, fig5_plan(medical_flock))
+
+    def test_single_step_plan_is_legal(self, medical_flock):
+        validate_plan(medical_flock, single_step_plan(medical_flock))
+
+    def test_duplicate_step_names_rejected(self, medical_flock):
+        plan = fig5_plan(medical_flock)
+        renamed = QueryPlan((plan.steps[0], plan.steps[0], plan.steps[2]))
+        with pytest.raises(PlanError):
+            validate_plan(medical_flock, renamed)
+
+    def test_step_shadowing_base_relation_rejected(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        bad = FilterStep(
+            "exhibits", (Parameter("m"), Parameter("s")), medical_rule
+        )
+        with pytest.raises(PlanError):
+            validate_plan(medical_flock, QueryPlan((bad,)))
+
+    def test_final_step_must_keep_all_subgoals(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        truncated = FilterStep(
+            "ok",
+            (Parameter("m"), Parameter("s")),
+            medical_rule.with_body_subset([0, 1]),
+        )
+        with pytest.raises(PlanError) as exc:
+            validate_plan(medical_flock, QueryPlan((truncated,)))
+        assert "deletes original subgoal" in str(exc.value)
+
+    def test_final_step_must_define_all_parameters(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        only_s = FilterStep(
+            "okS", (Parameter("s"),), medical_rule.with_body_subset([0])
+        )
+        with pytest.raises(PlanError):
+            validate_plan(medical_flock, QueryPlan((only_s,)))
+
+    def test_unsafe_step_rejected(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        # diagnoses + NOT causes leaves $s unbound: unsafe.
+        with pytest.raises(PlanError):
+            validate_plan(
+                medical_flock,
+                QueryPlan(
+                    (
+                        FilterStep(
+                            "bad",
+                            (Parameter("s"),),
+                            medical_rule.with_body_subset([2, 3]),
+                        ),
+                        single_step_plan(medical_flock).steps[0],
+                    )
+                ),
+            )
+
+    def test_foreign_subgoal_rejected(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        tweaked = medical_rule.with_extra_subgoals([atom("extra", "P")])
+        step = FilterStep("ok", (Parameter("m"), Parameter("s")), tweaked)
+        with pytest.raises(PlanError) as exc:
+            validate_plan(medical_flock, QueryPlan((step,)))
+        assert "neither an original subgoal" in str(exc.value)
+
+    def test_ok_atom_must_be_copied_literally(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        ok_s = FilterStep(
+            "okS", (Parameter("s"),), medical_rule.with_body_subset([0])
+        )
+        # Wrong arguments in the copy: okS($m) instead of okS($s).
+        from repro.datalog.atoms import RelationalAtom
+
+        wrong = RelationalAtom("okS", (Parameter("m"),))
+        final = FilterStep(
+            "ok",
+            (Parameter("m"), Parameter("s")),
+            medical_rule.with_extra_subgoals([wrong]),
+        )
+        with pytest.raises(PlanError) as exc:
+            validate_plan(medical_flock, QueryPlan((ok_s, final)))
+        assert "literally" in str(exc.value)
+
+    def test_negated_ok_atom_rejected(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        ok_s = FilterStep(
+            "okS", (Parameter("s"),), medical_rule.with_body_subset([0])
+        )
+        from repro.datalog.atoms import RelationalAtom
+
+        negated_ok = RelationalAtom("okS", (Parameter("s"),), negated=True)
+        final = FilterStep(
+            "ok",
+            (Parameter("m"), Parameter("s")),
+            medical_rule.with_extra_subgoals([negated_ok]),
+        )
+        with pytest.raises(PlanError):
+            validate_plan(medical_flock, QueryPlan((ok_s, final)))
+
+    def test_head_must_stay_unchanged(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        renamed = medical_rule.rename_head("other")
+        step = FilterStep("ok", (Parameter("m"), Parameter("s")), renamed)
+        with pytest.raises(PlanError):
+            validate_plan(medical_flock, QueryPlan((step,)))
+
+    def test_non_monotone_filter_rejected_for_prefilters(self, medical_query):
+        non_monotone = parse_filter("COUNT(answer.P) = 5")
+        flock = QueryFlock(medical_query, non_monotone)
+        plan = fig5_plan(flock)
+        with pytest.raises(FilterError):
+            validate_plan(flock, plan)
+
+    def test_non_monotone_single_step_allowed(self, medical_query):
+        # With no pre-filters there is nothing unsound.
+        non_monotone = parse_filter("COUNT(answer.P) = 5")
+        flock = QueryFlock(medical_query, non_monotone)
+        validate_plan(flock, single_step_plan(flock))
+
+
+class TestPlanBuilders:
+    def test_plan_from_subqueries_matches_fig5_shape(self, medical_flock):
+        medical_rule = medical_flock.rules[0]
+        chosen = [
+            ("okS", SubqueryCandidate((0,), medical_rule.with_body_subset([0]))),
+            ("okM", SubqueryCandidate((1,), medical_rule.with_body_subset([1]))),
+        ]
+        plan = plan_from_subqueries(medical_flock, chosen)
+        assert plan.step_names() == ["okS", "okM", "ok"]
+        final_body = plan.final_step.query.body
+        assert str(final_body[-2]) == "okS($s)"
+        assert str(final_body[-1]) == "okM($m)"
+
+    def test_render_matches_paper_form(self, medical_flock):
+        plan = fig5_plan(medical_flock)
+        text = plan.render(medical_flock)
+        assert "okS($s) := FILTER($s," in text
+        assert "okM($m) := FILTER($m," in text
+        assert "COUNT(answer.P) >= 2" in text
+
+    def test_chained_plan_path_query(self, path_query_3):
+        flock = QueryFlock(path_query_3, support_filter(2, target="X"))
+        chain = []
+        for level in range(1, len(path_query_3.body) + 1):
+            indices = list(range(level))
+            chain.append(
+                (
+                    f"ok{level - 1}",
+                    SubqueryCandidate(
+                        tuple(indices), path_query_3.with_body_subset(indices)
+                    ),
+                )
+            )
+        plan = chained_plan(flock, chain)
+        # n+1 chain steps... plus the final: Fig. 7 has n+1 = 4 okN
+        # steps for n=3; our chain covers levels 1..4 and a final step.
+        assert len(plan) == len(chain) + 1
+        # Each chained step after the first references its predecessor.
+        second = plan.steps[1]
+        assert any("ok0" in str(sg) for sg in second.query.body)
+
+    def test_chained_plan_rejects_unions(self, web_flock):
+        with pytest.raises(PlanError):
+            chained_plan(web_flock, [])
+
+    def test_union_plan_from_subqueries(self, web_flock):
+        from repro.datalog.subqueries import union_subqueries_with_parameters
+
+        cands = union_subqueries_with_parameters(
+            web_flock.query, [Parameter("1")]
+        )
+        plan = plan_from_subqueries(web_flock, [("ok1", cands[0])])
+        validate_plan(web_flock, plan)
+        assert plan.step_names() == ["ok1", "ok"]

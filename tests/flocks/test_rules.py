@@ -1,0 +1,121 @@
+"""Tests for association rules and the Section 1.1 measures."""
+
+import pytest
+
+from repro.flocks import AssociationRule, mine_association_rules, rules_for_consequent
+from repro.flocks.rules import AssociationRule as RuleClass
+from repro.relational import Relation
+
+
+@pytest.fixture
+def baskets():
+    """10 baskets: beer in 6, diapers in 5, {beer, diapers} in 4;
+    milk in 8 (a near-universal item for the interest discussion)."""
+    rows = set()
+    contents = {
+        1: {"beer", "diapers", "milk"},
+        2: {"beer", "diapers", "milk"},
+        3: {"beer", "diapers", "milk"},
+        4: {"beer", "diapers"},
+        5: {"beer", "milk"},
+        6: {"beer", "milk"},
+        7: {"diapers", "milk"},
+        8: {"milk"},
+        9: {"milk"},
+        10: {"soap"},
+    }
+    for bid, items in contents.items():
+        for item in items:
+            rows.add((bid, item))
+    return Relation("baskets", ("BID", "Item"), rows)
+
+
+class TestMeasures:
+    def test_support(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        beer_diapers = [
+            r for r in rules
+            if r.antecedent == frozenset({"beer"}) and r.consequent == "diapers"
+        ]
+        assert len(beer_diapers) == 1
+        rule = beer_diapers[0]
+        assert rule.support_count == 4
+        assert rule.support == pytest.approx(0.4)
+
+    def test_confidence(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        rule = next(
+            r for r in rules
+            if r.antecedent == frozenset({"beer"}) and r.consequent == "diapers"
+        )
+        # 4 of the 6 beer baskets contain diapers.
+        assert rule.confidence == pytest.approx(4 / 6)
+
+    def test_interest_above_one_for_correlated(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        rule = next(
+            r for r in rules
+            if r.antecedent == frozenset({"beer"}) and r.consequent == "diapers"
+        )
+        # P(diapers) = 0.5; conf = 0.667 -> lift 1.33.
+        assert rule.interest == pytest.approx((4 / 6) / 0.5)
+        assert rule.interest > 1.0
+
+    def test_interest_near_one_for_universal_item(self, baskets):
+        """The paper's point: high confidence for milk means little,
+        because 'everybody buys' milk — interest stays near 1."""
+        rules = mine_association_rules(baskets, min_support=3)
+        to_milk = [r for r in rules if r.consequent == "milk"]
+        assert to_milk
+        for rule in to_milk:
+            assert rule.interest < 1.5
+
+    def test_interesting_filter_drops_independent_rules(self, baskets):
+        all_rules = mine_association_rules(baskets, min_support=3)
+        interesting = mine_association_rules(
+            baskets, min_support=3, min_interest_deviation=0.3
+        )
+        assert len(interesting) < len(all_rules)
+        assert all(abs(r.interest - 1.0) >= 0.3 for r in interesting)
+
+    def test_min_confidence_filter(self, baskets):
+        strict = mine_association_rules(baskets, min_support=3, min_confidence=0.8)
+        assert all(r.confidence >= 0.8 for r in strict)
+
+
+class TestShape:
+    def test_rules_sorted_by_confidence(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_itemset_property(self):
+        rule = RuleClass(frozenset({"a"}), "b", 3, 0.3, 0.5, 1.2)
+        assert rule.itemset == frozenset({"a", "b"})
+
+    def test_str_contains_measures(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        text = str(rules[0])
+        assert "supp=" in text and "conf=" in text and "interest=" in text
+
+    def test_multi_item_antecedents(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        multi = [r for r in rules if len(r.antecedent) == 2]
+        assert multi  # {beer, diapers} -> milk has support 3
+
+    def test_rules_for_consequent(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3)
+        diaper_rules = rules_for_consequent(rules, "diapers")
+        assert diaper_rules
+        assert all(r.consequent == "diapers" for r in diaper_rules)
+
+    def test_empty_baskets(self):
+        empty = Relation("baskets", ("BID", "Item"))
+        assert mine_association_rules(empty, min_support=1) == []
+
+    def test_no_frequent_itemsets(self, baskets):
+        assert mine_association_rules(baskets, min_support=99) == []
+
+    def test_max_itemset_size(self, baskets):
+        rules = mine_association_rules(baskets, min_support=3, max_itemset_size=2)
+        assert all(len(r.itemset) <= 2 for r in rules)

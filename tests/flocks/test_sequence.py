@@ -1,0 +1,144 @@
+"""Tests for flock sequences and maximal-itemset mining (footnote 2)."""
+
+import pytest
+
+from repro.datalog import atom, comparison, rule
+from repro.errors import PlanError
+from repro.flocks import (
+    FlockSequence,
+    QueryFlock,
+    apriori_itemsets,
+    itemset_flock,
+    mine_maximal_itemsets,
+    support_filter,
+)
+from repro.relational import Database, Relation, database_from_dict
+
+
+@pytest.fixture
+def toy_db():
+    return database_from_dict(
+        {
+            "baskets": (
+                ("BID", "Item"),
+                [
+                    (1, "beer"), (1, "diapers"), (1, "chips"),
+                    (2, "beer"), (2, "diapers"),
+                    (3, "beer"), (3, "diapers"), (3, "chips"),
+                    (4, "beer"), (4, "chips"),
+                    (5, "soap"),
+                ],
+            )
+        }
+    )
+
+
+class TestFlockSequence:
+    def test_single_step(self, toy_db):
+        seq = FlockSequence()
+        seq.add_flock("pairs", itemset_flock(2, support=2))
+        result = seq.run(toy_db)
+        assert {frozenset(t) for t in result["pairs"].tuples} == {
+            frozenset({"beer", "diapers"}),
+            frozenset({"beer", "chips"}),
+            frozenset({"diapers", "chips"}),
+        }
+
+    def test_dependent_step_uses_previous_result(self, toy_db):
+        """The second flock reads the first flock's materialized
+        relation as an ordinary base relation."""
+        seq = FlockSequence()
+        seq.add_flock("pairs", itemset_flock(2, support=2))
+
+        def second(db):
+            # Items that participate in >= 2 frequent pairs.
+            query = rule(
+                "answer", ["Other"], [atom("pairs", "$item", "Other")]
+            )
+            return QueryFlock(query, support_filter(2, target="Other"))
+
+        seq.add("hub_items", second)
+        result = seq.run(toy_db)
+        # beer pairs with diapers and chips -> 2 partners.
+        assert ("beer",) in result["hub_items"].tuples
+
+    def test_duplicate_step_name_rejected(self, toy_db):
+        seq = FlockSequence()
+        seq.add_flock("pairs", itemset_flock(2, support=2))
+        with pytest.raises(PlanError):
+            seq.add_flock("pairs", itemset_flock(2, support=3))
+
+    def test_base_db_untouched(self, toy_db):
+        seq = FlockSequence()
+        seq.add_flock("pairs", itemset_flock(2, support=2))
+        seq.run(toy_db)
+        assert "pairs" not in toy_db
+
+    def test_trace_records_steps(self, toy_db):
+        seq = FlockSequence()
+        seq.add_flock("pairs", itemset_flock(2, support=2))
+        seq.add_flock("triples", itemset_flock(3, support=2))
+        result = seq.run(toy_db)
+        assert [s.name for s in result.trace.steps] == ["pairs", "triples"]
+
+    def test_optimizer_path(self, toy_db):
+        seq = FlockSequence()
+        seq.add_flock("pairs", itemset_flock(2, support=2), use_optimizer=True)
+        plain = FlockSequence()
+        plain.add_flock("pairs", itemset_flock(2, support=2))
+        assert seq.run(toy_db)["pairs"] == plain.run(toy_db)["pairs"]
+
+
+class TestMaximalItemsets:
+    def test_toy_maximal(self, toy_db):
+        maximal = mine_maximal_itemsets(toy_db, support=2)
+        # {beer, diapers, chips} is frequent (baskets 1 and 3) and
+        # maximal; every frequent pair is inside it, so no pairs remain.
+        assert maximal == {
+            3: {frozenset({"beer", "diapers", "chips"})}
+        }
+
+    def test_maximality_with_isolated_pair(self):
+        db = database_from_dict(
+            {
+                "baskets": (
+                    ("BID", "Item"),
+                    [
+                        (1, "a"), (1, "b"), (1, "c"),
+                        (2, "a"), (2, "b"), (2, "c"),
+                        (3, "x"), (3, "y"),
+                        (4, "x"), (4, "y"),
+                    ],
+                )
+            }
+        )
+        maximal = mine_maximal_itemsets(db, support=2)
+        assert maximal[3] == {frozenset({"a", "b", "c"})}
+        assert maximal[2] == {frozenset({"x", "y"})}
+
+    def test_consistency_with_classic_apriori(self, toy_db):
+        levels = apriori_itemsets(toy_db.get("baskets"), 2)
+        maximal = mine_maximal_itemsets(toy_db, support=2)
+        # Every maximal set must be frequent at its level...
+        for size, sets in maximal.items():
+            for itemset in sets:
+                assert itemset in levels[size]
+        # ...and not contained in any frequent superset.
+        all_frequent = {s for level in levels.values() for s in level}
+        for size, sets in maximal.items():
+            for itemset in sets:
+                assert not any(
+                    itemset < bigger for bigger in all_frequent
+                )
+
+    def test_max_size_cap(self, toy_db):
+        maximal = mine_maximal_itemsets(toy_db, support=2, max_size=2)
+        assert max(maximal) <= 2
+
+    def test_high_support_empty(self, toy_db):
+        assert mine_maximal_itemsets(toy_db, support=99) == {}
+
+    def test_plans_and_naive_agree(self, toy_db):
+        with_plans = mine_maximal_itemsets(toy_db, support=2, use_plans=True)
+        without = mine_maximal_itemsets(toy_db, support=2, use_plans=False)
+        assert with_plans == without

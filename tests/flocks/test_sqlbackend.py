@@ -1,0 +1,119 @@
+"""DBMS-backend tests: SQLite evaluation must agree with the engine
+for every canonical flock (the Section 1.4 setting)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.flocks import (
+    SQLiteBackend,
+    evaluate_flock,
+    evaluate_flock_sqlite,
+    execute_plan_sqlite,
+    fig2_flock,
+    fig3_flock,
+    fig4_flock,
+    fig5_plan,
+    itemset_flock,
+    itemset_plan,
+    parse_flock,
+)
+from repro.relational import database_from_dict
+from repro.workloads import basket_database, generate_medical, generate_webdocs
+
+
+class TestAgreementWithEngine:
+    def test_basket_flock(self, small_basket_db):
+        flock = fig2_flock(support=2, ordered=True)
+        ours = evaluate_flock(small_basket_db, flock)
+        sqlite_result = evaluate_flock_sqlite(small_basket_db, flock)
+        assert sqlite_result == ours
+
+    def test_medical_flock_with_negation(self, small_medical_db):
+        flock = fig3_flock(support=2)
+        ours = evaluate_flock(small_medical_db, flock)
+        assert evaluate_flock_sqlite(small_medical_db, flock) == ours
+
+    def test_union_flock(self, small_web_db):
+        flock = fig4_flock(support=2)
+        ours = evaluate_flock(small_web_db, flock)
+        assert evaluate_flock_sqlite(small_web_db, flock) == ours
+
+    def test_weighted_sum_flock(self):
+        db = database_from_dict(
+            {
+                "baskets": (
+                    ("BID", "Item"),
+                    [(1, "a"), (1, "b"), (2, "a"), (2, "b"), (3, "a")],
+                ),
+                "importance": (("BID", "W"), [(1, 10), (2, 15), (3, 1)]),
+            }
+        )
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B,W) :- baskets(B,$1) AND baskets(B,$2) AND
+                           importance(B,W) AND $1 < $2
+            FILTER:
+            SUM(answer.W) >= 20
+            """
+        )
+        assert evaluate_flock_sqlite(db, flock) == evaluate_flock(db, flock)
+
+    def test_on_generated_workloads(self):
+        db = basket_database(200, 120, skew=1.2, seed=71)
+        flock = itemset_flock(2, support=8)
+        assert evaluate_flock_sqlite(db, flock) == evaluate_flock(db, flock)
+
+
+class TestPlanExecution:
+    def test_rewrite_script_agrees(self, small_basket_db):
+        flock = itemset_flock(2, support=2)
+        plan = itemset_plan(flock)
+        ours = evaluate_flock(small_basket_db, flock)
+        assert execute_plan_sqlite(small_basket_db, flock, plan) == ours
+
+    def test_medical_plan(self, small_medical_db):
+        flock = fig3_flock(support=2)
+        plan = fig5_plan(flock)
+        ours = evaluate_flock(small_medical_db, flock)
+        assert execute_plan_sqlite(small_medical_db, flock, plan) == ours
+
+    def test_backend_reusable_after_plan(self, small_basket_db):
+        flock = itemset_flock(2, support=2)
+        plan = itemset_plan(flock)
+        with SQLiteBackend(small_basket_db) as backend:
+            first = backend.execute_plan(flock, plan)
+            # Step tables were dropped: a second run must not collide.
+            second = backend.execute_plan(flock, plan)
+            naive = backend.evaluate_flock(flock)
+        assert first == second == naive
+
+
+class TestLifecycle:
+    def test_requires_loaded_database(self):
+        backend = SQLiteBackend()
+        flock = fig2_flock(support=2)
+        with pytest.raises(EvaluationError):
+            backend.evaluate_flock(flock)
+        backend.close()
+
+    def test_reload_replaces_tables(self, small_basket_db):
+        flock = fig2_flock(support=2, ordered=True)
+        backend = SQLiteBackend(small_basket_db)
+        first = backend.evaluate_flock(flock)
+        smaller = database_from_dict(
+            {"baskets": (("BID", "Item"), [(1, "x"), (1, "y")])}
+        )
+        backend.load(smaller)
+        second = backend.evaluate_flock(fig2_flock(support=1, ordered=True))
+        backend.close()
+        assert second.tuples == frozenset({("x", "y")})
+        assert first != second
+
+    def test_context_manager_closes(self, small_basket_db):
+        with SQLiteBackend(small_basket_db) as backend:
+            pass
+        import sqlite3
+
+        with pytest.raises(sqlite3.ProgrammingError):
+            backend.connection.execute("SELECT 1")

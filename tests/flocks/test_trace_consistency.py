@@ -1,0 +1,84 @@
+"""Trace-consistency tests: the numbers in execution traces must agree
+with the results they describe."""
+
+import pytest
+
+from repro.flocks import (
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    execute_plan,
+    fig3_flock,
+    fig5_plan,
+    itemset_flock,
+    itemset_plan,
+    single_step_plan,
+)
+from repro.workloads import basket_database, generate_medical
+
+
+@pytest.fixture(scope="module")
+def medical():
+    return generate_medical(n_patients=300, seed=42)
+
+
+@pytest.fixture(scope="module")
+def baskets_db():
+    return basket_database(150, 80, skew=1.2, seed=43)
+
+
+class TestExecutorTrace:
+    def test_final_step_output_matches_result(self, medical):
+        flock = fig3_flock(support=5)
+        result = execute_plan(medical.db, flock, fig5_plan(flock))
+        assert result.trace.steps[-1].output_assignments == len(result)
+
+    def test_step_names_match_plan(self, medical):
+        flock = fig3_flock(support=5)
+        plan = fig5_plan(flock)
+        result = execute_plan(medical.db, flock, plan)
+        assert [s.name for s in result.trace.steps] == plan.step_names()
+
+    def test_prefilter_outputs_bound_final_inputs(self, baskets_db):
+        """Each okItem relation's survivors bound the distinct values of
+        its parameter in the final answer."""
+        flock = itemset_flock(2, support=10)
+        plan = itemset_plan(flock)
+        result = execute_plan(baskets_db, flock, plan)
+        ok1_size = result.trace.steps[0].output_assignments
+        final_distinct_p1 = result.relation.distinct_count("$1")
+        assert final_distinct_p1 <= ok1_size
+
+    def test_trace_total_seconds_sums(self, medical):
+        flock = fig3_flock(support=5)
+        result = execute_plan(medical.db, flock, single_step_plan(flock))
+        assert result.trace.total_seconds == pytest.approx(
+            sum(s.seconds for s in result.trace.steps)
+        )
+
+
+class TestDynamicTrace:
+    def test_root_sizes_match_result(self, medical):
+        flock = fig3_flock(support=5)
+        result, trace = evaluate_flock_dynamic(medical.db, flock)
+        root = trace.decisions[-1]
+        assert root.size_after == len(result)
+
+    def test_filtered_sizes_never_grow(self, medical):
+        flock = fig3_flock(support=5)
+        _, trace = evaluate_flock_dynamic(medical.db, flock)
+        for decision in trace.decisions:
+            assert decision.size_after <= decision.size_before
+
+    def test_skip_decisions_preserve_size(self, medical):
+        flock = fig3_flock(support=5)
+        _, trace = evaluate_flock_dynamic(
+            medical.db, flock, decision_factor=0.0
+        )
+        for decision in trace.decisions[:-1]:  # all but root
+            if not decision.filtered:
+                assert decision.size_after == decision.size_before
+
+    def test_seconds_recorded(self, medical):
+        flock = fig3_flock(support=5)
+        _, trace = evaluate_flock_dynamic(medical.db, flock)
+        assert trace.seconds > 0

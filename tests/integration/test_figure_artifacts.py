@@ -1,0 +1,112 @@
+"""Pin the rendered figure artifacts to the paper's literal structure.
+
+These tests freeze the *textual* form of the reproduced figures — if a
+refactor changes how a flock or plan renders, the diff here shows
+exactly how the artifact moved away from the paper.
+"""
+
+from repro.flocks import (
+    fig1_sql,
+    fig2_flock,
+    fig3_flock,
+    fig4_flock,
+    fig5_plan,
+    fig6_flock,
+    fig7_plan,
+    fig10_flock,
+)
+
+
+class TestFigureText:
+    def test_fig2_text(self):
+        assert str(fig2_flock()) == (
+            "QUERY:\n"
+            "answer(B) :- baskets(B, $1) AND baskets(B, $2)\n"
+            "\n"
+            "FILTER:\n"
+            "COUNT(answer.B) >= 20"
+        )
+
+    def test_fig3_text(self):
+        assert str(fig3_flock()) == (
+            "QUERY:\n"
+            "answer(P) :- exhibits(P, $s) AND treatments(P, $m) AND "
+            "diagnoses(P, D) AND NOT causes(D, $s)\n"
+            "\n"
+            "FILTER:\n"
+            "COUNT(answer.P) >= 20"
+        )
+
+    def test_fig4_text(self):
+        text = str(fig4_flock())
+        assert text == (
+            "QUERY:\n"
+            "answer(D) :- inTitle(D, $1) AND inTitle(D, $2) AND $1 < $2\n"
+            "answer(A) :- link(A, D1, D2) AND inAnchor(A, $1) AND "
+            "inTitle(D2, $2) AND $1 < $2\n"
+            "answer(A) :- link(A, D1, D2) AND inAnchor(A, $2) AND "
+            "inTitle(D2, $1) AND $1 < $2\n"
+            "\n"
+            "FILTER:\n"
+            "COUNT(answer(*)) >= 20"
+        )
+
+    def test_fig5_text(self):
+        flock = fig3_flock()
+        assert fig5_plan(flock).render(flock) == (
+            "okS($s) := FILTER($s,\n"
+            "    answer(P) :- exhibits(P, $s),\n"
+            "    COUNT(answer.P) >= 20\n"
+            ");\n"
+            "okM($m) := FILTER($m,\n"
+            "    answer(P) :- treatments(P, $m),\n"
+            "    COUNT(answer.P) >= 20\n"
+            ");\n"
+            "ok($m, $s) := FILTER(($m, $s),\n"
+            "    answer(P) :- exhibits(P, $s) AND treatments(P, $m) AND "
+            "diagnoses(P, D) AND NOT causes(D, $s) AND okS($s) AND okM($m),\n"
+            "    COUNT(answer.P) >= 20\n"
+            ");"
+        )
+
+    def test_fig6_text(self):
+        assert str(fig6_flock(2).query) == (
+            "answer(X) :- arc($1, X) AND arc(X, Y1) AND arc(Y1, Y2)"
+        )
+
+    def test_fig7_step_structure(self):
+        flock = fig6_flock(2)
+        plan = fig7_plan(flock)
+        rendered = plan.render(flock)
+        # ok0 from the first subgoal alone; ok1 = ok0 + two arcs; the
+        # paper's Fig. 7 chain, level by level.
+        assert "ok0($1) := FILTER($1,\n    answer(X) :- arc($1, X)," in rendered
+        assert (
+            "ok1($1) := FILTER($1,\n"
+            "    answer(X) :- ok0($1) AND arc($1, X) AND arc(X, Y1),"
+        ) in rendered
+        assert (
+            "ok2($1) := FILTER($1,\n"
+            "    answer(X) :- ok1($1) AND arc($1, X) AND arc(X, Y1) AND "
+            "arc(Y1, Y2),"
+        ) in rendered
+
+    def test_fig10_text(self):
+        assert str(fig10_flock()) == (
+            "QUERY:\n"
+            "answer(B, W) :- baskets(B, $1) AND baskets(B, $2) AND "
+            "importance(B, W)\n"
+            "\n"
+            "FILTER:\n"
+            "SUM(answer.W) >= 20"
+        )
+
+    def test_fig1_literal(self):
+        assert fig1_sql() == (
+            "SELECT i1.Item, i2.Item\n"
+            "FROM baskets i1, baskets i2\n"
+            "WHERE i1.Item < i2.Item AND\n"
+            "      i1.BID = i2.BID\n"
+            "GROUP BY i1.Item, i2.Item\n"
+            "HAVING 20 <= COUNT(i1.BID)"
+        )

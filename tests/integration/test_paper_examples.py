@@ -1,0 +1,341 @@
+"""End-to-end reproduction of each figure and worked example of the paper.
+
+One test class per paper artifact; the assertions pin down the exact
+structures the paper exhibits (counts of subqueries, plan shapes, filter
+decisions), evaluated over generated workloads.
+"""
+
+import pytest
+
+from repro.datalog import (
+    Parameter,
+    parse_query,
+    safe_subqueries,
+    union_subqueries_with_parameters,
+    unsafe_subqueries,
+)
+from repro.datalog.subqueries import SubqueryCandidate
+from repro.flocks import (
+    QueryFlock,
+    chained_plan,
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    execute_plan,
+    fig1_sql,
+    flock_to_sql,
+    itemset_flock,
+    itemset_plan,
+    parse_flock,
+    plan_from_subqueries,
+    support_filter,
+    validate_plan,
+)
+from repro.workloads import (
+    basket_database,
+    generate_hub_digraph,
+    generate_medical,
+    generate_webdocs,
+    generate_weighted_baskets,
+)
+from tests.conftest import path_query
+
+
+@pytest.fixture(scope="module")
+def basket_db():
+    return basket_database(n_baskets=400, n_items=100, skew=1.2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def medical():
+    return generate_medical(n_patients=600, seed=2)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return generate_webdocs(n_documents=300, n_anchors=600, seed=3)
+
+
+class TestFig1AndFig2:
+    """The market-basket flock (Fig. 2) and its SQL form (Fig. 1)."""
+
+    def test_flock_text_parses_and_runs(self, basket_db):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B) :-
+                baskets(B,$1) AND
+                baskets(B,$2) AND
+                $1 < $2
+
+            FILTER:
+            COUNT(answer.B) >= 20
+            """
+        )
+        result = evaluate_flock(basket_db, flock)
+        # The Zipf head items co-occur well past support 20.
+        assert len(result) > 0
+        for a, b in result.tuples:
+            assert a < b
+
+    def test_sql_translation_mirrors_fig1(self, basket_db):
+        flock = itemset_flock(2, support=20)
+        sql = flock_to_sql(flock, basket_db)
+        for fragment in ("GROUP BY", "HAVING", "baskets t0, baskets t1"):
+            assert fragment in sql
+        assert "FROM baskets i1, baskets i2" in fig1_sql()
+
+    def test_apriori_rewrite_equals_naive(self, basket_db):
+        flock = itemset_flock(2, support=20)
+        naive = evaluate_flock(basket_db, flock)
+        rewritten = execute_plan(basket_db, flock, itemset_plan(flock))
+        assert rewritten.relation == naive
+
+    def test_prefilter_reduces_join_input(self, basket_db):
+        """The Section 1.3 mechanism: frequent-item pre-filtering must
+        shrink the self-join's answer relation."""
+        flock = itemset_flock(2, support=20)
+        from repro.flocks import single_step_plan
+
+        plain = execute_plan(basket_db, flock, single_step_plan(flock))
+        rewritten = execute_plan(basket_db, flock, itemset_plan(flock))
+        assert (
+            rewritten.trace.steps[-1].input_tuples
+            < plain.trace.steps[-1].input_tuples
+        )
+
+
+class TestFig3Example22:
+    """The medical side-effect flock with negation."""
+
+    def test_flock_finds_planted_side_effects(self, medical):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(P) :-
+                exhibits(P,$s) AND
+                treatments(P,$m) AND
+                diagnoses(P,D) AND
+                NOT causes(D,$s)
+
+            FILTER:
+            COUNT(answer.P) >= 20
+            """
+        )
+        result = evaluate_flock(medical.db, flock)
+        found = {(s, m) for m, s in result.tuples}
+        recovered = medical.planted_pairs & found
+        assert recovered, "no planted side-effect recovered at support 20"
+
+
+class TestExample32:
+    """14 nontrivial subsets, 8 safe, and the four named candidates."""
+
+    def test_counts(self, medical_query):
+        assert len(safe_subqueries(medical_query)) == 8
+        assert len(unsafe_subqueries(medical_query)) == 6
+
+    def test_candidate_interpretations(self, medical_query):
+        texts = {str(c.query) for c in safe_subqueries(medical_query)}
+        # (1) at least 20 patients exhibit the symptom
+        assert "answer(P) :- exhibits(P, $s)" in texts
+        # (2) at least 20 patients take the medicine
+        assert "answer(P) :- treatments(P, $m)" in texts
+        # (3) 20 patients with a disease not causing an exhibited symptom
+        assert (
+            "answer(P) :- exhibits(P, $s) AND diagnoses(P, D) AND "
+            "NOT causes(D, $s)" in texts
+        )
+        # (4) 20 patients take the medicine and exhibit the symptom
+        assert "answer(P) :- exhibits(P, $s) AND treatments(P, $m)" in texts
+
+
+class TestFig4Example33:
+    """The union flock and its per-branch $1 subqueries."""
+
+    def test_union_flock_runs(self, web):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+            answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND
+                         inTitle(D2,$2) AND $1 < $2
+            answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND
+                         inTitle(D2,$1) AND $1 < $2
+
+            FILTER:
+            COUNT(answer(*)) >= 20
+            """
+        )
+        result = evaluate_flock(web.db, flock)
+        found = set(result.tuples)
+        assert found & web.planted_pairs
+
+    def test_example33_branch_subqueries(self, web_union_query):
+        cands = union_subqueries_with_parameters(
+            web_union_query, [Parameter("1")]
+        )
+        best = cands[0]
+        assert [str(b.query) for b in best.branches] == [
+            "answer(D) :- inTitle(D, $1)",
+            "answer(A) :- inAnchor(A, $1)",
+            "answer(A) :- link(A, D1, D2) AND inTitle(D2, $1)",
+        ]
+
+    def test_union_plan_correct(self, web, web_union_query):
+        flock = QueryFlock(web_union_query, support_filter(20))
+        cands = union_subqueries_with_parameters(web_union_query, [Parameter("1")])
+        plan = plan_from_subqueries(flock, [("okW", cands[0])])
+        naive = evaluate_flock(web.db, flock)
+        planned = execute_plan(web.db, flock, plan)
+        assert planned.relation == naive
+
+
+class TestFig5Examples4142:
+    """The three-step medical plan and its legality."""
+
+    def test_fig5_plan_built_and_rendered(self, medical_query):
+        flock = QueryFlock(medical_query, support_filter(20, target="P"))
+        chosen = [
+            ("okS", SubqueryCandidate((0,), medical_query.with_body_subset([0]))),
+            ("okM", SubqueryCandidate((1,), medical_query.with_body_subset([1]))),
+        ]
+        plan = plan_from_subqueries(flock, chosen)
+        validate_plan(flock, plan)
+        text = plan.render(flock)
+        assert "okS($s) := FILTER($s," in text
+        assert "okM($m) := FILTER($m," in text
+        assert "okS($s)" in str(plan.final_step.query)
+        assert "okM($m)" in str(plan.final_step.query)
+
+    def test_fig5_plan_equals_naive_on_workload(self, medical, medical_query):
+        flock = QueryFlock(medical_query, support_filter(20, target="P"))
+        chosen = [
+            ("okS", SubqueryCandidate((0,), medical_query.with_body_subset([0]))),
+            ("okM", SubqueryCandidate((1,), medical_query.with_body_subset([1]))),
+        ]
+        plan = plan_from_subqueries(flock, chosen)
+        naive = evaluate_flock(medical.db, flock)
+        planned = execute_plan(medical.db, flock, plan)
+        assert planned.relation == naive
+
+
+class TestFig6Fig7Example43:
+    """The pathological path flock and its n+1-step chained plan."""
+
+    @pytest.fixture(scope="class")
+    def graph_db(self):
+        return generate_hub_digraph(seed=4)
+
+    def test_path_flock_finds_hubs(self, graph_db):
+        n = 2
+        query = path_query(n)
+        flock = QueryFlock(query, support_filter(20, target="X"))
+        result = evaluate_flock(graph_db, flock)
+        hubs = {row[0] for row in result.tuples}
+        # All planted hubs (ids 0..19 with 30 successors into the
+        # densely connected core) must qualify.
+        assert set(range(20)) <= hubs
+
+    def test_chained_plan_matches_naive(self, graph_db):
+        n = 2
+        query = path_query(n)
+        flock = QueryFlock(query, support_filter(20, target="X"))
+        chain = [
+            (
+                f"ok{level - 1}",
+                SubqueryCandidate(
+                    tuple(range(level)), query.with_body_subset(range(level))
+                ),
+            )
+            for level in range(1, len(query.body) + 1)
+        ]
+        plan = chained_plan(flock, chain)
+        assert len(plan) == n + 2  # n+1 chain levels + final
+        naive = evaluate_flock(graph_db, flock)
+        planned = execute_plan(graph_db, flock, plan)
+        assert planned.relation == naive
+
+    def test_chain_renders_like_fig7(self, graph_db):
+        query = path_query(2)
+        flock = QueryFlock(query, support_filter(20, target="X"))
+        chain = [
+            (
+                f"ok{level - 1}",
+                SubqueryCandidate(
+                    tuple(range(level)), query.with_body_subset(range(level))
+                ),
+            )
+            for level in range(1, len(query.body) + 1)
+        ]
+        plan = chained_plan(flock, chain)
+        text = plan.render(flock)
+        assert "ok0($1) := FILTER($1," in text
+        assert "ok0($1) AND arc($1, X) AND arc(X, Y1)" in text
+
+
+class TestFig8Fig9Example44:
+    """Dynamic evaluation on the medical example."""
+
+    def test_dynamic_matches_naive(self, medical, medical_query):
+        flock = QueryFlock(medical_query, support_filter(20, target="P"))
+        naive = evaluate_flock(medical.db, flock)
+        result, trace = evaluate_flock_dynamic(medical.db, flock)
+        assert result.relation == naive
+        assert trace.decisions[-1].node == "root"
+
+    def test_trace_reports_ratios_like_example44(self, medical, medical_query):
+        flock = QueryFlock(medical_query, support_filter(20, target="P"))
+        _, trace = evaluate_flock_dynamic(medical.db, flock)
+        # Example 4.4 reasons about the exhibits leaf ($s) and the
+        # treatments leaf ($m); both decisions must be recorded.
+        seen_params = {d.parameter_columns for d in trace.decisions}
+        assert ("$s",) in seen_params or ("$m",) in seen_params
+
+
+class TestFig10MonotoneSum:
+    """The weighted-basket future-work flock."""
+
+    @pytest.fixture(scope="class")
+    def weighted_db(self):
+        return generate_weighted_baskets(300, 80, skew=1.2, seed=5)
+
+    def test_weighted_flock_runs(self, weighted_db):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B,W) :-
+                baskets(B,$1) AND
+                baskets(B,$2) AND
+                importance(B,W) AND
+                $1 < $2
+
+            FILTER:
+            SUM(answer.W) >= 20
+            """
+        )
+        assert flock.filter.is_monotone
+        result = evaluate_flock(weighted_db, flock)
+        assert len(result) > 0
+
+    def test_weighted_prefilter_plan_sound(self, weighted_db):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B,W) :-
+                baskets(B,$1) AND
+                baskets(B,$2) AND
+                importance(B,W) AND
+                $1 < $2
+
+            FILTER:
+            SUM(answer.W) >= 40
+            """
+        )
+        rule = flock.rules[0]
+        # Pre-filter $1 with the safe subquery baskets(B,$1) AND
+        # importance(B,W): SUM of weights per item.
+        candidate = SubqueryCandidate((0, 2), rule.with_body_subset([0, 2]))
+        plan = plan_from_subqueries(flock, [("okW1", candidate)])
+        naive = evaluate_flock(weighted_db, flock)
+        planned = execute_plan(weighted_db, flock, plan)
+        assert planned.relation == naive

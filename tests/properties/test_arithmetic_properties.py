@@ -1,0 +1,81 @@
+"""Property tests: the comparison-entailment engine against brute force.
+
+Soundness of :func:`repro.datalog.arithmetic.entails` is load-bearing
+for arithmetic containment, so we check it against exhaustive
+evaluation over small value domains: if the closure claims
+``premises ⊨ conclusion``, then no assignment may satisfy the premises
+and falsify the conclusion.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import ComparisonSystem, comparison, entails, is_satisfiable
+from repro.datalog.atoms import Comparison, ComparisonOp
+from repro.datalog.terms import Constant, Variable
+
+
+VARIABLES = [Variable("X"), Variable("Y"), Variable("Z")]
+OPS = list(ComparisonOp)
+
+
+@st.composite
+def random_comparison(draw):
+    left = draw(st.sampled_from(VARIABLES + [Constant(1), Constant(3)]))
+    right = draw(st.sampled_from(VARIABLES + [Constant(2), Constant(3)]))
+    op = draw(st.sampled_from(OPS))
+    return Comparison(left, op, right)
+
+
+def _satisfying_assignments(comparisons, domain=range(0, 5)):
+    """All assignments of X, Y, Z over a small integer domain that
+    satisfy every comparison."""
+    for values in product(domain, repeat=len(VARIABLES)):
+        binding = dict(zip(VARIABLES, values))
+        if all(c.evaluate(binding) for c in comparisons):
+            yield binding
+
+
+class TestEntailmentSoundness:
+    @given(
+        st.lists(random_comparison(), max_size=4),
+        random_comparison(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_no_countermodel_when_entailed(self, premises, conclusion):
+        if not entails(premises, [conclusion]):
+            return
+        for binding in _satisfying_assignments(premises):
+            assert conclusion.evaluate(binding), (
+                f"{premises} claimed to entail {conclusion} but "
+                f"{binding} is a countermodel"
+            )
+
+    @given(st.lists(random_comparison(), max_size=4))
+    @settings(max_examples=300, deadline=None)
+    def test_unsatisfiable_has_no_models(self, comparisons):
+        if is_satisfiable(comparisons):
+            return
+        models = list(_satisfying_assignments(comparisons))
+        assert models == [], (
+            f"{comparisons} judged unsatisfiable but {models[0]} satisfies it"
+        )
+
+    @given(st.lists(random_comparison(), min_size=1, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_premises_entail_themselves(self, comparisons):
+        if not is_satisfiable(comparisons):
+            return
+        assert entails(comparisons, comparisons)
+
+    @given(st.lists(random_comparison(), max_size=3), random_comparison())
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_premises(self, premises, extra):
+        """Adding a premise never loses an entailment."""
+        if not ComparisonSystem.from_comparisons(premises).is_consistent():
+            return
+        for conclusion in premises:
+            if entails(premises, [conclusion]):
+                assert entails(premises + [extra], [conclusion])

@@ -1,0 +1,105 @@
+"""Property tests for composite filters: the conjunction-of-monotone
+corollary to Section 5, plus plan soundness under composites."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.subqueries import SubqueryCandidate
+from repro.flocks import (
+    CompositeFilter,
+    QueryFlock,
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    execute_plan,
+    parse_filter,
+    plan_from_subqueries,
+)
+from repro.datalog import atom, comparison, rule
+from repro.relational import Relation, database_from_dict
+
+
+monotone_texts = st.sampled_from(
+    [
+        "COUNT(answer.B) >= 2",
+        "COUNT(answer.B) >= 3",
+        "SUM(answer.W) >= 10",
+        "SUM(answer.W) >= 25",
+        "MAX(answer.W) >= 6",
+        "MIN(answer.W) <= 4",
+    ]
+)
+
+answer_rows = st.frozensets(
+    st.tuples(st.integers(0, 5), st.integers(1, 9)), min_size=1, max_size=10
+)
+extra_rows = st.frozensets(
+    st.tuples(st.integers(6, 11), st.integers(1, 9)), max_size=5
+)
+
+
+class TestCompositeMonotonicity:
+    @given(
+        st.lists(monotone_texts, min_size=2, max_size=3, unique=True),
+        answer_rows,
+        extra_rows,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_conjunction_preserved_under_supersets(self, texts, base, extra):
+        composite = CompositeFilter(
+            tuple(parse_filter(t) for t in texts)
+        )
+        assert composite.is_monotone
+        small = Relation("answer", ("B", "W"), base)
+        big = Relation("answer", ("B", "W"), base | extra)
+        if composite.test_relation(small):
+            assert composite.test_relation(big)
+
+
+basket_rows = st.frozensets(
+    st.tuples(
+        st.integers(0, 7), st.sampled_from(["a", "b", "c"])
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestCompositePlanSoundness:
+    @given(basket_rows, st.integers(1, 3), st.integers(5, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_and_dynamic_match_naive(self, rows, count_t, sum_t):
+        bids = sorted({bid for bid, _ in rows})
+        db = database_from_dict(
+            {
+                "baskets": (("BID", "Item"), rows),
+                "importance": (
+                    ("BID", "W"),
+                    [(bid, (bid % 5) + 1) for bid in bids],
+                ),
+            }
+        )
+        query = rule(
+            "answer",
+            ["B", "W"],
+            [
+                atom("baskets", "B", "$1"),
+                atom("baskets", "B", "$2"),
+                atom("importance", "B", "W"),
+                comparison("$1", "<", "$2"),
+            ],
+        )
+        composite = CompositeFilter(
+            (
+                parse_filter(f"COUNT(answer.B) >= {count_t}"),
+                parse_filter(f"SUM(answer.W) >= {sum_t}"),
+            )
+        )
+        flock = QueryFlock(query, composite)
+        naive = evaluate_flock(db, flock)
+
+        candidate = SubqueryCandidate((0, 2), query.with_body_subset([0, 2]))
+        plan = plan_from_subqueries(flock, [("okW1", candidate)])
+        assert execute_plan(db, flock, plan).relation == naive
+
+        dynamic, _ = evaluate_flock_dynamic(db, flock)
+        assert dynamic.relation == naive

@@ -1,0 +1,154 @@
+"""Property-based tests for the Datalog layer: containment semantics,
+safety/evaluation consistency, parser round-trips, monotone filters."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    ConjunctiveQuery,
+    atom,
+    contains,
+    is_safe,
+    parse_rule,
+    rule,
+    safe_subqueries,
+)
+from repro.datalog.terms import Parameter, Variable
+from repro.errors import SafetyError
+from repro.flocks import parse_filter
+from repro.relational import Database, Relation, evaluate_conjunctive
+
+
+# ----------------------------------------------------------------------
+# Random pure CQs over two binary predicates r, s with vars X, Y, Z.
+# ----------------------------------------------------------------------
+
+var_names = st.sampled_from(["X", "Y", "Z"])
+predicates = st.sampled_from(["r", "s"])
+
+
+@st.composite
+def pure_cq(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    body = []
+    for _ in range(n):
+        pred = draw(predicates)
+        a = draw(var_names)
+        b = draw(var_names)
+        body.append(atom(pred, a, b))
+    head_var = draw(var_names)
+    # Keep safety: head var must appear in the body; retry by fallback.
+    body_vars = {str(v) for sg in body for v in sg.variables()}
+    if head_var not in body_vars:
+        head_var = sorted(body_vars)[0]
+    return rule("answer", [head_var], body)
+
+
+rel_rows = st.frozensets(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=12
+)
+
+
+def make_db(r_rows, s_rows) -> Database:
+    return Database(
+        [
+            Relation("r", ("u", "v"), r_rows),
+            Relation("s", ("u", "v"), s_rows),
+        ]
+    )
+
+
+class TestContainmentSemantics:
+    @given(pure_cq(), pure_cq(), rel_rows, rel_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_containment_implies_result_subset(self, q1, q2, r_rows, s_rows):
+        """If contains(q1, q2) holds then q2's result is a subset of
+        q1's on every database — the Chandra–Merlin direction we rely
+        on for upper bounds."""
+        if not contains(q1, q2):
+            return
+        db = make_db(r_rows, s_rows)
+        res1 = evaluate_conjunctive(db, q1)
+        res2 = evaluate_conjunctive(db, q2)
+        assert res2.tuples <= res1.tuples
+
+    @given(pure_cq())
+    @settings(max_examples=40, deadline=None)
+    def test_containment_reflexive(self, q):
+        assert contains(q, q)
+
+    @given(pure_cq(), rel_rows, rel_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_subgoal_deletion_grows_result(self, q, r_rows, s_rows):
+        """Deleting subgoals (when still safe) can only grow the result —
+        the essence of the a-priori bound."""
+        db = make_db(r_rows, s_rows)
+        full = evaluate_conjunctive(db, q)
+        for candidate in safe_subqueries(q):
+            sub_result = evaluate_conjunctive(db, candidate.query)
+            assert full.tuples <= sub_result.tuples
+
+
+class TestSafetyEvaluationConsistency:
+    @given(pure_cq(), rel_rows, rel_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_safe_queries_evaluate(self, q, r_rows, s_rows):
+        db = make_db(r_rows, s_rows)
+        assert is_safe(q)
+        evaluate_conjunctive(db, q)  # must not raise
+
+    def test_unsafe_query_raises(self):
+        db = make_db(frozenset(), frozenset())
+        q = rule("answer", ["X"], [atom("r", "Y", "Z")])
+        try:
+            evaluate_conjunctive(db, q)
+            raised = False
+        except SafetyError:
+            raised = True
+        assert raised
+
+
+class TestParserRoundTrip:
+    @given(pure_cq())
+    @settings(max_examples=60, deadline=None)
+    def test_str_parse_identity(self, q):
+        assert parse_rule(str(q)) == q
+
+
+class TestMonotoneFilterProperty:
+    """Section 5's definition, checked directly: a monotone condition
+    true on a set stays true on any superset."""
+
+    answer_rows = st.frozensets(
+        st.tuples(st.integers(0, 5), st.integers(1, 9)), min_size=1, max_size=10
+    )
+    extra_rows = st.frozensets(
+        st.tuples(st.integers(6, 11), st.integers(1, 9)), max_size=5
+    )
+    filters = st.sampled_from(
+        [
+            "COUNT(answer.B) >= 3",
+            "COUNT(answer.B) > 1",
+            "SUM(answer.W) >= 10",
+            "MAX(answer.W) >= 5",
+            "MIN(answer.W) <= 4",
+        ]
+    )
+
+    @given(answer_rows, extra_rows, filters)
+    @settings(max_examples=100, deadline=None)
+    def test_superset_preserves_truth(self, base, extra, filter_text):
+        condition = parse_filter(filter_text)
+        assert condition.is_monotone
+        small = Relation("answer", ("B", "W"), base)
+        big = Relation("answer", ("B", "W"), base | extra)
+        if condition.test_relation(small):
+            assert condition.test_relation(big)
+
+    non_monotone_filters = st.sampled_from(
+        ["COUNT(answer.B) <= 3", "MIN(answer.W) >= 4", "MAX(answer.W) <= 5"]
+    )
+
+    @given(non_monotone_filters)
+    def test_non_monotone_classified(self, filter_text):
+        assert not parse_filter(filter_text).is_monotone

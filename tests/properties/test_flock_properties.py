@@ -1,0 +1,191 @@
+"""Property-based tests of the paper's core soundness claims.
+
+These are the theorems the whole optimization rests on:
+
+* every legal plan computes exactly the naive flock result;
+* classic a-priori equals flock evaluation for itemsets;
+* a safe subquery upper-bounds the full query per assignment;
+* the dynamic evaluator is sound for any decision thresholds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.subqueries import SubqueryCandidate, safe_subqueries
+from repro.flocks import (
+    QueryFlock,
+    apriori_itemsets,
+    evaluate_flock,
+    evaluate_flock_bruteforce,
+    evaluate_flock_dynamic,
+    execute_plan,
+    frequent_pairs,
+    itemset_flock,
+    itemsets_from_flock_result,
+    plan_from_subqueries,
+    single_step_plan,
+    support_filter,
+)
+from repro.relational import Database, Relation, database_from_dict
+
+
+# Small random basket databases: up to 12 baskets over 5 items.
+basket_rows = st.frozensets(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+supports = st.integers(min_value=1, max_value=4)
+
+
+def basket_db(rows) -> Database:
+    return Database([Relation("baskets", ("BID", "Item"), rows)])
+
+
+class TestAprioriEquivalence:
+    @given(basket_rows, supports)
+    @settings(max_examples=60, deadline=None)
+    def test_classic_equals_flock(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        classic = frequent_pairs(db.get("baskets"), support)
+        naive = itemsets_from_flock_result(evaluate_flock(db, flock))
+        assert classic == naive
+
+    @given(basket_rows, supports)
+    @settings(max_examples=40, deadline=None)
+    def test_every_level_matches_flock(self, rows, support):
+        db = basket_db(rows)
+        levels = apriori_itemsets(db.get("baskets"), support, max_size=3)
+        for k in (1, 2, 3):
+            flock = itemset_flock(k, support=support)
+            naive = itemsets_from_flock_result(evaluate_flock(db, flock))
+            assert set(levels.get(k, {})) == naive
+
+
+class TestPlanSoundness:
+    @given(basket_rows, supports)
+    @settings(max_examples=60, deadline=None)
+    def test_all_legal_plans_agree_with_naive(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        naive = evaluate_flock(db, flock)
+        rule = flock.rules[0]
+        single_param = [
+            (f"ok{i}", SubqueryCandidate((i,), rule.with_body_subset([i])))
+            for i, sg in enumerate(rule.positive_atoms())
+        ]
+        plans = [single_step_plan(flock)]
+        plans.append(plan_from_subqueries(flock, single_param[:1]))
+        plans.append(plan_from_subqueries(flock, single_param))
+        for plan in plans:
+            result = execute_plan(db, flock, plan)
+            assert result.relation == naive
+
+    @given(basket_rows, supports)
+    @settings(max_examples=40, deadline=None)
+    def test_bruteforce_agrees(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        assert evaluate_flock(db, flock) == evaluate_flock_bruteforce(db, flock)
+
+
+class TestDynamicSoundness:
+    @given(
+        basket_rows,
+        supports,
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_thresholds_sound(self, rows, support, factor, improvement):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        naive = evaluate_flock(db, flock)
+        result, _ = evaluate_flock_dynamic(
+            db, flock, decision_factor=factor, improvement_factor=improvement
+        )
+        assert result.relation == naive
+
+
+class TestSubqueryUpperBound:
+    @given(basket_rows, supports)
+    @settings(max_examples=40, deadline=None)
+    def test_subquery_result_is_superset_per_assignment(self, rows, support):
+        """Section 3.1: a safe subquery's per-assignment answer count is
+        an upper bound, so its surviving-assignment set contains the
+        flock result projected to the subquery's parameters."""
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        naive = evaluate_flock(db, flock)
+        rule = flock.rules[0]
+        for candidate in safe_subqueries(rule):
+            if not candidate.parameters:
+                continue
+            params = tuple(
+                sorted(candidate.parameters, key=lambda p: p.name)
+            )
+            sub_flock_query = candidate.query
+            # Evaluate the subquery as its own flock.
+            sub_flock = QueryFlock(
+                sub_flock_query, support_filter(support, target="B")
+            )
+            survivors = evaluate_flock(db, sub_flock)
+            param_cols = [str(p) for p in params]
+            projected = naive.project(param_cols)
+            assert projected.tuples <= survivors.project(param_cols).tuples
+
+
+class TestMedicalRandomized:
+    diag = st.lists(
+        st.tuples(st.integers(0, 7), st.sampled_from(["d1", "d2"])),
+        max_size=8,
+        unique_by=lambda t: t[0],  # one disease per patient
+    )
+    exh = st.frozensets(
+        st.tuples(st.integers(0, 7), st.sampled_from(["s1", "s2", "s3"])),
+        max_size=20,
+    )
+    trt = st.frozensets(
+        st.tuples(st.integers(0, 7), st.sampled_from(["m1", "m2"])),
+        max_size=12,
+    )
+    cse = st.frozensets(
+        st.tuples(st.sampled_from(["d1", "d2"]), st.sampled_from(["s1", "s2", "s3"])),
+        max_size=6,
+    )
+
+    @given(diag, exh, trt, cse, st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_negation_flock_three_evaluators_agree(
+        self, diag, exh, trt, cse, support
+    ):
+        db = database_from_dict(
+            {
+                "diagnoses": (("P", "D"), diag),
+                "exhibits": (("P", "S"), exh),
+                "treatments": (("P", "M"), trt),
+                "causes": (("D", "S"), cse),
+            }
+        )
+        from repro.datalog import atom, negated, rule as make_rule
+
+        query = make_rule(
+            "answer",
+            ["P"],
+            [
+                atom("exhibits", "P", "$s"),
+                atom("treatments", "P", "$m"),
+                atom("diagnoses", "P", "D"),
+                negated("causes", "D", "$s"),
+            ],
+        )
+        flock = QueryFlock(query, support_filter(support, target="P"))
+        naive = evaluate_flock(db, flock)
+        brute = evaluate_flock_bruteforce(db, flock)
+        dynamic, _ = evaluate_flock_dynamic(db, flock)
+        assert naive == brute
+        assert dynamic.relation == naive

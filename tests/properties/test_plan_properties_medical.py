@@ -1,0 +1,101 @@
+"""Plan soundness under negation: every legal medical plan equals naive.
+
+The basket property tests cover positive CQs; these cover the harder
+case — plans over a flock with a negated subgoal (Fig. 3/5), where an
+unsound pre-filter could interact with the anti-join.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.subqueries import SubqueryCandidate, safe_subqueries
+from repro.flocks import (
+    QueryFlock,
+    evaluate_flock,
+    evaluate_flock_bruteforce,
+    evaluate_flock_dynamic,
+    execute_plan,
+    fig3_flock,
+    fig5_plan,
+    plan_from_subqueries,
+    single_step_plan,
+)
+from repro.relational import database_from_dict
+
+
+diag = st.lists(
+    st.tuples(st.integers(0, 6), st.sampled_from(["d1", "d2", "d3"])),
+    max_size=7,
+    unique_by=lambda t: t[0],
+)
+exh = st.frozensets(
+    st.tuples(st.integers(0, 6), st.sampled_from(["s1", "s2"])), max_size=14
+)
+trt = st.frozensets(
+    st.tuples(st.integers(0, 6), st.sampled_from(["m1", "m2"])), max_size=14
+)
+cse = st.frozensets(
+    st.tuples(st.sampled_from(["d1", "d2", "d3"]), st.sampled_from(["s1", "s2"])),
+    max_size=6,
+)
+supports = st.integers(1, 3)
+
+
+def medical_db(diag, exh, trt, cse):
+    return database_from_dict(
+        {
+            "diagnoses": (("P", "D"), diag),
+            "exhibits": (("P", "S"), exh),
+            "treatments": (("P", "M"), trt),
+            "causes": (("D", "S"), cse),
+        }
+    )
+
+
+class TestMedicalPlanSoundness:
+    @given(diag, exh, trt, cse, supports)
+    @settings(max_examples=60, deadline=None)
+    def test_fig5_plan_equals_naive(self, diag, exh, trt, cse, support):
+        db = medical_db(diag, exh, trt, cse)
+        flock = fig3_flock(support=support)
+        naive = evaluate_flock(db, flock)
+        plan = fig5_plan(flock)
+        assert execute_plan(db, flock, plan).relation == naive
+
+    @given(diag, exh, trt, cse, supports)
+    @settings(max_examples=30, deadline=None)
+    def test_every_safe_subquery_prefilter_is_sound(
+        self, diag, exh, trt, cse, support
+    ):
+        """One plan per safe subquery of the medical flock — including
+        the ones containing the negated subgoal."""
+        db = medical_db(diag, exh, trt, cse)
+        flock = fig3_flock(support=support)
+        naive = evaluate_flock(db, flock)
+        rule = flock.rules[0]
+        for candidate in safe_subqueries(rule):
+            if not candidate.parameters:
+                continue
+            plan = plan_from_subqueries(flock, [("okX", candidate)])
+            assert execute_plan(db, flock, plan).relation == naive, (
+                f"pre-filter {candidate.query} changed the answer"
+            )
+
+    @given(diag, exh, trt, cse, supports)
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_and_bruteforce_agree(self, diag, exh, trt, cse, support):
+        db = medical_db(diag, exh, trt, cse)
+        flock = fig3_flock(support=support)
+        naive = evaluate_flock(db, flock)
+        assert evaluate_flock_bruteforce(db, flock) == naive
+        dynamic, _ = evaluate_flock_dynamic(db, flock)
+        assert dynamic.relation == naive
+
+    @given(diag, exh, trt, cse, supports)
+    @settings(max_examples=30, deadline=None)
+    def test_sqlite_backend_agrees(self, diag, exh, trt, cse, support):
+        from repro.flocks import evaluate_flock_sqlite
+
+        db = medical_db(diag, exh, trt, cse)
+        flock = fig3_flock(support=support)
+        assert evaluate_flock_sqlite(db, flock) == evaluate_flock(db, flock)

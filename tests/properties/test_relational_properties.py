@@ -1,0 +1,94 @@
+"""Property-based tests for the relational engine (algebra laws)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Relation,
+    anti_join,
+    natural_join,
+    semi_join,
+    union_all,
+)
+
+
+values = st.integers(min_value=0, max_value=5)
+rows_ab = st.frozensets(st.tuples(values, values), max_size=30)
+rows_bc = st.frozensets(st.tuples(values, values), max_size=30)
+
+
+def rel_ab(rows):
+    return Relation("r", ("a", "b"), rows)
+
+
+def rel_bc(rows):
+    return Relation("s", ("b", "c"), rows)
+
+
+class TestJoinLaws:
+    @given(rows_ab, rows_bc)
+    def test_join_commutative_on_contents(self, r_rows, s_rows):
+        r, s = rel_ab(r_rows), rel_bc(s_rows)
+        rs = natural_join(r, s)
+        sr = natural_join(s, r)
+        assert rs.project(["a", "b", "c"]) == sr.project(["a", "b", "c"])
+
+    @given(rows_ab)
+    def test_self_join_is_identity(self, rows):
+        r = rel_ab(rows)
+        assert natural_join(r, r) == r.with_name("join")
+
+    @given(rows_ab, rows_bc)
+    def test_join_subset_of_product_size(self, r_rows, s_rows):
+        r, s = rel_ab(r_rows), rel_bc(s_rows)
+        assert len(natural_join(r, s)) <= len(r) * len(s)
+
+    @given(rows_ab, rows_bc, st.frozensets(st.tuples(values, values), max_size=30))
+    def test_join_associative(self, r_rows, s_rows, t_rows):
+        r, s = rel_ab(r_rows), rel_bc(s_rows)
+        t = Relation("t", ("c", "d"), t_rows)
+        left = natural_join(natural_join(r, s), t)
+        right = natural_join(r, natural_join(s, t))
+        cols = ["a", "b", "c", "d"]
+        assert left.project(cols) == right.project(cols)
+
+
+class TestSemiAntiPartition:
+    @given(rows_ab, rows_bc)
+    def test_semi_plus_anti_is_identity(self, r_rows, s_rows):
+        r, s = rel_ab(r_rows), rel_bc(s_rows)
+        semi = semi_join(r, s)
+        anti = anti_join(r, s)
+        assert semi.tuples | anti.tuples == r.tuples
+        assert not semi.tuples & anti.tuples
+
+    @given(rows_ab, rows_bc)
+    def test_semi_join_is_join_projection(self, r_rows, s_rows):
+        r, s = rel_ab(r_rows), rel_bc(s_rows)
+        semi = semi_join(r, s)
+        joined = natural_join(r, s).project(["a", "b"])
+        assert semi.tuples == joined.tuples
+
+
+class TestSetSemantics:
+    @given(rows_ab)
+    def test_projection_never_grows(self, rows):
+        r = rel_ab(rows)
+        assert len(r.project(["a"])) <= len(r)
+
+    @given(rows_ab, rows_ab)
+    def test_union_bounds(self, a_rows, b_rows):
+        a, b = rel_ab(a_rows), rel_ab(b_rows)
+        u = union_all([a, b])
+        assert max(len(a), len(b)) <= len(u) <= len(a) + len(b)
+
+    @given(rows_ab)
+    def test_select_is_subset(self, rows):
+        r = rel_ab(rows)
+        selected = r.select(lambda row: row["a"] % 2 == 0)
+        assert selected.tuples <= r.tuples
+
+    @given(rows_ab)
+    def test_rename_preserves_contents(self, rows):
+        r = rel_ab(rows)
+        assert r.rename({"a": "x"}).tuples == r.tuples

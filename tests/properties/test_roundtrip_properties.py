@@ -1,0 +1,123 @@
+"""Round-trip property tests: parser and CSV persistence.
+
+Anything the library can print, it must be able to read back
+identically — for the full query language (parameters, negation,
+comparisons, constants) and for relations with awkward string values.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    Comparison,
+    ComparisonOp,
+    RelationalAtom,
+    UnionQuery,
+    parse_query,
+    parse_rule,
+    rule,
+)
+from repro.datalog.terms import Constant, Parameter, Variable
+from repro.relational import Relation, load_relation, save_relation
+
+
+terms = st.one_of(
+    st.sampled_from([Variable("X"), Variable("Y"), Variable("Zed")]),
+    st.sampled_from([Parameter("1"), Parameter("2"), Parameter("s")]),
+    st.sampled_from([Constant(0), Constant(42), Constant("beer"),
+                     Constant("two words")]),
+)
+
+predicates = st.sampled_from(["r", "s", "baskets", "inTitle"])
+
+
+@st.composite
+def rel_atom(draw):
+    arity = draw(st.integers(1, 3))
+    args = tuple(draw(terms) for _ in range(arity))
+    return RelationalAtom(draw(predicates), args, negated=draw(st.booleans()))
+
+
+@st.composite
+def arith_subgoal(draw):
+    left = draw(terms)
+    right = draw(terms)
+    op = draw(st.sampled_from(list(ComparisonOp)))
+    return Comparison(left, op, right)
+
+
+@st.composite
+def full_language_rule(draw):
+    positives = draw(
+        st.lists(rel_atom().map(lambda a: a.with_positive_polarity()),
+                 min_size=1, max_size=3)
+    )
+    extras = draw(st.lists(st.one_of(rel_atom(), arith_subgoal()), max_size=2))
+    body = positives + extras
+    body_vars = sorted(
+        {t for sg in positives for t in sg.bindable_terms()
+         if isinstance(t, Variable)},
+        key=str,
+    )
+    head = [body_vars[0]] if body_vars else [Constant(1)]
+    return rule("answer", head, body)
+
+
+class TestParserRoundTrip:
+    @given(full_language_rule())
+    @settings(max_examples=150, deadline=None)
+    def test_rule_round_trip(self, q):
+        assert parse_rule(str(q)) == q
+
+    @given(st.lists(full_language_rule(), min_size=2, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_union_round_trip(self, rules):
+        # Align head shapes so the union is well-formed.
+        width = len(rules[0].head_terms)
+        aligned = [r for r in rules if len(r.head_terms) == width]
+        if len(aligned) < 2:
+            return
+        union = UnionQuery(tuple(aligned))
+        assert parse_query(str(union)) == union
+
+
+csv_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(
+        alphabet=st.characters(
+            min_codepoint=32, max_codepoint=126,
+        ),
+        min_size=1,
+        max_size=20,
+    ).filter(lambda s: not _parses_numeric(s)),
+)
+
+
+def _parses_numeric(s: str) -> bool:
+    try:
+        int(s)
+        return True
+    except ValueError:
+        pass
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+class TestCsvRoundTrip:
+    @given(
+        st.frozensets(st.tuples(csv_values, csv_values), max_size=20)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_relation_round_trip(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        rel = Relation("r", ("a", "b"), rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "r.csv"
+            save_relation(rel, path)
+            loaded = load_relation(path)
+        assert loaded == rel

@@ -1,0 +1,99 @@
+"""Property tests for association rules and intermediate predicates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_rule
+from repro.datalog.program import materialize_views
+from repro.flocks import apriori_itemsets, mine_association_rules
+from repro.relational import (
+    Database,
+    Relation,
+    evaluate_conjunctive,
+    natural_join,
+)
+
+
+basket_rows = st.frozensets(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.sampled_from(["a", "b", "c", "d"]),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestRuleMeasureInvariants:
+    @given(basket_rows, st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_measure_definitions(self, rows, support):
+        baskets = Relation("baskets", ("BID", "Item"), rows)
+        n = baskets.distinct_count("BID")
+        levels = apriori_itemsets(baskets, support)
+        rules = mine_association_rules(baskets, min_support=support)
+        for rule in rules:
+            # support = count / N
+            assert rule.support == rule.support_count / n
+            # confidence in (0, 1]
+            assert 0 < rule.confidence <= 1
+            # the rule's itemset really is frequent with that count
+            assert levels[len(rule.itemset)][rule.itemset] == rule.support_count
+            # antecedent support >= rule support (downward closure)
+            antecedent_count = levels[len(rule.antecedent)][rule.antecedent]
+            assert antecedent_count >= rule.support_count
+            # interest = confidence / P(consequent)
+            consequent_count = levels[1][frozenset((rule.consequent,))]
+            expected = rule.confidence / (consequent_count / n)
+            assert abs(rule.interest - expected) < 1e-9
+
+    @given(basket_rows, st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_confidence_filter_monotone(self, rows, support):
+        baskets = Relation("baskets", ("BID", "Item"), rows)
+        loose = mine_association_rules(baskets, min_support=support)
+        strict = mine_association_rules(
+            baskets, min_support=support, min_confidence=0.7
+        )
+        assert {str(r) for r in strict} <= {str(r) for r in loose}
+
+
+rel_rows = st.frozensets(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15
+)
+
+
+class TestProgramSemantics:
+    @given(rel_rows, rel_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_view_equals_inline_expansion(self, r_rows, s_rows):
+        """A query over a materialized view must equal the query with
+        the view's definition spliced inline."""
+        db = Database(
+            [
+                Relation("r", ("u", "v"), r_rows),
+                Relation("s", ("u", "v"), s_rows),
+            ]
+        )
+        view = parse_rule("v(X, Z) :- r(X, Y) AND s(Y, Z)")
+        scratch = materialize_views(db, [view])
+
+        over_view = parse_rule("answer(X, Z) :- v(X, Z)")
+        inline = parse_rule("answer(X, Z) :- r(X, Y) AND s(Y, Z)")
+        assert evaluate_conjunctive(scratch, over_view) == (
+            evaluate_conjunctive(db, inline)
+        )
+
+    @given(rel_rows, rel_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_view_contents_equal_direct_join(self, r_rows, s_rows):
+        db = Database(
+            [
+                Relation("r", ("A", "B"), r_rows),
+                Relation("s", ("B", "C"), s_rows),
+            ]
+        )
+        view = parse_rule("v(A, C) :- r(A, B) AND s(B, C)")
+        scratch = materialize_views(db, [view])
+        direct = natural_join(db.get("r"), db.get("s")).project(["A", "C"])
+        assert scratch.get("v").tuples == direct.tuples

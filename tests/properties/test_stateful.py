@@ -1,0 +1,78 @@
+"""Stateful property test: a mutating database must never desynchronize
+the evaluation strategies.
+
+A hypothesis state machine adds and removes basket tuples, occasionally
+changing the support threshold, and after every step checks that the
+naive, plan-based, and dynamic evaluators agree (with the brute-force
+oracle consulted at teardown).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.flocks import (
+    evaluate_flock,
+    evaluate_flock_bruteforce,
+    evaluate_flock_dynamic,
+    execute_plan,
+    itemset_flock,
+    itemset_plan,
+)
+from repro.relational import Database, Relation
+
+
+ITEMS = ["a", "b", "c", "d"]
+BIDS = list(range(6))
+
+
+class FlockConsistencyMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.rows: set[tuple] = {(0, "a"), (0, "b")}
+        self.support = 1
+
+    def _db(self) -> Database:
+        return Database([Relation("baskets", ("BID", "Item"), self.rows)])
+
+    @rule(bid=st.sampled_from(BIDS), item=st.sampled_from(ITEMS))
+    def add_tuple(self, bid, item) -> None:
+        self.rows.add((bid, item))
+
+    @rule(bid=st.sampled_from(BIDS), item=st.sampled_from(ITEMS))
+    def remove_tuple(self, bid, item) -> None:
+        self.rows.discard((bid, item))
+        if not self.rows:
+            self.rows.add((0, "a"))
+
+    @rule(support=st.integers(1, 4))
+    def change_support(self, support) -> None:
+        self.support = support
+
+    @invariant()
+    def strategies_agree(self) -> None:
+        db = self._db()
+        flock = itemset_flock(2, support=self.support)
+        naive = evaluate_flock(db, flock)
+        planned = execute_plan(
+            db, flock, itemset_plan(flock), validate=False
+        )
+        dynamic, _ = evaluate_flock_dynamic(db, flock)
+        assert planned.relation == naive
+        assert dynamic.relation == naive
+
+    def teardown(self) -> None:
+        db = self._db()
+        flock = itemset_flock(2, support=self.support)
+        assert evaluate_flock_bruteforce(db, flock) == evaluate_flock(db, flock)
+
+
+TestFlockConsistency = FlockConsistencyMachine.TestCase
+TestFlockConsistency.settings = settings(
+    max_examples=25, stateful_step_count=15, deadline=None
+)

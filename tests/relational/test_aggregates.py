@@ -1,0 +1,135 @@
+"""Unit tests for grouped aggregation (the HAVING machinery)."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.relational import (
+    AggregateFunction,
+    Relation,
+    group_aggregate,
+    grouped_counts,
+    having,
+)
+
+
+@pytest.fixture
+def answer():
+    """Parameter columns ($1, $2) plus the answer column (B)."""
+    return Relation(
+        "answer",
+        ("$1", "$2", "B"),
+        {
+            ("beer", "diapers", 1),
+            ("beer", "diapers", 2),
+            ("beer", "diapers", 3),
+            ("beer", "chips", 1),
+        },
+    )
+
+
+class TestAggregateFunction:
+    def test_from_name(self):
+        assert AggregateFunction.from_name("count") is AggregateFunction.COUNT
+        assert AggregateFunction.from_name("SUM") is AggregateFunction.SUM
+
+    def test_unknown_raises(self):
+        with pytest.raises(FilterError):
+            AggregateFunction.from_name("MEDIAN")
+
+
+class TestGroupedCounts:
+    def test_counts_distinct_answers_per_group(self, answer):
+        counts = grouped_counts(answer, ["$1", "$2"])
+        assert ("beer", "diapers", 3) in counts
+        assert ("beer", "chips", 1) in counts
+
+    def test_empty_group_by_counts_all(self, answer):
+        counts = grouped_counts(answer, [])
+        assert counts.columns == ("count",)
+        assert counts.tuples == frozenset({(4,)})
+
+    def test_empty_relation_scalar_count_zero(self):
+        empty = Relation("answer", ("B",))
+        counts = grouped_counts(empty, [])
+        assert counts.tuples == frozenset({(0,)})
+
+    def test_empty_relation_grouped_is_empty(self):
+        empty = Relation("answer", ("$1", "B"))
+        counts = grouped_counts(empty, ["$1"])
+        assert len(counts) == 0
+
+
+class TestGroupAggregate:
+    def test_sum(self):
+        weighted = Relation(
+            "answer",
+            ("$1", "B", "W"),
+            {("beer", 1, 10), ("beer", 2, 5), ("chips", 1, 10)},
+        )
+        total = group_aggregate(
+            weighted, ["$1"], AggregateFunction.SUM, target=["W"]
+        )
+        assert ("beer", 15) in total
+        assert ("chips", 10) in total
+
+    def test_sum_over_distinct_member_tuples(self):
+        # Fig. 10 semantics: SUM ranges over distinct *answer tuples*
+        # (B, W), so two distinct baskets with equal weight 5 both
+        # contribute: 5 + 5 + 7 = 17.
+        weighted = Relation(
+            "answer", ("$1", "B", "W"), {("x", 1, 5), ("x", 2, 5), ("x", 3, 7)}
+        )
+        total = group_aggregate(
+            weighted, ["$1"], AggregateFunction.SUM, target=["W"]
+        )
+        assert total.tuples == frozenset({("x", 17)})
+
+    def test_target_must_be_non_group_column(self):
+        r = Relation("r", ("$g", "a"), {("x", 1)})
+        with pytest.raises(FilterError):
+            group_aggregate(r, ["$g"], AggregateFunction.SUM, target=["$g"])
+
+    def test_min_max(self):
+        scores = Relation("s", ("$g", "V"), {("a", 3), ("a", 7), ("b", 5)})
+        mn = group_aggregate(scores, ["$g"], AggregateFunction.MIN, target=["V"])
+        mx = group_aggregate(scores, ["$g"], AggregateFunction.MAX, target=["V"])
+        assert ("a", 3) in mn and ("a", 7) in mx
+        assert ("b", 5) in mn and ("b", 5) in mx
+
+    def test_sum_requires_single_target(self):
+        r = Relation("r", ("$g", "a", "b"), {("x", 1, 2)})
+        with pytest.raises(FilterError):
+            group_aggregate(r, ["$g"], AggregateFunction.SUM, target=["a", "b"])
+
+    def test_non_count_requires_target(self):
+        r = Relation("r", ("$g", "a"), {("x", 1)})
+        with pytest.raises(FilterError):
+            group_aggregate(r, ["$g"], AggregateFunction.SUM)
+
+    def test_count_explicit_target(self, answer):
+        counts = group_aggregate(
+            answer, ["$1"], AggregateFunction.COUNT, target=["B"]
+        )
+        # beer group: B values {1, 2, 3} -> 3 distinct.
+        assert ("beer", 3) in counts
+
+    def test_result_column_name(self, answer):
+        counts = grouped_counts(answer, ["$1"], result_column="support")
+        assert counts.columns == ("$1", "support")
+
+
+class TestHaving:
+    def test_threshold_filter(self, answer):
+        counts = grouped_counts(answer, ["$1", "$2"])
+        passed = having(counts, lambda c: c >= 2)
+        assert passed.columns == ("$1", "$2")
+        assert passed.tuples == frozenset({("beer", "diapers")})
+
+    def test_keep_aggregate(self, answer):
+        counts = grouped_counts(answer, ["$1", "$2"])
+        passed = having(counts, lambda c: c >= 2, keep_aggregate=True)
+        assert passed.tuples == frozenset({("beer", "diapers", 3)})
+
+    def test_nothing_passes(self, answer):
+        counts = grouped_counts(answer, ["$1", "$2"])
+        assert len(having(counts, lambda c: c >= 100)) == 0

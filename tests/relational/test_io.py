@@ -1,0 +1,87 @@
+"""CSV persistence tests."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    Relation,
+    load_database,
+    load_relation,
+    save_database,
+    save_relation,
+)
+
+
+@pytest.fixture
+def mixed_relation():
+    return Relation(
+        "mixed",
+        ("id", "name", "score"),
+        {(1, "alice", 2.5), (2, "bob", -1.0), (3, "carol", 7)},
+    )
+
+
+class TestRelationRoundTrip:
+    def test_round_trip(self, tmp_path, mixed_relation):
+        path = tmp_path / "mixed.csv"
+        save_relation(mixed_relation, path)
+        loaded = load_relation(path)
+        assert loaded.columns == mixed_relation.columns
+        # 7 round-trips as int, 2.5 as float, names as strings.
+        assert (1, "alice", 2.5) in loaded
+        assert (3, "carol", 7) in loaded
+
+    def test_name_from_stem(self, tmp_path, mixed_relation):
+        path = tmp_path / "things.csv"
+        save_relation(mixed_relation, path)
+        assert load_relation(path).name == "things"
+
+    def test_explicit_name(self, tmp_path, mixed_relation):
+        path = tmp_path / "things.csv"
+        save_relation(mixed_relation, path)
+        assert load_relation(path, name="other").name == "other"
+
+    def test_empty_relation(self, tmp_path):
+        empty = Relation("empty", ("a", "b"))
+        path = tmp_path / "empty.csv"
+        save_relation(empty, path)
+        loaded = load_relation(path)
+        assert loaded.columns == ("a", "b")
+        assert len(loaded) == 0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_relation(path)
+
+    def test_values_with_commas(self, tmp_path):
+        rel = Relation("r", ("text",), {("a,b",), ("plain",)})
+        path = tmp_path / "r.csv"
+        save_relation(rel, path)
+        assert load_relation(path).tuples == rel.tuples
+
+    def test_creates_parent_directories(self, tmp_path, mixed_relation):
+        path = tmp_path / "nested" / "dir" / "r.csv"
+        save_relation(mixed_relation, path)
+        assert path.exists()
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip(self, tmp_path):
+        db = Database(
+            [
+                Relation("r", ("a",), {(1,), (2,)}),
+                Relation("s", ("x", "y"), {("p", "q")}),
+            ]
+        )
+        save_database(db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.names() == ["r", "s"]
+        assert loaded.get("r") == db.get("r")
+        assert loaded.get("s") == db.get("s")
+
+    def test_load_empty_directory(self, tmp_path):
+        (tmp_path / "nothing").mkdir()
+        db = load_database(tmp_path / "nothing")
+        assert db.names() == []

@@ -1,0 +1,140 @@
+"""Unit tests for relational operators (joins, anti-joins, unions)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    Relation,
+    anti_join,
+    cartesian_product,
+    natural_join,
+    semi_join,
+    shared_columns,
+    union_all,
+)
+
+
+@pytest.fixture
+def exhibits():
+    return Relation("exhibits", ("P", "S"), {(1, "rash"), (2, "rash"), (2, "fever")})
+
+
+@pytest.fixture
+def treatments():
+    return Relation("treatments", ("P", "M"), {(1, "aspirin"), (3, "aspirin")})
+
+
+class TestSharedColumns:
+    def test_order_follows_left(self):
+        a = Relation("a", ("x", "y", "z"))
+        b = Relation("b", ("z", "x"))
+        assert shared_columns(a, b) == ("x", "z")
+
+    def test_disjoint(self):
+        a = Relation("a", ("x",))
+        b = Relation("b", ("y",))
+        assert shared_columns(a, b) == ()
+
+
+class TestNaturalJoin:
+    def test_join_on_shared_column(self, exhibits, treatments):
+        joined = natural_join(exhibits, treatments)
+        assert joined.columns == ("P", "S", "M")
+        assert joined.tuples == frozenset({(1, "rash", "aspirin")})
+
+    def test_join_is_commutative_up_to_columns(self, exhibits, treatments):
+        ab = natural_join(exhibits, treatments)
+        ba = natural_join(treatments, exhibits)
+        assert ab.project(["P", "S", "M"]) == ba.project(["P", "S", "M"])
+
+    def test_join_with_unit_is_identity(self, exhibits):
+        unit = Relation("unit", (), {()})
+        assert natural_join(unit, exhibits).tuples == exhibits.tuples
+        assert natural_join(exhibits, unit).tuples == exhibits.tuples
+
+    def test_join_no_shared_is_product(self):
+        a = Relation("a", ("x",), {(1,), (2,)})
+        b = Relation("b", ("y",), {(10,)})
+        joined = natural_join(a, b)
+        assert joined.tuples == frozenset({(1, 10), (2, 10)})
+
+    def test_join_with_empty_is_empty(self, exhibits):
+        empty = Relation("e", ("P",))
+        assert len(natural_join(exhibits, empty)) == 0
+
+    def test_self_join_different_columns(self):
+        # The Fig. 1 pattern: baskets ⋈ baskets on BID with renamed items.
+        b1 = Relation("b1", ("BID", "I1"), {(1, "a"), (1, "b"), (2, "a")})
+        b2 = b1.rename({"I1": "I2"}, name="b2")
+        joined = natural_join(b1, b2)
+        assert (1, "a", "b") in joined
+        assert (2, "a", "a") in joined
+
+    def test_multi_column_join(self):
+        a = Relation("a", ("x", "y"), {(1, 2), (1, 3)})
+        b = Relation("b", ("x", "y", "z"), {(1, 2, 9), (1, 4, 8)})
+        joined = natural_join(a, b)
+        assert joined.tuples == frozenset({(1, 2, 9)})
+
+
+class TestSemiJoin:
+    def test_keeps_matching(self, exhibits, treatments):
+        result = semi_join(exhibits, treatments)
+        assert result.columns == exhibits.columns
+        assert result.tuples == frozenset({(1, "rash")})
+
+    def test_no_shared_nonempty_right(self, exhibits):
+        other = Relation("o", ("Q",), {(1,)})
+        assert semi_join(exhibits, other).tuples == exhibits.tuples
+
+    def test_no_shared_empty_right(self, exhibits):
+        other = Relation("o", ("Q",))
+        assert len(semi_join(exhibits, other)) == 0
+
+
+class TestAntiJoin:
+    def test_removes_matching(self, exhibits, treatments):
+        result = anti_join(exhibits, treatments)
+        assert result.tuples == frozenset({(2, "rash"), (2, "fever")})
+
+    def test_complement_of_semi_join(self, exhibits, treatments):
+        semi = semi_join(exhibits, treatments)
+        anti = anti_join(exhibits, treatments)
+        assert semi.tuples | anti.tuples == exhibits.tuples
+        assert not semi.tuples & anti.tuples
+
+    def test_no_shared_nonempty_right_empties(self, exhibits):
+        other = Relation("o", ("Q",), {(1,)})
+        assert len(anti_join(exhibits, other)) == 0
+
+    def test_no_shared_empty_right_keeps_all(self, exhibits):
+        other = Relation("o", ("Q",))
+        assert anti_join(exhibits, other).tuples == exhibits.tuples
+
+
+class TestCartesianProduct:
+    def test_product(self):
+        a = Relation("a", ("x",), {(1,), (2,)})
+        b = Relation("b", ("y",), {(3,), (4,)})
+        assert len(cartesian_product(a, b)) == 4
+
+    def test_shared_columns_rejected(self, exhibits, treatments):
+        with pytest.raises(SchemaError):
+            cartesian_product(exhibits, treatments)
+
+
+class TestUnionAll:
+    def test_collapses_duplicates(self):
+        a = Relation("a", ("x",), {(1,), (2,)})
+        b = Relation("b", ("x",), {(2,), (3,)})
+        assert len(union_all([a, b])) == 3
+
+    def test_schema_mismatch(self):
+        a = Relation("a", ("x",), {(1,)})
+        b = Relation("b", ("y",), {(1,)})
+        with pytest.raises(SchemaError):
+            union_all([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])

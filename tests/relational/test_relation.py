@@ -1,0 +1,138 @@
+"""Unit tests for repro.relational.relation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Relation, relation_from_rows
+
+
+@pytest.fixture
+def baskets():
+    return Relation(
+        "baskets",
+        ("BID", "Item"),
+        {
+            (1, "beer"),
+            (1, "diapers"),
+            (2, "beer"),
+            (2, "chips"),
+            (3, "beer"),
+            (3, "diapers"),
+        },
+    )
+
+
+class TestConstruction:
+    def test_basic(self, baskets):
+        assert baskets.arity == 2
+        assert len(baskets) == 6
+
+    def test_set_semantics_dedupes(self):
+        r = Relation("r", ("a",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "b"), [(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "a"), [])
+
+    def test_from_rows_accepts_lists(self):
+        r = relation_from_rows("r", ("a", "b"), [[1, 2], [3, 4]])
+        assert (1, 2) in r
+
+    def test_empty_relation(self):
+        r = Relation("r", ("a",))
+        assert len(r) == 0
+
+    def test_zero_column_relation(self):
+        unit = Relation("unit", (), {()})
+        assert len(unit) == 1
+
+
+class TestIntrospection:
+    def test_contains(self, baskets):
+        assert (1, "beer") in baskets
+        assert (9, "beer") not in baskets
+
+    def test_column_position(self, baskets):
+        assert baskets.column_position("Item") == 1
+
+    def test_unknown_column_raises(self, baskets):
+        with pytest.raises(SchemaError):
+            baskets.column_position("nope")
+
+    def test_column_values(self, baskets):
+        assert baskets.column_values("Item") == {"beer", "diapers", "chips"}
+
+    def test_distinct_count(self, baskets):
+        assert baskets.distinct_count("BID") == 3
+
+    def test_equality_ignores_name(self, baskets):
+        other = Relation("renamed", baskets.columns, baskets.tuples)
+        assert baskets == other
+
+    def test_equality_checks_schema(self):
+        a = Relation("r", ("a",), {(1,)})
+        b = Relation("r", ("b",), {(1,)})
+        assert a != b
+
+    def test_hashable(self, baskets):
+        assert baskets in {baskets}
+
+
+class TestOperations:
+    def test_project_dedupes(self, baskets):
+        items = baskets.project(["Item"])
+        assert len(items) == 3
+        assert items.columns == ("Item",)
+
+    def test_project_reorders(self, baskets):
+        flipped = baskets.project(["Item", "BID"])
+        assert ("beer", 1) in flipped
+
+    def test_select(self, baskets):
+        beer = baskets.select(lambda row: row["Item"] == "beer")
+        assert len(beer) == 3
+
+    def test_select_eq(self, baskets):
+        b1 = baskets.select_eq("BID", 1)
+        assert len(b1) == 2
+
+    def test_rename(self, baskets):
+        renamed = baskets.rename({"BID": "B"})
+        assert renamed.columns == ("B", "Item")
+        assert renamed.tuples == baskets.tuples
+
+    def test_union(self):
+        a = Relation("a", ("x",), {(1,)})
+        b = Relation("b", ("x",), {(1,), (2,)})
+        assert len(a.union(b)) == 2
+
+    def test_union_schema_mismatch(self):
+        a = Relation("a", ("x",), {(1,)})
+        b = Relation("b", ("y",), {(1,)})
+        with pytest.raises(SchemaError):
+            a.union(b)
+
+    def test_difference(self):
+        a = Relation("a", ("x",), {(1,), (2,)})
+        b = Relation("b", ("x",), {(2,)})
+        assert a.difference(b).tuples == frozenset({(1,)})
+
+    def test_intersection(self):
+        a = Relation("a", ("x",), {(1,), (2,)})
+        b = Relation("b", ("x",), {(2,), (3,)})
+        assert a.intersection(b).tuples == frozenset({(2,)})
+
+    def test_operations_do_not_mutate(self, baskets):
+        before = set(baskets.tuples)
+        baskets.project(["Item"])
+        baskets.select(lambda r: False)
+        assert set(baskets.tuples) == before
+
+    def test_pretty_truncates(self, baskets):
+        text = baskets.pretty(limit=2)
+        assert "and 4 more" in text

@@ -1,0 +1,252 @@
+"""CLI tests: every subcommand driven through main() with real files."""
+
+import pytest
+
+from repro.cli import main
+from repro.relational import save_database
+from repro.workloads import basket_database
+
+
+FLOCK_TEXT = """QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+
+FILTER:
+COUNT(answer.B) >= 5
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    flock_file = tmp_path / "flock.txt"
+    flock_file.write_text(FLOCK_TEXT)
+    data_dir = tmp_path / "data"
+    db = basket_database(n_baskets=120, n_items=60, skew=1.2, seed=3)
+    save_database(db, data_dir)
+    return flock_file, data_dir
+
+
+class TestRun:
+    @pytest.mark.parametrize("strategy", ["naive", "optimized", "dynamic", "stats"])
+    def test_strategies_all_run(self, workspace, capsys, strategy):
+        flock_file, data_dir = workspace
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--strategy", strategy])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acceptable assignments" in out
+        assert "$1\t$2" in out
+
+    def test_strategies_agree(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        outputs = []
+        for strategy in ("naive", "optimized", "dynamic"):
+            main(["run", str(flock_file), str(data_dir),
+                  "--strategy", strategy, "--limit", "1000"])
+            out = capsys.readouterr().out
+            rows = frozenset(
+                line for line in out.splitlines()
+                if line and not line.startswith(("#", "$"))
+            )
+            outputs.append(rows)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_limit_truncates(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        main(["run", str(flock_file), str(data_dir), "--limit", "1"])
+        out = capsys.readouterr().out
+        assert "more" in out
+
+    def test_verbose_trace(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        main(["run", str(flock_file), str(data_dir), "--strategy", "dynamic",
+              "--verbose"])
+        err = capsys.readouterr().err
+        assert "trace" in err
+
+
+class TestPlan:
+    def test_plan_renders_filter_steps(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["plan", str(flock_file), str(data_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ":= FILTER" in out
+
+    def test_naive_plan_without_data(self, workspace, capsys):
+        flock_file, _ = workspace
+        code = main(["plan", str(flock_file), "--strategy", "naive"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single-step" in out
+
+
+class TestSql:
+    def test_naive_sql(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["sql", str(flock_file), str(data_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GROUP BY" in out and "HAVING" in out
+
+    def test_rewrite_sql(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["sql", str(flock_file), str(data_dir), "--rewrite"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a-priori rewrite" in out
+
+    def test_rewrite_without_data_fails(self, workspace, capsys):
+        flock_file, _ = workspace
+        code = main(["sql", str(flock_file), "--rewrite"])
+        assert code == 2
+
+
+class TestExplain:
+    def test_explain_lists_subqueries(self, workspace, capsys):
+        flock_file, _ = workspace
+        code = main(["explain", str(flock_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monotone: True" in out
+        assert "safe: True" in out
+        assert "answer(B) :- baskets(B, $1)" in out
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["explain", str(tmp_path / "nope.txt")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_flock_text(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("this is not a flock")
+        code = main(["explain", str(bad)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_clean_flock(self, workspace, capsys):
+        flock_file, _ = workspace
+        code = main(["lint", str(flock_file)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warnings_exit_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text(
+            "QUERY:\n"
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND "
+            "$1 < $2 AND $2 < $1\n"
+            "FILTER:\nCOUNT(answer.B) >= 5\n"
+        )
+        code = main(["lint", str(bad)])
+        assert code == 3
+        assert "unsatisfiable-comparisons" in capsys.readouterr().out
+
+
+class TestExplainWithData:
+    def test_explain_includes_join_plan(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["explain", str(flock_file), str(data_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "scan " in out
+
+
+class TestAutoStrategy:
+    def test_auto_default(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["run", str(flock_file), str(data_dir)])
+        assert code == 0
+        assert "(auto," in capsys.readouterr().out
+
+    def test_auto_verbose_shows_mining_report(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        main(["run", str(flock_file), str(data_dir), "--verbose"])
+        err = capsys.readouterr().err
+        assert "strategy: dynamic (requested auto)" in err
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "domain", ["baskets", "weighted", "medical", "web", "graph", "articles"]
+    )
+    def test_domains_write_csvs(self, tmp_path, capsys, domain):
+        out = tmp_path / domain
+        code = main(["generate", domain, str(out), "--size", "40", "--seed", "5"])
+        assert code == 0
+        assert list(out.glob("*.csv"))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generated_data_runs_a_flock(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        main(["generate", "baskets", str(out), "--size", "80", "--seed", "6"])
+        flock_file = tmp_path / "flock.txt"
+        flock_file.write_text(FLOCK_TEXT)
+        code = main(["run", str(flock_file), str(out), "--strategy", "naive"])
+        assert code == 0
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        main(["generate", "baskets", str(a), "--size", "30", "--seed", "7"])
+        main(["generate", "baskets", str(b), "--size", "30", "--seed", "7"])
+        assert (a / "baskets.csv").read_text() == (b / "baskets.csv").read_text()
+
+
+UNION_FLOCK_TEXT = """QUERY:
+answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+
+FILTER:
+COUNT(answer(*)) >= 5
+"""
+
+
+@pytest.fixture
+def union_workspace(tmp_path):
+    from repro.workloads import generate_webdocs
+
+    flock_file = tmp_path / "union.txt"
+    flock_file.write_text(UNION_FLOCK_TEXT)
+    data_dir = tmp_path / "webdata"
+    workload = generate_webdocs(n_documents=80, n_anchors=160, seed=21)
+    save_database(workload.db, data_dir)
+    return flock_file, data_dir
+
+
+class TestUnionFlockCli:
+    def test_run_optimized_union(self, union_workspace, capsys):
+        flock_file, data_dir = union_workspace
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--strategy", "optimized"])
+        assert code == 0
+        assert "acceptable assignments" in capsys.readouterr().out
+
+    def test_plan_union(self, union_workspace, capsys):
+        flock_file, data_dir = union_workspace
+        code = main(["plan", str(flock_file), str(data_dir)])
+        assert code == 0
+        assert ":= FILTER" in capsys.readouterr().out
+
+    def test_run_auto_union(self, union_workspace, capsys):
+        flock_file, data_dir = union_workspace
+        code = main(["run", str(flock_file), str(data_dir)])
+        assert code == 0
+
+    def test_union_strategies_agree(self, union_workspace, capsys):
+        flock_file, data_dir = union_workspace
+        outputs = []
+        for strategy in ("naive", "optimized"):
+            main(["run", str(flock_file), str(data_dir),
+                  "--strategy", strategy, "--limit", "1000"])
+            out = capsys.readouterr().out
+            rows = frozenset(
+                line for line in out.splitlines()
+                if line and not line.startswith(("#", "$"))
+            )
+            outputs.append(rows)
+        assert outputs[0] == outputs[1]

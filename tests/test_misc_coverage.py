@@ -1,0 +1,161 @@
+"""Targeted tests for smaller code paths not covered elsewhere."""
+
+import pytest
+
+from repro.datalog import Parameter, Variable, atom, comparison, parse_rule, rule
+from repro.flocks import (
+    ExecutionTrace,
+    FlockOptimizer,
+    FlockResult,
+    StepTrace,
+    QueryFlock,
+    evaluate_flock,
+    flock_to_sql,
+    parse_flock,
+    support_filter,
+)
+from repro.relational import (
+    Relation,
+    database_from_dict,
+    evaluate_conjunctive,
+)
+
+
+class TestEvaluateOutputShapes:
+    def test_mixed_constant_and_variable_output(self):
+        db = database_from_dict({"r": (("a", "b"), [(1, 2), (3, 4)])})
+        query = rule("answer", ["X"], [atom("r", "X", "Y")])
+        from repro.datalog.terms import Constant
+
+        result = evaluate_conjunctive(
+            db, query,
+            output_terms=[Constant("tag"), Variable("X"), Constant(9)],
+        )
+        assert ("tag", 1, 9) in result
+        assert ("tag", 3, 9) in result
+        assert result.arity == 3
+
+    def test_unbound_output_term_rejected(self):
+        from repro.errors import EvaluationError
+
+        db = database_from_dict({"r": (("a",), [(1,)])})
+        query = rule("answer", ["X"], [atom("r", "X")])
+        with pytest.raises(EvaluationError):
+            evaluate_conjunctive(db, query, output_terms=[Variable("Z")])
+
+    def test_duplicate_binding_cache_self_join(self):
+        # Two literally identical subgoals share a binding relation and
+        # collapse to a single logical subgoal under set semantics.
+        db = database_from_dict({"r": (("a", "b"), [(1, 2), (2, 3)])})
+        query = rule(
+            "answer", ["X"], [atom("r", "X", "Y"), atom("r", "X", "Y")]
+        )
+        result = evaluate_conjunctive(db, query)
+        assert result.column_values("X") == {1, 2}
+
+
+class TestResultTypes:
+    def test_step_trace_str(self):
+        step = StepTrace("okS", "desc", 100, 7, 0.01)
+        text = str(step)
+        assert "okS" in text and "100" in text and "7" in text
+
+    def test_execution_trace_totals(self):
+        trace = ExecutionTrace()
+        trace.record(StepTrace("a", "", 10, 1, 0.5))
+        trace.record(StepTrace("b", "", 20, 2, 0.25))
+        assert trace.total_seconds == pytest.approx(0.75)
+        assert trace.total_intermediate_tuples == 30
+        assert "a" in str(trace) and "b" in str(trace)
+
+    def test_flock_result_repr_surface(self):
+        rel = Relation("flock", ("$1",), {("beer",)})
+        result = FlockResult(rel)
+        assert len(result) == 1
+        assert ("beer",) in result
+        assert result.assignments == frozenset({("beer",)})
+
+
+class TestScoredPlanDisplay:
+    def test_str_mentions_costs(self, small_medical_db, medical_flock):
+        opt = FlockOptimizer(small_medical_db, medical_flock)
+        scored = opt.best_plan()
+        text = str(scored)
+        assert "cost≈" in text
+
+
+class TestRelationDisplay:
+    def test_pretty_zero_columns(self):
+        unit = Relation("unit", (), {()})
+        assert "(no columns)" in unit.pretty()
+
+    def test_repr(self):
+        rel = Relation("r", ("a",), {(1,)})
+        assert "Relation('r'" in repr(rel)
+
+
+class TestSqlEscaping:
+    def test_string_constants_with_quotes(self):
+        import sqlite3
+
+        db = database_from_dict(
+            {"r": (("a", "b"), [("o'neil", 1), ("plain", 2)])}
+        )
+        # A constant with an apostrophe must be escaped in generated SQL.
+        flock = QueryFlock(
+            rule(
+                "answer", ["B"],
+                [atom("r", "X", "B"), atom("r", "'o'neil'", "$1")],
+            ),
+            support_filter(1, target="B"),
+        )
+        sql = flock_to_sql(flock, db)
+        assert "'o''neil'" in sql
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE r (a, b)")
+        conn.executemany("INSERT INTO r VALUES (?, ?)", sorted(db.get("r").tuples))
+        rows = {tuple(row) for row in conn.execute(sql.rstrip(";"))}
+        ours = evaluate_flock(db, flock)
+        assert rows == set(ours.tuples)
+
+
+class TestParseFlockOptions:
+    def test_assume_nonnegative_false_propagates(self):
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(B,W) :- baskets(B,$1) AND importance(B,W)
+            FILTER:
+            SUM(answer.W) >= 20
+            """,
+            assume_nonnegative=False,
+        )
+        assert not flock.filter.is_monotone
+
+    def test_flock_str_includes_filter(self, basket_flock):
+        assert "COUNT(answer.B) >= 2" in str(basket_flock)
+
+
+class TestPlantedBasketPairs:
+    def test_planted_pairs_boost_cooccurrence(self):
+        from repro.workloads import generate_baskets
+
+        pair = ("item0100", "item0200")
+        with_plant = generate_baskets(
+            400, 300, skew=1.0, seed=9,
+            planted_pairs=[pair], planted_rate=0.3,
+        )
+        without = generate_baskets(400, 300, skew=1.0, seed=9)
+
+        def cooccurrence(rel):
+            from collections import defaultdict
+
+            baskets = defaultdict(set)
+            for bid, item in rel.tuples:
+                baskets[bid].add(item)
+            return sum(
+                1 for items in baskets.values()
+                if pair[0] in items and pair[1] in items
+            )
+
+        assert cooccurrence(with_plant) > cooccurrence(without) + 50

@@ -1,0 +1,188 @@
+"""Failure-injection and robustness tests across the API surface.
+
+Every malformed input must fail with a library exception (a subclass of
+ReproError) carrying a useful message — never a bare KeyError/TypeError
+from the internals, and never a silent wrong answer.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    EvaluationError,
+    FilterError,
+    ParseError,
+    PlanError,
+    QueryFlock,
+    ReproError,
+    SafetyError,
+    SchemaError,
+    atom,
+    comparison,
+    evaluate_flock,
+    negated,
+    parse_flock,
+    parse_query,
+    rule,
+    support_filter,
+)
+from repro.relational import Database, Relation, database_from_dict, evaluate_conjunctive
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ParseError, SchemaError, SafetyError, PlanError, FilterError,
+         EvaluationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+
+class TestMissingRelations:
+    def test_unknown_relation_in_flock(self):
+        db = database_from_dict({"other": (("a",), [(1,)])})
+        flock = QueryFlock(
+            rule("answer", ["B"], [atom("baskets", "B", "$1")]),
+            support_filter(1, target="B"),
+        )
+        with pytest.raises(SchemaError) as exc:
+            evaluate_flock(db, flock)
+        assert "baskets" in str(exc.value)
+        assert "other" in str(exc.value)  # suggests what exists
+
+    def test_arity_mismatch_reported(self):
+        db = database_from_dict({"r": (("a", "b", "c"), [(1, 2, 3)])})
+        query = rule("answer", ["X"], [atom("r", "X", "Y")])
+        with pytest.raises(EvaluationError) as exc:
+            evaluate_conjunctive(db, query)
+        assert "arity" in str(exc.value)
+
+
+class TestMalformedFlockText:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "QUERY: FILTER:",
+            "QUERY:\nanswer(B) :- baskets(B,$1)\n",  # missing FILTER
+            "FILTER:\nCOUNT(answer.B) >= 20",  # missing QUERY
+            "QUERY:\nanswer(B) : baskets(B,$1)\nFILTER:\nCOUNT(answer.B) >= 20",
+            "QUERY:\nanswer(B) :- baskets(B,$1)\nFILTER:\nMEAN(answer.B) >= 20",
+        ],
+    )
+    def test_rejected_with_library_error(self, text):
+        with pytest.raises(ReproError):
+            parse_flock(text)
+
+    def test_filter_threshold_must_be_numeric(self):
+        with pytest.raises(ReproError):
+            parse_flock(
+                "QUERY:\nanswer(B) :- r(B,$1)\nFILTER:\nCOUNT(answer.B) >= lots"
+            )
+
+
+class TestParserFuzz:
+    printable = st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=80,
+    )
+
+    @given(printable)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """parse_query either succeeds or raises ParseError/ValueError
+        from term validation — nothing else."""
+        try:
+            parse_query(text)
+        except (ParseError, ValueError):
+            pass
+
+    @given(printable)
+    @settings(max_examples=200, deadline=None)
+    def test_flock_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_flock(f"QUERY:\n{text}\nFILTER:\nCOUNT(answer.B) >= 2")
+        except ReproError:
+            pass
+        except ValueError:
+            pass
+
+
+class TestDegenerateData:
+    def test_empty_database_flock(self):
+        db = database_from_dict({"baskets": (("BID", "Item"), [])})
+        flock = QueryFlock(
+            rule("answer", ["B"],
+                 [atom("baskets", "B", "$1"), atom("baskets", "B", "$2")]),
+            support_filter(1, target="B"),
+        )
+        assert len(evaluate_flock(db, flock)) == 0
+
+    def test_single_tuple_database(self):
+        db = database_from_dict({"baskets": (("BID", "Item"), [(1, "x")])})
+        flock = QueryFlock(
+            rule("answer", ["B"],
+                 [atom("baskets", "B", "$1"), atom("baskets", "B", "$2")]),
+            support_filter(1, target="B"),
+        )
+        result = evaluate_flock(db, flock)
+        assert result.tuples == frozenset({("x", "x")})
+
+    def test_flock_with_no_parameters(self):
+        # Degenerate but legal: a yes/no flock (zero-column result).
+        db = database_from_dict({"r": (("a",), [(1,), (2,)])})
+        flock = QueryFlock(
+            rule("answer", ["X"], [atom("r", "X")]),
+            support_filter(2, target="X"),
+        )
+        result = evaluate_flock(db, flock)
+        assert result.columns == ()
+        assert len(result) == 1  # "yes": 2 >= 2
+
+    def test_flock_with_no_parameters_failing(self):
+        db = database_from_dict({"r": (("a",), [(1,)])})
+        flock = QueryFlock(
+            rule("answer", ["X"], [atom("r", "X")]),
+            support_filter(2, target="X"),
+        )
+        assert len(evaluate_flock(db, flock)) == 0
+
+    def test_negation_of_empty_relation(self):
+        db = database_from_dict(
+            {
+                "r": (("a", "b"), [(1, "x"), (2, "x")]),
+                "s": (("a", "b"), []),
+            }
+        )
+        flock = QueryFlock(
+            rule("answer", ["X"],
+                 [atom("r", "X", "$1"), negated("s", "X", "$1")]),
+            support_filter(2, target="X"),
+        )
+        result = evaluate_flock(db, flock)
+        assert result.tuples == frozenset({("x",)})
+
+    def test_comparison_between_incomparable_types(self):
+        # Python 3 raises TypeError comparing int to str; the engine
+        # surfaces it rather than silently dropping rows.
+        db = database_from_dict({"r": (("a", "b"), [(1, "x")])})
+        query = rule(
+            "answer", ["A"], [atom("r", "A", "B"), comparison("A", "<", "B")]
+        )
+        with pytest.raises(TypeError):
+            evaluate_conjunctive(db, query)
+
+
+class TestRelationValidation:
+    def test_heterogeneous_width_rows(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "b"), [(1, 2), (3,)])
+
+    def test_database_replacement_is_clean(self):
+        db = Database()
+        db.add_rows("r", ("a",), [(1,)])
+        db.add_rows("r", ("a", "b"), [(1, 2)])  # replace with wider schema
+        assert db.get("r").arity == 2

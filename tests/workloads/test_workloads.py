@@ -1,0 +1,227 @@
+"""Workload-generator tests: determinism, schemas, planted ground truth."""
+
+import pytest
+
+from repro.flocks import (
+    QueryFlock,
+    evaluate_flock,
+    itemset_flock,
+    parse_flock,
+    support_filter,
+)
+from repro.datalog import atom, comparison, negated, rule
+from repro.workloads import (
+    article_database,
+    basket_database,
+    generate_articles,
+    generate_baskets,
+    generate_hub_digraph,
+    generate_medical,
+    generate_random_digraph,
+    generate_webdocs,
+    generate_weighted_baskets,
+    item_names,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_weights_decreasing(self):
+        w = zipf_weights(10, 1.0)
+        assert w == sorted(w, reverse=True)
+        assert w[0] == 1.0
+
+    def test_zero_skew_uniform(self):
+        assert set(zipf_weights(5, 0.0)) == {1.0}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+    def test_item_names_sortable(self):
+        names = item_names(100)
+        assert names == sorted(names)
+
+
+class TestBaskets:
+    def test_schema(self):
+        rel = generate_baskets(50, 20, seed=1)
+        assert rel.columns == ("BID", "Item")
+
+    def test_deterministic(self):
+        a = generate_baskets(50, 20, seed=42)
+        b = generate_baskets(50, 20, seed=42)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = generate_baskets(50, 20, seed=1)
+        b = generate_baskets(50, 20, seed=2)
+        assert a != b
+
+    def test_every_basket_nonempty(self):
+        rel = generate_baskets(100, 30, seed=3)
+        assert rel.distinct_count("BID") == 100
+
+    def test_skew_concentrates_popularity(self):
+        rel = generate_baskets(300, 100, skew=1.5, seed=4)
+        counts = {}
+        item_pos = rel.column_position("Item")
+        for row in rel.tuples:
+            counts[row[item_pos]] = counts.get(row[item_pos], 0) + 1
+        top = max(counts.values())
+        median = sorted(counts.values())[len(counts) // 2]
+        assert top > 5 * median
+
+    def test_weighted_database(self):
+        db = generate_weighted_baskets(50, 20, seed=5)
+        assert "baskets" in db and "importance" in db
+        importance = db.get("importance")
+        assert importance.distinct_count("BID") == len(importance)
+        weights = importance.column_values("W")
+        assert all(1 <= w <= 10 for w in weights)
+
+    def test_basket_database_wrapper(self):
+        db = basket_database(20, 10, seed=6)
+        assert db.names() == ["baskets"]
+
+
+class TestMedical:
+    def test_schema(self):
+        workload = generate_medical(n_patients=100, seed=7)
+        assert set(workload.db.names()) == {
+            "causes", "diagnoses", "exhibits", "treatments",
+        }
+
+    def test_one_disease_per_patient(self):
+        workload = generate_medical(n_patients=100, seed=7)
+        diagnoses = workload.db.get("diagnoses")
+        assert diagnoses.distinct_count("P") == len(diagnoses)
+
+    def test_deterministic(self):
+        a = generate_medical(n_patients=50, seed=9)
+        b = generate_medical(n_patients=50, seed=9)
+        assert a.db.get("exhibits") == b.db.get("exhibits")
+        assert a.planted_pairs == b.planted_pairs
+
+    def test_planted_pairs_are_unexplained(self):
+        workload = generate_medical(n_patients=200, seed=11)
+        db = workload.db
+        diagnoses = dict(db.get("diagnoses").tuples)
+        treatments = db.get("treatments").tuples
+        causes = set(db.get("causes").tuples)
+        for symptom, medicine in workload.planted_pairs:
+            takers = {p for p, m in treatments if m == medicine}
+            assert takers, f"planted medicine {medicine} has no takers"
+            for patient in takers:
+                disease = diagnoses[patient]
+                assert (disease, symptom) not in causes, (
+                    f"planted pair ({symptom}, {medicine}) is explained by "
+                    f"{disease}"
+                )
+
+    def test_flock_recovers_planted_side_effects(self):
+        workload = generate_medical(
+            n_patients=800, n_planted=2, planted_rate=0.95, seed=13
+        )
+        query = rule(
+            "answer",
+            ["P"],
+            [
+                atom("exhibits", "P", "$s"),
+                atom("treatments", "P", "$m"),
+                atom("diagnoses", "P", "D"),
+                negated("causes", "D", "$s"),
+            ],
+        )
+        flock = QueryFlock(query, support_filter(20, target="P"))
+        result = evaluate_flock(workload.db, flock)
+        found = {(s, m) for m, s in result.tuples}
+        for pair in workload.planted_pairs:
+            assert pair in found, f"planted side-effect {pair} not recovered"
+
+
+class TestWebdocs:
+    def test_schema(self):
+        workload = generate_webdocs(n_documents=50, n_anchors=100, seed=15)
+        assert set(workload.db.names()) == {"inAnchor", "inTitle", "link"}
+
+    def test_ids_disjoint(self):
+        workload = generate_webdocs(n_documents=50, n_anchors=100, seed=15)
+        docs = workload.db.get("inTitle").column_values("D")
+        anchors = workload.db.get("inAnchor").column_values("A")
+        assert not docs & anchors
+
+    def test_planted_pairs_ordered(self):
+        workload = generate_webdocs(seed=17, n_documents=100, n_anchors=200)
+        for a, b in workload.planted_pairs:
+            assert a < b
+
+    def test_flock_recovers_planted_topics(self):
+        workload = generate_webdocs(
+            n_documents=400, n_anchors=800, planted_rate=0.4, seed=19
+        )
+        flock = parse_flock(
+            """
+            QUERY:
+            answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+            answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND
+                         inTitle(D2,$2) AND $1 < $2
+            answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND
+                         inTitle(D2,$1) AND $1 < $2
+            FILTER:
+            COUNT(answer(*)) >= 20
+            """
+        )
+        result = evaluate_flock(workload.db, flock)
+        found = set(result.tuples)
+        recovered = sum(1 for pair in workload.planted_pairs if pair in found)
+        assert recovered >= len(workload.planted_pairs) // 2
+
+
+class TestGraphs:
+    def test_random_digraph_no_self_loops(self):
+        rel = generate_random_digraph(50, 200, seed=21)
+        assert all(u != v for u, v in rel.tuples)
+
+    def test_random_digraph_size(self):
+        rel = generate_random_digraph(50, 200, seed=21)
+        assert len(rel) == 200
+
+    def test_hub_digraph_hubs_have_many_successors(self):
+        db = generate_hub_digraph(n_hubs=5, successors_per_hub=20, seed=23)
+        arc = db.get("arc")
+        u_pos = arc.column_position("U")
+        for hub in range(5):
+            successors = sum(1 for row in arc.tuples if row[u_pos] == hub)
+            assert successors == 20
+
+    def test_deterministic(self):
+        a = generate_hub_digraph(seed=25)
+        b = generate_hub_digraph(seed=25)
+        assert a.get("arc") == b.get("arc")
+
+
+class TestText:
+    def test_schema_matches_baskets(self):
+        rel = generate_articles(n_articles=50, vocabulary=200, seed=27)
+        assert rel.columns == ("BID", "Item")
+
+    def test_vocabulary_skew(self):
+        rel = generate_articles(
+            n_articles=500, vocabulary=1000, words_per_article=20,
+            skew=1.1, seed=29,
+        )
+        # Most vocabulary words should appear in < 20 articles (the
+        # long tail the a-priori pre-filter eliminates).
+        counts = {}
+        item_pos = rel.column_position("Item")
+        for row in rel.tuples:
+            counts[row[item_pos]] = counts.get(row[item_pos], 0) + 1
+        rare = sum(1 for c in counts.values() if c < 20)
+        assert rare / len(counts) > 0.7
+
+    def test_article_database(self):
+        db = article_database(n_articles=20, vocabulary=100, seed=31)
+        assert db.names() == ["baskets"]
