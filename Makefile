@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples lint-flocks clean outputs
+.PHONY: install test stress bench examples lint-flocks clean outputs
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Failure-path suite: fault injection, retries, graceful degradation.
+stress:
+	$(PYTHON) -m pytest -m faults tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -30,13 +30,21 @@ Subpackages:
 """
 
 from .errors import (
+    BudgetExceededError,
     EvaluationError,
+    ExecutionAborted,
+    ExecutionCancelled,
     FilterError,
     ParseError,
     PlanError,
     ReproError,
     SafetyError,
     SchemaError,
+)
+from .guard import (
+    CancellationToken,
+    ExecutionGuard,
+    ResourceBudget,
 )
 from .datalog import (
     ConjunctiveQuery,
@@ -84,9 +92,14 @@ from .flocks import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExceededError",
+    "CancellationToken",
     "ConjunctiveQuery",
     "Database",
     "EvaluationError",
+    "ExecutionAborted",
+    "ExecutionCancelled",
+    "ExecutionGuard",
     "FilterCondition",
     "FilterError",
     "FilterStep",
@@ -99,6 +112,7 @@ __all__ = [
     "QueryPlan",
     "Relation",
     "ReproError",
+    "ResourceBudget",
     "SafetyError",
     "SchemaError",
     "UnionQuery",

@@ -37,6 +37,7 @@ from pathlib import Path
 from .datalog.safety import check_safety
 from .datalog.subqueries import safe_subqueries, unsafe_subqueries
 from .errors import ReproError
+from .guard import ResourceBudget
 from .flocks import (
     evaluate_flock,
     evaluate_flock_dynamic,
@@ -69,28 +70,62 @@ def _optimized_plan(db, flock, gather: bool):
     return optimizer.best_plan().plan
 
 
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def _run_budget(args: argparse.Namespace) -> ResourceBudget | None:
+    """Build the execution budget from --timeout/--max-rows, if any."""
+    if args.timeout is None and args.max_rows is None:
+        return None
+    return ResourceBudget(
+        seconds=args.timeout, max_intermediate_rows=args.max_rows
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     flock, db = _load(args.flock, args.data)
     if db is None:
         print("run requires a data directory", file=sys.stderr)
         return 2
+    budget = _run_budget(args)
+    guard = budget.start() if budget is not None else None
     started = time.perf_counter()
-    if args.strategy == "auto":
+    if args.strategy == "auto" or args.backend == "sqlite":
         from .flocks.mining import mine
 
-        relation, report = mine(db, flock)
+        relation, report = mine(
+            db, flock, strategy=args.strategy,
+            budget=budget, backend=args.backend,
+        )
         trace_text = str(report)
     elif args.strategy == "naive":
-        relation = evaluate_flock(db, flock)
+        relation = evaluate_flock(db, flock, guard=guard)
         trace_text = ""
     elif args.strategy == "dynamic":
-        result, trace = evaluate_flock_dynamic(db, flock)
+        result, trace = evaluate_flock_dynamic(db, flock, guard=guard)
         relation = result.relation
         trace_text = str(trace)
     else:
         gather = args.strategy == "stats"
         plan = _optimized_plan(db, flock, gather)
-        result = execute_plan(db, flock, plan, validate=False)
+        result = execute_plan(db, flock, plan, validate=False, guard=guard)
         relation = result.relation
         trace_text = str(result.trace)
     elapsed = time.perf_counter() - started
@@ -225,6 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("flock", help="path to a flock file (QUERY:/FILTER:)")
     run.add_argument("data", help="directory of <relation>.csv files")
     run.add_argument("--strategy", choices=STRATEGIES, default="auto")
+    run.add_argument("--backend", choices=("memory", "sqlite"),
+                     default="memory",
+                     help="execution backend (sqlite falls back to memory "
+                     "on backend failure)")
+    run.add_argument("--timeout", type=_nonnegative_float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget; exceeding it aborts with a "
+                     "budget error instead of running forever")
+    run.add_argument("--max-rows", type=_nonnegative_int, default=None,
+                     metavar="N",
+                     help="largest intermediate relation allowed during "
+                     "evaluation")
     run.add_argument("--limit", type=int, default=50,
                      help="max result rows to print")
     run.add_argument("--verbose", action="store_true",

@@ -17,13 +17,30 @@ class ParseError(ReproError):
     """A query-flock or Datalog text could not be parsed.
 
     Carries the offending text and, when available, a position to help
-    the caller locate the problem.
+    the caller locate the problem.  ``str()`` renders the offending line
+    with a caret under the failure position, so CLI error paths get a
+    compiler-style diagnostic for free.
     """
 
     def __init__(self, message: str, text: str = "", position: int | None = None):
         super().__init__(message)
         self.text = text
         self.position = position
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.text:
+            return base
+        if self.position is None or not 0 <= self.position <= len(self.text):
+            return base
+        # Locate the offending line and the caret column within it.
+        line_start = self.text.rfind("\n", 0, self.position) + 1
+        line_end = self.text.find("\n", self.position)
+        if line_end == -1:
+            line_end = len(self.text)
+        line = self.text[line_start:line_end]
+        column = self.position - line_start
+        return f"{base}\n  {line}\n  {' ' * column}^"
 
 
 class SchemaError(ReproError):
@@ -49,4 +66,53 @@ class FilterError(ReproError):
 
 class EvaluationError(ReproError):
     """The relational engine could not evaluate a query (e.g. a variable
-    in an arithmetic subgoal was never bound by a positive subgoal)."""
+    in an arithmetic subgoal was never bound by a positive subgoal).
+
+    When the failure came from a SQL backend, :attr:`sql` carries the
+    offending statement.
+    """
+
+    def __init__(self, message: str, *, sql: str | None = None):
+        super().__init__(message)
+        self.sql = sql
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.sql:
+            return f"{base}\n  while executing: {self.sql}"
+        return base
+
+
+class ExecutionAborted(ReproError):
+    """An evaluation was stopped before completion — by a resource budget
+    or a cooperative cancellation.
+
+    :attr:`trace` carries a partial
+    :class:`~repro.flocks.result.ExecutionTrace` of the steps that
+    completed before the abort, so callers can see how far the
+    evaluation got; :attr:`node` names the checkpoint that tripped.
+    """
+
+    def __init__(self, message: str, *, trace=None, node: str = ""):
+        super().__init__(message)
+        self.trace = trace
+        self.node = node
+
+
+class BudgetExceededError(ExecutionAborted):
+    """A :class:`~repro.guard.ResourceBudget` limit was exhausted.
+
+    :attr:`limit` names which bound tripped: ``"seconds"``,
+    ``"intermediate_rows"`` or ``"answer_rows"``.
+    """
+
+    def __init__(
+        self, message: str, *, trace=None, node: str = "", limit: str = ""
+    ):
+        super().__init__(message, trace=trace, node=node)
+        self.limit = limit
+
+
+class ExecutionCancelled(ExecutionAborted):
+    """A :class:`~repro.guard.CancellationToken` was triggered while an
+    evaluation was in flight."""

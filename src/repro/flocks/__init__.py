@@ -38,7 +38,7 @@ from .filters import (
 )
 from .flock import QueryFlock, parse_flock
 from .lint import LintCode, LintWarning, lint_flock
-from .mining import MiningReport, mine
+from .mining import BACKENDS, Downgrade, MiningReport, STRATEGIES, mine
 from .paper import (
     fig2_flock,
     fig3_flock,
@@ -87,8 +87,10 @@ from .sqlbackend import (
 
 __all__ = [
     "AssociationRule",
+    "BACKENDS",
     "ComparisonReport",
     "CompositeFilter",
+    "Downgrade",
     "DynamicDecision",
     "DynamicEvaluator",
     "DynamicTrace",
@@ -105,6 +107,7 @@ __all__ = [
     "QueryPlan",
     "SQLiteBackend",
     "STAR",
+    "STRATEGIES",
     "ScoredPlan",
     "SequenceResult",
     "SequenceStep",

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from ..errors import FilterError, PlanError
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.safety import assert_safe
+from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
 from ..relational.evaluate import (
     atom_binding_relation,
@@ -41,6 +42,7 @@ from ..relational.evaluate import (
 )
 from ..relational.operators import natural_join, semi_join
 from ..relational.relation import Relation
+from ..testing.faults import trip
 from .filters import STAR, iter_conditions, surviving_assignments
 from .flock import QueryFlock
 from .result import FlockResult
@@ -106,6 +108,7 @@ class DynamicEvaluator:
         flock: QueryFlock,
         decision_factor: float = 1.0,
         improvement_factor: float = 0.5,
+        guard: GuardLike = None,
     ):
         if flock.is_union:
             raise PlanError("dynamic evaluation handles single-rule flocks")
@@ -115,6 +118,7 @@ class DynamicEvaluator:
             )
         self.db = db
         self.flock = flock
+        self.guard = as_guard(guard)
         self.rule: ConjunctiveQuery = flock.rules[0]
         assert_safe(self.rule)
         self.decision_factor = decision_factor
@@ -182,6 +186,8 @@ class DynamicEvaluator:
         current: Relation | None = None
         temp_counter = 0
         for position, idx in enumerate(order):
+            trip("dynamic.join")
+            join_started = time.perf_counter()
             atom = positives[idx]
             leaf = atom_binding_relation(self.db, atom)
             leaf_name = str(atom)
@@ -189,6 +195,7 @@ class DynamicEvaluator:
             leaf = self._maybe_filter(
                 leaf, leaf_name, trace, best_ratio_per_set, force=False
             )
+            before = len(current) if current is not None else 0
             if current is None:
                 current = leaf
             else:
@@ -201,6 +208,17 @@ class DynamicEvaluator:
             current = self._apply_pending(
                 current, pending_comparisons, pending_negations
             )
+            if self.guard is not None:
+                node = f"join:{atom.predicate}"
+                self.guard.note_step(
+                    name=node,
+                    description=leaf_name,
+                    input_tuples=before,
+                    output_assignments=len(current),
+                    seconds=time.perf_counter() - join_started,
+                    filtered=False,
+                )
+                self.guard.checkpoint(rows=len(current), node=node)
             is_root = position == len(order) - 1
             if not is_root and current.name.startswith("temp"):
                 current = self._maybe_filter(
@@ -221,6 +239,8 @@ class DynamicEvaluator:
         result = self._final_filter(current, trace)
         trace.seconds = time.perf_counter() - started
         self.last_trace = trace
+        if self.guard is not None:
+            self.guard.check_answer(len(result))
         return FlockResult(result)
 
     # ------------------------------------------------------------------
@@ -292,6 +312,7 @@ class DynamicEvaluator:
             )
             return relation
 
+        filter_started = time.perf_counter()
         filtered = self._filter_relation(relation, params, targets)
         trace.decisions.append(
             DynamicDecision(node, params, ratio, True, reason,
@@ -301,6 +322,15 @@ class DynamicEvaluator:
             f"{node} := FILTER(({', '.join(params)}), "
             f"{self.flock.filter})"
         )
+        if self.guard is not None:
+            self.guard.note_step(
+                name=f"filter:{node}",
+                description=f"FILTER({self.flock.filter})",
+                input_tuples=len(relation),
+                output_assignments=len(filtered),
+                seconds=time.perf_counter() - filter_started,
+                filtered=True,
+            )
         return filtered
 
     def _filter_relation(
@@ -358,11 +388,12 @@ def evaluate_flock_dynamic(
     decision_factor: float = 1.0,
     improvement_factor: float = 0.5,
     join_order: list[int] | None = None,
+    guard: GuardLike = None,
 ) -> tuple[FlockResult, DynamicTrace]:
     """One-call dynamic evaluation; returns (result, trace)."""
     evaluator = DynamicEvaluator(
         db, flock, decision_factor=decision_factor,
-        improvement_factor=improvement_factor,
+        improvement_factor=improvement_factor, guard=guard,
     )
     result = evaluator.evaluate(join_order=join_order)
     return result, evaluator.last_trace

@@ -20,9 +20,11 @@ from __future__ import annotations
 import time
 
 from ..datalog.query import as_union
+from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
 from ..relational.evaluate import evaluate_conjunctive
 from ..relational.relation import Relation
+from ..testing.faults import trip
 from .filters import STAR, surviving_assignments
 from .flock import QueryFlock
 from .plans import FilterStep, QueryPlan, validate_plan
@@ -30,13 +32,17 @@ from .result import ExecutionTrace, FlockResult, StepTrace
 
 
 def execute_step(
-    db: Database, flock: QueryFlock, step: FilterStep
+    db: Database,
+    flock: QueryFlock,
+    step: FilterStep,
+    guard: ExecutionGuard | None = None,
 ) -> tuple[Relation, int]:
     """Execute one FILTER step; return (ok-relation, answer-tuple count).
 
     The returned relation is named ``step.result_name`` with one column
     per step parameter.
     """
+    trip("executor.step")
     params = list(step.parameters)
     param_cols = [str(p) for p in params]
     union = as_union(step.query)
@@ -46,9 +52,11 @@ def execute_step(
     rows: set[tuple] = set()
     for rule in union.rules:
         output = params + list(rule.head_terms)
-        branch = evaluate_conjunctive(db, rule, output_terms=output)
+        branch = evaluate_conjunctive(db, rule, output_terms=output, guard=guard)
         rows |= branch.tuples
     answer = Relation("answer", tuple(param_cols) + head_cols, rows)
+    if guard is not None:
+        guard.checkpoint(rows=len(answer), node=f"step:{step.result_name}")
 
     head_names = [str(t) for t in union.rules[0].head_terms]
 
@@ -69,12 +77,20 @@ def execute_plan(
     flock: QueryFlock,
     plan: QueryPlan,
     validate: bool = True,
+    guard: GuardLike = None,
 ) -> FlockResult:
     """Run a plan and return the flock result with a per-step trace.
 
     ``validate=False`` skips the legality check for hot benchmark loops
     where the same plan is executed repeatedly.
+
+    ``guard`` bounds the execution.  Completed FILTER steps are recorded
+    on the guard's partial trace as they finish, so a mid-plan abort
+    raises :class:`~repro.errors.BudgetExceededError` (or
+    :class:`~repro.errors.ExecutionCancelled`) whose ``trace`` lists
+    exactly the steps that completed.
     """
+    guard = as_guard(guard)
     if validate:
         validate_plan(flock, plan)
     scratch = db.scratch()
@@ -82,21 +98,25 @@ def execute_plan(
     result: Relation | None = None
     for step in plan.steps:
         started = time.perf_counter()
-        ok, answer_tuples = execute_step(scratch, flock, step)
+        ok, answer_tuples = execute_step(scratch, flock, step, guard=guard)
         elapsed = time.perf_counter() - started
         scratch.add(ok)
-        trace.record(
-            StepTrace(
-                name=step.result_name,
-                description=str(step.query).replace("\n", " | "),
-                input_tuples=answer_tuples,
-                output_assignments=len(ok),
-                seconds=elapsed,
-            )
+        step_trace = StepTrace(
+            name=step.result_name,
+            description=str(step.query).replace("\n", " | "),
+            input_tuples=answer_tuples,
+            output_assignments=len(ok),
+            seconds=elapsed,
         )
+        trace.record(step_trace)
         result = ok
+        if guard is not None:
+            guard.record(step_trace)
+            guard.checkpoint(rows=len(ok), node=step.result_name)
 
     assert result is not None  # QueryPlan guarantees >= 1 step
     # Present the final relation over the flock's canonical column order.
     final = result.project(list(flock.parameter_columns), name="flock")
+    if guard is not None:
+        guard.check_answer(len(final))
     return FlockResult(final, trace)

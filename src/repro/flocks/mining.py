@@ -15,6 +15,27 @@ Strategy selection (``strategy="auto"``):
 Explicit strategies: ``"naive"``, ``"optimized"`` (static plan search),
 ``"stats"`` (static search with Section 4.4 statistics gathering),
 ``"dynamic"``.
+
+Resilience (this module is the policy layer over :mod:`repro.guard`):
+
+* ``budget=ResourceBudget(seconds=5)`` / ``cancel=CancellationToken()``
+  bound the whole call — every strategy and backend checkpoints
+  cooperatively and aborts with
+  :class:`~repro.errors.BudgetExceededError` /
+  :class:`~repro.errors.ExecutionCancelled` carrying a partial trace;
+* **strategy degradation**: when a fancier strategy fails *before
+  producing an answer* — plan construction raises
+  :class:`~repro.errors.PlanError` / :class:`~repro.errors.FilterError`,
+  or the budget expires mid plan-search — :func:`mine` falls back to
+  the next-cheaper sound strategy (ultimately naive) instead of dying,
+  and records the downgrade in the :class:`MiningReport`.  A budget
+  exhausted during *execution* is not downgraded: re-running a cheaper
+  strategy cannot un-spend the budget, and silently retrying would turn
+  a hard limit into a soft one;
+* **backend degradation**: ``backend="sqlite"`` evaluates on the SQLite
+  backend; if SQLite fails (after the backend's own transient-error
+  retries) the call falls back to the in-memory engine, again recording
+  the downgrade.
 """
 
 from __future__ import annotations
@@ -22,7 +43,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..errors import FilterError
+from ..errors import (
+    BudgetExceededError,
+    EvaluationError,
+    ExecutionAborted,
+    FilterError,
+    PlanError,
+)
+from ..guard import CancellationToken, ExecutionGuard, GuardLike, ResourceBudget, as_guard
 from ..relational.catalog import Database
 from ..relational.relation import Relation
 from .dynamic import evaluate_flock_dynamic
@@ -32,9 +60,31 @@ from .lint import LintWarning, lint_flock
 from .naive import evaluate_flock
 from .optimizer import FlockOptimizer, optimize_union
 from .result import FlockResult
+from .sqlbackend import SQLiteBackend
 
 
 STRATEGIES = ("auto", "naive", "optimized", "stats", "dynamic")
+
+BACKENDS = ("memory", "sqlite")
+
+#: Most- to least-sophisticated machinery; degradation walks rightward.
+_STRATEGY_COST_ORDER = ("stats", "optimized", "dynamic", "naive")
+
+
+@dataclass(frozen=True)
+class Downgrade:
+    """One recorded degradation step of a :func:`mine` call."""
+
+    kind: str  # "strategy" | "backend"
+    from_name: str
+    to_name: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"downgrade [{self.kind}] {self.from_name} -> {self.to_name}: "
+            f"{self.reason}"
+        )
 
 
 @dataclass(frozen=True)
@@ -47,6 +97,13 @@ class MiningReport:
     warnings: tuple[LintWarning, ...]
     plan_text: str | None = None
     decision_text: str | None = None
+    backend_requested: str = "memory"
+    backend_used: str = "memory"
+    downgrades: tuple[Downgrade, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.downgrades)
 
     def __str__(self) -> str:
         lines = [
@@ -54,6 +111,13 @@ class MiningReport:
             f"(requested {self.strategy_requested}), "
             f"{self.seconds * 1e3:.1f} ms"
         ]
+        if self.backend_used != "memory" or self.backend_requested != "memory":
+            lines.append(
+                f"backend: {self.backend_used} "
+                f"(requested {self.backend_requested})"
+            )
+        for downgrade in self.downgrades:
+            lines.append(str(downgrade))
         for warning in self.warnings:
             lines.append(f"warning: {warning}")
         if self.plan_text:
@@ -73,46 +137,218 @@ def _choose_strategy(flock: QueryFlock) -> str:
     return "dynamic"
 
 
+def _strategy_sound(flock: QueryFlock, strategy: str) -> bool:
+    """Whether ``strategy`` can produce a correct answer for ``flock``."""
+    if strategy == "naive":
+        return True
+    if not flock.filter.is_monotone:
+        return False  # pruning strategies are unsound
+    if strategy == "dynamic":
+        return not flock.is_union
+    return True  # optimized / stats handle unions via optimize_union
+
+
+def _next_cheaper(flock: QueryFlock, strategy: str) -> str | None:
+    """The next-cheaper *sound* strategy after ``strategy``, or None."""
+    try:
+        index = _STRATEGY_COST_ORDER.index(strategy)
+    except ValueError:
+        return None
+    for candidate in _STRATEGY_COST_ORDER[index + 1:]:
+        if _strategy_sound(flock, candidate):
+            return candidate
+    return None
+
+
+@dataclass
+class _Attempt:
+    """Mutable scratch state for one mine() call."""
+
+    relation: Relation | None = None
+    plan_text: str | None = None
+    decision_text: str | None = None
+    downgrades: list[Downgrade] = field(default_factory=list)
+    backend_used: str = "memory"
+
+
+def _build_plan(
+    db: Database,
+    flock: QueryFlock,
+    strategy: str,
+    guard: ExecutionGuard | None,
+):
+    """Plan construction — the 'mid-search' phase degradation watches."""
+    if flock.is_union:
+        return optimize_union(db, flock, guard=guard)
+    optimizer = FlockOptimizer(
+        db, flock, gather_statistics=(strategy == "stats"), guard=guard
+    )
+    return optimizer.best_plan().plan
+
+
+def _run_strategy(
+    db: Database,
+    flock: QueryFlock,
+    strategy: str,
+    guard: ExecutionGuard | None,
+    backend: str,
+    attempt: _Attempt,
+) -> None:
+    """Execute one strategy, filling ``attempt``.
+
+    Raises whatever the strategy raises; the caller decides whether a
+    failure degrades or propagates.
+    """
+    if strategy == "naive":
+        if backend == "sqlite":
+            attempt.relation = _on_sqlite(
+                db, attempt, guard,
+                lambda be: be.evaluate_flock(flock, guard=guard),
+                fallback=lambda: evaluate_flock(db, flock, guard=guard),
+            )
+        else:
+            attempt.relation = evaluate_flock(db, flock, guard=guard)
+    elif strategy == "dynamic":
+        # The dynamic evaluator interleaves planning and execution in
+        # the in-memory engine; SQLite cannot host it.
+        if backend == "sqlite":
+            attempt.downgrades.append(
+                Downgrade(
+                    "backend", "sqlite", "memory",
+                    "dynamic strategy runs in the in-memory engine",
+                )
+            )
+            attempt.backend_used = "memory"
+        result, trace = evaluate_flock_dynamic(db, flock, guard=guard)
+        attempt.relation = result.relation
+        attempt.decision_text = str(trace)
+    elif strategy in ("optimized", "stats"):
+        # Phase 1 — plan search.  PlanError/FilterError *and* budget
+        # exhaustion here degrade: no answer work has been lost yet.
+        plan = _build_plan(db, flock, strategy, guard)
+        attempt.plan_text = plan.render(flock)
+        # Phase 2 — execution.  Only backend failures degrade from here;
+        # budget/cancellation aborts propagate with their partial trace.
+        if backend == "sqlite":
+            attempt.relation = _on_sqlite(
+                db, attempt, guard,
+                lambda be: be.execute_plan(flock, plan, guard=guard),
+                fallback=lambda: execute_plan(
+                    db, flock, plan, validate=False, guard=guard
+                ).relation,
+            )
+        else:
+            attempt.relation = execute_plan(
+                db, flock, plan, validate=False, guard=guard
+            ).relation
+    else:  # pragma: no cover - STRATEGIES guard upstream
+        raise AssertionError(strategy)
+
+
+def _on_sqlite(
+    db: Database,
+    attempt: _Attempt,
+    guard: ExecutionGuard | None,
+    action,
+    fallback,
+) -> Relation:
+    """Run ``action`` against a fresh SQLite backend; on a (post-retry)
+    backend failure, degrade to the in-memory ``fallback``.
+
+    Guard aborts (budget/cancellation) are *not* degraded — they are
+    user-requested limits, not backend faults.
+    """
+    try:
+        with SQLiteBackend(db) as backend:
+            attempt.backend_used = "sqlite"
+            return action(backend)
+    except ExecutionAborted:
+        raise
+    except EvaluationError as error:
+        attempt.downgrades.append(
+            Downgrade("backend", "sqlite", "memory", str(error).split("\n")[0])
+        )
+        attempt.backend_used = "memory"
+        return fallback()
+
+
 def mine(
     db: Database,
     flock: QueryFlock,
     strategy: str = "auto",
     lint: bool = True,
+    budget: ResourceBudget | None = None,
+    cancel: CancellationToken | None = None,
+    guard: GuardLike = None,
+    backend: str = "memory",
 ) -> tuple[Relation, MiningReport]:
     """Evaluate a flock end to end; returns (result relation, report).
 
+    Args:
+        strategy: one of :data:`STRATEGIES`; ``"auto"`` picks by flock
+            shape.
+        budget: optional :class:`~repro.guard.ResourceBudget`; the clock
+            starts when :func:`mine` is entered and spans every fallback
+            attempt — degradation never extends the budget.
+        cancel: optional :class:`~repro.guard.CancellationToken`.
+        guard: a pre-started :class:`~repro.guard.ExecutionGuard` to
+            share with other work; mutually exclusive with
+            ``budget``/``cancel``.
+        backend: ``"memory"`` (default) or ``"sqlite"``.
+
     Raises :class:`FilterError` for an unknown strategy, or when a
-    pruning strategy is requested for a non-monotone filter.
+    pruning strategy is requested for a non-monotone filter and no
+    sound fallback exists; :class:`~repro.errors.BudgetExceededError` /
+    :class:`~repro.errors.ExecutionCancelled` when the guard trips
+    during execution.
     """
     if strategy not in STRATEGIES:
         raise FilterError(
             f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
         )
+    if backend not in BACKENDS:
+        raise EvaluationError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    if guard is not None and (budget is not None or cancel is not None):
+        raise ValueError("pass either guard= or budget=/cancel=, not both")
+    if guard is not None:
+        live_guard = as_guard(guard)
+    elif budget is not None or cancel is not None:
+        live_guard = ExecutionGuard(budget=budget, cancel=cancel)
+    else:
+        live_guard = None
+
     warnings = tuple(lint_flock(flock)) if lint else ()
     used = _choose_strategy(flock) if strategy == "auto" else strategy
 
-    plan_text: str | None = None
-    decision_text: str | None = None
+    attempt = _Attempt(backend_used=backend)
     started = time.perf_counter()
 
-    if used == "naive":
-        relation = evaluate_flock(db, flock)
-    elif used == "dynamic":
-        result, trace = evaluate_flock_dynamic(db, flock)
-        relation = result.relation
-        decision_text = str(trace)
-    elif used in ("optimized", "stats"):
-        if flock.is_union:
-            plan = optimize_union(db, flock)
-        else:
-            optimizer = FlockOptimizer(
-                db, flock, gather_statistics=(used == "stats")
+    while True:
+        try:
+            _run_strategy(db, flock, used, live_guard, backend, attempt)
+            break
+        except (PlanError, FilterError, BudgetExceededError) as error:
+            if isinstance(error, BudgetExceededError) and not (
+                used in ("optimized", "stats") and attempt.plan_text is None
+            ):
+                # The budget died during execution, not mid plan-search —
+                # a cheaper strategy cannot recover spent budget.
+                raise
+            fallback = _next_cheaper(flock, used)
+            if fallback is None:
+                raise
+            attempt.downgrades.append(
+                Downgrade("strategy", used, fallback, str(error).split("\n")[0])
             )
-            plan = optimizer.best_plan().plan
-        plan_text = plan.render(flock)
-        relation = execute_plan(db, flock, plan, validate=False).relation
-    else:  # pragma: no cover - STRATEGIES guard above
-        raise AssertionError(used)
+            used = fallback
+            attempt.plan_text = None
+            attempt.decision_text = None
+
+    assert attempt.relation is not None
+    if live_guard is not None:
+        live_guard.check_answer(len(attempt.relation))
 
     seconds = time.perf_counter() - started
     report = MiningReport(
@@ -120,7 +356,10 @@ def mine(
         strategy_used=used,
         seconds=seconds,
         warnings=warnings,
-        plan_text=plan_text,
-        decision_text=decision_text,
+        plan_text=attempt.plan_text,
+        decision_text=attempt.decision_text,
+        backend_requested=backend,
+        backend_used=attempt.backend_used,
+        downgrades=tuple(attempt.downgrades),
     )
-    return relation, report
+    return attempt.relation, report

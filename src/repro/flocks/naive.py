@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from itertools import product
 
+import time
+
 from ..errors import EvaluationError
 from ..datalog.query import ConjunctiveQuery, as_union
 from ..datalog.terms import Parameter, Term
+from ..guard import GuardLike, as_guard
 from ..relational.aggregates import AggregateFunction
 from ..relational.catalog import Database
 from ..relational.evaluate import evaluate_conjunctive, term_column
@@ -30,19 +33,22 @@ from .filters import STAR, iter_conditions, surviving_assignments
 from .flock import QueryFlock
 
 
-def flock_answer_relation(db: Database, flock: QueryFlock) -> Relation:
+def flock_answer_relation(
+    db: Database, flock: QueryFlock, guard: GuardLike = None
+) -> Relation:
     """The ungrouped answer relation: parameter columns + head columns.
 
     For a single-rule flock the head columns keep their variable names;
     for a union the branches are aligned positionally under ``_h0..``
     (branch head variables differ, per Fig. 4).
     """
+    guard = as_guard(guard)
     params = list(flock.parameters)
     union = as_union(flock.query)
     if not flock.is_union:
         rule = union.rules[0]
         output: list[Term] = list(params) + list(rule.head_terms)
-        return evaluate_conjunctive(db, rule, output_terms=output)
+        return evaluate_conjunctive(db, rule, output_terms=output, guard=guard)
 
     width = union.head_arity
     head_cols = tuple(f"_h{i}" for i in range(width))
@@ -50,8 +56,10 @@ def flock_answer_relation(db: Database, flock: QueryFlock) -> Relation:
     rows: set[tuple] = set()
     for rule in union.rules:
         output = list(params) + list(rule.head_terms)
-        branch = evaluate_conjunctive(db, rule, output_terms=output)
+        branch = evaluate_conjunctive(db, rule, output_terms=output, guard=guard)
         rows |= branch.tuples
+        if guard is not None:
+            guard.checkpoint(rows=len(rows), node=f"union:{union.head_name}")
     return Relation(union.head_name, columns, rows)
 
 
@@ -68,18 +76,39 @@ def _target_resolver(flock: QueryFlock, answer: Relation):
     return resolve
 
 
-def evaluate_flock(db: Database, flock: QueryFlock) -> Relation:
+def evaluate_flock(
+    db: Database, flock: QueryFlock, guard: GuardLike = None
+) -> Relation:
     """Group-by evaluation: the flock result as a relation over its
     parameter columns (sorted by parameter name).  Composite filters
-    intersect the per-conjunct survivor sets."""
-    answer = flock_answer_relation(db, flock)
-    return surviving_assignments(
+    intersect the per-conjunct survivor sets.
+
+    ``guard`` (an :class:`~repro.guard.ExecutionGuard`,
+    :class:`~repro.guard.ResourceBudget` or
+    :class:`~repro.guard.CancellationToken`) bounds the evaluation; the
+    guard is checked after every join of the answer computation.
+    """
+    guard = as_guard(guard)
+    started = time.perf_counter()
+    answer = flock_answer_relation(db, flock, guard=guard)
+    result = surviving_assignments(
         answer,
         list(flock.parameter_columns),
         flock.filter,
         _target_resolver(flock, answer),
         name="flock",
     )
+    if guard is not None:
+        guard.note_step(
+            name="flock",
+            description=f"final FILTER({flock.filter})",
+            input_tuples=len(answer),
+            output_assignments=len(result),
+            seconds=time.perf_counter() - started,
+            filtered=True,
+        )
+        guard.check_answer(len(result))
+    return result
 
 
 def parameter_domains(db: Database, flock: QueryFlock) -> dict[Parameter, set]:
@@ -103,8 +132,11 @@ def parameter_domains(db: Database, flock: QueryFlock) -> dict[Parameter, set]:
     return domains
 
 
-def evaluate_flock_bruteforce(db: Database, flock: QueryFlock) -> Relation:
+def evaluate_flock_bruteforce(
+    db: Database, flock: QueryFlock, guard: GuardLike = None
+) -> Relation:
     """The literal Section 2 semantics; exponential, test-oracle only."""
+    guard = as_guard(guard)
     params = list(flock.parameters)
     domains = parameter_domains(db, flock)
     candidate_lists = [sorted(domains[p], key=repr) for p in params]
@@ -112,6 +144,8 @@ def evaluate_flock_bruteforce(db: Database, flock: QueryFlock) -> Relation:
     union = as_union(flock.query)
     rows: set[tuple] = set()
     for values in product(*candidate_lists):
+        if guard is not None:
+            guard.checkpoint(node="bruteforce assignment loop")
         assignment = dict(zip(params, values))
         instantiated = union.instantiate(assignment)
         width = instantiated.head_arity

@@ -32,7 +32,9 @@ from ..datalog.subqueries import (
     safe_subqueries_with_parameters,
 )
 from ..datalog.terms import Parameter, Variable
+from ..guard import GuardLike, as_guard
 from ..relational.catalog import Database
+from ..testing.faults import trip
 from .flock import QueryFlock
 from .plans import QueryPlan, plan_from_subqueries, single_step_plan
 
@@ -142,6 +144,7 @@ class FlockOptimizer:
         candidates_per_set: int = 2,
         max_param_set_size: int | None = None,
         gather_statistics: bool = False,
+        guard: GuardLike = None,
     ):
         if not flock.filter.is_monotone:
             raise FilterError(
@@ -156,6 +159,7 @@ class FlockOptimizer:
             )
         self.db = db
         self.flock = flock
+        self.guard = as_guard(guard)
         self.candidates_per_set = candidates_per_set
         self.max_param_set_size = max_param_set_size
         #: Section 4.4: "we may want to do substantial gathering of
@@ -239,7 +243,7 @@ class FlockOptimizer:
 
         params = tuple(sorted(candidate.parameters, key=lambda p: p.name))
         step = FilterStep("_stats_probe", params, candidate.query)
-        ok, _ = execute_step(self.db, self.flock, step)
+        ok, _ = execute_step(self.db, self.flock, step, guard=self.guard)
         return float(len(ok))
 
     def _domain_size(self, parameters: Iterable[Parameter]) -> float:
@@ -366,7 +370,14 @@ class FlockOptimizer:
         plans = self.enumerate_plans(max_prefilters)
         if include_chains:
             plans.extend(self.enumerate_chained_plans())
-        scored = [self.score(p) for p in plans]
+        scored: list[ScoredPlan] = []
+        for index, plan in enumerate(plans):
+            trip("optimizer.search")
+            if self.guard is not None:
+                self.guard.checkpoint(
+                    node=f"plan search {index + 1}/{len(plans)}"
+                )
+            scored.append(self.score(plan))
         return min(scored, key=lambda s: s.estimated_cost)
 
 
@@ -383,6 +394,7 @@ def optimize_union(
     max_param_set_size: int = 1,
     benefit_factor: float = 0.75,
     max_bounds: int = 2,
+    guard: GuardLike = None,
 ) -> QueryPlan:
     """Static optimization for **union** flocks (Section 3.4).
 
@@ -405,10 +417,14 @@ def optimize_union(
             f"{flock.filter}"
         )
 
+    guard = as_guard(guard)
     union = flock.query
     base_cost = sum(estimate_rule_size(db, rule) for rule in union.rules)
     scored_bounds: list[tuple[float, object]] = []
     for subset in parameter_subsets(union, max_size=max_param_set_size):
+        trip("optimizer.search")
+        if guard is not None:
+            guard.checkpoint(node="union plan search")
         bounds = union_subqueries_with_parameters(union, subset, max_candidates=4)
         if not bounds:
             continue

@@ -10,19 +10,50 @@ statement, or the Section 1.3 rewrite script for a plan.
 The backend is the "DBMS-based setting" of the paper's argument; the
 in-memory engine is the "file-based" one.  Both must agree on every
 answer, which the test suite checks for all the canonical flocks.
+
+Robustness contract:
+
+* every raw :mod:`sqlite3` exception escaping a public method is wrapped
+  as :class:`~repro.errors.EvaluationError` with the offending SQL
+  attached;
+* *transient* operational errors ("database is locked"/"busy") are
+  retried with capped exponential backoff before giving up — the
+  :func:`~repro.flocks.mining.mine` front door falls back to the
+  in-memory engine when the retries are exhausted;
+* an :class:`~repro.guard.ExecutionGuard` is enforced from inside the
+  SQLite VM via a progress handler (wall-clock deadline and
+  cancellation) and per materialized step table (row budget), raising
+  :class:`~repro.errors.BudgetExceededError` /
+  :class:`~repro.errors.ExecutionCancelled` with the partial trace of
+  the statements that completed.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable
+import time
+from typing import Sequence
 
-from ..errors import EvaluationError
+from ..errors import EvaluationError, ExecutionAborted
+from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
 from ..relational.relation import Relation
+from ..testing.faults import trip
 from .flock import QueryFlock
 from .plans import QueryPlan
 from .sql import flock_to_sql, plan_to_sql
+
+
+#: Substrings that mark a retryable sqlite3.OperationalError.
+_TRANSIENT_MARKERS = ("locked", "busy")
+
+#: How many SQLite VM opcodes run between guard polls.
+_PROGRESS_OPCODES = 1000
+
+
+def _is_transient(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
 
 
 class SQLiteBackend:
@@ -36,11 +67,32 @@ class SQLiteBackend:
         assert result == faster
 
     The connection is in-memory by default; pass ``path`` for a file.
+
+    Args:
+        max_retries: attempts per statement for transient operational
+            errors ("database is locked"/"busy") before the error is
+            wrapped and raised.
+        retry_backoff: initial sleep between retries; doubles per
+            attempt, capped at :attr:`MAX_BACKOFF_SECONDS`.
     """
 
-    def __init__(self, db: Database | None = None, path: str = ":memory:"):
+    MAX_BACKOFF_SECONDS = 0.25
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        path: str = ":memory:",
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
+    ):
         self.connection = sqlite3.connect(path)
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Injectable for tests; production uses time.sleep.
+        self._sleep = time.sleep
         self._loaded: Database | None = None
+        #: Guard abort raised from inside the progress handler, if any.
+        self._guard_abort: list[ExecutionAborted] = []
         if db is not None:
             self.load(db)
 
@@ -53,13 +105,15 @@ class SQLiteBackend:
         cursor = self.connection.cursor()
         for name in db.names():
             relation = db.get(name)
-            cursor.execute(f"DROP TABLE IF EXISTS {name}")
+            self._execute(cursor, f"DROP TABLE IF EXISTS {name}")
             columns = ", ".join(relation.columns)
-            cursor.execute(f"CREATE TABLE {name} ({columns})")
+            self._execute(cursor, f"CREATE TABLE {name} ({columns})")
             placeholders = ", ".join("?" for _ in relation.columns)
-            cursor.executemany(
+            self._execute(
+                cursor,
                 f"INSERT INTO {name} VALUES ({placeholders})",
-                sorted(relation.tuples, key=repr),
+                parameters=sorted(relation.tuples, key=repr),
+                many=True,
             )
         self.connection.commit()
         self._loaded = db
@@ -83,48 +137,215 @@ class SQLiteBackend:
             raise EvaluationError("no database loaded into the SQL backend")
         return self._loaded
 
-    def evaluate_flock(self, flock: QueryFlock) -> Relation:
+    def evaluate_flock(
+        self, flock: QueryFlock, guard: GuardLike = None
+    ) -> Relation:
         """The naive one-statement evaluation (the Fig. 1 path)."""
         db = self._require_loaded()
         sql = flock_to_sql(flock, db)
-        rows = self._run_script(sql)
+        rows = self._run_script(sql, guard=as_guard(guard))
         return Relation("flock", flock.parameter_columns, rows)
 
-    def execute_plan(self, flock: QueryFlock, plan: QueryPlan) -> Relation:
+    def execute_plan(
+        self, flock: QueryFlock, plan: QueryPlan, guard: GuardLike = None
+    ) -> Relation:
         """The rewritten evaluation: one materialized table per FILTER
         step (the Section 1.3 path).  Step tables are dropped afterwards
         so the backend can be reused."""
         db = self._require_loaded()
         script = plan_to_sql(flock, plan, db)
+        step_names = tuple(s.result_name for s in plan.prefilter_steps)
         try:
-            rows = self._run_script(script)
+            rows = self._run_script(
+                script, guard=as_guard(guard), step_names=step_names
+            )
         finally:
             cursor = self.connection.cursor()
             for step in plan.prefilter_steps:
-                cursor.execute(f"DROP TABLE IF EXISTS {step.result_name}")
+                try:
+                    cursor.execute(f"DROP TABLE IF EXISTS {step.result_name}")
+                except sqlite3.Error:  # cleanup must not mask the error
+                    pass
             self.connection.commit()
         return Relation("flock", flock.parameter_columns, rows)
 
-    def _run_script(self, script: str) -> set[tuple]:
+    # ------------------------------------------------------------------
+    # Statement machinery
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        cursor: sqlite3.Cursor,
+        statement: str,
+        parameters: Sequence | None = None,
+        many: bool = False,
+    ) -> sqlite3.Cursor:
+        """Run one statement with transient-error retries and wrapping.
+
+        Transient ``OperationalError``\\ s are retried ``max_retries``
+        times with capped exponential backoff.  Anything else — and
+        exhausted retries — raises :class:`EvaluationError` carrying the
+        statement, except for a guard-initiated interrupt, which
+        re-raises the guard's own exception.
+        """
+        attempt = 0
+        while True:
+            try:
+                trip("sqlite.execute")
+                if many:
+                    return cursor.executemany(statement, parameters or [])
+                if parameters is not None:
+                    return cursor.execute(statement, parameters)
+                return cursor.execute(statement)
+            except sqlite3.OperationalError as error:
+                if self._guard_abort:
+                    # The progress handler interrupted the VM; surface
+                    # the guard's exception, not "interrupted".
+                    raise self._guard_abort.pop() from error
+                if not _is_transient(error) or attempt >= self.max_retries:
+                    raise EvaluationError(
+                        f"SQLite error: {error}", sql=statement
+                    ) from error
+                delay = min(
+                    self.MAX_BACKOFF_SECONDS, self.retry_backoff * (2 ** attempt)
+                )
+                attempt += 1
+                self._sleep(delay)
+            except sqlite3.Error as error:
+                raise EvaluationError(
+                    f"SQLite error: {error}", sql=statement
+                ) from error
+
+    def _install_guard(self, guard: ExecutionGuard | None) -> bool:
+        """Poll the guard from inside the SQLite VM loop.
+
+        Returns True when a handler was installed (caller must remove)."""
+        if guard is None:
+            return False
+        if guard.deadline is None and guard.cancel is None:
+            return False
+        self._guard_abort.clear()
+
+        def handler() -> int:
+            try:
+                guard.checkpoint(node="sqlite progress handler")
+            except ExecutionAborted as aborted:
+                self._guard_abort.append(aborted)
+                return 1  # interrupt the VM
+            return 0
+
+        self.connection.set_progress_handler(handler, _PROGRESS_OPCODES)
+        return True
+
+    def _run_script(
+        self,
+        script: str,
+        guard: ExecutionGuard | None = None,
+        step_names: tuple[str, ...] = (),
+    ) -> set[tuple]:
         statements = [s.strip() for s in script.split(";") if s.strip()]
         rows: set[tuple] = set()
         cursor = self.connection.cursor()
-        for index, statement in enumerate(statements):
-            result = cursor.execute(statement)
-            if index == len(statements) - 1:
-                rows = {tuple(r) for r in result.fetchall()}
+        installed = self._install_guard(guard)
+        try:
+            for index, statement in enumerate(statements):
+                started = time.perf_counter()
+                try:
+                    result = self._execute(cursor, statement)
+                except ExecutionAborted as aborted:
+                    if guard is not None:
+                        # Mark the aborted statement so the partial trace
+                        # is never empty and shows where work stopped.
+                        guard.note_step(
+                            name=f"aborted:sql#{index}",
+                            description=statement.replace("\n", " ")[:100],
+                            input_tuples=0,
+                            output_assignments=0,
+                            seconds=time.perf_counter() - started,
+                            filtered=False,
+                        )
+                    raise aborted
+                if index == len(statements) - 1:
+                    rows = {tuple(r) for r in result.fetchall()}
+                elapsed = time.perf_counter() - started
+                if guard is not None:
+                    self._note_statement(
+                        guard, statement, index, elapsed, step_names,
+                        final_rows=len(rows) if index == len(statements) - 1
+                        else None,
+                    )
+            if guard is not None:
+                guard.check_answer(len(rows))
+        finally:
+            if installed:
+                self.connection.set_progress_handler(None, 0)
         return rows
 
+    def _note_statement(
+        self,
+        guard: ExecutionGuard,
+        statement: str,
+        index: int,
+        elapsed: float,
+        step_names: tuple[str, ...],
+        final_rows: int | None,
+    ) -> None:
+        """Record one completed statement on the guard and enforce the
+        row budget on materialized step tables."""
+        created = self._created_step_table(statement, step_names)
+        if created is not None:
+            cursor = self.connection.cursor()
+            (count,) = self._execute(
+                cursor, f"SELECT COUNT(*) FROM {created}"
+            ).fetchone()
+            guard.note_step(
+                name=created,
+                description=statement.replace("\n", " ")[:100],
+                input_tuples=count,
+                output_assignments=count,
+                seconds=elapsed,
+                filtered=True,
+            )
+            guard.checkpoint(rows=count, node=created)
+        elif final_rows is not None:
+            guard.note_step(
+                name="flock",
+                description=statement.replace("\n", " ")[:100],
+                input_tuples=final_rows,
+                output_assignments=final_rows,
+                seconds=elapsed,
+                filtered=True,
+            )
+            guard.checkpoint(rows=final_rows, node="flock")
+        else:
+            guard.checkpoint(node=f"sql#{index}")
 
-def evaluate_flock_sqlite(db: Database, flock: QueryFlock) -> Relation:
+    @staticmethod
+    def _created_step_table(
+        statement: str, step_names: tuple[str, ...]
+    ) -> str | None:
+        tokens = statement.split(None, 3)
+        if (
+            len(tokens) >= 3
+            and tokens[0].upper() == "CREATE"
+            and tokens[1].upper() == "TABLE"
+            and tokens[2] in step_names
+        ):
+            return tokens[2]
+        return None
+
+
+def evaluate_flock_sqlite(
+    db: Database, flock: QueryFlock, guard: GuardLike = None
+) -> Relation:
     """One-call convenience: load, evaluate naively, close."""
     with SQLiteBackend(db) as backend:
-        return backend.evaluate_flock(flock)
+        return backend.evaluate_flock(flock, guard=guard)
 
 
 def execute_plan_sqlite(
-    db: Database, flock: QueryFlock, plan: QueryPlan
+    db: Database, flock: QueryFlock, plan: QueryPlan, guard: GuardLike = None
 ) -> Relation:
     """One-call convenience: load, run the rewrite script, close."""
     with SQLiteBackend(db) as backend:
-        return backend.execute_plan(flock, plan)
+        return backend.execute_plan(flock, plan, guard=guard)

@@ -1,0 +1,259 @@
+"""Execution guards: resource budgets and cooperative cancellation.
+
+The paper's own motivation for the dynamic evaluator (Section 4.4) is
+that intermediate-relation sizes in the flock plan space are
+unpredictable — which means a production evaluator must be *boundable*
+and *killable*.  This module is the guard rail every evaluation path
+threads through:
+
+* :class:`ResourceBudget` — declarative limits: a wall-clock deadline,
+  a cap on any intermediate relation's size, and a cap on the answer;
+* :class:`CancellationToken` — a thread-safe flag another thread (or a
+  signal handler) can set to stop an evaluation at its next checkpoint;
+* :class:`ExecutionGuard` — the live object the evaluators carry.  It
+  owns the running partial :class:`~repro.flocks.result.ExecutionTrace`
+  and raises :class:`~repro.errors.BudgetExceededError` /
+  :class:`~repro.errors.ExecutionCancelled` (both carrying that trace)
+  when a checkpoint trips.
+
+Checkpoints are *cooperative*: the evaluators call
+:meth:`ExecutionGuard.checkpoint` after each join / FILTER step, and the
+SQLite backend installs a progress handler that polls the guard from
+inside the VM loop.  Enforcement granularity is therefore one join step
+(in memory) or a few thousand VM opcodes (SQLite).
+
+Usage::
+
+    from repro import ResourceBudget, mine
+
+    result, report = mine(db, flock, budget=ResourceBudget(seconds=5))
+
+    # or, at the strategy level:
+    guard = ResourceBudget(max_intermediate_rows=100_000).start()
+    relation = evaluate_flock(db, flock, guard=guard)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from .errors import BudgetExceededError, ExecutionCancelled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flocks.result import ExecutionTrace, StepTrace
+
+
+class CancellationToken:
+    """A thread-safe "please stop" flag for cooperative cancellation.
+
+    Create one, hand it to an evaluation (``mine(..., cancel=token)``),
+    and call :meth:`cancel` from any thread to make the evaluation raise
+    :class:`~repro.errors.ExecutionCancelled` at its next checkpoint.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"CancellationToken({state})"
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Declarative resource limits for one flock evaluation.
+
+    Attributes:
+        seconds: wall-clock deadline, measured from :meth:`start` (or
+            from the moment an evaluator coerces the budget to a guard).
+        max_intermediate_rows: largest intermediate relation (join
+            result, step answer relation, or materialized step table)
+            the evaluation may produce.
+        max_answer_rows: largest final result the evaluation may return.
+
+    All limits default to ``None`` (unbounded); any combination may be
+    set.  A budget is immutable and reusable — each :meth:`start` call
+    returns a fresh guard with its own clock.
+    """
+
+    seconds: Optional[float] = None
+    max_intermediate_rows: Optional[int] = None
+    max_answer_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if self.max_intermediate_rows is not None and self.max_intermediate_rows < 0:
+            raise ValueError("max_intermediate_rows must be non-negative")
+        if self.max_answer_rows is not None and self.max_answer_rows < 0:
+            raise ValueError("max_answer_rows must be non-negative")
+
+    @property
+    def is_unbounded(self) -> bool:
+        return (
+            self.seconds is None
+            and self.max_intermediate_rows is None
+            and self.max_answer_rows is None
+        )
+
+    def start(self, cancel: CancellationToken | None = None) -> "ExecutionGuard":
+        """Begin the clock; returns the live guard to thread through."""
+        return ExecutionGuard(budget=self, cancel=cancel)
+
+
+class ExecutionGuard:
+    """The live guard one evaluation carries through its checkpoints.
+
+    Owns the partial trace (completed steps are recorded here as the
+    evaluation progresses) and the high-water mark of intermediate
+    relation sizes, so both successful and aborted runs can report how
+    large the evaluation actually got.
+    """
+
+    def __init__(
+        self,
+        budget: ResourceBudget | None = None,
+        cancel: CancellationToken | None = None,
+    ):
+        # Imported lazily: repro.flocks imports this module's consumers.
+        from .flocks.result import ExecutionTrace
+
+        self.budget = budget if budget is not None else ResourceBudget()
+        self.cancel = cancel
+        self.started = time.monotonic()
+        self.deadline = (
+            self.started + self.budget.seconds
+            if self.budget.seconds is not None
+            else None
+        )
+        self.trace: "ExecutionTrace" = ExecutionTrace()
+        self.high_water_rows = 0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    @property
+    def remaining_seconds(self) -> float | None:
+        """Seconds until the deadline, or None when unbounded."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def record(self, step: "StepTrace") -> None:
+        """Append one completed step to the partial trace."""
+        self.trace.record(step)
+
+    def note_step(
+        self,
+        name: str,
+        description: str,
+        input_tuples: int,
+        output_assignments: int,
+        seconds: float,
+        filtered: bool = False,
+    ) -> None:
+        """Record a completed step without the caller importing the
+        trace types (keeps the relational layer below ``repro.flocks``)."""
+        from .flocks.result import StepTrace
+
+        self.trace.record(
+            StepTrace(
+                name=name,
+                description=description,
+                input_tuples=input_tuples,
+                output_assignments=output_assignments,
+                seconds=seconds,
+                filtered=filtered,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, rows: int | None = None, node: str = "") -> None:
+        """Raise if the evaluation must stop; otherwise return.
+
+        Args:
+            rows: size of the intermediate relation just produced, when
+                the caller has one; compared with the budget's
+                ``max_intermediate_rows``.
+            node: label of the checkpoint site, carried on the raised
+                exception and in its message.
+        """
+        if self.cancel is not None and self.cancel.cancelled:
+            raise ExecutionCancelled(
+                f"evaluation cancelled at {node or 'checkpoint'}",
+                trace=self.trace,
+                node=node,
+            )
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise BudgetExceededError(
+                f"wall-clock budget of {self.budget.seconds}s exceeded "
+                f"at {node or 'checkpoint'} "
+                f"({len(self.trace.steps)} steps completed)",
+                trace=self.trace,
+                node=node,
+                limit="seconds",
+            )
+        if rows is not None:
+            self.high_water_rows = max(self.high_water_rows, rows)
+            limit = self.budget.max_intermediate_rows
+            if limit is not None and rows > limit:
+                raise BudgetExceededError(
+                    f"intermediate relation at {node or 'checkpoint'} has "
+                    f"{rows} rows, over the budget of {limit}",
+                    trace=self.trace,
+                    node=node,
+                    limit="intermediate_rows",
+                )
+
+    def check_answer(self, rows: int, node: str = "answer") -> None:
+        """Enforce the answer-size cap on a final result."""
+        limit = self.budget.max_answer_rows
+        if limit is not None and rows > limit:
+            raise BudgetExceededError(
+                f"answer relation has {rows} rows, over the budget of {limit}",
+                trace=self.trace,
+                node=node,
+                limit="answer_rows",
+            )
+
+
+#: Anything the evaluators accept where a guard is expected.
+GuardLike = Union[ExecutionGuard, ResourceBudget, CancellationToken, None]
+
+
+def as_guard(value: GuardLike) -> ExecutionGuard | None:
+    """Coerce the public ``guard=`` argument to a live guard.
+
+    Accepts ``None`` (no guarding), an :class:`ExecutionGuard`, a
+    :class:`ResourceBudget` (its clock starts now), or a bare
+    :class:`CancellationToken`.
+    """
+    if value is None or isinstance(value, ExecutionGuard):
+        return value
+    if isinstance(value, ResourceBudget):
+        return value.start()
+    if isinstance(value, CancellationToken):
+        return ExecutionGuard(cancel=value)
+    raise TypeError(
+        f"guard must be an ExecutionGuard, ResourceBudget or "
+        f"CancellationToken, got {type(value).__name__}"
+    )

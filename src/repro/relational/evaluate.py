@@ -15,6 +15,7 @@ always joins with itself across subgoals.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from ..errors import EvaluationError
@@ -22,6 +23,8 @@ from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.query import ConjunctiveQuery, UnionQuery
 from ..datalog.safety import assert_safe
 from ..datalog.terms import Constant, Term, is_bindable
+from ..guard import ExecutionGuard, GuardLike, as_guard
+from ..testing.faults import trip
 from .catalog import Database
 from .operators import anti_join, natural_join
 from .relation import Relation
@@ -157,6 +160,7 @@ def evaluate_conjunctive(
     output_terms: Sequence[Term] | None = None,
     join_order: Sequence[int] | None = None,
     check_safe: bool = True,
+    guard: GuardLike = None,
 ) -> Relation:
     """Evaluate one extended conjunctive query.
 
@@ -171,11 +175,16 @@ def evaluate_conjunctive(
             greedy order.
         check_safe: set ``False`` to skip the safety assertion when the
             caller has already checked (the optimizer's hot path).
+        guard: optional :class:`~repro.guard.ExecutionGuard` (or
+            :class:`~repro.guard.ResourceBudget` /
+            :class:`~repro.guard.CancellationToken`) checked after every
+            join step.
 
     Returns:
         A relation whose columns are the rendered output terms, with
         set semantics.
     """
+    guard = as_guard(guard)
     if check_safe:
         assert_safe(query)
     if output_terms is None:
@@ -209,8 +218,22 @@ def evaluate_conjunctive(
 
     current = _unit_relation()
     for idx in order:
+        trip("relational.join")
+        started = time.perf_counter()
+        before = len(current)
         current = natural_join(current, bind(positives[idx]))
         current = _apply_pending(db, current, pending_comparisons, pending_negations)
+        if guard is not None:
+            node = f"join:{positives[idx].predicate}"
+            guard.note_step(
+                name=node,
+                description=str(positives[idx]),
+                input_tuples=before,
+                output_assignments=len(current),
+                seconds=time.perf_counter() - started,
+                filtered=False,
+            )
+            guard.checkpoint(rows=len(current), node=node)
     # Queries with no positive atoms still must apply constant-only
     # subgoals (safety allows e.g. `answer(1) :- 1 < 2`).
     current = _apply_pending(db, current, pending_comparisons, pending_negations)
@@ -294,6 +317,7 @@ def evaluate_union(
     union: UnionQuery,
     output_terms_per_rule: Sequence[Sequence[Term]] | None = None,
     output_columns: Sequence[str] | None = None,
+    guard: GuardLike = None,
 ) -> Relation:
     """Evaluate a union query as the set union of its rules' results.
 
@@ -318,8 +342,11 @@ def evaluate_union(
             f"output_columns has {len(columns)} names for width {width}"
         )
 
+    guard = as_guard(guard)
     rows: set[tuple] = set()
     for rule, terms in zip(union.rules, per_rule):
-        result = evaluate_conjunctive(db, rule, output_terms=terms)
+        result = evaluate_conjunctive(db, rule, output_terms=terms, guard=guard)
         rows |= result.tuples
+        if guard is not None:
+            guard.checkpoint(rows=len(rows), node=f"union:{union.head_name}")
     return Relation(union.head_name, columns, rows)

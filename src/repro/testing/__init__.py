@@ -1,0 +1,10 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the robustness suite uses to exercise degradation paths that
+would otherwise only fire under real resource pressure.
+"""
+
+from .faults import FaultSpec, active_faults, inject, reset_faults, trip
+
+__all__ = ["FaultSpec", "active_faults", "inject", "reset_faults", "trip"]

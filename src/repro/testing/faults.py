@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the evaluator and backends.
+
+The degradation machinery (strategy fallback, SQLite retry, budget
+aborts) is only trustworthy if its failure paths run in CI, not just in
+production incidents.  This harness plants *failure points* at fixed
+sites inside the library; a test arms a site with an exception and the
+next call(s) through that site raise it, deterministically.
+
+Sites currently instrumented:
+
+========================  ====================================================
+``relational.join``       after each join step in ``evaluate_conjunctive``
+``executor.step``         before each FILTER step in ``execute_plan``
+``optimizer.search``      per candidate plan scored in ``best_plan``
+``dynamic.join``          per join in the dynamic evaluator
+``sqlite.execute``        before every statement the SQLite backend executes
+========================  ====================================================
+
+Usage::
+
+    from repro.testing import faults
+
+    with faults.inject("sqlite.execute", sqlite3.OperationalError("database is locked"), times=2):
+        backend.evaluate_flock(flock)   # first two executes fail, then heal
+
+The harness is deliberately global (module-level registry) so the site
+checks cost one dict lookup on an *empty* dict when nothing is armed —
+cheap enough to leave in hot paths permanently.  It is not thread-safe
+for concurrent arming; tests arm faults from a single thread.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Union
+
+
+ErrorSource = Union[BaseException, type, Callable[[], BaseException]]
+
+
+@dataclass
+class FaultSpec:
+    """One armed failure point.
+
+    Attributes:
+        site: the instrumented site name.
+        error: an exception instance, an exception class, or a zero-arg
+            factory returning an exception.
+        skip: let this many hits pass before failing (fail the
+            ``skip+1``-th call onwards).
+        times: fail at most this many times, then heal (``None`` =
+            fail forever while armed).  ``skip=0, times=2`` models a
+            transient failure that a retry loop should survive.
+        hits: total calls observed through the site (telemetry for
+            assertions).
+        failures: how many of those calls were failed.
+    """
+
+    site: str
+    error: ErrorSource
+    skip: int = 0
+    times: int | None = None
+    hits: int = field(default=0, init=False)
+    failures: int = field(default=0, init=False)
+
+    def make_error(self) -> BaseException:
+        if isinstance(self.error, BaseException):
+            return self.error
+        made = self.error()
+        if not isinstance(made, BaseException):  # exception class case
+            raise TypeError(f"fault factory for {self.site!r} returned {made!r}")
+        return made
+
+    def should_fail(self) -> bool:
+        if self.hits <= self.skip:
+            return False
+        if self.times is not None and self.failures >= self.times:
+            return False
+        return True
+
+
+#: site name -> armed fault.  Empty in production; `trip` is a no-op then.
+_ACTIVE: dict[str, FaultSpec] = {}
+
+
+def trip(site: str) -> None:
+    """Called by instrumented library code; raises if ``site`` is armed.
+
+    No-op (one failed dict lookup) when nothing is armed.
+    """
+    if not _ACTIVE:
+        return
+    fault = _ACTIVE.get(site)
+    if fault is None:
+        return
+    fault.hits += 1
+    if not fault.should_fail():
+        return
+    fault.failures += 1
+    raise fault.make_error()
+
+
+@contextmanager
+def inject(
+    site: str,
+    error: ErrorSource,
+    skip: int = 0,
+    times: int | None = None,
+) -> Iterator[FaultSpec]:
+    """Arm ``site`` with ``error`` for the duration of the block.
+
+    Yields the :class:`FaultSpec` so tests can assert on ``hits`` /
+    ``failures``.  Nested injection at the same site is rejected — it
+    would make the failure schedule ambiguous.
+    """
+    if site in _ACTIVE:
+        raise RuntimeError(f"fault site {site!r} is already armed")
+    if isinstance(error, type) and issubclass(error, BaseException):
+        error_source: ErrorSource = lambda: error(f"injected fault at {site}")
+    else:
+        error_source = error
+    fault = FaultSpec(site=site, error=error_source, skip=skip, times=times)
+    _ACTIVE[site] = fault
+    try:
+        yield fault
+    finally:
+        _ACTIVE.pop(site, None)
+
+
+def active_faults() -> tuple[str, ...]:
+    """Names of the currently armed sites (for diagnostics)."""
+    return tuple(sorted(_ACTIVE))
+
+
+def reset_faults() -> None:
+    """Disarm everything — a safety net for test teardown."""
+    _ACTIVE.clear()

@@ -1,0 +1,282 @@
+"""Graceful degradation and partial-trace semantics of mine().
+
+Covers the policy layer: strategy fallback (optimized -> dynamic ->
+naive) on pre-answer failures, backend fallback (sqlite -> memory) on
+post-retry SQLite errors, transient-error healing, and the contract
+that a budget exhausted mid plan-search degrades while one exhausted
+mid-execution propagates with its partial trace.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    EvaluationError,
+    PlanError,
+    ResourceBudget,
+    mine,
+)
+from repro.datalog import Parameter, atom, comparison, rule
+from repro.datalog.subqueries import safe_subqueries_with_parameters
+from repro.flocks import (
+    QueryFlock,
+    evaluate_flock,
+    evaluate_flock_sqlite,
+    execute_plan,
+    execute_plan_sqlite,
+    plan_from_subqueries,
+    support_filter,
+)
+from repro.relational import database_from_dict
+from repro.testing import inject
+
+
+# ----------------------------------------------------------------------
+# Partial-trace semantics (one wide basket makes the $1,$2 prefilter
+# step two orders of magnitude larger than the $1 step)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def wide_db():
+    """One basket holding 20 items: the pair join has 400 rows."""
+    rows = [(1, f"i{n:02d}") for n in range(20)]
+    return database_from_dict({"baskets": (("BID", "Item"), rows)})
+
+
+@pytest.fixture
+def pair_flock():
+    query = rule(
+        "answer",
+        ["B"],
+        [
+            atom("baskets", "B", "$1"),
+            atom("baskets", "B", "$2"),
+            comparison("$1", "<", "$2"),
+        ],
+    )
+    return QueryFlock(query, support_filter(1, target="B"))
+
+
+def two_step_plan(flock):
+    """ok0 restricts {$1} (20 rows); ok1 restricts {$1,$2} (400 rows)."""
+    query = flock.rules[0]
+    [small] = safe_subqueries_with_parameters(query, [Parameter("1")])
+    [large] = safe_subqueries_with_parameters(
+        query, [Parameter("1"), Parameter("2")]
+    )
+    return plan_from_subqueries(flock, [("ok0", small), ("ok1", large)])
+
+
+class TestPartialTrace:
+    BUDGET = ResourceBudget(max_intermediate_rows=50)
+
+    def test_memory_trace_lists_steps_completed_before_abort(
+        self, wide_db, pair_flock
+    ):
+        """The in-memory executor dies inside ok1's join, so the only
+        completed FILTER step in the partial trace is ok0."""
+        plan = two_step_plan(pair_flock)
+        with pytest.raises(BudgetExceededError) as exc:
+            execute_plan(wide_db, pair_flock, plan, guard=self.BUDGET)
+        assert exc.value.limit == "intermediate_rows"
+        completed = [s.name for s in exc.value.trace.steps if s.filtered]
+        assert completed == ["ok0"]
+
+    def test_sqlite_trace_lists_steps_completed_before_abort(
+        self, wide_db, pair_flock
+    ):
+        """SQLite materializes the whole ok1 table before the per-table
+        row check runs, so ok1 counts as completed there."""
+        plan = two_step_plan(pair_flock)
+        with pytest.raises(BudgetExceededError) as exc:
+            execute_plan_sqlite(wide_db, pair_flock, plan, guard=self.BUDGET)
+        assert exc.value.limit == "intermediate_rows"
+        completed = [s.name for s in exc.value.trace.steps if s.filtered]
+        assert completed == ["ok0", "ok1"]
+        assert exc.value.node == "ok1"
+
+    def test_sufficient_budget_runs_plan_to_completion(
+        self, wide_db, pair_flock
+    ):
+        plan = two_step_plan(pair_flock)
+        roomy = ResourceBudget(max_intermediate_rows=1000)
+        unbudgeted = execute_plan(wide_db, pair_flock, plan).relation
+        assert execute_plan(
+            wide_db, pair_flock, plan, guard=roomy
+        ).relation == unbudgeted
+        assert execute_plan_sqlite(
+            wide_db, pair_flock, plan, guard=roomy
+        ) == unbudgeted
+
+
+# ----------------------------------------------------------------------
+# Strategy degradation
+# ----------------------------------------------------------------------
+
+
+class TestStrategyDegradation:
+    @pytest.mark.faults
+    def test_optimizer_fault_degrades_to_dynamic(
+        self, small_basket_db, basket_flock
+    ):
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        with inject("optimizer.search", PlanError):
+            relation, report = mine(
+                small_basket_db, basket_flock, strategy="optimized"
+            )
+        assert relation == expected
+        assert report.strategy_used == "dynamic"
+        assert report.degraded
+        (downgrade,) = report.downgrades
+        assert (downgrade.kind, downgrade.from_name, downgrade.to_name) == (
+            "strategy", "optimized", "dynamic",
+        )
+        assert "downgrade [strategy] optimized -> dynamic" in str(report)
+
+    @pytest.mark.faults
+    def test_degrades_all_the_way_to_naive(
+        self, small_basket_db, basket_flock
+    ):
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        with inject("optimizer.search", PlanError):
+            with inject("dynamic.join", PlanError):
+                relation, report = mine(
+                    small_basket_db, basket_flock, strategy="optimized"
+                )
+        assert relation == expected
+        assert report.strategy_used == "naive"
+        assert [d.to_name for d in report.downgrades] == ["dynamic", "naive"]
+
+    @pytest.mark.faults
+    def test_naive_has_no_fallback(self, small_basket_db, basket_flock):
+        with inject("relational.join", PlanError):
+            with pytest.raises(PlanError):
+                mine(small_basket_db, basket_flock, strategy="naive")
+
+    @pytest.mark.faults
+    def test_union_flock_degrades_to_naive(self, small_web_db, web_flock):
+        """Dynamic is unsound for unions, so the chain skips it."""
+        expected = evaluate_flock(small_web_db, web_flock)
+        with inject("optimizer.search", PlanError):
+            relation, report = mine(
+                small_web_db, web_flock, strategy="optimized"
+            )
+        assert relation == expected
+        assert report.strategy_used == "naive"
+
+    @pytest.mark.faults
+    def test_budget_death_mid_plan_search_degrades(
+        self, small_basket_db, basket_flock
+    ):
+        """Budget exhaustion before any plan exists loses no work, so
+        mine() may still try a cheaper strategy."""
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        with inject("optimizer.search", BudgetExceededError):
+            relation, report = mine(
+                small_basket_db, basket_flock, strategy="optimized"
+            )
+        assert relation == expected
+        assert report.strategy_used == "dynamic"
+
+    @pytest.mark.faults
+    def test_budget_death_mid_execution_propagates(
+        self, small_basket_db, basket_flock
+    ):
+        """Once a plan is executing, a budget abort is final — retrying
+        cheaper would turn a hard limit into a soft one."""
+        with inject("executor.step", BudgetExceededError):
+            with pytest.raises(BudgetExceededError):
+                mine(small_basket_db, basket_flock, strategy="optimized")
+
+
+# ----------------------------------------------------------------------
+# Backend degradation
+# ----------------------------------------------------------------------
+
+
+class TestBackendDegradation:
+    @pytest.mark.faults
+    def test_permanent_sqlite_fault_degrades_to_memory(
+        self, small_basket_db, basket_flock
+    ):
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        with inject(
+            "sqlite.execute", sqlite3.OperationalError("database is locked")
+        ) as fault:
+            relation, report = mine(
+                small_basket_db, basket_flock,
+                strategy="naive", backend="sqlite",
+            )
+        assert relation == expected
+        assert report.backend_requested == "sqlite"
+        assert report.backend_used == "memory"
+        (downgrade,) = report.downgrades
+        assert (downgrade.kind, downgrade.from_name, downgrade.to_name) == (
+            "backend", "sqlite", "memory",
+        )
+        assert "locked" in downgrade.reason
+        assert fault.failures > 1, "transient errors must be retried first"
+
+    @pytest.mark.faults
+    def test_transient_sqlite_fault_heals_without_downgrade(
+        self, small_basket_db, basket_flock
+    ):
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        with inject(
+            "sqlite.execute",
+            sqlite3.OperationalError("database is locked"),
+            times=2,
+        ) as fault:
+            relation, report = mine(
+                small_basket_db, basket_flock,
+                strategy="naive", backend="sqlite",
+            )
+        assert relation == expected
+        assert report.backend_used == "sqlite"
+        assert not report.degraded
+        assert fault.failures == 2
+
+    @pytest.mark.faults
+    def test_nontransient_sqlite_fault_fails_fast_with_sql(
+        self, small_basket_db, basket_flock
+    ):
+        """Satellite contract: raw sqlite3 errors never escape; the
+        wrapper names the offending statement."""
+        with inject(
+            "sqlite.execute", sqlite3.OperationalError("no such table: xyz")
+        ) as fault:
+            with pytest.raises(EvaluationError) as exc:
+                evaluate_flock_sqlite(small_basket_db, basket_flock)
+        assert fault.failures == 1, "non-transient errors are not retried"
+        assert exc.value.sql
+        assert "while executing:" in str(exc.value)
+
+    def test_dynamic_on_sqlite_records_backend_downgrade(
+        self, small_basket_db, basket_flock
+    ):
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        relation, report = mine(
+            small_basket_db, basket_flock,
+            strategy="dynamic", backend="sqlite",
+        )
+        assert relation == expected
+        assert report.backend_used == "memory"
+        (downgrade,) = report.downgrades
+        assert downgrade.kind == "backend"
+        assert "in-memory" in downgrade.reason
+
+    def test_healthy_sqlite_backend_reports_no_downgrade(
+        self, small_basket_db, basket_flock
+    ):
+        expected = evaluate_flock(small_basket_db, basket_flock)
+        relation, report = mine(
+            small_basket_db, basket_flock,
+            strategy="optimized", backend="sqlite",
+        )
+        assert relation == expected
+        assert report.backend_used == "sqlite"
+        assert not report.degraded
+        assert "backend: sqlite" in str(report)

@@ -1,0 +1,130 @@
+"""Property: budgets never change answers — they only abort.
+
+For random basket flocks, evaluation under any *sufficient* budget is
+identical to unbudgeted evaluation, and any *insufficient* budget
+raises :class:`BudgetExceededError` rather than silently truncating.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BudgetExceededError, ResourceBudget, mine
+from repro.flocks import (
+    evaluate_flock,
+    evaluate_flock_dynamic,
+    itemset_flock,
+)
+from repro.relational import Database, Relation
+
+
+basket_rows = st.frozensets(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+supports = st.integers(min_value=1, max_value=4)
+
+
+def basket_db(rows) -> Database:
+    return Database([Relation("baskets", ("BID", "Item"), rows)])
+
+
+GENEROUS = ResourceBudget(
+    seconds=300, max_intermediate_rows=10**9, max_answer_rows=10**9
+)
+
+
+class TestSufficientBudgetIsInvisible:
+    @given(basket_rows, supports)
+    @settings(max_examples=60, deadline=None)
+    def test_naive_matches_unbudgeted(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        unbudgeted = evaluate_flock(db, flock)
+        assert evaluate_flock(db, flock, guard=GENEROUS) == unbudgeted
+
+    @given(basket_rows, supports)
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_matches_unbudgeted(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        unbudgeted, _ = evaluate_flock_dynamic(db, flock)
+        budgeted, _ = evaluate_flock_dynamic(db, flock, guard=GENEROUS)
+        assert budgeted.relation == unbudgeted.relation
+
+    @given(basket_rows, supports)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_high_water_budget_still_suffices(self, rows, support):
+        """The row bound is inclusive: budgeting exactly the observed
+        high-water mark must succeed."""
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        probe = ResourceBudget().start()
+        unbudgeted = evaluate_flock(db, flock, guard=probe)
+        exact = ResourceBudget(max_intermediate_rows=probe.high_water_rows)
+        assert evaluate_flock(db, flock, guard=exact) == unbudgeted
+
+
+class TestInsufficientBudgetRaises:
+    @given(basket_rows, supports)
+    @settings(max_examples=60, deadline=None)
+    def test_below_high_water_raises_never_truncates(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        probe = ResourceBudget().start()
+        evaluate_flock(db, flock, guard=probe)
+        starved = ResourceBudget(
+            max_intermediate_rows=probe.high_water_rows - 1
+        )
+        try:
+            evaluate_flock(db, flock, guard=starved)
+        except BudgetExceededError as error:
+            assert error.limit == "intermediate_rows"
+        else:
+            raise AssertionError("insufficient budget returned an answer")
+
+    @given(basket_rows, supports)
+    @settings(max_examples=40, deadline=None)
+    def test_answer_cap_below_result_size_raises(self, rows, support):
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        full = evaluate_flock(db, flock)
+        if not full:
+            return  # no answer to starve
+        starved = ResourceBudget(max_answer_rows=len(full) - 1)
+        try:
+            evaluate_flock(db, flock, guard=starved)
+        except BudgetExceededError as error:
+            assert error.limit == "answer_rows"
+        else:
+            raise AssertionError("answer cap was silently ignored")
+
+
+class TestAllOrNothing:
+    @given(
+        basket_rows,
+        supports,
+        st.integers(min_value=0, max_value=50),
+        st.sampled_from(["naive", "optimized", "dynamic"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_row_budget_raises_or_agrees_exactly(
+        self, rows, support, cap, strategy
+    ):
+        """The core contract: under an arbitrary budget, mine() either
+        aborts loudly or returns exactly the unbudgeted answer — there
+        is no in-between."""
+        db = basket_db(rows)
+        flock = itemset_flock(2, support=support)
+        unbudgeted = evaluate_flock(db, flock)
+        try:
+            relation, _ = mine(
+                db, flock, strategy=strategy,
+                budget=ResourceBudget(max_intermediate_rows=cap),
+            )
+        except BudgetExceededError:
+            return
+        assert relation == unbudgeted

@@ -1,0 +1,128 @@
+"""Semantics of the deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro import EvaluationError, evaluate_flock
+from repro.testing import FaultSpec, active_faults, inject, reset_faults, trip
+
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_faults()
+    yield
+    reset_faults()
+
+
+class TestTrip:
+    def test_noop_when_nothing_armed(self):
+        trip("relational.join")  # must not raise
+
+    def test_noop_for_other_sites(self):
+        with inject("sqlite.execute", ValueError):
+            trip("relational.join")  # different site: passes
+
+    def test_armed_site_raises(self):
+        with inject("anywhere", ValueError):
+            with pytest.raises(ValueError, match="injected fault at anywhere"):
+                trip("anywhere")
+
+    def test_disarmed_on_context_exit(self):
+        with inject("anywhere", ValueError):
+            pass
+        trip("anywhere")  # must not raise
+
+    def test_disarmed_even_when_block_raises(self):
+        with pytest.raises(RuntimeError):
+            with inject("anywhere", ValueError):
+                raise RuntimeError("unrelated")
+        assert active_faults() == ()
+
+
+class TestScheduling:
+    def test_skip_lets_early_hits_pass(self):
+        with inject("site", ValueError, skip=2) as fault:
+            trip("site")
+            trip("site")
+            with pytest.raises(ValueError):
+                trip("site")
+        assert (fault.hits, fault.failures) == (3, 1)
+
+    def test_times_bounds_failures_then_heals(self):
+        with inject("site", ValueError, times=2) as fault:
+            for _ in range(2):
+                with pytest.raises(ValueError):
+                    trip("site")
+            trip("site")  # healed
+            trip("site")
+        assert (fault.hits, fault.failures) == (4, 2)
+
+    def test_skip_and_times_compose(self):
+        with inject("site", ValueError, skip=1, times=1) as fault:
+            trip("site")
+            with pytest.raises(ValueError):
+                trip("site")
+            trip("site")
+        assert (fault.hits, fault.failures) == (3, 1)
+
+
+class TestErrorSources:
+    def test_exception_instance_is_raised_as_is(self):
+        boom = ValueError("specific instance")
+        with inject("site", boom):
+            with pytest.raises(ValueError) as exc:
+                trip("site")
+        assert exc.value is boom
+
+    def test_exception_class_gets_site_message(self):
+        with inject("site", KeyError):
+            with pytest.raises(KeyError, match="injected fault at site"):
+                trip("site")
+
+    def test_factory_is_called_per_failure(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return ValueError(f"failure #{len(calls)}")
+
+        with inject("site", factory):
+            with pytest.raises(ValueError, match="failure #1"):
+                trip("site")
+            with pytest.raises(ValueError, match="failure #2"):
+                trip("site")
+
+    def test_bad_factory_rejected(self):
+        spec = FaultSpec(site="site", error=lambda: "not an exception")
+        with pytest.raises(TypeError):
+            spec.make_error()
+
+
+class TestRegistry:
+    def test_nested_same_site_rejected(self):
+        with inject("site", ValueError):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with inject("site", KeyError):
+                    pass  # pragma: no cover
+
+    def test_distinct_sites_nest(self):
+        with inject("a", ValueError):
+            with inject("b", KeyError):
+                assert active_faults() == ("a", "b")
+            assert active_faults() == ("a",)
+
+    def test_reset_disarms_everything(self):
+        with inject("a", ValueError):
+            reset_faults()
+            trip("a")  # must not raise
+
+
+class TestInstrumentedSites:
+    def test_relational_join_site_is_live(self, small_basket_db, basket_flock):
+        """The site checks really are wired into the evaluators."""
+        with inject("relational.join", EvaluationError) as fault:
+            with pytest.raises(EvaluationError):
+                evaluate_flock(small_basket_db, basket_flock)
+        assert fault.failures == 1
