@@ -25,6 +25,9 @@ Subpackages:
 * :mod:`repro.relational` — the in-memory relational engine;
 * :mod:`repro.flocks` — flocks, filters, plans, optimizers, executors,
   SQL translation, the classic a-priori baseline;
+* :mod:`repro.session` — interactive mining sessions with a
+  containment-aware result cache (re-ask at a stricter threshold and
+  the answer comes from the cache, no joins);
 * :mod:`repro.workloads` — synthetic data generators for the paper's
   example domains.
 """
@@ -88,6 +91,12 @@ from .flocks import (
     support_filter,
     validate_plan,
 )
+from .session import (
+    MiningSession,
+    ResultCache,
+    SessionStats,
+    with_support_threshold,
+)
 
 __version__ = "1.0.0"
 
@@ -105,6 +114,7 @@ __all__ = [
     "FilterStep",
     "FlockOptimizer",
     "FlockResult",
+    "MiningSession",
     "Parameter",
     "ParseError",
     "PlanError",
@@ -113,8 +123,10 @@ __all__ = [
     "Relation",
     "ReproError",
     "ResourceBudget",
+    "ResultCache",
     "SafetyError",
     "SchemaError",
+    "SessionStats",
     "UnionQuery",
     "Variable",
     "apriori_itemsets",
@@ -141,4 +153,5 @@ __all__ = [
     "save_database",
     "support_filter",
     "validate_plan",
+    "with_support_threshold",
 ]

@@ -6,7 +6,9 @@ Subcommands:
   the acceptable parameter assignments;
 * ``plan``  — show the plan a strategy would use (without running it);
 * ``sql``   — emit the naive SQL and the rewritten SQL script;
-* ``explain`` — safety/subquery analysis of the flock text.
+* ``explain`` — safety/subquery analysis of the flock text;
+* ``session`` — REPL-style loop running many flocks against one warm
+  database with a containment-aware result cache (``repro.session``).
 
 A *flock file* is the paper's two-section notation (Fig. 2)::
 
@@ -235,6 +237,106 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_session(args: argparse.Namespace) -> int:
+    """REPL-style interactive mining session over one warm database.
+
+    Reads commands from a ``--script`` file or stdin, one per line::
+
+        run FLOCKFILE [SUPPORT]   evaluate a flock (optional support
+                                  threshold override); repeated/stricter
+                                  runs come from the result cache
+        stats                     print the session's cache counters
+        help                      list commands
+        quit / exit               leave (EOF works too)
+    """
+    from .session import MiningSession, with_support_threshold
+
+    db = load_database(args.data)
+    budget = _run_budget(args)
+    session = MiningSession(
+        db,
+        budget=budget,
+        backend=args.backend,
+        max_cache_rows=args.cache_rows,
+        persist_path=args.persist,
+    )
+
+    if args.script is not None:
+        lines = Path(args.script).read_text().splitlines()
+        interactive = False
+    else:
+        lines = None
+        interactive = sys.stdin.isatty()
+
+    def commands():
+        if lines is not None:
+            yield from lines
+            return
+        while True:
+            if interactive:
+                print("repro> ", end="", file=sys.stderr, flush=True)
+            line = sys.stdin.readline()
+            if not line:
+                return
+            yield line
+
+    status = 0
+    with session:
+        for raw in commands():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            command, rest = parts[0].lower(), parts[1:]
+            if command in ("quit", "exit"):
+                break
+            if command == "help":
+                print("commands: run FLOCKFILE [SUPPORT] | stats | "
+                      "help | quit")
+                continue
+            if command == "stats":
+                print(session.stats())
+                continue
+            if command == "run":
+                if not rest:
+                    print("usage: run FLOCKFILE [SUPPORT]", file=sys.stderr)
+                    status = 2
+                    continue
+                try:
+                    flock = parse_flock(Path(rest[0]).read_text())
+                    if len(rest) > 1:
+                        threshold_text = rest[1]
+                        threshold = (
+                            float(threshold_text) if "." in threshold_text
+                            else int(threshold_text)
+                        )
+                        flock = with_support_threshold(flock, threshold)
+                    relation, report = session.mine(
+                        flock, strategy=args.strategy
+                    )
+                except (ReproError, FileNotFoundError, ValueError) as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    status = 1
+                    continue
+                cache_note = (
+                    f" +{report.cache_step_hits} step hits"
+                    if report.cache_step_hits else ""
+                )
+                print(f"# {len(relation)} acceptable assignments "
+                      f"({report.strategy_used}{cache_note}, "
+                      f"{report.seconds * 1e3:.1f} ms)")
+                print("\t".join(relation.columns))
+                for row in sorted(relation.tuples, key=repr)[: args.limit]:
+                    print("\t".join(str(v) for v in row))
+                if len(relation) > args.limit:
+                    print(f"... and {len(relation) - args.limit} more")
+                continue
+            print(f"unknown command: {command!r} (try 'help')",
+                  file=sys.stderr)
+            status = 2
+    return status
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .flocks.lint import lint_flock
 
@@ -301,6 +403,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional data directory: adds EXPLAIN join-order output",
     )
     explain.set_defaults(fn=cmd_explain)
+
+    session = sub.add_parser(
+        "session",
+        help="interactive mining session with a warm result cache",
+    )
+    session.add_argument("data", help="directory of <relation>.csv files")
+    session.add_argument("--strategy", choices=STRATEGIES, default="auto")
+    session.add_argument("--backend", choices=("memory", "sqlite"),
+                         default="memory")
+    session.add_argument("--script", default=None, metavar="FILE",
+                         help="read commands from FILE instead of stdin")
+    session.add_argument("--timeout", type=_nonnegative_float, default=None,
+                         metavar="SECONDS",
+                         help="per-query wall-clock budget")
+    session.add_argument("--max-rows", type=_nonnegative_int, default=None,
+                         metavar="N",
+                         help="per-query intermediate row budget")
+    session.add_argument("--cache-rows", type=_nonnegative_int,
+                         default=100_000, metavar="N",
+                         help="total rows the result cache may hold")
+    session.add_argument("--persist", default=None, metavar="PATH",
+                         help="SQLite file to persist cached results in "
+                         "(warm start across invocations)")
+    session.add_argument("--limit", type=int, default=50,
+                         help="max result rows to print per query")
+    session.set_defaults(fn=cmd_session)
 
     lint = sub.add_parser(
         "lint", help="static diagnostics (exit 3 when warnings found)"

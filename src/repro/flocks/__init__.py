@@ -33,8 +33,12 @@ from .filters import (
     FilterCondition,
     iter_conditions,
     parse_filter,
+    filter_implies,
+    filter_signature,
+    refilter_aggregates,
     support_filter,
     surviving_assignments,
+    surviving_with_aggregates,
 )
 from .flock import QueryFlock, parse_flock
 from .lint import LintCode, LintWarning, lint_flock
@@ -134,6 +138,8 @@ __all__ = [
     "fig6_flock",
     "fig6_query",
     "fig7_plan",
+    "filter_implies",
+    "filter_signature",
     "flock_answer_relation",
     "flock_to_sql",
     "frequent_pairs",
@@ -152,9 +158,11 @@ __all__ = [
     "parse_flock",
     "plan_from_subqueries",
     "plan_to_sql",
+    "refilter_aggregates",
     "rules_for_consequent",
     "single_step_plan",
     "support_filter",
     "surviving_assignments",
+    "surviving_with_aggregates",
     "validate_plan",
 ]

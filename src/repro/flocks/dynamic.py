@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import FilterError, PlanError
+from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.safety import assert_safe
 from ..guard import ExecutionGuard, GuardLike, as_guard
@@ -43,7 +44,12 @@ from ..relational.evaluate import (
 from ..relational.operators import natural_join, semi_join
 from ..relational.relation import Relation
 from ..testing.faults import trip
-from .filters import STAR, iter_conditions, surviving_assignments
+from .filters import (
+    STAR,
+    iter_conditions,
+    surviving_assignments,
+    surviving_with_aggregates,
+)
 from .flock import QueryFlock
 from .result import FlockResult
 
@@ -109,6 +115,7 @@ class DynamicEvaluator:
         decision_factor: float = 1.0,
         improvement_factor: float = 0.5,
         guard: GuardLike = None,
+        sink=None,
     ):
         if flock.is_union:
             raise PlanError("dynamic evaluation handles single-rule flocks")
@@ -119,6 +126,11 @@ class DynamicEvaluator:
         self.db = db
         self.flock = flock
         self.guard = as_guard(guard)
+        #: Optional session sink: every FILTER decision that actually
+        #: filters materializes the exact survivor set of the safe
+        #: subquery absorbed so far — instead of discarding it, publish
+        #: it so later sessions can reuse it as a pruning bound.
+        self.sink = sink
         self.rule: ConjunctiveQuery = flock.rules[0]
         assert_safe(self.rule)
         self.decision_factor = decision_factor
@@ -179,8 +191,22 @@ class DynamicEvaluator:
             order = selinger_join_order(self.db, positives)
         else:
             order = greedy_join_order(self.db, positives)
-        pending_comparisons = list(self.rule.comparisons())
-        pending_negations = list(self.rule.negated_atoms())
+        # Body indices per subgoal category, so each FILTER decision
+        # knows the exact safe subquery it materialized (for the session
+        # result cache).
+        body = self.rule.body
+        positive_body_idx = [
+            i for i, sg in enumerate(body)
+            if isinstance(sg, RelationalAtom) and not sg.negated
+        ]
+        pending_comparisons = [
+            (i, sg) for i, sg in enumerate(body) if isinstance(sg, Comparison)
+        ]
+        pending_negations = [
+            (i, sg) for i, sg in enumerate(body)
+            if isinstance(sg, RelationalAtom) and sg.negated
+        ]
+        absorbed: set[int] = set()
         best_ratio_per_set: dict[frozenset[str], float] = {}
 
         current: Relation | None = None
@@ -193,7 +219,8 @@ class DynamicEvaluator:
             leaf_name = str(atom)
             # Leaf-level decision (the Fig. 8 leaves: okS on exhibits).
             leaf = self._maybe_filter(
-                leaf, leaf_name, trace, best_ratio_per_set, force=False
+                leaf, leaf_name, trace, best_ratio_per_set, force=False,
+                subquery_indices=(positive_body_idx[idx],),
             )
             before = len(current) if current is not None else 0
             if current is None:
@@ -205,8 +232,9 @@ class DynamicEvaluator:
                     f"{current.name}({', '.join(current.columns)}) := JOIN with "
                     f"{leaf_name}"
                 )
+            absorbed.add(positive_body_idx[idx])
             current = self._apply_pending(
-                current, pending_comparisons, pending_negations
+                current, pending_comparisons, pending_negations, absorbed
             )
             if self.guard is not None:
                 node = f"join:{atom.predicate}"
@@ -227,6 +255,7 @@ class DynamicEvaluator:
                     trace,
                     best_ratio_per_set,
                     force=False,
+                    subquery_indices=tuple(sorted(absorbed)),
                 )
 
         if current is None:
@@ -245,21 +274,26 @@ class DynamicEvaluator:
 
     # ------------------------------------------------------------------
 
-    def _apply_pending(self, current, comparisons, negations):
+    def _apply_pending(self, current, comparisons, negations, absorbed):
+        """Apply every pending ``(body_index, subgoal)`` whose terms are
+        bound; consumed indices are added to ``absorbed``."""
         cols = set(current.columns)
         progress = True
         while progress:
             progress = False
-            for comp in list(comparisons):
+            for pair in list(comparisons):
+                index, comp = pair
                 if all(term_column(t) in cols for t in comp.bindable_terms()):
                     current = current.select(
                         lambda row, comp=comp: comp.evaluate(
                             {t: row[term_column(t)] for t in comp.bindable_terms()}
                         )
                     )
-                    comparisons.remove(comp)
+                    comparisons.remove(pair)
+                    absorbed.add(index)
                     progress = True
-            for neg in list(negations):
+            for pair in list(negations):
+                index, neg = pair
                 if all(term_column(t) in cols for t in neg.bindable_terms()):
                     from ..relational.operators import anti_join
 
@@ -267,7 +301,8 @@ class DynamicEvaluator:
                         self.db, neg.with_positive_polarity()
                     )
                     current = anti_join(current, neg_rel, name=current.name)
-                    negations.remove(neg)
+                    negations.remove(pair)
+                    absorbed.add(index)
                     progress = True
         return current
 
@@ -278,6 +313,7 @@ class DynamicEvaluator:
         trace: DynamicTrace,
         best_ratio_per_set: dict[frozenset[str], float],
         force: bool,
+        subquery_indices: tuple[int, ...] = (),
     ) -> Relation:
         params = tuple(c for c in relation.columns if c in self._param_cols)
         targets = self._condition_targets(relation)
@@ -313,7 +349,14 @@ class DynamicEvaluator:
             return relation
 
         filter_started = time.perf_counter()
-        filtered = self._filter_relation(relation, params, targets)
+        filtered, ok = self._filter_relation(relation, params, targets)
+        if self.sink is not None and subquery_indices:
+            # The survivors are exact for the safe subquery made of the
+            # subgoals absorbed so far (earlier in-flight filters only
+            # removed assignments that provably fail here too, by
+            # monotonicity) — publish them for cross-query reuse.
+            subquery = self.rule.with_body_subset(sorted(subquery_indices))
+            self.sink.publish_step(subquery, list(params), ok, len(relation))
         trace.decisions.append(
             DynamicDecision(node, params, ratio, True, reason,
                             len(relation), len(filtered))
@@ -338,9 +381,9 @@ class DynamicEvaluator:
         relation: Relation,
         params: tuple[str, ...],
         targets: dict,
-    ) -> Relation:
+    ) -> tuple[Relation, Relation]:
         """Group by ``params``, apply the flock filter (all conjuncts),
-        keep surviving rows."""
+        keep surviving rows.  Returns (filtered relation, ok-relation)."""
         ok = surviving_assignments(
             relation,
             list(params),
@@ -348,7 +391,7 @@ class DynamicEvaluator:
             lambda condition: targets[condition],
             name="ok",
         )
-        return semi_join(relation, ok, name=relation.name)
+        return semi_join(relation, ok, name=relation.name), ok
 
     def _final_filter(self, current: Relation, trace: DynamicTrace) -> Relation:
         params = list(self.flock.parameter_columns)
@@ -357,13 +400,24 @@ class DynamicEvaluator:
             raise PlanError(
                 "filter target column never became bound; cannot finish"
             )
-        result = surviving_assignments(
-            current,
-            params,
-            self.flock.filter,
-            lambda condition: targets[condition],
-            name="flock",
-        )
+        if self.sink is not None:
+            with_aggs = surviving_with_aggregates(
+                current,
+                params,
+                self.flock.filter,
+                lambda condition: targets[condition],
+                name="flock",
+            )
+            self.sink.publish_final(with_aggs, len(current))
+            result = with_aggs.project(params, name="flock")
+        else:
+            result = surviving_assignments(
+                current,
+                params,
+                self.flock.filter,
+                lambda condition: targets[condition],
+                name="flock",
+            )
         trace.plan_lines.append(
             f"flock({', '.join(params)}) := FILTER(({', '.join(params)}), "
             f"{self.flock.filter})"
@@ -389,11 +443,12 @@ def evaluate_flock_dynamic(
     improvement_factor: float = 0.5,
     join_order: list[int] | None = None,
     guard: GuardLike = None,
+    sink=None,
 ) -> tuple[FlockResult, DynamicTrace]:
     """One-call dynamic evaluation; returns (result, trace)."""
     evaluator = DynamicEvaluator(
         db, flock, decision_factor=decision_factor,
-        improvement_factor=improvement_factor, guard=guard,
+        improvement_factor=improvement_factor, guard=guard, sink=sink,
     )
     result = evaluator.evaluate(join_order=join_order)
     return result, evaluator.last_trace

@@ -25,7 +25,7 @@ from ..relational.catalog import Database
 from ..relational.evaluate import evaluate_conjunctive
 from ..relational.relation import Relation
 from ..testing.faults import trip
-from .filters import STAR, surviving_assignments
+from .filters import STAR, surviving_assignments, surviving_with_aggregates
 from .flock import QueryFlock
 from .plans import FilterStep, QueryPlan, validate_plan
 from .result import ExecutionTrace, FlockResult, StepTrace
@@ -36,15 +36,39 @@ def execute_step(
     flock: QueryFlock,
     step: FilterStep,
     guard: ExecutionGuard | None = None,
+    sink=None,
+    final_sink=None,
 ) -> tuple[Relation, int]:
     """Execute one FILTER step; return (ok-relation, answer-tuple count).
 
     The returned relation is named ``step.result_name`` with one column
     per step parameter.
+
+    ``sink`` (a :class:`repro.session.SessionSink`, duck-typed) connects
+    a *pre-filter* step to the session result cache: a cached containing
+    result with an implied filter is served as the step's ok-relation
+    directly — sound because a pre-filter ok only needs to be a superset
+    of the true survivors (later steps, and always the final step,
+    re-filter) — and a freshly computed ok is published for future
+    sessions.  A served step reports 0 answer tuples: no base-relation
+    join ran.
+
+    ``final_sink`` marks the *final* step: its survivors are computed
+    together with their per-conjunct aggregate values and published as
+    an exact, re-filterable entry.  The final step is never served from
+    the cache here — an upper bound is not the answer; exact reuse
+    happens one level up in :func:`repro.flocks.mining.mine`.
     """
     trip("executor.step")
     params = list(step.parameters)
     param_cols = [str(p) for p in params]
+
+    if sink is not None and final_sink is None:
+        served = sink.serve_step(step.query, param_cols)
+        if served is not None:
+            ok = served.project(param_cols, name=step.result_name)
+            return ok, 0
+
     union = as_union(step.query)
 
     width = union.head_arity
@@ -66,9 +90,18 @@ def execute_step(
         # Map the named head variable to its positional column.
         return [head_cols[head_names.index(condition.target)]]
 
-    ok = surviving_assignments(
-        answer, param_cols, flock.filter, resolve, name=step.result_name
-    )
+    if final_sink is not None:
+        with_aggs = surviving_with_aggregates(
+            answer, param_cols, flock.filter, resolve, name=step.result_name
+        )
+        final_sink.publish_final(with_aggs, len(answer))
+        ok = with_aggs.project(param_cols, name=step.result_name)
+    else:
+        ok = surviving_assignments(
+            answer, param_cols, flock.filter, resolve, name=step.result_name
+        )
+        if sink is not None:
+            sink.publish_step(step.query, param_cols, ok, len(answer))
     return ok, len(answer)
 
 
@@ -78,11 +111,17 @@ def execute_plan(
     plan: QueryPlan,
     validate: bool = True,
     guard: GuardLike = None,
+    sink=None,
 ) -> FlockResult:
     """Run a plan and return the flock result with a per-step trace.
 
     ``validate=False`` skips the legality check for hot benchmark loops
     where the same plan is executed repeatedly.
+
+    ``sink`` connects the run to a session result cache: pre-filter
+    steps may be served from (and are published to) the cache, and the
+    final step publishes its survivors with aggregate values for exact
+    threshold-aware reuse (see :func:`execute_step`).
 
     ``guard`` bounds the execution.  Completed FILTER steps are recorded
     on the guard's partial trace as they finish, so a mid-plan abort
@@ -96,9 +135,14 @@ def execute_plan(
     scratch = db.scratch()
     trace = ExecutionTrace()
     result: Relation | None = None
+    final_step = plan.final_step
     for step in plan.steps:
         started = time.perf_counter()
-        ok, answer_tuples = execute_step(scratch, flock, step, guard=guard)
+        ok, answer_tuples = execute_step(
+            scratch, flock, step, guard=guard,
+            sink=None if step is final_step else sink,
+            final_sink=sink if step is final_step else None,
+        )
         elapsed = time.perf_counter() - started
         scratch.add(ok)
         step_trace = StepTrace(

@@ -300,6 +300,117 @@ def support_filter(
     )
 
 
+def surviving_with_aggregates(
+    answer: Relation,
+    group_by: list[str],
+    condition: AnyFilter,
+    resolve_target,
+    name: str = "ok",
+) -> Relation:
+    """Like :func:`surviving_assignments`, but keep the aggregate values.
+
+    The result has the ``group_by`` columns plus one ``_agg{i}`` column
+    per filter conjunct, holding that conjunct's aggregate value for the
+    surviving assignment.  This is what the session result cache stores:
+    for a *monotone* conjunct, an assignment surviving threshold *t* with
+    recorded value *v* survives any stricter threshold ``t' >= t`` iff
+    ``v`` passes it — so the cached relation answers every stricter
+    request by re-filtering, with zero base-relation work.  (Assignments
+    that *failed* threshold *t* are absent, which is exactly why the
+    cached relation is only sound for thresholds at least as strict.)
+    """
+    survivors: Relation | None = None
+    for index, single in enumerate(iter_conditions(condition)):
+        column = f"_agg{index}"
+        agg = group_aggregate(
+            answer,
+            group_by,
+            single.aggregate,
+            target=resolve_target(single),
+            result_column=column,
+        )
+        passed = having(
+            agg, single.passes, result_column=column, name=name,
+            keep_aggregate=True,
+        )
+        if survivors is None:
+            survivors = passed
+        else:
+            from ..relational.operators import natural_join
+
+            survivors = natural_join(survivors, passed, name=name)
+    assert survivors is not None
+    return survivors
+
+
+def refilter_aggregates(
+    cached: Relation,
+    group_by: list[str],
+    condition: AnyFilter,
+    name: str = "ok",
+) -> Relation:
+    """Re-filter a :func:`surviving_with_aggregates` relation at stricter
+    thresholds and project away the aggregate columns.
+
+    ``condition`` must have the same conjunct signatures (aggregate,
+    target, comparison direction) as the filter the relation was built
+    under, with each conjunct's threshold at least as strict — the
+    caller (:mod:`repro.session.cache`) enforces this via
+    ``filter_implies``.
+    """
+    positions = [
+        cached.column_position(f"_agg{i}")
+        for i in range(len(iter_conditions(condition)))
+    ]
+    conjuncts = iter_conditions(condition)
+    rows = {
+        row
+        for row in cached.tuples
+        if all(c.passes(row[p]) for c, p in zip(conjuncts, positions))
+    }
+    survivors = Relation(name, cached.columns, rows)
+    return survivors.project(group_by, name=name)
+
+
+def filter_signature(condition: AnyFilter) -> tuple:
+    """The threshold-independent shape of a filter: one
+    ``(aggregate, target, op)`` triple per conjunct, in order.  Two
+    filters with equal signatures differ only in their thresholds."""
+    return tuple(
+        (c.aggregate.value, c.relation_name, c.target, c.op.value)
+        for c in iter_conditions(condition)
+    )
+
+
+def filter_implies(new: AnyFilter, old: AnyFilter) -> bool:
+    """Whether every assignment passing ``new`` also passes ``old`` —
+    i.e. ``new`` is at least as strict, conjunct by conjunct.
+
+    This is the session cache's **threshold-reuse rule** (Section 5
+    monotonicity, applied across queries): a result computed under
+    ``old`` contains every assignment that can pass ``new``, so it can
+    serve a ``new`` request by re-filtering.  Requires identical
+    signatures (same aggregates, targets and comparison directions, in
+    order); then per conjunct:
+
+    * lower bounds (``>=``/``>``): ``new.threshold >= old.threshold``;
+    * upper bounds (``<=``/``<``): ``new.threshold <= old.threshold``;
+    * anything else: thresholds must be equal.
+    """
+    if filter_signature(new) != filter_signature(old):
+        return False
+    for n, o in zip(iter_conditions(new), iter_conditions(old)):
+        if n.op in (ComparisonOp.GE, ComparisonOp.GT):
+            if n.threshold < o.threshold:
+                return False
+        elif n.op in (ComparisonOp.LE, ComparisonOp.LT):
+            if n.threshold > o.threshold:
+                return False
+        elif n.threshold != o.threshold:
+            return False
+    return True
+
+
 def surviving_assignments(
     answer: Relation,
     group_by: list[str],

@@ -19,8 +19,10 @@ the library's own theory makes cheap:
   set semantics);
 * ``NON_MONOTONE_FILTER`` — the filter admits no a-priori optimization
   (Section 5), so evaluation will always be the naive join;
-* ``REDUNDANT_SUBGOAL`` — for pure CQ rules, a subgoal the
-  Chandra–Merlin minimization would drop.
+* ``REDUNDANT_SUBGOAL`` — a subgoal removable under a containment
+  self-homomorphism: Chandra–Merlin for pure CQ rules, Klug's extended
+  test for rules with arithmetic subgoals (negated rules are skipped —
+  no complete containment test exists for them).
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ from enum import Enum
 
 from ..datalog.arithmetic import is_satisfiable
 from ..datalog.atoms import Comparison, RelationalAtom
-from ..datalog.containment import contains
+from ..datalog.containment import contains, contains_extended
 from ..datalog.query import ConjunctiveQuery, as_union
 from .flock import QueryFlock
 
@@ -165,21 +167,51 @@ def _lint_rule(rule: ConjunctiveQuery, index: int | None) -> list[LintWarning]:
                 )
             )
 
-    is_pure = all(
-        isinstance(sg, RelationalAtom) and not sg.negated for sg in rule.body
-    )
-    if is_pure and len(rule.body) > 1:
-        for i in range(len(rule.body)):
-            candidate = rule.without_subgoals([i])
-            if candidate.body and contains(rule, candidate):
-                warnings.append(
-                    LintWarning(
-                        LintCode.REDUNDANT_SUBGOAL,
-                        f"subgoal {rule.body[i]} is redundant (the query is "
-                        "equivalent without it)",
-                        index,
-                    )
+    warnings.extend(_redundant_subgoals(rule, index))
+    return warnings
+
+
+def _redundant_subgoals(
+    rule: ConjunctiveQuery, index: int | None
+) -> list[LintWarning]:
+    """Subgoals removable under a containment self-homomorphism.
+
+    Dropping a subgoal can only *widen* a query, so the rule without
+    subgoal *i* always contains the rule; when the rule also contains
+    the widened version, the two are equivalent and subgoal *i* does no
+    work.  Pure CQ rules use the Chandra–Merlin test; rules with
+    arithmetic (but no negation) use Klug's extended test — e.g. in
+    ``p(X,$1) AND p(X,$2) AND $1 <= $2 AND $1 < $2`` the ``<=`` subgoal
+    is entailed by the ``<`` and flagged.  Rules with negation are
+    skipped (no sound-and-complete containment test is available).
+    """
+    if len(rule.body) <= 1:
+        return []
+    if any(
+        isinstance(sg, RelationalAtom) and sg.negated for sg in rule.body
+    ):
+        return []
+    is_pure = all(isinstance(sg, RelationalAtom) for sg in rule.body)
+    test = contains if is_pure else contains_extended
+
+    warnings: list[LintWarning] = []
+    for i in range(len(rule.body)):
+        candidate = rule.without_subgoals([i])
+        if not candidate.body:
+            continue
+        try:
+            redundant = test(rule, candidate)
+        except Exception:  # unsupported shape (e.g. exotic comparison)
+            continue
+        if redundant:
+            warnings.append(
+                LintWarning(
+                    LintCode.REDUNDANT_SUBGOAL,
+                    f"subgoal {rule.body[i]} is redundant (the query is "
+                    "equivalent without it)",
+                    index,
                 )
+            )
     return warnings
 
 

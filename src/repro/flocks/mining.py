@@ -100,6 +100,17 @@ class MiningReport:
     backend_requested: str = "memory"
     backend_used: str = "memory"
     downgrades: tuple[Downgrade, ...] = ()
+    #: Session-cache accounting (all zero without a session).  An exact
+    #: hit sets ``cache_hits=1`` and ``strategy_used="cache"`` — the
+    #: answer came from re-filtering a cached result, with zero
+    #: base-relation joins.  ``cache_step_hits`` counts pre-filter plan
+    #: steps served from the cache during a live evaluation, and
+    #: ``rows_saved`` the answer tuples those served results did not
+    #: have to recompute.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_step_hits: int = 0
+    rows_saved: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -111,6 +122,13 @@ class MiningReport:
             f"(requested {self.strategy_requested}), "
             f"{self.seconds * 1e3:.1f} ms"
         ]
+        if self.cache_hits or self.cache_misses or self.cache_step_hits:
+            lines.append(
+                f"cache: {self.cache_hits} exact, "
+                f"{self.cache_step_hits} step hits, "
+                f"{self.cache_misses} misses, "
+                f"{self.rows_saved} rows saved"
+            )
         if self.backend_used != "memory" or self.backend_requested != "memory":
             lines.append(
                 f"backend: {self.backend_used} "
@@ -176,12 +194,14 @@ def _build_plan(
     flock: QueryFlock,
     strategy: str,
     guard: ExecutionGuard | None,
+    sink=None,
 ):
     """Plan construction — the 'mid-search' phase degradation watches."""
     if flock.is_union:
         return optimize_union(db, flock, guard=guard)
     optimizer = FlockOptimizer(
-        db, flock, gather_statistics=(strategy == "stats"), guard=guard
+        db, flock, gather_statistics=(strategy == "stats"), guard=guard,
+        sink=sink,
     )
     return optimizer.best_plan().plan
 
@@ -193,21 +213,30 @@ def _run_strategy(
     guard: ExecutionGuard | None,
     backend: str,
     attempt: _Attempt,
+    sink=None,
 ) -> None:
     """Execute one strategy, filling ``attempt``.
 
     Raises whatever the strategy raises; the caller decides whether a
     failure degrades or propagates.
+
+    ``sink`` is the session's cache side-channel: in-memory strategies
+    serve pre-filter steps from it and publish what they materialize.
+    The SQLite paths run entirely inside the SQL engine and do not
+    participate (their *fallbacks* do — a backend downgrade lands on
+    the instrumented in-memory code).
     """
     if strategy == "naive":
         if backend == "sqlite":
             attempt.relation = _on_sqlite(
                 db, attempt, guard,
                 lambda be: be.evaluate_flock(flock, guard=guard),
-                fallback=lambda: evaluate_flock(db, flock, guard=guard),
+                fallback=lambda: evaluate_flock(
+                    db, flock, guard=guard, sink=sink
+                ),
             )
         else:
-            attempt.relation = evaluate_flock(db, flock, guard=guard)
+            attempt.relation = evaluate_flock(db, flock, guard=guard, sink=sink)
     elif strategy == "dynamic":
         # The dynamic evaluator interleaves planning and execution in
         # the in-memory engine; SQLite cannot host it.
@@ -219,13 +248,13 @@ def _run_strategy(
                 )
             )
             attempt.backend_used = "memory"
-        result, trace = evaluate_flock_dynamic(db, flock, guard=guard)
+        result, trace = evaluate_flock_dynamic(db, flock, guard=guard, sink=sink)
         attempt.relation = result.relation
         attempt.decision_text = str(trace)
     elif strategy in ("optimized", "stats"):
         # Phase 1 — plan search.  PlanError/FilterError *and* budget
         # exhaustion here degrade: no answer work has been lost yet.
-        plan = _build_plan(db, flock, strategy, guard)
+        plan = _build_plan(db, flock, strategy, guard, sink=sink)
         attempt.plan_text = plan.render(flock)
         # Phase 2 — execution.  Only backend failures degrade from here;
         # budget/cancellation aborts propagate with their partial trace.
@@ -234,12 +263,12 @@ def _run_strategy(
                 db, attempt, guard,
                 lambda be: be.execute_plan(flock, plan, guard=guard),
                 fallback=lambda: execute_plan(
-                    db, flock, plan, validate=False, guard=guard
+                    db, flock, plan, validate=False, guard=guard, sink=sink
                 ).relation,
             )
         else:
             attempt.relation = execute_plan(
-                db, flock, plan, validate=False, guard=guard
+                db, flock, plan, validate=False, guard=guard, sink=sink
             ).relation
     else:  # pragma: no cover - STRATEGIES guard upstream
         raise AssertionError(strategy)
@@ -281,6 +310,7 @@ def mine(
     cancel: CancellationToken | None = None,
     guard: GuardLike = None,
     backend: str = "memory",
+    session=None,
 ) -> tuple[Relation, MiningReport]:
     """Evaluate a flock end to end; returns (result relation, report).
 
@@ -295,6 +325,14 @@ def mine(
             share with other work; mutually exclusive with
             ``budget``/``cancel``.
         backend: ``"memory"`` (default) or ``"sqlite"``.
+        session: optional :class:`repro.session.MiningSession` whose
+            result cache participates: an exact hit (alpha-equivalent
+            flock, stricter-or-equal thresholds) returns the cached
+            answer re-filtered — ``strategy_used == "cache"``, zero
+            base-relation joins — and a miss threads the session's sink
+            through the evaluation so the result (and intermediate
+            materializations) warm the cache.  ``session.db`` must be
+            the ``db`` passed here.
 
     Raises :class:`FilterError` for an unknown strategy, or when a
     pruning strategy is requested for a non-monotone filter and no
@@ -312,6 +350,8 @@ def mine(
         )
     if guard is not None and (budget is not None or cancel is not None):
         raise ValueError("pass either guard= or budget=/cancel=, not both")
+    if session is not None and session.db is not db:
+        raise ValueError("session.db and db must be the same Database")
     if guard is not None:
         live_guard = as_guard(guard)
     elif budget is not None or cancel is not None:
@@ -322,12 +362,39 @@ def mine(
     warnings = tuple(lint_flock(flock)) if lint else ()
     used = _choose_strategy(flock) if strategy == "auto" else strategy
 
-    attempt = _Attempt(backend_used=backend)
     started = time.perf_counter()
+
+    sink = None
+    cache_misses = 0
+    if session is not None:
+        hit = session.lookup(flock)
+        if hit is not None:
+            entry, relation = hit
+            if live_guard is not None:
+                # Guards apply to cached answers too: the budget clock
+                # and cancellation are checked, and an answer-row cap
+                # rejects an oversized cached answer like a live one.
+                live_guard.checkpoint(rows=len(relation), node="cache hit")
+                live_guard.check_answer(len(relation))
+            report = MiningReport(
+                strategy_requested=strategy,
+                strategy_used="cache",
+                seconds=time.perf_counter() - started,
+                warnings=warnings,
+                backend_requested=backend,
+                backend_used="memory",
+                cache_hits=1,
+                rows_saved=entry.source_rows,
+            )
+            return relation, report
+        cache_misses = 1
+        sink = session.sink(flock)
+
+    attempt = _Attempt(backend_used=backend)
 
     while True:
         try:
-            _run_strategy(db, flock, used, live_guard, backend, attempt)
+            _run_strategy(db, flock, used, live_guard, backend, attempt, sink=sink)
             break
         except (PlanError, FilterError, BudgetExceededError) as error:
             if isinstance(error, BudgetExceededError) and not (
@@ -361,5 +428,8 @@ def mine(
         backend_requested=backend,
         backend_used=attempt.backend_used,
         downgrades=tuple(attempt.downgrades),
+        cache_misses=cache_misses,
+        cache_step_hits=sink.step_hits if sink is not None else 0,
+        rows_saved=sink.rows_saved if sink is not None else 0,
     )
     return attempt.relation, report

@@ -29,7 +29,12 @@ from ..relational.aggregates import AggregateFunction
 from ..relational.catalog import Database
 from ..relational.evaluate import evaluate_conjunctive, term_column
 from ..relational.relation import Relation
-from .filters import STAR, iter_conditions, surviving_assignments
+from .filters import (
+    STAR,
+    iter_conditions,
+    surviving_assignments,
+    surviving_with_aggregates,
+)
 from .flock import QueryFlock
 
 
@@ -77,7 +82,7 @@ def _target_resolver(flock: QueryFlock, answer: Relation):
 
 
 def evaluate_flock(
-    db: Database, flock: QueryFlock, guard: GuardLike = None
+    db: Database, flock: QueryFlock, guard: GuardLike = None, sink=None
 ) -> Relation:
     """Group-by evaluation: the flock result as a relation over its
     parameter columns (sorted by parameter name).  Composite filters
@@ -87,17 +92,33 @@ def evaluate_flock(
     :class:`~repro.guard.ResourceBudget` or
     :class:`~repro.guard.CancellationToken`) bounds the evaluation; the
     guard is checked after every join of the answer computation.
+
+    ``sink`` (a :class:`repro.session.SessionSink`) receives the result
+    together with its per-conjunct aggregate values, so a session can
+    answer later requests at stricter thresholds without re-running the
+    joins.
     """
     guard = as_guard(guard)
     started = time.perf_counter()
     answer = flock_answer_relation(db, flock, guard=guard)
-    result = surviving_assignments(
-        answer,
-        list(flock.parameter_columns),
-        flock.filter,
-        _target_resolver(flock, answer),
-        name="flock",
-    )
+    if sink is not None:
+        with_aggs = surviving_with_aggregates(
+            answer,
+            list(flock.parameter_columns),
+            flock.filter,
+            _target_resolver(flock, answer),
+            name="flock",
+        )
+        sink.publish_final(with_aggs, len(answer))
+        result = with_aggs.project(list(flock.parameter_columns), name="flock")
+    else:
+        result = surviving_assignments(
+            answer,
+            list(flock.parameter_columns),
+            flock.filter,
+            _target_resolver(flock, answer),
+            name="flock",
+        )
     if guard is not None:
         guard.note_step(
             name="flock",

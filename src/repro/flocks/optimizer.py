@@ -145,6 +145,7 @@ class FlockOptimizer:
         max_param_set_size: int | None = None,
         gather_statistics: bool = False,
         guard: GuardLike = None,
+        sink=None,
     ):
         if not flock.filter.is_monotone:
             raise FilterError(
@@ -168,6 +169,10 @@ class FlockOptimizer:
         #: with their *exact* survivor counts (one cheap group-by scan
         #: each) instead of the pigeonhole bound.
         self.gather_statistics = gather_statistics
+        #: Optional session sink: statistics probes first consult the
+        #: session result cache for an exact prior survivor count, and
+        #: publish freshly measured survivor sets for later reuse.
+        self.sink = sink
         self._exact_ok_cache: dict[str, float] = {}
         self._rule = flock.rules[0]
 
@@ -237,13 +242,29 @@ class FlockOptimizer:
 
     def _measure_ok_assignments(self, candidate: SubqueryCandidate) -> float:
         """Exactly execute one (cheap) pre-filter step to learn its
-        true survivor count."""
+        true survivor count.
+
+        With a session sink attached, a prior *exact* measurement of an
+        alpha-equivalent subquery at the same thresholds is reused (a
+        bound would not do — a too-big count would distort the cost
+        model), and a fresh measurement is published instead of being
+        thrown away."""
         from .executor import execute_step
         from .plans import FilterStep
 
+        if self.sink is not None:
+            cached = self.sink.serve_exact_count(candidate.query)
+            if cached is not None:
+                return float(cached)
         params = tuple(sorted(candidate.parameters, key=lambda p: p.name))
         step = FilterStep("_stats_probe", params, candidate.query)
-        ok, _ = execute_step(self.db, self.flock, step, guard=self.guard)
+        ok, answer_tuples = execute_step(
+            self.db, self.flock, step, guard=self.guard
+        )
+        if self.sink is not None:
+            self.sink.publish_step(
+                candidate.query, [str(p) for p in params], ok, answer_tuples
+            )
         return float(len(ok))
 
     def _domain_size(self, parameters: Iterable[Parameter]) -> float:

@@ -170,6 +170,98 @@ class SQLiteBackend:
         return Relation("flock", flock.parameter_columns, rows)
 
     # ------------------------------------------------------------------
+    # Cached-result persistence (for repro.session)
+    # ------------------------------------------------------------------
+    #
+    # A file-backed session persists its exact (aggregates-kind) cache
+    # entries as real tables plus one metadata row each, so a new
+    # process pointed at the same file starts warm.  Metadata is JSON:
+    # query/filter text (both round-trip through the parsers), the
+    # parameter columns, and the cardinality of every base relation the
+    # entry was derived from — version counters are process-local, so
+    # cross-process staleness is screened by comparing cardinalities on
+    # restore (a heuristic; a same-size edit slips through, which the
+    # caller must accept or clear the file).
+
+    _CACHE_INDEX_TABLE = "_repro_cache_index"
+
+    def _ensure_cache_index(self, cursor: sqlite3.Cursor) -> None:
+        self._execute(
+            cursor,
+            f"CREATE TABLE IF NOT EXISTS {self._CACHE_INDEX_TABLE} "
+            f"(table_name TEXT PRIMARY KEY, metadata TEXT)",
+        )
+
+    def persist_cached_result(
+        self, table_name: str, relation: Relation, metadata: dict
+    ) -> None:
+        """Store one cached result as a table + metadata row.
+
+        ``table_name`` must be a caller-generated identifier (the
+        session uses ``_repro_cache_<n>``); columns are quoted, so
+        parameter columns like ``$1`` are fine.
+        """
+        import json
+
+        cursor = self.connection.cursor()
+        self._ensure_cache_index(cursor)
+        quoted = ", ".join(f'"{c}"' for c in relation.columns)
+        self._execute(cursor, f'DROP TABLE IF EXISTS "{table_name}"')
+        self._execute(cursor, f'CREATE TABLE "{table_name}" ({quoted})')
+        placeholders = ", ".join("?" for _ in relation.columns)
+        self._execute(
+            cursor,
+            f'INSERT INTO "{table_name}" VALUES ({placeholders})',
+            parameters=sorted(relation.tuples, key=repr),
+            many=True,
+        )
+        full = dict(metadata)
+        full["columns"] = list(relation.columns)
+        full["relation_name"] = relation.name
+        self._execute(
+            cursor,
+            f"INSERT OR REPLACE INTO {self._CACHE_INDEX_TABLE} VALUES (?, ?)",
+            parameters=(table_name, json.dumps(full)),
+        )
+        self.connection.commit()
+
+    def list_cached_results(self) -> list[tuple[str, dict]]:
+        """All persisted entries as ``(table_name, metadata)`` pairs."""
+        import json
+
+        cursor = self.connection.cursor()
+        self._ensure_cache_index(cursor)
+        rows = self._execute(
+            cursor,
+            f"SELECT table_name, metadata FROM {self._CACHE_INDEX_TABLE}",
+        ).fetchall()
+        return [(name, json.loads(text)) for name, text in rows]
+
+    def load_cached_result(self, table_name: str, metadata: dict) -> Relation:
+        """Materialize one persisted entry back into a Relation."""
+        cursor = self.connection.cursor()
+        rows = self._execute(
+            cursor, f'SELECT * FROM "{table_name}"'
+        ).fetchall()
+        return Relation(
+            metadata.get("relation_name", table_name),
+            tuple(metadata["columns"]),
+            {tuple(r) for r in rows},
+        )
+
+    def drop_cached_result(self, table_name: str) -> None:
+        """Remove one persisted entry (table + metadata row)."""
+        cursor = self.connection.cursor()
+        self._ensure_cache_index(cursor)
+        self._execute(cursor, f'DROP TABLE IF EXISTS "{table_name}"')
+        self._execute(
+            cursor,
+            f"DELETE FROM {self._CACHE_INDEX_TABLE} WHERE table_name = ?",
+            parameters=(table_name,),
+        )
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
     # Statement machinery
     # ------------------------------------------------------------------
 

@@ -4,6 +4,16 @@ A :class:`Database` is the substrate every flock/plan evaluation runs
 against.  Base relations are immutable once added (replacing a relation
 invalidates its cached statistics).  Plans materialize their ``ok``
 relations into a *scratch* overlay so the base data is never polluted.
+
+Every mutation bumps a **per-relation version counter** (and a global
+one), so consumers holding derived artifacts — cached statistics,
+``explain`` output, and most importantly the
+:mod:`repro.session` result cache — can detect staleness *exactly*:
+an artifact derived from relations ``R1..Rk`` is current iff each
+``version(Ri)`` still equals the value recorded when the artifact was
+built.  Versions only ever grow; removing a relation bumps its counter
+too, so a later re-add under the same name is distinguishable from the
+original.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ class Database:
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: dict[str, Relation] = {}
         self._stats: dict[str, RelationStats] = {}
+        self._versions: dict[str, int] = {}
+        self._mutations = 0
         for rel in relations:
             self.add(rel)
 
@@ -32,6 +44,7 @@ class Database:
         """Add or replace a relation under its own name."""
         self._relations[relation.name] = relation
         self._stats.pop(relation.name, None)
+        self._bump(relation.name)
 
     def add_rows(
         self, name: str, columns: Sequence[str], rows: Iterable[Sequence]
@@ -43,8 +56,42 @@ class Database:
 
     def remove(self, name: str) -> None:
         """Drop a relation (no-op when absent)."""
-        self._relations.pop(name, None)
-        self._stats.pop(name, None)
+        if name in self._relations:
+            del self._relations[name]
+            self._stats.pop(name, None)
+            self._bump(name)
+
+    def _bump(self, name: str) -> None:
+        self._versions[name] = self._versions.get(name, 0) + 1
+        self._mutations += 1
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+
+    def version(self, name: str | None = None) -> int:
+        """The version counter of one relation, or (``name=None``) the
+        global mutation counter.
+
+        A relation's version starts at 1 when first added and grows by
+        one on every replacement or removal; 0 means "never seen".  The
+        global counter grows on *any* catalog mutation, so ``version()``
+        is a cheap "has anything changed?" probe.
+        """
+        if name is None:
+            return self._mutations
+        return self._versions.get(name, 0)
+
+    def versions(self, names: Iterable[str] | None = None) -> dict[str, int]:
+        """A snapshot of per-relation versions.
+
+        ``names`` restricts the snapshot (useful for recording exactly
+        the relations a query reads); by default every relation ever
+        seen is included.
+        """
+        if names is None:
+            return dict(self._versions)
+        return {n: self.version(n) for n in names}
 
     # ------------------------------------------------------------------
     # Lookup
@@ -93,6 +140,8 @@ class Database:
         child = Database()
         child._relations = dict(self._relations)
         child._stats = dict(self._stats)
+        child._versions = dict(self._versions)
+        child._mutations = self._mutations
         return child
 
     def total_tuples(self) -> int:

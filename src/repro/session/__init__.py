@@ -1,0 +1,62 @@
+"""Interactive mining sessions with containment-aware result caching.
+
+The paper's theory makes repeated mining cheap: containment (§3.1) says
+when one query's materialized result upper-bounds another's, and
+monotonicity (§5) says a result computed at threshold *t* serves any
+request at a stricter threshold by re-filtering.  This package turns
+both into a cache:
+
+* :mod:`~repro.session.canonical` — canonical forms so alpha-equivalent
+  queries share a key, plus the sound containment dispatch;
+* :mod:`~repro.session.cache` — the LRU :class:`ResultCache` with
+  threshold-aware exact serving, containment-based bound serving, and
+  exact version-counter invalidation;
+* :mod:`~repro.session.session` — the :class:`MiningSession` facade.
+
+Quick start::
+
+    from repro.session import MiningSession, with_support_threshold
+    session = MiningSession(db)
+    rel, report = session.mine(flock)                 # cold: evaluates
+    hotter = with_support_threshold(flock, 50)
+    rel2, report2 = session.mine(hotter)              # warm: re-filters
+    assert report2.strategy_used == "cache"
+"""
+
+from .cache import (
+    KIND_AGGREGATES,
+    KIND_SURVIVORS,
+    CachedResult,
+    CacheStats,
+    ResultCache,
+    query_relations,
+)
+from .canonical import (
+    alpha_equivalent,
+    canonical_key,
+    canonicalize,
+    serves_as_bound,
+)
+from .session import (
+    MiningSession,
+    SessionSink,
+    SessionStats,
+    with_support_threshold,
+)
+
+__all__ = [
+    "KIND_AGGREGATES",
+    "KIND_SURVIVORS",
+    "CachedResult",
+    "CacheStats",
+    "MiningSession",
+    "ResultCache",
+    "SessionSink",
+    "SessionStats",
+    "alpha_equivalent",
+    "canonical_key",
+    "canonicalize",
+    "query_relations",
+    "serves_as_bound",
+    "with_support_threshold",
+]

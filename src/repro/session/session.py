@@ -1,0 +1,431 @@
+"""Interactive mining sessions: one database, many related flocks.
+
+Goethals & Van den Bussche observe that real association-rule mining is
+a *session* — a human iterating thresholds and query variants against
+one database — and that reusing earlier results dominates the cost of
+such sessions.  :class:`MiningSession` is that loop's server side:
+
+* it owns a :class:`~repro.relational.catalog.Database` (whose lazily
+  cached statistics warm up across calls, since every optimizer run
+  hits the same catalog);
+* it owns a :class:`~repro.session.cache.ResultCache`, consulted before
+  any evaluation (an alpha-equivalent flock at an implied — stricter or
+  equal — threshold is answered by re-filtering the cached aggregates,
+  with **zero** base-relation joins) and fed by every evaluation through
+  a :class:`SessionSink` (final results with aggregate values;
+  intermediate safe-subquery survivor sets from the optimizer and the
+  dynamic evaluator);
+* invalidation is exact: every cache entry records the version counters
+  of the base relations it read, and any lookup first drops entries
+  whose relations have since been mutated — untouched entries survive;
+* PR 1's execution guards thread through every path: a session-level
+  default :class:`~repro.guard.ResourceBudget`/
+  :class:`~repro.guard.CancellationToken` applies to each
+  :meth:`MiningSession.mine` call (cache hits included — the served
+  answer still passes ``check_answer``), and per-call overrides win;
+* with ``persist_path``, exact entries are also written through to a
+  SQLite file (:meth:`~repro.flocks.sqlbackend.SQLiteBackend.\
+persist_cached_result`), so a new process pointed at the same file
+  starts warm — entries are re-adopted only when every source
+  relation's cardinality still matches the recorded one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FilterError
+from ..flocks.filters import (
+    AnyFilter,
+    CompositeFilter,
+    FilterCondition,
+    iter_conditions,
+    parse_filter,
+)
+from ..flocks.flock import QueryFlock
+from ..guard import CancellationToken, GuardLike, ResourceBudget
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+from .cache import (
+    KIND_AGGREGATES,
+    KIND_SURVIVORS,
+    CachedResult,
+    ResultCache,
+    query_relations,
+)
+
+
+def with_support_threshold(flock: QueryFlock, threshold) -> QueryFlock:
+    """The same flock with its support conjunct's threshold replaced.
+
+    The knob an interactive session turns most: re-ask the same flock at
+    a different support level.  The first support-type conjunct (COUNT
+    lower bound) is replaced; other conjuncts are kept.  Raises
+    :class:`~repro.errors.FilterError` when the flock has no support
+    conjunct to replace.
+    """
+    replaced = False
+    conditions: list[FilterCondition] = []
+    for condition in iter_conditions(flock.filter):
+        if condition.is_support_condition and not replaced:
+            conditions.append(
+                FilterCondition(
+                    condition.aggregate,
+                    condition.relation_name,
+                    condition.target,
+                    condition.op,
+                    threshold,
+                    assume_nonnegative=condition.assume_nonnegative,
+                )
+            )
+            replaced = True
+        else:
+            conditions.append(condition)
+    if not replaced:
+        raise FilterError(
+            f"no support condition to override in {flock.filter}"
+        )
+    new_filter: AnyFilter = (
+        conditions[0] if len(conditions) == 1
+        else CompositeFilter(tuple(conditions))
+    )
+    return QueryFlock(flock.query, new_filter)
+
+
+class SessionSink:
+    """The cache side-channel one :func:`~repro.flocks.mining.mine` call
+    threads through its evaluators (duck-typed; evaluators only see the
+    four methods below).
+
+    Per-call counters feed the :class:`~repro.flocks.mining.MiningReport`:
+    ``step_hits`` counts pre-filter steps served from the cache and
+    ``rows_saved`` the answer tuples those steps did not have to
+    recompute.
+    """
+
+    def __init__(self, session: "MiningSession", flock: QueryFlock):
+        self.session = session
+        self.flock = flock
+        #: Serving and publishing are only *sound* for monotone filters
+        #: (the threshold-reuse rule is Section 5 monotonicity); for a
+        #: non-monotone filter the sink is inert.
+        self.active = flock.filter.is_monotone
+        self.step_hits = 0
+        self.rows_saved = 0
+
+    # -- serving -------------------------------------------------------
+
+    def serve_step(self, query, param_columns) -> Relation | None:
+        """A cached upper bound usable as a pre-filter step's ok-relation
+        (a superset of the true survivors is sound there — later steps
+        re-filter), or None."""
+        if not self.active:
+            return None
+        entry = self.session.cache.find_bound(
+            query, self.flock.filter, param_columns
+        )
+        if entry is None:
+            return None
+        self.step_hits += 1
+        self.rows_saved += entry.source_rows
+        return entry.survivor_relation("ok")
+
+    def serve_exact_count(self, query) -> int | None:
+        """A prior *exact* survivor count for an alpha-equivalent query
+        at exactly these thresholds (for the optimizer's statistics
+        probes, where an upper bound would distort the cost model)."""
+        if not self.active:
+            return None
+        count = self.session.cache.find_count(query, self.flock.filter)
+        if count is not None:
+            self.step_hits += 1
+        return count
+
+    # -- publishing ----------------------------------------------------
+
+    def publish_step(self, query, param_columns, ok, source_rows) -> None:
+        """Record a pre-filter step's survivor set.  Skipped when the
+        query references non-base predicates (ok-atoms of earlier plan
+        steps): such survivors depend on transient scratch state."""
+        if not self.active:
+            return
+        names = query_relations(query)
+        if not names or not all(n in self.session.db for n in names):
+            return
+        self.session.cache.put(
+            query,
+            self.flock.filter,
+            KIND_SURVIVORS,
+            ok,
+            self.session.db.versions(names),
+            source_rows,
+            param_columns,
+        )
+
+    def publish_final(self, with_aggregates, source_rows) -> None:
+        """Record the flock's full answer together with its per-conjunct
+        aggregate values — the exact, re-filterable entry that serves
+        any later request at stricter-or-equal thresholds."""
+        if not self.active:
+            return
+        names = query_relations(self.flock.query)
+        if not all(n in self.session.db for n in names):
+            return
+        entry = self.session.cache.put(
+            self.flock.query,
+            self.flock.filter,
+            KIND_AGGREGATES,
+            with_aggregates,
+            self.session.db.versions(names),
+            source_rows,
+            self.flock.parameter_columns,
+        )
+        if entry is not None:
+            self.session._persist_entry(entry)
+
+
+@dataclass
+class SessionStats:
+    """A point-in-time summary of one session's cache behaviour."""
+
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    bound_hits: int
+    invalidated: int
+    evicted: int
+    entries: int
+    cached_rows: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.queries} queries, {self.cache_hits} exact hits, "
+            f"{self.bound_hits} bound hits, {self.cache_misses} misses; "
+            f"{self.entries} entries ({self.cached_rows} rows) cached, "
+            f"{self.invalidated} invalidated, {self.evicted} evicted"
+        )
+
+
+class MiningSession:
+    """A stateful facade for repeated mining over one database.
+
+    Args:
+        db: the database every flock runs against.  Mutate it through
+            ``session.db`` (``add``/``remove``) — the version counters
+            it bumps are what keeps the cache honest.
+        max_cache_rows / max_cache_entries: LRU bounds for the result
+            cache (ignored when ``cache`` is passed).
+        cache: share a pre-built :class:`ResultCache` across sessions.
+        budget / cancel: session-wide defaults applied to every
+            :meth:`mine` call that does not pass its own.
+        backend: default execution backend per call (``"memory"`` /
+            ``"sqlite"``).
+        persist_path: SQLite file that exact cache entries are written
+            through to and restored from, surviving the process.
+        lint: default lint flag per call.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        cache: ResultCache | None = None,
+        max_cache_rows: int | None = 100_000,
+        max_cache_entries: int | None = 64,
+        budget: ResourceBudget | None = None,
+        cancel: CancellationToken | None = None,
+        backend: str = "memory",
+        persist_path: str | None = None,
+        lint: bool = True,
+    ):
+        self.db = db
+        self.cache = cache if cache is not None else ResultCache(
+            max_rows=max_cache_rows, max_entries=max_cache_entries
+        )
+        self.budget = budget
+        self.cancel = cancel
+        self.backend = backend
+        self.lint = lint
+        self.queries = 0
+        self._persist_backend = None
+        self._persist_counter = 0
+        if persist_path is not None:
+            from ..flocks.sqlbackend import SQLiteBackend
+
+            self._persist_backend = SQLiteBackend(path=persist_path)
+            self._restore_persisted()
+
+    # ------------------------------------------------------------------
+    # The front door
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        flock: QueryFlock,
+        strategy: str = "auto",
+        *,
+        lint: bool | None = None,
+        budget: ResourceBudget | None = None,
+        cancel: CancellationToken | None = None,
+        guard: GuardLike = None,
+        backend: str | None = None,
+    ):
+        """Evaluate a flock with full cache participation; returns
+        ``(relation, MiningReport)`` exactly like
+        :func:`repro.flocks.mining.mine` (which this delegates to,
+        passing ``session=self``)."""
+        from ..flocks.mining import mine
+
+        self.queries += 1
+        if guard is None and budget is None and cancel is None:
+            budget, cancel = self.budget, self.cancel
+        return mine(
+            self.db,
+            flock,
+            strategy=strategy,
+            lint=self.lint if lint is None else lint,
+            budget=budget,
+            cancel=cancel,
+            guard=guard,
+            backend=self.backend if backend is None else backend,
+            session=self,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache interface (used by mining.mine)
+    # ------------------------------------------------------------------
+
+    def invalidate_stale(self) -> int:
+        """Drop entries whose base relations were mutated; exact, per
+        entry.  Called before every lookup; also useful directly after
+        bulk loads."""
+        return self.cache.invalidate_stale(self.db.version)
+
+    def lookup(
+        self, flock: QueryFlock
+    ) -> tuple[CachedResult, Relation] | None:
+        """An exact cached answer for this flock, or None.
+
+        A hit requires an alpha-equivalent query and a stored filter the
+        request implies (equal signature, stricter-or-equal thresholds);
+        the stored aggregates are re-filtered at the requested
+        thresholds, so the relation returned is *the* answer."""
+        if not flock.filter.is_monotone:
+            return None
+        self.invalidate_stale()
+        entry = self.cache.find_exact(flock.query, flock.filter)
+        if entry is None:
+            return None
+        return entry, self.cache.serve_exact(entry, flock.filter)
+
+    def sink(self, flock: QueryFlock) -> SessionSink:
+        """A fresh per-call sink for this flock."""
+        return SessionSink(self, flock)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> SessionStats:
+        cache_stats = self.cache.stats
+        return SessionStats(
+            queries=self.queries,
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            bound_hits=cache_stats.bound_hits,
+            invalidated=cache_stats.invalidated,
+            evicted=cache_stats.evicted,
+            entries=len(self.cache),
+            cached_rows=self.cache.total_rows(),
+        )
+
+    def close(self) -> None:
+        """Release the persistence backend, if any."""
+        if self._persist_backend is not None:
+            self._persist_backend.close()
+            self._persist_backend = None
+
+    def __enter__(self) -> "MiningSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _persist_entry(self, entry: CachedResult) -> None:
+        """Write one exact entry through to the SQLite file."""
+        if self._persist_backend is None:
+            return
+        self._persist_counter += 1
+        metadata = {
+            "query": str(entry.query),
+            "filter": str(entry.filter),
+            "param_columns": list(entry.param_columns),
+            "source_rows": entry.source_rows,
+            "base_cards": {
+                name: len(self.db.get(name))
+                for name in entry.versions
+                if name in self.db
+            },
+        }
+        try:
+            self._persist_backend.persist_cached_result(
+                f"_repro_cache_{self._persist_counter}",
+                entry.relation,
+                metadata,
+            )
+        except Exception:
+            # Persistence is an optimization; a full disk or locked file
+            # must not fail the mining call that triggered it.
+            pass
+
+    def _restore_persisted(self) -> None:
+        """Adopt persisted entries whose source relations still match.
+
+        Version counters are process-local, so the cross-process
+        staleness screen compares each base relation's *cardinality*
+        with the recorded one; survivors are adopted under the current
+        versions.  (A same-cardinality edit defeats the screen — callers
+        who mutate data between processes should clear the file.)
+        """
+        from ..datalog.parser import parse_query
+
+        assert self._persist_backend is not None
+        try:
+            persisted = self._persist_backend.list_cached_results()
+        except Exception:
+            return
+        for table_name, metadata in persisted:
+            self._persist_counter = max(
+                self._persist_counter,
+                int(table_name.rsplit("_", 1)[-1])
+                if table_name.rsplit("_", 1)[-1].isdigit() else 0,
+            )
+            cards = metadata.get("base_cards", {})
+            if not cards:
+                continue
+            if not all(
+                name in self.db and len(self.db.get(name)) == card
+                for name, card in cards.items()
+            ):
+                continue
+            try:
+                query = parse_query(metadata["query"])
+                filter_ = parse_filter(metadata["filter"])
+                relation = self._persist_backend.load_cached_result(
+                    table_name, metadata
+                )
+            except Exception:
+                continue
+            self.cache.put(
+                query,
+                filter_,
+                KIND_AGGREGATES,
+                relation,
+                self.db.versions(query_relations(query)),
+                int(metadata.get("source_rows", 0)),
+                metadata.get("param_columns", []),
+            )

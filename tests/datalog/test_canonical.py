@@ -1,0 +1,192 @@
+"""Canonical forms for cache keys (repro.session.canonical)."""
+
+import pytest
+
+from repro.datalog import UnionQuery, atom, comparison, negated, rule
+from repro.session.canonical import (
+    MAX_TIE_PERMUTATIONS,
+    alpha_equivalent,
+    canonical_key,
+    canonicalize,
+    serves_as_bound,
+)
+
+
+class TestCanonicalize:
+    def test_idempotent(self, basket_query_ordered):
+        once = canonicalize(basket_query_ordered)
+        twice = canonicalize(once)
+        assert str(once) == str(twice)
+
+    def test_round_trip_preserves_meaning(self, basket_query_ordered):
+        canon = canonicalize(basket_query_ordered)
+        assert alpha_equivalent(canon, basket_query_ordered)
+
+    def test_alpha_variants_share_form(self):
+        q1 = rule("answer", ["B"], [atom("r", "B", "X"), atom("s", "X", "Y")])
+        q2 = rule("answer", ["Q"], [atom("s", "W", "Z"), atom("r", "Q", "W")])
+        assert str(canonicalize(q1)) == str(canonicalize(q2))
+
+    def test_distinct_queries_stay_distinct(self):
+        # p(X, X) is NOT alpha-equivalent to p(X, Y).
+        q1 = rule("answer", ["X"], [atom("p", "X", "X")])
+        q2 = rule("answer", ["X"], [atom("p", "X", "Y")])
+        assert str(canonicalize(q1)) != str(canonicalize(q2))
+
+    def test_comparison_orientation_normalized(self):
+        lt = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$1", "<", "$2")],
+        )
+        gt = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$2", ">", "$1")],
+        )
+        assert str(canonicalize(lt)) == str(canonicalize(gt))
+        assert alpha_equivalent(lt, gt)
+
+    def test_negation_preserved(self, medical_query):
+        canon = canonicalize(medical_query)
+        assert sum(
+            1 for sg in canon.body
+            if getattr(sg, "negated", False)
+        ) == 1
+        assert alpha_equivalent(canon, medical_query)
+
+    def test_tie_groups_resolved(self):
+        # Two structurally identical atoms whose order must not matter.
+        q1 = rule("answer", ["B"], [atom("r", "B", "X"), atom("r", "B", "Y"),
+                                    atom("s", "X", "Y")])
+        q2 = rule("answer", ["B"], [atom("r", "B", "Y"), atom("r", "B", "X"),
+                                    atom("s", "X", "Y")])
+        assert str(canonicalize(q1)) == str(canonicalize(q2))
+
+    def test_degraded_mode_still_deterministic(self):
+        # A body of many interchangeable atoms blows the permutation cap;
+        # the key degrades but stays stable and alpha_equivalent-exact.
+        import math
+
+        n = 8
+        assert math.factorial(n) > MAX_TIE_PERMUTATIONS
+        body1 = [atom("e", f"X{i}", f"X{(i + 1) % n}") for i in range(n)]
+        body2 = list(reversed(body1))
+        q1 = rule("answer", ["X0"], body1)
+        q2 = rule("answer", ["X0"], body2)
+        assert str(canonicalize(q1)) == str(canonicalize(q1))
+        assert alpha_equivalent(q1, q2)
+
+
+class TestCanonicalKey:
+    def test_alpha_variants_share_key(self, basket_query_ordered):
+        renamed = rule(
+            "answer", ["Bkt"],
+            [atom("baskets", "Bkt", "$2"), atom("baskets", "Bkt", "$1"),
+             comparison("$1", "<", "$2")],
+        )
+        assert canonical_key(basket_query_ordered) == canonical_key(renamed)
+
+    def test_parameters_are_distinguishing(self):
+        q1 = rule("answer", ["B"], [atom("r", "B", "$1")])
+        q2 = rule("answer", ["B"], [atom("r", "B", "$2")])
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_constants_are_distinguishing(self):
+        q1 = rule("answer", ["B"], [atom("r", "B", "'a'")])
+        q2 = rule("answer", ["B"], [atom("r", "B", "'b'")])
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_union_branch_order_irrelevant(self):
+        r1 = rule("answer", ["B"], [atom("r", "B", "$1")])
+        r2 = rule("answer", ["B"], [atom("s", "B", "$1")])
+        assert canonical_key(UnionQuery((r1, r2))) == canonical_key(
+            UnionQuery((r2, r1))
+        )
+
+    def test_union_key_distinct_from_branch_key(self):
+        r1 = rule("answer", ["B"], [atom("r", "B", "$1")])
+        r2 = rule("answer", ["B"], [atom("s", "B", "$1")])
+        assert canonical_key(UnionQuery((r1, r2))) != canonical_key(r1)
+
+
+class TestAlphaEquivalent:
+    def test_reflexive(self, basket_query, medical_query, web_union_query):
+        for q in (basket_query, medical_query, web_union_query):
+            assert alpha_equivalent(q, q)
+
+    def test_renamed_variables(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y"), atom("s", "Y", "Z")])
+        q2 = rule("answer", ["A"], [atom("r", "A", "B"), atom("s", "B", "C")])
+        assert alpha_equivalent(q1, q2)
+
+    def test_not_equivalent_on_collapse(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X"], [atom("r", "X", "X")])
+        assert not alpha_equivalent(q1, q2)
+
+    def test_head_name_matters(self):
+        q1 = rule("answer", ["X"], [atom("r", "X")])
+        q2 = rule("result", ["X"], [atom("r", "X")])
+        assert not alpha_equivalent(q1, q2)
+
+    def test_union_vs_single(self, basket_query):
+        assert not alpha_equivalent(
+            basket_query, UnionQuery((basket_query, basket_query))
+        )
+
+    def test_union_branch_permutation(self, web_union_query):
+        shuffled = UnionQuery(tuple(reversed(web_union_query.rules)))
+        assert alpha_equivalent(web_union_query, shuffled)
+
+    def test_negation_must_match(self):
+        q1 = rule("answer", ["X"], [atom("r", "X", "Y"), atom("s", "Y")])
+        q2 = rule("answer", ["X"], [atom("r", "X", "Y"), negated("s", "Y")])
+        assert not alpha_equivalent(q1, q2)
+
+
+class TestServesAsBound:
+    def test_equivalent_serves(self, basket_query):
+        assert serves_as_bound(basket_query, basket_query)
+
+    def test_subgoal_subset_serves_as_bound(self, basket_query,
+                                            basket_query_ordered):
+        # Dropping the tie-break widens the query: plain contains ordered.
+        assert serves_as_bound(basket_query, basket_query_ordered)
+        assert not serves_as_bound(basket_query_ordered, basket_query)
+
+    def test_pure_cq_containment(self):
+        wide = rule("answer", ["X"], [atom("r", "X", "Y")])
+        narrow = rule("answer", ["X"], [atom("r", "X", "X")])
+        assert serves_as_bound(wide, narrow)
+        assert not serves_as_bound(narrow, wide)
+
+    def test_arithmetic_entailment(self):
+        le = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$1", "<=", "$2")],
+        )
+        lt = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$1", "<", "$2")],
+        )
+        # $1 < $2 entails $1 <= $2, so the <= query contains the < one.
+        assert serves_as_bound(le, lt)
+        assert not serves_as_bound(lt, le)
+
+    def test_negated_subgoal_subset(self, medical_query):
+        # Dropping the negated subgoal widens the query, and the
+        # subgoal-subset criterion is the sound fallback with negation.
+        widened = medical_query.with_body_subset([0, 1, 2])
+        assert serves_as_bound(widened, medical_query)
+
+    def test_union_bounded_per_branch(self, web_union_query):
+        # Each branch of the union bounds itself.
+        assert serves_as_bound(web_union_query, web_union_query)
+        single = web_union_query.rules[0]
+        # A single branch does not bound the whole union.
+        assert not serves_as_bound(single, web_union_query)
+        # But the union bounds each of its branches.
+        assert serves_as_bound(web_union_query, single)

@@ -1,0 +1,120 @@
+"""Containment edge cases the cache leans on (Section 3.1).
+
+The session cache reuses results across queries via containment, so the
+corners matter: parameters act as distinguished variables, constants in
+heads must map to themselves, and bounds in the presence of negation
+fall back to the subgoal-subset criterion.
+"""
+
+import pytest
+
+from repro.datalog import (
+    atom,
+    comparison,
+    contains,
+    contains_extended,
+    is_subquery_bound,
+    negated,
+    rule,
+)
+from repro.session.canonical import alpha_equivalent, canonical_key
+
+
+class TestParametersAsDistinguishedVariables:
+    def test_parameter_cannot_absorb_variable(self):
+        # r(B,$1) vs r(B,X): the parameterized query is NOT contained in
+        # nor containing the variable one — $1 maps only to itself.
+        with_param = rule("answer", ["B"], [atom("r", "B", "$1")])
+        with_var = rule("answer", ["B"], [atom("r", "B", "X")])
+        assert not contains(with_param, with_var)
+        # The variable query contains the parameterized one: X -> $1.
+        assert contains(with_var, with_param)
+
+    def test_distinct_parameters_never_unify(self):
+        q12 = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2")],
+        )
+        q11 = rule("answer", ["B"], [atom("r", "B", "$1")])
+        # q11 contains q12 (drop the $2 subgoal), but q12 does not
+        # contain q11 — the $2 subgoal has no image.
+        assert contains(q11, q12)
+        assert not contains(q12, q11)
+
+    def test_swapped_parameters_not_equivalent(self):
+        q1 = rule("answer", ["B"], [atom("r", "B", "$1"), atom("s", "B", "$2")])
+        q2 = rule("answer", ["B"], [atom("r", "B", "$2"), atom("s", "B", "$1")])
+        assert not contains(q1, q2)
+        assert not alpha_equivalent(q1, q2)
+        assert canonical_key(q1) != canonical_key(q2)
+
+
+class TestConstantsInHeads:
+    def test_identical_head_constants_contained(self):
+        q1 = rule("answer", ["X", "'flagged'"], [atom("r", "X", "Y")])
+        q2 = rule("answer", ["X", "'flagged'"], [atom("r", "X", "X")])
+        assert contains(q1, q2)
+
+    def test_different_head_constants_not_contained(self):
+        q1 = rule("answer", ["X", "'a'"], [atom("r", "X")])
+        q2 = rule("answer", ["X", "'b'"], [atom("r", "X")])
+        assert not contains(q1, q2)
+        assert not alpha_equivalent(q1, q2)
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_head_variable_maps_to_constant(self):
+        # q2 fixes the head's second position to 'a'; the general query
+        # contains it (Y -> 'a').
+        general = rule("answer", ["X", "Y"], [atom("r", "X", "Y")])
+        fixed = rule("answer", ["X", "'a'"], [atom("r", "X", "'a'")])
+        assert contains(general, fixed)
+        assert not contains(fixed, general)
+
+    def test_head_constant_round_trips_canonicalization(self):
+        q = rule("answer", ["X", "'a'"], [atom("r", "X", "Z")])
+        twin = rule("answer", ["W", "'a'"], [atom("r", "W", "V")])
+        assert canonical_key(q) == canonical_key(twin)
+        assert alpha_equivalent(q, twin)
+
+
+class TestNegatedSubgoalSubsetBounds:
+    def test_dropping_negated_subgoal_is_a_bound(self, medical_query):
+        # Removing NOT causes(D,$s) can only widen the answer.
+        widened = medical_query.with_body_subset([0, 1, 2])
+        assert is_subquery_bound(widened, medical_query)
+
+    def test_dropping_positive_subgoal_is_a_bound(self, medical_query):
+        widened = medical_query.with_body_subset([0, 2, 3])
+        assert is_subquery_bound(widened, medical_query)
+
+    def test_superset_is_not_a_bound(self, medical_query):
+        widened = medical_query.with_body_subset([0, 1, 2])
+        # The full query is NOT a bound for the widened one.
+        assert not is_subquery_bound(medical_query, widened)
+
+    def test_extended_containment_rejects_negation(self, medical_query):
+        widened = medical_query.with_body_subset([0, 1, 2])
+        with pytest.raises(ValueError):
+            contains_extended(widened, medical_query)
+
+
+class TestExtendedContainmentEdges:
+    def test_le_contains_lt(self):
+        le = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$1", "<=", "$2")],
+        )
+        lt = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), atom("r", "B", "$2"),
+             comparison("$1", "<", "$2")],
+        )
+        assert contains_extended(le, lt)
+        assert not contains_extended(lt, le)
+
+    def test_constant_range_entailment(self):
+        wide = rule("answer", ["X"], [atom("r", "X", "N"), comparison("N", "<", "10")])
+        narrow = rule("answer", ["X"], [atom("r", "X", "N"), comparison("N", "<", "5")])
+        assert contains_extended(wide, narrow)
+        assert not contains_extended(narrow, wide)

@@ -124,8 +124,27 @@ class TestRedundantSubgoal:
         found = codes(flock)
         assert LintCode.REDUNDANT_SUBGOAL in found
 
-    def test_extended_rules_skip_redundancy_check(self, medical_flock):
-        # Negation present: the CM check does not apply, no crash.
+    def test_extended_redundancy_flagged(self):
+        # $1 < $2 entails $1 <= $2: Klug's test flags the <= subgoal.
+        q = rule(
+            "answer", ["X"],
+            [atom("p", "X", "$1"), atom("p", "X", "$2"),
+             comparison("$1", "<=", "$2"), comparison("$1", "<", "$2")],
+        )
+        flock = QueryFlock(q, support_filter(2, target="X"))
+        warnings = [
+            w for w in lint_flock(flock)
+            if w.code is LintCode.REDUNDANT_SUBGOAL
+        ]
+        assert warnings
+        assert "<=" in warnings[0].message
+
+    def test_arithmetic_without_redundancy_is_clean(self, basket_flock):
+        # Fig. 2's tie-break is NOT redundant and must not be flagged.
+        assert LintCode.REDUNDANT_SUBGOAL not in codes(basket_flock)
+
+    def test_negated_rules_skip_redundancy_check(self, medical_flock):
+        # Negation present: no sound containment test applies, no crash.
         assert LintCode.REDUNDANT_SUBGOAL not in codes(medical_flock)
 
 

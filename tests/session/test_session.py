@@ -1,0 +1,246 @@
+"""MiningSession end-to-end tests: the PR's acceptance criteria live here.
+
+* a flock re-asked at a higher threshold is answered with **zero**
+  base-relation reads (the database is poisoned on the warm call);
+* mutating a base relation invalidates exactly the dependent entries;
+* guards thread through cache hits; non-monotone filters bypass the
+  cache; sqlite persistence warms a brand-new process's session.
+"""
+
+import pytest
+
+from repro.errors import BudgetExceededError, FilterError
+from repro.flocks import QueryFlock, parse_filter, support_filter
+from repro.flocks.naive import evaluate_flock
+from repro.guard import ResourceBudget
+from repro.session import MiningSession, with_support_threshold
+
+
+@pytest.fixture
+def session(small_basket_db):
+    return MiningSession(small_basket_db)
+
+
+def poison_reads(db):
+    """Make any base-relation read blow up (version checks stay legal)."""
+
+    def boom(name):
+        raise AssertionError(f"base relation {name!r} was read")
+
+    db.get = boom
+
+
+class TestThresholdReuseAcceptance:
+    def test_higher_threshold_reads_no_base_relations(
+        self, session, basket_flock, small_basket_db
+    ):
+        cold, report_cold = session.mine(basket_flock)
+        assert report_cold.strategy_used != "cache"
+        assert report_cold.cache_misses == 1
+
+        hotter = with_support_threshold(basket_flock, 3)
+        expected = evaluate_flock(small_basket_db, hotter)
+        poison_reads(session.db)
+        warm, report_warm = session.mine(hotter)
+        assert report_warm.strategy_used == "cache"
+        assert report_warm.cache_hits == 1
+        assert report_warm.rows_saved > 0
+        assert warm == expected
+
+    def test_same_threshold_rerun_hits(self, session, basket_flock):
+        cold, _ = session.mine(basket_flock)
+        warm, report = session.mine(basket_flock)
+        assert report.strategy_used == "cache"
+        assert warm == cold
+
+    def test_weaker_threshold_misses(self, session, basket_flock):
+        session.mine(with_support_threshold(basket_flock, 3))
+        _, report = session.mine(basket_flock)  # support 2: weaker
+        assert report.strategy_used != "cache"
+        assert report.cache_misses == 1
+
+    @pytest.mark.parametrize("strategy", ["naive", "optimized", "dynamic"])
+    def test_every_strategy_warms_the_cache(
+        self, small_basket_db, basket_flock, strategy
+    ):
+        session = MiningSession(small_basket_db)
+        cold, _ = session.mine(basket_flock, strategy=strategy)
+        warm, report = session.mine(
+            with_support_threshold(basket_flock, 3), strategy=strategy
+        )
+        assert report.strategy_used == "cache"
+        assert warm.tuples <= cold.tuples
+
+    def test_cache_result_matches_each_strategy(
+        self, small_basket_db, basket_flock
+    ):
+        session = MiningSession(small_basket_db)
+        session.mine(basket_flock, strategy="naive")
+        hotter = with_support_threshold(basket_flock, 3)
+        expected = evaluate_flock(small_basket_db, hotter)
+        served, report = session.mine(hotter, strategy="optimized")
+        assert report.strategy_used == "cache"
+        assert served == expected
+
+
+class TestInvalidation:
+    def test_mutation_invalidates_exactly_dependent_entries(
+        self, small_basket_db, small_medical_db, basket_flock, medical_flock
+    ):
+        # One database holding both domains, one cache over both.
+        db = small_basket_db
+        for name in ("diagnoses", "exhibits", "treatments", "causes"):
+            db.add(small_medical_db.get(name))
+        session = MiningSession(db)
+        session.mine(basket_flock)
+        session.mine(medical_flock)
+
+        # Mutating baskets must drop the basket entry and keep medical's.
+        baskets = db.get("baskets")
+        db.add_rows("baskets", baskets.columns,
+                    list(baskets.tuples) + [(99, "soap")])
+        _, medical_report = session.mine(medical_flock)
+        assert medical_report.strategy_used == "cache"
+        _, basket_report = session.mine(basket_flock)
+        assert basket_report.strategy_used != "cache"
+        assert session.cache.stats.invalidated >= 1
+
+    def test_fresh_result_after_mutation_is_correct(
+        self, session, basket_flock
+    ):
+        session.mine(basket_flock)
+        baskets = session.db.get("baskets")
+        session.db.add_rows(
+            "baskets", baskets.columns,
+            [t for t in baskets.tuples if t[0] != 4],
+        )
+        fresh, report = session.mine(basket_flock)
+        assert report.strategy_used != "cache"
+        expected = evaluate_flock(session.db, basket_flock)
+        assert fresh == expected
+
+
+class TestGuards:
+    def test_budget_applies_to_cache_hit(self, session, basket_flock):
+        session.mine(basket_flock)
+        tiny = ResourceBudget(max_answer_rows=1)
+        with pytest.raises(BudgetExceededError):
+            session.mine(basket_flock, budget=tiny)
+
+    def test_session_default_budget_used(self, small_basket_db, basket_flock):
+        session = MiningSession(
+            small_basket_db, budget=ResourceBudget(max_answer_rows=1)
+        )
+        with pytest.raises(BudgetExceededError):
+            session.mine(basket_flock)
+
+    def test_per_call_budget_overrides_default(
+        self, small_basket_db, basket_flock
+    ):
+        session = MiningSession(
+            small_basket_db, budget=ResourceBudget(max_answer_rows=1)
+        )
+        rel, _ = session.mine(
+            basket_flock, budget=ResourceBudget(max_answer_rows=10_000)
+        )
+        assert len(rel) > 1
+
+
+class TestNonMonotone:
+    def test_non_monotone_filter_bypasses_cache(
+        self, small_basket_db, basket_query_ordered
+    ):
+        flock = QueryFlock(
+            basket_query_ordered, parse_filter("COUNT(answer.B) = 2")
+        )
+        session = MiningSession(small_basket_db)
+        _, first = session.mine(flock, lint=False)
+        _, second = session.mine(flock, lint=False)
+        assert first.strategy_used != "cache"
+        assert second.strategy_used != "cache"
+        assert len(session.cache) == 0
+
+
+class TestWithSupportThreshold:
+    def test_replaces_support_conjunct(self, basket_flock):
+        hotter = with_support_threshold(basket_flock, 7)
+        assert "7" in str(hotter.filter)
+        assert hotter.query is basket_flock.query
+
+    def test_preserves_other_conjuncts(self, basket_query_ordered):
+        flock = QueryFlock(
+            basket_query_ordered,
+            parse_filter("COUNT(answer.B) >= 2 AND SUM(answer.B) <= 100"),
+        )
+        hotter = with_support_threshold(flock, 5)
+        assert "5" in str(hotter.filter)
+        assert "100" in str(hotter.filter)
+
+    def test_no_support_conjunct_raises(self, basket_query_ordered):
+        flock = QueryFlock(
+            basket_query_ordered, parse_filter("SUM(answer.B) <= 100")
+        )
+        with pytest.raises(FilterError):
+            with_support_threshold(flock, 5)
+
+
+class TestPersistence:
+    def test_second_session_starts_warm(
+        self, tmp_path, small_basket_db, basket_flock
+    ):
+        path = str(tmp_path / "cache.db")
+        with MiningSession(small_basket_db, persist_path=path) as first:
+            cold, _ = first.mine(basket_flock)
+
+        with MiningSession(small_basket_db, persist_path=path) as second:
+            warm, report = second.mine(basket_flock)
+        assert report.strategy_used == "cache"
+        assert warm == cold
+
+    def test_changed_cardinality_blocks_adoption(
+        self, tmp_path, small_basket_db, basket_flock
+    ):
+        path = str(tmp_path / "cache.db")
+        with MiningSession(small_basket_db, persist_path=path) as first:
+            first.mine(basket_flock)
+
+        baskets = small_basket_db.get("baskets")
+        small_basket_db.add_rows(
+            "baskets", baskets.columns,
+            list(baskets.tuples) + [(99, "soap")],
+        )
+        with MiningSession(small_basket_db, persist_path=path) as second:
+            _, report = second.mine(basket_flock)
+        assert report.strategy_used != "cache"
+
+
+class TestStats:
+    def test_stats_reflect_traffic(self, session, basket_flock):
+        session.mine(basket_flock)
+        session.mine(basket_flock)
+        stats = session.stats()
+        assert stats.queries == 2
+        assert stats.cache_hits == 1
+        assert stats.cache_misses >= 1
+        assert stats.entries >= 1
+        text = str(stats)
+        assert "2 queries" in text and "1 exact hits" in text
+
+    def test_shared_cache_across_sessions(
+        self, small_basket_db, basket_flock
+    ):
+        first = MiningSession(small_basket_db)
+        first.mine(basket_flock)
+        second = MiningSession(small_basket_db, cache=first.cache)
+        _, report = second.mine(basket_flock)
+        assert report.strategy_used == "cache"
+
+
+class TestUnionFlocks:
+    def test_union_flock_round_trips(self, small_web_db, web_flock):
+        session = MiningSession(small_web_db)
+        cold, report_cold = session.mine(web_flock)
+        assert report_cold.strategy_used != "cache"
+        warm, report_warm = session.mine(web_flock)
+        assert report_warm.strategy_used == "cache"
+        assert warm == cold

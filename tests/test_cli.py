@@ -250,3 +250,67 @@ class TestUnionFlockCli:
             )
             outputs.append(rows)
         assert outputs[0] == outputs[1]
+
+
+class TestSession:
+    def test_script_warm_run_hits_cache(self, workspace, tmp_path, capsys):
+        flock_file, data_dir = workspace
+        script = tmp_path / "session.txt"
+        script.write_text(
+            f"run {flock_file} 5\n"
+            f"run {flock_file} 8\n"
+            "stats\n"
+            "quit\n"
+        )
+        code = main(["session", str(data_dir), "--script", str(script)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("acceptable assignments") == 2
+        assert "(cache" in out
+        assert "1 exact hits" in out
+
+    def test_threshold_override_changes_answer(self, workspace, tmp_path,
+                                               capsys):
+        flock_file, data_dir = workspace
+        script = tmp_path / "session.txt"
+        script.write_text(f"run {flock_file} 2\nrun {flock_file} 50\n")
+        code = main(["session", str(data_dir), "--script", str(script)])
+        assert code == 0
+        counts = [
+            int(line.split()[1])
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("# ")
+        ]
+        assert len(counts) == 2
+        assert counts[0] > counts[1]
+
+    def test_bad_command_sets_status(self, workspace, tmp_path, capsys):
+        _, data_dir = workspace
+        script = tmp_path / "session.txt"
+        script.write_text("frobnicate\n")
+        code = main(["session", str(data_dir), "--script", str(script)])
+        assert code == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_missing_flock_file_reports_error(self, workspace, tmp_path,
+                                              capsys):
+        _, data_dir = workspace
+        script = tmp_path / "session.txt"
+        script.write_text("run /nonexistent.flock\n")
+        code = main(["session", str(data_dir), "--script", str(script)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_persist_warms_second_invocation(self, workspace, tmp_path,
+                                             capsys):
+        flock_file, data_dir = workspace
+        cache_db = tmp_path / "cache.db"
+        script = tmp_path / "session.txt"
+        script.write_text(f"run {flock_file}\n")
+        main(["session", str(data_dir), "--script", str(script),
+              "--persist", str(cache_db)])
+        capsys.readouterr()
+        code = main(["session", str(data_dir), "--script", str(script),
+                     "--persist", str(cache_db)])
+        assert code == 0
+        assert "(cache" in capsys.readouterr().out
