@@ -8,14 +8,7 @@ mechanically and times the enumeration machinery (it sits on the
 optimizer's hot path).
 """
 
-from repro.datalog import (
-    atom,
-    negated,
-    parse_rule,
-    rule,
-    safe_subqueries,
-    unsafe_subqueries,
-)
+from repro.datalog import atom, negated, rule, safe_subqueries, unsafe_subqueries
 
 from conftest import report
 

@@ -13,10 +13,9 @@ reports) and the *cost* of view materialization.
 
 import random
 
-import pytest
 
 from repro.datalog import materialize_views, parse_rule
-from repro.flocks import QueryFlock, evaluate_flock, parse_flock, support_filter
+from repro.flocks import evaluate_flock, parse_flock
 from repro.relational import Database, Relation
 
 from conftest import report

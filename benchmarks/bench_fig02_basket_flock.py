@@ -6,7 +6,7 @@ symmetry.  The measurement compares every evaluation strategy on a Zipf
 basket workload and checks the symmetry claim on real data.
 """
 
-from repro.datalog import Parameter, safe_subqueries
+from repro.datalog import safe_subqueries
 from repro.flocks import (
     QueryFlock,
     evaluate_flock,

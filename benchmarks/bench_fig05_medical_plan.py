@@ -7,7 +7,6 @@ measurement executes the exact Fig. 5 plan, validates it with the
 Section 4.2 legality rule, and checks the intermediate-size claim.
 """
 
-from repro.datalog import Parameter
 from repro.datalog.subqueries import SubqueryCandidate
 from repro.flocks import (
     evaluate_flock,

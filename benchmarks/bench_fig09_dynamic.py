@@ -13,17 +13,18 @@ point of the dynamic strategy.
 
 import pytest
 
-from repro.flocks import evaluate_flock, evaluate_flock_dynamic, parse_flock
+from repro.flocks import evaluate_flock, evaluate_flock_dynamic
 from repro.workloads import generate_medical
 
-from conftest import report
+from conftest import report, scaled
 
 
 @pytest.fixture(scope="module")
 def rare_symptom_workload():
     """Many symptoms, few patients each: exhibits ratio below 20."""
     return generate_medical(
-        n_patients=2000, n_symptoms=900, noise_symptom_rate=1.5, seed=201
+        n_patients=scaled(2000), n_symptoms=900, noise_symptom_rate=1.5,
+        seed=201,
     )
 
 
@@ -31,7 +32,8 @@ def rare_symptom_workload():
 def common_symptom_workload():
     """Few symptoms shared by everyone: exhibits ratio far above 20."""
     return generate_medical(
-        n_patients=2500, n_symptoms=12, noise_symptom_rate=1.5, seed=202
+        n_patients=scaled(2500), n_symptoms=12, noise_symptom_rate=1.5,
+        seed=202,
     )
 
 

@@ -94,7 +94,7 @@ def test_monotone_sum_pruning(benchmark, weighted_db):
         "a-priori applies to any monotone filter; SUM of non-negative "
         "weights is monotone",
         f"SUM-flock answers {outcome['pairs']} pairs; pre-filtering by "
-        f"per-item weight shrank the final join "
+        "per-item weight shrank the final join "
         f"{outcome['plain_final']} -> {outcome['pruned_final']} tuples; "
         f"results agree: {outcome['agree']}",
     )

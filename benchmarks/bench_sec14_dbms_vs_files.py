@@ -14,14 +14,7 @@ speedup into the DBMS setting.
 
 import time
 
-from repro.flocks import (
-    SQLiteBackend,
-    evaluate_flock,
-    frequent_pairs,
-    itemset_flock,
-    itemset_plan,
-    itemsets_from_flock_result,
-)
+from repro.flocks import SQLiteBackend, evaluate_flock, frequent_pairs, itemset_plan, itemsets_from_flock_result
 
 from conftest import report
 

@@ -6,6 +6,8 @@ Every bench module prints a ``paper vs measured`` summary via
 :func:`report`; EXPERIMENTS.md collects the numbers.
 """
 
+import os
+
 import pytest
 
 from repro.flocks import parse_flock
@@ -17,6 +19,17 @@ from repro.workloads import (
     generate_webdocs,
     generate_weighted_baskets,
 )
+
+
+#: Workload scale factor.  1.0 reproduces the paper-sized runs; the CI
+#: smoke job sets ``REPRO_BENCH_SCALE=0.25`` so the same benchmark code
+#: (and its shape assertions) executes end to end in seconds.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Workload size under ``REPRO_BENCH_SCALE``."""
+    return max(minimum, round(n * SCALE))
 
 
 def report(experiment: str, paper: str, measured: str) -> None:
@@ -34,15 +47,16 @@ def word_db():
     the naive self-join pays a quadratic price per article.
     """
     return article_database(
-        n_articles=500, vocabulary=8000, words_per_article=60,
-        skew=0.8, seed=101,
+        n_articles=scaled(500), vocabulary=scaled(8000),
+        words_per_article=60, skew=0.8, seed=101,
     )
 
 
 @pytest.fixture(scope="session")
 def basket_db():
     return basket_database(
-        n_baskets=1000, n_items=1200, avg_basket_size=8, skew=1.1, seed=102
+        n_baskets=scaled(1000), n_items=scaled(1200), avg_basket_size=8,
+        skew=1.1, seed=102,
     )
 
 

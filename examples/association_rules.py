@@ -64,7 +64,7 @@ def main() -> None:
         min_interest_deviation=0.25,
     )
     print(
-        f"\nwith the two-sided interest filter (|lift-1| >= 0.25): "
+        "\nwith the two-sided interest filter (|lift-1| >= 0.25): "
         f"{len(interesting)} of {len(rules)} rules survive"
     )
 

@@ -61,7 +61,7 @@ def main() -> None:
                 list(baskets.tuples) + [(10_001, "anchovies")])
     rel, report = session.mine(flock)
     print(f"\n[after mutation]   {len(rel)} pairs via {report.strategy_used} "
-          f"(cache was invalidated, as it must be)")
+          "(cache was invalidated, as it must be)")
     assert report.strategy_used != "cache"
 
     print(f"\nsession stats: {session.stats()}")

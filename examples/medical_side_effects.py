@@ -16,8 +16,7 @@ Run:  python examples/medical_side_effects.py
 
 import time
 
-from repro import QueryFlock, evaluate_flock, evaluate_flock_dynamic, execute_plan, optimize
-from repro.datalog import Parameter
+from repro import evaluate_flock, evaluate_flock_dynamic, execute_plan, optimize
 from repro.datalog.subqueries import SubqueryCandidate
 from repro.flocks import parse_flock, plan_from_subqueries
 from repro.workloads import generate_medical

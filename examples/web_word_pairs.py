@@ -74,7 +74,7 @@ def main() -> None:
     planned = execute_plan(db, flock, plan, validate=False)
     plan_ms = (time.perf_counter() - started) * 1e3
     print(f"\n[plan]  {len(planned)} connected pairs in {plan_ms:.1f} ms "
-          f"(pre-filtered rare words via okW)")
+          "(pre-filtered rare words via okW)")
 
     assert planned.relation == naive
     recovered = set(naive.tuples) & workload.planted_pairs

@@ -115,19 +115,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         relation, report = mine(
             db, flock, strategy=args.strategy,
             budget=budget, backend=args.backend,
+            join_order=args.join_order,
         )
         trace_text = str(report)
     elif args.strategy == "naive":
-        relation = evaluate_flock(db, flock, guard=guard)
+        relation = evaluate_flock(
+            db, flock, guard=guard, order_strategy=args.join_order
+        )
         trace_text = ""
     elif args.strategy == "dynamic":
-        result, trace = evaluate_flock_dynamic(db, flock, guard=guard)
+        result, trace = evaluate_flock_dynamic(
+            db, flock, guard=guard, order_strategy=args.join_order
+        )
         relation = result.relation
         trace_text = str(trace)
     else:
         gather = args.strategy == "stats"
         plan = _optimized_plan(db, flock, gather)
-        result = execute_plan(db, flock, plan, validate=False, guard=guard)
+        result = execute_plan(
+            db, flock, plan, validate=False, guard=guard,
+            order_strategy=args.join_order,
+        )
         relation = result.relation
         trace_text = str(result.trace)
     elapsed = time.perf_counter() - started
@@ -139,7 +147,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("\t".join(str(v) for v in row))
     if len(relation) > args.limit:
         print(f"... and {len(relation) - args.limit} more "
-              f"(raise --limit to see them)")
+              "(raise --limit to see them)")
     if args.verbose and trace_text:
         print("\n# trace", file=sys.stderr)
         print(trace_text, file=sys.stderr)
@@ -366,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="memory",
                      help="execution backend (sqlite falls back to memory "
                      "on backend failure)")
+    run.add_argument("--join-order", choices=("greedy", "selinger"),
+                     default="greedy", dest="join_order",
+                     help="join ordering plans are lowered with: greedy "
+                     "(default) or the Selinger-style DP orderer")
     run.add_argument("--timeout", type=_nonnegative_float, default=None,
                      metavar="SECONDS",
                      help="wall-clock budget; exceeding it aborts with a "

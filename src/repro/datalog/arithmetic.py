@@ -24,7 +24,7 @@ the optimizer for pruning trivially unsatisfiable subqueries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Optional
 
 from .atoms import Comparison, ComparisonOp
 from .terms import Constant, Term

@@ -26,12 +26,11 @@ subgoal-subset criterion via :func:`is_subquery_bound`.
 
 from __future__ import annotations
 
-from itertools import product
 from typing import Mapping, Optional
 
 from .atoms import Comparison, RelationalAtom
 from .query import ConjunctiveQuery
-from .terms import Constant, Parameter, Term, Variable
+from .terms import Constant, Parameter, Term
 
 
 def _is_pure(query: ConjunctiveQuery) -> bool:

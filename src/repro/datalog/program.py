@@ -42,7 +42,7 @@ from ..relational.relation import Relation
 from .atoms import RelationalAtom
 from .query import ConjunctiveQuery
 from .safety import assert_safe
-from .terms import Parameter, Variable
+from .terms import Variable
 
 
 @dataclass(frozen=True)

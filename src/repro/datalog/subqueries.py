@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from .query import ConjunctiveQuery, UnionQuery
 from .safety import check_safety

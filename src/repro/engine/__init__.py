@@ -1,0 +1,50 @@
+"""Backend-agnostic physical plan IR and its interpreters.
+
+The paper's contribution is a *plan* notation — ``R(P) := FILTER(P, Q,
+C)`` (Section 4.1) — and this package is where those logical plans
+become physical ones, exactly once.  :mod:`repro.engine.planner` lowers
+a logical rule / filter step into a small DAG of physical operators
+(:mod:`repro.engine.ir`); :mod:`repro.engine.memory` interprets that DAG
+over columnar in-memory relations, and :mod:`repro.engine.sqlgen`
+renders the same DAG to SQLite SQL.  Every strategy (naive, optimized,
+stats, dynamic) and both backends execute through this IR, so the plan
+we can print (:meth:`~repro.engine.ir.PhysicalPlan.render`) is by
+construction the plan we run.
+"""
+
+from .ir import (
+    AggregateSpec,
+    AntiJoin,
+    CompareFilter,
+    GroupAggregate,
+    HashJoin,
+    JoinStage,
+    Materialize,
+    PhysicalPlan,
+    Scan,
+    StepPlan,
+    ThresholdFilter,
+    UnionOp,
+)
+from .memory import MemoryEngine, StepResult
+from .planner import lower_rule, lower_step, order_positive_atoms
+
+__all__ = [
+    "AggregateSpec",
+    "AntiJoin",
+    "CompareFilter",
+    "GroupAggregate",
+    "HashJoin",
+    "JoinStage",
+    "Materialize",
+    "MemoryEngine",
+    "PhysicalPlan",
+    "Scan",
+    "StepPlan",
+    "StepResult",
+    "ThresholdFilter",
+    "UnionOp",
+    "lower_rule",
+    "lower_step",
+    "order_positive_atoms",
+]

@@ -1,0 +1,265 @@
+"""The physical plan IR: a small DAG of operators shared by every
+strategy and backend.
+
+A :class:`PhysicalPlan` is the lowered form of one conjunctive rule: a
+linear sequence of :class:`JoinStage` nodes (left-deep, matching the
+join orders Section 4 assumes) followed by a :class:`Materialize`
+projection.  Each stage bundles the :class:`Scan` of one subgoal's
+binding relation, the :class:`HashJoin` against the running result, and
+the :class:`CompareFilter` / :class:`AntiJoin` operators that attach as
+soon as their terms are bound.  Keeping the stages linearized (rather
+than a recursive tree) is deliberate: guard checkpoints, trace rows and
+fault-injection trip points fire per stage with exact input/output
+sizes, the same instrumentation every strategy previously re-implemented.
+
+A :class:`StepPlan` lowers one ``R(P) := FILTER(P, Q, C)`` step: the
+union of its rules' plans, a :class:`GroupAggregate` per filter
+conjunct, a :class:`ThresholdFilter`, and a final :class:`Materialize`
+onto the step's parameter columns.
+
+Plans are built once by :mod:`repro.engine.planner` and interpreted by
+both the in-memory engine and the SQLite renderer, so
+:meth:`PhysicalPlan.render` — which backs ``repro explain`` — describes
+exactly what runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # imported for annotations only; no runtime dependency
+    from ..datalog.atoms import Comparison, RelationalAtom
+    from ..datalog.query import ConjunctiveQuery
+    from ..datalog.terms import Term
+    from ..relational.aggregates import AggregateFunction
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Scan one positive subgoal's binding relation.
+
+    ``columns`` are the rendered bindable terms in first-occurrence
+    order (constants and repeated terms are handled inside the scan by
+    selection); ``cardinality`` is the base relation's size from the
+    catalog statistics.
+    """
+
+    atom: "RelationalAtom"
+    columns: tuple[str, ...]
+    cardinality: int
+
+
+@dataclass(frozen=True)
+class HashJoin:
+    """Natural hash join of the running result with a stage's scan.
+
+    ``on`` holds the shared columns (sorted, for stable rendering);
+    empty ``on`` means a cartesian product.  ``estimate`` is the
+    System-R style size estimate computed at lowering time; the dynamic
+    strategy compares it with observed sizes to decide when to re-plan.
+    """
+
+    on: tuple[str, ...]
+    columns: tuple[str, ...]
+    estimate: float
+
+
+@dataclass(frozen=True)
+class CompareFilter:
+    """An arithmetic subgoal applied once all its terms are bound."""
+
+    comparison: "Comparison"
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AntiJoin:
+    """A negated subgoal applied as an anti-join once fully bound.
+
+    ``atom`` keeps its negative polarity (it renders as ``NOT p(...)``);
+    interpreters scan ``atom.with_positive_polarity()``.
+    """
+
+    atom: "RelationalAtom"
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinStage:
+    """One left-deep join step plus the filters that attach to it.
+
+    ``join`` is ``None`` for the first stage (joining the unit relation
+    is the identity).  ``node`` is the guard/trace label — the single
+    place checkpoints and trace rows are emitted for this stage.
+    """
+
+    scan: Scan
+    join: HashJoin | None
+    filters: tuple[CompareFilter | AntiJoin, ...]
+    node: str
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        if self.filters:
+            return self.filters[-1].columns
+        if self.join is not None:
+            return self.join.columns
+        return self.scan.columns
+
+    @property
+    def estimate(self) -> float:
+        return (
+            float(self.scan.cardinality)
+            if self.join is None
+            else self.join.estimate
+        )
+
+
+@dataclass(frozen=True)
+class Materialize:
+    """Project the running result onto the output terms and name it.
+
+    ``output_terms`` may include constants (re-inserted positionally as
+    ``_const{i}`` columns); ``columns`` are the final labels.
+    """
+
+    name: str
+    output_terms: tuple["Term", ...]
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class UnionOp:
+    """Set union of the step's rule branches (positionally aligned)."""
+
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate column of a :class:`GroupAggregate`.
+
+    ``target`` lists the answer columns the aggregate consumes
+    (all head columns for ``COUNT(answer(*))``); ``column`` is the
+    produced column label (``_agg{i}``).
+    """
+
+    fn: "AggregateFunction"
+    target: tuple[str, ...]
+    column: str
+
+
+@dataclass(frozen=True)
+class GroupAggregate:
+    """Group the answer relation by the parameter columns and compute
+    one aggregate column per filter conjunct."""
+
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ThresholdFilter:
+    """Keep the groups whose aggregates satisfy every filter conjunct.
+
+    ``conditions`` pairs each :class:`~repro.flocks.filters.FilterCondition`
+    with the aggregate column it tests.  This is the paper's ``C`` made
+    a first-class operator rather than a post-hoc filter.
+    """
+
+    conditions: tuple[tuple[object, str], ...]
+    columns: tuple[str, ...]
+
+
+@dataclass
+class PhysicalPlan:
+    """The lowered physical plan of one conjunctive rule."""
+
+    query: "ConjunctiveQuery"
+    order_strategy: str
+    order: tuple[int, ...]
+    stages: tuple[JoinStage, ...]
+    unit_filters: tuple[CompareFilter | AntiJoin, ...]
+    root: Materialize
+
+    @property
+    def join_sequence(self) -> tuple[str, ...]:
+        """The predicates in execution order — what actually joins."""
+        return tuple(stage.scan.atom.predicate for stage in self.stages)
+
+    def render(self) -> str:
+        """The EXPLAIN text: scan/join/filter/project lines with size
+        estimates.  This *is* the plan the engines execute."""
+        lines = [f"EXPLAIN ({self.order_strategy} join order) for: {self.query}"]
+        for stage in self.stages:
+            atom = stage.scan.atom
+            if stage.join is None:
+                lines.append(
+                    f"  scan {atom}  (~{stage.scan.cardinality} tuples)"
+                )
+            else:
+                on = (
+                    f" on ({', '.join(stage.join.on)})"
+                    if stage.join.on
+                    else " (cartesian!)"
+                )
+                lines.append(
+                    f"  join {atom}{on}  (~{stage.join.estimate:,.0f} tuples)"
+                )
+            for op in stage.filters:
+                if isinstance(op, CompareFilter):
+                    lines.append(f"    then filter: {op.comparison}")
+                else:
+                    lines.append(f"    then anti-join: {op.atom}")
+        for op in self.unit_filters:
+            if isinstance(op, CompareFilter):
+                lines.append(f"    then filter: {op.comparison}")
+            else:
+                lines.append(f"    then anti-join: {op.atom}")
+        head = ", ".join(str(t) for t in self.query.head_terms)
+        lines.append(f"  project ({head})")
+        return "\n".join(lines)
+
+
+@dataclass
+class StepPlan:
+    """The lowered physical plan of one FILTER step (or final flock
+    answer): union the rule branches, aggregate per conjunct, apply the
+    threshold filter, and materialize the surviving parameter tuples."""
+
+    branches: tuple[PhysicalPlan, ...]
+    union: UnionOp
+    answer_columns: tuple[str, ...]
+    group: GroupAggregate
+    threshold: ThresholdFilter
+    root: Materialize
+
+    @property
+    def result_name(self) -> str:
+        return self.root.name
+
+    def render(self) -> str:
+        parts = [branch.render() for branch in self.branches]
+        group = ", ".join(self.group.group_by)
+        aggs = ", ".join(
+            f"{spec.column}={spec.fn.name}({', '.join(spec.target)})"
+            for spec in self.group.aggregates
+        )
+        parts.append(f"  group by ({group}) computing {aggs}")
+        conds = " AND ".join(str(cond) for cond, _ in self.threshold.conditions)
+        parts.append(f"  threshold filter: {conds}")
+        parts.append(f"  materialize {self.root.name}({group})")
+        return "\n".join(parts)
+
+
+def filters_render(ops: Sequence[CompareFilter | AntiJoin]) -> list[str]:
+    """Render attached filter operators (shared by plan renderers)."""
+    lines = []
+    for op in ops:
+        if isinstance(op, CompareFilter):
+            lines.append(f"filter: {op.comparison}")
+        else:
+            lines.append(f"anti-join: {op.atom}")
+    return lines

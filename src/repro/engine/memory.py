@@ -1,0 +1,298 @@
+"""The in-memory interpreter for physical plans, over columnar relations.
+
+Executes a :class:`~repro.engine.ir.PhysicalPlan` stage by stage —
+batch-at-a-time columnar hash joins, comparison filters and anti-joins —
+with the guard checkpoint, trace row and fault-injection trip point for
+each stage emitted in exactly one place.  Binding relations are cached
+per engine instance, so a union's branches (or a dynamic re-plan) never
+rebuild the same scan twice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..datalog.atoms import RelationalAtom
+from ..datalog.terms import is_bindable
+from ..guard import ExecutionGuard, GuardLike, as_guard
+from ..relational.aggregates import group_aggregate
+from ..relational.binding import (
+    apply_comparison,
+    atom_binding_relation,
+    term_column,
+    unit_relation,
+)
+from ..relational.catalog import Database
+from ..relational.operators import anti_join, natural_join
+from ..relational.relation import Relation
+from ..testing.faults import trip
+from .ir import (
+    AntiJoin,
+    CompareFilter,
+    JoinStage,
+    Materialize,
+    PhysicalPlan,
+    StepPlan,
+)
+
+
+@dataclass
+class StepResult:
+    """Everything a FILTER step produces, before and after the filter.
+
+    ``answer`` is the unioned rule result; ``passed`` keeps the
+    surviving groups *with* their aggregate columns (what the session
+    cache stores); ``result`` is the materialized survivor relation.
+    """
+
+    answer: Relation
+    passed: Relation
+    result: Relation
+
+
+class MemoryEngine:
+    """Interpret physical plans over the columnar in-memory relations.
+
+    Args:
+        db: the database plans were lowered against.
+        guard: optional execution guard; each join stage notes a trace
+            row and checkpoints through it.
+        trip_site: the fault-injection site tripped once per join stage
+            (``"relational.join"`` for the shared evaluator,
+            ``"dynamic.join"`` when the dynamic strategy drives stages).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        guard: GuardLike = None,
+        trip_site: str = "relational.join",
+    ):
+        self.db = db
+        self.guard: ExecutionGuard | None = as_guard(guard)
+        self.trip_site = trip_site
+        self._bindings: dict[RelationalAtom, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Leaf and filter operators
+    # ------------------------------------------------------------------
+
+    def scan_atom(self, atom: RelationalAtom) -> Relation:
+        """The (cached) binding relation of one positive subgoal."""
+        cached = self._bindings.get(atom)
+        if cached is None:
+            cached = atom_binding_relation(self.db, atom)
+            self._bindings[atom] = cached
+        return cached
+
+    def apply_filter(
+        self, current: Relation, op: CompareFilter | AntiJoin
+    ) -> Relation:
+        """Apply one attached filter operator to the running result."""
+        if isinstance(op, CompareFilter):
+            return apply_comparison(current, op.comparison)
+        neg = op.atom
+        neg_rel = self.scan_atom(neg.with_positive_polarity())
+        if neg.bindable_terms():
+            return anti_join(current, neg_rel, name=current.name)
+        # Ground negation: NOT p(c1,...,ck) empties the result iff the
+        # selected relation is nonempty.
+        if len(neg_rel):
+            return Relation(current.name, current.columns)
+        return current
+
+    # ------------------------------------------------------------------
+    # Rule plans
+    # ------------------------------------------------------------------
+
+    def run_stage(
+        self,
+        current: Relation | None,
+        stage: JoinStage,
+        leaf: Relation | None = None,
+        join_name: str = "join",
+    ) -> Relation:
+        """One join stage: trip, join, attached filters, guard note.
+
+        ``current=None`` makes the stage's scan the running result (the
+        dynamic strategy's first stage; the shared evaluator passes the
+        unit relation instead so the trace reports 1 input tuple).
+        ``leaf`` overrides the scan with an already-reduced binding
+        relation (a dynamically filtered leaf); ``join_name`` names the
+        join result (``temp{n}`` under the dynamic strategy).
+        """
+        trip(self.trip_site)
+        started = time.perf_counter()
+        before = len(current) if current is not None else 0
+        scan_rel = leaf if leaf is not None else self.scan_atom(stage.scan.atom)
+        if current is None:
+            current = scan_rel
+        else:
+            current = natural_join(current, scan_rel, name=join_name)
+        for op in stage.filters:
+            current = self.apply_filter(current, op)
+        if self.guard is not None:
+            self.guard.note_step(
+                name=stage.node,
+                description=str(stage.scan.atom),
+                input_tuples=before,
+                output_assignments=len(current),
+                seconds=time.perf_counter() - started,
+                filtered=False,
+            )
+            self.guard.checkpoint(rows=len(current), node=stage.node)
+        return current
+
+    def run_plan(self, plan: PhysicalPlan) -> Relation:
+        """Execute one rule plan end to end, including materialization."""
+        current = unit_relation()
+        for stage in plan.stages:
+            current = self.run_stage(current, stage)
+        for op in plan.unit_filters:
+            current = self.apply_filter(current, op)
+        return self.materialize(current, plan.root)
+
+    def materialize(self, current: Relation, root: Materialize) -> Relation:
+        """Project onto the output terms under the plan's labels,
+        re-inserting constant head terms positionally."""
+        data = current.columns_data()
+        n = len(current)
+        entries: list[object] = []  # column position | ("const", value)
+        positions: list[int] = []
+        for term in root.output_terms:
+            if is_bindable(term):
+                p = current.column_position(term_column(term))
+                positions.append(p)
+                entries.append(p)
+            else:
+                entries.append(("const", term.value))  # type: ignore[union-attr]
+
+        if len(set(positions)) == len(data):
+            # Output covers every column: rows stay distinct.
+            arrays = [
+                data[e] if isinstance(e, int) else [e[1]] * n for e in entries
+            ]
+            return Relation.from_columns(root.name, root.columns, arrays, count=n)
+
+        # The projection drops columns: deduplicate the bindable part,
+        # then re-insert constants (which cannot split groups).
+        if not positions:
+            rows: set[tuple] = {()} if n else set()
+        elif len(positions) == 1:
+            rows = {(v,) for v in data[positions[0]]}
+        else:
+            rows = set(zip(*(data[p] for p in positions)))
+        const_inserts = [
+            (i, e[1])
+            for i, e in enumerate(entries)
+            if not isinstance(e, int)
+        ]
+        if const_inserts:
+            out_rows = set()
+            for row in rows:
+                values = list(row)
+                for i, v in const_inserts:
+                    values.insert(i, v)
+                out_rows.add(tuple(values))
+            rows = out_rows
+        return Relation.from_distinct_rows(root.name, root.columns, rows)
+
+    # ------------------------------------------------------------------
+    # Step plans (FILTER steps / flock answers)
+    # ------------------------------------------------------------------
+
+    def run_answer(
+        self, step: StepPlan, union_node: str | None = None
+    ) -> Relation:
+        """The unioned answer relation of a step's rule branches.
+
+        ``union_node`` names a guard checkpoint fired after each branch
+        (the union operator's single instrumentation point).
+        """
+        if len(step.branches) == 1 and union_node is None:
+            return self.run_plan(step.branches[0]).with_name("answer")
+        rows: set[tuple] = set()
+        for branch in step.branches:
+            rows |= self.run_plan(branch).tuples
+            if union_node is not None and self.guard is not None:
+                self.guard.checkpoint(rows=len(rows), node=union_node)
+        return Relation.from_distinct_rows(
+            "answer", step.answer_columns, rows
+        )
+
+    def group_filter(
+        self,
+        answer: Relation,
+        group_by,
+        aggregates,
+        conditions,
+        name: str = "ok",
+    ) -> Relation:
+        """GroupAggregate + ThresholdFilter: the surviving groups with
+        their aggregate value columns (one ``_agg{i}`` per conjunct)."""
+        grouped: Relation | None = None
+        for spec in aggregates:
+            agg = group_aggregate(
+                answer,
+                list(group_by),
+                spec.fn,
+                target=list(spec.target),
+                result_column=spec.column,
+            )
+            grouped = (
+                agg if grouped is None else natural_join(grouped, agg, name="agg")
+            )
+        assert grouped is not None
+        data = grouped.columns_data()
+        tests = [
+            (cond, grouped.column_position(column))
+            for cond, column in conditions
+        ]
+        keep = [
+            i
+            for i in range(len(grouped))
+            if all(cond.passes(data[p][i]) for cond, p in tests)
+        ]
+        return Relation.from_columns(
+            name,
+            grouped.columns,
+            [[arr[i] for i in keep] for arr in data],
+            count=len(keep),
+        )
+
+    def run_group_filter(self, answer: Relation, step: StepPlan) -> Relation:
+        return self.group_filter(
+            answer,
+            step.group.group_by,
+            step.group.aggregates,
+            step.threshold.conditions,
+            name=step.root.name,
+        )
+
+    def project_unique(self, rel: Relation, columns, name: str) -> Relation:
+        """Project onto ``columns`` when they are known to stay unique
+        (e.g. group keys after aggregation) — no dedup pass."""
+        data = rel.columns_data()
+        arrays = [data[rel.column_position(c)] for c in columns]
+        return Relation.from_columns(name, tuple(columns), arrays, count=len(rel))
+
+    def finalize_step(self, passed: Relation, step: StepPlan) -> Relation:
+        """Materialize the survivor relation (group columns only).
+
+        Group keys are unique in the aggregated relation, so dropping
+        the aggregate columns preserves distinctness.
+        """
+        return self.project_unique(passed, step.root.columns, step.root.name)
+
+    def run_step(
+        self, step: StepPlan, union_node: str | None = None
+    ) -> StepResult:
+        """Execute one FILTER step end to end."""
+        answer = self.run_answer(step, union_node=union_node)
+        passed = self.run_group_filter(answer, step)
+        return StepResult(
+            answer=answer,
+            passed=passed,
+            result=self.finalize_step(passed, step),
+        )

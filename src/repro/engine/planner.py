@@ -1,0 +1,315 @@
+"""Lowering: logical rules and FILTER steps become physical plans, once.
+
+The planner turns one extended conjunctive query into a
+:class:`~repro.engine.ir.PhysicalPlan`: pick a join order (greedy,
+Selinger, or caller-supplied), emit one :class:`JoinStage` per positive
+subgoal, attach each comparison/negation to the earliest stage where its
+terms are bound (the same eager placement Sections 4.1–4.3 assume for
+selections), compute System-R style size estimates per stage, and close
+with a :class:`Materialize` projection.  :func:`lower_step` wraps the
+rule plans of one ``R(P) := FILTER(P, Q, C)`` step with the union /
+group-aggregate / threshold-filter operators.
+
+Both engines — in-memory (:mod:`repro.engine.memory`) and SQLite
+(:mod:`repro.engine.sqlgen`) — interpret the plans built here; no
+strategy or backend re-derives ordering or filter placement on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datalog.atoms import RelationalAtom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.terms import Term, is_bindable
+from ..errors import EvaluationError
+from ..relational.binding import term_column
+from ..relational.catalog import Database
+from ..relational.joinorder import greedy_join_order, selinger_join_order
+from .ir import (
+    AggregateSpec,
+    AntiJoin,
+    CompareFilter,
+    GroupAggregate,
+    HashJoin,
+    JoinStage,
+    Materialize,
+    PhysicalPlan,
+    Scan,
+    StepPlan,
+    ThresholdFilter,
+    UnionOp,
+)
+
+
+def order_positive_atoms(
+    db: Database,
+    positives: Sequence[RelationalAtom],
+    order_strategy: str = "greedy",
+    join_order: Sequence[int] | None = None,
+) -> tuple[list[int], str]:
+    """The join order to lower with, and the label it renders under.
+
+    An explicit ``join_order`` (indices into ``positives``) wins over
+    the strategy; it must be a permutation.
+    """
+    if join_order is not None:
+        order = list(join_order)
+        if sorted(order) != list(range(len(positives))):
+            raise EvaluationError(
+                f"join_order {order} is not a permutation of the "
+                f"{len(positives)} positive subgoals"
+            )
+        return order, "explicit"
+    if order_strategy == "greedy":
+        return greedy_join_order(db, positives), "greedy"
+    if order_strategy == "selinger":
+        return selinger_join_order(db, positives), "selinger"
+    raise ValueError(
+        f"unknown order strategy {order_strategy!r}; "
+        "use 'greedy' or 'selinger'"
+    )
+
+
+def scan_columns(atom: RelationalAtom) -> tuple[str, ...]:
+    """The binding-relation columns of one subgoal: rendered bindable
+    terms, first occurrence only (constants/repeats are selections)."""
+    seen: set[str] = set()
+    columns: list[str] = []
+    for term in atom.terms:
+        if is_bindable(term):
+            column = term_column(term)
+            if column not in seen:
+                seen.add(column)
+                columns.append(column)
+    return tuple(columns)
+
+
+def _column_for(db: Database, atom: RelationalAtom, rendered: str) -> str:
+    """The base-relation column an atom binds for a rendered term name."""
+    columns = db.get(atom.predicate).columns
+    for position, term in enumerate(atom.terms):
+        if term_column(term) == rendered and position < len(columns):
+            return columns[position]
+    return rendered
+
+
+def lower_rule(
+    db: Database,
+    query: ConjunctiveQuery,
+    output_terms: Sequence[Term] | None = None,
+    output_columns: Sequence[str] | None = None,
+    join_order: Sequence[int] | None = None,
+    order_strategy: str = "greedy",
+) -> PhysicalPlan:
+    """Lower one rule to a physical plan.
+
+    Args:
+        db: catalog supplying cardinalities and distinct counts.
+        query: a safe extended conjunctive query.
+        output_terms: terms to project onto; defaults to the head terms.
+        output_columns: labels for the output columns; defaults to the
+            rendered terms (constants become ``_const{i}``).
+        join_order: explicit positive-subgoal order (wins over
+            ``order_strategy``).
+        order_strategy: ``"greedy"`` or ``"selinger"``.
+    """
+    positives = query.positive_atoms()
+    order, strategy_label = order_positive_atoms(
+        db, positives, order_strategy=order_strategy, join_order=join_order
+    )
+    pending_comparisons = list(query.comparisons())
+    pending_negations = list(query.negated_atoms())
+
+    stages: list[JoinStage] = []
+    bound: set[str] = set()
+    running = 1.0
+    prev_columns: tuple[str, ...] = ()
+
+    def attach_bound_filters(columns: tuple[str, ...]):
+        attached: list = []
+        progress = True
+        while progress:
+            progress = False
+            for comp in list(pending_comparisons):
+                if all(term_column(t) in bound for t in comp.bindable_terms()):
+                    attached.append(CompareFilter(comp, columns))
+                    pending_comparisons.remove(comp)
+                    progress = True
+            for neg in list(pending_negations):
+                if all(term_column(t) in bound for t in neg.bindable_terms()):
+                    attached.append(AntiJoin(neg, columns))
+                    pending_negations.remove(neg)
+                    progress = True
+        return tuple(attached)
+
+    for position, idx in enumerate(order):
+        atom = positives[idx]
+        stats = db.stats(atom.predicate)
+        columns = scan_columns(atom)
+        scan = Scan(atom, columns, stats.cardinality)
+        atom_column_set = set(columns)
+        if position == 0:
+            join = None
+            running = float(stats.cardinality)
+            stage_columns = columns
+        else:
+            shared = sorted(bound & atom_column_set)
+            # Independence estimate with the running size as the left
+            # side; join-column distincts bounded by the right relation's.
+            size = running * stats.cardinality
+            for shared_column in shared:
+                base_column = _column_for(db, atom, shared_column)
+                size /= max(stats.distinct_count(base_column), 1)
+            running = size
+            stage_columns = prev_columns + tuple(
+                c for c in columns if c not in set(prev_columns)
+            )
+            join = HashJoin(tuple(shared), stage_columns, running)
+        bound |= atom_column_set
+        filters = attach_bound_filters(stage_columns)
+        stages.append(
+            JoinStage(scan, join, filters, f"join:{atom.predicate}")
+        )
+        prev_columns = stage_columns
+
+    # Queries with no positive atoms still must apply constant-only
+    # subgoals (safety allows e.g. `answer(1) :- 1 < 2`).
+    unit_filters = attach_bound_filters(prev_columns)
+    if pending_comparisons or pending_negations:
+        left = pending_comparisons + pending_negations
+        raise EvaluationError(
+            f"subgoals never became bound: {[str(s) for s in left]} "
+            "(query should have failed the safety check)"
+        )
+
+    root = _lower_materialize(
+        query, output_terms, output_columns, bound, name=query.head_name
+    )
+    return PhysicalPlan(
+        query=query,
+        order_strategy=strategy_label,
+        order=tuple(order),
+        stages=tuple(stages),
+        unit_filters=unit_filters,
+        root=root,
+    )
+
+
+def _lower_materialize(
+    query: ConjunctiveQuery,
+    output_terms: Sequence[Term] | None,
+    output_columns: Sequence[str] | None,
+    bound: set[str],
+    name: str,
+) -> Materialize:
+    terms = tuple(
+        output_terms if output_terms is not None else query.head_terms
+    )
+    labels: list[str] = []
+    for i, term in enumerate(terms):
+        if is_bindable(term):
+            column = term_column(term)
+            if column not in bound:
+                raise EvaluationError(
+                    f"output term {term} is not bound by any positive subgoal"
+                )
+            labels.append(column)
+        else:
+            labels.append(f"_const{i}")
+    if output_columns is not None:
+        if len(output_columns) != len(terms):
+            raise EvaluationError(
+                f"output_columns has {len(output_columns)} names for "
+                f"{len(terms)} output terms"
+            )
+        labels = list(output_columns)
+    return Materialize(name=name, output_terms=terms, columns=tuple(labels))
+
+
+def complete_order(
+    db: Database,
+    positives: Sequence[RelationalAtom],
+    prefix: Sequence[int],
+    current_size: int,
+) -> list[int]:
+    """Re-plan the join order for the subgoals not yet joined.
+
+    Used by the dynamic strategy's runtime re-planning (Section 4.4):
+    when the observed size of the running result diverges from the
+    plan's estimate, the remaining stages are re-ordered greedily from
+    the *observed* size, keeping the already-executed ``prefix``
+    (avoiding cartesian products until forced, like the initial order).
+    """
+    bound: set[str] = set()
+    for idx in prefix:
+        bound |= set(scan_columns(positives[idx]))
+    remaining = [i for i in range(len(positives)) if i not in set(prefix)]
+    order = list(prefix)
+    size = float(max(current_size, 1))
+    while remaining:
+        stats = {i: db.stats(positives[i].predicate) for i in remaining}
+
+        def growth(i: int) -> float:
+            columns = scan_columns(positives[i])
+            shared = sorted(bound & set(columns))
+            estimate = size * stats[i].cardinality
+            for shared_column in shared:
+                base_column = _column_for(db, positives[i], shared_column)
+                estimate /= max(stats[i].distinct_count(base_column), 1)
+            return estimate
+
+        connected = [
+            i for i in remaining if bound & set(scan_columns(positives[i]))
+        ]
+        pool = connected or remaining
+        if connected:
+            pick = min(pool, key=lambda i: (growth(i), stats[i].cardinality))
+        else:
+            pick = min(pool, key=lambda i: stats[i].cardinality)
+        order.append(pick)
+        remaining.remove(pick)
+        bound |= set(scan_columns(positives[pick]))
+        size = growth(pick)
+    return order
+
+
+def lower_step(
+    db: Database,
+    rules: Sequence[ConjunctiveQuery],
+    output_terms_per_rule: Sequence[Sequence[Term]],
+    answer_columns: Sequence[str],
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    conditions: Sequence[tuple[object, str]],
+    result_name: str,
+    order_strategy: str = "greedy",
+) -> StepPlan:
+    """Lower one FILTER step: union the rule plans, group by the
+    parameter columns, aggregate one column per filter conjunct, apply
+    the threshold filter, and materialize the survivors."""
+    branches = tuple(
+        lower_rule(
+            db,
+            rule,
+            output_terms=terms,
+            output_columns=answer_columns,
+            order_strategy=order_strategy,
+        )
+        for rule, terms in zip(rules, output_terms_per_rule)
+    )
+    specs = tuple(aggregates)
+    group_columns = tuple(group_by) + tuple(spec.column for spec in specs)
+    group = GroupAggregate(tuple(group_by), specs, group_columns)
+    threshold = ThresholdFilter(tuple(conditions), group_columns)
+    root = Materialize(
+        name=result_name, output_terms=(), columns=tuple(group_by)
+    )
+    return StepPlan(
+        branches=branches,
+        union=UnionOp(tuple(answer_columns)),
+        answer_columns=tuple(answer_columns),
+        group=group,
+        threshold=threshold,
+        root=root,
+    )

@@ -22,13 +22,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from itertools import combinations
-from typing import Iterable
 
 from ..datalog.atoms import atom, comparison
 from ..datalog.query import rule
 from ..datalog.subqueries import SubqueryCandidate
 from ..relational.relation import Relation
-from .filters import FilterCondition, support_filter
+from .filters import support_filter
 from .flock import QueryFlock
 from .plans import QueryPlan, plan_from_subqueries
 

@@ -1,8 +1,10 @@
 """Dynamic selection of filter steps (Section 4.4).
 
 Instead of fixing the FILTER steps in advance, the dynamic strategy
-chooses a join order, then *watches the sizes of intermediate relations*
-and decides after each join whether inserting a FILTER step would pay:
+lowers the flock's rule to the same physical plan every other strategy
+runs (:func:`repro.engine.planner.lower_rule`), then *watches the sizes
+of intermediate relations* while interpreting its stages and decides
+after each join whether inserting a FILTER step would pay:
 
 * when a set of parameters appears for the first time (including the
   single-subgoal leaves), compare the number of tuples per parameter
@@ -14,6 +16,13 @@ and decides after each join whether inserting a FILTER step would pay:
   filter opportunity for that set;
 * the root must always be filtered — that final FILTER *is* the flock's
   answer.
+
+Watching sizes enables one more dynamic move the static strategies
+cannot make: when the observed size of an intermediate relation
+diverges badly from the stage's estimate, the *remaining* stages are
+re-planned from the observed size
+(:func:`repro.engine.planner.complete_order`) and the evaluator swaps
+in the re-lowered plan suffix — same IR, new operator order.
 
 A filter step is sound here for the same reason as in the static case:
 the subgoals joined so far form a safe subquery of the flock query (the
@@ -31,25 +40,17 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import FilterError, PlanError
-from ..datalog.atoms import Comparison, RelationalAtom
+from ..datalog.atoms import RelationalAtom
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.safety import assert_safe
-from ..guard import ExecutionGuard, GuardLike, as_guard
+from ..engine.ir import CompareFilter, JoinStage, PhysicalPlan
+from ..engine.memory import MemoryEngine
+from ..engine.planner import complete_order, lower_rule
+from ..guard import GuardLike, as_guard
 from ..relational.catalog import Database
-from ..relational.evaluate import (
-    atom_binding_relation,
-    greedy_join_order,
-    term_column,
-)
-from ..relational.operators import natural_join, semi_join
+from ..relational.operators import semi_join
 from ..relational.relation import Relation
-from ..testing.faults import trip
-from .filters import (
-    STAR,
-    iter_conditions,
-    surviving_assignments,
-    surviving_with_aggregates,
-)
+from .filters import STAR, iter_conditions, plan_aggregate_specs
 from .flock import QueryFlock
 from .result import FlockResult
 
@@ -108,6 +109,11 @@ class DynamicEvaluator:
             ratio observed for that set.
     """
 
+    #: Re-plan the remaining stages when the observed size of an
+    #: intermediate relation is off from the stage estimate by this
+    #: factor in either direction (and at least two stages remain).
+    REPLAN_FACTOR = 4.0
+
     def __init__(
         self,
         db: Database,
@@ -138,6 +144,7 @@ class DynamicEvaluator:
         self._param_cols = set(flock.parameter_columns)
         self._conditions = iter_conditions(flock.filter)
         self._decision_threshold = self._pick_decision_threshold()
+        self._engine = MemoryEngine(db, guard=guard, trip_site="dynamic.join")
 
     def _pick_decision_threshold(self) -> float:
         """The threshold the tuples-per-assignment ratio compares with:
@@ -178,76 +185,61 @@ class DynamicEvaluator:
         not given: ``"greedy"`` (default) or ``"selinger"`` (the [G*79]
         DP orderer — the paper: "Any of a number of models and
         approaches to selecting this join order may be used, our idea is
-        independent of how the join order is actually chosen").
+        independent of how the join order is actually chosen").  With no
+        explicit ``join_order``, the remaining stages may be re-planned
+        mid-flight when observed sizes diverge from the estimates.
         """
         started = time.perf_counter()
         trace = DynamicTrace()
         positives = self.rule.positive_atoms()
-        if join_order is not None:
-            order = join_order
-        elif order_strategy == "selinger":
-            from ..relational.joinorder import selinger_join_order
-
-            order = selinger_join_order(self.db, positives)
-        else:
-            order = greedy_join_order(self.db, positives)
-        # Body indices per subgoal category, so each FILTER decision
-        # knows the exact safe subquery it materialized (for the session
-        # result cache).
-        body = self.rule.body
+        if not positives:
+            raise PlanError("flock query has no positive subgoals")
+        plan = lower_rule(
+            self.db,
+            self.rule,
+            join_order=join_order,
+            order_strategy=order_strategy,
+        )
+        # Body indices per subgoal, so each FILTER decision knows the
+        # exact safe subquery it materialized (for the session cache).
         positive_body_idx = [
-            i for i, sg in enumerate(body)
+            i for i, sg in enumerate(self.rule.body)
             if isinstance(sg, RelationalAtom) and not sg.negated
-        ]
-        pending_comparisons = [
-            (i, sg) for i, sg in enumerate(body) if isinstance(sg, Comparison)
-        ]
-        pending_negations = [
-            (i, sg) for i, sg in enumerate(body)
-            if isinstance(sg, RelationalAtom) and sg.negated
         ]
         absorbed: set[int] = set()
         best_ratio_per_set: dict[frozenset[str], float] = {}
 
         current: Relation | None = None
         temp_counter = 0
-        for position, idx in enumerate(order):
-            trip("dynamic.join")
-            join_started = time.perf_counter()
-            atom = positives[idx]
-            leaf = atom_binding_relation(self.db, atom)
+        position = 0
+        while position < len(plan.stages):
+            stage = plan.stages[position]
+            atom = stage.scan.atom
+            leaf = self._engine.scan_atom(atom)
             leaf_name = str(atom)
+            atom_idx = plan.order[position]
             # Leaf-level decision (the Fig. 8 leaves: okS on exhibits).
             leaf = self._maybe_filter(
                 leaf, leaf_name, trace, best_ratio_per_set, force=False,
-                subquery_indices=(positive_body_idx[idx],),
+                subquery_indices=(positive_body_idx[atom_idx],),
             )
-            before = len(current) if current is not None else 0
-            if current is None:
-                current = leaf
-            else:
-                current = natural_join(current, leaf, name=f"temp{temp_counter}")
+            was_joined = current is not None
+            join_name = f"temp{temp_counter}"
+            current = self._engine.run_stage(
+                current, stage, leaf=leaf, join_name=join_name
+            )
+            if was_joined:
                 temp_counter += 1
                 trace.plan_lines.append(
-                    f"{current.name}({', '.join(current.columns)}) := JOIN with "
-                    f"{leaf_name}"
+                    f"{join_name}({', '.join(stage.join.columns)}) := "
+                    f"JOIN with {leaf_name}"
                 )
-            absorbed.add(positive_body_idx[idx])
-            current = self._apply_pending(
-                current, pending_comparisons, pending_negations, absorbed
-            )
-            if self.guard is not None:
-                node = f"join:{atom.predicate}"
-                self.guard.note_step(
-                    name=node,
-                    description=leaf_name,
-                    input_tuples=before,
-                    output_assignments=len(current),
-                    seconds=time.perf_counter() - join_started,
-                    filtered=False,
-                )
-                self.guard.checkpoint(rows=len(current), node=node)
-            is_root = position == len(order) - 1
+            absorbed.add(positive_body_idx[atom_idx])
+            for op in stage.filters:
+                body_index = self._filter_body_index(op)
+                if body_index is not None:
+                    absorbed.add(body_index)
+            is_root = position == len(plan.stages) - 1
             if not is_root and current.name.startswith("temp"):
                 current = self._maybe_filter(
                     current,
@@ -257,11 +249,15 @@ class DynamicEvaluator:
                     force=False,
                     subquery_indices=tuple(sorted(absorbed)),
                 )
+            if join_order is None and not is_root:
+                plan = self._maybe_replan(
+                    plan, position, stage, current, trace
+                )
+            position += 1
 
-        if current is None:
-            raise PlanError("flock query has no positive subgoals")
-        if pending_comparisons or pending_negations:
-            raise PlanError("unbound subgoals remain after all joins")
+        assert current is not None
+        for op in plan.unit_filters:
+            current = self._engine.apply_filter(current, op)
 
         # The root: "We must filter at the root, simply because that
         # filtering is necessary to find the answer to the query flock."
@@ -274,37 +270,50 @@ class DynamicEvaluator:
 
     # ------------------------------------------------------------------
 
-    def _apply_pending(self, current, comparisons, negations, absorbed):
-        """Apply every pending ``(body_index, subgoal)`` whose terms are
-        bound; consumed indices are added to ``absorbed``."""
-        cols = set(current.columns)
-        progress = True
-        while progress:
-            progress = False
-            for pair in list(comparisons):
-                index, comp = pair
-                if all(term_column(t) in cols for t in comp.bindable_terms()):
-                    current = current.select(
-                        lambda row, comp=comp: comp.evaluate(
-                            {t: row[term_column(t)] for t in comp.bindable_terms()}
-                        )
-                    )
-                    comparisons.remove(pair)
-                    absorbed.add(index)
-                    progress = True
-            for pair in list(negations):
-                index, neg = pair
-                if all(term_column(t) in cols for t in neg.bindable_terms()):
-                    from ..relational.operators import anti_join
+    def _filter_body_index(self, op) -> int | None:
+        """The body index of a stage filter's subgoal (comparison or
+        negated atom), for safe-subquery bookkeeping."""
+        subgoal = op.comparison if isinstance(op, CompareFilter) else op.atom
+        for i, sg in enumerate(self.rule.body):
+            if sg is subgoal:
+                return i
+        for i, sg in enumerate(self.rule.body):
+            if sg == subgoal:
+                return i
+        return None
 
-                    neg_rel = atom_binding_relation(
-                        self.db, neg.with_positive_polarity()
-                    )
-                    current = anti_join(current, neg_rel, name=current.name)
-                    negations.remove(pair)
-                    absorbed.add(index)
-                    progress = True
-        return current
+    def _maybe_replan(
+        self,
+        plan: PhysicalPlan,
+        position: int,
+        stage: JoinStage,
+        current: Relation,
+        trace: DynamicTrace,
+    ) -> PhysicalPlan:
+        """Swap in a re-lowered plan suffix when the observed size of
+        the running result diverges from the stage's estimate.
+
+        The executed prefix is kept (its stages and filter placements
+        are deterministic given the order prefix, so the re-lowered plan
+        agrees with what already ran); only the remaining join order
+        changes, re-ordered greedily from the *observed* size.
+        """
+        if len(plan.stages) - position - 1 < 2:
+            return plan
+        estimate = max(float(stage.estimate), 1.0)
+        observed = float(max(len(current), 1))
+        if max(observed / estimate, estimate / observed) < self.REPLAN_FACTOR:
+            return plan
+        positives = self.rule.positive_atoms()
+        prefix = list(plan.order[: position + 1])
+        new_order = complete_order(self.db, positives, prefix, len(current))
+        if new_order == list(plan.order):
+            return plan
+        trace.plan_lines.append(
+            f"replan: join order {list(plan.order)} -> {new_order} "
+            f"(observed {len(current)} vs ~{estimate:.0f} tuples)"
+        )
+        return lower_rule(self.db, self.rule, join_order=new_order)
 
     def _maybe_filter(
         self,
@@ -384,13 +393,13 @@ class DynamicEvaluator:
     ) -> tuple[Relation, Relation]:
         """Group by ``params``, apply the flock filter (all conjuncts),
         keep surviving rows.  Returns (filtered relation, ok-relation)."""
-        ok = surviving_assignments(
-            relation,
-            list(params),
-            self.flock.filter,
-            lambda condition: targets[condition],
-            name="ok",
+        aggregates, conditions = plan_aggregate_specs(
+            self.flock.filter, lambda condition: targets[condition]
         )
+        passed = self._engine.group_filter(
+            relation, list(params), aggregates, conditions, name="ok"
+        )
+        ok = self._engine.project_unique(passed, list(params), "ok")
         return semi_join(relation, ok, name=relation.name), ok
 
     def _final_filter(self, current: Relation, trace: DynamicTrace) -> Relation:
@@ -400,24 +409,15 @@ class DynamicEvaluator:
             raise PlanError(
                 "filter target column never became bound; cannot finish"
             )
+        aggregates, conditions = plan_aggregate_specs(
+            self.flock.filter, lambda condition: targets[condition]
+        )
+        passed = self._engine.group_filter(
+            current, params, aggregates, conditions, name="flock"
+        )
         if self.sink is not None:
-            with_aggs = surviving_with_aggregates(
-                current,
-                params,
-                self.flock.filter,
-                lambda condition: targets[condition],
-                name="flock",
-            )
-            self.sink.publish_final(with_aggs, len(current))
-            result = with_aggs.project(params, name="flock")
-        else:
-            result = surviving_assignments(
-                current,
-                params,
-                self.flock.filter,
-                lambda condition: targets[condition],
-                name="flock",
-            )
+            self.sink.publish_final(passed, len(current))
+        result = self._engine.project_unique(passed, params, "flock")
         trace.plan_lines.append(
             f"flock({', '.join(params)}) := FILTER(({', '.join(params)}), "
             f"{self.flock.filter})"
@@ -444,11 +444,14 @@ def evaluate_flock_dynamic(
     join_order: list[int] | None = None,
     guard: GuardLike = None,
     sink=None,
+    order_strategy: str = "greedy",
 ) -> tuple[FlockResult, DynamicTrace]:
     """One-call dynamic evaluation; returns (result, trace)."""
     evaluator = DynamicEvaluator(
         db, flock, decision_factor=decision_factor,
         improvement_factor=improvement_factor, guard=guard, sink=sink,
     )
-    result = evaluator.evaluate(join_order=join_order)
+    result = evaluator.evaluate(
+        join_order=join_order, order_strategy=order_strategy
+    )
     return result, evaluator.last_trace

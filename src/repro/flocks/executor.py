@@ -1,18 +1,19 @@
 """Execution of query plans against a database.
 
-Each FILTER step is executed as: evaluate the step's query with the
-step's parameters as extra output columns, GROUP BY the parameters,
-apply the flock's filter, and materialize the surviving assignments as
-the step's ok-relation in a scratch overlay of the database.  The final
+Each FILTER step is lowered to a physical
+:class:`~repro.engine.ir.StepPlan` — the union of its rules' join
+stages, a GroupAggregate per filter conjunct, a ThresholdFilter, and a
+Materialize of the surviving assignments — and interpreted by the
+columnar :class:`~repro.engine.memory.MemoryEngine`, producing the
+step's ok-relation in a scratch overlay of the database.  The final
 step's relation is the flock result.
 
 Why the final step is *cheaper* than the naive evaluation even though it
 repeats the original query (the paper's Example 4.1 intuition): the
 ok-atoms are small relations that join first, shrinking every
-intermediate result.  The executor's greedy join order sees the small
-binding relations and uses them early, which is exactly "the subgoals
-okS($s) and okM($m) can be joined with other subgoals relatively
-quickly".
+intermediate result.  The join ordering sees the small binding
+relations and uses them early, which is exactly "the subgoals okS($s)
+and okM($m) can be joined with other subgoals relatively quickly".
 """
 
 from __future__ import annotations
@@ -20,15 +21,59 @@ from __future__ import annotations
 import time
 
 from ..datalog.query import as_union
+from ..datalog.safety import assert_safe
+from ..engine.memory import MemoryEngine
+from ..engine.planner import lower_step
 from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
-from ..relational.evaluate import evaluate_conjunctive
 from ..relational.relation import Relation
 from ..testing.faults import trip
-from .filters import STAR, surviving_assignments, surviving_with_aggregates
+from .filters import STAR, plan_aggregate_specs
 from .flock import QueryFlock
 from .plans import FilterStep, QueryPlan, validate_plan
 from .result import ExecutionTrace, FlockResult, StepTrace
+
+
+def lower_filter_step(
+    db: Database,
+    flock: QueryFlock,
+    step: FilterStep,
+    order_strategy: str = "greedy",
+):
+    """Lower one FILTER step to its physical :class:`StepPlan`.
+
+    This is the single lowering both backends share: the in-memory
+    engine interprets the returned plan directly, the SQLite backend
+    renders it to SQL (:mod:`repro.engine.sqlgen`).
+    """
+    params = list(step.parameters)
+    param_cols = [str(p) for p in params]
+    union = as_union(step.query)
+
+    width = union.head_arity
+    head_cols = tuple(f"_h{i}" for i in range(width))
+    head_names = [str(t) for t in union.rules[0].head_terms]
+
+    def resolve(condition) -> list[str]:
+        if condition.target == STAR:
+            return list(head_cols)
+        # Map the named head variable to its positional column.
+        return [head_cols[head_names.index(condition.target)]]
+
+    for rule in union.rules:
+        assert_safe(rule)
+    aggregates, conditions = plan_aggregate_specs(flock.filter, resolve)
+    return lower_step(
+        db,
+        union.rules,
+        [params + list(rule.head_terms) for rule in union.rules],
+        tuple(param_cols) + head_cols,
+        param_cols,
+        aggregates,
+        conditions,
+        step.result_name,
+        order_strategy=order_strategy,
+    )
 
 
 def execute_step(
@@ -38,6 +83,7 @@ def execute_step(
     guard: ExecutionGuard | None = None,
     sink=None,
     final_sink=None,
+    order_strategy: str = "greedy",
 ) -> tuple[Relation, int]:
     """Execute one FILTER step; return (ok-relation, answer-tuple count).
 
@@ -58,6 +104,9 @@ def execute_step(
     an exact, re-filterable entry.  The final step is never served from
     the cache here — an upper bound is not the answer; exact reuse
     happens one level up in :func:`repro.flocks.mining.mine`.
+
+    ``order_strategy`` picks the join ordering the step's rules are
+    lowered with (``"greedy"`` or ``"selinger"``).
     """
     trip("executor.step")
     params = list(step.parameters)
@@ -69,39 +118,19 @@ def execute_step(
             ok = served.project(param_cols, name=step.result_name)
             return ok, 0
 
-    union = as_union(step.query)
+    plan = lower_filter_step(db, flock, step, order_strategy=order_strategy)
 
-    width = union.head_arity
-    head_cols = tuple(f"_h{i}" for i in range(width))
-    rows: set[tuple] = set()
-    for rule in union.rules:
-        output = params + list(rule.head_terms)
-        branch = evaluate_conjunctive(db, rule, output_terms=output, guard=guard)
-        rows |= branch.tuples
-    answer = Relation("answer", tuple(param_cols) + head_cols, rows)
+    engine = MemoryEngine(db, guard=guard)
+    answer = engine.run_answer(plan)
     if guard is not None:
         guard.checkpoint(rows=len(answer), node=f"step:{step.result_name}")
 
-    head_names = [str(t) for t in union.rules[0].head_terms]
-
-    def resolve(condition) -> list[str]:
-        if condition.target == STAR:
-            return list(head_cols)
-        # Map the named head variable to its positional column.
-        return [head_cols[head_names.index(condition.target)]]
-
+    passed = engine.run_group_filter(answer, plan)
+    ok = engine.finalize_step(passed, plan)
     if final_sink is not None:
-        with_aggs = surviving_with_aggregates(
-            answer, param_cols, flock.filter, resolve, name=step.result_name
-        )
-        final_sink.publish_final(with_aggs, len(answer))
-        ok = with_aggs.project(param_cols, name=step.result_name)
-    else:
-        ok = surviving_assignments(
-            answer, param_cols, flock.filter, resolve, name=step.result_name
-        )
-        if sink is not None:
-            sink.publish_step(step.query, param_cols, ok, len(answer))
+        final_sink.publish_final(passed, len(answer))
+    elif sink is not None:
+        sink.publish_step(step.query, param_cols, ok, len(answer))
     return ok, len(answer)
 
 
@@ -112,6 +141,7 @@ def execute_plan(
     validate: bool = True,
     guard: GuardLike = None,
     sink=None,
+    order_strategy: str = "greedy",
 ) -> FlockResult:
     """Run a plan and return the flock result with a per-step trace.
 
@@ -142,6 +172,7 @@ def execute_plan(
             scratch, flock, step, guard=guard,
             sink=None if step is final_step else sink,
             final_sink=sink if step is final_step else None,
+            order_strategy=order_strategy,
         )
         elapsed = time.perf_counter() - started
         scratch.add(ok)

@@ -192,7 +192,7 @@ class CompositeFilter:
         names = {c.relation_name for c in self.conditions}
         if len(names) > 1:
             raise FilterError(
-                f"composite conditions must share an answer relation, "
+                "composite conditions must share an answer relation, "
                 f"got {sorted(names)}"
             )
 
@@ -298,6 +298,28 @@ def support_filter(
         ComparisonOp.GE,
         threshold,
     )
+
+
+def plan_aggregate_specs(condition: AnyFilter, resolve_target):
+    """Lower a filter to physical-plan operator inputs: one
+    :class:`~repro.engine.ir.AggregateSpec` per conjunct (producing
+    ``_agg{i}``) plus the matching ThresholdFilter conditions.
+
+    ``resolve_target(condition)`` maps one conjunct to the answer
+    columns its aggregate ranges over, exactly as in
+    :func:`surviving_assignments`.
+    """
+    from ..engine.ir import AggregateSpec
+
+    aggregates = []
+    conditions = []
+    for index, single in enumerate(iter_conditions(condition)):
+        column = f"_agg{index}"
+        aggregates.append(
+            AggregateSpec(single.aggregate, tuple(resolve_target(single)), column)
+        )
+        conditions.append((single, column))
+    return aggregates, conditions
 
 
 def surviving_with_aggregates(

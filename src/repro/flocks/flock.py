@@ -15,14 +15,14 @@ assignment.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import FilterError, ParseError
 from ..datalog.parser import parse_query
 from ..datalog.query import ConjunctiveQuery, FlockQuery, UnionQuery, as_union
 from ..datalog.safety import assert_safe
 from ..datalog.terms import Parameter
-from .filters import AnyFilter, FilterCondition, iter_conditions, parse_filter
+from .filters import AnyFilter, iter_conditions, parse_filter
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ class QueryFlock:
                 if condition.target not in head_columns:
                     raise FilterError(
                         f"filter target {condition.target!r} is not a head "
-                        f"term of the query (head terms: "
+                        "term of the query (head terms: "
                         f"{sorted(head_columns)})"
                     )
             if isinstance(self.query, UnionQuery) and condition.target != "*":

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..datalog.arithmetic import is_satisfiable
-from ..datalog.atoms import Comparison, RelationalAtom
+from ..datalog.atoms import RelationalAtom
 from ..datalog.containment import contains, contains_extended
 from ..datalog.query import ConjunctiveQuery, as_union
 from .flock import QueryFlock

@@ -59,13 +59,14 @@ from .flock import QueryFlock
 from .lint import LintWarning, lint_flock
 from .naive import evaluate_flock
 from .optimizer import FlockOptimizer, optimize_union
-from .result import FlockResult
 from .sqlbackend import SQLiteBackend
 
 
 STRATEGIES = ("auto", "naive", "optimized", "stats", "dynamic")
 
 BACKENDS = ("memory", "sqlite")
+
+JOIN_ORDERS = ("greedy", "selinger")
 
 #: Most- to least-sophisticated machinery; degradation walks rightward.
 _STRATEGY_COST_ORDER = ("stats", "optimized", "dynamic", "naive")
@@ -99,6 +100,7 @@ class MiningReport:
     decision_text: str | None = None
     backend_requested: str = "memory"
     backend_used: str = "memory"
+    join_order: str = "greedy"
     downgrades: tuple[Downgrade, ...] = ()
     #: Session-cache accounting (all zero without a session).  An exact
     #: hit sets ``cache_hits=1`` and ``strategy_used="cache"`` — the
@@ -134,6 +136,8 @@ class MiningReport:
                 f"backend: {self.backend_used} "
                 f"(requested {self.backend_requested})"
             )
+        if self.join_order != "greedy":
+            lines.append(f"join order: {self.join_order}")
         for downgrade in self.downgrades:
             lines.append(str(downgrade))
         for warning in self.warnings:
@@ -214,6 +218,7 @@ def _run_strategy(
     backend: str,
     attempt: _Attempt,
     sink=None,
+    join_order: str = "greedy",
 ) -> None:
     """Execute one strategy, filling ``attempt``.
 
@@ -230,13 +235,18 @@ def _run_strategy(
         if backend == "sqlite":
             attempt.relation = _on_sqlite(
                 db, attempt, guard,
-                lambda be: be.evaluate_flock(flock, guard=guard),
+                lambda be: be.evaluate_flock(
+                    flock, guard=guard, order_strategy=join_order
+                ),
                 fallback=lambda: evaluate_flock(
-                    db, flock, guard=guard, sink=sink
+                    db, flock, guard=guard, sink=sink,
+                    order_strategy=join_order,
                 ),
             )
         else:
-            attempt.relation = evaluate_flock(db, flock, guard=guard, sink=sink)
+            attempt.relation = evaluate_flock(
+                db, flock, guard=guard, sink=sink, order_strategy=join_order
+            )
     elif strategy == "dynamic":
         # The dynamic evaluator interleaves planning and execution in
         # the in-memory engine; SQLite cannot host it.
@@ -248,7 +258,9 @@ def _run_strategy(
                 )
             )
             attempt.backend_used = "memory"
-        result, trace = evaluate_flock_dynamic(db, flock, guard=guard, sink=sink)
+        result, trace = evaluate_flock_dynamic(
+            db, flock, guard=guard, sink=sink, order_strategy=join_order
+        )
         attempt.relation = result.relation
         attempt.decision_text = str(trace)
     elif strategy in ("optimized", "stats"):
@@ -261,14 +273,18 @@ def _run_strategy(
         if backend == "sqlite":
             attempt.relation = _on_sqlite(
                 db, attempt, guard,
-                lambda be: be.execute_plan(flock, plan, guard=guard),
+                lambda be: be.execute_plan(
+                    flock, plan, guard=guard, order_strategy=join_order
+                ),
                 fallback=lambda: execute_plan(
-                    db, flock, plan, validate=False, guard=guard, sink=sink
+                    db, flock, plan, validate=False, guard=guard, sink=sink,
+                    order_strategy=join_order,
                 ).relation,
             )
         else:
             attempt.relation = execute_plan(
-                db, flock, plan, validate=False, guard=guard, sink=sink
+                db, flock, plan, validate=False, guard=guard, sink=sink,
+                order_strategy=join_order,
             ).relation
     else:  # pragma: no cover - STRATEGIES guard upstream
         raise AssertionError(strategy)
@@ -311,6 +327,7 @@ def mine(
     guard: GuardLike = None,
     backend: str = "memory",
     session=None,
+    join_order: str = "greedy",
 ) -> tuple[Relation, MiningReport]:
     """Evaluate a flock end to end; returns (result relation, report).
 
@@ -325,6 +342,9 @@ def mine(
             share with other work; mutually exclusive with
             ``budget``/``cancel``.
         backend: ``"memory"`` (default) or ``"sqlite"``.
+        join_order: the join-ordering strategy plans are lowered with —
+            ``"greedy"`` (default) or ``"selinger"`` (the System-R style
+            dynamic-programming orderer).
         session: optional :class:`repro.session.MiningSession` whose
             result cache participates: an exact hit (alpha-equivalent
             flock, stricter-or-equal thresholds) returns the cached
@@ -347,6 +367,11 @@ def mine(
     if backend not in BACKENDS:
         raise EvaluationError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    if join_order not in JOIN_ORDERS:
+        raise ValueError(
+            f"unknown order strategy {join_order!r}; "
+            "use 'greedy' or 'selinger'"
         )
     if guard is not None and (budget is not None or cancel is not None):
         raise ValueError("pass either guard= or budget=/cancel=, not both")
@@ -394,7 +419,10 @@ def mine(
 
     while True:
         try:
-            _run_strategy(db, flock, used, live_guard, backend, attempt, sink=sink)
+            _run_strategy(
+                db, flock, used, live_guard, backend, attempt, sink=sink,
+                join_order=join_order,
+            )
             break
         except (PlanError, FilterError, BudgetExceededError) as error:
             if isinstance(error, BudgetExceededError) and not (
@@ -427,6 +455,7 @@ def mine(
         decision_text=attempt.decision_text,
         backend_requested=backend,
         backend_used=attempt.backend_used,
+        join_order=join_order,
         downgrades=tuple(attempt.downgrades),
         cache_misses=cache_misses,
         cache_step_hits=sink.step_hits if sink is not None else 0,

@@ -22,24 +22,27 @@ from itertools import product
 import time
 
 from ..errors import EvaluationError
-from ..datalog.query import ConjunctiveQuery, as_union
+from ..datalog.query import as_union
 from ..datalog.terms import Parameter, Term
+from ..engine.memory import MemoryEngine
 from ..guard import GuardLike, as_guard
 from ..relational.aggregates import AggregateFunction
 from ..relational.catalog import Database
-from ..relational.evaluate import evaluate_conjunctive, term_column
+from ..relational.evaluate import evaluate_conjunctive
 from ..relational.relation import Relation
 from .filters import (
     STAR,
     iter_conditions,
-    surviving_assignments,
-    surviving_with_aggregates,
+    plan_aggregate_specs,
 )
 from .flock import QueryFlock
 
 
 def flock_answer_relation(
-    db: Database, flock: QueryFlock, guard: GuardLike = None
+    db: Database,
+    flock: QueryFlock,
+    guard: GuardLike = None,
+    order_strategy: str = "greedy",
 ) -> Relation:
     """The ungrouped answer relation: parameter columns + head columns.
 
@@ -53,7 +56,10 @@ def flock_answer_relation(
     if not flock.is_union:
         rule = union.rules[0]
         output: list[Term] = list(params) + list(rule.head_terms)
-        return evaluate_conjunctive(db, rule, output_terms=output, guard=guard)
+        return evaluate_conjunctive(
+            db, rule, output_terms=output, guard=guard,
+            order_strategy=order_strategy,
+        )
 
     width = union.head_arity
     head_cols = tuple(f"_h{i}" for i in range(width))
@@ -61,11 +67,14 @@ def flock_answer_relation(
     rows: set[tuple] = set()
     for rule in union.rules:
         output = list(params) + list(rule.head_terms)
-        branch = evaluate_conjunctive(db, rule, output_terms=output, guard=guard)
+        branch = evaluate_conjunctive(
+            db, rule, output_terms=output, guard=guard,
+            order_strategy=order_strategy,
+        )
         rows |= branch.tuples
         if guard is not None:
             guard.checkpoint(rows=len(rows), node=f"union:{union.head_name}")
-    return Relation(union.head_name, columns, rows)
+    return Relation.from_distinct_rows(union.head_name, columns, rows)
 
 
 def _target_resolver(flock: QueryFlock, answer: Relation):
@@ -82,7 +91,11 @@ def _target_resolver(flock: QueryFlock, answer: Relation):
 
 
 def evaluate_flock(
-    db: Database, flock: QueryFlock, guard: GuardLike = None, sink=None
+    db: Database,
+    flock: QueryFlock,
+    guard: GuardLike = None,
+    sink=None,
+    order_strategy: str = "greedy",
 ) -> Relation:
     """Group-by evaluation: the flock result as a relation over its
     parameter columns (sorted by parameter name).  Composite filters
@@ -100,25 +113,22 @@ def evaluate_flock(
     """
     guard = as_guard(guard)
     started = time.perf_counter()
-    answer = flock_answer_relation(db, flock, guard=guard)
+    answer = flock_answer_relation(
+        db, flock, guard=guard, order_strategy=order_strategy
+    )
+    aggregates, conditions = plan_aggregate_specs(
+        flock.filter, _target_resolver(flock, answer)
+    )
+    engine = MemoryEngine(db, guard=guard)
+    passed = engine.group_filter(
+        answer, list(flock.parameter_columns), aggregates, conditions,
+        name="flock",
+    )
     if sink is not None:
-        with_aggs = surviving_with_aggregates(
-            answer,
-            list(flock.parameter_columns),
-            flock.filter,
-            _target_resolver(flock, answer),
-            name="flock",
-        )
-        sink.publish_final(with_aggs, len(answer))
-        result = with_aggs.project(list(flock.parameter_columns), name="flock")
-    else:
-        result = surviving_assignments(
-            answer,
-            list(flock.parameter_columns),
-            flock.filter,
-            _target_resolver(flock, answer),
-            name="flock",
-        )
+        sink.publish_final(passed, len(answer))
+    result = engine.project_unique(
+        passed, list(flock.parameter_columns), "flock"
+    )
     if guard is not None:
         guard.note_step(
             name="flock",

@@ -19,7 +19,7 @@ tuples concentrate on few assignments, the smaller the surviving set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Sequence
 
@@ -149,7 +149,7 @@ class FlockOptimizer:
     ):
         if not flock.filter.is_monotone:
             raise FilterError(
-                f"cannot build a-priori plans for non-monotone filter "
+                "cannot build a-priori plans for non-monotone filter "
                 f"{flock.filter}"
             )
         if flock.is_union:
@@ -434,7 +434,7 @@ def optimize_union(
         raise PlanError("optimize_union expects a union flock")
     if not flock.filter.is_monotone:
         raise FilterError(
-            f"cannot build a-priori plans for non-monotone filter "
+            "cannot build a-priori plans for non-monotone filter "
             f"{flock.filter}"
         )
 

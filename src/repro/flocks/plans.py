@@ -29,7 +29,7 @@ union is a union of per-branch derivations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..errors import FilterError, PlanError
 from ..datalog.atoms import RelationalAtom, Subgoal

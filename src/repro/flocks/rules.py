@@ -22,7 +22,6 @@ this module derives the rules.  A rule ``antecedent → consequent`` has
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from typing import Iterable
 
 from ..relational.relation import Relation

@@ -17,8 +17,8 @@ that composition:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import PlanError
 from ..relational.catalog import Database

@@ -21,10 +21,10 @@ from __future__ import annotations
 from ..errors import PlanError
 from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.query import ConjunctiveQuery, as_union
-from ..datalog.terms import Constant, Parameter, Term, Variable
+from ..datalog.terms import Constant, Term
 from ..relational.aggregates import AggregateFunction
 from ..relational.catalog import Database
-from .filters import STAR, FilterCondition
+from .filters import STAR
 from .flock import QueryFlock
 from .plans import QueryPlan
 

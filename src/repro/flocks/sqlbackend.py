@@ -3,9 +3,12 @@
 Section 1.4: "we assume that the data is stored in a conventional
 relational system and that mining occurs by issuing a sequence of SQL
 queries to the database."  This backend does exactly that: it loads a
-:class:`~repro.relational.catalog.Database` into SQLite and evaluates
-flocks by issuing the SQL our translator generates — the naive Fig. 1
-statement, or the Section 1.3 rewrite script for a plan.
+:class:`~repro.relational.catalog.Database` into SQLite, lowers each
+FILTER step to the same physical :class:`~repro.engine.ir.StepPlan` the
+in-memory engine interprets
+(:func:`~repro.flocks.executor.lower_filter_step`), and issues the SQL
+:mod:`repro.engine.sqlgen` renders from it — the naive Fig. 1 statement
+for a whole flock, or the Section 1.3 rewrite script for a plan.
 
 The backend is the "DBMS-based setting" of the paper's argument; the
 in-memory engine is the "file-based" one.  Both must agree on every
@@ -34,14 +37,20 @@ import sqlite3
 import time
 from typing import Sequence
 
+from ..engine.sqlgen import (
+    column_source,
+    materialize_step,
+    render_step,
+    safe_column,
+)
 from ..errors import EvaluationError, ExecutionAborted
 from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
 from ..relational.relation import Relation
 from ..testing.faults import trip
+from .executor import lower_filter_step
 from .flock import QueryFlock
-from .plans import QueryPlan
-from .sql import flock_to_sql, plan_to_sql
+from .plans import QueryPlan, single_step_plan
 
 
 #: Substrings that mark a retryable sqlite3.OperationalError.
@@ -138,22 +147,92 @@ class SQLiteBackend:
         return self._loaded
 
     def evaluate_flock(
-        self, flock: QueryFlock, guard: GuardLike = None
+        self,
+        flock: QueryFlock,
+        guard: GuardLike = None,
+        order_strategy: str = "greedy",
     ) -> Relation:
         """The naive one-statement evaluation (the Fig. 1 path)."""
         db = self._require_loaded()
-        sql = flock_to_sql(flock, db)
+        step_plan = lower_filter_step(
+            db, flock, single_step_plan(flock).final_step,
+            order_strategy=order_strategy,
+        )
+        sql = render_step(step_plan, column_source(db, {})) + ";"
         rows = self._run_script(sql, guard=as_guard(guard))
         return Relation("flock", flock.parameter_columns, rows)
 
+    def evaluate_flock_with_aggregates(
+        self, flock: QueryFlock, guard: GuardLike = None
+    ) -> Relation:
+        """Survivors together with their per-conjunct aggregate values
+        (one ``_agg{i}`` column per filter conjunct) — the SQL rendering
+        of the in-memory engine's ``group_filter`` output, compared
+        column for column by the differential tests."""
+        db = self._require_loaded()
+        step_plan = lower_filter_step(
+            db, flock, single_step_plan(flock).final_step
+        )
+        sql = render_step(
+            step_plan, column_source(db, {}), include_aggregates=True
+        ) + ";"
+        rows = self._run_script(sql, guard=as_guard(guard))
+        columns = tuple(flock.parameter_columns) + tuple(
+            spec.column for spec in step_plan.group.aggregates
+        )
+        return Relation("flock", columns, rows)
+
+    def _plan_script(
+        self,
+        flock: QueryFlock,
+        plan: QueryPlan,
+        order_strategy: str = "greedy",
+    ) -> str:
+        """Lower every step of ``plan`` and render the rewrite script.
+
+        Pre-filter ok-relations are registered in a scratch catalog as
+        empty placeholders, so the planner's join ordering sees them as
+        the smallest relations and joins them first — the Example 4.1
+        point of the rewrite.
+        """
+        db = self._require_loaded()
+        scratch = db.scratch()
+        schemas: dict[str, list[str]] = {}
+        statements: list[str] = []
+        final = plan.final_step
+        for step in plan.steps:
+            step_plan = lower_filter_step(
+                scratch, flock, step, order_strategy=order_strategy
+            )
+            columns_of = column_source(db, schemas)
+            if step is final:
+                statements.append(render_step(step_plan, columns_of) + ";")
+            else:
+                statements.append(
+                    materialize_step(step_plan, columns_of) + ";"
+                )
+                schemas[step.result_name] = [
+                    safe_column(c) for c in step_plan.root.columns
+                ]
+                scratch.add(
+                    Relation(
+                        step.result_name,
+                        tuple(str(p) for p in step.parameters),
+                    )
+                )
+        return "\n\n".join(statements)
+
     def execute_plan(
-        self, flock: QueryFlock, plan: QueryPlan, guard: GuardLike = None
+        self,
+        flock: QueryFlock,
+        plan: QueryPlan,
+        guard: GuardLike = None,
+        order_strategy: str = "greedy",
     ) -> Relation:
         """The rewritten evaluation: one materialized table per FILTER
         step (the Section 1.3 path).  Step tables are dropped afterwards
         so the backend can be reused."""
-        db = self._require_loaded()
-        script = plan_to_sql(flock, plan, db)
+        script = self._plan_script(flock, plan, order_strategy=order_strategy)
         step_names = tuple(s.result_name for s in plan.prefilter_steps)
         try:
             rows = self._run_script(
@@ -189,7 +268,7 @@ class SQLiteBackend:
         self._execute(
             cursor,
             f"CREATE TABLE IF NOT EXISTS {self._CACHE_INDEX_TABLE} "
-            f"(table_name TEXT PRIMARY KEY, metadata TEXT)",
+            "(table_name TEXT PRIMARY KEY, metadata TEXT)",
         )
 
     def persist_cached_result(

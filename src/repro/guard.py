@@ -254,6 +254,6 @@ def as_guard(value: GuardLike) -> ExecutionGuard | None:
     if isinstance(value, CancellationToken):
         return ExecutionGuard(cancel=value)
     raise TypeError(
-        f"guard must be an ExecutionGuard, ResourceBudget or "
+        "guard must be an ExecutionGuard, ResourceBudget or "
         f"CancellationToken, got {type(value).__name__}"
     )

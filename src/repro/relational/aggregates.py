@@ -13,7 +13,7 @@ with no parameters degenerates to a single yes/no test).
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from enum import Enum
 from typing import Callable, Sequence
 
@@ -66,7 +66,6 @@ def group_aggregate(
     group_positions = [relation.column_position(c) for c in group_by]
     group_set = set(group_by)
     member_columns = [c for c in relation.columns if c not in group_set]
-    member_positions = [relation.column_position(c) for c in member_columns]
     if target is None:
         if fn is not AggregateFunction.COUNT:
             raise FilterError(f"{fn.value} requires an explicit target column")
@@ -84,43 +83,59 @@ def group_aggregate(
 
     rows: set[tuple] = set()
 
+    # All paths aggregate over the column arrays rather than the row
+    # set: keys come from zipping only the group columns, so no full-row
+    # tuples are materialized.  With one group column the scalar values
+    # themselves serve as keys.
+    data = relation.columns_data()
+    single_key = len(group_positions) == 1
+    if single_key:
+        keys: Sequence = data[group_positions[0]]
+    elif group_positions:
+        keys = list(zip(*(data[p] for p in group_positions)))
+    else:
+        keys = [()] * len(relation)  # whole relation is one group
+
+    def widen(key):
+        # Scalar keys (the single-group-column fast path) become
+        # 1-tuples in the output rows; tuple keys pass through.
+        return (key,) if single_key else key
+
     # Fast paths.  Set semantics guarantees rows are distinct, hence the
     # member sub-tuples *within a group* are distinct too (key + member
     # = the whole row).  So:
     #   * COUNT over all member columns = plain row count per group;
     #   * SUM/MIN/MAX over one column can stream row values directly.
     if fn is AggregateFunction.COUNT and set(target) == set(member_columns):
-        counts: dict[tuple, int] = defaultdict(int)
-        for row in relation.tuples:
-            counts[tuple(row[p] for p in group_positions)] += 1
-        rows = {key + (value,) for key, value in counts.items()}
+        rows = {
+            widen(key) + (value,) for key, value in Counter(keys).items()
+        }
     elif fn is not AggregateFunction.COUNT:
-        target_position = relation.column_position(target[0])
+        values = data[relation.column_position(target[0])]
         if fn is AggregateFunction.SUM:
-            sums: dict[tuple, float] = defaultdict(int)
-            for row in relation.tuples:
-                sums[tuple(row[p] for p in group_positions)] += row[
-                    target_position
-                ]
-            rows = {key + (value,) for key, value in sums.items()}
+            sums: dict = defaultdict(int)
+            for key, value in zip(keys, values):
+                sums[key] += value
+            rows = {widen(key) + (value,) for key, value in sums.items()}
         else:
             pick = min if fn is AggregateFunction.MIN else max
-            extrema: dict[tuple, object] = {}
-            for row in relation.tuples:
-                key = tuple(row[p] for p in group_positions)
-                value = row[target_position]
+            extrema: dict = {}
+            for key, value in zip(keys, values):
                 current = extrema.get(key)
                 extrema[key] = value if current is None else pick(current, value)
-            rows = {key + (value,) for key, value in extrema.items()}
+            rows = {widen(key) + (value,) for key, value in extrema.items()}
     else:
         # COUNT over a strict subset of the member columns: distinct
         # target sub-tuples must be materialized per group.
         target_positions = [relation.column_position(c) for c in target]
-        groups: dict[tuple, set[tuple]] = defaultdict(set)
-        for row in relation.tuples:
-            key = tuple(row[p] for p in group_positions)
-            groups[key].add(tuple(row[p] for p in target_positions))
-        rows = {key + (len(members),) for key, members in groups.items()}
+        if len(target_positions) == 1:
+            members_iter: Sequence = data[target_positions[0]]
+        else:
+            members_iter = list(zip(*(data[p] for p in target_positions)))
+        groups: dict = defaultdict(set)
+        for key, member in zip(keys, members_iter):
+            groups[key].add(member)
+        rows = {widen(key) + (len(members),) for key, members in groups.items()}
 
     if not group_by and not rows and fn is AggregateFunction.COUNT:
         rows = {(0,)}

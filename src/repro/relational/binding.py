@@ -1,0 +1,127 @@
+"""Binding relations: the leaf inputs of every physical plan.
+
+A positive subgoal becomes a *binding relation* — columns named after
+the subgoal's variables/parameters, constants and repeated terms handled
+by selection — and arithmetic comparisons filter a binding relation once
+their terms are bound.  These helpers are shared by the physical-plan
+engine (:mod:`repro.engine`) and the public evaluator facade
+(:mod:`repro.relational.evaluate`).
+
+Column naming convention: a binding column is the rendered term —
+``"P"`` for a variable, ``"$s"`` for a parameter — so the same term
+always joins with itself across subgoals.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+from ..datalog.atoms import Comparison, RelationalAtom
+from ..datalog.terms import Constant, Term
+from .catalog import Database
+from .relation import Relation
+
+
+def term_column(term: Term) -> str:
+    """The canonical column name for a bindable term."""
+    return str(term)
+
+
+def atom_binding_relation(db: Database, subgoal: RelationalAtom) -> Relation:
+    """The binding relation of one (positive-polarity) relational subgoal.
+
+    Applies constant selections and repeated-term equality selections,
+    then projects to one column per distinct bindable term.  The result
+    has set semantics, so duplicates introduced by the projection
+    collapse — this is what makes a one-subgoal subquery like
+    ``answer(B) :- baskets(B,$1)`` well defined.
+    """
+    base = db.get(subgoal.predicate)
+    if base.arity != subgoal.arity:
+        raise EvaluationError(
+            f"subgoal {subgoal} has arity {subgoal.arity} but relation "
+            f"{base.name!r} has arity {base.arity}"
+        )
+
+    # Positional filter: constants must match; repeated bindable terms
+    # must agree.
+    first_position: dict[Term, int] = {}
+    constant_checks: list[tuple[int, object]] = []
+    equality_checks: list[tuple[int, int]] = []
+    output_positions: list[int] = []
+    output_columns: list[str] = []
+    for i, term in enumerate(subgoal.terms):
+        if isinstance(term, Constant):
+            constant_checks.append((i, term.value))
+        elif term in first_position:
+            equality_checks.append((first_position[term], i))
+        else:
+            first_position[term] = i
+            output_positions.append(i)
+            output_columns.append(term_column(term))
+
+    name = f"bind:{subgoal.predicate}"
+    data = base.columns_data()
+    if not constant_checks and not equality_checks:
+        # Every position is kept: the arrays can be shared as-is.
+        return Relation.from_columns(
+            name,
+            tuple(output_columns),
+            [data[p] for p in output_positions],
+            count=len(base),
+        )
+
+    keep = range(len(base))
+    for pos, value in constant_checks:
+        arr = data[pos]
+        keep = [i for i in keep if arr[i] == value]
+    for first, other in equality_checks:
+        a, b = data[first], data[other]
+        keep = [i for i in keep if a[i] == b[i]]
+
+    # The surviving rows stay distinct after dropping the checked
+    # positions: a dropped column is either a fixed constant or equal to
+    # a kept column, so it cannot distinguish two rows on its own.
+    return Relation.from_columns(
+        name,
+        tuple(output_columns),
+        [[data[p][i] for i in keep] for p in output_positions],
+        count=len(keep) if isinstance(keep, list) else len(base),
+    )
+
+
+def unit_relation() -> Relation:
+    """The zero-column relation with one (empty) tuple — the identity of
+    the natural join, used for queries with no positive subgoals."""
+    return Relation("unit", (), {()})
+
+
+def apply_comparison(current: Relation, comp: Comparison) -> Relation:
+    """Filter the binding relation by an arithmetic subgoal whose terms
+    are all bound (or constant)."""
+
+    def resolve(term: Term):
+        if isinstance(term, Constant):
+            return None, term.value
+        return current.column_position(term_column(term)), None
+
+    left_pos, left_const = resolve(comp.left)
+    right_pos, right_const = resolve(comp.right)
+    fn = comp.op.fn
+    data = current.columns_data()
+    n = len(current)
+    left = data[left_pos] if left_pos is not None else [left_const] * n
+    right = data[right_pos] if right_pos is not None else [right_const] * n
+    keep = [i for i in range(n) if fn(left[i], right[i])]
+    return Relation.from_columns(
+        current.name,
+        current.columns,
+        [[arr[i] for i in keep] for arr in data],
+        count=len(keep),
+    )
+
+
+def terms_bound(current: Relation, subgoal) -> bool:
+    """Whether every bindable term of ``subgoal`` is a column of
+    ``current``."""
+    cols = set(current.columns)
+    return all(term_column(t) in cols for t in subgoal.bindable_terms())

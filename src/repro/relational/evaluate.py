@@ -1,12 +1,12 @@
 """Evaluation of extended conjunctive queries over a :class:`Database`.
 
-The evaluator turns each positive subgoal into a *binding relation*
-(columns named after the subgoal's variables/parameters, constants and
-repeated terms handled by selection), joins the binding relations in a
-greedy cost-aware order, and applies arithmetic comparisons and negated
-subgoals as soon as their terms are bound — negation as an anti-join,
-which is sound precisely because safety guarantees the terms are bound
-by positive subgoals first.
+This module is the public facade over the physical-plan engine
+(:mod:`repro.engine`): a query is *lowered* once — join order chosen,
+comparisons and negated subgoals attached to the earliest stage where
+their terms are bound — and the resulting
+:class:`~repro.engine.ir.PhysicalPlan` is interpreted by the columnar
+in-memory engine.  ``explain`` renders the very same plan object, so
+the printed plan is by construction the executed one.
 
 Column naming convention: a binding column is the rendered term —
 ``"P"`` for a variable, ``"$s"`` for a parameter — so the same term
@@ -15,143 +15,27 @@ always joins with itself across subgoals.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from ..errors import EvaluationError
-from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.query import ConjunctiveQuery, UnionQuery
 from ..datalog.safety import assert_safe
-from ..datalog.terms import Constant, Term, is_bindable
-from ..guard import ExecutionGuard, GuardLike, as_guard
-from ..testing.faults import trip
+from ..datalog.terms import Term
+from ..engine.memory import MemoryEngine
+from ..engine.planner import lower_rule
+from ..guard import GuardLike, as_guard
+from .binding import atom_binding_relation, term_column
 from .catalog import Database
-from .operators import anti_join, natural_join
+from .joinorder import greedy_join_order
 from .relation import Relation
-from .statistics import estimate_join_size
 
-
-def term_column(term: Term) -> str:
-    """The canonical column name for a bindable term."""
-    return str(term)
-
-
-def atom_binding_relation(db: Database, subgoal: RelationalAtom) -> Relation:
-    """The binding relation of one (positive-polarity) relational subgoal.
-
-    Applies constant selections and repeated-term equality selections,
-    then projects to one column per distinct bindable term.  The result
-    has set semantics, so duplicates introduced by the projection
-    collapse — this is what makes a one-subgoal subquery like
-    ``answer(B) :- baskets(B,$1)`` well defined.
-    """
-    base = db.get(subgoal.predicate)
-    if base.arity != subgoal.arity:
-        raise EvaluationError(
-            f"subgoal {subgoal} has arity {subgoal.arity} but relation "
-            f"{base.name!r} has arity {base.arity}"
-        )
-
-    # Positional filter: constants must match; repeated bindable terms
-    # must agree.
-    first_position: dict[Term, int] = {}
-    constant_checks: list[tuple[int, object]] = []
-    equality_checks: list[tuple[int, int]] = []
-    output_positions: list[int] = []
-    output_columns: list[str] = []
-    for i, term in enumerate(subgoal.terms):
-        if isinstance(term, Constant):
-            constant_checks.append((i, term.value))
-        elif term in first_position:
-            equality_checks.append((first_position[term], i))
-        else:
-            first_position[term] = i
-            output_positions.append(i)
-            output_columns.append(term_column(term))
-
-    rows: set[tuple] = set()
-    for row in base.tuples:
-        if any(row[i] != v for i, v in constant_checks):
-            continue
-        if any(row[i] != row[j] for i, j in equality_checks):
-            continue
-        rows.add(tuple(row[p] for p in output_positions))
-    return Relation(f"bind:{subgoal.predicate}", tuple(output_columns), rows)
-
-
-def _unit_relation() -> Relation:
-    """The zero-column relation with one (empty) tuple — the identity of
-    the natural join, used for queries with no positive subgoals."""
-    return Relation("unit", (), {()})
-
-
-def _apply_comparison(current: Relation, comp: Comparison) -> Relation:
-    """Filter the binding relation by an arithmetic subgoal whose terms
-    are all bound (or constant)."""
-
-    def resolve(term: Term):
-        if isinstance(term, Constant):
-            return None, term.value
-        return current.column_position(term_column(term)), None
-
-    left_pos, left_const = resolve(comp.left)
-    right_pos, right_const = resolve(comp.right)
-    fn = comp.op.fn
-    rows = set()
-    for row in current.tuples:
-        left = row[left_pos] if left_pos is not None else left_const
-        right = row[right_pos] if right_pos is not None else right_const
-        if fn(left, right):
-            rows.add(row)
-    return Relation(current.name, current.columns, rows)
-
-
-def _terms_bound(current: Relation, subgoal) -> bool:
-    cols = set(current.columns)
-    return all(term_column(t) in cols for t in subgoal.bindable_terms())
-
-
-def greedy_join_order(db: Database, atoms: Sequence[RelationalAtom]) -> list[int]:
-    """A greedy join order over the positive subgoals.
-
-    Start from the smallest binding relation; repeatedly append the
-    subgoal with the smallest estimated join result among those sharing
-    a bound term (avoiding cartesian products until forced).  This is
-    the cheap stand-in for the full Selinger search the paper defers to
-    [G*79]; the plan optimizer explores FILTER placement, not join
-    orders, so a decent deterministic order suffices.
-    """
-    if not atoms:
-        return []
-    sizes = [len(db.get(a.predicate)) for a in atoms]
-    stats = [db.stats(a.predicate) for a in atoms]
-    columns = [frozenset(term_column(t) for t in a.bindable_terms()) for a in atoms]
-
-    remaining = set(range(len(atoms)))
-    order: list[int] = []
-    start = min(remaining, key=lambda i: sizes[i])
-    order.append(start)
-    remaining.remove(start)
-    bound: set[str] = set(columns[start])
-
-    while remaining:
-        connected = [i for i in remaining if columns[i] & bound]
-        pool = connected or sorted(remaining)
-        if connected:
-            # Favor the smallest estimated join growth.
-            def join_cost(i: int) -> float:
-                shared = columns[i] & bound
-                return estimate_join_size(
-                    stats[order[-1]], stats[i], tuple(shared)
-                )
-
-            pick = min(pool, key=lambda i: (join_cost(i), sizes[i]))
-        else:
-            pick = min(pool, key=lambda i: sizes[i])
-        order.append(pick)
-        remaining.remove(pick)
-        bound |= columns[pick]
-    return order
+__all__ = [
+    "atom_binding_relation",
+    "evaluate_conjunctive",
+    "evaluate_union",
+    "greedy_join_order",
+    "term_column",
+]
 
 
 def evaluate_conjunctive(
@@ -159,6 +43,7 @@ def evaluate_conjunctive(
     query: ConjunctiveQuery,
     output_terms: Sequence[Term] | None = None,
     join_order: Sequence[int] | None = None,
+    order_strategy: str = "greedy",
     check_safe: bool = True,
     guard: GuardLike = None,
 ) -> Relation:
@@ -171,8 +56,9 @@ def evaluate_conjunctive(
             query's head terms.  Every bindable output term must occur in
             a positive subgoal.
         join_order: optional explicit ordering of the positive subgoals
-            (indices into ``query.positive_atoms()``); defaults to the
-            greedy order.
+            (indices into ``query.positive_atoms()``); wins over
+            ``order_strategy``.
+        order_strategy: ``"greedy"`` (default) or ``"selinger"``.
         check_safe: set ``False`` to skip the safety assertion when the
             caller has already checked (the optimizer's hot path).
         guard: optional :class:`~repro.guard.ExecutionGuard` (or
@@ -184,132 +70,17 @@ def evaluate_conjunctive(
         A relation whose columns are the rendered output terms, with
         set semantics.
     """
-    guard = as_guard(guard)
     if check_safe:
         assert_safe(query)
-    if output_terms is None:
-        output_terms = list(query.head_terms)
-
-    positives = query.positive_atoms()
-    pending_comparisons = list(query.comparisons())
-    pending_negations = list(query.negated_atoms())
-
-    if join_order is None:
-        order = greedy_join_order(db, positives)
-    else:
-        order = list(join_order)
-        if sorted(order) != list(range(len(positives))):
-            raise EvaluationError(
-                f"join_order {order} is not a permutation of the "
-                f"{len(positives)} positive subgoals"
-            )
-
-    # Identical subgoals (up to renaming nothing — literally equal atoms,
-    # common in self-joins like baskets(B,$1)/baskets(B,$2) only when the
-    # terms coincide) share one binding relation per evaluation.
-    binding_cache: dict[RelationalAtom, Relation] = {}
-
-    def bind(subgoal: RelationalAtom) -> Relation:
-        cached = binding_cache.get(subgoal)
-        if cached is None:
-            cached = atom_binding_relation(db, subgoal)
-            binding_cache[subgoal] = cached
-        return cached
-
-    current = _unit_relation()
-    for idx in order:
-        trip("relational.join")
-        started = time.perf_counter()
-        before = len(current)
-        current = natural_join(current, bind(positives[idx]))
-        current = _apply_pending(db, current, pending_comparisons, pending_negations)
-        if guard is not None:
-            node = f"join:{positives[idx].predicate}"
-            guard.note_step(
-                name=node,
-                description=str(positives[idx]),
-                input_tuples=before,
-                output_assignments=len(current),
-                seconds=time.perf_counter() - started,
-                filtered=False,
-            )
-            guard.checkpoint(rows=len(current), node=node)
-    # Queries with no positive atoms still must apply constant-only
-    # subgoals (safety allows e.g. `answer(1) :- 1 < 2`).
-    current = _apply_pending(db, current, pending_comparisons, pending_negations)
-    if pending_comparisons or pending_negations:
-        left = pending_comparisons + pending_negations
-        raise EvaluationError(
-            f"subgoals never became bound: {[str(s) for s in left]} "
-            "(query should have failed the safety check)"
-        )
-
-    return _project_output(current, output_terms, name=query.head_name)
-
-
-def _apply_pending(
-    db: Database,
-    current: Relation,
-    comparisons: list[Comparison],
-    negations: list[RelationalAtom],
-) -> Relation:
-    """Apply every pending comparison/negation whose terms are now bound."""
-    progress = True
-    while progress:
-        progress = False
-        for comp in list(comparisons):
-            if _terms_bound(current, comp):
-                current = _apply_comparison(current, comp)
-                comparisons.remove(comp)
-                progress = True
-        for neg in list(negations):
-            if _terms_bound(current, neg):
-                neg_rel = atom_binding_relation(db, neg.with_positive_polarity())
-                if neg.bindable_terms():
-                    current = anti_join(current, neg_rel, name=current.name)
-                else:
-                    # Ground negation: NOT p(c1,...,ck) empties the result
-                    # iff the selected relation is nonempty.
-                    if len(neg_rel):
-                        current = Relation(current.name, current.columns)
-                negations.remove(neg)
-                progress = True
-    return current
-
-
-def _project_output(
-    current: Relation, output_terms: Sequence[Term], name: str
-) -> Relation:
-    columns: list[str] = []
-    constants: list[tuple[int, object]] = []
-    for i, term in enumerate(output_terms):
-        if is_bindable(term):
-            col = term_column(term)
-            if col not in current.columns:
-                raise EvaluationError(
-                    f"output term {term} is not bound by any positive subgoal"
-                )
-            columns.append(col)
-        else:
-            constants.append((i, term.value))  # type: ignore[union-attr]
-    projected = current.project(columns, name=name)
-    if not constants:
-        return projected
-    # Re-insert constant output positions.
-    out_cols: list[str] = []
-    bindable_iter = iter(projected.columns)
-    for i, term in enumerate(output_terms):
-        if is_bindable(term):
-            out_cols.append(next(bindable_iter))
-        else:
-            out_cols.append(f"_const{i}")
-    rows = set()
-    for row in projected.tuples:
-        row_list = list(row)
-        for i, value in constants:
-            row_list.insert(i, value)
-        rows.add(tuple(row_list))
-    return Relation(name, tuple(out_cols), rows)
+    plan = lower_rule(
+        db,
+        query,
+        output_terms=output_terms,
+        join_order=join_order,
+        order_strategy=order_strategy,
+    )
+    engine = MemoryEngine(db, guard=guard)
+    return engine.run_plan(plan)
 
 
 def evaluate_union(
@@ -317,6 +88,7 @@ def evaluate_union(
     union: UnionQuery,
     output_terms_per_rule: Sequence[Sequence[Term]] | None = None,
     output_columns: Sequence[str] | None = None,
+    order_strategy: str = "greedy",
     guard: GuardLike = None,
 ) -> Relation:
     """Evaluate a union query as the set union of its rules' results.
@@ -343,10 +115,14 @@ def evaluate_union(
         )
 
     guard = as_guard(guard)
+    engine = MemoryEngine(db, guard=guard)
     rows: set[tuple] = set()
     for rule, terms in zip(union.rules, per_rule):
-        result = evaluate_conjunctive(db, rule, output_terms=terms, guard=guard)
-        rows |= result.tuples
+        assert_safe(rule)
+        plan = lower_rule(
+            db, rule, output_terms=terms, order_strategy=order_strategy
+        )
+        rows |= engine.run_plan(plan).tuples
         if guard is not None:
             guard.checkpoint(rows=len(rows), node=f"union:{union.head_name}")
-    return Relation(union.head_name, columns, rows)
+    return Relation.from_distinct_rows(union.head_name, columns, rows)

@@ -1,20 +1,19 @@
-"""EXPLAIN: a textual account of how a query would be evaluated.
+"""EXPLAIN: the textual rendering of the physical plan we execute.
 
-Mirrors :func:`repro.relational.evaluate.evaluate_conjunctive` without
-touching tuples beyond the statistics already cached: join order,
-per-step size estimates, where comparisons and negations attach.  Used
-by the CLI and handy when debugging why a flock is slow.
+There is no separate explain code path any more: the query is lowered
+by :func:`repro.engine.planner.lower_rule` — the same lowering every
+strategy executes — and the resulting
+:class:`~repro.engine.ir.PhysicalPlan` renders itself.  Join order,
+per-step size estimates, and where comparisons and negations attach are
+read off the plan object, so the printed plan cannot drift from the
+executed one.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.query import ConjunctiveQuery
+from ..engine.planner import lower_rule
 from .catalog import Database
-from .evaluate import greedy_join_order, term_column
-from .joinorder import selinger_join_order
 
 
 def explain_conjunctive(
@@ -27,65 +26,4 @@ def explain_conjunctive(
     ``order_strategy`` is ``"greedy"`` (the evaluator's default) or
     ``"selinger"`` (the DP orderer).
     """
-    positives = query.positive_atoms()
-    if order_strategy == "greedy":
-        order = greedy_join_order(db, positives)
-    elif order_strategy == "selinger":
-        order = selinger_join_order(db, positives)
-    else:
-        raise ValueError(
-            f"unknown order strategy {order_strategy!r}; "
-            "use 'greedy' or 'selinger'"
-        )
-
-    pending_comparisons = list(query.comparisons())
-    pending_negations = list(query.negated_atoms())
-
-    lines = [f"EXPLAIN ({order_strategy} join order) for: {query}"]
-    bound: set[str] = set()
-    running_estimate = 1.0
-    for position, idx in enumerate(order):
-        atom = positives[idx]
-        stats = db.stats(atom.predicate)
-        atom_columns = {term_column(t) for t in atom.bindable_terms()}
-        shared = sorted(bound & atom_columns)
-        if position == 0:
-            running_estimate = float(stats.cardinality)
-            lines.append(
-                f"  scan {atom}  (~{stats.cardinality} tuples)"
-            )
-        else:
-            # Independence estimate with the running size as the left
-            # side; join-column distincts bounded by the right relation's.
-            size = running_estimate * stats.cardinality
-            for shared_column in shared:
-                base_column = _column_for(db, atom, shared_column)
-                size /= max(stats.distinct_count(base_column), 1)
-            running_estimate = size
-            on = f" on ({', '.join(shared)})" if shared else " (cartesian!)"
-            lines.append(
-                f"  join {atom}{on}  (~{running_estimate:,.0f} tuples)"
-            )
-        bound |= atom_columns
-
-        for comp in list(pending_comparisons):
-            if all(term_column(t) in bound for t in comp.bindable_terms()):
-                lines.append(f"    then filter: {comp}")
-                pending_comparisons.remove(comp)
-        for neg in list(pending_negations):
-            if all(term_column(t) in bound for t in neg.bindable_terms()):
-                lines.append(f"    then anti-join: {neg}")
-                pending_negations.remove(neg)
-
-    head = ", ".join(str(t) for t in query.head_terms)
-    lines.append(f"  project ({head})")
-    return "\n".join(lines)
-
-
-def _column_for(db: Database, atom: RelationalAtom, rendered: str) -> str:
-    """The base-relation column an atom binds for a rendered term name."""
-    columns = db.get(atom.predicate).columns
-    for position, term in enumerate(atom.terms):
-        if term_column(term) == rendered and position < len(columns):
-            return columns[position]
-    return rendered
+    return lower_rule(db, query, order_strategy=order_strategy).render()

@@ -1,12 +1,15 @@
-"""Selinger-style dynamic-programming join ordering ([G*79]).
+"""Join ordering: the greedy default and Selinger-style DP ([G*79]).
 
 The paper defers join ordering to "the general theory of cost-based
-optimization ([G*79])"; the evaluator's default greedy order is fast
-but can miss good plans on star/chain shapes.  This module implements
-the classic DP over atom subsets producing the best **left-deep** order
-under the independence cost model, for queries of up to a dozen or so
-subgoals (the paper: "queries tend to be small, exponential searches
-are often computationally feasible").
+optimization ([G*79])".  :func:`greedy_join_order` is the fast default
+(smallest relation first, then smallest estimated growth);
+:func:`selinger_join_order` is the classic DP over atom subsets
+producing the best **left-deep** order under the independence cost
+model, for queries of up to a dozen or so subgoals (the paper: "queries
+tend to be small, exponential searches are often computationally
+feasible").  Both produce orders the physical planner
+(:mod:`repro.engine.planner`) lowers into the same plan IR, so what
+``explain`` prints is what the engines run.
 """
 
 from __future__ import annotations
@@ -14,8 +17,52 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..datalog.atoms import RelationalAtom
+from .binding import term_column
 from .catalog import Database
-from .statistics import RelationStats
+from .statistics import RelationStats, estimate_join_size
+
+
+def greedy_join_order(db: Database, atoms: Sequence[RelationalAtom]) -> list[int]:
+    """A greedy join order over the positive subgoals.
+
+    Start from the smallest binding relation; repeatedly append the
+    subgoal with the smallest estimated join result among those sharing
+    a bound term (avoiding cartesian products until forced).  This is
+    the cheap stand-in for the full Selinger search the paper defers to
+    [G*79]; the plan optimizer explores FILTER placement, not join
+    orders, so a decent deterministic order suffices.
+    """
+    if not atoms:
+        return []
+    sizes = [len(db.get(a.predicate)) for a in atoms]
+    stats = [db.stats(a.predicate) for a in atoms]
+    columns = [frozenset(term_column(t) for t in a.bindable_terms()) for a in atoms]
+
+    remaining = set(range(len(atoms)))
+    order: list[int] = []
+    start = min(remaining, key=lambda i: sizes[i])
+    order.append(start)
+    remaining.remove(start)
+    bound: set[str] = set(columns[start])
+
+    while remaining:
+        connected = [i for i in remaining if columns[i] & bound]
+        pool = connected or sorted(remaining)
+        if connected:
+            # Favor the smallest estimated join growth.
+            def join_cost(i: int) -> float:
+                shared = columns[i] & bound
+                return estimate_join_size(
+                    stats[order[-1]], stats[i], tuple(shared)
+                )
+
+            pick = min(pool, key=lambda i: (join_cost(i), sizes[i]))
+        else:
+            pick = min(pool, key=lambda i: sizes[i])
+        order.append(pick)
+        remaining.remove(pick)
+        bound |= columns[pick]
+    return order
 
 
 def _atom_columns(db: Database, atom: RelationalAtom) -> frozenset[str]:

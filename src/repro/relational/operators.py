@@ -1,14 +1,23 @@
-"""Relational-algebra operators used by the query evaluator.
+"""Relational-algebra operators used by the query engine.
 
-Joins are hash joins: build a hash table on the smaller input keyed by
-the shared columns, probe with the larger.  Negated subgoals become
-anti-joins (Section 2.3's ``NOT`` is evaluated against fully bound
-terms, which safety guarantees).  Everything is set-semantics.
+Joins are columnar hash joins: build a hash table on the smaller input
+keyed by the shared columns, probe with the larger, then gather the
+matching row indexes through the column arrays batch-at-a-time.  Negated
+subgoals become anti-joins (Section 2.3's ``NOT`` is evaluated against
+fully bound terms, which safety guarantees).  Everything is
+set-semantics.
+
+A key property keeps these operators cheap: the natural join of two
+duplicate-free relations is duplicate-free.  Two matched pairs
+``(l1, r1)`` and ``(l2, r2)`` produce equal output rows only if
+``l1 == l2`` (the output contains every left column), which forces the
+shared key columns equal and hence ``r1 == r2``.  Joins, semi-joins,
+anti-joins, and selections therefore never re-deduplicate; only
+projections that drop columns and unions do.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Sequence
 
 from ..errors import SchemaError
@@ -21,6 +30,23 @@ def shared_columns(left: Relation, right: Relation) -> tuple[str, ...]:
     return tuple(c for c in left.columns if c in right_set)
 
 
+def _key_reader(rel: Relation, keys: Sequence[str]):
+    """An iterator of per-row key values for ``rel`` over ``keys``.
+
+    Single-column keys iterate the raw column array (no tuple boxing);
+    multi-column keys zip the key arrays.
+    """
+    arrays = [rel.column_array(c) for c in keys]
+    if len(arrays) == 1:
+        return iter(arrays[0])
+    return zip(*arrays)
+
+
+def _gather(arrays: Sequence[list], indexes: list) -> list[list]:
+    """Materialize selected rows of row-aligned arrays, column by column."""
+    return [[arr[i] for i in indexes] for arr in arrays]
+
+
 def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
     """Natural (hash) join on all shared columns.
 
@@ -29,49 +55,62 @@ def natural_join(left: Relation, right: Relation, name: str = "join") -> Relatio
     paper's queries can have disconnected subgoal sets after deletion).
     """
     keys = shared_columns(left, right)
-    out_columns = left.columns + tuple(
-        c for c in right.columns if c not in set(left.columns)
-    )
+    left_cols = set(left.columns)
+    right_only = [c for c in right.columns if c not in left_cols]
+    out_columns = left.columns + tuple(right_only)
+
+    if not keys:
+        return _cartesian(left, right, out_columns, right_only, name)
 
     # Build on the smaller side, probe with the larger.
     build, probe, build_is_left = (
         (left, right, True) if len(left) <= len(right) else (right, left, False)
     )
-    build_key_pos = [build.column_position(c) for c in keys]
-    probe_key_pos = [probe.column_position(c) for c in keys]
 
-    table: dict[tuple, list[tuple]] = defaultdict(list)
-    for row in build.tuples:
-        table[tuple(row[p] for p in build_key_pos)].append(row)
+    table: dict[object, list[int]] = {}
+    for i, key in enumerate(_key_reader(build, keys)):
+        bucket = table.get(key)
+        if bucket is None:
+            table[key] = [i]
+        else:
+            bucket.append(i)
 
-    # Output assembly: for each matched (left_row, right_row), emit
-    # left_row + right-only columns.
-    right_only = [c for c in right.columns if c not in set(left.columns)]
-    right_only_pos = [right.column_position(c) for c in right_only]
+    build_idx: list[int] = []
+    probe_idx: list[int] = []
+    for i, key in enumerate(_key_reader(probe, keys)):
+        bucket = table.get(key)
+        if bucket is not None:
+            probe_idx.extend([i] * len(bucket))
+            build_idx.extend(bucket)
 
-    rows: set[tuple] = set()
-    for probe_row in probe.tuples:
-        key = tuple(probe_row[p] for p in probe_key_pos)
-        for build_row in table.get(key, ()):
-            left_row, right_row = (
-                (build_row, probe_row) if build_is_left else (probe_row, build_row)
-            )
-            rows.add(left_row + tuple(right_row[p] for p in right_only_pos))
-    return Relation(name, out_columns, rows)
+    left_idx, right_idx = (
+        (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
+    )
+    right_only_arrays = [right.column_array(c) for c in right_only]
+    data = _gather(left.columns_data(), left_idx) + _gather(
+        right_only_arrays, right_idx
+    )
+    count = len(left_idx) if not out_columns else None
+    return Relation.from_columns(name, out_columns, data, count=count)
+
+
+def _cartesian(
+    left: Relation,
+    right: Relation,
+    out_columns: tuple[str, ...],
+    right_only: Sequence[str],
+    name: str,
+) -> Relation:
+    n, m = len(left), len(right)
+    data = [
+        [v for v in arr for _ in range(m)] for arr in left.columns_data()
+    ] + [right.column_array(c) * n for c in right_only]
+    return Relation.from_columns(name, out_columns, data, count=n * m)
 
 
 def semi_join(left: Relation, right: Relation, name: str = "semijoin") -> Relation:
     """Tuples of ``left`` that join with at least one tuple of ``right``."""
-    keys = shared_columns(left, right)
-    if not keys:
-        # No shared columns: left survives iff right is nonempty.
-        return left.with_name(name) if len(right) else Relation(name, left.columns)
-    left_pos = [left.column_position(c) for c in keys]
-    right_keys = right.project(keys).tuples
-    rows = {
-        row for row in left.tuples if tuple(row[p] for p in left_pos) in right_keys
-    }
-    return Relation(name, left.columns, rows)
+    return _filter_by_membership(left, right, name, keep_matches=True)
 
 
 def anti_join(left: Relation, right: Relation, name: str = "antijoin") -> Relation:
@@ -80,17 +119,27 @@ def anti_join(left: Relation, right: Relation, name: str = "antijoin") -> Relati
     This is how a fully bound ``NOT p(...)`` subgoal is applied to the
     current binding relation.
     """
+    return _filter_by_membership(left, right, name, keep_matches=False)
+
+
+def _filter_by_membership(
+    left: Relation, right: Relation, name: str, keep_matches: bool
+) -> Relation:
     keys = shared_columns(left, right)
     if not keys:
-        return Relation(name, left.columns) if len(right) else left.with_name(name)
-    left_pos = [left.column_position(c) for c in keys]
-    right_keys = right.project(keys).tuples
-    rows = {
-        row
-        for row in left.tuples
-        if tuple(row[p] for p in left_pos) not in right_keys
-    }
-    return Relation(name, left.columns, rows)
+        # No shared columns: left survives iff right is (non)empty.
+        if bool(len(right)) == keep_matches:
+            return left.with_name(name)
+        return Relation(name, left.columns)
+    right_keys = set(_key_reader(right, keys))
+    keep = [
+        i
+        for i, key in enumerate(_key_reader(left, keys))
+        if (key in right_keys) == keep_matches
+    ]
+    return Relation.from_columns(
+        name, left.columns, _gather(left.columns_data(), keep)
+    )
 
 
 def cartesian_product(left: Relation, right: Relation, name: str = "product") -> Relation:
@@ -99,9 +148,8 @@ def cartesian_product(left: Relation, right: Relation, name: str = "product") ->
         raise SchemaError(
             "cartesian_product requires disjoint columns; use natural_join"
         )
-    out_columns = left.columns + right.columns
-    rows = {l + r for l in left.tuples for r in right.tuples}
-    return Relation(name, out_columns, rows)
+    return _cartesian(left, right, left.columns + right.columns,
+                      right.columns, name)
 
 
 def union_all(relations: Sequence[Relation], name: str = "union") -> Relation:
@@ -116,4 +164,4 @@ def union_all(relations: Sequence[Relation], name: str = "union") -> Relation:
                 f"union_all schema mismatch: {first.columns} vs {rel.columns}"
             )
         rows |= rel.tuples
-    return Relation(name, first.columns, rows)
+    return Relation.from_distinct_rows(name, first.columns, rows)

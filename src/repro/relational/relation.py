@@ -1,15 +1,29 @@
-"""In-memory relations with set semantics.
+"""In-memory relations with set semantics and columnar storage.
 
 The paper's language assumes "conventional set semantics rather than bag
 semantics ... Some of our claims would not hold for bag semantics", so a
-:class:`Relation` stores its tuples in a Python ``set`` — duplicates are
-impossible by construction, which is what makes the subquery upper-bound
-property (Section 3.1) sound.
+:class:`Relation` never contains duplicate rows — which is what makes the
+subquery upper-bound property (Section 3.1) sound.
 
 A relation is a named, column-labelled set of equal-width tuples.
 Columns are strings; by convention the evaluator labels columns with the
 rendered form of the Datalog term they bind (``"P"``, ``"$s"``), which
 makes intermediate results self-describing.
+
+Internally a relation keeps up to two representations of the same rows:
+
+* a row set (``frozenset`` of tuples) — ideal for membership tests,
+  set-algebra, and hashing;
+* column arrays (one Python list per column, row-aligned) — ideal for
+  batch-at-a-time operators that scan one or two columns of every row
+  (hash joins, comparisons, grouping).
+
+Either representation is materialized lazily from the other and cached,
+so operators pay only for the layout they touch.  Both describe a
+duplicate-free set of rows; ``distinct`` construction paths
+(:meth:`Relation.from_columns`) let operators that provably preserve
+distinctness — e.g. the natural join of two duplicate-free inputs —
+skip re-deduplication entirely.
 """
 
 from __future__ import annotations
@@ -22,12 +36,12 @@ from ..errors import SchemaError
 class Relation:
     """A named set of tuples over labelled columns.
 
-    The tuple set is stored as-is (not copied defensively on read access)
-    but never mutated after construction; all operations return new
-    relations.
+    Neither representation is copied defensively on read access, but a
+    relation is never mutated after construction; all operations return
+    new relations.
     """
 
-    __slots__ = ("name", "columns", "tuples", "_column_index")
+    __slots__ = ("name", "columns", "_column_index", "_rows", "_data", "_count")
 
     def __init__(
         self,
@@ -49,8 +63,109 @@ class Relation:
                     f"{name!r} expects {width}"
                 )
             normalized.add(row_t)
-        self.tuples: frozenset[tuple] = frozenset(normalized)
+        self._rows: frozenset[tuple] | None = frozenset(normalized)
+        self._data: tuple[list, ...] | None = None
+        self._count = len(normalized)
         self._column_index = {c: i for i, c in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    # Trusted constructors (no re-validation, no re-deduplication)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Sequence[str],
+        data: Sequence[list],
+        count: int | None = None,
+    ) -> "Relation":
+        """Build a relation directly from row-aligned column arrays.
+
+        The caller asserts the rows are already **distinct** — this is
+        the fast path for operators (joins, selections) that provably
+        preserve distinctness.  ``count`` is required only for
+        zero-column relations, where no array records the row count.
+        """
+        rel = cls.__new__(cls)
+        rel.name = name
+        rel.columns = tuple(columns)
+        if len(set(rel.columns)) != len(rel.columns):
+            raise SchemaError(f"duplicate column names in {name}: {rel.columns}")
+        arrays = tuple(data)
+        if len(arrays) != len(rel.columns):
+            raise SchemaError(
+                f"relation {name!r} got {len(arrays)} column arrays for "
+                f"{len(rel.columns)} columns"
+            )
+        if arrays:
+            rel._count = len(arrays[0])
+            for arr in arrays:
+                if len(arr) != rel._count:
+                    raise SchemaError(
+                        f"relation {name!r} has ragged column arrays"
+                    )
+        else:
+            rel._count = int(count or 0)
+        rel._data = arrays
+        rel._rows = None
+        rel._column_index = {c: i for i, c in enumerate(rel.columns)}
+        return rel
+
+    @classmethod
+    def from_distinct_rows(
+        cls,
+        name: str,
+        columns: Sequence[str],
+        rows: frozenset[tuple] | set[tuple],
+    ) -> "Relation":
+        """Build a relation from an already-deduplicated row set.
+
+        The caller asserts every row has the right width; no per-row
+        validation is performed.
+        """
+        rel = cls.__new__(cls)
+        rel.name = name
+        rel.columns = tuple(columns)
+        if len(set(rel.columns)) != len(rel.columns):
+            raise SchemaError(f"duplicate column names in {name}: {rel.columns}")
+        rel._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        rel._data = None
+        rel._count = len(rel._rows)
+        rel._column_index = {c: i for i, c in enumerate(rel.columns)}
+        return rel
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
+
+    @property
+    def tuples(self) -> frozenset[tuple]:
+        """The rows as a frozenset, materialized lazily from columns."""
+        if self._rows is None:
+            data = self._data or ()
+            if data:
+                self._rows = frozenset(zip(*data))
+            else:
+                self._rows = frozenset([()] ) if self._count else frozenset()
+        return self._rows
+
+    def columns_data(self) -> tuple[list, ...]:
+        """Row-aligned per-column arrays, materialized lazily from rows."""
+        if self._data is None:
+            rows = self._rows or frozenset()
+            if self.columns:
+                if rows:
+                    self._data = tuple(list(col) for col in zip(*rows))
+                else:
+                    self._data = tuple([] for _ in self.columns)
+            else:
+                self._data = ()
+        return self._data
+
+    def column_array(self, column: str) -> list:
+        """One column as a row-aligned array (shared, do not mutate)."""
+        return self.columns_data()[self.column_position(column)]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -61,10 +176,15 @@ class Relation:
         return len(self.columns)
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        return self._count
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(self.tuples)
+        if self._rows is not None:
+            return iter(self._rows)
+        data = self._data or ()
+        if data:
+            return iter(zip(*data))
+        return iter([()] * self._count)
 
     def __contains__(self, row: tuple) -> bool:
         return tuple(row) in self.tuples
@@ -90,8 +210,7 @@ class Relation:
 
     def column_values(self, column: str) -> set:
         """The set of distinct values in one column."""
-        pos = self.column_position(column)
-        return {row[pos] for row in self.tuples}
+        return set(self.column_array(column))
 
     def distinct_count(self, column: str) -> int:
         """Number of distinct values in one column."""
@@ -102,10 +221,25 @@ class Relation:
     # ------------------------------------------------------------------
 
     def project(self, columns: Sequence[str], name: str | None = None) -> "Relation":
-        """Projection with duplicate elimination."""
+        """Projection with duplicate elimination.
+
+        A projection that is a pure permutation of all columns cannot
+        create duplicates and skips the dedup pass.
+        """
         positions = [self.column_position(c) for c in columns]
-        rows = {tuple(row[p] for p in positions) for row in self.tuples}
-        return Relation(name or self.name, tuple(columns), rows)
+        if len(set(positions)) == len(self.columns):
+            data = self.columns_data()
+            return Relation.from_columns(
+                name or self.name,
+                tuple(columns),
+                [data[p] for p in positions],
+                count=self._count,
+            )
+        if len(positions) == 1:
+            rows = {(v,) for v in self.columns_data()[positions[0]]}
+        else:
+            rows = {tuple(row[p] for p in positions) for row in self.tuples}
+        return Relation.from_distinct_rows(name or self.name, tuple(columns), rows)
 
     def select(
         self, predicate: Callable[[dict], bool], name: str | None = None
@@ -115,46 +249,64 @@ class Relation:
         The predicate receives each row as a ``{column: value}`` dict.
         """
         cols = self.columns
-        rows = {
+        rows = frozenset(
             row
             for row in self.tuples
             if predicate(dict(zip(cols, row)))
-        }
-        return Relation(name or self.name, cols, rows)
+        )
+        return Relation.from_distinct_rows(name or self.name, cols, rows)
 
     def select_eq(self, column: str, value: object, name: str | None = None) -> "Relation":
         """Fast-path selection ``column = value``."""
         pos = self.column_position(column)
-        rows = {row for row in self.tuples if row[pos] == value}
-        return Relation(name or self.name, self.columns, rows)
+        data = self.columns_data()
+        keep = [i for i, v in enumerate(data[pos]) if v == value]
+        return Relation.from_columns(
+            name or self.name,
+            self.columns,
+            [[arr[i] for i in keep] for arr in data],
+        )
 
     def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
         """Rename columns; unmentioned columns keep their names."""
         new_cols = tuple(mapping.get(c, c) for c in self.columns)
-        return Relation(name or self.name, new_cols, self.tuples)
+        return self._relabelled(new_cols, name or self.name)
 
     def with_name(self, name: str) -> "Relation":
         """A copy of this relation under a different name."""
-        return Relation(name, self.columns, self.tuples)
+        return self._relabelled(self.columns, name)
+
+    def _relabelled(self, new_cols: tuple[str, ...], name: str) -> "Relation":
+        """Share both representations under new labels (rows unchanged)."""
+        if len(set(new_cols)) != len(new_cols):
+            raise SchemaError(f"duplicate column names in {name}: {new_cols}")
+        rel = Relation.__new__(Relation)
+        rel.name = name
+        rel.columns = new_cols
+        rel._rows = self._rows
+        rel._data = self._data
+        rel._count = self._count
+        rel._column_index = {c: i for i, c in enumerate(new_cols)}
+        return rel
 
     def union(self, other: "Relation", name: str | None = None) -> "Relation":
         """Set union with a same-schema relation."""
         self._require_same_schema(other, "union")
-        return Relation(
+        return Relation.from_distinct_rows(
             name or self.name, self.columns, self.tuples | other.tuples
         )
 
     def difference(self, other: "Relation", name: str | None = None) -> "Relation":
         """Set difference with a same-schema relation."""
         self._require_same_schema(other, "difference")
-        return Relation(
+        return Relation.from_distinct_rows(
             name or self.name, self.columns, self.tuples - other.tuples
         )
 
     def intersection(self, other: "Relation", name: str | None = None) -> "Relation":
         """Set intersection with a same-schema relation."""
         self._require_same_schema(other, "intersection")
-        return Relation(
+        return Relation.from_distinct_rows(
             name or self.name, self.columns, self.tuples & other.tuples
         )
 
@@ -172,7 +324,7 @@ class Relation:
     def __repr__(self) -> str:
         return (
             f"Relation({self.name!r}, columns={self.columns}, "
-            f"rows={len(self.tuples)})"
+            f"rows={len(self)})"
         )
 
     def pretty(self, limit: int = 20) -> str:

@@ -13,7 +13,6 @@ optimizer's cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import reduce
 from typing import Sequence
 
 from .relation import Relation

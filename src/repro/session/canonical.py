@@ -48,7 +48,7 @@ from ..datalog.containment import (
     contains_extended,
     is_subquery_bound,
 )
-from ..datalog.query import ConjunctiveQuery, FlockQuery, UnionQuery, as_union
+from ..datalog.query import ConjunctiveQuery, FlockQuery, as_union
 from ..datalog.terms import Constant, Parameter, Term, Variable
 
 #: Cap on the tie-break permutations tried while canonicalizing one body.

@@ -117,7 +117,8 @@ def inject(
     if site in _ACTIVE:
         raise RuntimeError(f"fault site {site!r} is already armed")
     if isinstance(error, type) and issubclass(error, BaseException):
-        error_source: ErrorSource = lambda: error(f"injected fault at {site}")
+        def error_source() -> BaseException:
+            return error(f"injected fault at {site}")
     else:
         error_source = error
     fault = FaultSpec(site=site, error=error_source, skip=skip, times=times)

@@ -2,16 +2,8 @@
 
 import pytest
 
-from repro.datalog.atoms import (
-    Comparison,
-    ComparisonOp,
-    RelationalAtom,
-    atom,
-    comparison,
-    negated,
-    subgoal_terms,
-)
-from repro.datalog.terms import Constant, Parameter, Variable
+from repro.datalog.atoms import ComparisonOp, RelationalAtom, atom, comparison, negated, subgoal_terms
+from repro.datalog.terms import Parameter, Variable
 
 
 class TestRelationalAtom:

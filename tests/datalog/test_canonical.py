@@ -1,6 +1,5 @@
 """Canonical forms for cache keys (repro.session.canonical)."""
 
-import pytest
 
 from repro.datalog import UnionQuery, atom, comparison, negated, rule
 from repro.session.canonical import (

@@ -2,18 +2,8 @@
 
 import pytest
 
-from repro.datalog import (
-    atom,
-    comparison,
-    contains,
-    equivalent,
-    find_containment_mapping,
-    is_subquery_bound,
-    minimize,
-    negated,
-    rule,
-)
-from repro.datalog.terms import Parameter, Variable
+from repro.datalog import atom, contains, equivalent, find_containment_mapping, is_subquery_bound, minimize, rule
+from repro.datalog.terms import Variable
 
 
 class TestContains:

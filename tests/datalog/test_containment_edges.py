@@ -8,15 +8,7 @@ fall back to the subgoal-subset criterion.
 
 import pytest
 
-from repro.datalog import (
-    atom,
-    comparison,
-    contains,
-    contains_extended,
-    is_subquery_bound,
-    negated,
-    rule,
-)
+from repro.datalog import atom, comparison, contains, contains_extended, is_subquery_bound, rule
 from repro.session.canonical import alpha_equivalent, canonical_key
 
 

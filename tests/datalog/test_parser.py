@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.datalog import (
-    Comparison,
-    ComparisonOp,
-    ConjunctiveQuery,
-    UnionQuery,
-    parse_query,
-    parse_rule,
-)
+from repro.datalog import ComparisonOp, ConjunctiveQuery, UnionQuery, parse_query, parse_rule
 from repro.datalog.terms import Constant, Parameter, Variable
 from repro.errors import ParseError
 

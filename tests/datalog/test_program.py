@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.datalog import (
-    Program,
-    atom,
-    materialize_views,
-    negated,
-    parse_rule,
-    rule,
-)
+from repro.datalog import Program, materialize_views, negated, parse_rule, rule
 from repro.errors import EvaluationError, SafetyError
 from repro.flocks import QueryFlock, evaluate_flock, support_filter
 from repro.relational import database_from_dict

@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.datalog import (
-    ConjunctiveQuery,
-    UnionQuery,
-    as_union,
-    atom,
-    comparison,
-    negated,
-    rule,
-)
+from repro.datalog import ConjunctiveQuery, UnionQuery, as_union, atom, rule
 from repro.datalog.terms import Constant, Parameter, Variable
 
 

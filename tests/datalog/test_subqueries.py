@@ -1,19 +1,7 @@
 """Safe-subquery enumeration tests, reproducing Examples 3.1–3.3."""
 
-import pytest
 
-from repro.datalog import (
-    Parameter,
-    atom,
-    parameter_subsets,
-    rule,
-    safe_subqueries,
-    safe_subqueries_with_parameters,
-    minimal_safe_subqueries_with_parameters,
-    subgoal_subsets,
-    union_subqueries_with_parameters,
-    unsafe_subqueries,
-)
+from repro.datalog import Parameter, parameter_subsets, safe_subqueries, safe_subqueries_with_parameters, minimal_safe_subqueries_with_parameters, subgoal_subsets, union_subqueries_with_parameters, unsafe_subqueries
 
 
 class TestSubgoalSubsets:

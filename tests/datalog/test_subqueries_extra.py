@@ -1,13 +1,11 @@
 """Additional subquery-enumeration coverage."""
 
-import pytest
 
 from repro.datalog import (
     Parameter,
     safe_subqueries,
     union_subqueries_with_parameters,
 )
-from repro.datalog.subqueries import SubqueryCandidate, UnionSubqueryCandidate
 
 
 class TestIncludeFull:

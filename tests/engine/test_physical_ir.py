@@ -1,0 +1,123 @@
+"""Physical-IR regression tests.
+
+The load-bearing guarantee of the engine layer: ``repro explain`` output
+is rendered from the *same* :class:`PhysicalPlan` object the engine
+executes, so the join order it names is — by construction, and checked
+here — exactly the order the joins run in.
+"""
+
+import pytest
+
+from repro.engine import MemoryEngine, lower_rule
+from repro.engine.planner import complete_order
+from repro.errors import EvaluationError
+from repro.guard import ExecutionGuard
+from repro.relational.evaluate import evaluate_conjunctive
+from repro.relational.explain import explain_conjunctive
+from repro.workloads import generate_medical
+
+
+@pytest.fixture(scope="module")
+def medical():
+    return generate_medical(n_patients=120, seed=7)
+
+
+def rendered_atom_predicates(text: str) -> list[str]:
+    """The predicates of the scan/join lines of an explain rendering,
+    in the order they appear."""
+    predicates = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("scan ") or stripped.startswith("join "):
+            atom_text = stripped.split(None, 1)[1]
+            predicates.append(atom_text.split("(", 1)[0])
+    return predicates
+
+
+class TestExplainNamesExecutedOrder:
+    """Satellite regression: explain output == executed join order."""
+
+    @pytest.mark.parametrize("strategy", ["greedy", "selinger"])
+    def test_render_is_the_executed_plan(
+        self, medical, medical_query, strategy
+    ):
+        db = medical.db
+        plan = lower_rule(db, medical_query, order_strategy=strategy)
+
+        # explain_conjunctive renders the same lowering — byte identical.
+        assert (
+            explain_conjunctive(db, medical_query, order_strategy=strategy)
+            == plan.render()
+        )
+        assert f"({strategy} join order)" in plan.render()
+
+        # Execute the very same plan object; the guard trace records one
+        # row per join stage, in execution order.
+        guard = ExecutionGuard()
+        MemoryEngine(db, guard=guard).run_plan(plan)
+        executed = [step.name for step in guard.trace.steps]
+        assert executed == [stage.node for stage in plan.stages]
+
+        # And the explain text names that exact order.
+        assert rendered_atom_predicates(plan.render()) == [
+            name.split(":", 1)[1] for name in executed
+        ]
+
+    def test_greedy_and_selinger_agree_on_answers(
+        self, medical, medical_query
+    ):
+        db = medical.db
+        greedy = evaluate_conjunctive(db, medical_query)
+        selinger = evaluate_conjunctive(
+            db, medical_query, order_strategy="selinger"
+        )
+        assert greedy == selinger
+
+
+class TestLowering:
+    def test_first_stage_has_no_join(self, medical, medical_query):
+        plan = lower_rule(medical.db, medical_query)
+        assert plan.stages[0].join is None
+        assert all(stage.join is not None for stage in plan.stages[1:])
+
+    def test_explicit_order_must_be_permutation(self, medical, medical_query):
+        with pytest.raises(EvaluationError, match="not a permutation"):
+            lower_rule(medical.db, medical_query, join_order=[0, 0, 1])
+
+    def test_unknown_strategy_rejected(self, medical, medical_query):
+        with pytest.raises(ValueError, match="unknown order strategy"):
+            lower_rule(medical.db, medical_query, order_strategy="magic")
+
+    def test_negation_attached_once(self, medical, medical_query):
+        plan = lower_rule(medical.db, medical_query)
+        anti_joins = [
+            op
+            for stage in plan.stages
+            for op in stage.filters
+            if type(op).__name__ == "AntiJoin"
+        ] + [
+            op for op in plan.unit_filters if type(op).__name__ == "AntiJoin"
+        ]
+        assert len(anti_joins) == 1
+
+    def test_explicit_order_is_followed(self, medical, medical_query):
+        order = [2, 0, 1]
+        plan = lower_rule(medical.db, medical_query, join_order=order)
+        assert list(plan.order) == order
+        assert plan.order_strategy == "explicit"
+
+
+class TestReplanning:
+    def test_complete_order_keeps_prefix(self, medical, medical_query):
+        positives = medical_query.positive_atoms()
+        order = complete_order(medical.db, positives, [2], 5)
+        assert order[0] == 2
+        assert sorted(order) == list(range(len(positives)))
+
+    def test_completed_order_lowers(self, medical, medical_query):
+        positives = medical_query.positive_atoms()
+        order = complete_order(medical.db, positives, [1], 100)
+        plan = lower_rule(medical.db, medical_query, join_order=order)
+        guard = ExecutionGuard()
+        result = MemoryEngine(medical.db, guard=guard).run_plan(plan)
+        assert result == evaluate_conjunctive(medical.db, medical_query)

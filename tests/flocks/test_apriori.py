@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.flocks import (
-    apriori_itemsets,
-    baskets_as_sets,
-    evaluate_flock,
-    execute_plan,
-    frequent_pairs,
-    itemset_flock,
-    itemset_plan,
-    itemsets_from_flock_result,
-    support_filter,
-)
+from repro.flocks import apriori_itemsets, baskets_as_sets, evaluate_flock, execute_plan, frequent_pairs, itemset_flock, itemset_plan, itemsets_from_flock_result
 from repro.relational import Relation
 from repro.workloads import generate_baskets
 

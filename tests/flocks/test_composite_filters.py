@@ -8,20 +8,7 @@ import pytest
 
 from repro.datalog.subqueries import SubqueryCandidate
 from repro.errors import FilterError
-from repro.flocks import (
-    CompositeFilter,
-    QueryFlock,
-    evaluate_flock,
-    evaluate_flock_bruteforce,
-    evaluate_flock_dynamic,
-    evaluate_flock_sqlite,
-    execute_plan,
-    flock_to_sql,
-    parse_filter,
-    parse_flock,
-    plan_from_subqueries,
-    support_filter,
-)
+from repro.flocks import CompositeFilter, evaluate_flock, evaluate_flock_bruteforce, evaluate_flock_dynamic, evaluate_flock_sqlite, execute_plan, flock_to_sql, parse_filter, parse_flock, plan_from_subqueries, support_filter
 from repro.relational import database_from_dict
 
 

@@ -7,17 +7,7 @@ from repro.datalog.subqueries import (
     SubqueryCandidate,
     union_subqueries_with_parameters,
 )
-from repro.flocks import (
-    FilterStep,
-    QueryFlock,
-    QueryPlan,
-    evaluate_flock,
-    execute_plan,
-    execute_step,
-    plan_from_subqueries,
-    single_step_plan,
-    support_filter,
-)
+from repro.flocks import FilterStep, QueryFlock, evaluate_flock, execute_plan, execute_step, plan_from_subqueries, single_step_plan, support_filter
 
 
 def fig5_plan(flock):

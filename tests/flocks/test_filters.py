@@ -4,7 +4,7 @@ import pytest
 
 from repro.datalog.atoms import ComparisonOp
 from repro.errors import FilterError, ParseError
-from repro.flocks import STAR, FilterCondition, parse_filter, support_filter
+from repro.flocks import STAR, parse_filter, support_filter
 from repro.relational import AggregateFunction, Relation
 
 

@@ -1,8 +1,7 @@
 """Tests for the flock linter."""
 
-import pytest
 
-from repro.datalog import atom, comparison, negated, rule, UnionQuery
+from repro.datalog import atom, comparison, rule, UnionQuery
 from repro.flocks import (
     LintCode,
     QueryFlock,

@@ -1,6 +1,5 @@
 """Tests for the reference evaluators (group-by and brute-force)."""
 
-import pytest
 
 from repro.datalog import Parameter
 from repro.flocks import (

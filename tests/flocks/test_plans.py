@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog import Parameter, atom, comparison, negated, rule
+from repro.datalog import Parameter, atom
 from repro.datalog.subqueries import SubqueryCandidate
 from repro.errors import FilterError, PlanError
 from repro.flocks import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flocks import AssociationRule, mine_association_rules, rules_for_consequent
+from repro.flocks import mine_association_rules, rules_for_consequent
 from repro.flocks.rules import AssociationRule as RuleClass
 from repro.relational import Relation
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog import atom, comparison, rule
+from repro.datalog import atom, rule
 from repro.errors import PlanError
 from repro.flocks import (
     FlockSequence,
@@ -12,7 +12,7 @@ from repro.flocks import (
     mine_maximal_itemsets,
     support_filter,
 )
-from repro.relational import Database, Relation, database_from_dict
+from repro.relational import database_from_dict
 
 
 @pytest.fixture

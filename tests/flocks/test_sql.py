@@ -2,21 +2,9 @@
 
 import sqlite3
 
-import pytest
 
 from repro.datalog.subqueries import SubqueryCandidate
-from repro.flocks import (
-    QueryFlock,
-    evaluate_flock,
-    fig1_sql,
-    flock_to_sql,
-    itemset_flock,
-    itemset_plan,
-    parse_flock,
-    plan_to_sql,
-    plan_from_subqueries,
-    support_filter,
-)
+from repro.flocks import evaluate_flock, fig1_sql, flock_to_sql, itemset_flock, itemset_plan, parse_flock, plan_to_sql, plan_from_subqueries
 
 
 def _run_sqlite(db, script_or_query: str) -> set[tuple]:

@@ -18,7 +18,7 @@ from repro.flocks import (
     parse_flock,
 )
 from repro.relational import database_from_dict
-from repro.workloads import basket_database, generate_medical, generate_webdocs
+from repro.workloads import basket_database
 
 
 class TestAgreementWithEngine:

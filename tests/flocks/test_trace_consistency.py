@@ -3,16 +3,7 @@ with the results they describe."""
 
 import pytest
 
-from repro.flocks import (
-    evaluate_flock,
-    evaluate_flock_dynamic,
-    execute_plan,
-    fig3_flock,
-    fig5_plan,
-    itemset_flock,
-    itemset_plan,
-    single_step_plan,
-)
+from repro.flocks import evaluate_flock_dynamic, execute_plan, fig3_flock, fig5_plan, itemset_flock, itemset_plan, single_step_plan
 from repro.workloads import basket_database, generate_medical
 
 

@@ -7,13 +7,7 @@ decisions), evaluated over generated workloads.
 
 import pytest
 
-from repro.datalog import (
-    Parameter,
-    parse_query,
-    safe_subqueries,
-    union_subqueries_with_parameters,
-    unsafe_subqueries,
-)
+from repro.datalog import Parameter, safe_subqueries, union_subqueries_with_parameters, unsafe_subqueries
 from repro.datalog.subqueries import SubqueryCandidate
 from repro.flocks import (
     QueryFlock,

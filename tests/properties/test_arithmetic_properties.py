@@ -12,7 +12,7 @@ from itertools import product
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datalog import ComparisonSystem, comparison, entails, is_satisfiable
+from repro.datalog import ComparisonSystem, entails, is_satisfiable
 from repro.datalog.atoms import Comparison, ComparisonOp
 from repro.datalog.terms import Constant, Variable
 

@@ -4,16 +4,7 @@ safety/evaluation consistency, parser round-trips, monotone filters."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datalog import (
-    ConjunctiveQuery,
-    atom,
-    contains,
-    is_safe,
-    parse_rule,
-    rule,
-    safe_subqueries,
-)
-from repro.datalog.terms import Parameter, Variable
+from repro.datalog import atom, contains, is_safe, parse_rule, rule, safe_subqueries
 from repro.errors import SafetyError
 from repro.flocks import parse_filter
 from repro.relational import Database, Relation, evaluate_conjunctive

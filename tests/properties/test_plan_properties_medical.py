@@ -8,18 +8,8 @@ unsound pre-filter could interact with the anti-join.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datalog.subqueries import SubqueryCandidate, safe_subqueries
-from repro.flocks import (
-    QueryFlock,
-    evaluate_flock,
-    evaluate_flock_bruteforce,
-    evaluate_flock_dynamic,
-    execute_plan,
-    fig3_flock,
-    fig5_plan,
-    plan_from_subqueries,
-    single_step_plan,
-)
+from repro.datalog.subqueries import safe_subqueries
+from repro.flocks import evaluate_flock, evaluate_flock_bruteforce, evaluate_flock_dynamic, execute_plan, fig3_flock, fig5_plan, plan_from_subqueries
 from repro.relational import database_from_dict
 
 

@@ -3,14 +3,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational import (
-    Database,
-    Relation,
-    RelationStats,
-    database_from_dict,
-    estimate_join_size,
-    tuples_per_assignment,
-)
+from repro.relational import Relation, RelationStats, database_from_dict, estimate_join_size, tuples_per_assignment
 
 
 @pytest.fixture

@@ -2,17 +2,10 @@
 
 import pytest
 
-from repro.datalog import atom, comparison, negated, parse_query, parse_rule, rule
+from repro.datalog import atom, comparison, negated, rule
 from repro.datalog.terms import Parameter, Variable
 from repro.errors import EvaluationError, SafetyError
-from repro.relational import (
-    Database,
-    database_from_dict,
-    atom_binding_relation,
-    evaluate_conjunctive,
-    evaluate_union,
-    greedy_join_order,
-)
+from repro.relational import database_from_dict, atom_binding_relation, evaluate_conjunctive, evaluate_union, greedy_join_order
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datalog import atom
-from repro.datalog.terms import Parameter, Variable
 from repro.relational import (
     database_from_dict,
     evaluate_conjunctive,

@@ -10,7 +10,7 @@
 import pytest
 
 from repro.errors import BudgetExceededError, FilterError
-from repro.flocks import QueryFlock, parse_filter, support_filter
+from repro.flocks import QueryFlock, parse_filter
 from repro.flocks.naive import evaluate_flock
 from repro.guard import ResourceBudget
 from repro.session import MiningSession, with_support_threshold

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog import Parameter, Variable, atom, comparison, parse_rule, rule
+from repro.datalog import Variable, atom, rule
 from repro.flocks import (
     ExecutionTrace,
     FlockOptimizer,

@@ -2,14 +2,8 @@
 
 import pytest
 
-from repro.flocks import (
-    QueryFlock,
-    evaluate_flock,
-    itemset_flock,
-    parse_flock,
-    support_filter,
-)
-from repro.datalog import atom, comparison, negated, rule
+from repro.flocks import QueryFlock, evaluate_flock, parse_flock, support_filter
+from repro.datalog import atom, negated, rule
 from repro.workloads import (
     article_database,
     basket_database,
