@@ -20,6 +20,9 @@ Quickstart::
 
 Subpackages:
 
+* :mod:`repro.analysis` — static verification: structured diagnostics,
+  plan legality certificates (safety reports + containment witnesses),
+  and the physical-IR schema checker;
 * :mod:`repro.datalog` — the flock query language (terms, extended CQs,
   unions, parser, safety, containment, safe-subquery enumeration);
 * :mod:`repro.relational` — the in-memory relational engine;
@@ -48,6 +51,13 @@ from .guard import (
     CancellationToken,
     ExecutionGuard,
     ResourceBudget,
+)
+from .analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    plan_verification,
+    set_plan_verification,
 )
 from .datalog import (
     ConjunctiveQuery,
@@ -105,6 +115,8 @@ __all__ = [
     "CancellationToken",
     "ConjunctiveQuery",
     "Database",
+    "Diagnostic",
+    "DiagnosticReport",
     "EvaluationError",
     "ExecutionAborted",
     "ExecutionCancelled",
@@ -127,6 +139,7 @@ __all__ = [
     "SafetyError",
     "SchemaError",
     "SessionStats",
+    "Severity",
     "UnionQuery",
     "Variable",
     "apriori_itemsets",
@@ -149,8 +162,10 @@ __all__ = [
     "parse_query",
     "parse_rule",
     "plan_to_sql",
+    "plan_verification",
     "rule",
     "save_database",
+    "set_plan_verification",
     "support_filter",
     "validate_plan",
     "with_support_threshold",

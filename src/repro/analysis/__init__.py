@@ -1,0 +1,129 @@
+"""Static analysis for query flocks and the physical IR.
+
+Two verifiers behind one diagnostics framework:
+
+* **Plan legality certificates** (:mod:`repro.analysis.certify`):
+  :func:`certify_plan` turns the Section 4.2 legality rule into a
+  re-checkable object — per pre-filter step, the subquery's safety
+  report plus an explicit containment witness (Chandra–Merlin
+  homomorphism, Klug argument, or the subgoal-subset criterion) — and
+  :func:`verify_certificate` re-validates a certificate independently
+  of how it was produced.
+* **IR schema checker** (:mod:`repro.analysis.schema`):
+  :func:`check_physical_plan` types every operator of a lowered
+  physical plan, rejecting malformed plans before execution.
+
+Both emit structured :class:`Diagnostic` objects (code, severity,
+optional source span and fix hint) collected into
+:class:`DiagnosticReport` — the shared reporting layer also used by
+:mod:`repro.flocks.lint`, :mod:`repro.datalog.safety`, and the CLI.
+
+The heavyweight verifier modules are loaded lazily (PEP 562): the
+diagnostics layer itself has no dependencies beyond
+:mod:`repro.errors`, so low-level modules may import it freely without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    SourceSpan,
+    error,
+    info,
+    warning,
+)
+from .verification import (
+    plan_verification,
+    plan_verification_enabled,
+    set_plan_verification,
+)
+
+if TYPE_CHECKING:
+    from .certify import (
+        BranchCertificate,
+        ContainmentWitness,
+        HomomorphismWitness,
+        KlugWitness,
+        LegalityCertificate,
+        StepCertificate,
+        SubgoalSubsetWitness,
+        certify_plan,
+        certify_step_bound,
+        find_witness,
+        verify_certificate,
+        verify_witness,
+    )
+    from .check import FlockCheck, check_flock
+    from .schema import assert_physical_plan, check_physical_plan
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "SourceSpan",
+    "error",
+    "warning",
+    "info",
+    "plan_verification",
+    "plan_verification_enabled",
+    "set_plan_verification",
+    # certify (lazy)
+    "BranchCertificate",
+    "ContainmentWitness",
+    "HomomorphismWitness",
+    "KlugWitness",
+    "LegalityCertificate",
+    "StepCertificate",
+    "SubgoalSubsetWitness",
+    "certify_plan",
+    "certify_step_bound",
+    "find_witness",
+    "verify_certificate",
+    "verify_witness",
+    # schema (lazy)
+    "assert_physical_plan",
+    "check_physical_plan",
+    # check (lazy)
+    "FlockCheck",
+    "check_flock",
+]
+
+_LAZY = {
+    "BranchCertificate": "certify",
+    "ContainmentWitness": "certify",
+    "HomomorphismWitness": "certify",
+    "KlugWitness": "certify",
+    "LegalityCertificate": "certify",
+    "StepCertificate": "certify",
+    "SubgoalSubsetWitness": "certify",
+    "certify_plan": "certify",
+    "certify_step_bound": "certify",
+    "find_witness": "certify",
+    "verify_certificate": "certify",
+    "verify_witness": "certify",
+    "assert_physical_plan": "schema",
+    "check_physical_plan": "schema",
+    "FlockCheck": "check",
+    "check_flock": "check",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

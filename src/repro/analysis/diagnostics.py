@@ -1,0 +1,194 @@
+"""The shared diagnostics layer every verifier reports through.
+
+Lint warnings, safety violations, plan-legality failures and IR schema
+errors used to surface as four unrelated shapes (dataclasses, exception
+strings, ad-hoc prints).  A :class:`Diagnostic` unifies them: a stable
+machine-readable ``code`` (kebab-case, cataloged in
+``docs/DIAGNOSTICS.md``), a :class:`Severity`, a human message, an
+optional ``location`` naming the object at fault (a plan step, an IR
+operator, a rule index), an optional :class:`SourceSpan` rendered with
+the same caret machinery as :class:`~repro.errors.ParseError`, and an
+optional fix ``hint``.
+
+A :class:`DiagnosticReport` is an ordered collection with the exit-code
+convention the CLI documents: clean → 0, warnings only → 3, any error →
+4 (:meth:`DiagnosticReport.exit_code`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+from ..errors import render_caret
+
+
+class Severity(Enum):
+    """How bad a diagnostic is, ordered: INFO < WARNING < ERROR."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A position inside a source text (flock file, query string).
+
+    ``text`` is the full source and ``position`` a character offset into
+    it; rendering reuses :func:`repro.errors.render_caret`, so a span
+    prints exactly like a :class:`~repro.errors.ParseError`.
+    """
+
+    text: str
+    position: int
+
+    def render(self) -> str:
+        return render_caret(self.text, self.position)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a verifier.
+
+    Attributes:
+        code: stable kebab-case identifier (``"plan-unsafe-step"``,
+            ``"ir-dangling-join-key"``, ...; see docs/DIAGNOSTICS.md).
+        severity: :class:`Severity`.
+        message: the human-readable finding.
+        location: what the finding is about — a step name, an operator
+            path like ``"branch 0 / stage 2 / HashJoin"``, a rule label.
+        span: optional :class:`SourceSpan` into the source text.
+        hint: optional suggestion for fixing the problem.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: str | None = None
+    span: SourceSpan | None = None
+    hint: str | None = None
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        out = f"{self.severity.value}[{self.code}]{where}: {self.message}"
+        if self.span is not None:
+            caret = self.span.render()
+            if caret:
+                out += f"\n{caret}"
+        if self.hint:
+            out += f"\n  hint: {self.hint}"
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by ``repro check --format json``)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.location is not None:
+            out["location"] = self.location
+        if self.span is not None:
+            out["position"] = self.span.position
+        if self.hint is not None:
+            out["hint"] = self.hint
+        return out
+
+
+def error(code: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, **kwargs)
+
+
+def warning(code: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, **kwargs)
+
+
+def info(code: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, message, **kwargs)
+
+
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """An ordered, immutable collection of diagnostics.
+
+    ``is_clean`` means *no errors and no warnings* (info notes do not
+    dirty a report); ``ok`` means no errors.
+    """
+
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def collect(cls, items: Iterable[Diagnostic]) -> "DiagnosticReport":
+        return cls(tuple(items))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings and infos allowed)."""
+        return not self.errors
+
+    @property
+    def is_clean(self) -> bool:
+        """No errors and no warnings."""
+        return not self.errors and not self.warnings
+
+    def exit_code(self) -> int:
+        """The documented CLI convention: 0 clean, 3 warnings, 4 errors."""
+        if self.errors:
+            return 4
+        if self.warnings:
+            return 3
+        return 0
+
+    def merged(self, *others: "DiagnosticReport") -> "DiagnosticReport":
+        combined = list(self.diagnostics)
+        for other in others:
+            combined.extend(other.diagnostics)
+        return DiagnosticReport(tuple(combined))
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.is_clean,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

@@ -8,7 +8,11 @@ Subcommands:
 * ``sql``   — emit the naive SQL and the rewritten SQL script;
 * ``explain`` — safety/subquery analysis of the flock text;
 * ``session`` — REPL-style loop running many flocks against one warm
-  database with a containment-aware result cache (``repro.session``).
+  database with a containment-aware result cache (``repro.session``);
+* ``check`` — one-pass verification: lint + safety + certified plan
+  legality + (with data) IR schema checking, ``--format json``
+  available, exit 0 clean / 3 warnings / 4 errors (``lint`` is the
+  data-less alias).
 
 A *flock file* is the paper's two-section notation (Fig. 2)::
 
@@ -345,17 +349,32 @@ def cmd_session(args: argparse.Namespace) -> int:
     return status
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    from .flocks.lint import lint_flock
+def cmd_check(args: argparse.Namespace) -> int:
+    """One-pass verification: lint + safety + plan certification +
+    (with a data directory) the IR schema check.
 
-    flock, _db = _load(args.flock, None)
-    warnings = lint_flock(flock)
-    if not warnings:
+    Exit codes: 0 clean, 3 warnings only, 4 errors.  ``info``-severity
+    diagnostics are printed but never affect the exit code.
+    ``repro lint`` is an alias limited to no data directory.
+    """
+    from .analysis.check import check_flock
+
+    flock, db = _load(args.flock, args.data)
+    result = check_flock(flock, db=db)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return result.exit_code()
+    for diagnostic in result.report:
+        print(diagnostic)
+    errors = len(result.report.errors)
+    warnings = len(result.report.warnings)
+    if errors or warnings:
+        print(f"{errors} error(s), {warnings} warning(s)")
+    else:
         print("clean: no warnings")
-        return 0
-    for warning in warnings:
-        print(warning)
-    return 3
+    return result.exit_code()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,11 +461,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max result rows to print per query")
     session.set_defaults(fn=cmd_session)
 
+    check = sub.add_parser(
+        "check",
+        help="verify a flock: lint + safety + certified plan legality "
+        "+ IR schema check (exit 0 clean / 3 warnings / 4 errors)",
+    )
+    check.add_argument("flock", help="path to a flock file (QUERY:/FILTER:)")
+    check.add_argument(
+        "data", nargs="?", default=None,
+        help="optional data directory: also lowers and type-checks every "
+        "FILTER step's physical plan against the catalog",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (json emits the structured "
+                       "diagnostics)")
+    check.set_defaults(fn=cmd_check)
+
     lint = sub.add_parser(
-        "lint", help="static diagnostics (exit 3 when warnings found)"
+        "lint",
+        help="alias of 'check' without a data directory "
+        "(exit 3 when warnings found)",
     )
     lint.add_argument("flock")
-    lint.set_defaults(fn=cmd_lint)
+    lint.set_defaults(fn=cmd_check, data=None, format="text")
 
     generate = sub.add_parser(
         "generate", help="write a synthetic workload as CSV files"

@@ -17,12 +17,16 @@ from .atoms import (
 )
 from .arithmetic import ComparisonSystem, entails, is_satisfiable
 from .containment import (
+    ExtendedWitness,
     contains,
     contains_extended,
     equivalent,
     find_containment_mapping,
+    find_extended_witness,
     is_subquery_bound,
     minimize,
+    verify_containment_mapping,
+    verify_extended_witness,
 )
 from .parser import parse_query, parse_rule
 from .program import Program, materialize_views
@@ -38,8 +42,11 @@ from .safety import (
     SafetyRule,
     SafetyViolation,
     assert_safe,
+    binding_witnesses,
     check_safety,
     is_safe,
+    safety_diagnostics,
+    verify_safety_report,
 )
 from .subqueries import (
     SubqueryCandidate,
@@ -60,6 +67,7 @@ __all__ = [
     "ComparisonSystem",
     "ConjunctiveQuery",
     "Constant",
+    "ExtendedWitness",
     "FlockQuery",
     "Parameter",
     "Program",
@@ -76,6 +84,7 @@ __all__ = [
     "as_union",
     "assert_safe",
     "atom",
+    "binding_witnesses",
     "check_safety",
     "comparison",
     "contains",
@@ -83,6 +92,7 @@ __all__ = [
     "entails",
     "equivalent",
     "find_containment_mapping",
+    "find_extended_witness",
     "is_safe",
     "is_satisfiable",
     "is_subquery_bound",
@@ -97,7 +107,11 @@ __all__ = [
     "rule",
     "safe_subqueries",
     "safe_subqueries_with_parameters",
+    "safety_diagnostics",
     "subgoal_subsets",
     "union_subqueries_with_parameters",
     "unsafe_subqueries",
+    "verify_containment_mapping",
+    "verify_extended_witness",
+    "verify_safety_report",
 ]

@@ -26,6 +26,7 @@ subgoal-subset criterion via :func:`is_subquery_bound`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from .atoms import Comparison, RelationalAtom
@@ -149,6 +150,142 @@ def is_subquery_bound(
     return True
 
 
+@dataclass(frozen=True)
+class ExtendedWitness:
+    """The [Klu82] containment argument, as a checkable object.
+
+    ``mapping`` is the homomorphism over the relational subgoals (pairs,
+    so the witness hashes); ``entailed`` are the container's arithmetic
+    subgoals *after* applying the mapping — each is entailed by the
+    contained query's comparison system, which
+    :func:`verify_extended_witness` re-checks from scratch.  When the
+    contained query's comparisons are inconsistent the containment is
+    vacuous (``∅ ⊆ anything``) and ``contained_unsatisfiable`` is set
+    with an empty mapping.
+    """
+
+    mapping: tuple[tuple[Term, Term], ...]
+    entailed: tuple[Comparison, ...]
+    contained_unsatisfiable: bool = False
+
+    def as_mapping(self) -> dict[Term, Term]:
+        return dict(self.mapping)
+
+
+def _apply_to_comparison(
+    mapping: Mapping[Term, Term], comp: Comparison
+) -> Comparison:
+    def sub(term: Term) -> Term:
+        if isinstance(term, Constant):
+            return term
+        return mapping.get(term, term)  # type: ignore[arg-type]
+
+    return Comparison(sub(comp.left), comp.op, sub(comp.right))
+
+
+def _contained_system(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+):
+    """The contained query's comparison system, seeded with the
+    constants the container's comparisons mention."""
+    from .arithmetic import ComparisonSystem
+
+    container_comparisons = [
+        sg for sg in container.body if isinstance(sg, Comparison)
+    ]
+    known_constants = [
+        term.value
+        for comp in container_comparisons
+        for term in (comp.left, comp.right)
+        if isinstance(term, Constant)
+    ]
+    contained_comparisons = [
+        sg for sg in contained.body if isinstance(sg, Comparison)
+    ]
+    return ComparisonSystem.from_comparisons(
+        contained_comparisons, known_constants=known_constants
+    )
+
+
+def find_extended_witness(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> Optional[ExtendedWitness]:
+    """Search for a Klug-style containment witness (arithmetic, no
+    negation); ``None`` when the test cannot establish containment.
+
+    A non-``None`` result witnesses ``contained ⊆ container`` and can be
+    re-checked without search by :func:`verify_extended_witness`.
+    """
+    if any(
+        isinstance(sg, RelationalAtom) and sg.negated
+        for q in (container, contained)
+        for sg in q.body
+    ):
+        raise ValueError(
+            "contains_extended handles arithmetic but not negation; "
+            "use is_subquery_bound for negated queries"
+        )
+    if len(container.head_terms) != len(contained.head_terms):
+        return None
+
+    container_atoms = [
+        sg for sg in container.body if isinstance(sg, RelationalAtom)
+    ]
+    contained_atoms = [
+        sg for sg in contained.body if isinstance(sg, RelationalAtom)
+    ]
+    container_comparisons = [
+        sg for sg in container.body if isinstance(sg, Comparison)
+    ]
+    system = _contained_system(container, contained)
+    if not system.is_consistent():
+        # The contained query is unsatisfiable: contained ⊆ anything.
+        return ExtendedWitness((), (), contained_unsatisfiable=True)
+
+    seed: Optional[dict[Term, Term]] = {}
+    for src, dst in zip(container.head_terms, contained.head_terms):
+        seed = _extend_mapping(seed, src, dst)
+        if seed is None:
+            return None
+
+    def search(
+        index: int, current: dict[Term, Term]
+    ) -> Optional[dict[Term, Term]]:
+        if index == len(container_atoms):
+            mapped = [
+                _apply_to_comparison(current, c) for c in container_comparisons
+            ]
+            if all(system.entails_comparison(c) for c in mapped):
+                return current
+            return None
+        atom = container_atoms[index]
+        for candidate in contained_atoms:
+            if (
+                candidate.predicate != atom.predicate
+                or candidate.arity != atom.arity
+            ):
+                continue
+            extended: Optional[dict[Term, Term]] = current
+            for src, dst in zip(atom.terms, candidate.terms):
+                extended = _extend_mapping(extended, src, dst)
+                if extended is None:
+                    break
+            if extended is None:
+                continue
+            result = search(index + 1, extended)
+            if result is not None:
+                return result
+        return None
+
+    found = search(0, seed)
+    if found is None:
+        return None
+    entailed = tuple(
+        _apply_to_comparison(found, c) for c in container_comparisons
+    )
+    return ExtendedWitness(tuple(sorted(found.items(), key=repr)), entailed)
+
+
 def contains_extended(
     container: ConjunctiveQuery, contained: ConjunctiveQuery
 ) -> bool:
@@ -166,82 +303,81 @@ def contains_extended(
     true containment — never the reverse.  Negated subgoals are not
     handled; callers should fall back to :func:`is_subquery_bound`.
     """
-    from .arithmetic import ComparisonSystem
+    return find_extended_witness(container, contained) is not None
 
-    if any(
-        isinstance(sg, RelationalAtom) and sg.negated
-        for q in (container, contained)
-        for sg in q.body
-    ):
-        raise ValueError(
-            "contains_extended handles arithmetic but not negation; "
-            "use is_subquery_bound for negated queries"
-        )
+
+def verify_containment_mapping(
+    container: ConjunctiveQuery,
+    contained: ConjunctiveQuery,
+    mapping: Mapping[Term, Term],
+) -> bool:
+    """Re-check a Chandra–Merlin witness **without searching**.
+
+    Verifies the three homomorphism conditions directly: constants and
+    parameters are fixed, the mapped head of ``container`` is the head
+    of ``contained``, and every relational subgoal of ``container`` maps
+    onto some subgoal of ``contained`` (same polarity).  Linear in the
+    witness — this is the point of carrying one.
+    """
+    for source, target in mapping.items():
+        if isinstance(source, (Constant, Parameter)) and source != target:
+            return False
+
+    def image(term: Term) -> Term:
+        if isinstance(term, Constant):
+            return term
+        return mapping.get(term, term)  # type: ignore[arg-type]
+
     if len(container.head_terms) != len(contained.head_terms):
         return False
+    for src, dst in zip(container.head_terms, contained.head_terms):
+        if image(src) != dst:
+            return False
 
-    container_atoms = [
-        sg for sg in container.body if isinstance(sg, RelationalAtom)
-    ]
-    contained_atoms = [
-        sg for sg in contained.body if isinstance(sg, RelationalAtom)
-    ]
-    contained_comparisons = [
-        sg for sg in contained.body if isinstance(sg, Comparison)
-    ]
+    contained_atoms = {
+        (sg.predicate, sg.negated, sg.terms)
+        for sg in contained.body
+        if isinstance(sg, RelationalAtom)
+    }
+    for sg in container.body:
+        if not isinstance(sg, RelationalAtom):
+            continue
+        mapped = tuple(image(t) for t in sg.terms)
+        if (sg.predicate, sg.negated, mapped) not in contained_atoms:
+            return False
+    return True
+
+
+def verify_extended_witness(
+    container: ConjunctiveQuery,
+    contained: ConjunctiveQuery,
+    witness: ExtendedWitness,
+) -> bool:
+    """Re-check a Klug witness independently of how it was found.
+
+    Rebuilds the contained query's comparison system from scratch, then
+    (a) for a vacuous witness, confirms the system really is
+    inconsistent; (b) otherwise confirms the mapping is a homomorphism
+    over the relational subgoals and that every mapped container
+    comparison is entailed.  No search happens here.
+    """
+    system = _contained_system(container, contained)
+    if witness.contained_unsatisfiable:
+        return not system.is_consistent()
+    if not system.is_consistent():
+        return False
+    mapping = witness.as_mapping()
+    if not verify_containment_mapping(container, contained, mapping):
+        return False
     container_comparisons = [
         sg for sg in container.body if isinstance(sg, Comparison)
     ]
-    known_constants = [
-        term.value
-        for comp in container_comparisons
-        for term in (comp.left, comp.right)
-        if isinstance(term, Constant)
-    ]
-    system = ComparisonSystem.from_comparisons(
-        contained_comparisons, known_constants=known_constants
+    mapped = tuple(
+        _apply_to_comparison(mapping, c) for c in container_comparisons
     )
-    if not system.is_consistent():
-        # The contained query is unsatisfiable: contained ⊆ anything.
-        return True
-
-    seed: Optional[dict[Term, Term]] = {}
-    for src, dst in zip(container.head_terms, contained.head_terms):
-        seed = _extend_mapping(seed, src, dst)
-        if seed is None:
-            return False
-
-    def apply(mapping: Mapping[Term, Term], comp: Comparison) -> Comparison:
-        def sub(term: Term) -> Term:
-            if isinstance(term, (Constant,)):
-                return term
-            return mapping.get(term, term)  # type: ignore[arg-type]
-
-        return Comparison(sub(comp.left), comp.op, sub(comp.right))
-
-    def search(index: int, current: dict[Term, Term]) -> bool:
-        if index == len(container_atoms):
-            mapped = [apply(current, c) for c in container_comparisons]
-            return all(system.entails_comparison(c) for c in mapped)
-        atom = container_atoms[index]
-        for candidate in contained_atoms:
-            if (
-                candidate.predicate != atom.predicate
-                or candidate.arity != atom.arity
-            ):
-                continue
-            extended: Optional[dict[Term, Term]] = current
-            for src, dst in zip(atom.terms, candidate.terms):
-                extended = _extend_mapping(extended, src, dst)
-                if extended is None:
-                    break
-            if extended is None:
-                continue
-            if search(index + 1, extended):
-                return True
+    if mapped != witness.entailed:
         return False
-
-    return search(0, seed)
+    return all(system.entails_comparison(c) for c in mapped)
 
 
 def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:

@@ -58,10 +58,18 @@ class SafetyViolation:
 
 @dataclass(frozen=True)
 class SafetyReport:
-    """The outcome of a safety check: safe iff no violations."""
+    """The outcome of a safety check: safe iff no violations.
+
+    ``witnesses`` pairs every positively bound term with the first
+    nonnegated, nonarithmetic subgoal that binds it — the constructive
+    half of the check.  A certificate carrying this report can be
+    re-validated without re-deriving the bound set
+    (:func:`verify_safety_report`).
+    """
 
     query: ConjunctiveQuery
     violations: tuple[SafetyViolation, ...] = field(default_factory=tuple)
+    witnesses: tuple[tuple[BindableTerm, RelationalAtom], ...] = ()
 
     @property
     def is_safe(self) -> bool:
@@ -77,16 +85,27 @@ def positive_bound_terms(query: ConjunctiveQuery) -> frozenset[BindableTerm]:
     These are the "range restricted" terms: anything outside this set
     ranges over an infinite domain.
     """
-    bound: set[BindableTerm] = set()
+    return frozenset(binding_witnesses(query))
+
+
+def binding_witnesses(
+    query: ConjunctiveQuery,
+) -> dict[BindableTerm, RelationalAtom]:
+    """For every positively bound term, the first positive relational
+    subgoal that binds it — the explicit witness the safety conditions
+    ask for ("appears in a nonnegated, nonarithmetic subgoal")."""
+    bound: dict[BindableTerm, RelationalAtom] = {}
     for sg in query.body:
         if isinstance(sg, RelationalAtom) and not sg.negated:
-            bound.update(sg.bindable_terms())
-    return frozenset(bound)
+            for term in sg.bindable_terms():
+                bound.setdefault(term, sg)
+    return bound
 
 
 def check_safety(query: ConjunctiveQuery) -> SafetyReport:
     """Evaluate all three safety conditions and report every violation."""
-    bound = positive_bound_terms(query)
+    witnesses = binding_witnesses(query)
+    bound = frozenset(witnesses)
     violations: list[SafetyViolation] = []
 
     for term in query.head_terms:
@@ -118,7 +137,63 @@ def check_safety(query: ConjunctiveQuery) -> SafetyReport:
     # De-duplicate while preserving first-seen order (a term may violate
     # the same rule in several subgoals; one report per (rule, term,
     # context) is already distinct, so nothing further needed).
-    return SafetyReport(query, tuple(violations))
+    return SafetyReport(
+        query,
+        tuple(violations),
+        tuple(sorted(witnesses.items(), key=lambda kv: str(kv[0]))),
+    )
+
+
+def verify_safety_report(report: SafetyReport) -> bool:
+    """Re-check a :class:`SafetyReport` independently of how it was made.
+
+    Confirms (a) every recorded witness really is a nonnegated,
+    nonarithmetic subgoal of the query binding the recorded term, and
+    (b) a fresh evaluation of the three conditions over the witnessed
+    bound set reproduces exactly the recorded violations.
+    """
+    query = report.query
+    positives = {
+        sg for sg in query.body
+        if isinstance(sg, RelationalAtom) and not sg.negated
+    }
+    for term, sg in report.witnesses:
+        if sg not in positives or term not in sg.bindable_terms():
+            return False
+    fresh = check_safety(query)
+    return (
+        frozenset(fresh.violations) == frozenset(report.violations)
+        and frozenset(t for t, _ in fresh.witnesses)
+        == frozenset(t for t, _ in report.witnesses)
+    )
+
+
+def safety_diagnostics(report: SafetyReport, location: str | None = None):
+    """The report's violations as structured diagnostics.
+
+    One ``safety-rule-{1,2,3}`` error per violation (matching the
+    paper's three safety conditions), tagged with ``location`` (a rule
+    label or plan-step name).
+    """
+    from ..analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+    codes = {
+        SafetyRule.HEAD_VARIABLE: "safety-rule-1",
+        SafetyRule.NEGATED_SUBGOAL: "safety-rule-2",
+        SafetyRule.ARITHMETIC_SUBGOAL: "safety-rule-3",
+    }
+    return DiagnosticReport(
+        tuple(
+            Diagnostic(
+                codes[v.rule],
+                Severity.ERROR,
+                str(v),
+                location=location,
+                hint=f"bind {v.term} in a positive relational subgoal",
+            )
+            for v in report.violations
+        )
+    )
 
 
 def is_safe(query: FlockQuery) -> bool:

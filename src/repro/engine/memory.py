@@ -74,6 +74,18 @@ class MemoryEngine:
         self.trip_site = trip_site
         self._bindings: dict[RelationalAtom, Relation] = {}
 
+    def _verify_before_execution(self, plan: PhysicalPlan | StepPlan) -> None:
+        """Reject a malformed plan before running its first join, when
+        the ambient verification switch is on.  Plans straight out of
+        :mod:`repro.engine.planner` are checked at lowering already; this
+        catches hand-built or hand-modified plans handed to the engine."""
+        from ..analysis.verification import plan_verification_enabled
+
+        if plan_verification_enabled():
+            from ..analysis.schema import assert_physical_plan
+
+            assert_physical_plan(plan, db=self.db)
+
     # ------------------------------------------------------------------
     # Leaf and filter operators
     # ------------------------------------------------------------------
@@ -146,6 +158,7 @@ class MemoryEngine:
 
     def run_plan(self, plan: PhysicalPlan) -> Relation:
         """Execute one rule plan end to end, including materialization."""
+        self._verify_before_execution(plan)
         current = unit_relation()
         for stage in plan.stages:
             current = self.run_stage(current, stage)
@@ -289,6 +302,7 @@ class MemoryEngine:
         self, step: StepPlan, union_node: str | None = None
     ) -> StepResult:
         """Execute one FILTER step end to end."""
+        self._verify_before_execution(step)
         answer = self.run_answer(step, union_node=union_node)
         passed = self.run_group_filter(answer, step)
         return StepResult(

@@ -186,7 +186,7 @@ def lower_rule(
     root = _lower_materialize(
         query, output_terms, output_columns, bound, name=query.head_name
     )
-    return PhysicalPlan(
+    plan = PhysicalPlan(
         query=query,
         order_strategy=strategy_label,
         order=tuple(order),
@@ -194,6 +194,21 @@ def lower_rule(
         unit_filters=unit_filters,
         root=root,
     )
+    _verify_lowered(plan, db)
+    return plan
+
+
+def _verify_lowered(plan, db: Database) -> None:
+    """Schema-check a freshly lowered plan when the ambient verification
+    switch (``mine(verify_plans=True)``, or the test suite's fixture) is
+    on.  This covers every lowering path — static strategies, the naive
+    evaluator, and the dynamic re-planner's ``complete_order`` suffixes."""
+    from ..analysis.verification import plan_verification_enabled
+
+    if plan_verification_enabled():
+        from ..analysis.schema import assert_physical_plan
+
+        assert_physical_plan(plan, db=db)
 
 
 def _lower_materialize(
@@ -305,7 +320,7 @@ def lower_step(
     root = Materialize(
         name=result_name, output_terms=(), columns=tuple(group_by)
     )
-    return StepPlan(
+    plan = StepPlan(
         branches=branches,
         union=UnionOp(tuple(answer_columns)),
         answer_columns=tuple(answer_columns),
@@ -313,3 +328,5 @@ def lower_step(
         threshold=threshold,
         root=root,
     )
+    _verify_lowered(plan, db)
+    return plan

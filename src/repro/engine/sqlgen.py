@@ -172,6 +172,16 @@ def render_step(
     engine's ``group_filter`` output — what the session cache stores and
     what the differential tests compare.
     """
+    from ..analysis.verification import plan_verification_enabled
+
+    if plan_verification_enabled():
+        # Same pre-execution gate as the in-memory engine: reject a
+        # malformed step before any SQL reaches the database.  Catalog
+        # checks are skipped here — the SQL backend resolves relations
+        # against its own schema at execution time.
+        from ..analysis.schema import assert_physical_plan
+
+        assert_physical_plan(step)
     branches = [
         _BranchRenderer(branch, columns_of).select_sql()
         for branch in step.branches

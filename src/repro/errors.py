@@ -9,6 +9,28 @@ evaluation, and plan construction/validation.
 from __future__ import annotations
 
 
+def render_caret(text: str, position: int | None) -> str:
+    """Compiler-style caret rendering: the offending line of ``text``
+    with a ``^`` under ``position``.
+
+    Returns ``""`` when the position is missing or out of range.  Shared
+    by :class:`ParseError` and the diagnostics layer
+    (:mod:`repro.analysis.diagnostics`), so every subsystem points at
+    source the same way.
+    """
+    if not text:
+        return ""
+    if position is None or not 0 <= position <= len(text):
+        return ""
+    line_start = text.rfind("\n", 0, position) + 1
+    line_end = text.find("\n", position)
+    if line_end == -1:
+        line_end = len(text)
+    line = text[line_start:line_end]
+    column = position - line_start
+    return f"  {line}\n  {' ' * column}^"
+
+
 class ReproError(Exception):
     """Base class for every exception raised by this library."""
 
@@ -29,18 +51,8 @@ class ParseError(ReproError):
 
     def __str__(self) -> str:
         base = super().__str__()
-        if not self.text:
-            return base
-        if self.position is None or not 0 <= self.position <= len(self.text):
-            return base
-        # Locate the offending line and the caret column within it.
-        line_start = self.text.rfind("\n", 0, self.position) + 1
-        line_end = self.text.find("\n", self.position)
-        if line_end == -1:
-            line_end = len(self.text)
-        line = self.text[line_start:line_end]
-        column = self.position - line_start
-        return f"{base}\n  {line}\n  {' ' * column}^"
+        caret = render_caret(self.text, self.position)
+        return f"{base}\n{caret}" if caret else base
 
 
 class SchemaError(ReproError):

@@ -41,7 +41,7 @@ from .filters import (
     surviving_with_aggregates,
 )
 from .flock import QueryFlock, parse_flock
-from .lint import LintCode, LintWarning, lint_flock
+from .lint import LintCode, LintWarning, lint_diagnostics, lint_flock
 from .mining import BACKENDS, Downgrade, MiningReport, STRATEGIES, mine
 from .paper import (
     fig2_flock,
@@ -147,6 +147,7 @@ __all__ = [
     "itemset_plan",
     "itemsets_from_flock_result",
     "iter_conditions",
+    "lint_diagnostics",
     "lint_flock",
     "mine",
     "mine_association_rules",

@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..analysis.verification import plan_verification_enabled
 from ..errors import FilterError, PlanError
 from ..datalog.atoms import RelationalAtom
 from ..datalog.query import ConjunctiveQuery
@@ -53,6 +55,9 @@ from ..relational.relation import Relation
 from .filters import STAR, iter_conditions, plan_aggregate_specs
 from .flock import QueryFlock
 from .result import FlockResult
+
+if TYPE_CHECKING:
+    from ..analysis.certify import BranchCertificate
 
 
 @dataclass(frozen=True)
@@ -79,11 +84,20 @@ class DynamicDecision:
 
 @dataclass
 class DynamicTrace:
-    """The full decision log plus the executed step list (Fig. 9 form)."""
+    """The full decision log plus the executed step list (Fig. 9 form).
+
+    With plan verification on (see :mod:`repro.analysis.verification`),
+    ``certificates`` carries one
+    :class:`~repro.analysis.certify.BranchCertificate` per FILTER
+    actually applied — the safety report and containment witness of the
+    in-flight safe subquery, making dynamic decisions as auditable as a
+    static plan's pre-filter steps.
+    """
 
     decisions: list[DynamicDecision] = field(default_factory=list)
     plan_lines: list[str] = field(default_factory=list)
     seconds: float = 0.0
+    certificates: tuple["BranchCertificate", ...] = ()
 
     def filters_applied(self) -> int:
         return sum(1 for d in self.decisions if d.filtered)
@@ -357,6 +371,8 @@ class DynamicEvaluator:
             )
             return relation
 
+        if subquery_indices:
+            self._certify_decision(node, subquery_indices, trace)
         filter_started = time.perf_counter()
         filtered, ok = self._filter_relation(relation, params, targets)
         if self.sink is not None and subquery_indices:
@@ -385,6 +401,34 @@ class DynamicEvaluator:
             )
         return filtered
 
+    def _certify_decision(
+        self,
+        node: str,
+        subquery_indices: tuple[int, ...],
+        trace: DynamicTrace,
+    ) -> None:
+        """Certify one in-flight FILTER when plan verification is on.
+
+        The subgoals absorbed so far must form a safe subquery with a
+        containment witness over the flock rule — the same legality
+        argument a static pre-filter step carries — and the certificate
+        must re-validate before the filter is allowed to prune.
+        """
+        if not plan_verification_enabled():
+            return
+        from ..analysis.certify import certify_step_bound
+
+        certificate = certify_step_bound(
+            self.rule, subquery_indices, node
+        )
+        report = certificate.verify()
+        if not report.ok:
+            details = "; ".join(str(d) for d in report.errors)
+            raise PlanError(
+                f"dynamic FILTER at {node} is not certified legal: {details}"
+            )
+        trace.certificates = trace.certificates + (certificate,)
+
     def _filter_relation(
         self,
         relation: Relation,
@@ -409,6 +453,11 @@ class DynamicEvaluator:
             raise PlanError(
                 "filter target column never became bound; cannot finish"
             )
+        # The root filter is over the whole rule — its certificate is
+        # the identity containment (Section 4.2 rule 4 in plan form).
+        self._certify_decision(
+            "root", tuple(range(len(self.rule.body))), trace
+        )
         aggregates, conditions = plan_aggregate_specs(
             self.flock.filter, lambda condition: targets[condition]
         )

@@ -21,8 +21,14 @@ the library's own theory makes cheap:
   (Section 5), so evaluation will always be the naive join;
 * ``REDUNDANT_SUBGOAL`` — a subgoal removable under a containment
   self-homomorphism: Chandra–Merlin for pure CQ rules, Klug's extended
-  test for rules with arithmetic subgoals (negated rules are skipped —
-  no complete containment test exists for them).
+  test for rules with arithmetic subgoals.  Negated rules are skipped —
+  no complete containment test exists for them — and the skip itself is
+  reported as an ``info``-severity ``REDUNDANCY_CHECK_SKIPPED`` entry,
+  so a silent non-answer is distinguishable from "checked and clean".
+
+Warnings carry a :class:`~repro.analysis.diagnostics.Severity` and
+convert to structured diagnostics via :func:`lint_diagnostics`, the
+shared reporting layer of :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from collections import Counter
 from dataclasses import dataclass
 from enum import Enum
 
+from ..analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from ..datalog.arithmetic import is_satisfiable
 from ..datalog.atoms import RelationalAtom
 from ..datalog.containment import contains, contains_extended
@@ -45,6 +52,7 @@ class LintCode(Enum):
     DUPLICATE_SUBGOAL = "duplicate-subgoal"
     NON_MONOTONE_FILTER = "non-monotone-filter"
     REDUNDANT_SUBGOAL = "redundant-subgoal"
+    REDUNDANCY_CHECK_SKIPPED = "redundancy-check-skipped"
 
 
 @dataclass(frozen=True)
@@ -52,10 +60,19 @@ class LintWarning:
     code: LintCode
     message: str
     rule_index: int | None = None
+    severity: Severity = Severity.WARNING
 
     def __str__(self) -> str:
         where = "" if self.rule_index is None else f" (rule {self.rule_index + 1})"
         return f"[{self.code.value}]{where} {self.message}"
+
+    def to_diagnostic(self) -> Diagnostic:
+        location = (
+            None if self.rule_index is None else f"rule {self.rule_index + 1}"
+        )
+        return Diagnostic(
+            self.code.value, self.severity, self.message, location=location
+        )
 
 
 def _join_graph_connected(rule: ConjunctiveQuery) -> bool:
@@ -183,14 +200,27 @@ def _redundant_subgoals(
     arithmetic (but no negation) use Klug's extended test — e.g. in
     ``p(X,$1) AND p(X,$2) AND $1 <= $2 AND $1 < $2`` the ``<=`` subgoal
     is entailed by the ``<`` and flagged.  Rules with negation are
-    skipped (no sound-and-complete containment test is available).
+    skipped (no sound-and-complete containment test is available) —
+    reported explicitly at ``info`` severity rather than silently.
     """
     if len(rule.body) <= 1:
         return []
-    if any(
-        isinstance(sg, RelationalAtom) and sg.negated for sg in rule.body
-    ):
-        return []
+    negated = [
+        sg for sg in rule.body
+        if isinstance(sg, RelationalAtom) and sg.negated
+    ]
+    if negated:
+        return [
+            LintWarning(
+                LintCode.REDUNDANCY_CHECK_SKIPPED,
+                "redundant-subgoal check skipped: the rule negates "
+                f"{', '.join(str(sg) for sg in negated)}, and no "
+                "sound-and-complete containment test exists for queries "
+                "with negation",
+                index,
+                severity=Severity.INFO,
+            )
+        ]
     is_pure = all(isinstance(sg, RelationalAtom) for sg in rule.body)
     test = contains if is_pure else contains_extended
 
@@ -232,3 +262,11 @@ def lint_flock(flock: QueryFlock) -> list[LintWarning]:
             )
         )
     return warnings
+
+
+def lint_diagnostics(flock: QueryFlock) -> DiagnosticReport:
+    """:func:`lint_flock` as a structured
+    :class:`~repro.analysis.diagnostics.DiagnosticReport`."""
+    return DiagnosticReport(
+        tuple(w.to_diagnostic() for w in lint_flock(flock))
+    )

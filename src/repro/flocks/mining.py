@@ -41,8 +41,11 @@ Resilience (this module is the policy layer over :mod:`repro.guard`):
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
+from ..analysis.verification import plan_verification, plan_verification_enabled
 from ..errors import (
     BudgetExceededError,
     EvaluationError,
@@ -60,6 +63,9 @@ from .lint import LintWarning, lint_flock
 from .naive import evaluate_flock
 from .optimizer import FlockOptimizer, optimize_union
 from .sqlbackend import SQLiteBackend
+
+if TYPE_CHECKING:
+    from ..analysis.certify import BranchCertificate, LegalityCertificate
 
 
 STRATEGIES = ("auto", "naive", "optimized", "stats", "dynamic")
@@ -113,6 +119,15 @@ class MiningReport:
     cache_misses: int = 0
     cache_step_hits: int = 0
     rows_saved: int = 0
+    #: The legality certificate of the plan that produced the answer
+    #: (optimized/stats strategies with plan verification on): per-step
+    #: safety reports plus containment witnesses, re-checkable with
+    #: :func:`repro.analysis.verify_certificate`.
+    certificate: Optional["LegalityCertificate"] = None
+    #: The dynamic strategy's per-FILTER-decision certificates (one
+    #: :class:`repro.analysis.certify.BranchCertificate` per filter
+    #: actually applied mid-run), when plan verification is on.
+    decision_certificates: tuple["BranchCertificate", ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -191,6 +206,24 @@ class _Attempt:
     decision_text: str | None = None
     downgrades: list[Downgrade] = field(default_factory=list)
     backend_used: str = "memory"
+    certificate: Optional["LegalityCertificate"] = None
+    decision_certificates: tuple["BranchCertificate", ...] = ()
+
+
+def _certified(flock: QueryFlock, plan):
+    """The plan's legality certificate, verified, when the ambient
+    plan-verification switch is on (else ``None``)."""
+    if not plan_verification_enabled():
+        return None
+    from ..analysis.certify import certify_plan, verify_certificate
+
+    certificate = certify_plan(flock, plan, witnesses=True)
+    certificate.raise_for_errors()
+    report = verify_certificate(certificate)
+    if not report.ok:
+        details = "; ".join(str(d) for d in report.errors)
+        raise PlanError(f"plan certificate failed re-validation: {details}")
+    return certificate
 
 
 def _build_plan(
@@ -200,14 +233,21 @@ def _build_plan(
     guard: ExecutionGuard | None,
     sink=None,
 ):
-    """Plan construction — the 'mid-search' phase degradation watches."""
+    """Plan construction — the 'mid-search' phase degradation watches.
+
+    Returns ``(plan, certificate)``; the certificate carries per-step
+    safety reports and containment witnesses (see
+    :mod:`repro.analysis.certify`).
+    """
     if flock.is_union:
-        return optimize_union(db, flock, guard=guard)
+        plan = optimize_union(db, flock, guard=guard)
+        return plan, _certified(flock, plan)
     optimizer = FlockOptimizer(
         db, flock, gather_statistics=(strategy == "stats"), guard=guard,
         sink=sink,
     )
-    return optimizer.best_plan().plan
+    scored = optimizer.best_plan()
+    return scored.plan, scored.certificate
 
 
 def _run_strategy(
@@ -263,10 +303,13 @@ def _run_strategy(
         )
         attempt.relation = result.relation
         attempt.decision_text = str(trace)
+        attempt.decision_certificates = trace.certificates
     elif strategy in ("optimized", "stats"):
         # Phase 1 — plan search.  PlanError/FilterError *and* budget
         # exhaustion here degrade: no answer work has been lost yet.
-        plan = _build_plan(db, flock, strategy, guard, sink=sink)
+        plan, attempt.certificate = _build_plan(
+            db, flock, strategy, guard, sink=sink
+        )
         attempt.plan_text = plan.render(flock)
         # Phase 2 — execution.  Only backend failures degrade from here;
         # budget/cancellation aborts propagate with their partial trace.
@@ -328,12 +371,20 @@ def mine(
     backend: str = "memory",
     session=None,
     join_order: str = "greedy",
+    verify_plans: bool | None = None,
 ) -> tuple[Relation, MiningReport]:
     """Evaluate a flock end to end; returns (result relation, report).
 
     Args:
         strategy: one of :data:`STRATEGIES`; ``"auto"`` picks by flock
             shape.
+        verify_plans: run the :mod:`repro.analysis` verifiers on every
+            plan this call uses — the IR schema checker on every lowered
+            physical plan (including the dynamic strategy's re-planned
+            suffixes), and certificate re-validation on every FILTER-step
+            plan.  ``None`` (default) inherits the ambient switch, which
+            the test suite turns on globally; pass ``True``/``False`` to
+            force it for this call.
         budget: optional :class:`~repro.guard.ResourceBudget`; the clock
             starts when :func:`mine` is entered and spans every fallback
             attempt — degradation never extends the budget.
@@ -417,29 +468,38 @@ def mine(
 
     attempt = _Attempt(backend_used=backend)
 
-    while True:
-        try:
-            _run_strategy(
-                db, flock, used, live_guard, backend, attempt, sink=sink,
-                join_order=join_order,
-            )
-            break
-        except (PlanError, FilterError, BudgetExceededError) as error:
-            if isinstance(error, BudgetExceededError) and not (
-                used in ("optimized", "stats") and attempt.plan_text is None
-            ):
-                # The budget died during execution, not mid plan-search —
-                # a cheaper strategy cannot recover spent budget.
-                raise
-            fallback = _next_cheaper(flock, used)
-            if fallback is None:
-                raise
-            attempt.downgrades.append(
-                Downgrade("strategy", used, fallback, str(error).split("\n")[0])
-            )
-            used = fallback
-            attempt.plan_text = None
-            attempt.decision_text = None
+    scope = (
+        nullcontext() if verify_plans is None
+        else plan_verification(verify_plans)
+    )
+    with scope:
+        while True:
+            try:
+                _run_strategy(
+                    db, flock, used, live_guard, backend, attempt, sink=sink,
+                    join_order=join_order,
+                )
+                break
+            except (PlanError, FilterError, BudgetExceededError) as error:
+                if isinstance(error, BudgetExceededError) and not (
+                    used in ("optimized", "stats")
+                    and attempt.plan_text is None
+                ):
+                    # The budget died during execution, not mid
+                    # plan-search — a cheaper strategy cannot recover
+                    # spent budget.
+                    raise
+                fallback = _next_cheaper(flock, used)
+                if fallback is None:
+                    raise
+                attempt.downgrades.append(
+                    Downgrade(
+                        "strategy", used, fallback, str(error).split("\n")[0]
+                    )
+                )
+                used = fallback
+                attempt.plan_text = None
+                attempt.decision_text = None
 
     assert attempt.relation is not None
     if live_guard is not None:
@@ -460,5 +520,7 @@ def mine(
         cache_misses=cache_misses,
         cache_step_hits=sink.step_hits if sink is not None else 0,
         rows_saved=sink.rows_saved if sink is not None else 0,
+        certificate=attempt.certificate,
+        decision_certificates=attempt.decision_certificates,
     )
     return attempt.relation, report

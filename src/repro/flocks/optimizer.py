@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..errors import FilterError, PlanError
 from ..datalog.atoms import Comparison, RelationalAtom
@@ -37,6 +37,9 @@ from ..relational.catalog import Database
 from ..testing.faults import trip
 from .flock import QueryFlock
 from .plans import QueryPlan, plan_from_subqueries, single_step_plan
+
+if TYPE_CHECKING:
+    from ..analysis.certify import LegalityCertificate
 
 
 #: Default selectivity guesses for non-relational subgoals, in the
@@ -114,11 +117,13 @@ def estimate_rule_size(
 
 @dataclass(frozen=True)
 class ScoredPlan:
-    """A plan with its estimated total intermediate-tuple cost."""
+    """A plan with its estimated total intermediate-tuple cost and (for
+    a plan that won the search) its legality certificate."""
 
     plan: QueryPlan
     estimated_cost: float
     step_costs: tuple[tuple[str, float], ...]
+    certificate: Optional["LegalityCertificate"] = None
 
     def __str__(self) -> str:
         steps = ", ".join(f"{n}≈{c:,.0f}" for n, c in self.step_costs)
@@ -399,7 +404,36 @@ class FlockOptimizer:
                     node=f"plan search {index + 1}/{len(plans)}"
                 )
             scored.append(self.score(plan))
-        return min(scored, key=lambda s: s.estimated_cost)
+        return certify_scored_plan(
+            self.flock, min(scored, key=lambda s: s.estimated_cost)
+        )
+
+
+def certify_scored_plan(flock: QueryFlock, scored: ScoredPlan) -> ScoredPlan:
+    """Attach the full legality certificate to a search winner.
+
+    The plan search hands out *certified* plans, not bare ones: the
+    winner's per-step safety reports and containment witnesses are
+    computed, and — when plan verification is ambient-enabled
+    (:func:`repro.analysis.plan_verification_enabled`) — independently
+    re-validated with :func:`repro.analysis.verify_certificate` before
+    the plan is released for execution.
+    """
+    from dataclasses import replace
+
+    from ..analysis.certify import certify_plan, verify_certificate
+    from ..analysis.verification import plan_verification_enabled
+
+    certificate = certify_plan(flock, scored.plan, witnesses=True)
+    certificate.raise_for_errors()
+    if plan_verification_enabled():
+        report = verify_certificate(certificate)
+        if not report.ok:
+            details = "; ".join(str(d) for d in report.errors)
+            raise PlanError(
+                f"plan certificate failed re-validation: {details}"
+            )
+    return replace(scored, certificate=certificate)
 
 
 def optimize(

@@ -31,10 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..errors import FilterError, PlanError
-from ..datalog.atoms import RelationalAtom, Subgoal
-from ..datalog.query import ConjunctiveQuery, FlockQuery, UnionQuery, as_union
-from ..datalog.safety import check_safety
+from ..errors import PlanError
+from ..datalog.atoms import RelationalAtom
+from ..datalog.query import FlockQuery, UnionQuery, as_union
 from ..datalog.subqueries import SubqueryCandidate, UnionSubqueryCandidate
 from ..datalog.terms import Parameter
 from .flock import QueryFlock
@@ -118,129 +117,21 @@ class QueryPlan:
 # ----------------------------------------------------------------------
 
 
-def _split_step_body(
-    body: Sequence[Subgoal], prior_names: dict[str, FilterStep]
-) -> tuple[list[Subgoal], list[RelationalAtom]]:
-    """Partition a step body into original-query subgoals and ok-atoms
-    referencing prior steps.  Raises if an ok-atom is not copied
-    literally."""
-    original: list[Subgoal] = []
-    ok_atoms: list[RelationalAtom] = []
-    for sg in body:
-        if isinstance(sg, RelationalAtom) and sg.predicate in prior_names:
-            prior = prior_names[sg.predicate]
-            if sg.negated:
-                raise PlanError(
-                    f"ok-relation {sg.predicate} may not be negated"
-                )
-            if sg.terms != tuple(prior.parameters):
-                raise PlanError(
-                    f"subgoal {sg} must copy the left side "
-                    f"{prior.result_name}({', '.join(map(str, prior.parameters))}) "
-                    "literally (same relation name, same parameters)"
-                )
-            ok_atoms.append(sg)
-        else:
-            original.append(sg)
-    return original, ok_atoms
-
-
-def _check_rule_derivation(
-    step_name: str,
-    step_rule: ConjunctiveQuery,
-    flock_rule: ConjunctiveQuery,
-    prior_names: dict[str, FilterStep],
-    require_all_subgoals: bool,
-) -> None:
-    """Check Section 4.2 rule 3 for one branch of a step."""
-    if step_rule.head_name != flock_rule.head_name or (
-        step_rule.head_terms != flock_rule.head_terms
-    ):
-        raise PlanError(
-            f"step {step_name}: head must stay "
-            f"{flock_rule.head_name}({', '.join(map(str, flock_rule.head_terms))})"
-        )
-    original, _ok = _split_step_body(step_rule.body, prior_names)
-    remaining = list(flock_rule.body)
-    for sg in original:
-        try:
-            remaining.remove(sg)
-        except ValueError:
-            raise PlanError(
-                f"step {step_name}: subgoal {sg} is neither an original "
-                "subgoal of the flock query nor the left side of a prior step"
-            ) from None
-    if require_all_subgoals and remaining:
-        raise PlanError(
-            f"final step {step_name} deletes original subgoal(s): "
-            f"{'; '.join(str(s) for s in remaining)}"
-        )
-    report = check_safety(step_rule)
-    if not report.is_safe:
-        raise PlanError(
-            f"step {step_name} is unsafe: "
-            + "; ".join(str(v) for v in report.violations)
-        )
-
-
 def validate_plan(flock: QueryFlock, plan: QueryPlan) -> None:
     """Enforce the Section 4.2 legality rule; raise :class:`PlanError`
-    on any violation.
+    (or :class:`~repro.errors.FilterError` for a non-monotone filter with
+    pre-filter steps) on any violation.
 
-    Also checks the precondition the rule is stated for: the flock's
-    filter must be monotone (support-type conditions are; Section 5
-    extends to other monotone filters).  A non-monotone filter would
-    make pre-filter steps unsound.
+    Structural validation only: this is
+    :func:`repro.analysis.certify.certify_plan` with the containment
+    witness search turned off — plan builders call it in tight loops and
+    are legal by construction.  Use :func:`~repro.analysis.certify_plan`
+    directly when the full certificate (safety reports plus containment
+    witnesses per step) is wanted.
     """
-    if len(plan.prefilter_steps) > 0 and not flock.filter.is_monotone:
-        raise FilterError(
-            f"filter {flock.filter} is not monotone; a-priori pre-filter "
-            "steps would be unsound (Section 5)"
-        )
+    from ..analysis.certify import certify_plan
 
-    seen: dict[str, FilterStep] = {}
-    base_predicates = flock.predicates()
-    flock_rules = flock.rules
-
-    for index, step in enumerate(plan.steps):
-        if step.result_name in seen:
-            raise PlanError(
-                f"step relation {step.result_name!r} defined twice (rule 2)"
-            )
-        if step.result_name in base_predicates:
-            raise PlanError(
-                f"step relation {step.result_name!r} shadows a base relation"
-            )
-        is_final = index == len(plan.steps) - 1
-        step_rules = as_union(step.query).rules
-        if len(step_rules) == 1 and not flock.is_union:
-            _check_rule_derivation(
-                step.result_name, step_rules[0], flock_rules[0], seen, is_final
-            )
-        elif flock.is_union:
-            if len(step_rules) != len(flock_rules):
-                raise PlanError(
-                    f"step {step.result_name}: a union-flock step must have "
-                    f"one branch per flock rule ({len(flock_rules)}), got "
-                    f"{len(step_rules)}"
-                )
-            for step_rule, flock_rule in zip(step_rules, flock_rules):
-                _check_rule_derivation(
-                    step.result_name, step_rule, flock_rule, seen, is_final
-                )
-        else:
-            raise PlanError(
-                f"step {step.result_name}: union step over a single-rule flock"
-            )
-        seen[step.result_name] = step
-
-    final = plan.final_step
-    if frozenset(final.parameters) != frozenset(flock.parameters):
-        raise PlanError(
-            "the final step must define all flock parameters "
-            f"({', '.join(flock.parameter_columns)}), got "
-            f"({', '.join(final.parameter_columns)})"
-        )
+    certify_plan(flock, plan, witnesses=False).raise_for_errors()
 
 
 # ----------------------------------------------------------------------

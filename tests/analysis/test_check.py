@@ -1,0 +1,153 @@
+"""The one-pass checker: ``check_flock``, its module CLI, and ``repro check``."""
+
+import json
+
+import pytest
+
+from repro.analysis.check import check_flock, main as check_main
+from repro.cli import main as cli_main
+from repro.datalog import atom, rule
+from repro.flocks import QueryFlock, support_filter
+from repro.relational import save_database
+
+
+FLOCK_TEXT = """QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+
+FILTER:
+COUNT(answer.B) >= 2
+"""
+
+WARNING_FLOCK_TEXT = """QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2 AND $2 < $1
+
+FILTER:
+COUNT(answer.B) >= 2
+"""
+
+GHOST_FLOCK_TEXT = """QUERY:
+answer(X) :- ghost(X,$1)
+
+FILTER:
+COUNT(answer.X) >= 2
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path, small_basket_db):
+    flock_file = tmp_path / "flock.txt"
+    flock_file.write_text(FLOCK_TEXT)
+    data_dir = tmp_path / "data"
+    save_database(small_basket_db, data_dir)
+    return flock_file, data_dir
+
+
+class TestCheckFlock:
+    def test_clean_flock_with_data(self, small_basket_db, basket_flock):
+        result = check_flock(basket_flock, db=small_basket_db)
+        assert result.ok
+        assert result.exit_code() == 0
+        assert result.plan is not None
+        assert result.certificate is not None and result.certificate.ok
+
+    def test_clean_flock_without_data(self, basket_flock):
+        result = check_flock(basket_flock)
+        assert result.ok
+        assert result.certificate is not None
+
+    def test_medical_reports_lint_skip_info(self, medical_flock):
+        result = check_flock(medical_flock)
+        assert result.ok and result.exit_code() == 0
+        assert "redundancy-check-skipped" in {d.code for d in result.report}
+
+    def test_union_flock_checks(self, small_web_db, web_flock):
+        result = check_flock(web_flock, db=small_web_db)
+        assert result.ok
+
+    def test_missing_relation_is_an_error(self, small_basket_db):
+        flock = QueryFlock(
+            rule("answer", ["X"], [atom("ghost", "X", "$1")]),
+            support_filter(2, target="X"),
+        )
+        result = check_flock(flock, db=small_basket_db)
+        assert not result.ok
+        assert result.exit_code() == 4
+        found = {d.code for d in result.report}
+        assert {"check-plan-search-failed", "check-lowering-failed"} & found
+
+    def test_to_dict_shape(self, small_basket_db, basket_flock):
+        data = check_flock(basket_flock, db=small_basket_db).to_dict()
+        assert data["ok"] is True
+        assert data["exit_code"] == 0
+        assert ":= FILTER" in data["plan"]
+        assert isinstance(data["diagnostics"], list)
+
+
+class TestModuleMain:
+    def test_paper_flocks_are_clean(self, capsys):
+        assert check_main(["--paper"]) == 0
+        out = capsys.readouterr().out
+        for label in ("fig2:", "fig3:", "fig4:", "fig6(n=2):", "fig10:"):
+            assert label in out
+
+    def test_flock_file_argument(self, workspace, capsys):
+        flock_file, _ = workspace
+        assert check_main([str(flock_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_no_targets_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            check_main([])
+
+
+class TestCheckCli:
+    def test_clean_exit_0(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = cli_main(["check", str(flock_file), str(data_dir)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_clean_without_data(self, workspace, capsys):
+        flock_file, _ = workspace
+        assert cli_main(["check", str(flock_file)]) == 0
+
+    def test_warnings_exit_3(self, tmp_path, capsys):
+        bad = tmp_path / "warn.txt"
+        bad.write_text(WARNING_FLOCK_TEXT)
+        code = cli_main(["check", str(bad)])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "unsatisfiable-comparisons" in out
+        assert "warning(s)" in out
+
+    def test_errors_exit_4(self, workspace, tmp_path, capsys):
+        _, data_dir = workspace
+        bad = tmp_path / "ghost.txt"
+        bad.write_text(GHOST_FLOCK_TEXT)
+        code = cli_main(["check", str(bad), str(data_dir)])
+        assert code == 4
+        assert "error(s)" in capsys.readouterr().out
+
+    def test_json_format(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = cli_main(
+            ["check", str(flock_file), str(data_dir), "--format", "json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["exit_code"] == 0
+
+    def test_json_reports_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "warn.txt"
+        bad.write_text(WARNING_FLOCK_TEXT)
+        code = cli_main(["check", str(bad), "--format", "json"])
+        assert code == 3
+        data = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in data["diagnostics"]}
+        assert "unsatisfiable-comparisons" in codes
+
+    def test_lint_alias_still_works(self, workspace, capsys):
+        flock_file, _ = workspace
+        assert cli_main(["lint", str(flock_file)]) == 0
+        assert "clean" in capsys.readouterr().out

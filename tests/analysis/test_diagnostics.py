@@ -1,0 +1,108 @@
+"""The shared diagnostics layer: formatting, severities, exit codes."""
+
+from repro.analysis import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.diagnostics import SourceSpan, error, info, warning
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert not Severity.ERROR < Severity.INFO
+
+    def test_comparison_with_non_severity(self):
+        assert Severity.INFO.__lt__(3) is NotImplemented
+
+
+class TestDiagnostic:
+    def test_str_has_severity_code_location_message(self):
+        d = error("plan-unsafe-step", "step f1 is unsafe", location="step f1")
+        assert str(d) == "error[plan-unsafe-step] at step f1: step f1 is unsafe"
+
+    def test_str_without_location(self):
+        d = warning("cartesian-product", "disconnected")
+        assert str(d) == "warning[cartesian-product]: disconnected"
+
+    def test_hint_rendered_on_own_line(self):
+        d = error("ir-dangling-join-key", "bad key", hint="use shared columns")
+        assert "\n  hint: use shared columns" in str(d)
+
+    def test_span_renders_caret(self):
+        text = "answer(B) :- baskets(B,$1)"
+        d = error(
+            "demo", "here", span=SourceSpan(text, text.index("baskets"))
+        )
+        rendered = str(d)
+        assert "baskets" in rendered
+        assert "^" in rendered
+
+    def test_to_dict_roundtrips_fields(self):
+        d = info("redundancy-check-skipped", "skipped", location="rule 1",
+                 hint="nothing to do")
+        assert d.to_dict() == {
+            "code": "redundancy-check-skipped",
+            "severity": "info",
+            "message": "skipped",
+            "location": "rule 1",
+            "hint": "nothing to do",
+        }
+
+    def test_helpers_set_severity(self):
+        assert error("c", "m").severity is Severity.ERROR
+        assert warning("c", "m").severity is Severity.WARNING
+        assert info("c", "m").severity is Severity.INFO
+
+
+class TestDiagnosticReport:
+    def test_empty_report_is_clean(self):
+        report = DiagnosticReport()
+        assert report.ok
+        assert report.is_clean
+        assert report.exit_code() == 0
+        assert str(report) == "clean: no diagnostics"
+        assert bool(report)
+
+    def test_warnings_exit_3(self):
+        report = DiagnosticReport((warning("c", "m"),))
+        assert report.ok  # warnings do not make a report failing
+        assert not report.is_clean
+        assert report.exit_code() == 3
+
+    def test_errors_exit_4(self):
+        report = DiagnosticReport((warning("c", "m"), error("d", "n")))
+        assert not report.ok
+        assert not bool(report)
+        assert report.exit_code() == 4
+
+    def test_infos_never_affect_exit_code(self):
+        report = DiagnosticReport((info("c", "m"),))
+        assert report.ok
+        assert report.is_clean
+        assert report.exit_code() == 0
+
+    def test_severity_buckets(self):
+        e, w, i = error("e", "m"), warning("w", "m"), info("i", "m")
+        report = DiagnosticReport((e, w, i))
+        assert report.errors == (e,)
+        assert report.warnings == (w,)
+        assert report.infos == (i,)
+        assert len(report) == 3
+        assert list(report) == [e, w, i]
+
+    def test_merged_preserves_order(self):
+        a = DiagnosticReport((error("a", "m"),))
+        b = DiagnosticReport((warning("b", "m"),))
+        c = DiagnosticReport((info("c", "m"),))
+        merged = a.merged(b, c)
+        assert [d.code for d in merged] == ["a", "b", "c"]
+
+    def test_collect(self):
+        report = DiagnosticReport.collect([info("x", "m")])
+        assert [d.code for d in report] == ["x"]
+
+    def test_to_dict_counts(self):
+        report = DiagnosticReport((error("e", "m"), warning("w", "m")))
+        data = report.to_dict()
+        assert data["errors"] == 1
+        assert data["warnings"] == 1
+        assert data["clean"] is False
+        assert [d["code"] for d in data["diagnostics"]] == ["e", "w"]

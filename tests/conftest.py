@@ -2,9 +2,19 @@
 
 import pytest
 
+from repro.analysis import plan_verification
 from repro.datalog import atom, comparison, negated, rule, UnionQuery
 from repro.flocks import QueryFlock, support_filter
 from repro.relational import database_from_dict
+
+
+@pytest.fixture(autouse=True)
+def _verify_plans():
+    """Run the whole suite with plan verification on: every plan the
+    optimizer or dynamic re-planner emits is certified, and every
+    lowered physical plan is schema-checked before execution."""
+    with plan_verification(True):
+        yield
 
 
 @pytest.fixture

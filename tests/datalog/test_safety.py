@@ -3,15 +3,19 @@
 import pytest
 
 from repro.datalog import (
+    SafetyReport,
     SafetyRule,
     assert_safe,
     atom,
+    binding_witnesses,
     check_safety,
     comparison,
     is_safe,
     negated,
     parse_rule,
     rule,
+    safety_diagnostics,
+    verify_safety_report,
     UnionQuery,
 )
 from repro.errors import SafetyError
@@ -147,3 +151,106 @@ class TestAssertSafe:
         q = parse_rule("answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)")
         report = check_safety(q)
         assert "rule 2" in str(report.violations[0])
+
+
+class TestSafetyEdgeCases:
+    def test_parameter_bound_only_by_arithmetic_chain_is_unsafe(self):
+        # $q reaches a relationally bound term only through the chain
+        # $q < $p < N; arithmetic subgoals are not bindings, so both
+        # parameters violate rule 3.
+        q = rule(
+            "answer",
+            ["X"],
+            [
+                atom("scores", "X", "N"),
+                comparison("$p", "<", "N"),
+                comparison("$q", "<", "$p"),
+            ],
+        )
+        report = check_safety(q)
+        assert not report.is_safe
+        assert {str(v.term) for v in report.violations} == {"$p", "$q"}
+        assert all(
+            v.rule is SafetyRule.ARITHMETIC_SUBGOAL for v in report.violations
+        )
+
+    def test_negation_only_body_violates_rules_1_and_2(self):
+        q = rule("answer", ["X"], [negated("r", "X", "$p")])
+        report = check_safety(q)
+        assert {v.rule for v in report.violations} == {
+            SafetyRule.HEAD_VARIABLE,
+            SafetyRule.NEGATED_SUBGOAL,
+        }
+        # Nothing is positively bound, so there are no witnesses either.
+        assert report.witnesses == ()
+
+    def test_union_branches_with_differing_safe_sets(self):
+        safe = rule("answer", ["B"], [atom("r", "B", "$1")])
+        unsafe = rule(
+            "answer", ["B"],
+            [atom("r", "B", "$1"), comparison("$1", "<", "$2")],
+        )
+        union = UnionQuery((safe, unsafe))
+        # The union is unsafe as a whole, but per-branch reports differ:
+        # branch 1 is fine, branch 2 leaves $2 unbound.
+        assert not is_safe(union)
+        assert check_safety(safe).is_safe
+        report = check_safety(unsafe)
+        assert [str(v.term) for v in report.violations] == ["$2"]
+
+
+class TestSafetyWitnesses:
+    def test_first_binding_subgoal_is_the_witness(self, basket_query):
+        witnesses = binding_witnesses(basket_query)
+        first, second = basket_query.body[0], basket_query.body[1]
+        assert witnesses[basket_query.head_terms[0]] == first
+        by_name = {str(t): sg for t, sg in witnesses.items()}
+        assert by_name["$1"] == first
+        assert by_name["$2"] == second
+
+    def test_report_carries_witnesses(self, medical_query):
+        report = check_safety(medical_query)
+        assert report.is_safe
+        witnessed = {str(t) for t, _ in report.witnesses}
+        assert witnessed == {"P", "D", "$s", "$m"}
+
+    def test_verify_roundtrip_safe_and_unsafe(self, medical_query):
+        assert verify_safety_report(check_safety(medical_query))
+        unsafe = medical_query.with_body_subset([0, 3])
+        assert verify_safety_report(check_safety(unsafe))
+
+    def test_tampered_witness_rejected(self, basket_query):
+        report = check_safety(basket_query)
+        forged = SafetyReport(
+            report.query,
+            report.violations,
+            ((report.witnesses[0][0], atom("zzz", "B")),)
+            + report.witnesses[1:],
+        )
+        assert not verify_safety_report(forged)
+
+    def test_suppressed_violation_rejected(self, medical_query):
+        unsafe = medical_query.with_body_subset([0, 3])
+        report = check_safety(unsafe)
+        whitewashed = SafetyReport(
+            report.query, (), report.witnesses
+        )
+        assert not verify_safety_report(whitewashed)
+
+
+class TestSafetyDiagnostics:
+    def test_codes_match_the_three_rules(self):
+        q = rule(
+            "answer",
+            ["X"],
+            [negated("r", "X"), comparison("$p", "<", 3)],
+        )
+        report = safety_diagnostics(check_safety(q), location="query")
+        codes = {d.code for d in report}
+        assert codes == {"safety-rule-1", "safety-rule-2", "safety-rule-3"}
+        assert all(d.location == "query" for d in report)
+        assert all("positive relational subgoal" in (d.hint or "")
+                   for d in report)
+
+    def test_safe_query_has_no_diagnostics(self, basket_query):
+        assert len(safety_diagnostics(check_safety(basket_query))) == 0
