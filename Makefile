@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test stress bench examples lint-flocks clean outputs
+.PHONY: install test stress bench bench-json examples lint-flocks clean outputs
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ stress:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Parallel-scaling sweep: writes BENCH_parallel.json
+# (workload x jobs x wall-ms x survivors).
+bench-json:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py \
+		--benchmark-only -s
 
 examples:
 	@for f in examples/*.py; do \

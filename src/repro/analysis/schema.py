@@ -18,7 +18,11 @@ way the engines consume them:
 * the columnar engine's duplicate-free invariant is tracked per
   operator: the final Materialize must keep every group key, because
   ``project_unique`` skips the dedup pass on the strength of that
-  invariant.
+  invariant;
+* a :class:`~repro.engine.ir.PartitionedStepPlan` additionally requires
+  its Partition column to be a group key bound by every branch (so
+  per-partition groups are disjoint and complete) and its Merge schema
+  to match the step's materialization.
 
 A malformed plan is reported as :class:`~repro.analysis.diagnostics.Diagnostic`
 errors *before* execution rather than failing mid-join;
@@ -33,6 +37,7 @@ from ..datalog.terms import is_bindable
 from ..engine.ir import (
     AntiJoin,
     CompareFilter,
+    PartitionedStepPlan,
     PhysicalPlan,
     StepPlan,
 )
@@ -368,8 +373,68 @@ def _check_step_plan(
         )
 
 
+def _check_partitioned_plan(
+    plan: PartitionedStepPlan, db: Optional[Database], out: list[Diagnostic]
+) -> None:
+    """Partition/Merge typing over the wrapped step plan.
+
+    The partition column must be a group key bound by a positive subgoal
+    in *every* branch — that is what makes per-partition groups disjoint
+    and complete, so the merge of partition survivors equals the serial
+    survivors.  The merge schema must match the step's materialization.
+    """
+    _check_step_plan(plan.step, db, out)
+    partition = plan.partition
+    if partition.parts < 1:
+        out.append(
+            error(
+                "ir-partition-parts",
+                f"a partitioned plan needs at least 1 part, got "
+                f"{partition.parts}",
+                location="Partition",
+            )
+        )
+    group_by = set(plan.step.group.group_by)
+    if partition.column not in group_by:
+        out.append(
+            error(
+                "ir-partition-column",
+                f"partition column {partition.column!r} is not a group key "
+                f"(group keys: {list(plan.step.group.group_by)})",
+                location="Partition",
+                hint="partitioning on a non-key column would split groups "
+                "across partitions and break threshold counting",
+            )
+        )
+    else:
+        for index, branch in enumerate(plan.step.branches):
+            if not any(
+                partition.column in stage.scan.columns
+                for stage in branch.stages
+            ):
+                out.append(
+                    error(
+                        "ir-partition-column",
+                        f"partition column {partition.column!r} is not bound "
+                        f"by any positive subgoal of branch {index}; its "
+                        "scans cannot be restricted to one partition",
+                        location=f"Partition / branch {index}",
+                    )
+                )
+    if tuple(plan.merge.columns) != tuple(plan.step.root.columns):
+        out.append(
+            error(
+                "ir-merge-columns",
+                f"merge carries columns {list(plan.merge.columns)} but the "
+                f"step materializes {list(plan.step.root.columns)}",
+                location="Merge",
+            )
+        )
+
+
 def check_physical_plan(
-    plan: PhysicalPlan | StepPlan, db: Optional[Database] = None
+    plan: PhysicalPlan | StepPlan | PartitionedStepPlan,
+    db: Optional[Database] = None,
 ) -> DiagnosticReport:
     """Type-check one lowered plan; returns a report of every violation.
 
@@ -378,7 +443,9 @@ def check_physical_plan(
     is executable by both engines.
     """
     out: list[Diagnostic] = []
-    if isinstance(plan, StepPlan):
+    if isinstance(plan, PartitionedStepPlan):
+        _check_partitioned_plan(plan, db, out)
+    elif isinstance(plan, StepPlan):
         _check_step_plan(plan, db, out)
     elif isinstance(plan, PhysicalPlan):
         _check_rule_plan(plan, db, "", out)
@@ -393,7 +460,8 @@ def check_physical_plan(
 
 
 def assert_physical_plan(
-    plan: PhysicalPlan | StepPlan, db: Optional[Database] = None
+    plan: PhysicalPlan | StepPlan | PartitionedStepPlan,
+    db: Optional[Database] = None,
 ) -> None:
     """Raise :class:`~repro.errors.PlanError` when the plan is malformed."""
     report = check_physical_plan(plan, db=db)

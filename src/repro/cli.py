@@ -96,6 +96,13 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = _nonnegative_int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def _run_budget(args: argparse.Namespace) -> ResourceBudget | None:
     """Build the execution budget from --timeout/--max-rows, if any."""
     if args.timeout is None and args.max_rows is None:
@@ -113,13 +120,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     budget = _run_budget(args)
     guard = budget.start() if budget is not None else None
     started = time.perf_counter()
-    if args.strategy == "auto" or args.backend == "sqlite":
+    if args.strategy == "auto" or args.backend == "sqlite" or args.jobs > 1:
         from .flocks.mining import mine
 
         relation, report = mine(
             db, flock, strategy=args.strategy,
             budget=budget, backend=args.backend,
             join_order=args.join_order,
+            parallelism=args.jobs,
         )
         trace_text = str(report)
     elif args.strategy == "naive":
@@ -271,6 +279,7 @@ def cmd_session(args: argparse.Namespace) -> int:
         backend=args.backend,
         max_cache_rows=args.cache_rows,
         persist_path=args.persist,
+        parallelism=args.jobs,
     )
 
     if args.script is not None:
@@ -397,6 +406,9 @@ def build_parser() -> argparse.ArgumentParser:
                      default="greedy", dest="join_order",
                      help="join ordering plans are lowered with: greedy "
                      "(default) or the Selinger-style DP orderer")
+    run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                     help="worker count for partitioned parallel "
+                     "execution (1 = serial; REPRO_JOBS also honoured)")
     run.add_argument("--timeout", type=_nonnegative_float, default=None,
                      metavar="SECONDS",
                      help="wall-clock budget; exceeding it aborts with a "
@@ -457,6 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--persist", default=None, metavar="PATH",
                          help="SQLite file to persist cached results in "
                          "(warm start across invocations)")
+    session.add_argument("--jobs", type=_positive_int, default=1,
+                         metavar="N",
+                         help="worker count for partitioned parallel "
+                         "execution (1 = serial)")
     session.add_argument("--limit", type=int, default=50,
                          help="max result rows to print per query")
     session.set_defaults(fn=cmd_session)

@@ -10,6 +10,12 @@ renders the same DAG to SQLite SQL.  Every strategy (naive, optimized,
 stats, dynamic) and both backends execute through this IR, so the plan
 we can print (:meth:`~repro.engine.ir.PhysicalPlan.render`) is by
 construction the plan we run.
+
+Parallel execution rides the same IR: :mod:`repro.engine.partition`
+wraps a step plan in :class:`~repro.engine.ir.Partition` /
+:class:`~repro.engine.ir.Merge` operators, and
+:mod:`repro.engine.parallel` fans the partitions out on a worker pool —
+bit-identical to serial execution for any worker count.
 """
 
 from .ir import (
@@ -20,6 +26,9 @@ from .ir import (
     HashJoin,
     JoinStage,
     Materialize,
+    Merge,
+    Partition,
+    PartitionedStepPlan,
     PhysicalPlan,
     Scan,
     StepPlan,
@@ -27,6 +36,13 @@ from .ir import (
     UnionOp,
 )
 from .memory import MemoryEngine, StepResult
+from .parallel import ParallelExecutor, ParallelStepResult, resolve_jobs
+from .partition import (
+    choose_partition_column,
+    partition_step,
+    stable_hash,
+    step_cost_estimate,
+)
 from .planner import lower_rule, lower_step, order_positive_atoms
 
 __all__ = [
@@ -38,13 +54,23 @@ __all__ = [
     "JoinStage",
     "Materialize",
     "MemoryEngine",
+    "Merge",
+    "ParallelExecutor",
+    "ParallelStepResult",
+    "Partition",
+    "PartitionedStepPlan",
     "PhysicalPlan",
     "Scan",
     "StepPlan",
     "StepResult",
     "ThresholdFilter",
     "UnionOp",
+    "choose_partition_column",
     "lower_rule",
     "lower_step",
     "order_positive_atoms",
+    "partition_step",
+    "resolve_jobs",
+    "stable_hash",
+    "step_cost_estimate",
 ]

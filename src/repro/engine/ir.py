@@ -254,6 +254,63 @@ class StepPlan:
         return "\n".join(parts)
 
 
+@dataclass(frozen=True)
+class Partition:
+    """Hash-partition a step's work on one group-key column.
+
+    ``column`` must be a group key bound by every branch; restricting
+    each branch's scans that bind it to ``stable_hash(v) % parts ==
+    index`` yields exactly the answer rows of partition ``index``, and —
+    because the column is a group key — every group falls entirely
+    inside one partition, so per-partition threshold filtering is exact.
+    """
+
+    column: str
+    parts: int
+
+
+@dataclass(frozen=True)
+class Merge:
+    """Union the partitions' survivor relations in canonical row order.
+
+    Partitions are disjoint by construction (the partition column is a
+    group key), so the merge is a plain concatenation followed by the
+    canonical sort that makes parallel output bit-identical to serial.
+    """
+
+    columns: tuple[str, ...]
+
+
+@dataclass
+class PartitionedStepPlan:
+    """A :class:`StepPlan` fanned out into independent partition tasks.
+
+    The wrapped ``step`` is executed once per partition with its scans
+    restricted by the :class:`Partition` predicate; the :class:`Merge`
+    operator recombines the per-partition survivors.  Built by
+    :func:`repro.engine.partition.partition_step` and executed by
+    :class:`repro.engine.parallel.ParallelExecutor` (or rendered as
+    per-partition SQL by the SQLite backend).
+    """
+
+    step: StepPlan
+    partition: Partition
+    merge: Merge
+
+    @property
+    def result_name(self) -> str:
+        return self.step.result_name
+
+    def render(self) -> str:
+        lines = [
+            f"PARTITION on {self.partition.column} "
+            f"into {self.partition.parts} parts"
+        ]
+        lines.append(self.step.render())
+        lines.append(f"  merge partitions on ({', '.join(self.merge.columns)})")
+        return "\n".join(lines)
+
+
 def filters_render(ops: Sequence[CompareFilter | AntiJoin]) -> list[str]:
     """Render attached filter operators (shared by plan renderers)."""
     lines = []

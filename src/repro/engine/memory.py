@@ -10,8 +10,10 @@ rebuild the same scan twice.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from ..datalog.atoms import RelationalAtom
 from ..datalog.terms import is_bindable
@@ -61,6 +63,11 @@ class MemoryEngine:
         trip_site: the fault-injection site tripped once per join stage
             (``"relational.join"`` for the shared evaluator,
             ``"dynamic.join"`` when the dynamic strategy drives stages).
+        scan_restrict: optional hook applied to every freshly built
+            binding relation — the parallel executor installs a
+            partition predicate here
+            (:func:`repro.engine.partition.partition_restrictor`), so
+            one engine instance interprets one partition of the plan.
     """
 
     def __init__(
@@ -68,10 +75,14 @@ class MemoryEngine:
         db: Database,
         guard: GuardLike = None,
         trip_site: str = "relational.join",
+        scan_restrict: Optional[
+            Callable[[RelationalAtom, Relation], Relation]
+        ] = None,
     ):
         self.db = db
         self.guard: ExecutionGuard | None = as_guard(guard)
         self.trip_site = trip_site
+        self.scan_restrict = scan_restrict
         self._bindings: dict[RelationalAtom, Relation] = {}
 
     def _verify_before_execution(self, plan: PhysicalPlan | StepPlan) -> None:
@@ -95,6 +106,8 @@ class MemoryEngine:
         cached = self._bindings.get(atom)
         if cached is None:
             cached = atom_binding_relation(self.db, atom)
+            if self.scan_restrict is not None:
+                cached = self.scan_restrict(atom, cached)
             self._bindings[atom] = cached
         return cached
 
@@ -283,12 +296,98 @@ class MemoryEngine:
             name=step.root.name,
         )
 
+    @staticmethod
+    def _early_exit_cap(conditions: Sequence[tuple]) -> int | None:
+        """The distinct-count bound at which a group's survival is
+        decided, when early-exit counting applies: exactly one
+        threshold conjunct, of support shape (``COUNT >= k`` /
+        ``COUNT > k``).  ``None`` means exact aggregates are needed."""
+        if len(conditions) != 1:
+            return None
+        condition, _column = conditions[0]
+        if not getattr(condition, "is_support_condition", False):
+            return None
+        cap = max(1, math.floor(float(condition.threshold)))
+        while not condition.passes(cap):
+            cap += 1
+        return cap
+
+    def survivor_filter(
+        self,
+        answer: Relation,
+        group_by: Sequence[str],
+        aggregates: Sequence,
+        conditions: Sequence[tuple],
+        name: str = "ok",
+    ) -> Relation:
+        """The surviving group keys only — no aggregate value columns.
+
+        For the common support filter (a single ``COUNT >= k``
+        conjunct) this counts with early exit: a group stops counting —
+        and stops accumulating its distinct-target set — the moment it
+        reaches the bound, since only survivorship is needed.  Other
+        filters fall back to :meth:`group_filter` plus a projection.
+
+        Rows come out canonically sorted, like :meth:`project_unique`.
+        """
+        cap = self._early_exit_cap(conditions)
+        if cap is None:
+            passed = self.group_filter(
+                answer, group_by, aggregates, conditions, name=name
+            )
+            return self.project_unique(passed, list(group_by), name)
+        spec = aggregates[0]
+        data = answer.columns_data()
+        key_positions = [answer.column_position(c) for c in group_by]
+        target_positions = [answer.column_position(c) for c in spec.target]
+        survivors: set[tuple] = set()
+        counting: dict[tuple, set[tuple]] = {}
+        for i in range(len(answer)):
+            key = tuple(data[p][i] for p in key_positions)
+            if key in survivors:
+                continue  # early exit: this group already passed
+            bucket = counting.setdefault(key, set())
+            bucket.add(tuple(data[p][i] for p in target_positions))
+            if len(bucket) >= cap:
+                survivors.add(key)
+                del counting[key]  # stop counting, free the value set
+        rows = sorted(survivors, key=repr)
+        arrays = (
+            [list(column) for column in zip(*rows)]
+            if rows
+            else [[] for _ in group_by]
+        )
+        return Relation.from_columns(
+            name, tuple(group_by), arrays, count=len(rows)
+        )
+
+    def run_survivors(self, answer: Relation, step: StepPlan) -> Relation:
+        """Survivors of one step when only the ok-relation is needed
+        (no session sink wants the aggregate values)."""
+        return self.survivor_filter(
+            answer,
+            step.group.group_by,
+            step.group.aggregates,
+            step.threshold.conditions,
+            name=step.root.name,
+        )
+
     def project_unique(self, rel: Relation, columns, name: str) -> Relation:
         """Project onto ``columns`` when they are known to stay unique
-        (e.g. group keys after aggregation) — no dedup pass."""
+        (e.g. group keys after aggregation) — no dedup pass.
+
+        Rows come out canonically sorted (by ``repr``), never in dict or
+        set iteration order: serial and parallel runs, and memory and
+        SQLite backends, must produce identical column arrays so result
+        diffs are stable.
+        """
         data = rel.columns_data()
         arrays = [data[rel.column_position(c)] for c in columns]
-        return Relation.from_columns(name, tuple(columns), arrays, count=len(rel))
+        n = len(rel)
+        if n > 1 and arrays:
+            rows = sorted(zip(*arrays), key=repr)
+            arrays = [list(column) for column in zip(*rows)]
+        return Relation.from_columns(name, tuple(columns), arrays, count=n)
 
     def finalize_step(self, passed: Relation, step: StepPlan) -> Relation:
         """Materialize the survivor relation (group columns only).

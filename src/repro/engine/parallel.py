@@ -1,0 +1,571 @@
+"""Morsel-driven parallel execution of partitioned step plans.
+
+One :class:`~repro.engine.ir.StepPlan` fans out into N independent
+partition tasks (see :mod:`repro.engine.partition` for the partitioning
+scheme and its correctness argument).  Tasks are *morsels*: the
+executor cuts each step into more partitions than workers
+(``jobs * morsels_per_worker``) and lets the pool's queue balance them,
+so a skewed partition does not serialize the run.
+
+Two pools, chosen by the planner's System-R cardinality estimates:
+
+* a ``concurrent.futures`` **process pool** when the step's estimated
+  answer size clears :data:`PROCESS_ESTIMATE_THRESHOLD` — real
+  parallelism for the join/aggregate work that dominates large steps;
+  the pool is created lazily, seeded with the base catalog once via the
+  worker initializer, and reused across steps;
+* a **thread pool** for small steps, where pickling and fork startup
+  would cost more than the work itself.
+
+Guard propagation: thread workers share the parent's guard (deadline,
+row caps and cancellation all enforce directly).  Process workers get a
+fresh guard built from :meth:`~repro.guard.ExecutionGuard.child_budget`
+— the *remaining* wall-clock plus the row caps — while the parent polls
+its own guard (including cancellation) between future completions.
+
+Failure policy: a worker abort on budget/cancellation re-raises in the
+parent as the matching :class:`~repro.errors.ExecutionAborted` subclass.
+Any other worker failure — including a hard worker death
+(``BrokenProcessPool``) — degrades gracefully: the step re-runs
+serially and the downgrade is recorded for the
+:class:`~repro.flocks.mining.MiningReport`.
+
+Determinism: partition hashing is process-independent
+(:func:`~repro.engine.partition.stable_hash`) and merges are
+canonically sorted, so results are bit-identical to serial execution
+for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import BudgetExceededError, ExecutionAborted, ExecutionCancelled
+from ..guard import ExecutionGuard, GuardLike, as_guard
+from ..relational.catalog import Database
+from ..relational.relation import Relation
+from ..testing.faults import WorkerKill, trip
+from .ir import PartitionedStepPlan, StepPlan
+from .memory import MemoryEngine
+from .partition import (
+    partition_restrictor,
+    partition_rows,
+    partition_step,
+    step_cost_estimate,
+)
+
+#: Estimated answer tuples above which a step is worth a process pool.
+PROCESS_ESTIMATE_THRESHOLD = 100_000.0
+
+#: Morsels per worker: finer than the worker count so the pool queue
+#: can rebalance skewed partitions.
+MORSELS_PER_WORKER = 2
+
+#: Relations smaller than this are not worth partitioned group-filtering
+#: (the dynamic strategy's in-flight filters).
+MIN_PARTITION_ROWS = 2048
+
+
+def resolve_jobs(parallelism: Optional[int] = None) -> int:
+    """The effective worker count for one ``mine()`` call.
+
+    An explicit ``parallelism`` wins; otherwise the ``REPRO_JOBS``
+    environment variable (how CI stresses the whole suite under
+    ``--jobs 4`` without touching every call site); otherwise 1.
+    """
+    if parallelism is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            parallelism = int(raw)
+        except ValueError:
+            return 1
+    return max(1, int(parallelism))
+
+
+@dataclass
+class ParallelStepResult:
+    """What one (possibly partitioned) step execution produced.
+
+    ``passed`` carries the survivors *with* aggregate columns and is
+    only computed when the caller asked for aggregates (a session sink
+    wants them); otherwise workers early-exit-count survivorship only.
+    """
+
+    result: Relation
+    passed: Optional[Relation]
+    answer_tuples: int
+    mode: str  # "process" | "thread" | "serial"
+    partition_sizes: tuple[int, ...] = ()
+
+
+def merged_relation(
+    name: str, columns: Sequence[str], rows: Iterable[tuple]
+) -> Relation:
+    """Union partition outputs under a canonical (repr-sorted) row
+    order — the Merge operator's contract, and what makes parallel
+    output arrays bit-identical to serial ones."""
+    ordered = sorted(set(rows), key=repr)
+    arrays = (
+        [list(column) for column in zip(*ordered)]
+        if ordered
+        else [[] for _ in columns]
+    )
+    return Relation.from_columns(
+        name, tuple(columns), arrays, count=len(ordered)
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (module-level: process pools must import them by name)
+# ----------------------------------------------------------------------
+
+_WORKER_DB: Optional[Database] = None
+
+
+def _init_worker(db: Database) -> None:
+    """Process-pool initializer: seed the worker with the base catalog
+    once, instead of pickling it into every task."""
+    global _WORKER_DB
+    _WORKER_DB = db
+
+
+def _run_partition(
+    db: Database,
+    step: StepPlan,
+    column: str,
+    parts: int,
+    index: int,
+    need_aggregates: bool,
+    guard: Optional[ExecutionGuard],
+) -> tuple[int, tuple[str, ...], list[tuple]]:
+    """Execute one partition of a step; returns (answer tuples,
+    survivor columns, survivor rows)."""
+    engine = MemoryEngine(
+        db,
+        guard=guard,
+        scan_restrict=partition_restrictor(column, parts, index),
+    )
+    answer = engine.run_answer(step)
+    if need_aggregates:
+        passed = engine.run_group_filter(answer, step)
+    else:
+        passed = engine.run_survivors(answer, step)
+    return len(answer), passed.columns, list(passed.tuples)
+
+
+def _process_partition(args: tuple) -> tuple:
+    """One partition task in a pool worker process.
+
+    Exceptions do not cross the process boundary as exceptions: guard
+    aborts come back as tagged payloads (custom exception classes with
+    keyword-only constructors do not round-trip through pickle), and
+    an injected :class:`WorkerKill` dies for real via ``os._exit`` so
+    the parent observes a broken pool.
+    """
+    step, extras, column, parts, index, need_aggregates, budget = args
+    try:
+        trip("parallel.worker")
+        db = _WORKER_DB
+        assert db is not None  # initializer ran before any task
+        if extras:
+            db = db.scratch()
+            for relation in extras:
+                db.add(relation)
+        guard = budget.start() if budget is not None else None
+        count, columns, rows = _run_partition(
+            db, step, column, parts, index, need_aggregates, guard
+        )
+        return ("ok", count, columns, rows)
+    except WorkerKill:
+        os._exit(17)
+    except ExecutionCancelled as error:
+        return ("cancelled", str(error))
+    except BudgetExceededError as error:
+        return ("budget", str(error), error.limit)
+
+
+def _thread_partition(
+    db: Database,
+    step: StepPlan,
+    column: str,
+    parts: int,
+    index: int,
+    need_aggregates: bool,
+    guard: Optional[ExecutionGuard],
+) -> tuple:
+    """One partition task on the thread pool (shares the parent guard;
+    aborts and injected kills propagate as exceptions)."""
+    trip("parallel.worker")
+    count, columns, rows = _run_partition(
+        db, step, column, parts, index, need_aggregates, guard
+    )
+    return ("ok", count, columns, rows)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """Runs partitioned step plans on a worker pool; one per ``mine()``
+    call, shared by every step of the evaluation.
+
+    Args:
+        jobs: worker count; 1 disables partitioning entirely.
+        db: the base catalog (what the process pool is seeded with;
+            per-step scratch overlays ship only their extra relations).
+        guard: the parent evaluation's guard.
+        mode: ``"auto"`` (estimate-driven), ``"process"`` or
+            ``"thread"`` to force a pool kind.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        db: Database,
+        guard: GuardLike = None,
+        mode: str = "auto",
+        morsels_per_worker: int = MORSELS_PER_WORKER,
+        process_threshold: float = PROCESS_ESTIMATE_THRESHOLD,
+        min_partition_rows: int = MIN_PARTITION_ROWS,
+    ):
+        if mode not in ("auto", "process", "thread"):
+            raise ValueError(
+                f"unknown parallel mode {mode!r}; "
+                "use 'auto', 'process' or 'thread'"
+            )
+        self.jobs = max(1, int(jobs))
+        self.db = db
+        self.guard = as_guard(guard)
+        self.mode = mode
+        self.morsels_per_worker = max(1, morsels_per_worker)
+        self.process_threshold = process_threshold
+        self.min_partition_rows = min_partition_rows
+        #: Reasons this executor fell back to serial execution (worker
+        #: crashes); ``mine()`` turns them into MiningReport downgrades.
+        self.downgrades: list[str] = []
+        #: Whether at least one step actually ran partitioned.
+        self.ran_parallel = False
+        self.last_mode = "serial"
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def parts(self) -> int:
+        """Morsel count per step."""
+        return self.jobs * self.morsels_per_worker
+
+    def note_downgrade(self, reason: str) -> None:
+        self.downgrades.append(reason)
+
+    # -- step execution -------------------------------------------------
+
+    def run_step(
+        self,
+        step: StepPlan,
+        db: Optional[Database] = None,
+        need_aggregates: bool = False,
+    ) -> ParallelStepResult:
+        """Execute one step plan, partitioned when possible.
+
+        Falls back to serial execution (same engine code, same guard)
+        when the step has no partition column, when ``jobs < 2``, or
+        when a worker dies — the last case is recorded as a downgrade.
+        """
+        db = db if db is not None else self.db
+        plan = partition_step(step, self.parts, db=db)
+        if plan is None or self.jobs < 2:
+            return self._run_serial(step, db, need_aggregates)
+        started = time.perf_counter()
+        use_process = self._pick_process(step)
+        try:
+            outputs = (
+                self._run_process(plan, db, need_aggregates)
+                if use_process
+                else self._run_threads(plan, db, need_aggregates)
+            )
+        except ExecutionAborted:
+            raise
+        except (Exception, WorkerKill) as error:
+            if isinstance(error, BrokenProcessPool):
+                self.close()  # the pool is dead; later steps rebuild it
+            detail = f"{type(error).__name__}: {error}".rstrip(": ")
+            self.note_downgrade(
+                f"worker failure ({detail}); step "
+                f"{step.result_name!r} re-ran serially"
+            )
+            return self._run_serial(step, db, need_aggregates)
+        self.ran_parallel = True
+        self.last_mode = "process" if use_process else "thread"
+        return self._merge(
+            plan, outputs, need_aggregates, self.last_mode,
+            time.perf_counter() - started,
+        )
+
+    def _pick_process(self, step: StepPlan) -> bool:
+        if self.mode == "process":
+            return True
+        if self.mode == "thread":
+            return False
+        return step_cost_estimate(step) >= self.process_threshold
+
+    def _run_serial(
+        self, step: StepPlan, db: Database, need_aggregates: bool
+    ) -> ParallelStepResult:
+        engine = MemoryEngine(db, guard=self.guard)
+        answer = engine.run_answer(step)
+        if need_aggregates:
+            passed: Optional[Relation] = engine.run_group_filter(answer, step)
+            result = engine.finalize_step(passed, step)
+        else:
+            passed = None
+            result = engine.run_survivors(answer, step)
+        return ParallelStepResult(
+            result=result,
+            passed=passed,
+            answer_tuples=len(answer),
+            mode="serial",
+        )
+
+    def _run_process(
+        self, plan: PartitionedStepPlan, db: Database, need_aggregates: bool
+    ) -> list[tuple]:
+        pool = self._ensure_pool()
+        extras = self._extra_relations(db)
+        budget = self.guard.child_budget() if self.guard is not None else None
+        parts = plan.partition.parts
+        futures = [
+            pool.submit(
+                _process_partition,
+                (
+                    plan.step, extras, plan.partition.column, parts, index,
+                    need_aggregates, budget,
+                ),
+            )
+            for index in range(parts)
+        ]
+        payloads = self._collect(futures)
+        outputs: list[tuple] = []
+        for payload in payloads:
+            tag = payload[0]
+            if tag == "ok":
+                outputs.append(payload[1:])
+            elif tag == "cancelled":
+                raise ExecutionCancelled(
+                    payload[1], trace=self._trace(), node="parallel worker"
+                )
+            elif tag == "budget":
+                raise BudgetExceededError(
+                    payload[1],
+                    trace=self._trace(),
+                    node="parallel worker",
+                    limit=payload[2],
+                )
+        return outputs
+
+    def _run_threads(
+        self, plan: PartitionedStepPlan, db: Database, need_aggregates: bool
+    ) -> list[tuple]:
+        parts = plan.partition.parts
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [
+                pool.submit(
+                    _thread_partition,
+                    db, plan.step, plan.partition.column, parts, index,
+                    need_aggregates, self.guard,
+                )
+                for index in range(parts)
+            ]
+            payloads = self._collect(futures)
+        return [payload[1:] for payload in payloads]
+
+    def _collect(self, futures: list[Future]) -> list:
+        """Await every future (submit order), polling the parent guard —
+        cancellation and the deadline stay live while workers run."""
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(
+                    pending,
+                    timeout=0.05 if self.guard is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                if self.guard is not None:
+                    self.guard.checkpoint(node="parallel wait")
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+    def _merge(
+        self,
+        plan: PartitionedStepPlan,
+        outputs: list[tuple],
+        need_aggregates: bool,
+        mode: str,
+        seconds: float,
+    ) -> ParallelStepResult:
+        step = plan.step
+        sizes = tuple(count for count, _columns, _rows in outputs)
+        answer_tuples = sum(sizes)
+        rows: list[tuple] = []
+        columns: tuple[str, ...] = step.root.columns
+        for _count, part_columns, part_rows in outputs:
+            columns = tuple(part_columns)
+            rows.extend(part_rows)
+        if need_aggregates:
+            passed: Optional[Relation] = merged_relation(
+                step.root.name, columns, rows
+            )
+            positions = [columns.index(c) for c in step.root.columns]
+            result = merged_relation(
+                step.root.name,
+                step.root.columns,
+                [tuple(row[p] for p in positions) for row in rows],
+            )
+        else:
+            passed = None
+            result = merged_relation(step.root.name, step.root.columns, rows)
+        if self.guard is not None:
+            self.guard.note_step(
+                name=f"parallel:{step.result_name}",
+                description=(
+                    f"{mode} pool, {plan.partition.parts} partitions "
+                    f"on {plan.partition.column}"
+                ),
+                input_tuples=answer_tuples,
+                output_assignments=len(result),
+                seconds=seconds,
+                filtered=True,
+            )
+            self.guard.checkpoint(
+                rows=len(result), node=f"parallel:{step.result_name}"
+            )
+        return ParallelStepResult(
+            result=result,
+            passed=passed,
+            answer_tuples=answer_tuples,
+            mode=mode,
+            partition_sizes=sizes,
+        )
+
+    # -- in-flight group filtering (the dynamic strategy) ---------------
+
+    def group_filter_parallel(
+        self,
+        relation: Relation,
+        group_by: Sequence[str],
+        aggregates: Sequence,
+        conditions: Sequence[tuple],
+        name: str = "ok",
+    ) -> Optional[tuple[Relation, tuple[int, ...]]]:
+        """Partition an already-materialized relation on its first group
+        key and group-filter the partitions concurrently.
+
+        Returns ``(passed, partition sizes)`` — the sizes are what the
+        dynamic re-planner observes — or ``None`` when partitioning is
+        not worthwhile (small input, no usable key, or ``jobs < 2``);
+        a worker failure also returns ``None`` (the caller's serial
+        path is the degradation) after recording the downgrade.
+        """
+        if self.jobs < 2 or not group_by:
+            return None
+        if len(relation) < self.min_partition_rows:
+            return None
+        column = group_by[0]
+        if column not in relation.columns:
+            return None
+        slices = partition_rows(relation, column, self.parts)
+
+        def task(part: Relation) -> Relation:
+            trip("parallel.worker")
+            engine = MemoryEngine(self.db, guard=self.guard)
+            return engine.group_filter(
+                part, list(group_by), aggregates, conditions, name=name
+            )
+
+        try:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [pool.submit(task, part) for part in slices]
+                results = self._collect(futures)
+        except ExecutionAborted:
+            raise
+        except (Exception, WorkerKill) as error:
+            detail = f"{type(error).__name__}: {error}".rstrip(": ")
+            self.note_downgrade(
+                f"worker failure ({detail}); in-flight filter at "
+                f"{name!r} re-ran serially"
+            )
+            return None
+        rows: list[tuple] = []
+        for part_passed in results:
+            rows.extend(part_passed.tuples)
+        passed = merged_relation(name, results[0].columns, rows)
+        self.ran_parallel = True
+        self.last_mode = "thread"
+        return passed, tuple(len(part) for part in slices)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.db,),
+            )
+        return self._pool
+
+    def _extra_relations(self, db: Database) -> tuple[Relation, ...]:
+        """Relations in a scratch overlay the pool's seeded catalog does
+        not have (materialized ok-tables) — shipped per task."""
+        if db is self.db:
+            return ()
+        extras = []
+        for name in db.names():
+            relation = db.get(name)
+            if name not in self.db or self.db.get(name) is not relation:
+                extras.append(relation)
+        return tuple(extras)
+
+    def _trace(self) -> Any:
+        return self.guard.trace if self.guard is not None else None
+
+
+__all__ = [
+    "MORSELS_PER_WORKER",
+    "MIN_PARTITION_ROWS",
+    "PROCESS_ESTIMATE_THRESHOLD",
+    "ParallelExecutor",
+    "ParallelStepResult",
+    "BrokenProcessPool",
+    "merged_relation",
+    "resolve_jobs",
+]

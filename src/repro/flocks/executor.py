@@ -84,6 +84,7 @@ def execute_step(
     sink=None,
     final_sink=None,
     order_strategy: str = "greedy",
+    parallel=None,
 ) -> tuple[Relation, int]:
     """Execute one FILTER step; return (ok-relation, answer-tuple count).
 
@@ -107,6 +108,12 @@ def execute_step(
 
     ``order_strategy`` picks the join ordering the step's rules are
     lowered with (``"greedy"`` or ``"selinger"``).
+
+    ``parallel`` (a :class:`~repro.engine.parallel.ParallelExecutor`)
+    runs the step partitioned when it has a usable partition column;
+    aggregate values are only computed per partition when a
+    ``final_sink`` wants them — otherwise workers early-exit-count
+    survivorship.
     """
     trip("executor.step")
     params = list(step.parameters)
@@ -119,6 +126,16 @@ def execute_step(
             return ok, 0
 
     plan = lower_filter_step(db, flock, step, order_strategy=order_strategy)
+
+    if parallel is not None and parallel.jobs > 1:
+        need_aggregates = final_sink is not None
+        outcome = parallel.run_step(plan, db=db, need_aggregates=need_aggregates)
+        ok = outcome.result
+        if final_sink is not None:
+            final_sink.publish_final(outcome.passed, outcome.answer_tuples)
+        elif sink is not None:
+            sink.publish_step(step.query, param_cols, ok, outcome.answer_tuples)
+        return ok, outcome.answer_tuples
 
     engine = MemoryEngine(db, guard=guard)
     answer = engine.run_answer(plan)
@@ -142,6 +159,7 @@ def execute_plan(
     guard: GuardLike = None,
     sink=None,
     order_strategy: str = "greedy",
+    parallel=None,
 ) -> FlockResult:
     """Run a plan and return the flock result with a per-step trace.
 
@@ -158,6 +176,10 @@ def execute_plan(
     raises :class:`~repro.errors.BudgetExceededError` (or
     :class:`~repro.errors.ExecutionCancelled`) whose ``trace`` lists
     exactly the steps that completed.
+
+    ``parallel`` hands every step to a
+    :class:`~repro.engine.parallel.ParallelExecutor`; results stay
+    bit-identical to serial execution (see :mod:`repro.engine.partition`).
     """
     guard = as_guard(guard)
     if validate:
@@ -173,6 +195,7 @@ def execute_plan(
             sink=None if step is final_step else sink,
             final_sink=sink if step is final_step else None,
             order_strategy=order_strategy,
+            parallel=parallel,
         )
         elapsed = time.perf_counter() - started
         scratch.add(ok)

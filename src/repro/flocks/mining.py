@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..analysis.verification import plan_verification, plan_verification_enabled
+from ..engine.parallel import ParallelExecutor, resolve_jobs
 from ..errors import (
     BudgetExceededError,
     EvaluationError,
@@ -82,7 +83,7 @@ _STRATEGY_COST_ORDER = ("stats", "optimized", "dynamic", "naive")
 class Downgrade:
     """One recorded degradation step of a :func:`mine` call."""
 
-    kind: str  # "strategy" | "backend"
+    kind: str  # "strategy" | "backend" | "parallelism"
     from_name: str
     to_name: str
     reason: str
@@ -107,6 +108,13 @@ class MiningReport:
     backend_requested: str = "memory"
     backend_used: str = "memory"
     join_order: str = "greedy"
+    #: Worker count the call asked for (``parallelism=`` argument or the
+    #: ``REPRO_JOBS`` environment default) and what actually ran: the
+    #: requested count when at least one step executed partitioned, 1
+    #: when everything ran serially (small inputs, no partition column,
+    #: or a recorded parallelism downgrade).
+    parallelism_requested: int = 1
+    parallelism_used: int = 1
     downgrades: tuple[Downgrade, ...] = ()
     #: Session-cache accounting (all zero without a session).  An exact
     #: hit sets ``cache_hits=1`` and ``strategy_used="cache"`` — the
@@ -153,6 +161,11 @@ class MiningReport:
             )
         if self.join_order != "greedy":
             lines.append(f"join order: {self.join_order}")
+        if self.parallelism_requested != 1 or self.parallelism_used != 1:
+            lines.append(
+                f"parallelism: {self.parallelism_used} jobs "
+                f"(requested {self.parallelism_requested})"
+            )
         for downgrade in self.downgrades:
             lines.append(str(downgrade))
         for warning in self.warnings:
@@ -259,6 +272,7 @@ def _run_strategy(
     attempt: _Attempt,
     sink=None,
     join_order: str = "greedy",
+    parallel=None,
 ) -> None:
     """Execute one strategy, filling ``attempt``.
 
@@ -270,22 +284,29 @@ def _run_strategy(
     The SQLite paths run entirely inside the SQL engine and do not
     participate (their *fallbacks* do — a backend downgrade lands on
     the instrumented in-memory code).
+
+    ``parallel`` is the call's shared
+    :class:`~repro.engine.parallel.ParallelExecutor` (or None); every
+    strategy and both backends thread it through to their step
+    execution.
     """
     if strategy == "naive":
         if backend == "sqlite":
             attempt.relation = _on_sqlite(
                 db, attempt, guard,
                 lambda be: be.evaluate_flock(
-                    flock, guard=guard, order_strategy=join_order
+                    flock, guard=guard, order_strategy=join_order,
+                    parallel=parallel,
                 ),
                 fallback=lambda: evaluate_flock(
                     db, flock, guard=guard, sink=sink,
-                    order_strategy=join_order,
+                    order_strategy=join_order, parallel=parallel,
                 ),
             )
         else:
             attempt.relation = evaluate_flock(
-                db, flock, guard=guard, sink=sink, order_strategy=join_order
+                db, flock, guard=guard, sink=sink, order_strategy=join_order,
+                parallel=parallel,
             )
     elif strategy == "dynamic":
         # The dynamic evaluator interleaves planning and execution in
@@ -299,7 +320,8 @@ def _run_strategy(
             )
             attempt.backend_used = "memory"
         result, trace = evaluate_flock_dynamic(
-            db, flock, guard=guard, sink=sink, order_strategy=join_order
+            db, flock, guard=guard, sink=sink, order_strategy=join_order,
+            parallel=parallel,
         )
         attempt.relation = result.relation
         attempt.decision_text = str(trace)
@@ -317,17 +339,18 @@ def _run_strategy(
             attempt.relation = _on_sqlite(
                 db, attempt, guard,
                 lambda be: be.execute_plan(
-                    flock, plan, guard=guard, order_strategy=join_order
+                    flock, plan, guard=guard, order_strategy=join_order,
+                    parallel=parallel,
                 ),
                 fallback=lambda: execute_plan(
                     db, flock, plan, validate=False, guard=guard, sink=sink,
-                    order_strategy=join_order,
+                    order_strategy=join_order, parallel=parallel,
                 ).relation,
             )
         else:
             attempt.relation = execute_plan(
                 db, flock, plan, validate=False, guard=guard, sink=sink,
-                order_strategy=join_order,
+                order_strategy=join_order, parallel=parallel,
             ).relation
     else:  # pragma: no cover - STRATEGIES guard upstream
         raise AssertionError(strategy)
@@ -372,6 +395,7 @@ def mine(
     session=None,
     join_order: str = "greedy",
     verify_plans: bool | None = None,
+    parallelism: int | None = None,
 ) -> tuple[Relation, MiningReport]:
     """Evaluate a flock end to end; returns (result relation, report).
 
@@ -396,6 +420,13 @@ def mine(
         join_order: the join-ordering strategy plans are lowered with —
             ``"greedy"`` (default) or ``"selinger"`` (the System-R style
             dynamic-programming orderer).
+        parallelism: worker count for partitioned step execution
+            (``--jobs`` on the CLI).  ``None`` reads the ``REPRO_JOBS``
+            environment variable (default 1 = serial).  Results are
+            bit-identical to serial execution for any value; worker
+            failures degrade back to serial with a recorded
+            ``parallelism`` downgrade.  See
+            :mod:`repro.engine.parallel`.
         session: optional :class:`repro.session.MiningSession` whose
             result cache participates: an exact hit (alpha-equivalent
             flock, stricter-or-equal thresholds) returns the cached
@@ -435,6 +466,7 @@ def mine(
     else:
         live_guard = None
 
+    jobs = resolve_jobs(parallelism)
     warnings = tuple(lint_flock(flock)) if lint else ()
     used = _choose_strategy(flock) if strategy == "auto" else strategy
 
@@ -459,6 +491,7 @@ def mine(
                 warnings=warnings,
                 backend_requested=backend,
                 backend_used="memory",
+                parallelism_requested=jobs,
                 cache_hits=1,
                 rows_saved=entry.source_rows,
             )
@@ -467,39 +500,56 @@ def mine(
         sink = session.sink(flock)
 
     attempt = _Attempt(backend_used=backend)
+    parallel = (
+        ParallelExecutor(jobs, db, guard=live_guard) if jobs > 1 else None
+    )
 
     scope = (
         nullcontext() if verify_plans is None
         else plan_verification(verify_plans)
     )
-    with scope:
-        while True:
-            try:
-                _run_strategy(
-                    db, flock, used, live_guard, backend, attempt, sink=sink,
-                    join_order=join_order,
-                )
-                break
-            except (PlanError, FilterError, BudgetExceededError) as error:
-                if isinstance(error, BudgetExceededError) and not (
-                    used in ("optimized", "stats")
-                    and attempt.plan_text is None
-                ):
-                    # The budget died during execution, not mid
-                    # plan-search — a cheaper strategy cannot recover
-                    # spent budget.
-                    raise
-                fallback = _next_cheaper(flock, used)
-                if fallback is None:
-                    raise
-                attempt.downgrades.append(
-                    Downgrade(
-                        "strategy", used, fallback, str(error).split("\n")[0]
+    try:
+        with scope:
+            while True:
+                try:
+                    _run_strategy(
+                        db, flock, used, live_guard, backend, attempt,
+                        sink=sink, join_order=join_order, parallel=parallel,
                     )
-                )
-                used = fallback
-                attempt.plan_text = None
-                attempt.decision_text = None
+                    break
+                except (PlanError, FilterError, BudgetExceededError) as error:
+                    if isinstance(error, BudgetExceededError) and not (
+                        used in ("optimized", "stats")
+                        and attempt.plan_text is None
+                    ):
+                        # The budget died during execution, not mid
+                        # plan-search — a cheaper strategy cannot recover
+                        # spent budget.
+                        raise
+                    fallback = _next_cheaper(flock, used)
+                    if fallback is None:
+                        raise
+                    attempt.downgrades.append(
+                        Downgrade(
+                            "strategy", used, fallback,
+                            str(error).split("\n")[0],
+                        )
+                    )
+                    used = fallback
+                    attempt.plan_text = None
+                    attempt.decision_text = None
+    finally:
+        if parallel is not None:
+            parallel.close()
+
+    if parallel is not None:
+        for reason in parallel.downgrades:
+            attempt.downgrades.append(
+                Downgrade("parallelism", f"{jobs} jobs", "serial", reason)
+            )
+    parallelism_used = (
+        jobs if parallel is not None and parallel.ran_parallel else 1
+    )
 
     assert attempt.relation is not None
     if live_guard is not None:
@@ -516,6 +566,8 @@ def mine(
         backend_requested=backend,
         backend_used=attempt.backend_used,
         join_order=join_order,
+        parallelism_requested=jobs,
+        parallelism_used=parallelism_used,
         downgrades=tuple(attempt.downgrades),
         cache_misses=cache_misses,
         cache_step_hits=sink.step_hits if sink is not None else 0,

@@ -96,6 +96,7 @@ def evaluate_flock(
     guard: GuardLike = None,
     sink=None,
     order_strategy: str = "greedy",
+    parallel=None,
 ) -> Relation:
     """Group-by evaluation: the flock result as a relation over its
     parameter columns (sorted by parameter name).  Composite filters
@@ -110,8 +111,18 @@ def evaluate_flock(
     together with its per-conjunct aggregate values, so a session can
     answer later requests at stricter thresholds without re-running the
     joins.
+
+    ``parallel`` (a :class:`~repro.engine.parallel.ParallelExecutor`)
+    evaluates the flock as one partitioned step — the whole
+    join-group-filter pipeline fans out over hash partitions of a
+    parameter column, bit-identical to the serial result.
     """
     guard = as_guard(guard)
+    if parallel is not None and parallel.jobs > 1:
+        return _evaluate_flock_parallel(
+            db, flock, parallel, guard=guard, sink=sink,
+            order_strategy=order_strategy,
+        )
     started = time.perf_counter()
     answer = flock_answer_relation(
         db, flock, guard=guard, order_strategy=order_strategy
@@ -134,6 +145,50 @@ def evaluate_flock(
             name="flock",
             description=f"final FILTER({flock.filter})",
             input_tuples=len(answer),
+            output_assignments=len(result),
+            seconds=time.perf_counter() - started,
+            filtered=True,
+        )
+        guard.check_answer(len(result))
+    return result
+
+
+def _evaluate_flock_parallel(
+    db: Database,
+    flock: QueryFlock,
+    parallel,
+    guard=None,
+    sink=None,
+    order_strategy: str = "greedy",
+) -> Relation:
+    """The group-by evaluation as one partitioned step plan.
+
+    Lowering the flock as its own single FILTER step reuses the shared
+    lowering (identical join orders to the serial path) and lets the
+    parallel executor partition it; survivors come back canonically
+    merged, so the result matches the serial evaluation bit for bit.
+    """
+    from .executor import lower_filter_step
+    from .plans import single_step_plan
+
+    started = time.perf_counter()
+    step = single_step_plan(flock, name="flock").final_step
+    plan = lower_filter_step(db, flock, step, order_strategy=order_strategy)
+    outcome = parallel.run_step(
+        plan, db=db, need_aggregates=sink is not None
+    )
+    if sink is not None:
+        sink.publish_final(outcome.passed, outcome.answer_tuples)
+    result = outcome.result
+    if tuple(result.columns) != tuple(flock.parameter_columns):
+        result = MemoryEngine(db).project_unique(
+            result, list(flock.parameter_columns), "flock"
+        )
+    if guard is not None:
+        guard.note_step(
+            name="flock",
+            description=f"final FILTER({flock.filter})",
+            input_tuples=outcome.answer_tuples,
             output_assignments=len(result),
             seconds=time.perf_counter() - started,
             filtered=True,

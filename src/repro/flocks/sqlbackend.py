@@ -35,8 +35,10 @@ from __future__ import annotations
 
 import sqlite3
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
+from ..engine.partition import partition_step, stable_hash
 from ..engine.sqlgen import (
     column_source,
     materialize_step,
@@ -47,7 +49,7 @@ from ..errors import EvaluationError, ExecutionAborted
 from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
 from ..relational.relation import Relation
-from ..testing.faults import trip
+from ..testing.faults import WorkerKill, trip
 from .executor import lower_filter_step
 from .flock import QueryFlock
 from .plans import QueryPlan, single_step_plan
@@ -83,6 +85,11 @@ class SQLiteBackend:
             wrapped and raised.
         retry_backoff: initial sleep between retries; doubles per
             attempt, capped at :attr:`MAX_BACKOFF_SECONDS`.
+        check_same_thread: forwarded to :func:`sqlite3.connect`; the
+            parallel path creates worker backends with ``False`` so a
+            pool thread may drive a connection built on the main thread
+            (each worker connection is still used by one thread at a
+            time).
     """
 
     MAX_BACKOFF_SECONDS = 0.25
@@ -93,8 +100,18 @@ class SQLiteBackend:
         path: str = ":memory:",
         max_retries: int = 3,
         retry_backoff: float = 0.05,
+        check_same_thread: bool = True,
     ):
-        self.connection = sqlite3.connect(path)
+        self.connection = sqlite3.connect(
+            path, check_same_thread=check_same_thread
+        )
+        # The partition UDF backing parallel execution: partitioned
+        # SELECTs restrict each branch with repro_partition(col) % N = i.
+        # Same hash as the in-memory engine (CRC-32 of repr) so plans
+        # mean the same thing on every backend and in every process.
+        self.connection.create_function(
+            "repro_partition", 1, stable_hash, deterministic=True
+        )
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         #: Injectable for tests; production uses time.sleep.
@@ -151,15 +168,31 @@ class SQLiteBackend:
         flock: QueryFlock,
         guard: GuardLike = None,
         order_strategy: str = "greedy",
+        parallel=None,
     ) -> Relation:
-        """The naive one-statement evaluation (the Fig. 1 path)."""
+        """The naive one-statement evaluation (the Fig. 1 path).
+
+        ``parallel`` (a :class:`~repro.engine.parallel.ParallelExecutor`)
+        fans the statement out over per-worker connections, each running
+        one hash partition of the plan; a worker failure degrades back
+        to the serial statement and records the downgrade.
+        """
         db = self._require_loaded()
+        guard = as_guard(guard)
         step_plan = lower_filter_step(
             db, flock, single_step_plan(flock).final_step,
             order_strategy=order_strategy,
         )
+        if parallel is not None and parallel.jobs > 1:
+            rows = self._parallel_step_rows(
+                step_plan, column_source(db, {}), parallel, guard
+            )
+            if rows is not None:
+                if guard is not None:
+                    guard.check_answer(len(rows))
+                return Relation("flock", flock.parameter_columns, rows)
         sql = render_step(step_plan, column_source(db, {})) + ";"
-        rows = self._run_script(sql, guard=as_guard(guard))
+        rows = self._run_script(sql, guard=guard)
         return Relation("flock", flock.parameter_columns, rows)
 
     def evaluate_flock_with_aggregates(
@@ -228,15 +261,29 @@ class SQLiteBackend:
         plan: QueryPlan,
         guard: GuardLike = None,
         order_strategy: str = "greedy",
+        parallel=None,
     ) -> Relation:
         """The rewritten evaluation: one materialized table per FILTER
         step (the Section 1.3 path).  Step tables are dropped afterwards
-        so the backend can be reused."""
+        so the backend can be reused.
+
+        With ``parallel``, each step's SELECT runs partitioned across
+        per-worker connections; the merged survivors are inserted as the
+        step table into the main and every worker connection, so later
+        steps lower and render exactly as in the serial script.
+        """
+        guard = as_guard(guard)
+        if parallel is not None and parallel.jobs > 1:
+            result = self._execute_plan_parallel(
+                flock, plan, guard, order_strategy, parallel
+            )
+            if result is not None:
+                return result
         script = self._plan_script(flock, plan, order_strategy=order_strategy)
         step_names = tuple(s.result_name for s in plan.prefilter_steps)
         try:
             rows = self._run_script(
-                script, guard=as_guard(guard), step_names=step_names
+                script, guard=guard, step_names=step_names
             )
         finally:
             cursor = self.connection.cursor()
@@ -247,6 +294,210 @@ class SQLiteBackend:
                     pass
             self.connection.commit()
         return Relation("flock", flock.parameter_columns, rows)
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    #
+    # SQLite in-memory databases are per-connection, so parallelism
+    # means per-worker *backends*: each worker thread drives its own
+    # connection (the sqlite3 VM releases the GIL, so threads give real
+    # parallelism here) and runs the same step SQL restricted to one
+    # hash partition via the repro_partition UDF.  Partitioned results
+    # are exact for the same reason as in the memory engine — see
+    # repro.engine.partition — so the union of worker rows equals the
+    # serial statement's rows.
+
+    def _spawn_workers(self, count: int) -> list["SQLiteBackend"]:
+        db = self._require_loaded()
+        return [
+            SQLiteBackend(
+                db,
+                max_retries=self.max_retries,
+                retry_backoff=self.retry_backoff,
+                check_same_thread=False,
+            )
+            for _ in range(count)
+        ]
+
+    def _parallel_step_rows(
+        self,
+        step_plan,
+        columns_of,
+        parallel,
+        guard: ExecutionGuard | None,
+        workers: list["SQLiteBackend"] | None = None,
+    ) -> set[tuple] | None:
+        """Run one step plan partitioned across worker connections.
+
+        Returns the merged row set, or ``None`` when the step has no
+        partition column or a worker failed (failure is recorded as a
+        downgrade on ``parallel``; the caller's serial path takes over).
+        The shared ``guard`` is enforced inside every worker's VM via
+        its progress handler, so budgets and cancellation propagate.
+        """
+        plan = partition_step(step_plan, parallel.jobs, db=None)
+        if plan is None:
+            return None
+        parts = plan.partition.parts
+        statements = [
+            render_step(
+                step_plan,
+                columns_of,
+                partition=(plan.partition.column, parts, index),
+            ) + ";"
+            for index in range(parts)
+        ]
+
+        def run_partition(worker: "SQLiteBackend", sql: str) -> set[tuple]:
+            trip("parallel.worker")
+            return worker._run_script(sql, guard=guard)
+
+        own_workers = workers is None
+        try:
+            if own_workers:
+                workers = self._spawn_workers(parts)
+            with ThreadPoolExecutor(max_workers=parallel.jobs) as pool:
+                futures = [
+                    pool.submit(run_partition, worker, sql)
+                    for worker, sql in zip(workers, statements)
+                ]
+                rows: set[tuple] = set()
+                for future in futures:
+                    rows |= future.result()
+        except ExecutionAborted:
+            raise
+        except (Exception, WorkerKill) as error:
+            detail = f"{type(error).__name__}: {error}".rstrip(": ")
+            parallel.note_downgrade(
+                f"SQL worker failure ({detail}); step "
+                f"{step_plan.result_name!r} re-ran serially"
+            )
+            return None
+        finally:
+            if own_workers and workers is not None:
+                for worker in workers:
+                    worker.close()
+        parallel.ran_parallel = True
+        parallel.last_mode = "thread"
+        return rows
+
+    def _execute_plan_parallel(
+        self,
+        flock: QueryFlock,
+        plan: QueryPlan,
+        guard: ExecutionGuard | None,
+        order_strategy: str,
+        parallel,
+    ) -> Relation | None:
+        """The rewrite script with every step's SELECT partitioned.
+
+        Lowering mirrors :meth:`_plan_script` exactly — same scratch
+        placeholders, same schemas — so join orders and rendered SQL
+        (minus the partition conjunct) are identical to the serial
+        script.  Merged step tables are created on the main connection
+        *and* every worker, keeping all catalogs in step.  Returns
+        ``None`` on worker failure (downgrade recorded) so the caller
+        reruns the serial script.
+        """
+        db = self._require_loaded()
+        scratch = db.scratch()
+        schemas: dict[str, list[str]] = {}
+        workers: list["SQLiteBackend"] = []
+        created: list[str] = []
+        final = plan.final_step
+        try:
+            workers = self._spawn_workers(parallel.jobs)
+            rows: set[tuple] = set()
+            for step in plan.steps:
+                started = time.perf_counter()
+                step_plan = lower_filter_step(
+                    scratch, flock, step, order_strategy=order_strategy
+                )
+                columns_of = column_source(db, schemas)
+                rows_or_none = self._parallel_step_rows(
+                    step_plan, columns_of, parallel, guard, workers=workers
+                )
+                if rows_or_none is None:
+                    # No partition column for this step (or its workers
+                    # failed): run it serially on the main connection —
+                    # worker catalogs stay in step via the table fan-out
+                    # below.
+                    sql = render_step(step_plan, columns_of) + ";"
+                    rows = self._run_script(sql, guard=guard)
+                else:
+                    rows = rows_or_none
+                if step is not final:
+                    safe_cols = [
+                        safe_column(c) for c in step_plan.root.columns
+                    ]
+                    self._create_step_table(
+                        step.result_name, safe_cols, rows, workers
+                    )
+                    created.append(step.result_name)
+                    schemas[step.result_name] = safe_cols
+                    scratch.add(
+                        Relation(
+                            step.result_name,
+                            tuple(str(p) for p in step.parameters),
+                        )
+                    )
+                if guard is not None:
+                    guard.note_step(
+                        name=step.result_name,
+                        description=f"parallel SQL x{parallel.jobs}",
+                        input_tuples=len(rows),
+                        output_assignments=len(rows),
+                        seconds=time.perf_counter() - started,
+                        filtered=True,
+                    )
+                    guard.checkpoint(rows=len(rows), node=step.result_name)
+            if guard is not None:
+                guard.check_answer(len(rows))
+            return Relation("flock", flock.parameter_columns, rows)
+        except ExecutionAborted:
+            raise
+        except (Exception, WorkerKill) as error:
+            detail = f"{type(error).__name__}: {error}".rstrip(": ")
+            parallel.note_downgrade(
+                f"SQL worker failure ({detail}); plan re-ran serially"
+            )
+            return None
+        finally:
+            for worker in workers:
+                worker.close()
+            cursor = self.connection.cursor()
+            for name in created:
+                try:
+                    cursor.execute(f"DROP TABLE IF EXISTS {name}")
+                except sqlite3.Error:  # cleanup must not mask the error
+                    pass
+            self.connection.commit()
+
+    def _create_step_table(
+        self,
+        name: str,
+        columns: list[str],
+        rows: set[tuple],
+        workers: list["SQLiteBackend"],
+    ) -> None:
+        """Materialize one merged step result as a table on the main
+        connection and every worker connection."""
+        ordered = sorted(rows, key=repr)
+        for backend in [self] + list(workers):
+            cursor = backend.connection.cursor()
+            backend._execute(cursor, f"DROP TABLE IF EXISTS {name}")
+            backend._execute(
+                cursor, f"CREATE TABLE {name} ({', '.join(columns)})"
+            )
+            placeholders = ", ".join("?" for _ in columns)
+            backend._execute(
+                cursor,
+                f"INSERT INTO {name} VALUES ({placeholders})",
+                parameters=ordered,
+                many=True,
+            )
+            backend.connection.commit()
 
     # ------------------------------------------------------------------
     # Cached-result persistence (for repro.session)

@@ -155,6 +155,29 @@ class ExecutionGuard:
             return None
         return max(0.0, self.deadline - time.monotonic())
 
+    def child_budget(self) -> Optional[ResourceBudget]:
+        """A budget for a worker subtask of this evaluation, or ``None``
+        when the guard is unbounded.
+
+        Process-pool workers cannot share this guard object (the trace
+        and cancellation token do not cross process boundaries), so the
+        parallel executor gives each worker a fresh budget carrying the
+        *remaining* wall-clock and the same row caps; the parent keeps
+        polling its own guard — cancellation included — while waiting.
+        """
+        seconds = self.remaining_seconds
+        if (
+            seconds is None
+            and self.budget.max_intermediate_rows is None
+            and self.budget.max_answer_rows is None
+        ):
+            return None
+        return ResourceBudget(
+            seconds=seconds,
+            max_intermediate_rows=self.budget.max_intermediate_rows,
+            max_answer_rows=self.budget.max_answer_rows,
+        )
+
     def record(self, step: "StepTrace") -> None:
         """Append one completed step to the partial trace."""
         self.trace.record(step)

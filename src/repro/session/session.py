@@ -220,6 +220,9 @@ class MiningSession:
             :meth:`mine` call that does not pass its own.
         backend: default execution backend per call (``"memory"`` /
             ``"sqlite"``).
+        parallelism: default worker count per call (``None`` defers to
+            the per-call argument / ``REPRO_JOBS`` environment
+            variable); see :func:`repro.flocks.mining.mine`.
         persist_path: SQLite file that exact cache entries are written
             through to and restored from, surviving the process.
         lint: default lint flag per call.
@@ -237,6 +240,7 @@ class MiningSession:
         backend: str = "memory",
         persist_path: str | None = None,
         lint: bool = True,
+        parallelism: int | None = None,
     ):
         self.db = db
         self.cache = cache if cache is not None else ResultCache(
@@ -246,6 +250,7 @@ class MiningSession:
         self.cancel = cancel
         self.backend = backend
         self.lint = lint
+        self.parallelism = parallelism
         self.queries = 0
         self._persist_backend = None
         self._persist_counter = 0
@@ -269,6 +274,7 @@ class MiningSession:
         cancel: CancellationToken | None = None,
         guard: GuardLike = None,
         backend: str | None = None,
+        parallelism: int | None = None,
     ):
         """Evaluate a flock with full cache participation; returns
         ``(relation, MiningReport)`` exactly like
@@ -289,6 +295,9 @@ class MiningSession:
             guard=guard,
             backend=self.backend if backend is None else backend,
             session=self,
+            parallelism=(
+                self.parallelism if parallelism is None else parallelism
+            ),
         )
 
     # ------------------------------------------------------------------

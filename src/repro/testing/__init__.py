@@ -5,6 +5,20 @@ harness the robustness suite uses to exercise degradation paths that
 would otherwise only fire under real resource pressure.
 """
 
-from .faults import FaultSpec, active_faults, inject, reset_faults, trip
+from .faults import (
+    FaultSpec,
+    WorkerKill,
+    active_faults,
+    inject,
+    reset_faults,
+    trip,
+)
 
-__all__ = ["FaultSpec", "active_faults", "inject", "reset_faults", "trip"]
+__all__ = [
+    "FaultSpec",
+    "WorkerKill",
+    "active_faults",
+    "inject",
+    "reset_faults",
+    "trip",
+]

@@ -14,7 +14,14 @@ Sites currently instrumented:
 ``optimizer.search``      per candidate plan scored in ``best_plan``
 ``dynamic.join``          per join in the dynamic evaluator
 ``sqlite.execute``        before every statement the SQLite backend executes
+``parallel.worker``       at the start of every parallel partition task
 ========================  ====================================================
+
+Arming ``parallel.worker`` with :class:`WorkerKill` simulates a hard
+worker death: a process-pool worker exits immediately (the parent sees
+``BrokenProcessPool``), a thread worker raises it straight through —
+either way the parallel executor must degrade to serial execution and
+record the downgrade.
 
 Usage::
 
@@ -37,6 +44,17 @@ from typing import Callable, Iterator, Union
 
 
 ErrorSource = Union[BaseException, type, Callable[[], BaseException]]
+
+
+class WorkerKill(BaseException):
+    """Injected at ``parallel.worker`` to simulate a killed worker.
+
+    Deliberately a ``BaseException``: real worker deaths (OOM kill,
+    segfault) are not ordinary exceptions, and the parallel executor's
+    crash handling must not depend on ``except Exception`` catching it.
+    In a process-pool worker the task handler turns it into an immediate
+    ``os._exit``, so the parent observes a genuinely broken pool.
+    """
 
 
 @dataclass

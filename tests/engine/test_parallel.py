@@ -1,0 +1,471 @@
+"""The morsel-driven parallel executor and its partitioning scheme.
+
+Covers the partitioning primitives (stable hashing, column choice, scan
+restriction), the Partition/Merge IR checks, the SQL rendering of
+partition predicates, bit-identical thread/process execution, guard
+propagation into workers, and the graceful degradation paths (worker
+death -> serial re-run, recorded as a mining downgrade).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import (
+    Merge,
+    ParallelExecutor,
+    Partition,
+    choose_partition_column,
+    partition_step,
+    resolve_jobs,
+    stable_hash,
+)
+from repro.engine.memory import MemoryEngine
+from repro.engine.parallel import merged_relation
+from repro.engine.partition import (
+    partition_index,
+    partition_rows,
+    restrict_to_partition,
+    step_cost_estimate,
+)
+from repro.engine.sqlgen import column_source, render_step
+from repro.analysis.schema import check_physical_plan
+from repro.errors import (
+    BudgetExceededError,
+    ExecutionCancelled,
+    PlanError,
+)
+from repro.flocks import QueryFlock, parse_filter
+from repro.flocks.executor import lower_filter_step
+from repro.flocks.mining import mine
+from repro.flocks.plans import single_step_plan
+from repro.guard import CancellationToken, ResourceBudget
+from repro.datalog import atom, comparison, rule
+from repro.relational.relation import Relation
+from repro.testing import faults
+from repro.testing.faults import WorkerKill
+from repro.workloads import article_database
+
+
+# ----------------------------------------------------------------------
+# Fixtures: a basket-pair flock over a corpus big enough to partition
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def word_db():
+    return article_database(
+        n_articles=60, vocabulary=900, words_per_article=30,
+        skew=0.8, seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def pair_flock():
+    query = rule(
+        "answer",
+        ["B"],
+        [atom("baskets", "B", "$1"), atom("baskets", "B", "$2"),
+         comparison("$1", "<", "$2")],
+    )
+    return QueryFlock(query, parse_filter("COUNT(answer.B) >= 4"))
+
+
+@pytest.fixture(scope="module")
+def pair_plan(word_db, pair_flock):
+    step = single_step_plan(pair_flock, name="flock").final_step
+    return lower_filter_step(word_db, pair_flock, step)
+
+
+def serial_result(db, plan):
+    engine = MemoryEngine(db)
+    answer = engine.run_answer(plan)
+    return engine.run_survivors(answer, plan), len(answer)
+
+
+# ----------------------------------------------------------------------
+# Partitioning primitives
+# ----------------------------------------------------------------------
+
+
+class TestStableHash:
+    def test_process_independent(self):
+        """The documented CRC-32-of-repr contract (the builtin ``hash``
+        is seed-randomized per process and must not be used)."""
+        import zlib
+
+        for value in ("word01", 42, ("a", 1), None, 3.5):
+            assert stable_hash(value) == zlib.crc32(
+                repr(value).encode("utf-8")
+            )
+
+    def test_every_value_lands_in_range(self):
+        for value in ("x", 0, -1, 2.5, ("t", "u")):
+            for parts in (2, 3, 8):
+                assert 0 <= partition_index(value, parts) < parts
+
+
+class TestChoosePartitionColumn:
+    def test_group_key_bound_in_branch(self, pair_plan):
+        column = choose_partition_column(pair_plan)
+        assert column in pair_plan.group.group_by
+
+    def test_none_when_no_group_key_is_bound(self, pair_plan):
+        """A step whose group keys appear in no branch scan cannot be
+        partitioned (nothing guarantees complete, disjoint groups)."""
+        group = dataclasses.replace(
+            pair_plan.group, group_by=("NotAColumn",)
+        )
+        broken = dataclasses.replace(pair_plan, group=group)
+        assert choose_partition_column(broken) is None
+        assert partition_step(broken, 4) is None
+
+    def test_fewer_than_two_parts_refuses(self, pair_plan):
+        assert partition_step(pair_plan, 1) is None
+
+
+class TestRestriction:
+    def test_partitions_cover_and_are_disjoint(self):
+        relation = Relation(
+            "r", ("B", "I"),
+            {(f"b{i}", i % 7) for i in range(200)},
+        )
+        parts = 4
+        slices = [
+            restrict_to_partition(relation, "B", parts, index)
+            for index in range(parts)
+        ]
+        assert sum(len(s) for s in slices) == len(relation)
+        union = set()
+        for s in slices:
+            assert not (union & s.tuples)
+            union |= s.tuples
+        assert union == relation.tuples
+
+    def test_restriction_matches_hash(self):
+        relation = Relation("r", ("B",), {(f"b{i}",) for i in range(50)})
+        kept = restrict_to_partition(relation, "B", 3, 1)
+        assert all(
+            stable_hash(b) % 3 == 1 for (b,) in kept.tuples
+        )
+
+    def test_missing_column_is_identity(self):
+        relation = Relation("r", ("X",), {(1,), (2,)})
+        assert restrict_to_partition(relation, "B", 4, 0) is relation
+
+    def test_partition_rows_groups_stay_whole(self):
+        relation = Relation(
+            "r", ("B", "I"),
+            {(f"b{i % 10}", i) for i in range(100)},
+        )
+        slices = partition_rows(relation, "B", 4)
+        assert sum(len(s) for s in slices) == len(relation)
+        for value in {row[0] for row in relation.tuples}:
+            homes = [
+                i for i, s in enumerate(slices)
+                if any(row[0] == value for row in s.tuples)
+            ]
+            assert len(homes) == 1  # one group, one slice
+
+
+class TestMergedRelation:
+    def test_canonical_order_and_dedup(self):
+        merged = merged_relation(
+            "m", ("A",), [(2,), (1,), (2,), (3,)]
+        )
+        assert merged.tuples == {(1,), (2,), (3,)}
+        # canonical column arrays: repr-sorted, duplicates collapsed
+        assert merged.columns_data()[0] == [1, 2, 3]
+
+    def test_empty(self):
+        merged = merged_relation("m", ("A", "B"), [])
+        assert len(merged) == 0
+        assert merged.columns == ("A", "B")
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(2) == 2
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_garbage_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs() == 1
+
+    def test_floor_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs() == 1
+
+
+# ----------------------------------------------------------------------
+# The Partition/Merge IR under the schema checker
+# ----------------------------------------------------------------------
+
+
+class TestSchemaChecker:
+    def test_accepts_every_partitioned_plan(self, word_db, pair_plan):
+        plan = partition_step(pair_plan, 4, db=word_db)
+        assert plan is not None
+        report = check_physical_plan(plan, db=word_db)
+        assert report.ok, [str(d) for d in report.errors]
+
+    def test_rejects_nonpositive_parts(self, pair_plan):
+        plan = partition_step(pair_plan, 4)
+        bad = dataclasses.replace(
+            plan, partition=Partition(column=plan.partition.column, parts=0)
+        )
+        report = check_physical_plan(bad)
+        assert "ir-partition-parts" in {d.code for d in report.errors}
+
+    def test_rejects_non_group_key_column(self, pair_plan):
+        plan = partition_step(pair_plan, 4)
+        bad = dataclasses.replace(
+            plan, partition=Partition(column="NotAKey", parts=4)
+        )
+        report = check_physical_plan(bad)
+        assert "ir-partition-column" in {d.code for d in report.errors}
+
+    def test_rejects_merge_schema_mismatch(self, pair_plan):
+        plan = partition_step(pair_plan, 4)
+        bad = dataclasses.replace(plan, merge=Merge(columns=("wrong",)))
+        report = check_physical_plan(bad)
+        assert "ir-merge-columns" in {d.code for d in report.errors}
+
+    def test_partition_step_verifies_under_ambient_switch(self, pair_plan):
+        """partition_step itself schema-checks when verification is on
+        (the autouse fixture arms it), so a malformed wrap cannot even
+        be built."""
+        group = dataclasses.replace(pair_plan.group, group_by=())
+        headless = dataclasses.replace(pair_plan, group=group)
+        with pytest.raises(PlanError):
+            partition_step(headless, 4, column="$1")
+
+
+# ----------------------------------------------------------------------
+# SQL rendering of the partition predicate
+# ----------------------------------------------------------------------
+
+
+class TestPartitionSQL:
+    def test_predicate_in_where(self, word_db, pair_plan):
+        sql = render_step(
+            pair_plan, column_source(word_db, {}),
+            partition=("B", 8, 3),
+        )
+        assert "repro_partition(" in sql
+        assert "% 8 = 3" in sql
+
+    def test_unbound_column_is_a_plan_error(self, word_db, pair_plan):
+        with pytest.raises(PlanError):
+            render_step(
+                pair_plan, column_source(word_db, {}),
+                partition=("Nowhere", 8, 3),
+            )
+
+    def test_sqlite_partitions_union_to_serial(self, word_db, pair_flock):
+        from repro.flocks.sqlbackend import SQLiteBackend
+
+        with SQLiteBackend(word_db) as backend:
+            serial = backend.evaluate_flock(pair_flock)
+            parallel = ParallelExecutor(4, word_db)
+            merged = backend.evaluate_flock(pair_flock, parallel=parallel)
+        assert merged.tuples == serial.tuples
+        assert parallel.ran_parallel
+
+
+# ----------------------------------------------------------------------
+# The executor: modes, determinism, guards
+# ----------------------------------------------------------------------
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_bit_identical_to_serial(self, word_db, pair_plan, mode):
+        expected, expected_answer = serial_result(word_db, pair_plan)
+        with ParallelExecutor(2, word_db, mode=mode) as executor:
+            outcome = executor.run_step(pair_plan)
+        assert outcome.mode == mode
+        assert outcome.answer_tuples == expected_answer
+        assert outcome.result.tuples == expected.tuples
+        # canonical merge: the column *arrays* match too
+        assert outcome.result.columns_data() == expected.columns_data()
+        assert sum(outcome.partition_sizes) == expected_answer
+
+    def test_aggregate_path_matches_group_filter(self, word_db, pair_plan):
+        engine = MemoryEngine(word_db)
+        answer = engine.run_answer(pair_plan)
+        expected = engine.run_group_filter(answer, pair_plan)
+        with ParallelExecutor(2, word_db, mode="thread") as executor:
+            outcome = executor.run_step(pair_plan, need_aggregates=True)
+        assert outcome.passed is not None
+        assert outcome.passed.columns == expected.columns
+        assert outcome.passed.tuples == expected.tuples
+
+    def test_jobs_one_runs_serial(self, word_db, pair_plan):
+        with ParallelExecutor(1, word_db) as executor:
+            outcome = executor.run_step(pair_plan)
+        assert outcome.mode == "serial"
+        assert not executor.ran_parallel
+
+    def test_auto_picks_thread_for_small_estimates(self, word_db, pair_plan):
+        assert step_cost_estimate(pair_plan) < 10**12
+        with ParallelExecutor(
+            2, word_db, mode="auto", process_threshold=10**12
+        ) as executor:
+            outcome = executor.run_step(pair_plan)
+        assert outcome.mode == "thread"
+
+    def test_cancellation_aborts_the_wait_loop(self, word_db, pair_plan):
+        token = CancellationToken()
+        token.cancel()
+        guard = ResourceBudget(seconds=None).start(cancel=token)
+        with ParallelExecutor(
+            2, word_db, guard=guard, mode="thread"
+        ) as executor:
+            with pytest.raises(ExecutionCancelled):
+                executor.run_step(pair_plan)
+
+    def test_budget_propagates_into_process_workers(self, word_db, pair_plan):
+        guard = ResourceBudget(max_intermediate_rows=5).start()
+        with ParallelExecutor(
+            2, word_db, guard=guard, mode="process"
+        ) as executor:
+            with pytest.raises(BudgetExceededError) as exc:
+                executor.run_step(pair_plan)
+        assert exc.value.limit == "intermediate_rows"
+
+
+# ----------------------------------------------------------------------
+# Degradation: killed workers fall back to serial, visibly
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def clean_faults():
+    faults.reset_faults()
+    yield
+    faults.reset_faults()
+
+
+@pytest.mark.faults
+class TestWorkerDeath:
+    def test_thread_worker_kill_degrades_to_serial(
+        self, clean_faults, word_db, pair_plan
+    ):
+        expected, _ = serial_result(word_db, pair_plan)
+        with ParallelExecutor(2, word_db, mode="thread") as executor:
+            with faults.inject("parallel.worker", WorkerKill, times=1):
+                outcome = executor.run_step(pair_plan)
+        assert outcome.mode == "serial"
+        assert outcome.result.tuples == expected.tuples
+        assert executor.downgrades
+        assert "re-ran serially" in executor.downgrades[0]
+
+    def test_process_worker_death_breaks_pool_then_degrades(
+        self, clean_faults, word_db, pair_plan
+    ):
+        """WorkerKill in a pool process is a real ``os._exit`` — the
+        parent sees BrokenProcessPool, rebuilds later, and the step
+        re-runs serially with the downgrade recorded."""
+        expected, _ = serial_result(word_db, pair_plan)
+        with ParallelExecutor(2, word_db, mode="process") as executor:
+            with faults.inject("parallel.worker", WorkerKill):
+                outcome = executor.run_step(pair_plan)
+            assert outcome.mode == "serial"
+            assert outcome.result.tuples == expected.tuples
+            assert any(
+                "BrokenProcessPool" in reason
+                for reason in executor.downgrades
+            )
+            # the pool was torn down; the next step transparently
+            # rebuilds it and runs parallel again
+            healed = executor.run_step(pair_plan)
+        assert healed.mode == "process"
+        assert healed.result.tuples == expected.tuples
+
+    def test_mine_records_parallelism_downgrade(
+        self, clean_faults, word_db, pair_flock
+    ):
+        serial, _ = mine(
+            word_db, pair_flock, strategy="naive", parallelism=1
+        )
+        with faults.inject("parallel.worker", WorkerKill, times=1):
+            relation, report = mine(
+                word_db, pair_flock, strategy="naive", parallelism=2
+            )
+        assert relation.tuples == serial.tuples
+        kinds = {d.kind for d in report.downgrades}
+        assert "parallelism" in kinds
+        assert report.parallelism_requested == 2
+
+    def test_sqlite_worker_failure_degrades(
+        self, clean_faults, word_db, pair_flock
+    ):
+        from repro.flocks.sqlbackend import SQLiteBackend
+
+        with SQLiteBackend(word_db) as backend:
+            serial = backend.evaluate_flock(pair_flock)
+            parallel = ParallelExecutor(2, word_db)
+            with faults.inject("parallel.worker", WorkerKill, times=1):
+                merged = backend.evaluate_flock(
+                    pair_flock, parallel=parallel
+                )
+        assert merged.tuples == serial.tuples
+        assert parallel.downgrades
+        assert "SQL worker failure" in parallel.downgrades[0]
+
+
+# ----------------------------------------------------------------------
+# mine() end to end, every strategy, both backends
+# ----------------------------------------------------------------------
+
+
+STRATEGIES = ["naive", "optimized", "dynamic", "stats"]
+
+
+class TestMineParallel:
+    @pytest.fixture(scope="class")
+    def expected(self, word_db, pair_flock):
+        relation, _ = mine(
+            word_db, pair_flock, strategy="naive", parallelism=1
+        )
+        return relation
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_matches_serial(
+        self, word_db, pair_flock, expected, strategy, backend
+    ):
+        relation, report = mine(
+            word_db, pair_flock, strategy=strategy, backend=backend,
+            parallelism=3,
+        )
+        assert relation.tuples == expected.tuples
+        assert report.parallelism_requested == 3
+
+    def test_report_mentions_parallelism(self, word_db, pair_flock):
+        _, report = mine(
+            word_db, pair_flock, strategy="naive", parallelism=2
+        )
+        assert report.parallelism_used == 2
+        assert "parallelism: 2 jobs" in str(report)
+
+    def test_session_passthrough_and_override(self, word_db, pair_flock):
+        from repro.session import MiningSession
+
+        with MiningSession(word_db, parallelism=2) as session:
+            relation, report = session.mine(pair_flock)
+            assert report.parallelism_requested == 2
+            again, report2 = session.mine(pair_flock, parallelism=1)
+        assert again.tuples == relation.tuples
+        assert report2.parallelism_requested == 1
+
+    def test_repro_jobs_env(self, word_db, pair_flock, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        _, report = mine(word_db, pair_flock, strategy="naive")
+        assert report.parallelism_requested == 2

@@ -1,0 +1,129 @@
+"""Differential property tests: parallel execution vs serial.
+
+The parallel executor's contract is *bit-identical* results for any
+worker count — same survivor rows, same canonical column arrays, same
+per-conjunct aggregates — across strategies, backends and join orders.
+Hypothesis drives random small catalogs through the full mine()
+pipeline at jobs in {1, 2, 4} and compares against the serial run.
+
+Partitioning on tiny inputs exercises the edge cases that a benchmark
+workload never hits: empty partitions, single-group relations, steps
+whose partition column disappears after projection.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import atom, comparison, negated, rule
+from repro.engine import ParallelExecutor
+from repro.flocks import QueryFlock, parse_filter
+from repro.flocks.executor import lower_filter_step
+from repro.flocks.mining import mine
+from repro.flocks.plans import single_step_plan
+from repro.engine.memory import MemoryEngine
+from repro.relational import database_from_dict
+
+values = st.integers(min_value=0, max_value=4)
+
+r_rows = st.sets(st.tuples(values, values), max_size=20)
+s_rows = st.sets(st.tuples(values, values), max_size=12)
+bad_rows = st.sets(st.tuples(values), max_size=4)
+thresholds = st.integers(min_value=1, max_value=4)
+
+
+def make_db(r, s, bad):
+    return database_from_dict(
+        {
+            "r": (("B", "I"), r),
+            "s": (("I", "C"), s),
+            "bad": (("B",), bad),
+        }
+    )
+
+
+def pair_flock(threshold):
+    query = rule(
+        "answer",
+        ["B"],
+        [atom("r", "B", "$1"), atom("r", "B", "$2"),
+         comparison("$1", "<", "$2")],
+    )
+    return QueryFlock(query, parse_filter(f"COUNT(answer.B) >= {threshold}"))
+
+
+def negation_flock(threshold):
+    query = rule(
+        "answer", ["B"], [atom("r", "B", "$1"), negated("bad", "B")]
+    )
+    return QueryFlock(query, parse_filter(f"COUNT(answer.B) >= {threshold}"))
+
+
+def join_flock(threshold):
+    query = rule(
+        "answer", ["B"], [atom("r", "B", "$1"), atom("s", "$1", "C")]
+    )
+    return QueryFlock(query, parse_filter(f"COUNT(answer.B) >= {threshold}"))
+
+
+FLOCK_MAKERS = [pair_flock, join_flock, negation_flock]
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+@pytest.mark.parametrize("join_order", ["greedy", "selinger"])
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+@given(r=r_rows, s=s_rows, bad=bad_rows, threshold=thresholds)
+@settings(max_examples=10, deadline=None)
+def test_mine_identical_across_worker_counts(
+    jobs, join_order, backend, r, s, bad, threshold
+):
+    db = make_db(r, s, bad)
+    flock = pair_flock(threshold)
+    serial, _ = mine(
+        db, flock, strategy="naive", backend=backend,
+        join_order=join_order, parallelism=1,
+    )
+    parallel, report = mine(
+        db, flock, strategy="naive", backend=backend,
+        join_order=join_order, parallelism=jobs,
+    )
+    assert parallel.tuples == serial.tuples
+    assert parallel.columns == serial.columns
+    assert report.parallelism_requested == jobs
+    assert not [d for d in report.downgrades if d.kind == "parallelism"]
+
+
+@pytest.mark.parametrize("make_flock", FLOCK_MAKERS)
+@given(r=r_rows, s=s_rows, bad=bad_rows, threshold=thresholds)
+@settings(max_examples=15, deadline=None)
+def test_step_output_bit_identical(make_flock, r, s, bad, threshold):
+    """The executor level: merged survivor *arrays* equal serial ones
+    (not just the row sets) — the canonical-merge contract."""
+    db = make_db(r, s, bad)
+    flock = make_flock(threshold)
+    step = single_step_plan(flock, name="flock").final_step
+    plan = lower_filter_step(db, flock, step)
+
+    engine = MemoryEngine(db)
+    answer = engine.run_answer(plan)
+    expected = engine.run_survivors(answer, plan)
+    expected_passed = engine.run_group_filter(answer, plan)
+
+    with ParallelExecutor(2, db, mode="thread") as executor:
+        outcome = executor.run_step(plan)
+        with_aggs = executor.run_step(plan, need_aggregates=True)
+
+    assert outcome.result.columns == expected.columns
+    assert outcome.result.columns_data() == expected.columns_data()
+    assert outcome.answer_tuples == len(answer)
+    assert with_aggs.passed.tuples == expected_passed.tuples
+
+
+@pytest.mark.parametrize("strategy", ["optimized", "dynamic", "stats"])
+@given(r=r_rows, threshold=thresholds)
+@settings(max_examples=8, deadline=None)
+def test_strategies_agree_under_parallelism(strategy, r, threshold):
+    db = make_db(r, set(), set())
+    flock = pair_flock(threshold)
+    serial, _ = mine(db, flock, strategy=strategy, parallelism=1)
+    parallel, _ = mine(db, flock, strategy=strategy, parallelism=4)
+    assert parallel.tuples == serial.tuples

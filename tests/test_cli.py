@@ -63,6 +63,35 @@ class TestRun:
         err = capsys.readouterr().err
         assert "trace" in err
 
+    def test_jobs_matches_serial(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        outputs = []
+        for jobs in ("1", "2"):
+            code = main(["run", str(flock_file), str(data_dir),
+                         "--strategy", "naive", "--jobs", jobs,
+                         "--limit", "1000"])
+            assert code == 0
+            out = capsys.readouterr().out
+            rows = frozenset(
+                line for line in out.splitlines()
+                if line and not line.startswith(("#", "$"))
+            )
+            outputs.append(rows)
+        assert outputs[0] == outputs[1]
+
+    def test_jobs_reported_in_trace(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--strategy", "naive", "--jobs", "2", "--verbose"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "parallelism: 2 jobs" in err
+
+    def test_jobs_rejects_zero(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        with pytest.raises(SystemExit):
+            main(["run", str(flock_file), str(data_dir), "--jobs", "0"])
+
 
 class TestPlan:
     def test_plan_renders_filter_steps(self, workspace, capsys):
