@@ -17,10 +17,12 @@ stress:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Parallel-scaling sweep: writes BENCH_parallel.json
-# (workload x jobs x wall-ms x survivors).
+# Machine-readable sweeps: writes BENCH_parallel.json (workload x jobs
+# x wall-ms x survivors) and BENCH_recovery.json (checkpoint overhead
+# and warm-resume vs cold re-mine).
 bench-json:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py \
+		benchmarks/bench_recovery_overhead.py \
 		--benchmark-only -s
 
 examples:

@@ -28,6 +28,9 @@ Subpackages:
 * :mod:`repro.relational` — the in-memory relational engine;
 * :mod:`repro.flocks` — flocks, filters, plans, optimizers, executors,
   SQL translation, the classic a-priori baseline;
+* :mod:`repro.recovery` — fault tolerance: retry policies with
+  guard-clamped backoff, and step-level checkpoint–resume for
+  long-running mining runs;
 * :mod:`repro.session` — interactive mining sessions with a
   containment-aware result cache (re-ask at a stricter threshold and
   the answer comes from the cache, no joins);
@@ -41,9 +44,11 @@ from .errors import (
     ExecutionAborted,
     ExecutionCancelled,
     FilterError,
+    HungWorkerError,
     ParseError,
     PlanError,
     ReproError,
+    ResumeError,
     SafetyError,
     SchemaError,
 )
@@ -51,6 +56,12 @@ from .guard import (
     CancellationToken,
     ExecutionGuard,
     ResourceBudget,
+)
+from .recovery import (
+    CheckpointStore,
+    RetryPolicy,
+    RetrySupervisor,
+    TransientFault,
 )
 from .analysis import (
     Diagnostic,
@@ -113,6 +124,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BudgetExceededError",
     "CancellationToken",
+    "CheckpointStore",
     "ConjunctiveQuery",
     "Database",
     "Diagnostic",
@@ -126,6 +138,7 @@ __all__ = [
     "FilterStep",
     "FlockOptimizer",
     "FlockResult",
+    "HungWorkerError",
     "MiningSession",
     "Parameter",
     "ParseError",
@@ -136,10 +149,14 @@ __all__ = [
     "ReproError",
     "ResourceBudget",
     "ResultCache",
+    "ResumeError",
+    "RetryPolicy",
+    "RetrySupervisor",
     "SafetyError",
     "SchemaError",
     "SessionStats",
     "Severity",
+    "TransientFault",
     "UnionQuery",
     "Variable",
     "apriori_itemsets",

@@ -120,15 +120,40 @@ def cmd_run(args: argparse.Namespace) -> int:
     budget = _run_budget(args)
     guard = budget.start() if budget is not None else None
     started = time.perf_counter()
-    if args.strategy == "auto" or args.backend == "sqlite" or args.jobs > 1:
+    checkpointed = args.checkpoint is not None
+    if args.resume is not None and not checkpointed:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if (
+        args.strategy == "auto" or args.backend == "sqlite"
+        or args.jobs > 1 or checkpointed
+    ):
+        from .errors import ResumeError
         from .flocks.mining import mine
 
-        relation, report = mine(
-            db, flock, strategy=args.strategy,
-            budget=budget, backend=args.backend,
-            join_order=args.join_order,
-            parallelism=args.jobs,
-        )
+        try:
+            relation, report = mine(
+                db, flock, strategy=args.strategy,
+                budget=budget, backend=args.backend,
+                join_order=args.join_order,
+                parallelism=args.jobs,
+                checkpoint=args.checkpoint,
+                run_id=args.run_id,
+                resume=args.resume,
+            )
+        except (ResumeError, ValueError) as error:
+            if not checkpointed:
+                raise
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if report.run_id is not None:
+            print(
+                f"# checkpoint run {report.run_id}: "
+                f"{report.steps_resumed} step(s) resumed, "
+                f"{report.steps_checkpointed} checkpointed "
+                f"-> {args.checkpoint}",
+                file=sys.stderr,
+            )
         trace_text = str(report)
     elif args.strategy == "naive":
         relation = evaluate_flock(
@@ -406,6 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
                      default="greedy", dest="join_order",
                      help="join ordering plans are lowered with: greedy "
                      "(default) or the Selinger-style DP orderer")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="persist each completed FILTER step to this "
+                          "SQLite file so an interrupted run can be "
+                          "resumed (requires a plan-based strategy)")
+    run.add_argument("--run-id", default=None, metavar="ID",
+                     help="explicit run id for --checkpoint "
+                          "(default: generated)")
+    run.add_argument("--resume", default=None, metavar="RUN_ID",
+                     help="resume the checkpointed run RUN_ID from "
+                          "--checkpoint, re-executing only unfinished "
+                          "steps")
     run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                      help="worker count for partitioned parallel "
                      "execution (1 = serial; REPRO_JOBS also honoured)")

@@ -23,12 +23,26 @@ fresh guard built from :meth:`~repro.guard.ExecutionGuard.child_budget`
 — the *remaining* wall-clock plus the row caps — while the parent polls
 its own guard (including cancellation) between future completions.
 
-Failure policy: a worker abort on budget/cancellation re-raises in the
-parent as the matching :class:`~repro.errors.ExecutionAborted` subclass.
-Any other worker failure — including a hard worker death
-(``BrokenProcessPool``) — degrades gracefully: the step re-runs
-serially and the downgrade is recorded for the
+Failure policy (the parallel rungs of the recovery ladder): a worker
+abort on budget/cancellation re-raises in the parent as the matching
+:class:`~repro.errors.ExecutionAborted` subclass.  Any other worker
+failure degrades gracefully, *narrowly first*: when only some morsels
+of a step failed, just those partitions re-run serially in the parent
+(the survivors' outputs are kept); when every morsel failed — or the
+pool itself broke (``BrokenProcessPool``) — the whole step re-runs
+serially.  Either way the downgrade is recorded for the
 :class:`~repro.flocks.mining.MiningReport`.
+
+Hung workers: when the parent guard has a wall-clock deadline (or an
+explicit ``watchdog`` interval is configured), a **watchdog** bounds
+how long the parent waits on a step's morsels — the allowance is a
+fraction of the guard's *remaining* budget, so a stalled worker can
+never silently eat the whole deadline.  Overdue morsels are cancelled
+(abandoned, for tasks already running — neither pool kind can preempt
+them) and re-executed serially in the parent, recorded both as a
+watchdog event and a downgrade.  The ``parallel.hang`` fault site (an
+injected sleep via :func:`~repro.testing.faults.maybe_hang`) makes the
+stall deterministic in tests.
 
 Determinism: partition hashing is process-independent
 (:func:`~repro.engine.partition.stable_hash`) and merges are
@@ -51,11 +65,16 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
-from ..errors import BudgetExceededError, ExecutionAborted, ExecutionCancelled
+from ..errors import (
+    BudgetExceededError,
+    ExecutionAborted,
+    ExecutionCancelled,
+    HungWorkerError,
+)
 from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
 from ..relational.relation import Relation
-from ..testing.faults import WorkerKill, trip
+from ..testing.faults import WorkerKill, maybe_hang, trip
 from .ir import PartitionedStepPlan, StepPlan
 from .memory import MemoryEngine
 from .partition import (
@@ -75,6 +94,15 @@ MORSELS_PER_WORKER = 2
 #: Relations smaller than this are not worth partitioned group-filtering
 #: (the dynamic strategy's in-flight filters).
 MIN_PARTITION_ROWS = 2048
+
+#: Fraction of the guard's *remaining* wall-clock one step's morsels may
+#: consume before the watchdog declares them hung.  Half: a stalled step
+#: must leave enough budget for its serial salvage re-run.
+WATCHDOG_FRACTION = 0.5
+
+#: Smallest watchdog allowance — below this, normal pool latency would
+#: trip the watchdog on perfectly healthy morsels.
+WATCHDOG_FLOOR = 0.05
 
 
 def resolve_jobs(parallelism: Optional[int] = None) -> int:
@@ -178,6 +206,7 @@ def _process_partition(args: tuple) -> tuple:
     step, extras, column, parts, index, need_aggregates, budget = args
     try:
         trip("parallel.worker")
+        maybe_hang("parallel.hang")
         db = _WORKER_DB
         assert db is not None  # initializer ran before any task
         if extras:
@@ -209,6 +238,7 @@ def _thread_partition(
     """One partition task on the thread pool (shares the parent guard;
     aborts and injected kills propagate as exceptions)."""
     trip("parallel.worker")
+    maybe_hang("parallel.hang")
     count, columns, rows = _run_partition(
         db, step, column, parts, index, need_aggregates, guard
     )
@@ -231,6 +261,12 @@ class ParallelExecutor:
         guard: the parent evaluation's guard.
         mode: ``"auto"`` (estimate-driven), ``"process"`` or
             ``"thread"`` to force a pool kind.
+        watchdog: explicit per-step watchdog allowance in seconds.
+            ``None`` (the default) derives the allowance from the
+            guard's remaining wall-clock (``WATCHDOG_FRACTION`` of it,
+            floored at ``WATCHDOG_FLOOR``); with no guard deadline the
+            watchdog is off — an unbounded run has no budget a hung
+            worker could waste.
     """
 
     def __init__(
@@ -242,6 +278,7 @@ class ParallelExecutor:
         morsels_per_worker: int = MORSELS_PER_WORKER,
         process_threshold: float = PROCESS_ESTIMATE_THRESHOLD,
         min_partition_rows: int = MIN_PARTITION_ROWS,
+        watchdog: Optional[float] = None,
     ):
         if mode not in ("auto", "process", "thread"):
             raise ValueError(
@@ -255,9 +292,13 @@ class ParallelExecutor:
         self.morsels_per_worker = max(1, morsels_per_worker)
         self.process_threshold = process_threshold
         self.min_partition_rows = min_partition_rows
+        self.watchdog = watchdog
         #: Reasons this executor fell back to serial execution (worker
         #: crashes); ``mine()`` turns them into MiningReport downgrades.
         self.downgrades: list[str] = []
+        #: Watchdog firings (overdue morsels detected); ``mine()`` turns
+        #: them into ``kind="watchdog"`` downgrades.
+        self.watchdog_events: list[str] = []
         #: Whether at least one step actually ran partitioned.
         self.ran_parallel = False
         self.last_mode = "serial"
@@ -296,7 +337,10 @@ class ParallelExecutor:
 
         Falls back to serial execution (same engine code, same guard)
         when the step has no partition column, when ``jobs < 2``, or
-        when a worker dies — the last case is recorded as a downgrade.
+        when every morsel of the step failed or hung — the last cases
+        are recorded as downgrades.  When only *some* morsels fail or
+        hang, just those partitions re-run serially in the parent and
+        the healthy outputs are kept.
         """
         db = db if db is not None else self.db
         plan = partition_step(step, self.parts, db=db)
@@ -305,16 +349,20 @@ class ParallelExecutor:
         started = time.perf_counter()
         use_process = self._pick_process(step)
         try:
-            outputs = (
+            outcomes = (
                 self._run_process(plan, db, need_aggregates)
                 if use_process
                 else self._run_threads(plan, db, need_aggregates)
             )
+            outputs = self._resolve(plan, db, need_aggregates, outcomes)
         except ExecutionAborted:
             raise
         except (Exception, WorkerKill) as error:
-            if isinstance(error, BrokenProcessPool):
-                self.close()  # the pool is dead; later steps rebuild it
+            if isinstance(error, (BrokenProcessPool, HungWorkerError)):
+                # A broken pool is dead; a pool with every worker hung
+                # is as good as dead — abandon it, later steps rebuild.
+                if use_process:
+                    self.close()
             detail = f"{type(error).__name__}: {error}".rstrip(": ")
             self.note_downgrade(
                 f"worker failure ({detail}); step "
@@ -355,7 +403,7 @@ class ParallelExecutor:
 
     def _run_process(
         self, plan: PartitionedStepPlan, db: Database, need_aggregates: bool
-    ) -> list[tuple]:
+    ) -> list[tuple[str, Any]]:
         pool = self._ensure_pool()
         extras = self._extra_relations(db)
         budget = self.guard.child_budget() if self.guard is not None else None
@@ -370,30 +418,23 @@ class ParallelExecutor:
             )
             for index in range(parts)
         ]
-        payloads = self._collect(futures)
-        outputs: list[tuple] = []
-        for payload in payloads:
-            tag = payload[0]
-            if tag == "ok":
-                outputs.append(payload[1:])
-            elif tag == "cancelled":
-                raise ExecutionCancelled(
-                    payload[1], trace=self._trace(), node="parallel worker"
-                )
-            elif tag == "budget":
-                raise BudgetExceededError(
-                    payload[1],
-                    trace=self._trace(),
-                    node="parallel worker",
-                    limit=payload[2],
-                )
-        return outputs
+        outcomes = self._collect(futures)
+        if any(status == "hung" for status, _ in outcomes):
+            # A hung process worker keeps squatting on its pool slot
+            # even after we abandon its future; rebuild the pool so the
+            # remaining steps get their full worker count back.
+            self.close()
+        return outcomes
 
     def _run_threads(
         self, plan: PartitionedStepPlan, db: Database, need_aggregates: bool
-    ) -> list[tuple]:
+    ) -> list[tuple[str, Any]]:
         parts = plan.partition.parts
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+        # Not a ``with`` block: the context manager's shutdown waits for
+        # every task, which would stall the parent behind the very hung
+        # worker the watchdog just abandoned.
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
+        try:
             futures = [
                 pool.submit(
                     _thread_partition,
@@ -402,27 +443,170 @@ class ParallelExecutor:
                 )
                 for index in range(parts)
             ]
-            payloads = self._collect(futures)
-        return [payload[1:] for payload in payloads]
+            return self._collect(futures)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
-    def _collect(self, futures: list[Future]) -> list:
-        """Await every future (submit order), polling the parent guard —
-        cancellation and the deadline stay live while workers run."""
+    def _morsel_deadline(self) -> Optional[float]:
+        """How long this step's morsels may run before the watchdog
+        declares the laggards hung; ``None`` disables the watchdog."""
+        if self.watchdog is not None:
+            return max(WATCHDOG_FLOOR, self.watchdog)
+        if self.guard is None:
+            return None
+        remaining = self.guard.remaining_seconds
+        if remaining is None:
+            return None
+        return max(WATCHDOG_FLOOR, remaining * WATCHDOG_FRACTION)
+
+    def _collect(
+        self, futures: list[Future]
+    ) -> list[tuple[str, Any]]:
+        """Await every future, polling the parent guard — cancellation
+        and the deadline stay live while workers run.
+
+        Returns one outcome per future, in submit order: ``("ok",
+        payload)``, ``("failed", error)``, or ``("hung", None)`` when
+        the watchdog gave up on a morsel that had not finished within
+        the step's allowance.  Guard aborts raise immediately.
+        """
+        allowance = self._morsel_deadline()
+        started = time.monotonic()
         pending = set(futures)
         try:
             while pending:
                 done, pending = wait(
                     pending,
-                    timeout=0.05 if self.guard is not None else None,
+                    timeout=(
+                        0.05
+                        if self.guard is not None or allowance is not None
+                        else None
+                    ),
                     return_when=FIRST_COMPLETED,
                 )
                 if self.guard is not None:
                     self.guard.checkpoint(node="parallel wait")
-            return [future.result() for future in futures]
+                if (
+                    allowance is not None
+                    and pending
+                    and time.monotonic() - started >= allowance
+                ):
+                    for future in pending:
+                        future.cancel()
+                    break
         except BaseException:
             for future in futures:
                 future.cancel()
             raise
+        outcomes: list[tuple[str, Any]] = []
+        for future in futures:
+            if future in pending or future.cancelled():
+                outcomes.append(("hung", None))
+                continue
+            error = future.exception()
+            if error is not None:
+                outcomes.append(("failed", error))
+            else:
+                outcomes.append(("ok", future.result()))
+        return outcomes
+
+    def _resolve(
+        self,
+        plan: PartitionedStepPlan,
+        db: Database,
+        need_aggregates: bool,
+        outcomes: list[tuple[str, Any]],
+    ) -> list[tuple]:
+        """Turn per-morsel outcomes into partition outputs, salvaging
+        failed/hung morsels by re-running just them serially.
+
+        Worker-side guard aborts re-raise as the matching
+        :class:`~repro.errors.ExecutionAborted` subclass.  When *every*
+        morsel misbehaved there is nothing to salvage around — the
+        first error (or a :class:`~repro.errors.HungWorkerError` when
+        all hung) propagates so ``run_step`` takes the full-serial
+        rung instead.
+        """
+        step = plan.step
+        outputs: list[Optional[tuple]] = [None] * len(outcomes)
+        salvage: list[tuple[int, str, Optional[BaseException]]] = []
+        hung = 0
+        for index, (status, payload) in enumerate(outcomes):
+            if status == "ok":
+                tag = payload[0]
+                if tag == "cancelled":
+                    raise ExecutionCancelled(
+                        payload[1], trace=self._trace(),
+                        node="parallel worker",
+                    )
+                if tag == "budget":
+                    raise BudgetExceededError(
+                        payload[1],
+                        trace=self._trace(),
+                        node="parallel worker",
+                        limit=payload[2],
+                    )
+                outputs[index] = tuple(payload[1:])
+            else:
+                if status == "failed" and isinstance(
+                    payload, ExecutionAborted
+                ):
+                    # A thread worker shares the parent guard; its abort
+                    # is the *evaluation's* abort, not a worker fault.
+                    raise payload
+                if status == "hung":
+                    hung += 1
+                salvage.append((index, status, payload))
+        if hung:
+            allowance = self._morsel_deadline()
+            detail = (
+                f" after {allowance:.2f}s allowance"
+                if allowance is not None
+                else ""
+            )
+            self.watchdog_events.append(
+                f"watchdog: {hung} of {len(outcomes)} morsel(s) of step "
+                f"{step.result_name!r} overdue{detail}; "
+                "cancelled and re-run serially"
+            )
+        if not salvage:
+            return [output for output in outputs if output is not None]
+        if len(salvage) == len(outcomes):
+            if hung == len(outcomes):
+                raise HungWorkerError(
+                    f"all {hung} morsel(s) of step {step.result_name!r} "
+                    "hung past the watchdog allowance",
+                    pending=hung,
+                )
+            first_error = next(
+                error for _idx, status, error in salvage
+                if status == "failed" and error is not None
+            )
+            raise first_error
+        for index, _status, _error in salvage:
+            count, columns, rows = _run_partition(
+                db,
+                step,
+                plan.partition.column,
+                plan.partition.parts,
+                index,
+                need_aggregates,
+                self.guard,
+            )
+            outputs[index] = (count, columns, rows)
+        details = sorted(
+            {
+                "hung" if status == "hung"
+                else f"{type(error).__name__}: {error}".rstrip(": ")
+                for _idx, status, error in salvage
+            }
+        )
+        self.note_downgrade(
+            f"{len(salvage)} of {len(outcomes)} partition(s) of step "
+            f"{step.result_name!r} re-ran serially "
+            f"({'; '.join(details)})"
+        )
+        return [output for output in outputs if output is not None]
 
     def _merge(
         self,
@@ -506,19 +690,36 @@ class ParallelExecutor:
 
         def task(part: Relation) -> Relation:
             trip("parallel.worker")
+            maybe_hang("parallel.hang")
             engine = MemoryEngine(self.db, guard=self.guard)
             return engine.group_filter(
                 part, list(group_by), aggregates, conditions, name=name
             )
 
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
         try:
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                futures = [pool.submit(task, part) for part in slices]
-                results = self._collect(futures)
-        except ExecutionAborted:
-            raise
-        except (Exception, WorkerKill) as error:
-            detail = f"{type(error).__name__}: {error}".rstrip(": ")
+            futures = [pool.submit(task, part) for part in slices]
+            outcomes = self._collect(futures)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        results: list[Relation] = []
+        hung = 0
+        for status, payload in outcomes:
+            if status == "ok":
+                results.append(payload)
+                continue
+            if status == "failed" and isinstance(payload, ExecutionAborted):
+                raise payload
+            if status == "hung":
+                hung += 1
+                detail = "hung worker"
+            else:
+                detail = f"{type(payload).__name__}: {payload}".rstrip(": ")
+            if hung:
+                self.watchdog_events.append(
+                    f"watchdog: in-flight filter at {name!r} had {hung} "
+                    "overdue morsel(s); cancelled"
+                )
             self.note_downgrade(
                 f"worker failure ({detail}); in-flight filter at "
                 f"{name!r} re-ran serially"
@@ -563,6 +764,8 @@ __all__ = [
     "MORSELS_PER_WORKER",
     "MIN_PARTITION_ROWS",
     "PROCESS_ESTIMATE_THRESHOLD",
+    "WATCHDOG_FLOOR",
+    "WATCHDOG_FRACTION",
     "ParallelExecutor",
     "ParallelStepResult",
     "BrokenProcessPool",

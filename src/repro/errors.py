@@ -95,6 +95,32 @@ class EvaluationError(ReproError):
         return base
 
 
+class HungWorkerError(ReproError):
+    """A parallel partition task blew past its watchdog deadline.
+
+    Raised by the parallel executor's watchdog when every morsel of a
+    step is overdue (a *subset* of overdue morsels is instead re-run
+    serially and recorded as a downgrade).  :attr:`pending` counts the
+    tasks that had not completed when the watchdog fired.
+    """
+
+    def __init__(self, message: str, *, pending: int = 0):
+        super().__init__(message)
+        self.pending = pending
+
+
+class ResumeError(ReproError):
+    """A checkpointed run could not be resumed.
+
+    Raised when ``mine(resume=run_id)`` finds no manifest for the run
+    id, or when the manifest fails validation: the flock differs, the
+    plan fingerprint no longer matches, or the base relations changed
+    since the checkpoint was written.  Resuming under any of those
+    conditions could silently splice stale survivors into a fresh run,
+    so the mismatch is an error, never a fallback.
+    """
+
+
 class ExecutionAborted(ReproError):
     """An evaluation was stopped before completion — by a resource budget
     or a cooperative cancellation.

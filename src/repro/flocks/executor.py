@@ -85,6 +85,7 @@ def execute_step(
     final_sink=None,
     order_strategy: str = "greedy",
     parallel=None,
+    supervisor=None,
 ) -> tuple[Relation, int]:
     """Execute one FILTER step; return (ok-relation, answer-tuple count).
 
@@ -114,7 +115,40 @@ def execute_step(
     aggregate values are only computed per partition when a
     ``final_sink`` wants them — otherwise workers early-exit-count
     survivorship.
+
+    ``supervisor`` (a :class:`~repro.recovery.RetrySupervisor`) wraps
+    the step body in the retry rung of the recovery ladder: a transient
+    fault re-runs the step after a guard-clamped backoff instead of
+    aborting the whole evaluation.
     """
+    if supervisor is not None:
+        body = supervisor.run(
+            lambda: _execute_step_body(
+                db, flock, step,
+                guard=guard, sink=sink, final_sink=final_sink,
+                order_strategy=order_strategy, parallel=parallel,
+            ),
+            site=f"step:{step.result_name}",
+        )
+        assert isinstance(body, tuple)
+        return body
+    return _execute_step_body(
+        db, flock, step,
+        guard=guard, sink=sink, final_sink=final_sink,
+        order_strategy=order_strategy, parallel=parallel,
+    )
+
+
+def _execute_step_body(
+    db: Database,
+    flock: QueryFlock,
+    step: FilterStep,
+    guard: ExecutionGuard | None = None,
+    sink=None,
+    final_sink=None,
+    order_strategy: str = "greedy",
+    parallel=None,
+) -> tuple[Relation, int]:
     trip("executor.step")
     params = list(step.parameters)
     param_cols = [str(p) for p in params]
@@ -160,6 +194,8 @@ def execute_plan(
     sink=None,
     order_strategy: str = "greedy",
     parallel=None,
+    supervisor=None,
+    recorder=None,
 ) -> FlockResult:
     """Run a plan and return the flock result with a per-step trace.
 
@@ -180,6 +216,16 @@ def execute_plan(
     ``parallel`` hands every step to a
     :class:`~repro.engine.parallel.ParallelExecutor`; results stay
     bit-identical to serial execution (see :mod:`repro.engine.partition`).
+
+    ``supervisor`` threads the retry rung through every step (see
+    :func:`execute_step`).
+
+    ``recorder`` (a :class:`~repro.recovery.CheckpointRecorder`)
+    makes each completed step durable: a step already completed by the
+    run being resumed is *served* from its saved survivor set (its
+    trace entry says so, with 0 input tuples — no join ran), and each
+    freshly executed step's ok-relation is persisted before the next
+    step starts, so a crash loses at most the step in flight.
     """
     guard = as_guard(guard)
     if validate:
@@ -190,18 +236,32 @@ def execute_plan(
     final_step = plan.final_step
     for step in plan.steps:
         started = time.perf_counter()
-        ok, answer_tuples = execute_step(
-            scratch, flock, step, guard=guard,
-            sink=None if step is final_step else sink,
-            final_sink=sink if step is final_step else None,
-            order_strategy=order_strategy,
-            parallel=parallel,
+        served = (
+            recorder.served(step.result_name) if recorder is not None else None
         )
+        if served is not None:
+            ok = served.project(
+                [str(p) for p in step.parameters], name=step.result_name
+            )
+            answer_tuples = 0
+            description = "resumed from checkpoint"
+        else:
+            ok, answer_tuples = execute_step(
+                scratch, flock, step, guard=guard,
+                sink=None if step is final_step else sink,
+                final_sink=sink if step is final_step else None,
+                order_strategy=order_strategy,
+                parallel=parallel,
+                supervisor=supervisor,
+            )
+            description = str(step.query).replace("\n", " | ")
+            if recorder is not None:
+                recorder.complete(step.result_name, ok)
         elapsed = time.perf_counter() - started
         scratch.add(ok)
         step_trace = StepTrace(
             name=step.result_name,
-            description=str(step.query).replace("\n", " | "),
+            description=description,
             input_tuples=answer_tuples,
             output_assignments=len(ok),
             seconds=elapsed,
@@ -217,4 +277,6 @@ def execute_plan(
     final = result.project(list(flock.parameter_columns), name="flock")
     if guard is not None:
         guard.check_answer(len(final))
+    if recorder is not None:
+        recorder.finish()
     return FlockResult(final, trace)

@@ -35,7 +35,26 @@ Resilience (this module is the policy layer over :mod:`repro.guard`):
 * **backend degradation**: ``backend="sqlite"`` evaluates on the SQLite
   backend; if SQLite fails (after the backend's own transient-error
   retries) the call falls back to the in-memory engine, again recording
-  the downgrade.
+  the downgrade;
+* **retry** (``retry=RetryPolicy(...)``): the first rung *below* all of
+  the above — a transient fault (see
+  :meth:`repro.recovery.RetryPolicy.classify`) re-runs the failing
+  step/strategy after a guard-clamped backoff before any downgrade is
+  considered, recorded as a ``kind="retry"`` downgrade with its attempt
+  count;
+* **hung-worker watchdog**: under a wall-clock budget, the parallel
+  executor bounds how long a step's morsels may straggle; overdue
+  morsels are cancelled and re-run serially, recorded as a
+  ``kind="watchdog"`` downgrade;
+* **checkpoint–resume** (``checkpoint=path``): plan-based strategies
+  persist each completed FILTER step's survivors plus a run manifest
+  to a SQLite file; ``resume=run_id`` validates the manifest and
+  re-executes only the unfinished steps (see :mod:`repro.recovery`).
+
+The full escalation ladder, cheapest rung first::
+
+    retry step -> salvage failed partitions serially
+               -> backend/strategy downgrade -> abort (partial trace)
 """
 
 from __future__ import annotations
@@ -55,6 +74,12 @@ from ..errors import (
     PlanError,
 )
 from ..guard import CancellationToken, ExecutionGuard, GuardLike, ResourceBudget, as_guard
+from ..recovery import (
+    CheckpointRecorder,
+    CheckpointStore,
+    RetryPolicy,
+    RetrySupervisor,
+)
 from ..relational.catalog import Database
 from ..relational.relation import Relation
 from .dynamic import evaluate_flock_dynamic
@@ -81,9 +106,11 @@ _STRATEGY_COST_ORDER = ("stats", "optimized", "dynamic", "naive")
 
 @dataclass(frozen=True)
 class Downgrade:
-    """One recorded degradation step of a :func:`mine` call."""
+    """One recorded rung of the recovery ladder a :func:`mine` call
+    descended — including the rungs that *recovered* (``"retry"`` and
+    ``"watchdog"`` entries record faults the call absorbed)."""
 
-    kind: str  # "strategy" | "backend" | "parallelism"
+    kind: str  # "strategy" | "backend" | "parallelism" | "retry" | "watchdog"
     from_name: str
     to_name: str
     reason: str
@@ -136,6 +163,13 @@ class MiningReport:
     #: :class:`repro.analysis.certify.BranchCertificate` per filter
     #: actually applied mid-run), when plan verification is on.
     decision_certificates: tuple["BranchCertificate", ...] = ()
+    #: Checkpoint accounting (``checkpoint=`` calls only): the durable
+    #: run id a later ``resume=`` can pick up, how many plan steps were
+    #: served from a previous run's checkpoints, and how many this call
+    #: made durable.
+    run_id: Optional[str] = None
+    steps_resumed: int = 0
+    steps_checkpointed: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -165,6 +199,12 @@ class MiningReport:
             lines.append(
                 f"parallelism: {self.parallelism_used} jobs "
                 f"(requested {self.parallelism_requested})"
+            )
+        if self.run_id is not None:
+            lines.append(
+                f"checkpoint run: {self.run_id} "
+                f"({self.steps_resumed} step(s) resumed, "
+                f"{self.steps_checkpointed} checkpointed)"
             )
         for downgrade in self.downgrades:
             lines.append(str(downgrade))
@@ -221,6 +261,7 @@ class _Attempt:
     backend_used: str = "memory"
     certificate: Optional["LegalityCertificate"] = None
     decision_certificates: tuple["BranchCertificate", ...] = ()
+    recorder: Optional[CheckpointRecorder] = None
 
 
 def _certified(flock: QueryFlock, plan):
@@ -273,6 +314,10 @@ def _run_strategy(
     sink=None,
     join_order: str = "greedy",
     parallel=None,
+    supervisor: RetrySupervisor | None = None,
+    checkpoint_store: CheckpointStore | None = None,
+    run_id: str | None = None,
+    resume: str | None = None,
 ) -> None:
     """Execute one strategy, filling ``attempt``.
 
@@ -289,7 +334,25 @@ def _run_strategy(
     :class:`~repro.engine.parallel.ParallelExecutor` (or None); every
     strategy and both backends thread it through to their step
     execution.
+
+    ``supervisor`` threads the retry rung through the evaluation: the
+    plan-based strategies retry per FILTER step (inside
+    :func:`~repro.flocks.executor.execute_step`), the monolithic
+    strategies (naive/dynamic) retry the whole strategy body — their
+    evaluation is deterministic, so a re-run after a transient fault is
+    sound.  Plan *search* is supervised the same way.
+
+    ``checkpoint_store``/``run_id``/``resume`` arm step checkpointing
+    for the plan-based strategies (validated upstream in :func:`mine`):
+    the recorder built here lands on ``attempt.recorder`` for the
+    report's accounting.
     """
+
+    def supervised(fn, site: str):
+        if supervisor is None:
+            return fn()
+        return supervisor.run(fn, site=site)
+
     if strategy == "naive":
         if backend == "sqlite":
             attempt.relation = _on_sqlite(
@@ -298,15 +361,21 @@ def _run_strategy(
                     flock, guard=guard, order_strategy=join_order,
                     parallel=parallel,
                 ),
-                fallback=lambda: evaluate_flock(
-                    db, flock, guard=guard, sink=sink,
-                    order_strategy=join_order, parallel=parallel,
+                fallback=lambda: supervised(
+                    lambda: evaluate_flock(
+                        db, flock, guard=guard, sink=sink,
+                        order_strategy=join_order, parallel=parallel,
+                    ),
+                    "strategy:naive",
                 ),
             )
         else:
-            attempt.relation = evaluate_flock(
-                db, flock, guard=guard, sink=sink, order_strategy=join_order,
-                parallel=parallel,
+            attempt.relation = supervised(
+                lambda: evaluate_flock(
+                    db, flock, guard=guard, sink=sink,
+                    order_strategy=join_order, parallel=parallel,
+                ),
+                "strategy:naive",
             )
     elif strategy == "dynamic":
         # The dynamic evaluator interleaves planning and execution in
@@ -319,9 +388,12 @@ def _run_strategy(
                 )
             )
             attempt.backend_used = "memory"
-        result, trace = evaluate_flock_dynamic(
-            db, flock, guard=guard, sink=sink, order_strategy=join_order,
-            parallel=parallel,
+        result, trace = supervised(
+            lambda: evaluate_flock_dynamic(
+                db, flock, guard=guard, sink=sink, order_strategy=join_order,
+                parallel=parallel,
+            ),
+            "strategy:dynamic",
         )
         attempt.relation = result.relation
         attempt.decision_text = str(trace)
@@ -329,10 +401,18 @@ def _run_strategy(
     elif strategy in ("optimized", "stats"):
         # Phase 1 — plan search.  PlanError/FilterError *and* budget
         # exhaustion here degrade: no answer work has been lost yet.
-        plan, attempt.certificate = _build_plan(
-            db, flock, strategy, guard, sink=sink
+        plan, attempt.certificate = supervised(
+            lambda: _build_plan(db, flock, strategy, guard, sink=sink),
+            "plan-search",
         )
         attempt.plan_text = plan.render(flock)
+        recorder = None
+        if checkpoint_store is not None:
+            recorder = checkpoint_store.recorder(
+                flock, plan, db, join_order=join_order,
+                run_id=run_id, resume=resume,
+            )
+            attempt.recorder = recorder
         # Phase 2 — execution.  Only backend failures degrade from here;
         # budget/cancellation aborts propagate with their partial trace.
         if backend == "sqlite":
@@ -345,12 +425,14 @@ def _run_strategy(
                 fallback=lambda: execute_plan(
                     db, flock, plan, validate=False, guard=guard, sink=sink,
                     order_strategy=join_order, parallel=parallel,
+                    supervisor=supervisor,
                 ).relation,
             )
         else:
             attempt.relation = execute_plan(
                 db, flock, plan, validate=False, guard=guard, sink=sink,
                 order_strategy=join_order, parallel=parallel,
+                supervisor=supervisor, recorder=recorder,
             ).relation
     else:  # pragma: no cover - STRATEGIES guard upstream
         raise AssertionError(strategy)
@@ -396,6 +478,10 @@ def mine(
     join_order: str = "greedy",
     verify_plans: bool | None = None,
     parallelism: int | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: "CheckpointStore | str | None" = None,
+    run_id: str | None = None,
+    resume: str | None = None,
 ) -> tuple[Relation, MiningReport]:
     """Evaluate a flock end to end; returns (result relation, report).
 
@@ -435,6 +521,25 @@ def mine(
             through the evaluation so the result (and intermediate
             materializations) warm the cache.  ``session.db`` must be
             the ``db`` passed here.
+        retry: a :class:`~repro.recovery.RetryPolicy` governing the
+            transient-fault retry rung.  ``None`` uses the default
+            policy (3 attempts, 50 ms base backoff); pass
+            ``RetryPolicy(max_attempts=1)`` to disable retries.
+        checkpoint: a :class:`~repro.recovery.CheckpointStore` (or a
+            path to one) that makes every completed FILTER step
+            durable.  Requires a plan-based strategy — ``"auto"`` is
+            coerced to ``"optimized"`` for a monotone flock — and the
+            in-memory backend.  The report's ``run_id`` identifies the
+            run for a later resume.
+        run_id: explicit run id for a fresh checkpointed run (default:
+            generated).
+        resume: the run id of a previously checkpointed run to resume.
+            The stored manifest is validated (same flock, same plan,
+            same base-relation cardinalities —
+            :class:`~repro.errors.ResumeError` otherwise) and only the
+            steps it has not completed re-execute.  Strategy
+            degradation is disabled: a different strategy could not
+            honour the manifest's plan.
 
     Raises :class:`FilterError` for an unknown strategy, or when a
     pruning strategy is requested for a non-monotone filter and no
@@ -459,6 +564,8 @@ def mine(
         raise ValueError("pass either guard= or budget=/cancel=, not both")
     if session is not None and session.db is not db:
         raise ValueError("session.db and db must be the same Database")
+    if resume is not None and checkpoint is None:
+        raise ValueError("resume= requires checkpoint=")
     if guard is not None:
         live_guard = as_guard(guard)
     elif budget is not None or cancel is not None:
@@ -469,6 +576,30 @@ def mine(
     jobs = resolve_jobs(parallelism)
     warnings = tuple(lint_flock(flock)) if lint else ()
     used = _choose_strategy(flock) if strategy == "auto" else strategy
+
+    if checkpoint is not None:
+        # Checkpointing needs a *plan* whose steps can be replayed:
+        # only the plan-based strategies have one, and only the
+        # in-memory executor threads the recorder through.
+        if backend == "sqlite":
+            raise ValueError(
+                "checkpoint= requires the in-memory backend; the SQLite "
+                "path runs as one SQL script with no step boundary to "
+                "checkpoint at"
+            )
+        if strategy == "auto":
+            if not flock.filter.is_monotone:
+                raise FilterError(
+                    "checkpoint= requires a plan-based strategy "
+                    "(optimized/stats), but a non-monotone filter can "
+                    "only be evaluated naively"
+                )
+            used = "optimized"
+        elif used not in ("optimized", "stats"):
+            raise ValueError(
+                f"checkpoint= requires a plan-based strategy "
+                f"(optimized/stats), not {used!r}"
+            )
 
     started = time.perf_counter()
 
@@ -503,6 +634,15 @@ def mine(
     parallel = (
         ParallelExecutor(jobs, db, guard=live_guard) if jobs > 1 else None
     )
+    supervisor = RetrySupervisor(
+        policy=retry if retry is not None else RetryPolicy(),
+        guard=live_guard,
+    )
+    own_store = isinstance(checkpoint, str)
+    store: CheckpointStore | None = (
+        CheckpointStore(checkpoint) if isinstance(checkpoint, str)
+        else checkpoint
+    )
 
     scope = (
         nullcontext() if verify_plans is None
@@ -515,6 +655,8 @@ def mine(
                     _run_strategy(
                         db, flock, used, live_guard, backend, attempt,
                         sink=sink, join_order=join_order, parallel=parallel,
+                        supervisor=supervisor, checkpoint_store=store,
+                        run_id=run_id, resume=resume,
                     )
                     break
                 except (PlanError, FilterError, BudgetExceededError) as error:
@@ -525,6 +667,11 @@ def mine(
                         # The budget died during execution, not mid
                         # plan-search — a cheaper strategy cannot recover
                         # spent budget.
+                        raise
+                    if resume is not None:
+                        # A cheaper strategy would not execute the
+                        # manifest's plan; resuming onto it would splice
+                        # checkpoints into a different evaluation.
                         raise
                     fallback = _next_cheaper(flock, used)
                     if fallback is None:
@@ -541,8 +688,26 @@ def mine(
     finally:
         if parallel is not None:
             parallel.close()
+        if own_store and store is not None:
+            store.close()
 
+    for event in supervisor.events:
+        attempt.downgrades.append(
+            Downgrade(
+                "retry",
+                event.site,
+                "recovered" if event.recovered else "exhausted",
+                f"{event.attempts} attempt(s)"
+                + (f"; last error: {event.error}" if event.error else ""),
+            )
+        )
     if parallel is not None:
+        for event in parallel.watchdog_events:
+            attempt.downgrades.append(
+                Downgrade(
+                    "watchdog", f"{jobs} jobs", "serial salvage", event
+                )
+            )
         for reason in parallel.downgrades:
             attempt.downgrades.append(
                 Downgrade("parallelism", f"{jobs} jobs", "serial", reason)
@@ -574,5 +739,16 @@ def mine(
         rows_saved=sink.rows_saved if sink is not None else 0,
         certificate=attempt.certificate,
         decision_certificates=attempt.decision_certificates,
+        run_id=(
+            attempt.recorder.run_id if attempt.recorder is not None else None
+        ),
+        steps_resumed=(
+            attempt.recorder.steps_resumed
+            if attempt.recorder is not None else 0
+        ),
+        steps_checkpointed=(
+            attempt.recorder.steps_checkpointed
+            if attempt.recorder is not None else 0
+        ),
     )
     return attempt.relation, report

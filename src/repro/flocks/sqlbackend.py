@@ -47,6 +47,7 @@ from ..engine.sqlgen import (
 )
 from ..errors import EvaluationError, ExecutionAborted
 from ..guard import ExecutionGuard, GuardLike, as_guard
+from ..recovery import TRANSIENT_SQLITE_MARKERS, RetryPolicy
 from ..relational.catalog import Database
 from ..relational.relation import Relation
 from ..testing.faults import WorkerKill, trip
@@ -55,16 +56,12 @@ from .flock import QueryFlock
 from .plans import QueryPlan, single_step_plan
 
 
-#: Substrings that mark a retryable sqlite3.OperationalError.
-_TRANSIENT_MARKERS = ("locked", "busy")
+#: Substrings that mark a retryable sqlite3.OperationalError (the
+#: shared classifier in :mod:`repro.recovery` is the source of truth).
+_TRANSIENT_MARKERS = TRANSIENT_SQLITE_MARKERS
 
 #: How many SQLite VM opcodes run between guard polls.
 _PROGRESS_OPCODES = 1000
-
-
-def _is_transient(error: sqlite3.OperationalError) -> bool:
-    message = str(error).lower()
-    return any(marker in message for marker in _TRANSIENT_MARKERS)
 
 
 class SQLiteBackend:
@@ -114,8 +111,21 @@ class SQLiteBackend:
         )
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: The shared recovery-layer policy behind the statement retry:
+        #: ``max_retries`` retries = ``max_retries + 1`` total attempts,
+        #: jitter off so the backoff schedule stays deterministic for a
+        #: single-connection backend.
+        self.retry_policy = RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay=retry_backoff,
+            max_delay=self.MAX_BACKOFF_SECONDS,
+            jitter=0.0,
+        )
         #: Injectable for tests; production uses time.sleep.
         self._sleep = time.sleep
+        #: The guard of the script currently running (retry sleeps are
+        #: clamped to its remaining wall-clock).
+        self._active_guard: ExecutionGuard | None = None
         self._loaded: Database | None = None
         #: Guard abort raised from inside the progress handler, if any.
         self._guard_abort: list[ExecutionAborted] = []
@@ -604,13 +614,15 @@ class SQLiteBackend:
     ) -> sqlite3.Cursor:
         """Run one statement with transient-error retries and wrapping.
 
-        Transient ``OperationalError``\\ s are retried ``max_retries``
-        times with capped exponential backoff.  Anything else — and
-        exhausted retries — raises :class:`EvaluationError` carrying the
-        statement, except for a guard-initiated interrupt, which
-        re-raises the guard's own exception.
+        Retries ride the shared :class:`~repro.recovery.RetryPolicy`
+        (``locked``/``busy`` are its transient SQLite markers), with
+        each backoff sleep clamped to the active guard's remaining
+        wall-clock.  Anything else — and exhausted retries — raises
+        :class:`EvaluationError` carrying the statement, except for a
+        guard-initiated interrupt, which re-raises the guard's own
+        exception.
         """
-        attempt = 0
+        attempt = 1
         while True:
             try:
                 trip("sqlite.execute")
@@ -624,13 +636,16 @@ class SQLiteBackend:
                     # The progress handler interrupted the VM; surface
                     # the guard's exception, not "interrupted".
                     raise self._guard_abort.pop() from error
-                if not _is_transient(error) or attempt >= self.max_retries:
+                if (
+                    not self.retry_policy.is_transient(error)
+                    or attempt >= self.retry_policy.max_attempts
+                ):
                     raise EvaluationError(
                         f"SQLite error: {error}", sql=statement
                     ) from error
-                delay = min(
-                    self.MAX_BACKOFF_SECONDS, self.retry_backoff * (2 ** attempt)
-                )
+                delay = self.retry_policy.delay(attempt)
+                if self._active_guard is not None:
+                    delay = self._active_guard.clamp_sleep(delay)
                 attempt += 1
                 self._sleep(delay)
             except sqlite3.Error as error:
@@ -669,6 +684,7 @@ class SQLiteBackend:
         rows: set[tuple] = set()
         cursor = self.connection.cursor()
         installed = self._install_guard(guard)
+        self._active_guard = guard
         try:
             for index, statement in enumerate(statements):
                 started = time.perf_counter()
@@ -699,6 +715,7 @@ class SQLiteBackend:
             if guard is not None:
                 guard.check_answer(len(rows))
         finally:
+            self._active_guard = None
             if installed:
                 self.connection.set_progress_handler(None, 0)
         return rows

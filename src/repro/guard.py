@@ -155,6 +155,16 @@ class ExecutionGuard:
             return None
         return max(0.0, self.deadline - time.monotonic())
 
+    def clamp_sleep(self, seconds: float) -> float:
+        """The longest this evaluation may sleep without overshooting
+        the deadline — retry backoff uses this so a transient-error
+        sleep never outlives the budget it is trying to save."""
+        seconds = max(0.0, seconds)
+        remaining = self.remaining_seconds
+        if remaining is None:
+            return seconds
+        return min(seconds, remaining)
+
     def child_budget(self) -> Optional[ResourceBudget]:
         """A budget for a worker subtask of this evaluation, or ``None``
         when the guard is unbounded.

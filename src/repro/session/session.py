@@ -241,6 +241,8 @@ class MiningSession:
         persist_path: str | None = None,
         lint: bool = True,
         parallelism: int | None = None,
+        retry=None,
+        checkpoint=None,
     ):
         self.db = db
         self.cache = cache if cache is not None else ResultCache(
@@ -251,6 +253,12 @@ class MiningSession:
         self.backend = backend
         self.lint = lint
         self.parallelism = parallelism
+        #: Session-wide recovery defaults: a
+        #: :class:`~repro.recovery.RetryPolicy` every ``mine()`` call
+        #: inherits, and a :class:`~repro.recovery.CheckpointStore` (or
+        #: path) checkpointed calls write through.
+        self.retry = retry
+        self.checkpoint = checkpoint
         self.queries = 0
         self._persist_backend = None
         self._persist_counter = 0
@@ -275,11 +283,17 @@ class MiningSession:
         guard: GuardLike = None,
         backend: str | None = None,
         parallelism: int | None = None,
+        retry=None,
+        checkpoint=None,
+        run_id: str | None = None,
+        resume: str | None = None,
     ):
         """Evaluate a flock with full cache participation; returns
         ``(relation, MiningReport)`` exactly like
         :func:`repro.flocks.mining.mine` (which this delegates to,
-        passing ``session=self``)."""
+        passing ``session=self``).  ``retry``/``checkpoint`` default to
+        the session-wide settings; ``run_id``/``resume`` are per call
+        (see :mod:`repro.recovery`)."""
         from ..flocks.mining import mine
 
         self.queries += 1
@@ -298,6 +312,10 @@ class MiningSession:
             parallelism=(
                 self.parallelism if parallelism is None else parallelism
             ),
+            retry=self.retry if retry is None else retry,
+            checkpoint=self.checkpoint if checkpoint is None else checkpoint,
+            run_id=run_id,
+            resume=resume,
         )
 
     # ------------------------------------------------------------------

@@ -7,18 +7,22 @@ would otherwise only fire under real resource pressure.
 
 from .faults import (
     FaultSpec,
+    Hang,
     WorkerKill,
     active_faults,
     inject,
+    maybe_hang,
     reset_faults,
     trip,
 )
 
 __all__ = [
     "FaultSpec",
+    "Hang",
     "WorkerKill",
     "active_faults",
     "inject",
+    "maybe_hang",
     "reset_faults",
     "trip",
 ]

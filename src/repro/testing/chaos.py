@@ -1,0 +1,248 @@
+"""Chaos testing: seeded randomized fault schedules over the fault sites.
+
+The recovery ladder (retry → partition salvage → backend/strategy
+downgrade → abort) is a safety argument about *composed* failure
+handling, and composed handlers have composed bugs.  This harness turns
+the argument into a testable property: generate a random — but fully
+seed-determined — schedule of faults across every instrumented site,
+run :func:`repro.flocks.mining.mine` under it, and check the outcome
+against a fault-free baseline.
+
+The property (see :func:`classify_outcome`): under **any** schedule, a
+``mine()`` call either
+
+* returns a result **bit-identical** to the fault-free run (the ladder
+  absorbed every fault — possibly with downgrades in the report), or
+* raises a **clean**, library-typed error
+  (:class:`~repro.errors.ReproError`, which includes guard aborts with
+  their partial trace);
+
+it must never return a *silently wrong* result, and never leak a
+non-library exception.  A failing seed reproduces exactly: the
+schedule, the retry jitter, and the partition hashing are all
+deterministic.
+
+Usage::
+
+    from repro.testing.chaos import chaos_schedule, run_under_chaos
+
+    schedule = chaos_schedule(seed=1234)
+    verdict = run_under_chaos(db, flock, schedule, expected)
+    assert verdict.kind in ("identical", "clean-abort")
+
+Error menus are site-appropriate: each site only injects failure types
+that can genuinely occur there (a SQLite site raises
+``sqlite3.OperationalError``, a worker site may die with
+:class:`~repro.testing.faults.WorkerKill` or stall with
+:class:`~repro.testing.faults.Hang`), so a surviving non-library
+exception is always a real leak, never an artifact of the harness.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..errors import EvaluationError, PlanError, ReproError
+from ..recovery import RetryPolicy, TransientFault
+from .faults import Hang, WorkerKill, inject
+
+
+def _make(error_type: type, site: str) -> Callable[[], BaseException]:
+    def factory() -> BaseException:
+        return error_type(f"chaos fault at {site}")
+    return factory
+
+
+#: Per-site error menus.  Every entry is a zero-arg factory builder so
+#: injected exception *instances* are fresh per trip.
+SITE_MENUS: dict[str, tuple[Callable[[str], Callable[[], BaseException]], ...]] = {
+    "relational.join": (
+        lambda site: _make(TransientFault, site),
+        lambda site: _make(EvaluationError, site),
+    ),
+    "executor.step": (
+        lambda site: _make(TransientFault, site),
+        lambda site: _make(PlanError, site),
+        lambda site: _make(EvaluationError, site),
+    ),
+    "optimizer.search": (
+        lambda site: _make(TransientFault, site),
+        lambda site: _make(PlanError, site),
+    ),
+    "dynamic.join": (
+        lambda site: _make(TransientFault, site),
+        lambda site: _make(PlanError, site),
+    ),
+    "sqlite.execute": (
+        lambda site: (lambda: sqlite3.OperationalError("database is locked")),
+        lambda site: (lambda: sqlite3.OperationalError("database is busy")),
+        lambda site: (lambda: sqlite3.DatabaseError(f"chaos fault at {site}")),
+    ),
+    "parallel.worker": (
+        lambda site: (lambda: WorkerKill(f"chaos kill at {site}")),
+        lambda site: _make(TransientFault, site),
+    ),
+    "parallel.hang": (
+        # Short stalls only: an abandoned worker sleeps these out in the
+        # background, and the watchdog must win against real clocks.
+        lambda site: (lambda: Hang(0.2)),
+        lambda site: (lambda: Hang(0.5)),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SiteFault:
+    """One armed site within a chaos schedule."""
+
+    site: str
+    error_name: str
+    make_error: Callable[[], BaseException]
+    skip: int
+    times: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.site}: {self.error_name} x{self.times} "
+            f"after {self.skip} clean hit(s)"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed-determined set of faults to run one evaluation under."""
+
+    seed: int
+    faults: tuple[SiteFault, ...]
+
+    def __str__(self) -> str:
+        body = "; ".join(str(f) for f in self.faults) or "no faults"
+        return f"chaos(seed={self.seed}): {body}"
+
+    @contextmanager
+    def apply(self) -> Iterator[None]:
+        """Arm every fault in the schedule for the duration."""
+        with ExitStack() as stack:
+            for fault in self.faults:
+                stack.enter_context(
+                    inject(
+                        fault.site,
+                        fault.make_error,
+                        skip=fault.skip,
+                        times=fault.times,
+                    )
+                )
+            yield
+
+
+def chaos_schedule(
+    seed: int,
+    sites: Optional[Sequence[str]] = None,
+    max_sites: int = 3,
+    max_times: int = 3,
+    max_skip: int = 2,
+) -> FaultSchedule:
+    """Generate the deterministic fault schedule for ``seed``.
+
+    Picks 1..``max_sites`` distinct sites, and for each a failure type
+    from its menu, a number of clean hits to let pass (``skip``), and a
+    number of failures before healing (``times``).  Finite ``times``
+    everywhere: a chaos run models faults that *can* be survived — the
+    permanently-broken case is covered by the targeted degradation
+    tests.
+    """
+    rng = random.Random(seed)
+    pool = list(sites) if sites is not None else sorted(SITE_MENUS)
+    count = rng.randint(1, min(max_sites, len(pool)))
+    chosen = rng.sample(pool, count)
+    faults = []
+    for site in sorted(chosen):
+        menu = SITE_MENUS[site]
+        builder = rng.choice(menu)
+        make_error = builder(site)
+        faults.append(
+            SiteFault(
+                site=site,
+                error_name=type(make_error()).__name__,
+                make_error=make_error,
+                skip=rng.randint(0, max_skip),
+                times=rng.randint(1, max_times),
+            )
+        )
+    return FaultSchedule(seed=seed, faults=tuple(faults))
+
+
+@dataclass(frozen=True)
+class ChaosVerdict:
+    """How one evaluation behaved under a schedule.
+
+    ``kind`` is ``"identical"`` (result bit-identical to the fault-free
+    baseline), ``"clean-abort"`` (a :class:`~repro.errors.ReproError`
+    surfaced), or ``"silent-partial"`` — the property violation: a
+    result that differs from the baseline.  A non-library exception
+    propagates out of :func:`run_under_chaos` itself; the property
+    suite treats that as a failure too.
+    """
+
+    kind: str
+    schedule: FaultSchedule
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind} under {self.schedule}" + (
+            f" ({self.detail})" if self.detail else ""
+        )
+
+
+def run_under_chaos(
+    db,
+    flock,
+    schedule: FaultSchedule,
+    expected_tuples,
+    **mine_kwargs,
+) -> ChaosVerdict:
+    """Run ``mine(db, flock)`` under ``schedule`` and classify it.
+
+    ``expected_tuples`` is the fault-free baseline's ``relation.tuples``.
+    The retry policy is seeded from the schedule so the whole run —
+    faults *and* backoff jitter — replays from one integer.
+    """
+    from ..flocks.mining import mine
+
+    mine_kwargs.setdefault("retry", RetryPolicy(seed=schedule.seed))
+    with schedule.apply():
+        try:
+            relation, report = mine(db, flock, **mine_kwargs)
+        except ReproError as error:
+            return ChaosVerdict(
+                kind="clean-abort",
+                schedule=schedule,
+                detail=f"{type(error).__name__}: {error}".split("\n")[0],
+            )
+    if relation.tuples == expected_tuples:
+        detail = ", ".join(
+            f"{d.kind}:{d.from_name}->{d.to_name}" for d in report.downgrades
+        )
+        return ChaosVerdict("identical", schedule, detail)
+    return ChaosVerdict(
+        kind="silent-partial",
+        schedule=schedule,
+        detail=(
+            f"expected {len(expected_tuples)} tuples, "
+            f"got {len(relation.tuples)}"
+        ),
+    )
+
+
+__all__ = [
+    "ChaosVerdict",
+    "FaultSchedule",
+    "SITE_MENUS",
+    "SiteFault",
+    "chaos_schedule",
+    "run_under_chaos",
+]

@@ -15,6 +15,9 @@ Sites currently instrumented:
 ``dynamic.join``          per join in the dynamic evaluator
 ``sqlite.execute``        before every statement the SQLite backend executes
 ``parallel.worker``       at the start of every parallel partition task
+``parallel.hang``         same place, but an armed :class:`Hang` makes the
+                          worker *sleep* instead of raise — the hung-worker
+                          watchdog's deterministic test hook
 ========================  ====================================================
 
 Arming ``parallel.worker`` with :class:`WorkerKill` simulates a hard
@@ -32,12 +35,16 @@ Usage::
 
 The harness is deliberately global (module-level registry) so the site
 checks cost one dict lookup on an *empty* dict when nothing is armed —
-cheap enough to leave in hot paths permanently.  It is not thread-safe
-for concurrent arming; tests arm faults from a single thread.
+cheap enough to leave in hot paths permanently.  Arming is done from
+the test thread, but *tripping* happens concurrently (the thread-pool
+parallel path drives many workers through one site), so the per-fault
+``hits``/``failures`` counters are updated under a lock.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Union
@@ -55,6 +62,22 @@ class WorkerKill(BaseException):
     In a process-pool worker the task handler turns it into an immediate
     ``os._exit``, so the parent observes a genuinely broken pool.
     """
+
+
+class Hang(BaseException):
+    """Injected at ``parallel.hang`` to simulate a *hung* worker.
+
+    Unlike every other injected error this one is not raised out of the
+    site: :func:`maybe_hang` catches it and sleeps for
+    :attr:`seconds`, so the worker simply stops making progress — the
+    failure mode the parallel executor's watchdog exists to detect.
+    Keep ``seconds`` small in tests: an abandoned (non-cancellable)
+    worker sleeps it out in the background.
+    """
+
+    def __init__(self, seconds: float = 2.0):
+        super().__init__(f"injected hang for {seconds}s")
+        self.seconds = seconds
 
 
 @dataclass
@@ -101,22 +124,43 @@ class FaultSpec:
 #: site name -> armed fault.  Empty in production; `trip` is a no-op then.
 _ACTIVE: dict[str, FaultSpec] = {}
 
+#: Serializes counter updates: workers trip sites concurrently, and an
+#: unlocked ``hits += 1`` / ``failures += 1`` pair would race (lost
+#: increments, or two workers both claiming the same scheduled failure).
+_LOCK = threading.Lock()
+
 
 def trip(site: str) -> None:
     """Called by instrumented library code; raises if ``site`` is armed.
 
-    No-op (one failed dict lookup) when nothing is armed.
+    No-op (one failed dict lookup, no lock) when nothing is armed.
+    Thread-safe: the hit/failure accounting for one call is atomic, so
+    a schedule like ``skip=1, times=2`` fails exactly the 2nd and 3rd
+    hits even when the hits come from concurrent pool workers.
     """
     if not _ACTIVE:
         return
-    fault = _ACTIVE.get(site)
-    if fault is None:
-        return
-    fault.hits += 1
-    if not fault.should_fail():
-        return
-    fault.failures += 1
-    raise fault.make_error()
+    with _LOCK:
+        fault = _ACTIVE.get(site)
+        if fault is None:
+            return
+        fault.hits += 1
+        if not fault.should_fail():
+            return
+        fault.failures += 1
+        error = fault.make_error()
+    raise error
+
+
+def maybe_hang(site: str) -> None:
+    """A trip point whose injected :class:`Hang` *sleeps* (outside the
+    registry lock) instead of raising — workers call this so a test can
+    deterministically simulate a stalled task.  Any non-``Hang`` error
+    armed at the site raises as usual."""
+    try:
+        trip(site)
+    except Hang as hang:
+        time.sleep(hang.seconds)
 
 
 @contextmanager
@@ -132,26 +176,30 @@ def inject(
     ``failures``.  Nested injection at the same site is rejected — it
     would make the failure schedule ambiguous.
     """
-    if site in _ACTIVE:
-        raise RuntimeError(f"fault site {site!r} is already armed")
     if isinstance(error, type) and issubclass(error, BaseException):
         def error_source() -> BaseException:
             return error(f"injected fault at {site}")
     else:
         error_source = error
     fault = FaultSpec(site=site, error=error_source, skip=skip, times=times)
-    _ACTIVE[site] = fault
+    with _LOCK:
+        if site in _ACTIVE:
+            raise RuntimeError(f"fault site {site!r} is already armed")
+        _ACTIVE[site] = fault
     try:
         yield fault
     finally:
-        _ACTIVE.pop(site, None)
+        with _LOCK:
+            _ACTIVE.pop(site, None)
 
 
 def active_faults() -> tuple[str, ...]:
     """Names of the currently armed sites (for diagnostics)."""
-    return tuple(sorted(_ACTIVE))
+    with _LOCK:
+        return tuple(sorted(_ACTIVE))
 
 
 def reset_faults() -> None:
     """Disarm everything — a safety net for test teardown."""
-    _ACTIVE.clear()
+    with _LOCK:
+        _ACTIVE.clear()

@@ -6,6 +6,7 @@ from repro.analysis import plan_verification
 from repro.datalog import atom, comparison, negated, rule, UnionQuery
 from repro.flocks import QueryFlock, support_filter
 from repro.relational import database_from_dict
+from repro.testing.faults import reset_faults
 
 
 @pytest.fixture(autouse=True)
@@ -15,6 +16,20 @@ def _verify_plans():
     lowered physical plan is schema-checked before execution."""
     with plan_verification(True):
         yield
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Disarm the fault-injection registry around every test.
+
+    The registry is module-global; a fault left armed by a failing test
+    (an assertion inside an ``inject`` block still unwinds the context
+    manager, but a hard-crashed worker thread may not) must never leak
+    into the next test.
+    """
+    reset_faults()
+    yield
+    reset_faults()
 
 
 @pytest.fixture

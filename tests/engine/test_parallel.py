@@ -354,12 +354,29 @@ def clean_faults():
 
 @pytest.mark.faults
 class TestWorkerDeath:
-    def test_thread_worker_kill_degrades_to_serial(
+    def test_thread_worker_kill_salvages_failed_partition(
         self, clean_faults, word_db, pair_plan
     ):
+        """One killed morsel out of four: the healthy outputs are kept
+        and only the failed partition re-runs serially in the parent."""
         expected, _ = serial_result(word_db, pair_plan)
         with ParallelExecutor(2, word_db, mode="thread") as executor:
             with faults.inject("parallel.worker", WorkerKill, times=1):
+                outcome = executor.run_step(pair_plan)
+        assert outcome.mode == "thread"
+        assert outcome.result.tuples == expected.tuples
+        assert executor.downgrades
+        assert "re-ran serially" in executor.downgrades[0]
+        assert "1 of" in executor.downgrades[0]
+
+    def test_thread_worker_kill_all_degrades_to_serial(
+        self, clean_faults, word_db, pair_plan
+    ):
+        """Every morsel killed: nothing to salvage around, so the whole
+        step takes the full-serial rung."""
+        expected, _ = serial_result(word_db, pair_plan)
+        with ParallelExecutor(2, word_db, mode="thread") as executor:
+            with faults.inject("parallel.worker", WorkerKill):
                 outcome = executor.run_step(pair_plan)
         assert outcome.mode == "serial"
         assert outcome.result.tuples == expected.tuples
@@ -418,6 +435,86 @@ class TestWorkerDeath:
         assert merged.tuples == serial.tuples
         assert parallel.downgrades
         assert "SQL worker failure" in parallel.downgrades[0]
+
+
+# ----------------------------------------------------------------------
+# The hung-worker watchdog: overdue morsels are cancelled, not waited on
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.faults
+class TestWatchdog:
+    def test_hung_morsel_is_cancelled_and_salvaged(
+        self, clean_faults, word_db, pair_plan
+    ):
+        """One morsel stalls far past the allowance: the watchdog
+        cancels it, the healthy outputs are kept, and the stalled
+        partition re-runs serially in the parent — bit-identical."""
+        expected, _ = serial_result(word_db, pair_plan)
+        with ParallelExecutor(
+            2, word_db, mode="thread", watchdog=0.3
+        ) as executor:
+            with faults.inject(
+                "parallel.hang", lambda: faults.Hang(2.0), times=1
+            ):
+                outcome = executor.run_step(pair_plan)
+        assert outcome.mode == "thread"
+        assert outcome.result.tuples == expected.tuples
+        assert executor.watchdog_events
+        assert "overdue" in executor.watchdog_events[0]
+        assert "re-run serially" in executor.watchdog_events[0]
+
+    def test_all_morsels_hung_degrades_to_serial(
+        self, clean_faults, word_db, pair_plan
+    ):
+        """Every morsel stalled: nothing to salvage around, so the
+        whole step re-runs serially (the full-serial rung)."""
+        expected, _ = serial_result(word_db, pair_plan)
+        with ParallelExecutor(
+            2, word_db, mode="thread", watchdog=0.2
+        ) as executor:
+            with faults.inject("parallel.hang", lambda: faults.Hang(2.0)):
+                outcome = executor.run_step(pair_plan)
+        assert outcome.mode == "serial"
+        assert outcome.result.tuples == expected.tuples
+        assert executor.downgrades
+
+    def test_no_watchdog_without_deadline(self, word_db, pair_plan):
+        """No guard deadline and no explicit allowance: morsels may run
+        arbitrarily long; the collection loop must not impose one."""
+        with ParallelExecutor(2, word_db, mode="thread") as executor:
+            assert executor._morsel_deadline() is None
+
+    def test_guard_budget_derives_allowance(self, word_db, pair_plan):
+        guard = ResourceBudget(seconds=10.0).start()
+        with ParallelExecutor(
+            2, word_db, mode="thread", guard=guard
+        ) as executor:
+            allowance = executor._morsel_deadline()
+        assert allowance is not None
+        assert 0 < allowance <= 5.0  # half the remaining budget
+
+    def test_mine_surfaces_watchdog_downgrade(
+        self, clean_faults, word_db, pair_flock
+    ):
+        """End to end: a stalled morsel inside mine() is detected from
+        the guard-derived allowance, salvaged serially, and reported as
+        a kind="watchdog" downgrade — with the answer bit-identical."""
+        serial, _ = mine(
+            word_db, pair_flock, strategy="naive", parallelism=1
+        )
+        with faults.inject(
+            "parallel.hang", lambda: faults.Hang(4.0), times=1
+        ):
+            relation, report = mine(
+                word_db, pair_flock, strategy="naive", parallelism=2,
+                budget=ResourceBudget(seconds=3.0),
+            )
+        assert relation.tuples == serial.tuples
+        watchdog = [d for d in report.downgrades if d.kind == "watchdog"]
+        assert watchdog
+        assert watchdog[0].to_name == "serial salvage"
+        assert "overdue" in watchdog[0].reason
 
 
 # ----------------------------------------------------------------------

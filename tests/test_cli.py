@@ -343,3 +343,65 @@ class TestSession:
                      "--persist", str(cache_db)])
         assert code == 0
         assert "(cache" in capsys.readouterr().out
+
+
+class TestCheckpointResume:
+    def test_checkpoint_run_prints_run_id(self, workspace, capsys, tmp_path):
+        flock_file, data_dir = workspace
+        ckpt = tmp_path / "ckpt.db"
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--checkpoint", str(ckpt), "--run-id", "cli1"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "checkpoint run cli1" in err
+        assert ckpt.exists()
+
+    def test_resume_round_trip(self, workspace, capsys, tmp_path):
+        flock_file, data_dir = workspace
+        ckpt = tmp_path / "ckpt.db"
+        main(["run", str(flock_file), str(data_dir),
+              "--checkpoint", str(ckpt), "--run-id", "cli2"])
+        first = capsys.readouterr().out
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--checkpoint", str(ckpt), "--resume", "cli2"])
+        captured = capsys.readouterr()
+        assert code == 0
+
+        def rows(text):  # drop the "# ... ms" header: timing varies
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("#")
+            ]
+
+        assert rows(captured.out) == rows(first)  # bit-identical answer
+        assert "resumed" in captured.err
+
+    def test_resume_requires_checkpoint(self, workspace, capsys):
+        flock_file, data_dir = workspace
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--resume", "cli3"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_unknown_run_id_is_clean_error(
+        self, workspace, capsys, tmp_path
+    ):
+        flock_file, data_dir = workspace
+        ckpt = tmp_path / "ckpt.db"
+        main(["run", str(flock_file), str(data_dir),
+              "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--checkpoint", str(ckpt), "--resume", "missing"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_rejects_sqlite_backend(
+        self, workspace, capsys, tmp_path
+    ):
+        flock_file, data_dir = workspace
+        ckpt = tmp_path / "ckpt.db"
+        code = main(["run", str(flock_file), str(data_dir),
+                     "--checkpoint", str(ckpt), "--backend", "sqlite"])
+        assert code == 2
+        assert "in-memory" in capsys.readouterr().err

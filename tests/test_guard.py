@@ -233,3 +233,97 @@ class TestErrorDiagnostics:
         error = EvaluationError("SQLite error: no such table", sql="SELECT 1")
         assert error.sql == "SELECT 1"
         assert "while executing: SELECT 1" in str(error)
+
+
+class TestDeadlineEdgeCases:
+    """The deadline arithmetic the retry supervisor leans on: behaviour
+    exactly at, and past, the wall-clock boundary."""
+
+    def test_remaining_seconds_unbounded_is_none(self):
+        guard = ResourceBudget().start()
+        assert guard.remaining_seconds is None
+
+    def test_remaining_seconds_never_negative(self):
+        guard = ResourceBudget(seconds=0.0).start()
+        # already at (or past) the deadline: clamped to zero, not negative
+        assert guard.remaining_seconds == 0.0
+
+    def test_remaining_seconds_decreases_monotonically(self):
+        import time
+
+        guard = ResourceBudget(seconds=60.0).start()
+        first = guard.remaining_seconds
+        time.sleep(0.01)
+        second = guard.remaining_seconds
+        assert second < first <= 60.0
+
+    def test_clamp_sleep_unbounded_passes_through(self):
+        guard = ResourceBudget().start()
+        assert guard.clamp_sleep(123.0) == 123.0
+
+    def test_clamp_sleep_bounded_by_remaining(self):
+        guard = ResourceBudget(seconds=60.0).start()
+        clamped = guard.clamp_sleep(10_000.0)
+        assert 0 < clamped <= 60.0
+
+    def test_clamp_sleep_zero_at_expired_deadline(self):
+        guard = ResourceBudget(seconds=0.0).start()
+        assert guard.clamp_sleep(5.0) == 0.0
+
+    def test_clamp_sleep_rejects_negative_as_zero(self):
+        guard = ResourceBudget(seconds=60.0).start()
+        assert guard.clamp_sleep(-3.0) == 0.0
+
+    def test_checkpoint_raises_exactly_at_deadline(self):
+        guard = ResourceBudget(seconds=0.0).start()
+        with pytest.raises(BudgetExceededError) as exc:
+            guard.checkpoint(node="edge")
+        assert exc.value.limit == "seconds"
+        assert exc.value.node == "edge"
+
+    def test_child_budget_unbounded_is_none(self):
+        guard = ResourceBudget().start()
+        assert guard.child_budget() is None
+
+    def test_child_budget_carries_remaining_not_original(self):
+        import time
+
+        guard = ResourceBudget(seconds=60.0).start()
+        time.sleep(0.01)
+        child = guard.child_budget()
+        assert child is not None
+        assert child.seconds is not None
+        assert child.seconds < 60.0
+
+    def test_child_budget_nearly_exhausted_stays_nonnegative(self):
+        guard = ResourceBudget(seconds=0.0).start()
+        child = guard.child_budget()
+        assert child is not None
+        assert child.seconds == 0.0
+        # ...and a guard started from it aborts at its first checkpoint
+        with pytest.raises(BudgetExceededError):
+            child.start().checkpoint(node="child")
+
+    def test_child_budget_preserves_row_caps(self):
+        guard = ResourceBudget(
+            seconds=60.0, max_intermediate_rows=100, max_answer_rows=10
+        ).start()
+        child = guard.child_budget()
+        assert child.max_intermediate_rows == 100
+        assert child.max_answer_rows == 10
+
+    def test_supervisor_backoff_never_sleeps_past_deadline(self):
+        """The cross-layer contract: RetrySupervisor.backoff sleeps are
+        clamp_sleep()-bounded, so total backoff can never overshoot the
+        budget the retry is trying to save."""
+        from repro import RetryPolicy, RetrySupervisor
+
+        guard = ResourceBudget(seconds=1.0).start()
+        supervisor = RetrySupervisor(
+            RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0),
+            guard=guard,
+            sleep=lambda _s: None,
+        )
+        supervisor.backoff(1, site="edge")
+        supervisor.backoff(2, site="edge")
+        assert all(s <= 1.0 for s in supervisor.slept)
