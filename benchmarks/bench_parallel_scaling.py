@@ -64,11 +64,26 @@ def _sweep(db, flock, workload: str):
 
 
 def _write_json(rows, speedup):
+    # Per-row serial_ms / parallel_ms so downstream consumers (the serve
+    # benchmark, later PRs tracking the jobs=2 regression) read the
+    # speedup directly instead of recomputing it from wall_ms pairs.
+    serial_ms = {
+        r["workload"]: r["wall_ms"] for r in rows if r["jobs"] == 1
+    }
+    for r in rows:
+        base = serial_ms.get(r["workload"])
+        r["speedup_vs_serial"] = (
+            round(base / max(r["wall_ms"], 1e-9), 3)
+            if base is not None else None
+        )
     payload = {
         "scale": SCALE,
         "cpu_count": os.cpu_count(),
         "jobs_sweep": list(JOBS_SWEEP),
         "speedup_max_jobs_vs_serial": round(speedup, 2) if speedup else None,
+        "speedup_by_jobs": {
+            str(r["jobs"]): r["speedup_vs_serial"] for r in rows
+        },
         "rows": rows,
     }
     with open(JSON_PATH, "w") as handle:

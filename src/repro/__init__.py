@@ -34,6 +34,9 @@ Subpackages:
 * :mod:`repro.session` — interactive mining sessions with a
   containment-aware result cache (re-ask at a stricter threshold and
   the answer comes from the cache, no joins);
+* :mod:`repro.serve` — mining-as-a-service: an HTTP/JSON daemon
+  multiplexing many concurrent clients over one shared session/cache,
+  with per-tenant admission control and Prometheus metrics;
 * :mod:`repro.workloads` — synthetic data generators for the paper's
   example domains.
 """
@@ -118,6 +121,13 @@ from .session import (
     SessionStats,
     with_support_threshold,
 )
+from .serve import (
+    MiningClient,
+    MiningService,
+    ServeError,
+    ServerConfig,
+    TenantPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -139,6 +149,8 @@ __all__ = [
     "FlockOptimizer",
     "FlockResult",
     "HungWorkerError",
+    "MiningClient",
+    "MiningService",
     "MiningSession",
     "Parameter",
     "ParseError",
@@ -154,8 +166,11 @@ __all__ = [
     "RetrySupervisor",
     "SafetyError",
     "SchemaError",
+    "ServeError",
+    "ServerConfig",
     "SessionStats",
     "Severity",
+    "TenantPolicy",
     "TransientFault",
     "UnionQuery",
     "Variable",

@@ -12,7 +12,11 @@ Subcommands:
 * ``check`` — one-pass verification: lint + safety + certified plan
   legality + (with data) IR schema checking, ``--format json``
   available, exit 0 clean / 3 warnings / 4 errors (``lint`` is the
-  data-less alias).
+  data-less alias);
+* ``serve`` — start the mining service: an HTTP/JSON daemon sharing
+  one session/cache across many concurrent clients (``repro.serve``);
+* ``query`` — evaluate a flock against a running ``repro serve``
+  daemon (the client side of ``serve``).
 
 A *flock file* is the paper's two-section notation (Fig. 2)::
 
@@ -36,6 +40,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -383,6 +388,76 @@ def cmd_session(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the mining service daemon over one CSV data directory."""
+    from .serve import MiningService, ServerConfig, serve_blocking
+
+    budget = _run_budget(args)
+    db = load_database(args.data)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        tenant_budget=budget,
+        max_queued_per_tenant=args.max_queued,
+        cache_entries=args.cache_entries,
+        cache_rows=args.cache_rows,
+        backend=args.backend,
+        strategy=args.strategy,
+        parallelism=args.jobs,
+        checkpoint_path=args.checkpoint,
+    )
+    service = MiningService(db, config)
+
+    def ready(address: str) -> None:
+        relations = ", ".join(
+            f"{name}[{len(db.get(name))}]" for name in db.names()
+        )
+        print(f"serving {relations or '(empty database)'}", file=sys.stderr)
+        print(f"listening on {address} "
+              f"({config.workers} worker(s); Ctrl-C to stop)",
+              file=sys.stderr, flush=True)
+
+    serve_blocking(service, ready=ready)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Evaluate one flock against a running ``repro serve`` daemon."""
+    from .serve import MiningClient, ServeError
+
+    text = Path(args.flock).read_text()
+    client = MiningClient(args.server, tenant=args.tenant)
+    try:
+        result = client.mine(
+            text,
+            threshold=args.threshold,
+            strategy=args.strategy,
+            timeout=args.timeout,
+            max_rows=args.max_rows,
+            limit=args.limit,
+        )
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = result.get("report", {})
+    cache_note = ""
+    if report.get("cache_hits"):
+        cache_note = ", cache hit"
+    elif report.get("cache_step_hits"):
+        cache_note = f", {report['cache_step_hits']} step hit(s)"
+    print(f"# {result['row_count']} acceptable assignments "
+          f"({report.get('strategy_used', '?')}{cache_note}, "
+          f"{result['seconds'] * 1e3:.1f} ms, run {result['run_id']})")
+    print("\t".join(result["columns"]))
+    for row in result["rows"]:
+        print("\t".join(str(v) for v in row))
+    if result.get("truncated"):
+        print(f"... and {result['row_count'] - len(result['rows'])} more "
+              "(raise --limit to see them)")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """One-pass verification: lint + safety + plan certification +
     (with a data directory) the IR schema check.
@@ -537,6 +612,70 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("flock")
     lint.set_defaults(fn=cmd_check, data=None, format="text")
 
+    serve = sub.add_parser(
+        "serve",
+        help="start the mining service (HTTP/JSON daemon over one "
+        "shared session/cache)",
+    )
+    serve.add_argument("data", help="directory of <relation>.csv files")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_nonnegative_int, default=8321,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="concurrent mining calls (dispatcher threads)")
+    serve.add_argument("--strategy", choices=STRATEGIES, default="auto",
+                       help="default strategy for requests that name none")
+    serve.add_argument("--backend", choices=("memory", "sqlite"),
+                       default="memory")
+    serve.add_argument("--jobs", type=_positive_int, default=None,
+                       metavar="N",
+                       help="default per-call partitioned parallelism")
+    serve.add_argument("--timeout", type=_nonnegative_float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock cap (tenant budget; "
+                       "requests can tighten it, never loosen it)")
+    serve.add_argument("--max-rows", type=_nonnegative_int, default=None,
+                       metavar="N",
+                       help="per-request intermediate-row cap")
+    serve.add_argument("--max-queued", type=_positive_int, default=16,
+                       metavar="N",
+                       help="per-tenant bound on queued+running requests "
+                       "(beyond it: HTTP 429)")
+    serve.add_argument("--cache-entries", type=_positive_int, default=256,
+                       metavar="N",
+                       help="result-cache entry cap")
+    serve.add_argument("--cache-rows", type=_nonnegative_int,
+                       default=500_000, metavar="N",
+                       help="result-cache total-row cap")
+    serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="SQLite file enabling checkpointed runs "
+                       "({\"checkpoint\": true} requests and "
+                       "/v1/runs progress reporting)")
+    serve.set_defaults(fn=cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="evaluate a flock against a running 'repro serve' daemon",
+    )
+    query.add_argument("flock", help="path to a flock file (QUERY:/FILTER:)")
+    query.add_argument("--server", required=True, metavar="URL",
+                       help="base URL, e.g. http://127.0.0.1:8321")
+    query.add_argument("--tenant", default=None,
+                       help="tenant name for admission control")
+    query.add_argument("--threshold", type=_nonnegative_float, default=None,
+                       help="override the flock's support threshold")
+    query.add_argument("--strategy", choices=STRATEGIES, default=None)
+    query.add_argument("--timeout", type=_nonnegative_float, default=None,
+                       metavar="SECONDS",
+                       help="request wall-clock budget")
+    query.add_argument("--max-rows", type=_nonnegative_int, default=None,
+                       metavar="N",
+                       help="request intermediate-row budget")
+    query.add_argument("--limit", type=int, default=50,
+                       help="max result rows to fetch")
+    query.set_defaults(fn=cmd_query)
+
     generate = sub.add_parser(
         "generate", help="write a synthetic workload as CSV files"
     )
@@ -565,6 +704,13 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Reader closed early (e.g. `repro query ... | head`): the
+        # POSIX convention is a silent exit, not a traceback.  Point
+        # stdout at devnull so the interpreter's exit-time flush of the
+        # broken pipe cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

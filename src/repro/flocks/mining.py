@@ -175,6 +175,110 @@ class MiningReport:
     def degraded(self) -> bool:
         return bool(self.downgrades)
 
+    # -- wire format ---------------------------------------------------
+    #
+    # The serve layer ships reports over HTTP as JSON.  Certificates are
+    # *not* serialized (they hold query/plan objects and are re-checkable
+    # only in-process); a deserialized report carries ``certificate=None``
+    # and no decision certificates.  Everything else round-trips exactly.
+
+    def to_dict(self) -> dict:
+        """A JSON-able dict of this report (certificates omitted)."""
+        return {
+            "strategy_requested": self.strategy_requested,
+            "strategy_used": self.strategy_used,
+            "seconds": self.seconds,
+            "warnings": [
+                {
+                    "code": w.code.value,
+                    "message": w.message,
+                    "rule_index": w.rule_index,
+                    "severity": w.severity.value,
+                }
+                for w in self.warnings
+            ],
+            "plan_text": self.plan_text,
+            "decision_text": self.decision_text,
+            "backend_requested": self.backend_requested,
+            "backend_used": self.backend_used,
+            "join_order": self.join_order,
+            "parallelism_requested": self.parallelism_requested,
+            "parallelism_used": self.parallelism_used,
+            "downgrades": [
+                {
+                    "kind": d.kind,
+                    "from_name": d.from_name,
+                    "to_name": d.to_name,
+                    "reason": d.reason,
+                }
+                for d in self.downgrades
+            ],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_step_hits": self.cache_step_hits,
+            "rows_saved": self.rows_saved,
+            "run_id": self.run_id,
+            "steps_resumed": self.steps_resumed,
+            "steps_checkpointed": self.steps_checkpointed,
+        }
+
+    def to_json(self) -> str:
+        """This report as a JSON string (see :meth:`to_dict`)."""
+        import json
+
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiningReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        from ..analysis.diagnostics import Severity
+        from .lint import LintCode, LintWarning
+
+        return cls(
+            strategy_requested=data["strategy_requested"],
+            strategy_used=data["strategy_used"],
+            seconds=float(data["seconds"]),
+            warnings=tuple(
+                LintWarning(
+                    code=LintCode(w["code"]),
+                    message=w["message"],
+                    rule_index=w.get("rule_index"),
+                    severity=Severity(w.get("severity", "warning")),
+                )
+                for w in data.get("warnings", ())
+            ),
+            plan_text=data.get("plan_text"),
+            decision_text=data.get("decision_text"),
+            backend_requested=data.get("backend_requested", "memory"),
+            backend_used=data.get("backend_used", "memory"),
+            join_order=data.get("join_order", "greedy"),
+            parallelism_requested=int(data.get("parallelism_requested", 1)),
+            parallelism_used=int(data.get("parallelism_used", 1)),
+            downgrades=tuple(
+                Downgrade(
+                    kind=d["kind"],
+                    from_name=d["from_name"],
+                    to_name=d["to_name"],
+                    reason=d["reason"],
+                )
+                for d in data.get("downgrades", ())
+            ),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            cache_step_hits=int(data.get("cache_step_hits", 0)),
+            rows_saved=int(data.get("rows_saved", 0)),
+            run_id=data.get("run_id"),
+            steps_resumed=int(data.get("steps_resumed", 0)),
+            steps_checkpointed=int(data.get("steps_checkpointed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MiningReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        import json
+
+        return cls.from_dict(json.loads(text))
+
     def __str__(self) -> str:
         lines = [
             f"strategy: {self.strategy_used} "

@@ -111,6 +111,38 @@ class ResourceBudget:
         """Begin the clock; returns the live guard to thread through."""
         return ExecutionGuard(budget=self, cancel=cancel)
 
+    def clamp(self, other: "ResourceBudget | None") -> "ResourceBudget":
+        """The tighter of two budgets, limit by limit.
+
+        The admission-control combinator: a server holds a per-tenant
+        cap and a request arrives with its own budget — the evaluation
+        must honour *both*, which is the limit-wise minimum (``None``
+        means unbounded, so the other side's limit wins).  ``other=None``
+        returns ``self`` unchanged.
+        """
+        if other is None:
+            return self
+
+        def tighter(a: Optional[float], b: Optional[float]) -> Optional[float]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        seconds = tighter(self.seconds, other.seconds)
+        intermediate = tighter(
+            self.max_intermediate_rows, other.max_intermediate_rows
+        )
+        answer = tighter(self.max_answer_rows, other.max_answer_rows)
+        return ResourceBudget(
+            seconds=seconds,
+            max_intermediate_rows=(
+                None if intermediate is None else int(intermediate)
+            ),
+            max_answer_rows=None if answer is None else int(answer),
+        )
+
 
 class ExecutionGuard:
     """The live guard one evaluation carries through its checkpoints.

@@ -291,6 +291,23 @@ class RunManifest:
             }
         )
 
+    def to_status(self) -> dict:
+        """A JSON-able status summary of this run — the shape the serve
+        layer's ``GET /v1/runs/{run_id}`` endpoint reports for durable
+        (checkpointed) runs: overall status plus per-step progress."""
+        return {
+            "run_id": self.run_id,
+            "status": self.status,
+            "steps_total": len(self.step_names),
+            "steps_completed": len(self.completed),
+            "steps": [
+                {"name": name, "completed": name in self.completed}
+                for name in self.step_names
+            ],
+            "base_cards": dict(self.base_cards),
+            "plan_fingerprint": self.plan_fingerprint,
+        }
+
     @classmethod
     def from_json(cls, text: str) -> "RunManifest":
         data = json.loads(text)
@@ -399,6 +416,14 @@ class CheckpointStore:
             cursor, f"SELECT manifest FROM {self._MANIFEST_TABLE}"
         ).fetchall()
         return [RunManifest.from_json(text) for (text,) in rows]
+
+    def run_status(self, run_id: str) -> dict | None:
+        """The :meth:`RunManifest.to_status` dict for one run, or None
+        when the store has no manifest for ``run_id``."""
+        manifest = self.load_manifest(run_id)
+        if manifest is None:
+            return None
+        return manifest.to_status()
 
     def drop_run(self, run_id: str) -> None:
         """Delete one run's manifest and every step table it owns."""

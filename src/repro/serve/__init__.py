@@ -1,0 +1,42 @@
+"""Mining-as-a-service: the HTTP/JSON serving layer.
+
+The paper pitches query flocks as something a DBMS *offers* its users —
+this package is that offering as a long-running daemon: one shared
+:class:`~repro.session.MiningSession` (and its containment-aware result
+cache) multiplexed across many concurrent clients with per-tenant
+admission control, client-disconnect cancellation, and Prometheus
+metrics.  Start one with ``repro serve`` and talk to it with
+:class:`MiningClient` or ``repro query --server URL``.
+"""
+
+from .app import (
+    DEFAULT_TENANT,
+    HttpError,
+    MiningServer,
+    MiningService,
+    ServerConfig,
+    serve_blocking,
+    server_in_thread,
+)
+from .client import MiningClient, ServeError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tenants import AdmissionError, FairDispatcher, TenantPolicy
+
+__all__ = [
+    "AdmissionError",
+    "Counter",
+    "DEFAULT_TENANT",
+    "FairDispatcher",
+    "Gauge",
+    "Histogram",
+    "HttpError",
+    "MetricsRegistry",
+    "MiningClient",
+    "MiningServer",
+    "MiningService",
+    "ServeError",
+    "ServerConfig",
+    "TenantPolicy",
+    "serve_blocking",
+    "server_in_thread",
+]

@@ -1,0 +1,322 @@
+"""A tiny thread-safe metrics registry with Prometheus text rendering.
+
+The serve layer's observability substrate: counters, gauges, and
+histograms, registered by name in one :class:`MetricsRegistry` and
+rendered at ``GET /metrics`` in the Prometheus exposition format
+(text/plain version 0.0.4), so any off-the-shelf scraper can watch a
+``repro serve`` daemon without new dependencies.
+
+Everything is stdlib and lock-based: metrics are bumped from the asyncio
+event loop *and* from dispatcher worker threads, so each metric guards
+its cells with one lock.  Histograms keep cumulative buckets (the
+Prometheus convention) plus an exact reservoir of recent observations so
+the server can report p50/p99 directly in ``/healthz`` and the load
+benchmark without a scrape-side quantile estimator.
+
+Usage::
+
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "repro_requests_total", "HTTP requests served", labels=("endpoint", "status")
+    )
+    requests.inc(endpoint="/v1/mine", status="200")
+    latency = registry.histogram("repro_mine_seconds", "mine() wall clock")
+    latency.observe(0.042)
+    text = registry.render()          # the /metrics payload
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, insort
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+#: Default latency buckets (seconds) — tuned for mining calls that span
+#: sub-millisecond cache hits to multi-second cold evaluations.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: How many recent observations a histogram keeps for exact quantiles.
+RESERVOIR_SIZE = 2048
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects: integers
+    without a trailing ``.0``, floats as-is."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class Metric:
+    """Base: a named family of samples keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labels = tuple(labels)
+        self._lock = threading.Lock()
+
+    def _key(self, label_values: Mapping[str, str]) -> tuple[str, ...]:
+        if set(label_values) != set(self.labels):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labels}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        return tuple(str(label_values[label]) for label in self.labels)
+
+    def render(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing sum, optionally per label vector."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **label_values: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **label_values: str) -> float:
+        key = self._key(label_values)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def total(self) -> float:
+        """Sum across every label vector."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            samples = sorted(self._values.items())
+        if not samples and not self.labels:
+            samples = [((), 0.0)]
+        for key, value in samples:
+            labels = _render_labels(dict(zip(self.labels, key)))
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return "\n".join(lines)
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, active workers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **label_values: str) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **label_values: str) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **label_values: str) -> None:
+        self.inc(-amount, **label_values)
+
+    def value(self, **label_values: str) -> float:
+        key = self._key(label_values)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            samples = sorted(self._values.items())
+        if not samples and not self.labels:
+            samples = [((), 0.0)]
+        for key, value in samples:
+            labels = _render_labels(dict(zip(self.labels, key)))
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return "\n".join(lines)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram with an exact quantile reservoir.
+
+    Label vectors are not supported (the serve layer labels by metric
+    name instead — e.g. one histogram per endpoint family); this keeps
+    the quantile reservoir simple and the render path obvious.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labels=())
+        self.buckets = tuple(sorted(set(float(b) for b in buckets)))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self._sum = 0.0
+        self._count = 0
+        # Sorted sliding reservoir of the most recent observations for
+        # exact p50/p99 without a scrape round-trip.
+        self._recent: list[float] = []
+        self._recent_fifo: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = bisect_left(self.buckets, value)
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            insort(self._recent, value)
+            self._recent_fifo.append(value)
+            if len(self._recent_fifo) > RESERVOIR_SIZE:
+                oldest = self._recent_fifo.pop(0)
+                at = bisect_left(self._recent, oldest)
+                self._recent.pop(at)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0..1) of the recent-observation reservoir,
+        or None when nothing was observed."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._recent:
+                return None
+            index = min(
+                len(self._recent) - 1, int(q * (len(self._recent) - 1) + 0.5)
+            )
+            return self._recent[index]
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            cumulative = 0
+            for bound, count in zip(self.buckets, self._counts):
+                cumulative += count
+                lines.append(
+                    f'{self.name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+            lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+            lines.append(f"{self.name}_count {self._count}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """A named collection of metrics rendered as one /metrics payload."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, metric: Metric) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._register(Counter(name, help, labels))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> Gauge:
+        metric = self._register(Gauge(name, help, labels))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._register(Histogram(name, help, buckets))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (trailing newline
+        included, as the format requires)."""
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        return "\n".join(m.render() for m in metrics) + "\n"
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+]

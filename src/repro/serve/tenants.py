@@ -1,0 +1,325 @@
+"""Multi-tenant admission control and fair dispatch.
+
+One ``repro serve`` process multiplexes many clients over one shared
+session/cache, so a single greedy tenant must not be able to starve the
+rest or exhaust the process.  This layer provides the three mechanisms:
+
+* **admission control** — each tenant has a :class:`TenantPolicy`: a
+  per-request :class:`~repro.guard.ResourceBudget` cap (request budgets
+  are clamped to it limit-by-limit via
+  :meth:`~repro.guard.ResourceBudget.clamp`, so a client can tighten but
+  never loosen the server-side cap) and a bounded request queue —
+  a full queue rejects immediately with :class:`AdmissionError`
+  (HTTP 429 at the app layer) instead of buffering without bound;
+* **fair dispatch** — queued requests drain onto a shared pool of
+  worker threads in round-robin order *per tenant*: each scheduling
+  decision walks the tenant ring from just past the previously served
+  tenant, so K tenants with deep queues each get ~1/K of the workers no
+  matter who bursts first;
+* **cancellation** — every request carries a
+  :class:`~repro.guard.CancellationToken`.  The app layer cancels it
+  when the client disconnects; a queued job whose token is already
+  cancelled is dropped at dispatch time (releasing its queue slot
+  without burning a worker), and a running job aborts at its next guard
+  checkpoint.
+
+The dispatcher is transport-agnostic: it runs submitted zero-argument
+callables and resolves :class:`concurrent.futures.Future` objects, so
+the asyncio app layer awaits them via ``asyncio.wrap_future`` and tests
+drive it directly with plain threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ExecutionCancelled, ReproError
+from ..guard import CancellationToken, ResourceBudget
+
+
+class AdmissionError(ReproError):
+    """A request was refused at the door: the tenant's queue is full.
+
+    Carries the tenant name and its queue bound so the app layer can
+    render a useful 429 body.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", limit: int = 0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Server-side caps for one tenant.
+
+    Attributes:
+        budget: per-request resource cap; a request's own budget is
+            clamped to this (limit-wise minimum), so the effective
+            budget honours both.  ``None`` leaves requests unbounded.
+        max_queued: bound on requests waiting or running for this
+            tenant; admission beyond it raises :class:`AdmissionError`.
+    """
+
+    budget: Optional[ResourceBudget] = None
+    max_queued: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be at least 1")
+
+    def effective_budget(
+        self, requested: Optional[ResourceBudget]
+    ) -> Optional[ResourceBudget]:
+        """The budget a request actually runs under: the tenant cap
+        tightened by whatever the request asked for."""
+        if self.budget is None:
+            return requested
+        return self.budget.clamp(requested)
+
+
+@dataclass
+class _Job:
+    """One queued unit of work."""
+
+    job_id: int
+    tenant: str
+    fn: Callable[[], object]
+    cancel: Optional[CancellationToken]
+    future: "Future[object]" = field(default_factory=Future)
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    queue: "deque[_Job]" = field(default_factory=deque)
+    #: Queued + running jobs — the unit admission control bounds.
+    occupancy: int = 0
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+
+
+class FairDispatcher:
+    """A bounded, tenant-fair queue over a shared worker-thread pool.
+
+    Args:
+        workers: worker threads executing jobs (the mining calls
+            themselves may additionally use the process-pool parallel
+            engine; these threads are the *concurrency* of the server,
+            the parallel engine is the *parallelism* of one call).
+        default_policy: policy applied to tenants not explicitly
+            registered via :meth:`set_policy`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        default_policy: TenantPolicy | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.default_policy = (
+            default_policy if default_policy is not None else TenantPolicy()
+        )
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        # Tenant ring in first-seen order; _next_index round-robins it.
+        self._tenants: "OrderedDict[str, _TenantState]" = OrderedDict()
+        self._ring_position = 0
+        self._job_ids = itertools.count(1)
+        self._closed = False
+        self._active = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission (event-loop side)
+    # ------------------------------------------------------------------
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                self._tenants[tenant] = _TenantState(policy=policy)
+            else:
+                state.policy = policy
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        with self._lock:
+            return self._state(tenant).policy
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(policy=self.default_policy)
+            self._tenants[tenant] = state
+        return state
+
+    def submit(
+        self,
+        tenant: str,
+        fn: Callable[[], object],
+        cancel: Optional[CancellationToken] = None,
+    ) -> "Future[object]":
+        """Enqueue ``fn`` for ``tenant``; returns the future its result
+        (or exception) resolves.  Raises :class:`AdmissionError` when
+        the tenant's queue is at capacity, and ``RuntimeError`` after
+        :meth:`close`."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            state = self._state(tenant)
+            if state.occupancy >= state.policy.max_queued:
+                state.rejected += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} has {state.occupancy} request(s) "
+                    f"queued or running, at its limit of "
+                    f"{state.policy.max_queued}",
+                    tenant=tenant,
+                    limit=state.policy.max_queued,
+                )
+            job = _Job(
+                job_id=next(self._job_ids),
+                tenant=tenant,
+                fn=fn,
+                cancel=cancel,
+            )
+            state.queue.append(job)
+            state.occupancy += 1
+            state.submitted += 1
+            self._work_ready.notify()
+            return job.future
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _next_job(self) -> _Job | None:
+        """Pop the next job in per-tenant round-robin order (caller
+        holds the lock).  Returns None when every queue is empty."""
+        names = list(self._tenants)
+        if not names:
+            return None
+        count = len(names)
+        for offset in range(count):
+            index = (self._ring_position + offset) % count
+            state = self._tenants[names[index]]
+            if state.queue:
+                # Advance the ring past the tenant we just served so the
+                # next decision starts with its successor.
+                self._ring_position = (index + 1) % count
+                return state.queue.popleft()
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                job = self._next_job()
+                while job is None and not self._closed:
+                    self._work_ready.wait()
+                    job = self._next_job()
+                if job is None:  # closed and drained
+                    return
+                self._active += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    state = self._tenants[job.tenant]
+                    state.occupancy -= 1
+                    state.completed += 1
+
+    def _run_job(self, job: _Job) -> None:
+        if job.cancel is not None and job.cancel.cancelled:
+            # The client went away while the job sat in the queue: drop
+            # it without burning a worker on a doomed evaluation.
+            with self._lock:
+                self._tenants[job.tenant].cancelled += 1
+            job.future.set_exception(
+                ExecutionCancelled(
+                    "request cancelled while queued (client disconnected)"
+                )
+            )
+            return
+        if not job.future.set_running_or_notify_cancel():
+            return  # future was cancelled through the Future API
+        try:
+            result = job.fn()
+        except BaseException as error:
+            if isinstance(error, ExecutionCancelled):
+                with self._lock:
+                    self._tenants[job.tenant].cancelled += 1
+            job.future.set_exception(error)
+        else:
+            job.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def queue_depth(self, tenant: str | None = None) -> int:
+        """Jobs waiting (not yet running) — one tenant's or everyone's."""
+        with self._lock:
+            if tenant is not None:
+                state = self._tenants.get(tenant)
+                return len(state.queue) if state is not None else 0
+            return sum(len(s.queue) for s in self._tenants.values())
+
+    def active(self) -> int:
+        """Jobs currently executing on a worker."""
+        with self._lock:
+            return self._active
+
+    def tenant_stats(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {
+                name: {
+                    "queued": len(state.queue),
+                    "occupancy": state.occupancy,
+                    "submitted": state.submitted,
+                    "completed": state.completed,
+                    "rejected": state.rejected,
+                    "cancelled": state.cancelled,
+                    "max_queued": state.policy.max_queued,
+                }
+                for name, state in self._tenants.items()
+            }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; drain queues, then stop the workers."""
+        with self._work_ready:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_ready.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)
+
+    def __enter__(self) -> "FairDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "AdmissionError",
+    "FairDispatcher",
+    "TenantPolicy",
+]

@@ -35,10 +35,17 @@ Two entry kinds:
 Eviction is size-bounded LRU: total cached rows and entry count are
 capped, the least-recently-*used* entry goes first, and a single result
 larger than the row budget is never admitted.
+
+The cache is **thread-safe**: the serve layer shares one process-wide
+cache across a pool of worker threads, so every path that reads or
+mutates the LRU order (lookups touch it too — ``move_to_end``) runs
+under one re-entrant lock.  Entries themselves are immutable relations,
+so a served entry needs no lock to use.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -133,23 +140,31 @@ class ResultCache:
         self.stats = CacheStats()
         # Insertion/use order is LRU order: oldest first.
         self._entries: "OrderedDict[tuple, CachedResult]" = OrderedDict()
+        # One lock for every read *and* write: lookups mutate LRU order
+        # and the stats counters, so there is no lock-free fast path.
+        # Re-entrant because put() -> _evict() nests.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def total_rows(self) -> int:
-        return sum(len(e.relation) for e in self._entries.values())
+        with self._lock:
+            return sum(len(e.relation) for e in self._entries.values())
 
     def entries(self) -> list[CachedResult]:
         """All entries, least-recently-used first."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     # Writing
@@ -175,34 +190,36 @@ class ResultCache:
         adds nothing) and a weaker newcomer replaces a stricter
         incumbent.
         """
-        if self.max_rows is not None and len(relation) > self.max_rows:
-            self.stats.rejected_oversize += 1
-            return None
-        key = canonical_key(query)
-        slot = (key, kind, filter_signature(filter))
-        incumbent = self._entries.get(slot)
-        if incumbent is not None and incumbent.is_current(
-            lambda n: versions.get(n, incumbent.versions.get(n))
-        ):
-            if filter_implies(filter, incumbent.filter):
-                # Incumbent is at least as general: keep it, refresh LRU.
-                self._entries.move_to_end(slot)
+        with self._lock:
+            if self.max_rows is not None and len(relation) > self.max_rows:
+                self.stats.rejected_oversize += 1
                 return None
-        entry = CachedResult(
-            key=key,
-            query=query,
-            filter=filter,
-            kind=kind,
-            relation=relation,
-            versions=dict(versions),
-            source_rows=source_rows,
-            param_columns=tuple(param_columns),
-        )
-        self._entries[slot] = entry
-        self._entries.move_to_end(slot)
-        self.stats.stored += 1
-        self._evict()
-        return entry
+            key = canonical_key(query)
+            slot = (key, kind, filter_signature(filter))
+            incumbent = self._entries.get(slot)
+            if incumbent is not None and incumbent.is_current(
+                lambda n: versions.get(n, incumbent.versions.get(n))
+            ):
+                if filter_implies(filter, incumbent.filter):
+                    # Incumbent is at least as general: keep it,
+                    # refresh LRU.
+                    self._entries.move_to_end(slot)
+                    return None
+            entry = CachedResult(
+                key=key,
+                query=query,
+                filter=filter,
+                kind=kind,
+                relation=relation,
+                versions=dict(versions),
+                source_rows=source_rows,
+                param_columns=tuple(param_columns),
+            )
+            self._entries[slot] = entry
+            self._entries.move_to_end(slot)
+            self.stats.stored += 1
+            self._evict()
+            return entry
 
     def _evict(self) -> None:
         while (
@@ -229,17 +246,18 @@ class ResultCache:
         produce the *exact* answer by re-filtering.  Touches LRU on hit;
         counts a hit/miss."""
         slot = (canonical_key(query), KIND_AGGREGATES, filter_signature(filter))
-        entry = self._entries.get(slot)
-        if (
-            entry is not None
-            and alpha_equivalent(entry.query, query)
-            and filter_implies(filter, entry.filter)
-        ):
-            self._entries.move_to_end(slot)
-            self.stats.hits += 1
-            return entry
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(slot)
+            if (
+                entry is not None
+                and alpha_equivalent(entry.query, query)
+                and filter_implies(filter, entry.filter)
+            ):
+                self._entries.move_to_end(slot)
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+            return None
 
     def serve_exact(
         self, entry: CachedResult, filter: AnyFilter, name: str = "flock"
@@ -259,19 +277,20 @@ class ResultCache:
         optimizer's statistics probes, which need counts, not bounds.
         Requires mutual filter implication (equal thresholds)."""
         key = canonical_key(query)
-        for kind in (KIND_SURVIVORS, KIND_AGGREGATES):
-            slot = (key, kind, filter_signature(filter))
-            entry = self._entries.get(slot)
-            if (
-                entry is not None
-                and alpha_equivalent(entry.query, query)
-                and filter_implies(filter, entry.filter)
-                and filter_implies(entry.filter, filter)
-            ):
-                self._entries.move_to_end(slot)
-                self.stats.hits += 1
-                return len(entry.relation)
-        return None
+        with self._lock:
+            for kind in (KIND_SURVIVORS, KIND_AGGREGATES):
+                slot = (key, kind, filter_signature(filter))
+                entry = self._entries.get(slot)
+                if (
+                    entry is not None
+                    and alpha_equivalent(entry.query, query)
+                    and filter_implies(filter, entry.filter)
+                    and filter_implies(entry.filter, filter)
+                ):
+                    self._entries.move_to_end(slot)
+                    self.stats.hits += 1
+                    return len(entry.relation)
+            return None
 
     def find_bound(
         self,
@@ -285,23 +304,24 @@ class ResultCache:
         bound).  Counts a bound hit when found; never counts a miss —
         bounds are opportunistic."""
         wanted = tuple(sorted(param_columns))
-        best: Optional[tuple[int, tuple, CachedResult]] = None
-        for slot, entry in self._entries.items():
-            if tuple(sorted(entry.param_columns)) != wanted:
-                continue
-            if not filter_implies(filter, entry.filter):
-                continue
-            if not serves_as_bound(entry.query, query):
-                continue
-            size = len(entry.relation)
-            if best is None or size < best[0]:
-                best = (size, slot, entry)
-        if best is None:
-            return None
-        _, slot, entry = best
-        self._entries.move_to_end(slot)
-        self.stats.bound_hits += 1
-        return entry
+        with self._lock:
+            best: Optional[tuple[int, tuple, CachedResult]] = None
+            for slot, entry in self._entries.items():
+                if tuple(sorted(entry.param_columns)) != wanted:
+                    continue
+                if not filter_implies(filter, entry.filter):
+                    continue
+                if not serves_as_bound(entry.query, query):
+                    continue
+                size = len(entry.relation)
+                if best is None or size < best[0]:
+                    best = (size, slot, entry)
+            if best is None:
+                return None
+            _, slot, entry = best
+            self._entries.move_to_end(slot)
+            self.stats.bound_hits += 1
+            return entry
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -311,12 +331,13 @@ class ResultCache:
         """Drop every entry derived from a relation whose version moved.
         ``version_of(name)`` is typically ``db.version``.  Returns the
         number of entries dropped."""
-        stale = [
-            slot
-            for slot, entry in self._entries.items()
-            if not entry.is_current(version_of)
-        ]
-        for slot in stale:
-            del self._entries[slot]
-        self.stats.invalidated += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                slot
+                for slot, entry in self._entries.items()
+                if not entry.is_current(version_of)
+            ]
+            for slot in stale:
+                del self._entries[slot]
+            self.stats.invalidated += len(stale)
+            return len(stale)

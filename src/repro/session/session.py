@@ -32,6 +32,7 @@ persist_cached_result`), so a new process pointed at the same file
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..errors import FilterError
@@ -260,6 +261,10 @@ class MiningSession:
         self.retry = retry
         self.checkpoint = checkpoint
         self.queries = 0
+        # The serve layer drives one session from many worker threads;
+        # the cache locks itself, this lock covers the session's own
+        # counters.
+        self._counter_lock = threading.Lock()
         self._persist_backend = None
         self._persist_counter = 0
         if persist_path is not None:
@@ -296,7 +301,8 @@ class MiningSession:
         (see :mod:`repro.recovery`)."""
         from ..flocks.mining import mine
 
-        self.queries += 1
+        with self._counter_lock:
+            self.queries += 1
         if guard is None and budget is None and cancel is None:
             budget, cancel = self.budget, self.cancel
         return mine(

@@ -1,0 +1,165 @@
+"""The serve layer's metrics registry: semantics and Prometheus text."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help text")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+        assert counter.total() == 3
+
+    def test_labelled_cells_are_independent(self):
+        counter = Counter("c_total", "h", labels=("endpoint",))
+        counter.inc(endpoint="/a")
+        counter.inc(5, endpoint="/b")
+        assert counter.value(endpoint="/a") == 1
+        assert counter.value(endpoint="/b") == 5
+        assert counter.total() == 6
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("c_total", "h", labels=("endpoint",))
+        with pytest.raises(ValueError):
+            counter.inc(status="200")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_counters_only_go_up(self):
+        counter = Counter("c_total", "h")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_render_sorted_with_type_and_help(self):
+        counter = Counter("c_total", "things counted", labels=("kind",))
+        counter.inc(kind="b")
+        counter.inc(kind="a")
+        text = counter.render()
+        lines = text.splitlines()
+        assert lines[0] == "# HELP c_total things counted"
+        assert lines[1] == "# TYPE c_total counter"
+        assert lines[2] == 'c_total{kind="a"} 1'
+        assert lines[3] == 'c_total{kind="b"} 1'
+
+    def test_unlabelled_counter_renders_zero_sample(self):
+        assert "c_total 0" in Counter("c_total", "h").render()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "h")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_gauges_may_go_negative(self):
+        gauge = Gauge("g", "h")
+        gauge.dec(3)
+        assert gauge.value() == -3
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = Histogram("h_seconds", "h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = histogram.render()
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 3' in text
+        assert 'h_seconds_bucket{le="+Inf"} 4' in text
+        assert "h_seconds_count 4" in text
+        assert "h_seconds_sum 6.05" in text
+
+    def test_observation_on_bound_lands_in_that_bucket(self):
+        # Prometheus buckets are upper-inclusive: le="1" includes 1.0.
+        histogram = Histogram("h", "h", buckets=(1.0,))
+        histogram.observe(1.0)
+        assert 'h_bucket{le="1"} 1' in histogram.render()
+
+    def test_quantiles_exact_over_reservoir(self):
+        histogram = Histogram("h", "h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.0, abs=1)
+        assert histogram.quantile(0.99) == pytest.approx(99.0, abs=1)
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram("h", "h").quantile(0.5) is None
+
+    def test_reservoir_eviction_keeps_recent(self):
+        from repro.serve import metrics as m
+
+        histogram = Histogram("h", "h")
+        for _ in range(m.RESERVOIR_SIZE):
+            histogram.observe(1000.0)
+        for _ in range(m.RESERVOIR_SIZE):
+            histogram.observe(1.0)
+        # The old large observations have been evicted from the
+        # reservoir (quantiles track recent behaviour)...
+        assert histogram.quantile(0.99) == 1.0
+        # ...but the cumulative counters never forget.
+        assert histogram.count == 2 * m.RESERVOIR_SIZE
+
+
+class TestRegistry:
+    def test_idempotent_registration_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "h")
+        second = registry.counter("c_total", "h")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h")
+        with pytest.raises(ValueError):
+            registry.gauge("x", "h")
+
+    def test_render_concatenates_sorted_with_trailing_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("zz_total", "h").inc()
+        registry.gauge("aa", "h").set(1)
+        text = registry.render()
+        assert text.endswith("\n")
+        assert text.index("aa") < text.index("zz_total")
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "h")
+        assert registry.get("c_total") is counter
+        assert registry.get("absent") is None
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        counter = Counter("c_total", "h", labels=("worker",))
+        histogram = Histogram("h_seconds", "h")
+        threads = 8
+        per_thread = 500
+
+        def work(worker: int) -> None:
+            for _ in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                histogram.observe(0.01)
+
+        pool = [
+            threading.Thread(target=work, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.total() == threads * per_thread
+        assert histogram.count == threads * per_thread

@@ -1,0 +1,204 @@
+"""Admission control and fair dispatch (transport-free unit level)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExecutionCancelled
+from repro.guard import CancellationToken, ResourceBudget
+from repro.serve.tenants import AdmissionError, FairDispatcher, TenantPolicy
+
+
+class TestTenantPolicy:
+    def test_effective_budget_clamps_limitwise(self):
+        policy = TenantPolicy(
+            budget=ResourceBudget(seconds=10, max_intermediate_rows=1000)
+        )
+        effective = policy.effective_budget(
+            ResourceBudget(seconds=60, max_intermediate_rows=50)
+        )
+        assert effective.seconds == 10          # tenant cap wins
+        assert effective.max_intermediate_rows == 50  # request tightened
+
+    def test_effective_budget_without_cap_passes_through(self):
+        requested = ResourceBudget(seconds=5)
+        assert TenantPolicy().effective_budget(requested) is requested
+        assert TenantPolicy().effective_budget(None) is None
+
+    def test_effective_budget_cap_without_request(self):
+        cap = ResourceBudget(seconds=10)
+        assert TenantPolicy(budget=cap).effective_budget(None) == cap
+
+    def test_max_queued_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(max_queued=0)
+
+
+class TestResourceBudgetClamp:
+    def test_none_limits_are_unbounded(self):
+        tight = ResourceBudget(seconds=None, max_intermediate_rows=10)
+        loose = ResourceBudget(seconds=5, max_intermediate_rows=None)
+        merged = tight.clamp(loose)
+        assert merged.seconds == 5
+        assert merged.max_intermediate_rows == 10
+
+    def test_clamp_none_returns_self(self):
+        budget = ResourceBudget(seconds=3)
+        assert budget.clamp(None) is budget
+
+
+class TestDispatcherBasics:
+    def test_runs_jobs_and_resolves_futures(self):
+        with FairDispatcher(workers=2) as dispatcher:
+            futures = [
+                dispatcher.submit("t", lambda i=i: i * i) for i in range(10)
+            ]
+            assert sorted(f.result(timeout=10) for f in futures) == [
+                i * i for i in range(10)
+            ]
+
+    def test_job_exception_lands_on_future(self):
+        with FairDispatcher(workers=1) as dispatcher:
+            def boom():
+                raise ValueError("no")
+            future = dispatcher.submit("t", boom)
+            with pytest.raises(ValueError, match="no"):
+                future.result(timeout=10)
+
+    def test_submit_after_close_raises(self):
+        dispatcher = FairDispatcher(workers=1)
+        dispatcher.close()
+        with pytest.raises(RuntimeError):
+            dispatcher.submit("t", lambda: None)
+
+    def test_close_drains_queued_work(self):
+        gate = threading.Event()
+        with FairDispatcher(workers=1) as dispatcher:
+            slow = dispatcher.submit("t", gate.wait)
+            queued = [dispatcher.submit("t", lambda i=i: i) for i in range(5)]
+            gate.set()
+        # close() waits: everything already admitted still completes.
+        assert slow.result(timeout=1) is True
+        assert [f.result(timeout=1) for f in queued] == list(range(5))
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_429_payload(self):
+        gate = threading.Event()
+        try:
+            with FairDispatcher(
+                workers=1, default_policy=TenantPolicy(max_queued=2)
+            ) as dispatcher:
+                dispatcher.submit("t", gate.wait)   # occupies the worker
+                dispatcher.submit("t", lambda: 1)   # queued
+                with pytest.raises(AdmissionError) as excinfo:
+                    dispatcher.submit("t", lambda: 2)
+                assert excinfo.value.tenant == "t"
+                assert excinfo.value.limit == 2
+                assert dispatcher.tenant_stats()["t"]["rejected"] == 1
+        finally:
+            gate.set()
+
+    def test_rejection_is_per_tenant(self):
+        gate = threading.Event()
+        try:
+            with FairDispatcher(
+                workers=1, default_policy=TenantPolicy(max_queued=1)
+            ) as dispatcher:
+                dispatcher.submit("a", gate.wait)
+                with pytest.raises(AdmissionError):
+                    dispatcher.submit("a", lambda: 1)
+                # A different tenant still gets in.
+                future = dispatcher.submit("b", lambda: 2)
+                gate.set()
+                assert future.result(timeout=10) == 2
+        finally:
+            gate.set()
+
+    def test_completion_releases_the_slot(self):
+        with FairDispatcher(
+            workers=1, default_policy=TenantPolicy(max_queued=1)
+        ) as dispatcher:
+            dispatcher.submit("t", lambda: 1).result(timeout=10)
+            # Slot released: the next submit is admitted again.
+            assert dispatcher.submit("t", lambda: 2).result(timeout=10) == 2
+            stats = dispatcher.tenant_stats()["t"]
+            assert stats["occupancy"] == 0
+            assert stats["completed"] == 2
+
+
+class TestFairness:
+    def test_round_robin_interleaves_tenants(self):
+        """With one worker, a burst from tenant A queued ahead of
+        tenant B must not run all of A first: dispatch order must
+        alternate A, B, A, B, ..."""
+        gate = threading.Event()
+        order = []
+        lock = threading.Lock()
+
+        def job(tag):
+            with lock:
+                order.append(tag)
+
+        with FairDispatcher(workers=1) as dispatcher:
+            blocker = dispatcher.submit("warmup", gate.wait)
+            for i in range(4):
+                dispatcher.submit("a", lambda i=i: job(("a", i)))
+            for i in range(4):
+                dispatcher.submit("b", lambda i=i: job(("b", i)))
+            gate.set()
+            blocker.result(timeout=10)
+        tags = [tenant for tenant, _ in order]
+        # Strict alternation once both queues are populated.
+        assert tags == ["a", "b", "a", "b", "a", "b", "a", "b"]
+        # FIFO within each tenant.
+        assert [i for t, i in order if t == "a"] == [0, 1, 2, 3]
+        assert [i for t, i in order if t == "b"] == [0, 1, 2, 3]
+
+
+class TestCancellation:
+    def test_queued_job_with_cancelled_token_is_dropped(self):
+        """A client that disconnects while queued releases its slot
+        without the job ever running."""
+        gate = threading.Event()
+        ran = threading.Event()
+        token = CancellationToken()
+        try:
+            with FairDispatcher(workers=1) as dispatcher:
+                blocker = dispatcher.submit("t", gate.wait)
+                doomed = dispatcher.submit("t", ran.set, cancel=token)
+                token.cancel()
+                gate.set()
+                blocker.result(timeout=10)
+                with pytest.raises(ExecutionCancelled):
+                    doomed.result(timeout=10)
+                assert not ran.is_set()
+                stats = dispatcher.tenant_stats()["t"]
+                assert stats["cancelled"] == 1
+                assert stats["occupancy"] == 0
+        finally:
+            gate.set()
+
+    def test_running_job_cancels_cooperatively(self):
+        """A running job that honours its token raises
+        ExecutionCancelled, which the dispatcher counts as cancelled."""
+        token = CancellationToken()
+        started = threading.Event()
+
+        def cooperative():
+            started.set()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if token.cancelled:
+                    raise ExecutionCancelled("stopped at a checkpoint")
+                time.sleep(0.005)
+            raise AssertionError("never cancelled")
+
+        with FairDispatcher(workers=1) as dispatcher:
+            future = dispatcher.submit("t", cooperative, cancel=token)
+            assert started.wait(timeout=10)
+            token.cancel()
+            with pytest.raises(ExecutionCancelled):
+                future.result(timeout=10)
+            assert dispatcher.tenant_stats()["t"]["cancelled"] == 1

@@ -1,0 +1,216 @@
+"""Concurrent-access stress for the shared result cache.
+
+The serve layer points many dispatcher worker threads at one
+process-wide :class:`~repro.session.MiningSession`, so the cache's LRU
+bookkeeping (every *lookup* mutates recency order) must hold up under
+contention: no corruption, no lost entries, and — the subtle one — no
+**double-miss**, where two threads racing on an alpha-equivalent flock
+both fail to see the warm entry and both re-evaluate.
+"""
+
+import threading
+
+import pytest
+
+from repro import database_from_dict, parse_flock
+from repro.session import MiningSession, ResultCache, with_support_threshold
+
+FLOCK = """
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+
+FILTER:
+COUNT(answer.B) >= 3
+"""
+
+#: Alpha-equivalent spellings (atom order permuted, comparison flipped):
+#: all share one canonical cache key.
+VARIANTS = [
+    FLOCK,
+    """
+    QUERY:
+    answer(B) :- baskets(B,$2) AND baskets(B,$1) AND $1 < $2
+
+    FILTER:
+    COUNT(answer.B) >= 3
+    """,
+    """
+    QUERY:
+    answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $2 > $1
+
+    FILTER:
+    COUNT(answer.B) >= 3
+    """,
+]
+
+
+def make_db():
+    return database_from_dict({
+        "baskets": (
+            ["BID", "item"],
+            [
+                (basket, f"i{item}")
+                for basket in range(30)
+                for item in range(8)
+                if (basket + item) % 3
+            ],
+        ),
+    })
+
+
+def run_threads(count, work):
+    """Run ``work(index)`` on ``count`` threads from a start barrier;
+    re-raises the first failure."""
+    barrier = threading.Barrier(count)
+    failures = []
+
+    def runner(index):
+        barrier.wait()
+        try:
+            work(index)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+class TestWarmCacheUnderContention:
+    def test_no_double_miss_on_alpha_equivalent_flocks(self):
+        """After one warming call, every concurrent alpha-equivalent
+        mine must hit — a single spurious miss means a lookup raced the
+        LRU mutation of another."""
+        session = MiningSession(make_db())
+        baseline, warm_report = session.mine(parse_flock(FLOCK))
+        assert warm_report.cache_hits == 0
+
+        threads, rounds = 12, 8
+        results = [None] * threads
+
+        def work(index):
+            for _ in range(rounds):
+                flock = parse_flock(VARIANTS[index % len(VARIANTS)])
+                relation, report = session.mine(flock)
+                assert report.cache_hits == 1, (
+                    f"thread {index} missed a warm cache"
+                )
+                results[index] = relation
+
+        run_threads(threads, work)
+        assert all(r.tuples == baseline.tuples for r in results)
+        # Exactly the warming call missed; nobody double-missed.
+        assert session.cache.stats.misses == 1
+        assert session.stats().queries == 1 + threads * rounds
+
+    def test_threshold_ladder_served_concurrently(self):
+        """Stricter-threshold asks re-filter the same warm entry from
+        many threads at once."""
+        session = MiningSession(make_db())
+        base = parse_flock(FLOCK)
+        session.mine(base)
+
+        def work(index):
+            threshold = 3 + (index % 4)  # all >= the warmed threshold
+            relation, report = session.mine(
+                with_support_threshold(base, threshold)
+            )
+            assert report.cache_hits == 1
+            assert len(relation) <= 1000
+
+        run_threads(12, work)
+        assert session.cache.stats.misses == 1
+
+
+class TestColdCacheUnderContention:
+    def test_concurrent_distinct_flocks_respect_bounds(self):
+        """Many threads mining *different* flocks race puts and
+        evictions on a tiny cache; the bounds must hold throughout and
+        afterwards."""
+        session = MiningSession(
+            make_db(), max_cache_entries=4, max_cache_rows=2_000
+        )
+
+        def work(index):
+            threshold = 2 + index  # distinct filters -> distinct slots
+            relation, _ = session.mine(
+                with_support_threshold(parse_flock(FLOCK), threshold)
+            )
+            assert len(session.cache) <= 4
+            assert session.cache.total_rows() <= 2_000
+
+        run_threads(10, work)
+        assert len(session.cache) <= 4
+        assert session.cache.total_rows() <= 2_000
+
+    def test_mixed_readers_writers_and_invalidation(self):
+        """Readers, writers, and invalidators interleaving must neither
+        crash nor corrupt the entry table."""
+        db = make_db()
+        session = MiningSession(db, max_cache_entries=8)
+        base = parse_flock(FLOCK)
+        session.mine(base)
+
+        def work(index):
+            if index % 5 == 4:
+                # Invalidator: bump a version, then drop stale entries.
+                rows = sorted(db.get("baskets").tuples)
+                db.add_rows("baskets", ["BID", "item"], rows)
+                session.invalidate_stale()
+            else:
+                relation, _ = session.mine(
+                    with_support_threshold(base, 3 + index % 3)
+                )
+                assert relation.columns is not None
+
+        run_threads(10, work)
+        # The table survived: every remaining entry still serves.
+        for entry in session.cache.entries():
+            assert len(entry.relation) >= 0
+        stats = session.cache.stats
+        assert stats.stored >= 1
+        assert stats.invalidated >= 0
+
+
+class TestRawCacheRaces:
+    def test_hammered_lru_never_loses_counts(self):
+        """Direct cache-level hammering: concurrent exact lookups on a
+        warm key each count exactly one hit (no lost updates on the
+        stats counters, no KeyError from racing move_to_end)."""
+        from repro.flocks import support_filter
+        from repro.datalog import atom, rule
+
+        cache = ResultCache()
+        query = rule(
+            "answer", ["B"],
+            [atom("baskets", "B", "$1"), atom("baskets", "B", "$2")],
+        )
+        from repro.relational import Relation
+
+        cache.put(
+            query,
+            support_filter(2, target="B"),
+            "aggregates",
+            Relation("r", ["$1", "$2", "_agg0"], {("a", "b", 5)}),
+            versions={"baskets": 0},
+            source_rows=10,
+            param_columns=("$1", "$2"),
+        )
+        threads, rounds = 16, 200
+
+        def work(index):
+            for _ in range(rounds):
+                entry = cache.find_exact(
+                    query, support_filter(3, target="B")
+                )
+                assert entry is not None
+
+        run_threads(threads, work)
+        assert cache.stats.hits == threads * rounds
+        assert cache.stats.misses == 0
