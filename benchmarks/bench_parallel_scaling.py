@@ -125,6 +125,17 @@ def test_words_scaling(benchmark, word_db, basket_flock_20):
             assert r["parallelism_used"] == r["jobs"], r
             assert not r["downgrades"], r
 
+    # CI smoke floor: with shared-memory seeding and encoded result
+    # buffers, jobs=2 must never be a *regression* over serial, even on
+    # a small box at tiny scale.  Opt-in via env so local exploratory
+    # runs (under profilers, on loaded machines) do not trip it.
+    floor = os.environ.get("REPRO_BENCH_MIN_SPEEDUP_J2", "")
+    if floor and 2 in by_jobs:
+        measured = by_jobs[1]["wall_ms"] / max(by_jobs[2]["wall_ms"], 1e-9)
+        assert measured >= float(floor), (
+            f"expected >={floor}x at jobs=2, measured {measured:.2f}x"
+        )
+
     # Headline claim: >=2x at 4 workers — only meaningful at full scale
     # on real cores (the CI smoke box has 1-2).
     if SCALE >= 1 and (os.cpu_count() or 1) >= 4 and 4 in by_jobs:

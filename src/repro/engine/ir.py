@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from ..relational.relation import CODE_BYTES
+
 if TYPE_CHECKING:  # imported for annotations only; no runtime dependency
     from ..datalog.atoms import Comparison, RelationalAtom
     from ..datalog.query import ConjunctiveQuery
@@ -114,6 +116,13 @@ class JoinStage:
             if self.join is None
             else self.join.estimate
         )
+
+    @property
+    def estimated_bytes(self) -> float:
+        """Flat-buffer size of this stage's output in the
+        dictionary-encoded layout (8 bytes per column slot) — the unit
+        the parallel executor budgets shared-memory transport in."""
+        return self.estimate * CODE_BYTES * len(self.columns)
 
 
 @dataclass(frozen=True)
@@ -206,7 +215,8 @@ class PhysicalPlan:
                     else " (cartesian!)"
                 )
                 lines.append(
-                    f"  join {atom}{on}  (~{stage.join.estimate:,.0f} tuples)"
+                    f"  join {atom}{on}  (~{stage.join.estimate:,.0f} "
+                    f"tuples, ~{stage.estimated_bytes:,.0f} B encoded)"
                 )
             for op in stage.filters:
                 if isinstance(op, CompareFilter):

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import math
 import time
+from collections import Counter
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Callable, Optional, Sequence
 
 from ..datalog.atoms import RelationalAtom
@@ -68,6 +70,11 @@ class MemoryEngine:
             partition predicate here
             (:func:`repro.engine.partition.partition_restrictor`), so
             one engine instance interprets one partition of the plan.
+        encode_scans: intern every scanned base relation against the
+            database's shared dictionary so joins, grouping, and
+            threshold filters run on integer code columns (the default).
+            ``False`` forces the legacy value-array data plane — kept
+            for the encoded-vs-legacy differential tests.
     """
 
     def __init__(
@@ -78,11 +85,13 @@ class MemoryEngine:
         scan_restrict: Optional[
             Callable[[RelationalAtom, Relation], Relation]
         ] = None,
+        encode_scans: bool = True,
     ):
         self.db = db
         self.guard: ExecutionGuard | None = as_guard(guard)
         self.trip_site = trip_site
         self.scan_restrict = scan_restrict
+        self.encode_scans = encode_scans
         self._bindings: dict[RelationalAtom, Relation] = {}
 
     def _verify_before_execution(self, plan: PhysicalPlan | StepPlan) -> None:
@@ -105,7 +114,7 @@ class MemoryEngine:
         """The (cached) binding relation of one positive subgoal."""
         cached = self._bindings.get(atom)
         if cached is None:
-            cached = atom_binding_relation(self.db, atom)
+            cached = atom_binding_relation(self.db, atom, encode=self.encode_scans)
             if self.scan_restrict is not None:
                 cached = self.scan_restrict(atom, cached)
             self._bindings[atom] = cached
@@ -182,7 +191,11 @@ class MemoryEngine:
     def materialize(self, current: Relation, root: Materialize) -> Relation:
         """Project onto the output terms under the plan's labels,
         re-inserting constant head terms positionally."""
-        data = current.columns_data()
+        dictionary = current.dictionary if current.is_encoded else None
+        cols: Sequence[Sequence] = (
+            current.code_columns() if dictionary is not None
+            else current.columns_data()
+        )
         n = len(current)
         entries: list[object] = []  # column position | ("const", value)
         positions: list[int] = []
@@ -194,23 +207,39 @@ class MemoryEngine:
             else:
                 entries.append(("const", term.value))  # type: ignore[union-attr]
 
-        if len(set(positions)) == len(data):
-            # Output covers every column: rows stay distinct.
+        if len(set(positions)) == len(cols):
+            # Output covers every column: rows stay distinct.  On the
+            # encoded path a constant head term is interned so the
+            # output stays in code space.
+            if dictionary is not None:
+                codes = [
+                    cols[e] if isinstance(e, int)
+                    else [dictionary.intern(e[1])] * n
+                    for e in entries
+                ]
+                return Relation.from_encoded(
+                    root.name, root.columns, codes, dictionary, count=n
+                )
             arrays = [
-                data[e] if isinstance(e, int) else [e[1]] * n for e in entries
+                cols[e] if isinstance(e, int) else [e[1]] * n for e in entries
             ]
             return Relation.from_columns(root.name, root.columns, arrays, count=n)
 
-        # The projection drops columns: deduplicate the bindable part,
-        # then re-insert constants (which cannot split groups).
+        # The projection drops columns: deduplicate the bindable part
+        # (in code space when encoded — codes are equality-faithful, so
+        # code-distinct is value-distinct), then re-insert constants
+        # (which cannot split groups).
         if not positions:
             rows: set[tuple] = {()} if n else set()
         elif len(positions) == 1:
-            rows = {(v,) for v in data[positions[0]]}
+            rows = {(v,) for v in cols[positions[0]]}
         else:
-            rows = set(zip(*(data[p] for p in positions)))
+            rows = set(zip(*(cols[p] for p in positions)))
         const_inserts = [
-            (i, e[1])
+            (
+                i,
+                dictionary.intern(e[1]) if dictionary is not None else e[1],
+            )
             for i, e in enumerate(entries)
             if not isinstance(e, int)
         ]
@@ -222,6 +251,16 @@ class MemoryEngine:
                     values.insert(i, v)
                 out_rows.add(tuple(values))
             rows = out_rows
+        if dictionary is not None:
+            code_arrays = (
+                [list(col) for col in zip(*rows)]
+                if rows
+                else [[] for _ in root.columns]
+            )
+            return Relation.from_encoded(
+                root.name, root.columns, code_arrays, dictionary,
+                count=len(rows),
+            )
         return Relation.from_distinct_rows(root.name, root.columns, rows)
 
     # ------------------------------------------------------------------
@@ -270,22 +309,41 @@ class MemoryEngine:
                 agg if grouped is None else natural_join(grouped, agg, name="agg")
             )
         assert grouped is not None
-        data = grouped.columns_data()
-        tests = [
-            (cond, grouped.column_position(column))
-            for cond, column in conditions
-        ]
-        keep = [
-            i
-            for i in range(len(grouped))
-            if all(cond.passes(data[p][i]) for cond, p in tests)
-        ]
-        return Relation.from_columns(
-            name,
-            grouped.columns,
-            [[arr[i] for i in keep] for arr in data],
-            count=len(keep),
-        )
+        return grouped.take(self._threshold_keep(grouped, conditions), name=name)
+
+    @staticmethod
+    def _threshold_keep(grouped: Relation, conditions) -> list[int]:
+        """Row indexes of ``grouped`` passing every threshold conjunct.
+
+        Vectorized: on an encoded relation each condition is evaluated
+        once per *distinct* aggregate code (the passing-code set), then
+        rows are kept by integer set membership; on a plain relation the
+        condition's batch evaluator scans the value column directly.
+        Either way no per-row ``passes()`` method call remains.
+        """
+        keep: list[int] | None = None
+        dictionary = grouped.dictionary if grouped.is_encoded else None
+        for cond, column in conditions:
+            pos = grouped.column_position(column)
+            if dictionary is not None:
+                col = grouped.code_columns()[pos]
+                values = dictionary.values
+                passes = cond.passes
+                passing = {c for c in set(col) if passes(values[c])}
+                if keep is None:
+                    keep = [i for i, c in enumerate(col) if c in passing]
+                else:
+                    keep = [i for i in keep if col[i] in passing]
+            else:
+                col = grouped.columns_data()[pos]
+                if keep is None:
+                    keep = cond.passing_indexes(col)
+                else:
+                    passes = cond.passes
+                    keep = [i for i in keep if passes(col[i])]
+        if keep is None:
+            keep = list(range(len(grouped)))
+        return keep
 
     def run_group_filter(self, answer: Relation, step: StepPlan) -> Relation:
         return self.group_filter(
@@ -337,21 +395,68 @@ class MemoryEngine:
             )
             return self.project_unique(passed, list(group_by), name)
         spec = aggregates[0]
-        data = answer.columns_data()
+        dictionary = answer.dictionary if answer.is_encoded else None
+        cols: Sequence[Sequence] = (
+            answer.code_columns() if dictionary is not None
+            else answer.columns_data()
+        )
         key_positions = [answer.column_position(c) for c in group_by]
         target_positions = [answer.column_position(c) for c in spec.target]
-        survivors: set[tuple] = set()
-        counting: dict[tuple, set[tuple]] = {}
-        for i in range(len(answer)):
-            key = tuple(data[p][i] for p in key_positions)
-            if key in survivors:
-                continue  # early exit: this group already passed
-            bucket = counting.setdefault(key, set())
-            bucket.add(tuple(data[p][i] for p in target_positions))
-            if len(bucket) >= cap:
-                survivors.add(key)
-                del counting[key]  # stop counting, free the value set
-        rows = sorted(survivors, key=repr)
+        key_arrays = [cols[p] for p in key_positions]
+        group_set = set(group_by)
+        covers_members = set(spec.target) == {
+            c for c in answer.columns if c not in group_set
+        }
+
+        # Counting runs entirely in C: rows are distinct (set
+        # semantics), so when the COUNT target covers every non-group
+        # column the distinct-target count per group is simply the
+        # group's row count — one Counter over the key columns.  For a
+        # strict subset target, distinct (key, target) pairs collapse
+        # through a set first, then the keys are counted.
+        nk = len(key_positions)
+        counts: Counter
+        if nk == 0:
+            # No parameters: the whole answer is one group.
+            if covers_members:
+                total = len(answer)
+            else:
+                total = len(set(zip(*(cols[p] for p in target_positions))))
+            counts = Counter({(): total} if total else {})
+        elif covers_members:
+            if nk == 1:
+                counts = Counter(key_arrays[0])
+            else:
+                counts = Counter(zip(*key_arrays))
+        else:
+            target_arrays = [cols[p] for p in target_positions]
+            pairs = set(zip(*key_arrays, *target_arrays))
+            picker = (
+                itemgetter(0) if nk == 1 else itemgetter(slice(0, nk))
+            )
+            counts = Counter(map(picker, pairs))
+
+        survivor_keys = [key for key, c in counts.items() if c >= cap]
+        coded_rows = (
+            [(key,) for key in survivor_keys] if nk == 1 else survivor_keys
+        )
+        if dictionary is not None:
+            # Canonical order sorts by the *decoded* repr (identical to
+            # the legacy path); only survivors pay the decode.
+            values = dictionary.values
+            coded_rows.sort(
+                key=lambda row: repr(tuple(values[c] for c in row))
+            )
+            arrays = (
+                [list(column) for column in zip(*coded_rows)]
+                if coded_rows
+                else [[] for _ in group_by]
+            )
+            return Relation.from_encoded(
+                name, tuple(group_by), arrays, dictionary,
+                count=len(coded_rows),
+            )
+        rows = sorted(coded_rows, key=repr)
         arrays = (
             [list(column) for column in zip(*rows)]
             if rows

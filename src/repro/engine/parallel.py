@@ -12,8 +12,16 @@ Two pools, chosen by the planner's System-R cardinality estimates:
 * a ``concurrent.futures`` **process pool** when the step's estimated
   answer size clears :data:`PROCESS_ESTIMATE_THRESHOLD` — real
   parallelism for the join/aggregate work that dominates large steps;
-  the pool is created lazily, seeded with the base catalog once via the
-  worker initializer, and reused across steps;
+  the pool is created lazily and reused across steps.  Workers are
+  seeded through **shared memory** (:mod:`repro.engine.shm`): the
+  parent publishes the encoded catalog's flat ``int64`` code columns
+  into one segment and ships only a descriptor (segment name, value
+  dictionary snapshot, per-relation offsets); each worker attaches and
+  slices its columns out of the mapping — no row pickling in either
+  direction.  Survivors travel back the same way: a partition whose
+  codes stay inside the seeded dictionary prefix returns flat code
+  buffers the parent decodes against its own dictionary.  When shared
+  memory is unavailable the seeding degrades to the pickled catalog.
 * a **thread pool** for small steps, where pickling and fork startup
   would cost more than the work itself.
 
@@ -54,6 +62,7 @@ from __future__ import annotations
 
 import os
 import time
+from array import array
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -65,16 +74,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
-from ..errors import (
-    BudgetExceededError,
-    ExecutionAborted,
-    ExecutionCancelled,
-    HungWorkerError,
-)
+from ..errors import ExecutionAborted, HungWorkerError
 from ..guard import ExecutionGuard, GuardLike, as_guard
 from ..relational.catalog import Database
-from ..relational.relation import Relation
+from ..relational.dictionary import ValueDictionary
+from ..relational.relation import CODE_BYTES, Relation
 from ..testing.faults import WorkerKill, maybe_hang, trip
+from . import shm
 from .ir import PartitionedStepPlan, StepPlan
 from .memory import MemoryEngine
 from .partition import (
@@ -161,13 +167,31 @@ def merged_relation(
 # ----------------------------------------------------------------------
 
 _WORKER_DB: Optional[Database] = None
+_WORKER_SEED_CODES: Optional[int] = None
 
 
-def _init_worker(db: Database) -> None:
+def _init_worker(seed: tuple[str, Any]) -> None:
     """Process-pool initializer: seed the worker with the base catalog
-    once, instead of pickling it into every task."""
-    global _WORKER_DB
+    once, instead of pickling it into every task.
+
+    ``seed`` is either ``("shm", descriptor)`` — attach the parent's
+    shared-memory segment and slice the encoded catalog out of it
+    (:func:`repro.engine.shm.attach`; no row data was pickled) — or
+    ``("db", database)``, the pickled-catalog fallback for platforms
+    without shared memory.  Either way the worker records the seeded
+    dictionary prefix size: codes below it decode identically in the
+    parent, which is what lets results travel back as flat buffers.
+    """
+    global _WORKER_DB, _WORKER_SEED_CODES
+    kind, payload = seed
+    if kind == "shm":
+        db = shm.attach(payload)
+        if db is None:  # pragma: no cover - segment vanished
+            raise RuntimeError("worker could not attach the shared catalog")
+    else:
+        db = payload
     _WORKER_DB = db
+    _WORKER_SEED_CODES = db.dictionary.snapshot_size()
 
 
 def _run_partition(
@@ -178,9 +202,9 @@ def _run_partition(
     index: int,
     need_aggregates: bool,
     guard: Optional[ExecutionGuard],
-) -> tuple[int, tuple[str, ...], list[tuple]]:
+) -> tuple[int, Relation]:
     """Execute one partition of a step; returns (answer tuples,
-    survivor columns, survivor rows)."""
+    survivor relation)."""
     engine = MemoryEngine(
         db,
         guard=guard,
@@ -191,17 +215,54 @@ def _run_partition(
         passed = engine.run_group_filter(answer, step)
     else:
         passed = engine.run_survivors(answer, step)
-    return len(answer), passed.columns, list(passed.tuples)
+    return len(answer), passed
+
+
+def _pack_survivors(passed: Relation, seed_codes: Optional[int]) -> tuple:
+    """Wire-pack one partition's survivors for the trip to the parent.
+
+    When the survivors are encoded and every code falls inside the
+    seeded dictionary prefix, ship flat ``int64`` buffers — append-only
+    interning guarantees the parent's dictionary decodes them to the
+    same values, so no Python objects are pickled.  Rows carrying
+    worker-locally interned values (codes at or past the prefix) fall
+    back to plain value tuples.
+    """
+    if (
+        seed_codes is not None
+        and passed.is_encoded
+        and all(
+            max(codes, default=-1) < seed_codes
+            for codes in passed.code_columns()
+        )
+    ):
+        buffers = tuple(
+            array("q", codes).tobytes() for codes in passed.code_columns()
+        )
+        return ("codes", passed.columns, buffers, len(passed))
+    return ("rows", passed.columns, list(passed.tuples), len(passed))
+
+
+def _unpack_survivors(
+    payload: tuple, dictionary: ValueDictionary
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """Invert :func:`_pack_survivors` against the parent's dictionary."""
+    kind, columns, data, count = payload
+    if kind == "codes":
+        decoded = [dictionary.decode_column(array("q", buf)) for buf in data]
+        rows = list(zip(*decoded)) if decoded else [()] * count
+        return tuple(columns), rows
+    return tuple(columns), data
 
 
 def _process_partition(args: tuple) -> tuple:
     """One partition task in a pool worker process.
 
-    Exceptions do not cross the process boundary as exceptions: guard
-    aborts come back as tagged payloads (custom exception classes with
-    keyword-only constructors do not round-trip through pickle), and
-    an injected :class:`WorkerKill` dies for real via ``os._exit`` so
-    the parent observes a broken pool.
+    Guard aborts cross back to the parent as real exceptions — every
+    :class:`~repro.errors.ReproError` pickles faithfully (traces are
+    dropped in transit; the parent re-attaches its own).  An injected
+    :class:`WorkerKill` still dies for real via ``os._exit`` so the
+    parent observes a broken pool.
     """
     step, extras, column, parts, index, need_aggregates, budget = args
     try:
@@ -214,16 +275,12 @@ def _process_partition(args: tuple) -> tuple:
             for relation in extras:
                 db.add(relation)
         guard = budget.start() if budget is not None else None
-        count, columns, rows = _run_partition(
+        count, passed = _run_partition(
             db, step, column, parts, index, need_aggregates, guard
         )
-        return ("ok", count, columns, rows)
+        return (count, _pack_survivors(passed, _WORKER_SEED_CODES))
     except WorkerKill:
         os._exit(17)
-    except ExecutionCancelled as error:
-        return ("cancelled", str(error))
-    except BudgetExceededError as error:
-        return ("budget", str(error), error.limit)
 
 
 def _thread_partition(
@@ -234,15 +291,15 @@ def _thread_partition(
     index: int,
     need_aggregates: bool,
     guard: Optional[ExecutionGuard],
-) -> tuple:
-    """One partition task on the thread pool (shares the parent guard;
+) -> tuple[int, Relation]:
+    """One partition task on the thread pool (shares the parent guard
+    and address space; the survivor relation is returned as-is and
     aborts and injected kills propagate as exceptions)."""
     trip("parallel.worker")
     maybe_hang("parallel.hang")
-    count, columns, rows = _run_partition(
+    return _run_partition(
         db, step, column, parts, index, need_aggregates, guard
     )
-    return ("ok", count, columns, rows)
 
 
 # ----------------------------------------------------------------------
@@ -302,7 +359,11 @@ class ParallelExecutor:
         #: Whether at least one step actually ran partitioned.
         self.ran_parallel = False
         self.last_mode = "serial"
+        #: Largest single-partition footprint seen (encoded bytes of the
+        #: biggest morsel's answer); surfaces in the MiningReport.
+        self.peak_partition_bytes = 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._shared: Optional[shm.SharedCatalog] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -310,6 +371,9 @@ class ParallelExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -528,31 +592,28 @@ class ParallelExecutor:
         rung instead.
         """
         step = plan.step
+        dictionary = self.db.dictionary
         outputs: list[Optional[tuple]] = [None] * len(outcomes)
         salvage: list[tuple[int, str, Optional[BaseException]]] = []
         hung = 0
         for index, (status, payload) in enumerate(outcomes):
             if status == "ok":
-                tag = payload[0]
-                if tag == "cancelled":
-                    raise ExecutionCancelled(
-                        payload[1], trace=self._trace(),
-                        node="parallel worker",
-                    )
-                if tag == "budget":
-                    raise BudgetExceededError(
-                        payload[1],
-                        trace=self._trace(),
-                        node="parallel worker",
-                        limit=payload[2],
-                    )
-                outputs[index] = tuple(payload[1:])
+                count, survivors = payload
+                if isinstance(survivors, Relation):  # thread worker
+                    columns, rows = survivors.columns, list(survivors.tuples)
+                else:  # process worker: wire-packed
+                    columns, rows = _unpack_survivors(survivors, dictionary)
+                outputs[index] = (count, columns, rows)
             else:
                 if status == "failed" and isinstance(
                     payload, ExecutionAborted
                 ):
-                    # A thread worker shares the parent guard; its abort
-                    # is the *evaluation's* abort, not a worker fault.
+                    # An abort is the *evaluation's* abort, not a worker
+                    # fault.  Thread workers share the parent guard;
+                    # process workers now raise across the pool boundary
+                    # (their trace was dropped in transit — attach ours).
+                    if payload.trace is None:
+                        payload.trace = self._trace()
                     raise payload
                 if status == "hung":
                     hung += 1
@@ -584,7 +645,7 @@ class ParallelExecutor:
             )
             raise first_error
         for index, _status, _error in salvage:
-            count, columns, rows = _run_partition(
+            count, passed = _run_partition(
                 db,
                 step,
                 plan.partition.column,
@@ -593,7 +654,7 @@ class ParallelExecutor:
                 need_aggregates,
                 self.guard,
             )
-            outputs[index] = (count, columns, rows)
+            outputs[index] = (count, passed.columns, list(passed.tuples))
         details = sorted(
             {
                 "hung" if status == "hung"
@@ -619,6 +680,11 @@ class ParallelExecutor:
         step = plan.step
         sizes = tuple(count for count, _columns, _rows in outputs)
         answer_tuples = sum(sizes)
+        if sizes:
+            self.peak_partition_bytes = max(
+                self.peak_partition_bytes,
+                max(sizes) * CODE_BYTES * max(1, len(step.answer_columns)),
+            )
         rows: list[tuple] = []
         columns: tuple[str, ...] = step.root.columns
         for _count, part_columns, part_rows in outputs:
@@ -687,6 +753,12 @@ class ParallelExecutor:
         if column not in relation.columns:
             return None
         slices = partition_rows(relation, column, self.parts)
+        self.peak_partition_bytes = max(
+            self.peak_partition_bytes,
+            max(len(part) for part in slices)
+            * CODE_BYTES
+            * max(1, relation.arity),
+        )
 
         def task(part: Relation) -> Relation:
             trip("parallel.worker")
@@ -737,10 +809,17 @@ class ParallelExecutor:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            if self._shared is None:
+                self._shared = shm.publish(self.db)
+            seed: tuple[str, Any] = (
+                ("shm", self._shared.descriptor)
+                if self._shared is not None
+                else ("db", self.db)
+            )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(self.db,),
+                initargs=(seed,),
             )
         return self._pool
 

@@ -30,27 +30,30 @@ assign different partitions in different pool workers.
 
 from __future__ import annotations
 
-import zlib
 from typing import Callable, Optional
 
 from ..datalog.atoms import RelationalAtom
 from ..relational.catalog import Database
+from ..relational.dictionary import stable_hash
 from ..relational.relation import Relation
 from .ir import Merge, Partition, PartitionedStepPlan, StepPlan
+
+__all__ = [
+    "ScanRestrictor",
+    "choose_partition_column",
+    "partition_index",
+    "partition_restrictor",
+    "partition_rows",
+    "partition_step",
+    "restrict_to_partition",
+    "stable_hash",
+    "step_cost_estimate",
+    "step_cost_bytes",
+]
 
 #: A hook restricting a freshly built binding relation to one partition
 #: (installed on :class:`~repro.engine.memory.MemoryEngine`).
 ScanRestrictor = Callable[[RelationalAtom, Relation], Relation]
-
-
-def stable_hash(value: object) -> int:
-    """A process-independent hash of one column value.
-
-    CRC-32 over ``repr`` — deterministic across interpreter processes
-    (unlike ``hash()``, which is seed-randomized), cheap, and defined
-    for every value a relation can hold.
-    """
-    return zlib.crc32(repr(value).encode("utf-8"))
 
 
 def partition_index(value: object, parts: int) -> int:
@@ -118,20 +121,23 @@ def restrict_to_partition(
     if column not in relation.columns:
         return relation
     position = relation.column_position(column)
-    data = relation.columns_data()
-    values = data[position]
-    keep = [
-        i for i in range(len(relation))
-        if stable_hash(values[i]) % parts == index
-    ]
+    if relation.is_encoded and relation.dictionary is not None:
+        # Per-code partition table: ``repr`` + CRC-32 runs once per
+        # *distinct value* (cached on the dictionary), and each row
+        # costs one list lookup — bit-identical assignments to the
+        # per-row hash below.
+        table = relation.dictionary.partition_table(parts)
+        codes = relation.code_columns()[position]
+        keep = [i for i, c in enumerate(codes) if table[c] == index]
+    else:
+        values = relation.columns_data()[position]
+        keep = [
+            i for i, v in enumerate(values)
+            if stable_hash(v) % parts == index
+        ]
     if len(keep) == len(relation):
         return relation
-    return Relation.from_columns(
-        relation.name,
-        relation.columns,
-        [[array[i] for i in keep] for array in data],
-        count=len(keep),
-    )
+    return relation.take(keep)
 
 
 def partition_rows(
@@ -143,20 +149,17 @@ def partition_rows(
     the parallel executor to group-filter an in-flight relation (the
     dynamic strategy) partition by partition."""
     position = relation.column_position(column)
-    data = relation.columns_data()
-    values = data[position]
     buckets: list[list[int]] = [[] for _ in range(parts)]
-    for i in range(len(relation)):
-        buckets[stable_hash(values[i]) % parts].append(i)
-    return [
-        Relation.from_columns(
-            relation.name,
-            relation.columns,
-            [[array[i] for i in bucket] for array in data],
-            count=len(bucket),
-        )
-        for bucket in buckets
-    ]
+    if relation.is_encoded and relation.dictionary is not None:
+        table = relation.dictionary.partition_table(parts)
+        codes = relation.code_columns()[position]
+        for i, c in enumerate(codes):
+            buckets[table[c]].append(i)
+    else:
+        values = relation.columns_data()[position]
+        for i, v in enumerate(values):
+            buckets[stable_hash(v) % parts].append(i)
+    return [relation.take(bucket) for bucket in buckets]
 
 
 def partition_restrictor(column: str, parts: int, index: int) -> ScanRestrictor:
@@ -177,3 +180,14 @@ def step_cost_estimate(step: StepPlan) -> float:
         if branch.stages:
             total += float(branch.stages[-1].estimate)
     return total
+
+
+def step_cost_bytes(step: StepPlan) -> float:
+    """Estimated flat-buffer size of a step's answer relation in the
+    encoded-column layout: the planner's cardinality estimate times the
+    encoded row width (8 bytes per column).  The parallel executor sizes
+    its process-vs-thread decision and its shared-memory budget from
+    this number."""
+    from ..relational.relation import CODE_BYTES
+
+    return step_cost_estimate(step) * CODE_BYTES * len(step.answer_columns)

@@ -1,0 +1,232 @@
+"""Shared-memory publication of an encoded catalog for pool workers.
+
+The process pool used to be seeded by pickling the whole base catalog
+into every worker — every row tuple serialized, shipped, and rebuilt N
+times.  With the encoded representation the catalog is just flat
+``int64`` code columns plus one value dictionary, so the parent can
+instead:
+
+1. :func:`publish` — pack every relation's code columns back-to-back
+   into a single ``multiprocessing.shared_memory`` segment, and hand
+   workers a tiny :class:`CatalogDescriptor`: the segment *name*, the
+   dictionary's value snapshot, and per-relation ``(name, columns,
+   count, offsets)`` layouts.  No row data crosses the process boundary.
+2. :func:`attach` — a worker opens the segment by name, casts the
+   buffer to ``int64`` slots, and slices each column straight out of the
+   mapping (an O(rows) integer copy at C speed — no unpickling, no
+   value reconstruction).  The rebuilt relations are born encoded, so
+   partition restriction uses per-code partition tables immediately.
+
+Because interning is append-only, every code in the segment indexes the
+snapshot prefix on both sides forever — workers can intern new values
+locally without invalidating anything, and any result whose codes stay
+below the snapshot size can be shipped back as flat buffers too (see
+``_pack_survivors`` in :mod:`repro.engine.parallel`).
+
+The parent owns the segment's lifetime: it unlinks on
+:meth:`SharedCatalog.close`.  Workers detach their handle from the
+``resource_tracker`` (or attach with ``track=False`` on Python ≥ 3.13)
+so a worker exit cannot destroy the parent's data mid-run.  When shared
+memory is unavailable — no ``/dev/shm``, permission failure — both
+entry points degrade to ``None`` and the executor falls back to the
+pickled-catalog seeding it always had.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Any, Optional
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - platform without shm support
+    shared_memory = None  # type: ignore[assignment]
+
+from ..relational.catalog import Database
+from ..relational.dictionary import ValueDictionary
+from ..relational.relation import CODE_BYTES, Relation
+
+
+@dataclass(frozen=True)
+class RelationLayout:
+    """Where one relation's code columns live inside the segment."""
+
+    name: str
+    columns: tuple[str, ...]
+    count: int
+    #: Start of each column, in int64 slots from the segment base.
+    offsets: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CatalogDescriptor:
+    """Everything a worker needs to rebuild the catalog.
+
+    This — not the row data — is what pickles into the pool initializer:
+    a segment name, the dictionary's value snapshot (codes below
+    ``len(values)`` mean the same value in parent and worker forever),
+    and one :class:`RelationLayout` per relation.
+    """
+
+    segment: str
+    total_slots: int
+    values: tuple
+    relations: tuple[RelationLayout, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Flat size of the published code columns."""
+        return self.total_slots * CODE_BYTES
+
+
+class SharedCatalog:
+    """Parent-side handle on a published segment; owns its lifetime."""
+
+    def __init__(self, shm: Any, descriptor: CatalogDescriptor):
+        self._shm = shm
+        self.descriptor = descriptor
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent).  Workers that already
+        attached keep their mapping; new attaches fail, which is fine —
+        the executor only closes after shutting its pool down."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:  # pragma: no cover - segment already gone
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+
+def publish(db: Database) -> Optional[SharedCatalog]:
+    """Pack ``db``'s encoded relations into one shared-memory segment.
+
+    Encodes every relation against the catalog's dictionary first, then
+    snapshots the dictionary — append-only interning guarantees every
+    published code indexes the snapshot.  Returns ``None`` when shared
+    memory is unavailable, leaving the caller on the pickle path.
+    """
+    if shared_memory is None:
+        return None
+    layouts: list[RelationLayout] = []
+    chunks: list[tuple[int, list[int]]] = []
+    offset = 0
+    for name in db.names():
+        relation = db.encoded(name)
+        offsets: list[int] = []
+        for codes in relation.code_columns():
+            offsets.append(offset)
+            chunks.append((offset, codes))
+            offset += len(relation)
+        layouts.append(
+            RelationLayout(
+                name, relation.columns, len(relation), tuple(offsets)
+            )
+        )
+    try:
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1) * CODE_BYTES
+        )
+    except (OSError, ValueError):  # pragma: no cover - /dev/shm failure
+        return None
+    view = memoryview(segment.buf).cast("q")
+    try:
+        for start, codes in chunks:
+            view[start:start + len(codes)] = array("q", codes)
+    finally:
+        view.release()
+    descriptor = CatalogDescriptor(
+        segment=segment.name,
+        total_slots=offset,
+        values=tuple(db.dictionary.values),
+        relations=tuple(layouts),
+    )
+    return SharedCatalog(segment, descriptor)
+
+
+def attach(descriptor: CatalogDescriptor) -> Optional[Database]:
+    """Rebuild the catalog in a worker from a published descriptor.
+
+    Slices each column's code slots straight out of the shared mapping
+    and closes the worker's handle again (the lists are worker-local
+    from then on; the parent keeps the segment alive for later
+    attaches).  Returns ``None`` when the segment cannot be opened —
+    the worker then expects a pickled catalog instead.
+    """
+    if shared_memory is None:  # pragma: no cover - platform without shm
+        return None
+    try:
+        try:
+            segment = shared_memory.SharedMemory(
+                name=descriptor.segment, track=False
+            )
+        except TypeError:  # Python < 3.13: no track flag
+            segment = shared_memory.SharedMemory(name=descriptor.segment)
+            _untrack(segment)
+    except (OSError, ValueError):  # pragma: no cover - segment gone
+        return None
+    dictionary = ValueDictionary(descriptor.values)
+    db = Database(dictionary=dictionary)
+    try:
+        view = memoryview(segment.buf).cast("q")
+        try:
+            for layout in descriptor.relations:
+                codes = [
+                    view[start:start + layout.count].tolist()
+                    for start in layout.offsets
+                ]
+                db.add(
+                    Relation.from_encoded(
+                        layout.name,
+                        layout.columns,
+                        codes,
+                        dictionary,
+                        count=layout.count,
+                    )
+                )
+        finally:
+            view.release()
+    finally:
+        segment.close()
+    return db
+
+
+def _untrack(segment: Any) -> None:
+    """Detach a worker-side handle from the ``resource_tracker``.
+
+    On Python 3.10–3.12 every ``SharedMemory`` attach registers with the
+    tracker, which can then *unlink the segment when the worker exits* —
+    destroying the parent's published catalog mid-run.  The parent owns
+    the segment; worker handles must be invisible to cleanup.
+
+    Under the ``fork`` start method (the Linux default) workers inherit
+    the parent's tracker process, whose registration cache is a set — the
+    attach-side register is a no-op there and unregistering would strip
+    the *parent's* entry instead (the tracker then complains when the
+    parent unlinks).  Only spawned/forkserver workers, with their own
+    tracker, need the unregister.
+    """
+    try:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if multiprocessing.get_start_method(allow_none=True) == "fork":
+            return
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+__all__ = [
+    "CatalogDescriptor",
+    "RelationLayout",
+    "SharedCatalog",
+    "attach",
+    "publish",
+]

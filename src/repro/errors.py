@@ -31,8 +31,34 @@ def render_caret(text: str, position: int | None) -> str:
     return f"  {line}\n  {' ' * column}^"
 
 
+def _rebuild_error(cls: type, args: tuple, state: dict) -> "ReproError":
+    """Reconstruct a pickled :class:`ReproError` subclass.
+
+    Bypasses the subclass ``__init__`` entirely (several take
+    keyword-only arguments, which the default ``Exception`` pickling
+    protocol cannot replay) and restores the instance dict directly.
+    """
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
+
+
 class ReproError(Exception):
-    """Base class for every exception raised by this library."""
+    """Base class for every exception raised by this library.
+
+    Instances round-trip through pickle with their extra attributes
+    intact — required by the parallel executor, whose process workers
+    raise these across the pool boundary.
+    """
+
+    def _pickle_state(self) -> dict:
+        """The instance state to ship when pickled (subclasses drop
+        process-local attributes here)."""
+        return dict(self.__dict__)
+
+    def __reduce__(self) -> tuple:
+        return (_rebuild_error, (type(self), self.args, self._pickle_state()))
 
 
 class ParseError(ReproError):
@@ -135,6 +161,14 @@ class ExecutionAborted(ReproError):
         super().__init__(message)
         self.trace = trace
         self.node = node
+
+    def _pickle_state(self) -> dict:
+        # Traces hold evaluation-local state (step records referencing
+        # live engine objects); they do not cross process boundaries.
+        # The parallel executor re-attaches its own trace on re-raise.
+        state = dict(self.__dict__)
+        state["trace"] = None
+        return state
 
 
 class BudgetExceededError(ExecutionAborted):

@@ -142,6 +142,12 @@ class MiningReport:
     #: or a recorded parallelism downgrade).
     parallelism_requested: int = 1
     parallelism_used: int = 1
+    #: Largest single-partition footprint the parallel executor saw —
+    #: the encoded (8 bytes/column) size of the biggest morsel's answer.
+    #: Zero when nothing ran partitioned.  This is the number to watch
+    #: when sizing worker memory: partitions are processed whole, so the
+    #: peak morsel bounds a worker's working set.
+    peak_partition_bytes: int = 0
     downgrades: tuple[Downgrade, ...] = ()
     #: Session-cache accounting (all zero without a session).  An exact
     #: hit sets ``cache_hits=1`` and ``strategy_used="cache"`` — the
@@ -204,6 +210,7 @@ class MiningReport:
             "join_order": self.join_order,
             "parallelism_requested": self.parallelism_requested,
             "parallelism_used": self.parallelism_used,
+            "peak_partition_bytes": self.peak_partition_bytes,
             "downgrades": [
                 {
                     "kind": d.kind,
@@ -254,6 +261,7 @@ class MiningReport:
             join_order=data.get("join_order", "greedy"),
             parallelism_requested=int(data.get("parallelism_requested", 1)),
             parallelism_used=int(data.get("parallelism_used", 1)),
+            peak_partition_bytes=int(data.get("peak_partition_bytes", 0)),
             downgrades=tuple(
                 Downgrade(
                     kind=d["kind"],
@@ -303,6 +311,10 @@ class MiningReport:
             lines.append(
                 f"parallelism: {self.parallelism_used} jobs "
                 f"(requested {self.parallelism_requested})"
+            )
+        if self.peak_partition_bytes:
+            lines.append(
+                f"peak partition: {self.peak_partition_bytes:,} B encoded"
             )
         if self.run_id is not None:
             lines.append(
@@ -837,6 +849,9 @@ def mine(
         join_order=join_order,
         parallelism_requested=jobs,
         parallelism_used=parallelism_used,
+        peak_partition_bytes=(
+            parallel.peak_partition_bytes if parallel is not None else 0
+        ),
         downgrades=tuple(attempt.downgrades),
         cache_misses=cache_misses,
         cache_step_hits=sink.step_hits if sink is not None else 0,

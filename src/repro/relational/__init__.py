@@ -12,6 +12,7 @@ from .aggregates import (
     having,
 )
 from .catalog import Database, database_from_dict
+from .dictionary import ValueDictionary, stable_hash
 from .explain import explain_conjunctive
 from .evaluate import (
     atom_binding_relation,
@@ -44,6 +45,7 @@ __all__ = [
     "Database",
     "Relation",
     "RelationStats",
+    "ValueDictionary",
     "anti_join",
     "atom_binding_relation",
     "cartesian_product",
@@ -67,6 +69,7 @@ __all__ = [
     "selinger_join_order",
     "semi_join",
     "shared_columns",
+    "stable_hash",
     "term_column",
     "tuples_per_assignment",
     "union_all",

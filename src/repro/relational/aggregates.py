@@ -81,66 +81,95 @@ def group_aggregate(
             "absent; targets must be non-group columns"
         )
 
-    rows: set[tuple] = set()
-
     # All paths aggregate over the column arrays rather than the row
     # set: keys come from zipping only the group columns, so no full-row
     # tuples are materialized.  With one group column the scalar values
-    # themselves serve as keys.
-    data = relation.columns_data()
+    # themselves serve as keys.  On an encoded relation the key columns
+    # are the integer *code* columns — grouping hashes small ints and the
+    # group-key side of the output stays encoded (codes are
+    # equality-faithful, so code groups are exactly value groups).
+    dictionary = relation.dictionary if relation.is_encoded else None
+    columns: Sequence[Sequence] = (
+        relation.code_columns() if dictionary is not None
+        else relation.columns_data()
+    )
     single_key = len(group_positions) == 1
     if single_key:
-        keys: Sequence = data[group_positions[0]]
+        keys: Sequence = columns[group_positions[0]]
     elif group_positions:
-        keys = list(zip(*(data[p] for p in group_positions)))
+        keys = list(zip(*(columns[p] for p in group_positions)))
     else:
         keys = [()] * len(relation)  # whole relation is one group
 
-    def widen(key):
-        # Scalar keys (the single-group-column fast path) become
-        # 1-tuples in the output rows; tuple keys pass through.
-        return (key,) if single_key else key
+    def target_values(position: int) -> Sequence:
+        # SUM/MIN/MAX need real values (codes are not order- or
+        # arithmetic-faithful); decode only the one target column.
+        if dictionary is not None:
+            return dictionary.decode_column(columns[position])
+        return columns[position]
 
     # Fast paths.  Set semantics guarantees rows are distinct, hence the
     # member sub-tuples *within a group* are distinct too (key + member
     # = the whole row).  So:
     #   * COUNT over all member columns = plain row count per group;
     #   * SUM/MIN/MAX over one column can stream row values directly.
+    per_group: dict
     if fn is AggregateFunction.COUNT and set(target) == set(member_columns):
-        rows = {
-            widen(key) + (value,) for key, value in Counter(keys).items()
-        }
+        per_group = Counter(keys)
     elif fn is not AggregateFunction.COUNT:
-        values = data[relation.column_position(target[0])]
+        values = target_values(relation.column_position(target[0]))
         if fn is AggregateFunction.SUM:
-            sums: dict = defaultdict(int)
+            per_group = defaultdict(int)
             for key, value in zip(keys, values):
-                sums[key] += value
-            rows = {widen(key) + (value,) for key, value in sums.items()}
+                per_group[key] += value
         else:
             pick = min if fn is AggregateFunction.MIN else max
-            extrema: dict = {}
+            per_group = {}
             for key, value in zip(keys, values):
-                current = extrema.get(key)
-                extrema[key] = value if current is None else pick(current, value)
-            rows = {widen(key) + (value,) for key, value in extrema.items()}
+                current = per_group.get(key)
+                per_group[key] = (
+                    value if current is None else pick(current, value)
+                )
     else:
         # COUNT over a strict subset of the member columns: distinct
         # target sub-tuples must be materialized per group.
         target_positions = [relation.column_position(c) for c in target]
         if len(target_positions) == 1:
-            members_iter: Sequence = data[target_positions[0]]
+            members_iter: Sequence = columns[target_positions[0]]
         else:
-            members_iter = list(zip(*(data[p] for p in target_positions)))
+            members_iter = list(zip(*(columns[p] for p in target_positions)))
         groups: dict = defaultdict(set)
         for key, member in zip(keys, members_iter):
             groups[key].add(member)
-        rows = {widen(key) + (len(members),) for key, members in groups.items()}
+        per_group = {key: len(members) for key, members in groups.items()}
 
-    if not group_by and not rows and fn is AggregateFunction.COUNT:
-        rows = {(0,)}
+    if not group_by and not per_group and fn is AggregateFunction.COUNT:
+        per_group = {(): 0}
 
-    return Relation(name, tuple(group_by) + (result_column,), rows)
+    # Group keys are unique by construction, so the output is distinct
+    # and can be built columnar with no re-deduplication pass.
+    out_columns = tuple(group_by) + (result_column,)
+    if single_key:
+        key_columns = [list(per_group.keys())]
+    elif group_positions and per_group:
+        key_columns = [list(col) for col in zip(*per_group.keys())]
+    else:
+        key_columns = [[] for _ in group_positions]
+    aggregate_column = list(per_group.values())
+    if dictionary is not None:
+        return Relation.from_encoded(
+            name,
+            out_columns,
+            key_columns + [dictionary.encode_column(aggregate_column)],
+            dictionary,
+            count=len(aggregate_column),
+        )
+    return Relation.from_columns(
+        name,
+        out_columns,
+        key_columns + [aggregate_column],
+        count=len(aggregate_column),
+    )
 
 
 def grouped_counts(

@@ -14,6 +14,9 @@ always joins with itself across subgoals.
 
 from __future__ import annotations
 
+from itertools import repeat
+from typing import Iterable
+
 from ..errors import EvaluationError
 from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.terms import Constant, Term
@@ -26,7 +29,9 @@ def term_column(term: Term) -> str:
     return str(term)
 
 
-def atom_binding_relation(db: Database, subgoal: RelationalAtom) -> Relation:
+def atom_binding_relation(
+    db: Database, subgoal: RelationalAtom, encode: bool = True
+) -> Relation:
     """The binding relation of one (positive-polarity) relational subgoal.
 
     Applies constant selections and repeated-term equality selections,
@@ -34,8 +39,14 @@ def atom_binding_relation(db: Database, subgoal: RelationalAtom) -> Relation:
     has set semantics, so duplicates introduced by the projection
     collapse — this is what makes a one-subgoal subquery like
     ``answer(B) :- baskets(B,$1)`` well defined.
+
+    With ``encode`` (the default) the base relation is interned against
+    the database's shared dictionary and the binding relation is built
+    on code columns — constant selections compare integer codes and the
+    output feeds the encoded join/aggregate fast paths.  ``encode=False``
+    forces the legacy value-array path (used by the differential tests).
     """
-    base = db.get(subgoal.predicate)
+    base = db.encoded(subgoal.predicate) if encode else db.get(subgoal.predicate)
     if base.arity != subgoal.arity:
         raise EvaluationError(
             f"subgoal {subgoal} has arity {subgoal.arity} but relation "
@@ -60,32 +71,50 @@ def atom_binding_relation(db: Database, subgoal: RelationalAtom) -> Relation:
             output_columns.append(term_column(term))
 
     name = f"bind:{subgoal.predicate}"
-    data = base.columns_data()
+    dictionary = base.dictionary if base.is_encoded else None
+    if dictionary is not None:
+        columns = base.code_columns()
+    else:
+        columns = base.columns_data()
+
     if not constant_checks and not equality_checks:
         # Every position is kept: the arrays can be shared as-is.
+        picked = [columns[p] for p in output_positions]
+        if dictionary is not None:
+            return Relation.from_encoded(
+                name, tuple(output_columns), picked, dictionary,
+                count=len(base),
+            )
         return Relation.from_columns(
-            name,
-            tuple(output_columns),
-            [data[p] for p in output_positions],
-            count=len(base),
+            name, tuple(output_columns), picked, count=len(base)
         )
 
-    keep = range(len(base))
+    keep: list[int] | range = range(len(base))
     for pos, value in constant_checks:
-        arr = data[pos]
-        keep = [i for i in keep if arr[i] == value]
+        arr = columns[pos]
+        if dictionary is not None:
+            # Compare interned codes; a never-seen constant matches nothing.
+            code = dictionary.code_of(value)
+            keep = [] if code is None else [i for i in keep if arr[i] == code]
+        else:
+            keep = [i for i in keep if arr[i] == value]
     for first, other in equality_checks:
-        a, b = data[first], data[other]
+        a, b = columns[first], columns[other]
         keep = [i for i in keep if a[i] == b[i]]
 
     # The surviving rows stay distinct after dropping the checked
     # positions: a dropped column is either a fixed constant or equal to
     # a kept column, so it cannot distinguish two rows on its own.
+    count = len(keep) if isinstance(keep, list) else len(base)
+    picked = [
+        list(map(columns[p].__getitem__, keep)) for p in output_positions
+    ]
+    if dictionary is not None:
+        return Relation.from_encoded(
+            name, tuple(output_columns), picked, dictionary, count=count
+        )
     return Relation.from_columns(
-        name,
-        tuple(output_columns),
-        [[data[p][i] for i in keep] for p in output_positions],
-        count=len(keep) if isinstance(keep, list) else len(base),
+        name, tuple(output_columns), picked, count=count
     )
 
 
@@ -99,7 +128,7 @@ def apply_comparison(current: Relation, comp: Comparison) -> Relation:
     """Filter the binding relation by an arithmetic subgoal whose terms
     are all bound (or constant)."""
 
-    def resolve(term: Term):
+    def resolve(term: Term) -> tuple[int | None, object]:
         if isinstance(term, Constant):
             return None, term.value
         return current.column_position(term_column(term)), None
@@ -107,20 +136,33 @@ def apply_comparison(current: Relation, comp: Comparison) -> Relation:
     left_pos, left_const = resolve(comp.left)
     right_pos, right_const = resolve(comp.right)
     fn = comp.op.fn
-    data = current.columns_data()
-    n = len(current)
-    left = data[left_pos] if left_pos is not None else [left_const] * n
-    right = data[right_pos] if right_pos is not None else [right_const] * n
-    keep = [i for i in range(n) if fn(left[i], right[i])]
-    return Relation.from_columns(
-        current.name,
-        current.columns,
-        [[arr[i] for i in keep] for arr in data],
-        count=len(keep),
-    )
+
+    def operand(pos: int | None, const: object) -> Iterable[object]:
+        if pos is None:
+            return repeat(const)
+        # Ordered comparisons need real values; decode only the columns
+        # the predicate touches (codes are equality-faithful, not
+        # order-faithful).
+        if current.is_encoded and current.dictionary is not None:
+            return current.dictionary.decode_column(
+                current.code_columns()[pos]
+            )
+        return current.columns_data()[pos]
+
+    if left_pos is None and right_pos is None:
+        # Constant-only comparison: one evaluation decides every row.
+        if fn(left_const, right_const):
+            return current
+        return current.take([])
+    left = operand(left_pos, left_const)
+    right = operand(right_pos, right_const)
+    # map() drives the comparison at C speed; the comprehension only
+    # collects surviving row indexes.
+    keep = [i for i, ok in enumerate(map(fn, left, right)) if ok]
+    return current.take(keep)
 
 
-def terms_bound(current: Relation, subgoal) -> bool:
+def terms_bound(current: Relation, subgoal: RelationalAtom) -> bool:
     """Whether every bindable term of ``subgoal`` is a column of
     ``current``."""
     cols = set(current.columns)

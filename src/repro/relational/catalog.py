@@ -21,18 +21,30 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import SchemaError
+from .dictionary import ValueDictionary
 from .relation import Relation
 from .statistics import RelationStats
 
 
 class Database:
-    """A mapping of relation names to relations, with statistics."""
+    """A mapping of relation names to relations, with statistics.
 
-    def __init__(self, relations: Iterable[Relation] = ()):
+    Every database owns one :class:`ValueDictionary` shared by all of
+    its relations, so encoded code columns are join-comparable across
+    the whole catalog (and across scratch overlays, which share the
+    parent's dictionary).
+    """
+
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        dictionary: ValueDictionary | None = None,
+    ) -> None:
         self._relations: dict[str, Relation] = {}
         self._stats: dict[str, RelationStats] = {}
         self._versions: dict[str, int] = {}
         self._mutations = 0
+        self.dictionary = dictionary if dictionary is not None else ValueDictionary()
         for rel in relations:
             self.add(rel)
 
@@ -137,12 +149,28 @@ class Database:
         Plans materialize their intermediate ``ok`` relations into the
         scratch copy; the original catalog is untouched.
         """
-        child = Database()
+        child = Database(dictionary=self.dictionary)
         child._relations = dict(self._relations)
         child._stats = dict(self._stats)
         child._versions = dict(self._versions)
         child._mutations = self._mutations
         return child
+
+    def encoded(self, name: str) -> Relation:
+        """The relation under ``name``, encoded against this database's
+        shared dictionary (encoding is cached on the relation)."""
+        rel = self.get(name)
+        rel.encode_with(self.dictionary)
+        return rel
+
+    def encoded_bytes(self) -> int:
+        """Flat-buffer size of every relation's encoded columns (only
+        counting relations that are actually encoded)."""
+        return sum(
+            r.encoded_nbytes()
+            for r in self._relations.values()
+            if r.is_encoded
+        )
 
     def total_tuples(self) -> int:
         """Sum of cardinalities across every relation."""

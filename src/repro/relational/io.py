@@ -61,10 +61,21 @@ def save_database(db: Database, directory: Union[str, Path]) -> None:
         save_relation(db.get(name), directory / f"{name}.csv")
 
 
-def load_database(directory: Union[str, Path]) -> Database:
-    """Load every ``*.csv`` in a directory into a database."""
+def load_database(
+    directory: Union[str, Path], encode: bool = True
+) -> Database:
+    """Load every ``*.csv`` in a directory into a database.
+
+    With ``encode`` (the default) each relation is interned against the
+    catalog's shared dictionary as it loads, so the database comes up
+    ready for the encoded fast paths — and for shared-memory publication
+    to pool workers — without a first-scan encoding hit.
+    """
     directory = Path(directory)
     db = Database()
     for path in sorted(directory.glob("*.csv")):
-        db.add(load_relation(path))
+        relation = load_relation(path)
+        db.add(relation)
+        if encode:
+            db.encoded(relation.name)
     return db

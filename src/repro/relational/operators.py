@@ -14,13 +14,21 @@ duplicate-free relations is duplicate-free.  Two matched pairs
 shared key columns equal and hence ``r1 == r2``.  Joins, semi-joins,
 anti-joins, and selections therefore never re-deduplicate; only
 projections that drop columns and unions do.
+
+When both inputs carry encoded code columns interned against the *same*
+:class:`~.dictionary.ValueDictionary`, every operator here runs on the
+integer codes instead of the values — build/probe keys are small ints,
+gathers move ints, and the output is itself encoded (no decode on the
+hot path).  Mixed or differently-encoded inputs transparently fall back
+to the value arrays.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..errors import SchemaError
+from .dictionary import ValueDictionary
 from .relation import Relation
 
 
@@ -30,13 +38,28 @@ def shared_columns(left: Relation, right: Relation) -> tuple[str, ...]:
     return tuple(c for c in left.columns if c in right_set)
 
 
-def _key_reader(rel: Relation, keys: Sequence[str]):
+def _shared_dictionary(left: Relation, right: Relation) -> ValueDictionary | None:
+    """The common dictionary when both sides are encoded against one."""
+    d = left.dictionary
+    if d is not None and right.dictionary is d and left.is_encoded and right.is_encoded:
+        return d
+    return None
+
+
+def _key_reader(
+    rel: Relation, keys: Sequence[str], encoded: bool = False
+) -> Iterator[object]:
     """An iterator of per-row key values for ``rel`` over ``keys``.
 
     Single-column keys iterate the raw column array (no tuple boxing);
-    multi-column keys zip the key arrays.
+    multi-column keys zip the key arrays.  ``encoded`` reads the code
+    columns instead of the value arrays.
     """
-    arrays = [rel.column_array(c) for c in keys]
+    if encoded:
+        codes = rel.code_columns()
+        arrays = [codes[rel.column_position(c)] for c in keys]
+    else:
+        arrays = [rel.column_array(c) for c in keys]
     if len(arrays) == 1:
         return iter(arrays[0])
     return zip(*arrays)
@@ -44,7 +67,7 @@ def _key_reader(rel: Relation, keys: Sequence[str]):
 
 def _gather(arrays: Sequence[list], indexes: list) -> list[list]:
     """Materialize selected rows of row-aligned arrays, column by column."""
-    return [[arr[i] for i in indexes] for arr in arrays]
+    return [list(map(arr.__getitem__, indexes)) for arr in arrays]
 
 
 def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
@@ -58,6 +81,8 @@ def natural_join(left: Relation, right: Relation, name: str = "join") -> Relatio
     left_cols = set(left.columns)
     right_only = [c for c in right.columns if c not in left_cols]
     out_columns = left.columns + tuple(right_only)
+    dictionary = _shared_dictionary(left, right)
+    encoded = dictionary is not None
 
     if not keys:
         return _cartesian(left, right, out_columns, right_only, name)
@@ -68,7 +93,7 @@ def natural_join(left: Relation, right: Relation, name: str = "join") -> Relatio
     )
 
     table: dict[object, list[int]] = {}
-    for i, key in enumerate(_key_reader(build, keys)):
+    for i, key in enumerate(_key_reader(build, keys, encoded)):
         bucket = table.get(key)
         if bucket is None:
             table[key] = [i]
@@ -77,7 +102,7 @@ def natural_join(left: Relation, right: Relation, name: str = "join") -> Relatio
 
     build_idx: list[int] = []
     probe_idx: list[int] = []
-    for i, key in enumerate(_key_reader(probe, keys)):
+    for i, key in enumerate(_key_reader(probe, keys, encoded)):
         bucket = table.get(key)
         if bucket is not None:
             probe_idx.extend([i] * len(bucket))
@@ -86,6 +111,17 @@ def natural_join(left: Relation, right: Relation, name: str = "join") -> Relatio
     left_idx, right_idx = (
         (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
     )
+    if encoded:
+        right_codes = right.code_columns()
+        right_only_codes = [
+            right_codes[right.column_position(c)] for c in right_only
+        ]
+        codes = _gather(left.code_columns(), left_idx) + _gather(
+            right_only_codes, right_idx
+        )
+        return Relation.from_encoded(
+            name, out_columns, codes, dictionary, count=len(left_idx)
+        )
     right_only_arrays = [right.column_array(c) for c in right_only]
     data = _gather(left.columns_data(), left_idx) + _gather(
         right_only_arrays, right_idx
@@ -102,6 +138,17 @@ def _cartesian(
     name: str,
 ) -> Relation:
     n, m = len(left), len(right)
+    dictionary = _shared_dictionary(left, right)
+    if dictionary is not None:
+        right_codes = right.code_columns()
+        codes = [
+            [v for v in col for _ in range(m)] for col in left.code_columns()
+        ] + [
+            right_codes[right.column_position(c)] * n for c in right_only
+        ]
+        return Relation.from_encoded(
+            name, out_columns, codes, dictionary, count=n * m
+        )
     data = [
         [v for v in arr for _ in range(m)] for arr in left.columns_data()
     ] + [right.column_array(c) * n for c in right_only]
@@ -131,15 +178,14 @@ def _filter_by_membership(
         if bool(len(right)) == keep_matches:
             return left.with_name(name)
         return Relation(name, left.columns)
-    right_keys = set(_key_reader(right, keys))
+    encoded = _shared_dictionary(left, right) is not None
+    right_keys = set(_key_reader(right, keys, encoded))
     keep = [
         i
-        for i, key in enumerate(_key_reader(left, keys))
+        for i, key in enumerate(_key_reader(left, keys, encoded))
         if (key in right_keys) == keep_matches
     ]
-    return Relation.from_columns(
-        name, left.columns, _gather(left.columns_data(), keep)
-    )
+    return left.take(keep, name=name)
 
 
 def cartesian_product(left: Relation, right: Relation, name: str = "product") -> Relation:

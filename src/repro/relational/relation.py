@@ -10,27 +10,37 @@ Columns are strings; by convention the evaluator labels columns with the
 rendered form of the Datalog term they bind (``"P"``, ``"$s"``), which
 makes intermediate results self-describing.
 
-Internally a relation keeps up to two representations of the same rows:
+Internally a relation keeps up to three representations of the same rows:
 
 * a row set (``frozenset`` of tuples) — ideal for membership tests,
   set-algebra, and hashing;
 * column arrays (one Python list per column, row-aligned) — ideal for
   batch-at-a-time operators that scan one or two columns of every row
-  (hash joins, comparisons, grouping).
+  (hash joins, comparisons, grouping);
+* encoded columns (one row-aligned list of integer codes per column,
+  interned against a shared :class:`~.dictionary.ValueDictionary`) —
+  the canonical data-plane layout: joins, grouping, and partitioning
+  run on small ints, and the flat codes pack into ``array('q')``
+  buffers for zero-copy shipping through shared memory.
 
-Either representation is materialized lazily from the other and cached,
-so operators pay only for the layout they touch.  Both describe a
+Any representation is materialized lazily from the others and cached,
+so operators pay only for the layout they touch.  All describe a
 duplicate-free set of rows; ``distinct`` construction paths
-(:meth:`Relation.from_columns`) let operators that provably preserve
-distinctness — e.g. the natural join of two duplicate-free inputs —
-skip re-deduplication entirely.
+(:meth:`Relation.from_columns`, :meth:`Relation.from_encoded`) let
+operators that provably preserve distinctness — e.g. the natural join
+of two duplicate-free inputs — skip re-deduplication entirely.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import SchemaError
+from .dictionary import ValueDictionary
+
+#: Width of one encoded cell in bytes (``array('q')`` signed 64-bit).
+CODE_BYTES = 8
 
 
 class Relation:
@@ -41,14 +51,23 @@ class Relation:
     new relations.
     """
 
-    __slots__ = ("name", "columns", "_column_index", "_rows", "_data", "_count")
+    __slots__ = (
+        "name",
+        "columns",
+        "_column_index",
+        "_rows",
+        "_data",
+        "_count",
+        "_codes",
+        "_dict",
+    )
 
     def __init__(
         self,
         name: str,
         columns: Sequence[str],
         tuples: Iterable[tuple] = (),
-    ):
+    ) -> None:
         self.name = name
         self.columns: tuple[str, ...] = tuple(columns)
         if len(set(self.columns)) != len(self.columns):
@@ -65,6 +84,8 @@ class Relation:
             normalized.add(row_t)
         self._rows: frozenset[tuple] | None = frozenset(normalized)
         self._data: tuple[list, ...] | None = None
+        self._codes: tuple[list[int], ...] | None = None
+        self._dict: ValueDictionary | None = None
         self._count = len(normalized)
         self._column_index = {c: i for i, c in enumerate(self.columns)}
 
@@ -109,6 +130,55 @@ class Relation:
             rel._count = int(count or 0)
         rel._data = arrays
         rel._rows = None
+        rel._codes = None
+        rel._dict = None
+        rel._column_index = {c: i for i, c in enumerate(rel.columns)}
+        return rel
+
+    @classmethod
+    def from_encoded(
+        cls,
+        name: str,
+        columns: Sequence[str],
+        codes: Sequence[Sequence[int]],
+        dictionary: ValueDictionary,
+        count: int | None = None,
+    ) -> "Relation":
+        """Build a relation directly from dictionary-encoded code columns.
+
+        The caller asserts the rows are already **distinct** and every
+        code is valid in ``dictionary``.  ``codes`` columns may be lists,
+        ``array('q')`` instances, or ``memoryview``s over shared memory;
+        they are normalized to plain lists (the fastest layout for the
+        pure-Python kernels) exactly once.  ``count`` is required only
+        for zero-column relations.
+        """
+        rel = cls.__new__(cls)
+        rel.name = name
+        rel.columns = tuple(columns)
+        if len(set(rel.columns)) != len(rel.columns):
+            raise SchemaError(f"duplicate column names in {name}: {rel.columns}")
+        if len(codes) != len(rel.columns):
+            raise SchemaError(
+                f"relation {name!r} got {len(codes)} code columns for "
+                f"{len(rel.columns)} columns"
+            )
+        normalized = tuple(
+            col if type(col) is list else list(col) for col in codes
+        )
+        if normalized:
+            rel._count = len(normalized[0])
+            for col in normalized:
+                if len(col) != rel._count:
+                    raise SchemaError(
+                        f"relation {name!r} has ragged code columns"
+                    )
+        else:
+            rel._count = int(count or 0)
+        rel._codes = normalized
+        rel._dict = dictionary
+        rel._data = None
+        rel._rows = None
         rel._column_index = {c: i for i, c in enumerate(rel.columns)}
         return rel
 
@@ -131,6 +201,8 @@ class Relation:
             raise SchemaError(f"duplicate column names in {name}: {rel.columns}")
         rel._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
         rel._data = None
+        rel._codes = None
+        rel._dict = None
         rel._count = len(rel._rows)
         rel._column_index = {c: i for i, c in enumerate(rel.columns)}
         return rel
@@ -143,6 +215,8 @@ class Relation:
     def tuples(self) -> frozenset[tuple]:
         """The rows as a frozenset, materialized lazily from columns."""
         if self._rows is None:
+            if self._data is None and self._codes is not None:
+                self.columns_data()
             data = self._data or ()
             if data:
                 self._rows = frozenset(zip(*data))
@@ -151,8 +225,15 @@ class Relation:
         return self._rows
 
     def columns_data(self) -> tuple[list, ...]:
-        """Row-aligned per-column arrays, materialized lazily from rows."""
+        """Row-aligned per-column arrays, materialized lazily from rows
+        (or decoded lazily from encoded code columns)."""
         if self._data is None:
+            if self._codes is not None and self._dict is not None:
+                values = self._dict.values
+                self._data = tuple(
+                    list(map(values.__getitem__, col)) for col in self._codes
+                )
+                return self._data
             rows = self._rows or frozenset()
             if self.columns:
                 if rows:
@@ -162,6 +243,87 @@ class Relation:
             else:
                 self._data = ()
         return self._data
+
+    # ------------------------------------------------------------------
+    # Encoded representation
+    # ------------------------------------------------------------------
+
+    @property
+    def is_encoded(self) -> bool:
+        """Whether the encoded-column representation is materialized."""
+        return self._codes is not None
+
+    @property
+    def dictionary(self) -> ValueDictionary | None:
+        """The value dictionary the code columns are interned against."""
+        return self._dict
+
+    def code_columns(self) -> tuple[list[int], ...]:
+        """The encoded code columns (shared, do not mutate).
+
+        Raises :class:`SchemaError` if the relation is not encoded; use
+        :meth:`encode_with` to encode against a dictionary first.
+        """
+        if self._codes is None:
+            raise SchemaError(
+                f"relation {self.name!r} has no encoded representation"
+            )
+        return self._codes
+
+    def encode_with(self, dictionary: ValueDictionary) -> tuple[list[int], ...]:
+        """Encode (and cache) the rows as code columns over ``dictionary``.
+
+        Idempotent when already encoded against the same dictionary.
+        Encoding against a *different* dictionary decodes first and does
+        not replace the cached representation.
+        """
+        if self._codes is not None and self._dict is dictionary:
+            return self._codes
+        codes = tuple(
+            dictionary.encode_column(col) for col in self.columns_data()
+        )
+        if self._codes is None:
+            self._codes = codes
+            self._dict = dictionary
+        return codes
+
+    def encoded_nbytes(self) -> int:
+        """Size of the encoded columns as flat int64 buffers."""
+        return CODE_BYTES * self._count * len(self.columns)
+
+    def encoded_buffers(self) -> tuple[memoryview, ...]:
+        """The code columns as read-only ``memoryview``s over ``array('q')``.
+
+        This is the zero-copy transport form: each buffer can be written
+        into a shared-memory segment (or sent over a pipe) byte-for-byte
+        and reattached with ``memoryview.cast('q')`` on the other side.
+        """
+        return tuple(
+            memoryview(array("q", col)).toreadonly()
+            for col in self.code_columns()
+        )
+
+    def take(self, indexes: Sequence[int], name: str | None = None) -> "Relation":
+        """The rows at ``indexes`` (caller asserts they stay distinct).
+
+        Preserves the cheapest materialized representation: encoded
+        relations gather code columns, others gather value columns.
+        """
+        if self._codes is not None and self._dict is not None:
+            return Relation.from_encoded(
+                name or self.name,
+                self.columns,
+                [list(map(col.__getitem__, indexes)) for col in self._codes],
+                self._dict,
+                count=len(indexes),
+            )
+        data = self.columns_data()
+        return Relation.from_columns(
+            name or self.name,
+            self.columns,
+            [list(map(arr.__getitem__, indexes)) for arr in data],
+            count=len(indexes),
+        )
 
     def column_array(self, column: str) -> list:
         """One column as a row-aligned array (shared, do not mutate)."""
@@ -181,6 +343,8 @@ class Relation:
     def __iter__(self) -> Iterator[tuple]:
         if self._rows is not None:
             return iter(self._rows)
+        if self._data is None and self._codes is not None:
+            self.columns_data()
         data = self._data or ()
         if data:
             return iter(zip(*data))
@@ -228,6 +392,14 @@ class Relation:
         """
         positions = [self.column_position(c) for c in columns]
         if len(set(positions)) == len(self.columns):
+            if self._codes is not None and self._dict is not None:
+                return Relation.from_encoded(
+                    name or self.name,
+                    tuple(columns),
+                    [self._codes[p] for p in positions],
+                    self._dict,
+                    count=self._count,
+                )
             data = self.columns_data()
             return Relation.from_columns(
                 name or self.name,
@@ -257,8 +429,21 @@ class Relation:
         return Relation.from_distinct_rows(name or self.name, cols, rows)
 
     def select_eq(self, column: str, value: object, name: str | None = None) -> "Relation":
-        """Fast-path selection ``column = value``."""
+        """Fast-path selection ``column = value``.
+
+        On an encoded relation the comparison runs over integer codes:
+        a constant that was never interned matches nothing.
+        """
         pos = self.column_position(column)
+        if self._codes is not None and self._dict is not None:
+            code = self._dict.code_of(value)
+            if code is None:
+                keep: list[int] = []
+            else:
+                keep = [
+                    i for i, c in enumerate(self._codes[pos]) if c == code
+                ]
+            return self.take(keep, name=name)
         data = self.columns_data()
         keep = [i for i, v in enumerate(data[pos]) if v == value]
         return Relation.from_columns(
@@ -285,6 +470,8 @@ class Relation:
         rel.columns = new_cols
         rel._rows = self._rows
         rel._data = self._data
+        rel._codes = self._codes
+        rel._dict = self._dict
         rel._count = self._count
         rel._column_index = {c: i for i, c in enumerate(new_cols)}
         return rel
@@ -318,6 +505,26 @@ class Relation:
             )
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __reduce__(self) -> tuple:
+        """Pickle as decoded column arrays via a positional rebuilder.
+
+        ``__slots__`` + trusted keyword-only constructor paths do not
+        round-trip through the default reduce protocol, and pickling an
+        encoded relation naively would drag the entire shared
+        :class:`ValueDictionary` into every payload.  Instead the wire
+        form is always (name, columns, value arrays, count): compact,
+        self-contained, and rebuilt through the distinct-preserving
+        fast path on the other side.
+        """
+        return (
+            _rebuild_relation,
+            (self.name, self.columns, self.columns_data(), self._count),
+        )
+
+    # ------------------------------------------------------------------
     # Display
     # ------------------------------------------------------------------
 
@@ -337,6 +544,16 @@ class Relation:
                 break
             lines.append(" | ".join(str(v) for v in row))
         return "\n".join(lines)
+
+
+def _rebuild_relation(
+    name: str,
+    columns: tuple[str, ...],
+    data: tuple[list, ...],
+    count: int,
+) -> Relation:
+    """Unpickle target: rebuild from distinct row-aligned columns."""
+    return Relation.from_columns(name, columns, data, count=count)
 
 
 def relation_from_rows(

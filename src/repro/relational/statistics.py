@@ -15,16 +15,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from .relation import Relation
+from .relation import CODE_BYTES, Relation
 
 
 @dataclass(frozen=True)
 class RelationStats:
-    """Cardinality plus per-column distinct counts for one relation."""
+    """Cardinality, per-column distinct counts, and the encoded row
+    width (bytes per row in the dictionary-encoded flat layout) for one
+    relation.  The width feeds byte-based cost decisions — e.g. whether
+    a partitioned step is big enough to amortize process workers."""
 
     name: str
     cardinality: int
     distinct: dict[str, int]
+    row_bytes: int = 0
 
     @classmethod
     def of(cls, relation: Relation) -> "RelationStats":
@@ -32,10 +36,15 @@ class RelationStats:
             relation.name,
             len(relation),
             {c: relation.distinct_count(c) for c in relation.columns},
+            row_bytes=CODE_BYTES * relation.arity,
         )
 
     def distinct_count(self, column: str) -> int:
         return self.distinct.get(column, 0)
+
+    def encoded_bytes(self) -> int:
+        """Flat-buffer size of the whole relation when encoded."""
+        return self.cardinality * self.row_bytes
 
     def tuples_per_value(self, column: str) -> float:
         """Average number of tuples sharing one value of ``column`` —

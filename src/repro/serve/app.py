@@ -340,6 +340,10 @@ class MiningService:
         self.m_cache_rows = m.gauge(
             "repro_cache_rows", "Tuples held by the shared result cache"
         )
+        self.m_cache_bytes = m.gauge(
+            "repro_cache_bytes",
+            "Encoded flat-column bytes held by the shared result cache",
+        )
         self.m_data_loads = m.counter(
             "repro_data_loads_total",
             "POST /v1/data relation loads (each bumps catalog versions)",
@@ -668,6 +672,7 @@ class MiningService:
         self.m_queue_depth.set(self.dispatcher.queue_depth())
         self.m_cache_entries.set(len(self.session.cache))
         self.m_cache_rows.set(self.session.cache.total_rows())
+        self.m_cache_bytes.set(self.session.cache.total_bytes())
         return self.metrics.render()
 
     # ------------------------------------------------------------------

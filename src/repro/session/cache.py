@@ -157,6 +157,16 @@ class ResultCache:
         with self._lock:
             return sum(len(e.relation) for e in self._entries.values())
 
+    def total_bytes(self) -> int:
+        """Footprint of the cached relations in the encoded flat-column
+        layout (8 bytes per column slot) — the byte-accurate companion
+        to :meth:`total_rows`, exported as the ``repro_cache_bytes``
+        gauge by the serve layer."""
+        with self._lock:
+            return sum(
+                e.relation.encoded_nbytes() for e in self._entries.values()
+            )
+
     def entries(self) -> list[CachedResult]:
         """All entries, least-recently-used first."""
         with self._lock:

@@ -1,0 +1,151 @@
+"""The shared-memory transport: publish/attach, wire packing, and
+exception round-trips across the pool boundary."""
+
+import pickle
+
+import pytest
+
+from repro.engine import shm
+from repro.engine.parallel import _pack_survivors, _unpack_survivors
+from repro.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    ExecutionAborted,
+    ExecutionCancelled,
+    HungWorkerError,
+    ParseError,
+)
+from repro.relational import ValueDictionary, database_from_dict
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def db():
+    return database_from_dict(
+        {
+            "r": (("A", "B"), [(1, "x"), (2, "y"), (3, "x"), (1, "z")]),
+            "s": (("B",), [("x",), ("q",)]),
+            "empty": (("C", "D"), []),
+        }
+    )
+
+
+class TestSharedCatalog:
+    def test_publish_attach_round_trip(self, db):
+        catalog = shm.publish(db)
+        assert catalog is not None
+        try:
+            # The descriptor — not the data — is what crosses processes.
+            descriptor = pickle.loads(pickle.dumps(catalog.descriptor))
+            worker_db = shm.attach(descriptor)
+            assert worker_db is not None
+            for name in db.names():
+                original = db.get(name)
+                rebuilt = worker_db.get(name)
+                assert rebuilt.columns == original.columns
+                assert set(rebuilt.tuples) == set(original.tuples)
+                assert rebuilt.is_encoded
+            # Codes agree across the boundary: same dictionary prefix.
+            assert worker_db.dictionary.values == db.dictionary.values
+        finally:
+            catalog.close()
+
+    def test_descriptor_sizes(self, db):
+        catalog = shm.publish(db)
+        assert catalog is not None
+        try:
+            descriptor = catalog.descriptor
+            total = sum(
+                layout.count * len(layout.columns)
+                for layout in descriptor.relations
+            )
+            assert descriptor.total_slots == total
+            assert descriptor.nbytes == total * 8
+        finally:
+            catalog.close()
+
+    def test_close_is_idempotent(self, db):
+        catalog = shm.publish(db)
+        assert catalog is not None
+        catalog.close()
+        catalog.close()
+
+    def test_attach_missing_segment_returns_none(self, db):
+        catalog = shm.publish(db)
+        assert catalog is not None
+        descriptor = catalog.descriptor
+        catalog.close()
+        assert shm.attach(descriptor) is None
+
+    def test_publish_unavailable_falls_back(self, db, monkeypatch):
+        monkeypatch.setattr(shm, "shared_memory", None)
+        assert shm.publish(db) is None
+
+
+class TestWirePacking:
+    def test_encoded_survivors_ship_as_code_buffers(self):
+        dictionary = ValueDictionary()
+        relation = Relation("t", ("A", "B"), [(1, "x"), (2, "y")])
+        relation.encode_with(dictionary)
+        packed = _pack_survivors(relation, dictionary.snapshot_size())
+        assert packed[0] == "codes"
+        columns, rows = _unpack_survivors(packed, dictionary)
+        assert columns == ("A", "B")
+        assert set(rows) == {(1, "x"), (2, "y")}
+
+    def test_worker_local_codes_fall_back_to_rows(self):
+        parent = ValueDictionary(["seeded"])
+        worker = ValueDictionary(["seeded"])
+        relation = Relation("t", ("A",), [("seeded",), ("fresh",)])
+        relation.encode_with(worker)  # "fresh" interned past the prefix
+        packed = _pack_survivors(relation, parent.snapshot_size())
+        assert packed[0] == "rows"
+        columns, rows = _unpack_survivors(packed, parent)
+        assert set(rows) == {("seeded",), ("fresh",)}
+
+    def test_empty_relation_round_trips(self):
+        dictionary = ValueDictionary()
+        relation = Relation("t", ("A",), set())
+        relation.encode_with(dictionary)
+        packed = _pack_survivors(relation, dictionary.snapshot_size())
+        columns, rows = _unpack_survivors(packed, dictionary)
+        assert columns == ("A",) and rows == []
+
+    def test_unencoded_relation_ships_rows(self):
+        relation = Relation("t", ("A",), [(1,)])
+        packed = _pack_survivors(relation, 10)
+        assert packed[0] == "rows"
+
+
+class TestExceptionPickling:
+    """ReproError subclasses must cross the process-pool boundary with
+    their extra attributes intact (traces excepted — those are
+    evaluation-local and re-attached by the parent)."""
+
+    def test_keyword_only_constructors_round_trip(self):
+        cases = [
+            ParseError("bad", "some text", 4),
+            EvaluationError("boom", sql="SELECT 1"),
+            HungWorkerError("stuck", pending=3),
+            ExecutionAborted("stop", node="join:r"),
+            BudgetExceededError("over", node="scan", limit="seconds"),
+            ExecutionCancelled("bye", node="wait"),
+        ]
+        for error in cases:
+            clone = pickle.loads(pickle.dumps(error))
+            assert type(clone) is type(error)
+            assert clone.args == error.args
+        parsed = pickle.loads(pickle.dumps(cases[0]))
+        assert (parsed.text, parsed.position) == ("some text", 4)
+        assert pickle.loads(pickle.dumps(cases[1])).sql == "SELECT 1"
+        assert pickle.loads(pickle.dumps(cases[2])).pending == 3
+        budget = pickle.loads(pickle.dumps(cases[4]))
+        assert (budget.limit, budget.node) == ("seconds", "scan")
+
+    def test_trace_is_dropped_in_transit(self):
+        error = ExecutionAborted(
+            "stop", trace=object(), node="n"  # deliberately unpicklable
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.trace is None
+        assert clone.node == "n"
