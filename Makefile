@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test stress bench bench-json examples lint-flocks clean outputs
+.PHONY: install test stress bench bench-json examples lint lint-flocks conlint clean outputs
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Full static gate: style, types, and the concurrency analyzer.
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
+	$(PYTHON) -m mypy src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.conlint src/repro
+
+# Just the concurrency lint (no third-party tools needed).
+conlint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.conlint src/repro
 
 # Failure-path suite: fault injection, retries, graceful degradation.
 stress:

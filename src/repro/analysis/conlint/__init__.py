@@ -1,0 +1,33 @@
+"""Concurrency lint for the serving + parallel stack.
+
+Four AST passes over ``src/repro`` prove the concurrency conventions
+``docs/CONCURRENCY.md`` documents, reporting through the shared
+:class:`~repro.analysis.diagnostics.Diagnostic` framework:
+
+1. :mod:`.lockcheck` — ``GUARDED`` lock discipline and a static
+   lock-order deadlock check (``conlint-guard-*``,
+   ``conlint-lock-cycle``);
+2. :mod:`.wirecheck` — process-pool picklability and the exception
+   ``__reduce__`` contract (``conlint-wire-*``);
+3. :mod:`.asynccheck` — no synchronous blocking calls on the event
+   loop (``conlint-async-blocking``);
+4. :mod:`.cancelcheck` — hot kernels poll cancellation
+   (``conlint-loop-no-checkpoint``).
+
+Entry points: :func:`lint_paths` (library), ``repro check
+--concurrency`` and ``python -m repro.analysis.conlint`` (CLI).
+"""
+
+from .lockcheck import lock_order_edges
+from .model import build_file_model, build_project_model
+from .runner import build_model, lint_paths, main, to_json
+
+__all__ = [
+    "build_file_model",
+    "build_model",
+    "build_project_model",
+    "lint_paths",
+    "lock_order_edges",
+    "main",
+    "to_json",
+]

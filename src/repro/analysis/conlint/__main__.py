@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.conlint`` — the CI conlint gate."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,232 @@
+"""Pass 3 — no synchronous blocking calls inside ``async def`` bodies.
+
+The serve loop is a single asyncio event loop: one synchronous sqlite
+query, ``time.sleep``, socket accept, or file read inside a coroutine
+stalls *every* connected client.  This pass flags, inside any
+``async def`` body in the analyzed files:
+
+* calls on a **denylist** of known-blocking callables (``time.sleep``,
+  ``sqlite3.connect``, ``open``, ``socket.*``, ``subprocess.*``,
+  ``Path.read_text``-style file methods), resolved through the file's
+  imports so ``from time import sleep`` is still caught; and
+* calls to anything marked ``@blocking``
+  (:func:`repro.concurrency.blocking`), resolved one lexical hop —
+  bare project functions, ``self.m()``, and ``obj.m()`` where ``obj``
+  is a parameter, local, or ``self`` attribute whose class is known.
+
+Executor dispatch escapes naturally: ``await asyncio.to_thread(f, x)``
+and ``loop.run_in_executor(None, f, x)`` pass ``f`` *uncalled*, so no
+Call node appears and nothing is flagged — exactly the approved idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Severity
+from .model import (
+    ClassInfo,
+    FileModel,
+    Finding,
+    FunctionInfo,
+    ProjectModel,
+    dotted,
+    terminal,
+)
+
+CODE_BLOCKING = "conlint-async-blocking"
+
+#: Fully-resolved dotted names that always block.
+DENYLIST = {
+    "time.sleep",
+    "sqlite3.connect",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "urllib.request.urlopen",
+}
+#: Bare builtins that block.
+BUILTIN_DENYLIST = {"open"}
+#: Method names that mean file I/O on any receiver (Path API).
+METHOD_DENYLIST = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _finding(
+    file: FileModel, message: str, node: ast.AST, hint: str | None = None
+) -> Finding:
+    return Finding(
+        code=CODE_BLOCKING,
+        severity=Severity.ERROR,
+        message=message,
+        path=file.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        position=file.offset_of(node),
+        hint=hint
+        or "dispatch through an executor: await asyncio.to_thread(...)",
+    )
+
+
+def _resolve_import(file: FileModel, name: str) -> str:
+    """Rewrite the first segment through the file's import table."""
+    parts = name.split(".")
+    origin = file.imports.get(parts[0])
+    if origin is None:
+        return name
+    return ".".join([origin, *parts[1:]])
+
+
+class _AsyncBodyChecker:
+    """Checks one ``async def`` body with a lexical local-type env."""
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        file: FileModel,
+        func: FunctionInfo,
+        cls: ClassInfo | None,
+        findings: list[Finding],
+    ) -> None:
+        self.project = project
+        self.file = file
+        self.func = func
+        self.cls = cls
+        self.findings = findings
+        #: local / parameter name -> class name
+        self.env: dict[str, str] = dict(func.param_types)
+
+    def check(self) -> None:
+        for stmt in self.func.node.body:
+            self._walk(stmt)
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return  # sync nested def: only blocking if *called* here
+        if isinstance(node, ast.AsyncFunctionDef):
+            return  # gets its own checker
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            self._track(node)
+        if isinstance(node, ast.Call):
+            self._check_call(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+
+    def _track(self, node: ast.Assign | ast.AnnAssign) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            return
+        name = targets[0].id
+        value = node.value
+        if value is None:
+            return
+        source = dotted(value)
+        if source is None:
+            return
+        inferred = self._type_of(source)
+        if inferred is not None:
+            self.env[name] = inferred
+
+    def _type_of(self, dotted_name: str) -> str | None:
+        parts = dotted_name.split(".")
+        if parts[0] == "self" and self.cls is not None and len(parts) == 2:
+            for current in self.project._mro(self.cls):
+                if parts[1] in current.attr_types:
+                    return current.attr_types[parts[1]]
+            return None
+        if len(parts) == 1:
+            return self.env.get(parts[0])
+        return None
+
+    def _check_call(self, node: ast.Call) -> None:
+        name = dotted(node.func)
+        if name is None:
+            return
+        resolved = _resolve_import(self.file, name)
+        if resolved in DENYLIST or (
+            "." not in name and name in BUILTIN_DENYLIST
+        ):
+            self.findings.append(
+                _finding(
+                    self.file,
+                    f"synchronous blocking call '{name}' inside async "
+                    f"function {self.func.name} stalls the event loop "
+                    "for every connected client",
+                    node,
+                )
+            )
+            return
+        if "." in name and terminal(name) in METHOD_DENYLIST:
+            self.findings.append(
+                _finding(
+                    self.file,
+                    f"synchronous file I/O '{name}' inside async function "
+                    f"{self.func.name} stalls the event loop",
+                    node,
+                )
+            )
+            return
+        self._check_marked(node, name)
+
+    def _check_marked(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        target: FunctionInfo | None = None
+        if len(parts) == 1:
+            candidate = self.file.module_functions.get(parts[0])
+            if candidate is not None and candidate.is_blocking:
+                target = candidate
+        elif len(parts) == 2:
+            if parts[0] == "self" and self.cls is not None:
+                target = self.project.class_method(self.cls, parts[1])
+            else:
+                owner_name = self.env.get(parts[0])
+                owner = (
+                    self.project.classes.get(owner_name)
+                    if owner_name
+                    else None
+                )
+                if owner is not None:
+                    target = self.project.class_method(owner, parts[1])
+        elif len(parts) == 3 and parts[0] == "self":
+            owner_name = self._type_of(f"self.{parts[1]}")
+            owner = (
+                self.project.classes.get(owner_name) if owner_name else None
+            )
+            if owner is not None:
+                target = self.project.class_method(owner, parts[2])
+        if target is not None and target.is_blocking:
+            self.findings.append(
+                _finding(
+                    self.file,
+                    f"call to @blocking '{name}' inside async function "
+                    f"{self.func.name} performs synchronous I/O on the "
+                    "event loop",
+                    node,
+                    hint=f"await asyncio.to_thread({name}, ...) instead",
+                )
+            )
+
+
+def check_async(project: ProjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for file in project.files:
+        for func in file.all_functions:
+            if not func.is_async:
+                continue
+            cls = (
+                file.classes.get(func.class_name)
+                if func.class_name
+                else None
+            )
+            _AsyncBodyChecker(project, file, func, cls, findings).check()
+    return findings
+
+
+__all__ = ["CODE_BLOCKING", "check_async"]

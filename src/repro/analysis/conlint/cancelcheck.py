@@ -1,0 +1,144 @@
+"""Pass 4 — cancellation responsiveness of hot kernels.
+
+PR 1's contract: every engine loop that can run long must poll its
+:class:`~repro.guard.ExecutionGuard` (``guard.checkpoint()``), so
+budgets and cancellation bite mid-kernel instead of after the join
+finishes.  This pass makes the contract checkable:
+
+* Files opt in with a ``# conlint: hot-module`` marker (the engine's
+  ``memory.py`` and ``parallel.py`` carry it) — loops elsewhere are
+  not kernels.
+* Inside hot files, only *guard-reachable* functions are checked:
+  a ``guard`` parameter, or a method of a class that assigns
+  ``self.guard``.  A function with no guard in scope has nothing to
+  poll.
+* A loop is **hot** when it is a ``while`` loop (unbounded by
+  construction) or a ``for`` loop whose body calls heavy work
+  (``*join*``, ``*aggregate*``, ``*filter*``, ``run_*``, ``execute*``,
+  ``*partition*``, ``*scan*``, ``evaluate*`` — the kernel vocabulary).
+* A hot loop **polls** when its body lexically checkpoints
+  (``*.checkpoint(...)``, ``raise_if_cancelled``) or calls a function
+  that *transitively* polls — the project-wide polling set computed by
+  the model's call-graph fixpoint, so delegating the poll to
+  ``run_stage`` still counts.
+
+Hot loops that never poll get ``conlint-loop-no-checkpoint`` (warning:
+a responsiveness bug, not a correctness bug — but the gate treats
+warnings as findings too).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..diagnostics import Severity
+from .model import (
+    FileModel,
+    Finding,
+    FunctionInfo,
+    ProjectModel,
+    dotted,
+    terminal,
+)
+
+CODE_NO_CHECKPOINT = "conlint-loop-no-checkpoint"
+
+HEAVY_RE = re.compile(
+    r"(join|aggregate|filter|partition|scan|evaluate|execute|"
+    r"run_|_run\b|mine)",
+    re.IGNORECASE,
+)
+POLL_CALLS = {"checkpoint", "raise_if_cancelled"}
+
+
+def _finding(file: FileModel, message: str, node: ast.AST) -> Finding:
+    return Finding(
+        code=CODE_NO_CHECKPOINT,
+        severity=Severity.WARNING,
+        message=message,
+        path=file.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        position=file.offset_of(node),
+        hint="call guard.checkpoint(...) inside the loop body (or via a "
+        "callee that polls)",
+    )
+
+
+def _guard_reachable(file: FileModel, func: FunctionInfo) -> bool:
+    if "guard" in func.params or "_guard" in func.params:
+        return True
+    if func.class_name:
+        cls = file.classes.get(func.class_name)
+        if cls is not None and cls.has_guard_attr and func.has_self:
+            return True
+    return False
+
+
+def _loop_calls(loop: ast.For | ast.While) -> list[str]:
+    """Callee terminal names in the loop body (nested defs excluded —
+    a closure defined in the loop only polls if something calls it)."""
+    calls: list[str] = []
+    stack: list[ast.AST] = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            name = dotted(node.func)
+            if name is not None:
+                calls.append(terminal(name))
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+def _polls(project: ProjectModel, calls: list[str]) -> bool:
+    polling_names = {
+        func.name
+        for funcs in project.functions_by_name.values()
+        for func in funcs
+        if func.qualname in project.polling
+    }
+    return any(
+        name in POLL_CALLS or name in polling_names for name in calls
+    )
+
+
+def _is_hot(loop: ast.For | ast.While, calls: list[str]) -> bool:
+    if isinstance(loop, ast.While):
+        return True
+    return any(HEAVY_RE.search(name) for name in calls)
+
+
+def check_cancellation(project: ProjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for file in project.files:
+        if not file.is_hot:
+            continue
+        for func in file.all_functions:
+            if not _guard_reachable(file, func):
+                continue
+            for node in ast.walk(func.node):
+                if not isinstance(node, (ast.For, ast.While)):
+                    continue
+                calls = _loop_calls(node)
+                if not _is_hot(node, calls):
+                    continue
+                if _polls(project, calls):
+                    continue
+                kind = "while" if isinstance(node, ast.While) else "for"
+                findings.append(
+                    _finding(
+                        file,
+                        f"hot {kind} loop in {func.name} never polls "
+                        "cancellation: budget overruns and cancel "
+                        "requests cannot interrupt it mid-kernel",
+                        node,
+                    )
+                )
+    return findings
+
+
+__all__ = ["CODE_NO_CHECKPOINT", "check_cancellation"]

@@ -1,0 +1,422 @@
+"""Pass 1 — lock discipline and static lock-order deadlock detection.
+
+For every class that declares guarded state (a ``GUARDED`` map or
+``# guarded_by:`` attribute tags), prove that each lexical read or
+write of a guarded attribute happens while the declared lock is held:
+inside ``with self.<lock>:`` (``Condition`` wrappers count for the lock
+they wrap), under a ``@locked("<lock>")`` decorator, or inside a
+``@requires("<lock>")`` helper whose call sites are themselves checked.
+``__init__``/``__new__`` are exempt — construction happens-before
+sharing.
+
+While walking, every *nested* acquisition contributes an edge to the
+project-wide lock-order graph: holding ``A`` and acquiring ``B`` —
+lexically or by calling a method that acquires ``B`` (one
+interprocedural hop, through ``self`` or a typed attribute) — declares
+the order ``A → B``.  A cycle in that graph is a static deadlock:
+re-acquiring a non-reentrant lock reports at the acquisition site, a
+multi-lock cycle reports the full path.  The graph itself is exposed as
+:func:`lock_order_edges` so runtime tests can assert the declared order
+against instrumented locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Severity
+from .model import (
+    ClassInfo,
+    FileModel,
+    Finding,
+    FunctionInfo,
+    ProjectModel,
+    dotted,
+)
+
+#: A node in the lock-order graph: (class name, canonical lock attr).
+LockNode = tuple[str, str]
+#: A directed edge plus the file/AST site that declared it.
+EdgeSites = dict[tuple[LockNode, LockNode], tuple[FileModel, ast.AST]]
+
+CODE_UNLOCKED = "conlint-guard-unlocked"
+CODE_UNKNOWN_LOCK = "conlint-guard-unknown-lock"
+CODE_REQUIRES = "conlint-guard-requires"
+CODE_CYCLE = "conlint-lock-cycle"
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
+
+
+def _finding(
+    file: FileModel,
+    code: str,
+    message: str,
+    node: ast.AST,
+    hint: str | None = None,
+    severity: Severity = Severity.ERROR,
+) -> Finding:
+    return Finding(
+        code=code,
+        severity=severity,
+        message=message,
+        path=file.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        position=file.offset_of(node),
+        hint=hint,
+    )
+
+
+def _method_acquires(
+    project: ProjectModel, cls: ClassInfo, func: FunctionInfo
+) -> set[str]:
+    """Canonical locks ``func`` acquires lexically anywhere in its body
+    (``with self.X`` plus ``@locked`` decorations)."""
+    locks = project.class_locks(cls)
+    acquired = {
+        project.canonical_lock(cls, name)
+        for name in func.locked_locks
+        if project.canonical_lock(cls, name) in locks
+    }
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                attr = _self_lock(item.context_expr)
+                if attr is None:
+                    continue
+                canonical = project.canonical_lock(cls, attr)
+                if canonical in locks:
+                    acquired.add(canonical)
+    return acquired
+
+
+def _self_lock(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is ``self.X`` (candidate lock acquisition)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _MethodChecker:
+    """Walks one method body tracking the lexically-held lock set."""
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        file: FileModel,
+        cls: ClassInfo,
+        func: FunctionInfo,
+        findings: list[Finding],
+        edges: EdgeSites,
+    ) -> None:
+        self.project = project
+        self.file = file
+        self.cls = cls
+        self.func = func
+        self.findings = findings
+        self.edges = edges
+        self.locks = project.class_locks(cls)
+        self.guarded = project.class_guarded(cls)
+
+    # -- helpers -------------------------------------------------------
+
+    def _canonical(self, name: str) -> str:
+        return self.project.canonical_lock(self.cls, name)
+
+    def _kind(self, canonical: str) -> str:
+        return self.locks.get(canonical, "lock")
+
+    def _edge(
+        self, held: frozenset[str], target: LockNode, node: ast.AST
+    ) -> None:
+        for holder in held:
+            source = (self.cls.name, holder)
+            if source != target:
+                self.edges.setdefault((source, target), (self.file, node))
+
+    def _acquire(
+        self, held: frozenset[str], canonical: str, node: ast.AST
+    ) -> frozenset[str]:
+        if canonical in held:
+            if self._kind(canonical) != "rlock":
+                self.findings.append(
+                    _finding(
+                        self.file,
+                        CODE_CYCLE,
+                        f"{self.cls.name}.{self.func.name} re-acquires "
+                        f"non-reentrant lock 'self.{canonical}' it already "
+                        "holds — guaranteed self-deadlock",
+                        node,
+                        hint="use threading.RLock or restructure so the "
+                        "lock is acquired once",
+                    )
+                )
+            return held
+        self._edge(held, (self.cls.name, canonical), node)
+        return held | {canonical}
+
+    # -- the walk ------------------------------------------------------
+
+    def check(self) -> None:
+        held = frozenset(
+            self._canonical(name)
+            for name in (*self.func.locked_locks, *self.func.requires_locks)
+        )
+        for name in (*self.func.locked_locks, *self.func.requires_locks):
+            if self._canonical(name) not in self.locks:
+                self.findings.append(
+                    _finding(
+                        self.file,
+                        CODE_UNKNOWN_LOCK,
+                        f"{self.cls.name}.{self.func.name} declares lock "
+                        f"'{name}' which no method of {self.cls.name} "
+                        "creates",
+                        self.func.node,
+                    )
+                )
+        for stmt in self.func.node.body:
+            self._walk(stmt, held)
+
+    def _walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def may run on another thread (callback, executor
+            # task): its body starts with nothing held.
+            for stmt in node.body:
+                self._walk(stmt, frozenset())
+            return
+        if isinstance(node, ast.Lambda):
+            self._walk(node.body, frozenset())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                attr = _self_lock(item.context_expr)
+                canonical = self._canonical(attr) if attr else None
+                if canonical is not None and canonical in self.locks:
+                    inner = self._acquire(inner, canonical, item.context_expr)
+                else:
+                    self._walk(item.context_expr, inner)
+            for stmt in node.body:
+                self._walk(stmt, inner)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_lock(node)
+            if attr is not None and attr in self.guarded:
+                need = self._canonical(self.guarded[attr])
+                if need not in held:
+                    self.findings.append(
+                        _finding(
+                            self.file,
+                            CODE_UNLOCKED,
+                            f"{self.cls.name}.{self.func.name} accesses "
+                            f"guarded attribute 'self.{attr}' without "
+                            f"holding 'self.{need}'",
+                            node,
+                            hint=f"wrap the access in 'with self.{need}:' "
+                            "or mark the method "
+                            f"@requires(\"{self.guarded[attr]}\")",
+                        )
+                    )
+            self._walk(node.value, held)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, held)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    def _check_call(self, node: ast.Call, held: frozenset[str]) -> None:
+        name = dotted(node.func)
+        if name is None or not name.startswith("self."):
+            return
+        parts = name.split(".")
+        if len(parts) == 2:
+            target = self.project.class_method(self.cls, parts[1])
+            if target is None:
+                return
+            missing = [
+                req
+                for req in target.requires_locks
+                if self._canonical(req) not in held
+            ]
+            if missing:
+                self.findings.append(
+                    _finding(
+                        self.file,
+                        CODE_REQUIRES,
+                        f"{self.cls.name}.{self.func.name} calls "
+                        f"self.{parts[1]}() which @requires "
+                        f"{', '.join(repr(m) for m in missing)} — not held "
+                        "at this call site",
+                        node,
+                    )
+                )
+            self._interproc_edges(self.cls, target, held, node)
+        elif len(parts) == 3:
+            attr_type = self._attr_type(parts[1])
+            other = (
+                self.project.classes.get(attr_type) if attr_type else None
+            )
+            if other is None:
+                return
+            target = self.project.class_method(other, parts[2])
+            if target is not None:
+                self._cross_edges(other, target, held, node)
+
+    def _attr_type(self, attr: str) -> str | None:
+        for current in self.project._mro(self.cls):
+            if attr in current.attr_types:
+                return current.attr_types[attr]
+        return None
+
+    def _interproc_edges(
+        self,
+        owner: ClassInfo,
+        target: FunctionInfo,
+        held: frozenset[str],
+        node: ast.AST,
+    ) -> None:
+        for acquired in _method_acquires(self.project, owner, target):
+            if acquired in held:
+                if self._kind(acquired) != "rlock":
+                    self.findings.append(
+                        _finding(
+                            self.file,
+                            CODE_CYCLE,
+                            f"{self.cls.name}.{self.func.name} holds "
+                            f"'self.{acquired}' and calls "
+                            f"self.{target.name}() which re-acquires it — "
+                            "self-deadlock on a non-reentrant lock",
+                            node,
+                        )
+                    )
+            else:
+                self._edge(held, (owner.name, acquired), node)
+
+    def _cross_edges(
+        self,
+        other: ClassInfo,
+        target: FunctionInfo,
+        held: frozenset[str],
+        node: ast.AST,
+    ) -> None:
+        other_locks = self.project.class_locks(other)
+        for acquired in _method_acquires(self.project, other, target):
+            if acquired in other_locks:
+                self._edge(held, (other.name, acquired), node)
+
+
+def _cycles(edges: EdgeSites) -> Iterator[list[LockNode]]:
+    """Elementary cycles via DFS with an on-stack set (first per SCC)."""
+    graph: dict[LockNode, list[LockNode]] = {}
+    for source, target in edges:
+        graph.setdefault(source, []).append(target)
+    seen: set[LockNode] = set()
+    reported: set[frozenset[LockNode]] = set()
+    for start in sorted(graph):
+        if start in seen:
+            continue
+        stack: list[tuple[LockNode, Iterator[LockNode]]] = [
+            (start, iter(graph.get(start, ())))
+        ]
+        path = [start]
+        on_path = {start}
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child in on_path:
+                    cycle = path[path.index(child):] + [child]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        yield cycle
+                elif child not in seen:
+                    stack.append((child, iter(graph.get(child, ()))))
+                    path.append(child)
+                    on_path.add(child)
+                    advanced = True
+                    break
+            if not advanced:
+                seen.add(current)
+                stack.pop()
+                path.pop()
+                on_path.discard(current)
+
+
+def lock_order_edges(
+    project: ProjectModel,
+) -> dict[tuple[LockNode, LockNode], tuple[FileModel, ast.AST]]:
+    """The full lock-order graph (edge → declaring site), as built by
+    the discipline walk.  Exposed for the runtime lock-order regression
+    test, which asserts instrumented acquisitions obey this order."""
+    edges: EdgeSites = {}
+    _run(project, [], edges)
+    return edges
+
+
+def check_locks(project: ProjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    edges: EdgeSites = {}
+    _run(project, findings, edges)
+    for cycle in _cycles(edges):
+        file, node = edges[(cycle[0], cycle[1])]
+        pretty = " → ".join(f"{cls}.{lock}" for cls, lock in cycle)
+        findings.append(
+            _finding(
+                file,
+                CODE_CYCLE,
+                f"lock-order cycle: {pretty} — threads taking these locks "
+                "in different orders can deadlock",
+                node,
+                hint="pick one global order and acquire along it "
+                "(see docs/CONCURRENCY.md)",
+            )
+        )
+    return findings
+
+
+def _run(
+    project: ProjectModel, findings: list[Finding], edges: EdgeSites
+) -> None:
+    for file in project.files:
+        for cls in file.classes.values():
+            locks = project.class_locks(cls)
+            for attr, lockname in project.class_guarded(cls).items():
+                if project.canonical_lock(cls, lockname) not in locks:
+                    findings.append(
+                        _finding(
+                            file,
+                            CODE_UNKNOWN_LOCK,
+                            f"{cls.name}.GUARDED maps '{attr}' to "
+                            f"'{lockname}' but no method of {cls.name} "
+                            "creates that lock",
+                            cls.node,
+                            hint="create the lock in __init__ "
+                            "(self.%s = threading.Lock()) or fix the map"
+                            % lockname,
+                        )
+                    )
+            for name, func in cls.methods.items():
+                if name in _EXEMPT_METHODS:
+                    continue
+                _MethodChecker(
+                    project, file, cls, func, findings, edges
+                ).check()
+
+
+__all__ = [
+    "CODE_CYCLE",
+    "CODE_REQUIRES",
+    "CODE_UNKNOWN_LOCK",
+    "CODE_UNLOCKED",
+    "check_locks",
+    "lock_order_edges",
+]

@@ -1,0 +1,617 @@
+"""Source model for the concurrency linter.
+
+One parse pass per file extracts the *facts* every conlint pass
+consumes: classes with their ``GUARDED`` maps, lock attributes and
+``Condition`` aliases, decorator markers (``@locked`` / ``@requires`` /
+``@blocking``), per-function call names (for the polling call graph),
+inferred attribute/parameter types, suppression comments, and the
+``# conlint: hot-module`` marker.  The passes themselves
+(:mod:`.lockcheck`, :mod:`.wirecheck`, :mod:`.asynccheck`,
+:mod:`.cancelcheck`) are pure functions over this model.
+
+The model is deliberately *lexical*: it resolves names one obvious hop
+(``self.cache`` → ``ResultCache`` because ``__init__`` assigned a
+``ResultCache(...)`` or an annotated parameter), never through the full
+type system.  That keeps the analyzer fast, dependency-free, and honest
+about what it proves — the conventions it checks are the lexical ones
+``docs/CONCURRENCY.md`` documents.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from ..diagnostics import Diagnostic, Severity, SourceSpan
+
+#: ``# conlint: skip[code, code] -- why this is safe``
+SUPPRESS_RE = re.compile(
+    r"#\s*conlint:\s*skip\[([a-z0-9_,\-\s]+)\]\s*(?:--\s*(\S.*))?"
+)
+#: ``self._entries = {}  # guarded_by: _lock`` (attribute-tag variant)
+GUARDED_BY_RE = re.compile(r"#\s*guarded_by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+#: Files whose loops the cancellation pass inspects opt in explicitly.
+HOT_MODULE_RE = re.compile(r"#\s*conlint:\s*hot-module")
+
+#: threading constructors that create a lock-like attribute.
+LOCK_KINDS = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "Semaphore": "lock",
+    "BoundedSemaphore": "lock",
+}
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Chains interrupted by calls or subscripts (``self.pool().submit``)
+    resolve to None — the passes treat those as unknown receivers.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def terminal(name: str) -> str:
+    """The last segment of a dotted name (``threading.RLock`` → RLock)."""
+    return name.rsplit(".", 1)[-1]
+
+
+def annotation_type(node: ast.AST | None) -> str | None:
+    """The class name an annotation most plausibly denotes.
+
+    Handles ``X``, ``mod.X``, ``X | None``, ``Optional[X]``, and string
+    annotations; everything else (unions of two real types, callables)
+    resolves to None.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = dotted(node)
+        return terminal(name) if name else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            found = annotation_type(side)
+            if found is not None and found != "None":
+                return found
+        return None
+    if isinstance(node, ast.Subscript):
+        base = dotted(node.value)
+        if base and terminal(base) == "Optional":
+            return annotation_type(node.slice)
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# conlint: skip[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+    def covers(self, code: str) -> bool:
+        return code in self.codes or "all" in self.codes
+
+
+@dataclass
+class FunctionInfo:
+    """Facts about one ``def`` (module-level, method, or nested)."""
+
+    name: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    class_name: str | None = None
+    is_async: bool = False
+    is_static: bool = False
+    locked_locks: tuple[str, ...] = ()
+    requires_locks: tuple[str, ...] = ()
+    is_blocking: bool = False
+    params: tuple[str, ...] = ()
+    param_types: dict[str, str] = field(default_factory=dict)
+    return_type: str | None = None
+    #: Terminal segment of every Call's callee in the body (nested defs
+    #: included) — the polling call graph's edges.
+    call_names: tuple[str, ...] = ()
+    #: Body lexically contains a ``*.checkpoint(...)`` call or a
+    #: ``*.cancelled`` read — the polling call graph's seeds.
+    direct_poll: bool = False
+
+    @property
+    def has_self(self) -> bool:
+        return bool(self.params) and self.params[0] in ("self", "cls")
+
+
+@dataclass
+class ClassInfo:
+    """Facts about one class: its locks, guards, and methods."""
+
+    name: str
+    node: ast.ClassDef
+    path: str
+    bases: tuple[str, ...] = ()
+    #: attr -> lock attr, from ``GUARDED = {...}`` and ``# guarded_by:``.
+    guarded: dict[str, str] = field(default_factory=dict)
+    #: lock attr -> kind ("lock" | "rlock" | "condition").
+    locks: dict[str, str] = field(default_factory=dict)
+    #: Condition attr -> the underlying lock it wraps
+    #: (``self._ready = threading.Condition(self._lock)``).
+    lock_aliases: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: self attr -> class name, from ``__init__`` assignments of known
+    #: constructors or annotated parameters.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    has_guard_attr: bool = False
+    defines_reduce: bool = False
+    has_custom_init: bool = False
+
+
+@dataclass
+class FileModel:
+    """Everything conlint knows about one source file."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    line_offsets: list[int]
+    suppressions: list[Suppression] = field(default_factory=list)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    module_functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    all_functions: list[FunctionInfo] = field(default_factory=list)
+    #: local name -> dotted origin (``from time import sleep`` →
+    #: ``{"sleep": "time.sleep"}``; ``import sqlite3`` →
+    #: ``{"sqlite3": "sqlite3"}``).
+    imports: dict[str, str] = field(default_factory=dict)
+    is_hot: bool = False
+
+    def offset_of(self, node: ast.AST) -> int:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return self.line_offsets[lineno - 1] + col
+
+    def suppression_for(self, code: str, node: ast.AST) -> Suppression | None:
+        """A suppression covering ``code`` on any physical line of the
+        statement the finding attaches to."""
+        first = getattr(node, "lineno", 0)
+        last = getattr(node, "end_lineno", first) or first
+        for sup in self.suppressions:
+            if first <= sup.line <= last and sup.covers(code):
+                return sup
+        return None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw pass result, pre-suppression."""
+
+    code: str
+    severity: Severity
+    message: str
+    path: str
+    line: int
+    col: int
+    position: int
+    hint: str | None = None
+
+    def to_diagnostic(self, text: str) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity,
+            message=self.message,
+            location=f"{self.path}:{self.line}:{self.col + 1}",
+            span=SourceSpan(text, self.position),
+            hint=self.hint,
+        )
+
+
+@dataclass
+class ProjectModel:
+    """The merged model every pass runs over."""
+
+    files: list[FileModel] = field(default_factory=list)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: terminal function name -> every definition with that name.
+    functions_by_name: dict[str, list[FunctionInfo]] = field(
+        default_factory=dict
+    )
+    #: qualnames of functions that poll cancellation, transitively.
+    polling: set[str] = field(default_factory=set)
+
+    # -- class-hierarchy lookups (base chains resolved by bare name) ----
+
+    def _mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        chain, queue, seen = [], [cls], set()
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in current.bases:
+                found = self.classes.get(terminal(base))
+                if found is not None:
+                    queue.append(found)
+        return chain
+
+    def class_locks(self, cls: ClassInfo) -> dict[str, str]:
+        """attr -> kind over the base chain (derived class wins)."""
+        merged: dict[str, str] = {}
+        for current in reversed(self._mro(cls)):
+            merged.update(current.locks)
+        return merged
+
+    def class_aliases(self, cls: ClassInfo) -> dict[str, str]:
+        merged: dict[str, str] = {}
+        for current in reversed(self._mro(cls)):
+            merged.update(current.lock_aliases)
+        return merged
+
+    def class_guarded(self, cls: ClassInfo) -> dict[str, str]:
+        merged: dict[str, str] = {}
+        for current in reversed(self._mro(cls)):
+            merged.update(current.guarded)
+        return merged
+
+    def class_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        for current in self._mro(cls):
+            if name in current.methods:
+                return current.methods[name]
+        return None
+
+    def is_exception(self, cls: ClassInfo) -> bool:
+        for current in self._mro(cls):
+            for base in current.bases:
+                name = terminal(base)
+                if name in ("Exception", "BaseException") or name.endswith(
+                    "Error"
+                ) and terminal(base) not in self.classes:
+                    return True
+        return False
+
+    def inherits_reduce(self, cls: ClassInfo) -> bool:
+        return any(c.defines_reduce for c in self._mro(cls))
+
+    def canonical_lock(self, cls: ClassInfo, attr: str) -> str:
+        """Resolve a Condition alias to the lock it wraps."""
+        return self.class_aliases(cls).get(attr, attr)
+
+
+# ----------------------------------------------------------------------
+# Fact extraction
+# ----------------------------------------------------------------------
+
+
+def _decorator_facts(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[tuple[str, ...], tuple[str, ...], bool, bool]:
+    locked: list[str] = []
+    requires: list[str] = []
+    is_blocking = False
+    is_static = False
+    for dec in node.decorator_list:
+        name = None
+        args: list[str] = []
+        if isinstance(dec, ast.Call):
+            name = dotted(dec.func)
+            args = [
+                arg.value
+                for arg in dec.args
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+            ]
+        else:
+            name = dotted(dec)
+        if name is None:
+            continue
+        name = terminal(name)
+        if name == "locked":
+            locked.extend(args)
+        elif name == "requires":
+            requires.extend(args)
+        elif name == "blocking":
+            is_blocking = True
+        elif name in ("staticmethod", "classmethod"):
+            is_static = True
+    return tuple(locked), tuple(requires), is_blocking, is_static
+
+
+def _collect_calls(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[tuple[str, ...], bool]:
+    """Every callee terminal name in the body, and whether the body
+    polls cancellation directly (``*.checkpoint(...)`` call or a
+    ``*.cancelled`` / ``*.is_set`` read on a name containing cancel)."""
+    calls: list[str] = []
+    direct_poll = False
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = dotted(child.func)
+            if name is not None:
+                last = terminal(name)
+                calls.append(last)
+                if last in ("checkpoint", "raise_if_cancelled"):
+                    direct_poll = True
+        elif isinstance(child, ast.Attribute) and child.attr == "cancelled":
+            direct_poll = True
+    return tuple(calls), direct_poll
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    path: str,
+    class_name: str | None,
+) -> FunctionInfo:
+    locked, requires, is_blocking, is_static = _decorator_facts(node)
+    params: list[str] = []
+    param_types: dict[str, str] = {}
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        params.append(arg.arg)
+        inferred = annotation_type(arg.annotation)
+        if inferred is not None:
+            param_types[arg.arg] = inferred
+    calls, direct_poll = _collect_calls(node)
+    qual = f"{class_name}.{node.name}" if class_name else node.name
+    return FunctionInfo(
+        name=node.name,
+        qualname=f"{path}::{qual}",
+        node=node,
+        path=path,
+        class_name=class_name,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        is_static=is_static,
+        locked_locks=locked,
+        requires_locks=requires,
+        is_blocking=is_blocking,
+        params=tuple(params),
+        param_types=param_types,
+        return_type=annotation_type(node.returns),
+        call_names=calls,
+        direct_poll=direct_poll,
+    )
+
+
+def _self_target(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is the attribute ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _constructor_class(node: ast.AST) -> str | None:
+    """The class name when ``node`` is (or branches to) ``ClassName(...)``.
+
+    Sees through ``x if c else ClassName(...)`` and ``a or ClassName(...)``
+    so the common default-argument idiom still types the attribute.
+    """
+    if isinstance(node, ast.Call):
+        name = dotted(node.func)
+        if name is not None:
+            last = terminal(name)
+            if last[:1].isupper():
+                return last
+        return None
+    if isinstance(node, ast.IfExp):
+        return _constructor_class(node.body) or _constructor_class(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        for value in node.values:
+            found = _constructor_class(value)
+            if found is not None:
+                return found
+    return None
+
+
+def _scan_guarded_map(value: ast.AST) -> dict[str, str]:
+    out: dict[str, str] = {}
+    if isinstance(value, ast.Dict):
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                out[key.value] = val.value
+    return out
+
+
+def _scan_class(
+    node: ast.ClassDef, path: str, lines: list[str]
+) -> ClassInfo:
+    info = ClassInfo(
+        name=node.name,
+        node=node,
+        path=path,
+        bases=tuple(
+            name for name in (dotted(b) for b in node.bases) if name
+        ),
+    )
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "GUARDED":
+                    info.guarded.update(_scan_guarded_map(item.value))
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = _function_info(item, path, node.name)
+            info.methods[item.name] = func
+            if item.name in ("__reduce__", "__reduce_ex__"):
+                info.defines_reduce = True
+            if item.name == "__init__":
+                info.has_custom_init = True
+    # Instance facts: scan every method body for ``self.X = ...``.
+    for func in info.methods.values():
+        param_types = func.param_types
+        for stmt in ast.walk(func.node):
+            target: ast.AST | None = None
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            attr = _self_target(target)
+            if attr is None:
+                continue
+            if attr == "guard":
+                info.has_guard_attr = True
+            # guarded_by tag on the assignment's first physical line
+            line = lines[stmt.lineno - 1] if stmt.lineno <= len(lines) else ""
+            tag = GUARDED_BY_RE.search(line)
+            if tag:
+                info.guarded.setdefault(attr, tag.group(1))
+            # lock construction / condition aliasing
+            if isinstance(value, ast.Call):
+                ctor = dotted(value.func)
+                if ctor is not None and terminal(ctor) in LOCK_KINDS:
+                    kind = LOCK_KINDS[terminal(ctor)]
+                    info.locks[attr] = kind
+                    if kind == "condition" and value.args:
+                        wrapped = _self_target(value.args[0])
+                        if wrapped is not None:
+                            info.lock_aliases[attr] = wrapped
+                    continue
+            # attribute typing (constructor call or annotated param)
+            if isinstance(stmt, ast.AnnAssign):
+                inferred = annotation_type(stmt.annotation)
+                if inferred is not None:
+                    info.attr_types.setdefault(attr, inferred)
+            if value is not None:
+                ctor_class = _constructor_class(value)
+                if ctor_class is not None:
+                    info.attr_types.setdefault(attr, ctor_class)
+                elif isinstance(value, ast.Name) and value.id in param_types:
+                    info.attr_types.setdefault(attr, param_types[value.id])
+    return info
+
+
+def _scan_imports(tree: ast.Module) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return out
+
+
+def _scan_suppressions(text: str) -> list[Suppression]:
+    out: list[Suppression] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = SUPPRESS_RE.search(line)
+        if match:
+            codes = tuple(
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            out.append(
+                Suppression(
+                    line=lineno,
+                    codes=codes,
+                    justification=(match.group(2) or "").strip(),
+                )
+            )
+    return out
+
+
+def build_file_model(path: str, text: str) -> FileModel:
+    """Parse one file into a :class:`FileModel` (raises SyntaxError)."""
+    tree = ast.parse(text, filename=path)
+    offsets = [0]
+    for line in text.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    lines = text.splitlines()
+    model = FileModel(
+        path=path,
+        text=text,
+        tree=tree,
+        line_offsets=offsets,
+        suppressions=_scan_suppressions(text),
+        imports=_scan_imports(tree),
+        is_hot=bool(HOT_MODULE_RE.search(text)),
+    )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            info = _scan_class(node, path, lines)
+            model.classes[info.name] = info
+            model.all_functions.extend(info.methods.values())
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = _function_info(node, path, None)
+            model.module_functions[func.name] = func
+            model.all_functions.append(func)
+    # Nested defs (closures, local helpers) still join the call graph.
+    seen = {id(f.node) for f in model.all_functions}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and id(node) not in seen
+        ):
+            model.all_functions.append(_function_info(node, path, None))
+    return model
+
+
+def build_project_model(files: list[FileModel]) -> ProjectModel:
+    """Merge file models and run the polling fixpoint."""
+    project = ProjectModel(files=files)
+    for file in files:
+        project.classes.update(file.classes)
+        for func in file.all_functions:
+            project.functions_by_name.setdefault(func.name, []).append(func)
+    # Transitive polling: seed with direct checkpoints, then propagate
+    # along call-by-terminal-name edges to a fixpoint.
+    polling = {f.qualname for file in files for f in file.all_functions
+               if f.direct_poll}
+    polling_names = {
+        f.name for file in files for f in file.all_functions if f.direct_poll
+    }
+    changed = True
+    while changed:
+        changed = False
+        for file in files:
+            for func in file.all_functions:
+                if func.qualname in polling:
+                    continue
+                if any(name in polling_names for name in func.call_names):
+                    polling.add(func.qualname)
+                    polling_names.add(func.name)
+                    changed = True
+    project.polling = polling
+    return project
+
+
+__all__ = [
+    "ClassInfo",
+    "FileModel",
+    "Finding",
+    "FunctionInfo",
+    "ProjectModel",
+    "Suppression",
+    "annotation_type",
+    "build_file_model",
+    "build_project_model",
+    "dotted",
+    "terminal",
+]

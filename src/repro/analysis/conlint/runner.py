@@ -1,0 +1,221 @@
+"""Drive the four conlint passes and report through diagnostics.
+
+:func:`lint_paths` is the library entry point (the CLI's
+``repro check --concurrency`` and ``python -m repro.analysis.conlint``
+both land here): discover ``.py`` files, build the project model, run
+every pass, apply ``# conlint: skip[...]`` suppressions, and return a
+:class:`~repro.analysis.diagnostics.DiagnosticReport` with the standard
+exit-code convention (0 clean / 3 warnings / 4 errors).
+
+Suppression rules are strict by design:
+
+* a suppression only silences codes it names, on the physical lines of
+  the flagged statement;
+* a suppression **without a justification** (``-- why``) is itself an
+  error (``conlint-bad-suppression``) — the whole point is a reviewable
+  record of why the analyzer's model is wrong at that site.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterable, Sequence
+
+from ..diagnostics import Diagnostic, DiagnosticReport, Severity
+from .asynccheck import check_async
+from .cancelcheck import check_cancellation
+from .lockcheck import check_locks
+from .model import (
+    FileModel,
+    Finding,
+    ProjectModel,
+    build_file_model,
+    build_project_model,
+)
+from .wirecheck import check_wire
+
+CODE_BAD_SUPPRESSION = "conlint-bad-suppression"
+CODE_PARSE = "conlint-parse-error"
+
+PASSES = (check_locks, check_wire, check_async, check_cancellation)
+
+
+def discover(paths: Iterable[str]) -> list[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = [
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git")
+                ]
+                for name in files:
+                    if name.endswith(".py"):
+                        found.add(os.path.join(root, name))
+        elif path.endswith(".py"):
+            found.add(path)
+    return sorted(found)
+
+
+def load_files(
+    filenames: Sequence[str],
+) -> tuple[list[FileModel], list[Diagnostic]]:
+    models: list[FileModel] = []
+    parse_errors: list[Diagnostic] = []
+    for filename in filenames:
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                text = handle.read()
+            models.append(build_file_model(filename, text))
+        except (OSError, SyntaxError) as exc:
+            parse_errors.append(
+                Diagnostic(
+                    code=CODE_PARSE,
+                    severity=Severity.ERROR,
+                    message=f"cannot analyze {filename}: {exc}",
+                    location=filename,
+                )
+            )
+    return models, parse_errors
+
+
+def _apply_suppressions(
+    project: ProjectModel, findings: list[Finding]
+) -> list[Diagnostic]:
+    """Suppress covered findings; flag unjustified suppressions."""
+    by_path = {file.path: file for file in project.files}
+    out: list[Diagnostic] = []
+    for finding in findings:
+        file = by_path.get(finding.path)
+        if file is None:
+            out.append(finding.to_diagnostic(""))
+            continue
+        span_node = _FakeSpan(finding.line, finding.line)
+        suppression = file.suppression_for(finding.code, span_node)
+        if suppression is None:
+            out.append(finding.to_diagnostic(file.text))
+        elif not suppression.justification:
+            out.append(
+                Diagnostic(
+                    code=CODE_BAD_SUPPRESSION,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"suppression of {finding.code} at "
+                        f"{finding.path}:{suppression.line} has no "
+                        "justification"
+                    ),
+                    location=f"{finding.path}:{suppression.line}",
+                    hint="write '# conlint: skip[code] -- why it is safe'",
+                )
+            )
+        # justified suppression: finding dropped
+    # Unjustified suppressions are errors even when nothing matched —
+    # they would silently swallow future findings.
+    for file in project.files:
+        for suppression in file.suppressions:
+            if not suppression.justification:
+                out.append(
+                    Diagnostic(
+                        code=CODE_BAD_SUPPRESSION,
+                        severity=Severity.ERROR,
+                        message=(
+                            "suppression without justification at "
+                            f"{file.path}:{suppression.line}"
+                        ),
+                        location=f"{file.path}:{suppression.line}",
+                        hint="write '# conlint: skip[code] -- why'",
+                    )
+                )
+    # De-duplicate (a bad suppression can be reported per finding + once
+    # in the file scan).
+    seen: set[tuple[str, str | None, str]] = set()
+    unique: list[Diagnostic] = []
+    for diag in out:
+        key = (diag.code, diag.location, diag.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(diag)
+    return unique
+
+
+class _FakeSpan:
+    """Line-range stand-in handed to ``FileModel.suppression_for``."""
+
+    def __init__(self, lineno: int, end_lineno: int) -> None:
+        self.lineno = lineno
+        self.end_lineno = end_lineno
+
+
+def build_model(paths: Iterable[str]) -> ProjectModel:
+    """The analyzed project model for ``paths`` (tests use this to get
+    at :func:`~repro.analysis.conlint.lockcheck.lock_order_edges`)."""
+    models, _ = load_files(discover(paths))
+    return build_project_model(models)
+
+
+def lint_paths(paths: Iterable[str]) -> DiagnosticReport:
+    """Run every conlint pass over ``paths`` and report."""
+    models, parse_errors = load_files(discover(paths))
+    project = build_project_model(models)
+    findings: list[Finding] = []
+    for check in PASSES:
+        findings.extend(check(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    diagnostics = _apply_suppressions(project, findings)
+    return DiagnosticReport.collect([*parse_errors, *diagnostics])
+
+
+def render_text(report: DiagnosticReport, files: int) -> str:
+    lines = [str(diag) for diag in report]
+    summary = (
+        f"conlint: {files} file(s), {len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s)"
+    )
+    if report.is_clean:
+        summary += " — clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json(report: DiagnosticReport) -> dict:
+    """The ``repro check --format json`` schema, for the conlint gate."""
+    out = report.to_dict()
+    out["ok"] = report.ok
+    out["exit_code"] = report.exit_code()
+    return out
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.conlint",
+        description="concurrency lint: lock discipline, wire safety, "
+        "async blocking, cancellation responsiveness",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+    files = discover(args.paths)
+    report = lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(to_json(report), indent=2, sort_keys=True))
+    else:
+        print(render_text(report, len(files)))
+    return report.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""Pass 2 — process-pool wire safety.
+
+Two rules, both born from shipped bugs in the parallel engine:
+
+1. **Submitted callables and arguments must pickle.**  Anything handed
+   to a ``ProcessPoolExecutor`` — the ``submit`` callable, the pool
+   ``initializer``, their arguments — crosses the process boundary.
+   Lambdas, locally-defined functions, generator expressions, and bound
+   methods (``self.x``) do not survive pickling (or drag the whole
+   ``self`` across the wire); only module-level functions and plain
+   data do.  Pool variables are recognized lexically: assigned from
+   ``ProcessPoolExecutor(...)``, from a call whose return annotation is
+   ``ProcessPoolExecutor``, or an attribute/parameter typed as one.
+
+2. **Every exception class must honor the ``__reduce__`` contract.**
+   An exception raised in a worker is pickled back to the parent; the
+   default ``BaseException`` reduction replays ``cls(*self.args)``,
+   which breaks (or silently mis-builds) any class whose ``__init__``
+   takes parameters that are not exactly its ``args`` — the PR 8 bug
+   class (``ExecutionAborted`` and friends needed
+   ``_rebuild_error``-style ``__reduce__``).  Any exception class with
+   a parameterized ``__init__`` must therefore define or inherit
+   ``__reduce__`` (``ReproError`` provides the contract for the whole
+   hierarchy).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Severity
+from .model import (
+    FileModel,
+    Finding,
+    FunctionInfo,
+    ProjectModel,
+    annotation_type,
+    dotted,
+    terminal,
+)
+
+CODE_CALLABLE = "conlint-wire-callable"
+CODE_ARG = "conlint-wire-arg"
+CODE_REDUCE = "conlint-wire-reduce"
+
+POOL_CLASS = "ProcessPoolExecutor"
+
+
+def _finding(
+    file: FileModel, code: str, message: str, node: ast.AST,
+    hint: str | None = None,
+) -> Finding:
+    return Finding(
+        code=code,
+        severity=Severity.ERROR,
+        message=message,
+        path=file.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        position=file.offset_of(node),
+        hint=hint,
+    )
+
+
+def _is_pool_ctor(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        name = dotted(node.func)
+        return name is not None and terminal(name) == POOL_CLASS
+    return False
+
+
+def _pool_names(file: FileModel, func: FunctionInfo) -> set[str]:
+    """Dotted receivers that hold a ``ProcessPoolExecutor`` inside
+    ``func`` (locals assigned from a constructor or a typed call,
+    annotated parameters, and typed self attributes)."""
+    pools: set[str] = set()
+    for param, ptype in func.param_types.items():
+        if ptype == POOL_CLASS:
+            pools.add(param)
+    cls = file.classes.get(func.class_name) if func.class_name else None
+    if cls is not None:
+        for attr, atype in cls.attr_types.items():
+            if atype == POOL_CLASS:
+                pools.add(f"self.{attr}")
+    for node in ast.walk(func.node):
+        target: ast.AST | None = None
+        value: ast.AST | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        else:
+            continue
+        name = dotted(target)
+        if name is None:
+            continue
+        if _is_pool_ctor(value):
+            pools.add(name)
+        elif isinstance(value, ast.Call):
+            callee = dotted(value.func)
+            if callee is not None:
+                resolved = _resolve_callable(file, func, callee)
+                if resolved is not None and resolved.return_type == POOL_CLASS:
+                    pools.add(name)
+        if isinstance(node, ast.AnnAssign):
+            if annotation_type(node.annotation) == POOL_CLASS:
+                pools.add(name)
+    return pools
+
+
+def _resolve_callable(
+    file: FileModel, func: FunctionInfo, callee: str
+) -> FunctionInfo | None:
+    parts = callee.split(".")
+    if parts[0] == "self" and func.class_name:
+        cls = file.classes.get(func.class_name)
+        if cls is not None and len(parts) == 2:
+            return cls.methods.get(parts[1])
+        return None
+    if len(parts) == 1:
+        return file.module_functions.get(parts[0])
+    return None
+
+
+def _local_defs(func: FunctionInfo) -> set[str]:
+    """Names of functions defined (or lambdas bound) inside ``func``."""
+    names: set[str] = set()
+    for node in ast.walk(func.node):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not func.node
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Lambda
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _check_wire_callable(
+    file: FileModel,
+    func: FunctionInfo,
+    node: ast.AST,
+    role: str,
+    local_defs: set[str],
+    findings: list[Finding],
+) -> None:
+    if isinstance(node, ast.Lambda):
+        findings.append(
+            _finding(
+                file, CODE_CALLABLE,
+                f"lambda passed as a process-pool {role} cannot be "
+                "pickled across the process boundary", node,
+                hint="hoist it to a module-level function",
+            )
+        )
+        return
+    name = dotted(node)
+    if name is None:
+        return
+    if name.startswith("self."):
+        findings.append(
+            _finding(
+                file, CODE_CALLABLE,
+                f"bound method '{name}' passed as a process-pool {role} "
+                "would pickle the whole instance (locks included) across "
+                "the process boundary", node,
+                hint="use a module-level function taking plain data",
+            )
+        )
+    elif "." not in name and name in local_defs:
+        findings.append(
+            _finding(
+                file, CODE_CALLABLE,
+                f"locally-defined function '{name}' passed as a "
+                f"process-pool {role} cannot be pickled (pickle resolves "
+                "functions by module-level name)", node,
+                hint="hoist it to a module-level function",
+            )
+        )
+
+
+def _check_wire_args(
+    file: FileModel,
+    args: list[ast.expr],
+    role: str,
+    findings: list[Finding],
+) -> None:
+    for arg in args:
+        if isinstance(arg, ast.Lambda):
+            findings.append(
+                _finding(
+                    file, CODE_ARG,
+                    f"lambda passed as a process-pool {role} argument "
+                    "cannot be pickled", arg,
+                )
+            )
+        elif isinstance(arg, ast.GeneratorExp):
+            findings.append(
+                _finding(
+                    file, CODE_ARG,
+                    f"generator expression passed as a process-pool {role} "
+                    "argument cannot be pickled", arg,
+                    hint="materialize it (list/tuple) first",
+                )
+            )
+
+
+def _check_submits(
+    project: ProjectModel, file: FileModel, findings: list[Finding]
+) -> None:
+    for func in file.all_functions:
+        pools = _pool_names(file, func)
+        local_defs = _local_defs(func)
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name is not None and name.endswith(".submit"):
+                receiver = name[: -len(".submit")]
+                if receiver in pools and node.args:
+                    _check_wire_callable(
+                        file, func, node.args[0], "callable",
+                        local_defs, findings,
+                    )
+                    _check_wire_args(
+                        file, list(node.args[1:]), "submit", findings
+                    )
+            elif _is_pool_ctor(node):
+                for kw in node.keywords:
+                    if kw.arg == "initializer":
+                        _check_wire_callable(
+                            file, func, kw.value, "initializer",
+                            local_defs, findings,
+                        )
+                    elif kw.arg == "initargs" and isinstance(
+                        kw.value, (ast.Tuple, ast.List)
+                    ):
+                        _check_wire_args(
+                            file, list(kw.value.elts), "initargs", findings
+                        )
+
+
+def _check_reduce(
+    project: ProjectModel, file: FileModel, findings: list[Finding]
+) -> None:
+    for cls in file.classes.values():
+        if not project.is_exception(cls):
+            continue
+        init = cls.methods.get("__init__")
+        if init is None:
+            continue
+        extra_params = [p for p in init.params if p not in ("self",)]
+        if not extra_params:
+            continue
+        if project.inherits_reduce(cls):
+            continue
+        findings.append(
+            _finding(
+                file, CODE_REDUCE,
+                f"exception class {cls.name} has a parameterized __init__ "
+                "but no __reduce__: unpickling in the parent would replay "
+                f"{cls.name}(*args) and mis-build or crash (the PR 8 "
+                "ExecutionAborted bug class)",
+                cls.node,
+                hint="inherit ReproError or define __reduce__ via "
+                "repro.errors._rebuild_error",
+            )
+        )
+
+
+def check_wire(project: ProjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for file in project.files:
+        _check_submits(project, file, findings)
+        _check_reduce(project, file, findings)
+    return findings
+
+
+__all__ = [
+    "CODE_ARG",
+    "CODE_CALLABLE",
+    "CODE_REDUCE",
+    "check_wire",
+]

@@ -465,9 +465,29 @@ def cmd_check(args: argparse.Namespace) -> int:
     Exit codes: 0 clean, 3 warnings only, 4 errors.  ``info``-severity
     diagnostics are printed but never affect the exit code.
     ``repro lint`` is an alias limited to no data directory.
+    ``--concurrency`` runs the conlint passes over source paths
+    instead (the positional becomes a path, default ``src/repro``).
     """
+    if getattr(args, "concurrency", False):
+        from .analysis.conlint.runner import (
+            discover, lint_paths, render_text, to_json,
+        )
+
+        paths = [args.flock] if args.flock else ["src/repro"]
+        report = lint_paths(paths)
+        if args.format == "json":
+            import json
+
+            print(json.dumps(to_json(report), indent=2, sort_keys=True))
+        else:
+            print(render_text(report, len(discover(paths))))
+        return report.exit_code()
     from .analysis.check import check_flock
 
+    if args.flock is None:
+        print("error: a flock file is required (or pass --concurrency)",
+              file=sys.stderr)
+        return 2
     flock, db = _load(args.flock, args.data)
     result = check_flock(flock, db=db)
     if args.format == "json":
@@ -593,7 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify a flock: lint + safety + certified plan legality "
         "+ IR schema check (exit 0 clean / 3 warnings / 4 errors)",
     )
-    check.add_argument("flock", help="path to a flock file (QUERY:/FILTER:)")
+    check.add_argument(
+        "flock", nargs="?", default=None,
+        help="path to a flock file (QUERY:/FILTER:); with --concurrency, "
+        "a source path to lint instead (default src/repro)",
+    )
     check.add_argument(
         "data", nargs="?", default=None,
         help="optional data directory: also lowers and type-checks every "
@@ -602,6 +626,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (json emits the structured "
                        "diagnostics)")
+    check.add_argument(
+        "--concurrency", action="store_true",
+        help="run the concurrency lint (lock discipline, wire safety, "
+        "async blocking, cancellation) over source paths",
+    )
     check.set_defaults(fn=cmd_check)
 
     lint = sub.add_parser(

@@ -1,0 +1,79 @@
+"""Runtime markers for the concurrency conventions conlint checks.
+
+The static analyzer in :mod:`repro.analysis.conlint` proves lock
+discipline, wire safety, async-blocking freedom, and cancellation
+responsiveness over ``src/repro``.  Its model is driven by a handful of
+*source conventions*; this module is the runtime half of those
+conventions, so annotated code stays importable and the decorators keep
+doing something sensible when executed:
+
+``GUARDED`` (class attribute, not defined here)
+    ``GUARDED = {"_entries": "_lock"}`` on a class declares that the
+    instance attribute ``_entries`` must only be read or written while
+    ``self._lock`` is held.  conlint proves every lexical access.
+
+:func:`locked`
+    Method decorator that acquires ``self.<lock>`` around the call.
+    conlint treats the whole body as holding that lock.
+
+:func:`requires`
+    Pure marker: the *caller* must already hold the named locks.  The
+    body is checked as if the locks were held, and every call site is
+    checked to actually hold them.  No runtime acquisition happens —
+    that is the point (these are helpers invoked under a held lock).
+
+:func:`blocking`
+    Pure marker: this callable performs synchronous I/O (sqlite, file,
+    socket, sleep) and therefore must never be invoked from an
+    ``async def`` body except through an executor
+    (``asyncio.to_thread`` / ``run_in_executor``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def locked(lock_attr: str) -> Callable[[F], F]:
+    """Run the decorated method with ``getattr(self, lock_attr)`` held."""
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            with getattr(self, lock_attr):
+                return func(self, *args, **kwargs)
+
+        wrapper.__conlint_locked__ = (lock_attr,)  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def requires(*lock_attrs: str) -> Callable[[F], F]:
+    """Declare that callers must hold ``self.<lock>`` for each name.
+
+    Runtime no-op (beyond tagging the function); conlint enforces the
+    contract at every call site.
+    """
+
+    def decorate(func: F) -> F:
+        func.__conlint_requires__ = tuple(lock_attrs)  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def blocking(func: F) -> F:
+    """Mark a callable as performing synchronous blocking I/O.
+
+    Runtime no-op; conlint forbids direct calls from ``async def``
+    bodies outside executor dispatch.
+    """
+    func.__conlint_blocking__ = True  # type: ignore[attr-defined]
+    return func
+
+
+__all__ = ["blocking", "locked", "requires"]

@@ -8,6 +8,10 @@ per engine instance, so a union's branches (or a dynamic re-plan) never
 rebuild the same scan twice.
 """
 
+# conlint: hot-module — loops here are engine kernels; the
+# cancellation-responsiveness pass requires each hot loop to poll
+# the execution guard (see docs/CONCURRENCY.md).
+
 from __future__ import annotations
 
 import math
@@ -166,6 +170,8 @@ class MemoryEngine:
             current = natural_join(current, scan_rel, name=join_name)
         for op in stage.filters:
             current = self.apply_filter(current, op)
+            if self.guard is not None:
+                self.guard.checkpoint(rows=len(current), node=stage.node)
         if self.guard is not None:
             self.guard.note_step(
                 name=stage.node,
@@ -186,6 +192,8 @@ class MemoryEngine:
             current = self.run_stage(current, stage)
         for op in plan.unit_filters:
             current = self.apply_filter(current, op)
+            if self.guard is not None:
+                self.guard.checkpoint(rows=len(current), node="unit filter")
         return self.materialize(current, plan.root)
 
     def materialize(self, current: Relation, root: Materialize) -> Relation:
@@ -308,6 +316,8 @@ class MemoryEngine:
             grouped = (
                 agg if grouped is None else natural_join(grouped, agg, name="agg")
             )
+            if self.guard is not None:
+                self.guard.checkpoint(rows=len(grouped), node=spec.column)
         assert grouped is not None
         return grouped.take(self._threshold_keep(grouped, conditions), name=name)
 

@@ -58,6 +58,10 @@ canonically sorted, so results are bit-identical to serial execution
 for any worker count.
 """
 
+# conlint: hot-module — loops here are engine kernels; the
+# cancellation-responsiveness pass requires each hot loop to poll
+# the execution guard (see docs/CONCURRENCY.md).
+
 from __future__ import annotations
 
 import os

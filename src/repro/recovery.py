@@ -49,6 +49,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from .concurrency import blocking
 from .errors import ExecutionAborted, ReproError, ResumeError
 from .guard import ExecutionGuard
 from .testing.faults import WorkerKill
@@ -390,6 +391,7 @@ class CheckpointStore:
 
     # -- manifests ------------------------------------------------------
 
+    @blocking
     def save_manifest(self, manifest: RunManifest) -> None:
         cursor = self.backend.connection.cursor()
         self.backend._execute(
@@ -399,6 +401,7 @@ class CheckpointStore:
         )
         self.backend.connection.commit()
 
+    @blocking
     def load_manifest(self, run_id: str) -> RunManifest | None:
         cursor = self.backend.connection.cursor()
         rows = self.backend._execute(
@@ -410,6 +413,7 @@ class CheckpointStore:
             return None
         return RunManifest.from_json(rows[0][0])
 
+    @blocking
     def list_runs(self) -> list[RunManifest]:
         cursor = self.backend.connection.cursor()
         rows = self.backend._execute(
@@ -417,6 +421,7 @@ class CheckpointStore:
         ).fetchall()
         return [RunManifest.from_json(text) for (text,) in rows]
 
+    @blocking
     def run_status(self, run_id: str) -> dict | None:
         """The :meth:`RunManifest.to_status` dict for one run, or None
         when the store has no manifest for ``run_id``."""
@@ -425,6 +430,7 @@ class CheckpointStore:
             return None
         return manifest.to_status()
 
+    @blocking
     def drop_run(self, run_id: str) -> None:
         """Delete one run's manifest and every step table it owns."""
         manifest = self.load_manifest(run_id)
@@ -444,6 +450,7 @@ class CheckpointStore:
     def _step_table(self, run_id: str, step_name: str) -> str:
         return f"_repro_ckpt_{run_id}_{step_name}"
 
+    @blocking
     def save_step(
         self, manifest: RunManifest, step_name: str, relation: "Relation"
     ) -> None:
@@ -459,6 +466,7 @@ class CheckpointStore:
         manifest.completed[step_name] = table
         self.save_manifest(manifest)
 
+    @blocking
     def load_step(
         self, manifest: RunManifest, step_name: str
     ) -> "Relation | None":

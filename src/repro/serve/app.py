@@ -46,6 +46,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
+from ..concurrency import blocking
 from ..errors import (
     BudgetExceededError,
     ExecutionAborted,
@@ -134,7 +135,7 @@ class ServerConfig:
 class HttpError(ReproError):
     """An error with a definite HTTP status (raised by handlers)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
 
@@ -179,7 +180,13 @@ class RunRecord:
 class RunRegistry:
     """Thread-safe, bounded map of run_id → :class:`RunRecord`."""
 
-    def __init__(self, limit: int = RUN_HISTORY_LIMIT):
+    #: Lock discipline, proven by ``repro.analysis.conlint``.  Records
+    #: are mutated in place by worker threads and done-callbacks, so
+    #: *reads that render a record* must also happen under the lock —
+    #: use :meth:`snapshot`, not ``get().to_dict()``.
+    GUARDED = {"_runs": "_lock", "_order": "_lock"}
+
+    def __init__(self, limit: int = RUN_HISTORY_LIMIT) -> None:
         self._lock = threading.Lock()
         self._runs: dict[str, RunRecord] = {}
         self._order: list[str] = []
@@ -232,6 +239,15 @@ class RunRegistry:
         with self._lock:
             return self._runs.get(run_id)
 
+    def snapshot(self, run_id: str) -> dict | None:
+        """The record rendered to a dict *under the lock* — the status
+        and its timestamps are mutated together by the done-callback, so
+        rendering outside the lock can see a torn record (a "complete"
+        status without its ``finished_unix``)."""
+        with self._lock:
+            record = self._runs.get(run_id)
+            return record.to_dict() if record is not None else None
+
     def counts(self) -> dict[str, int]:
         with self._lock:
             counts: dict[str, int] = {}
@@ -271,7 +287,14 @@ class MiningService:
     ``submit_mine`` methods.
     """
 
-    def __init__(self, db: Database, config: ServerConfig | None = None):
+    #: ``_db_lock`` serializes *composite* catalog operations at the
+    #: service layer (replace-vs-append read-modify-write in
+    #: ``handle_data``, the multi-relation read in ``health``).  Mining
+    #: calls read the catalog without it — version counters make those
+    #: reads safe (stale entries are invalidated exactly).
+    GUARDED = {"db": "_db_lock"}
+
+    def __init__(self, db: Database, config: ServerConfig | None = None) -> None:
         self.config = config if config is not None else ServerConfig()
         self.db = db
         self.session = MiningSession(
@@ -611,9 +634,14 @@ class MiningService:
     # GET /v1/runs/{run_id}
     # ------------------------------------------------------------------
 
+    @blocking
     def run_status(self, run_id: str) -> dict:
-        """In-memory run record merged with the checkpoint manifest."""
-        record = self.runs.get(run_id)
+        """In-memory run record merged with the checkpoint manifest.
+
+        ``@blocking``: opens the checkpoint store (synchronous SQLite),
+        so the HTTP layer dispatches this through ``asyncio.to_thread``.
+        """
+        data = self.runs.snapshot(run_id)
         manifest_status = None
         if self.config.checkpoint_path is not None:
             # A fresh store per probe: SQLite connections are
@@ -623,11 +651,10 @@ class MiningService:
                     manifest_status = store.run_status(run_id)
             except ReproError:
                 manifest_status = None
-        if record is None and manifest_status is None:
+        if data is None and manifest_status is None:
             raise HttpError(404, f"unknown run {run_id!r}")
-        data = record.to_dict() if record is not None else {
-            "run_id": run_id, "status": manifest_status["status"],
-        }
+        if data is None:
+            data = {"run_id": run_id, "status": manifest_status["status"]}
         if manifest_status is not None:
             data["checkpoint"] = manifest_status
         return data
@@ -662,10 +689,16 @@ class MiningService:
                 "p99_ms": None if p99 is None else p99 * 1e3,
             },
             "tenants": self.dispatcher.tenant_stats(),
-            "relations": {
-                name: len(self.db.get(name)) for name in self.db.names()
-            },
+            "relations": self._relation_sizes(),
         }
+
+    def _relation_sizes(self) -> dict[str, int]:
+        # Under _db_lock so a concurrent handle_data replace cannot make
+        # names() and get() disagree mid-comprehension.
+        with self._db_lock:
+            return {
+                name: len(self.db.get(name)) for name in self.db.names()
+            }
 
     def metrics_text(self) -> str:
         # Refresh the sampled gauges at scrape time.
@@ -732,7 +765,7 @@ class MiningServer:
         service: MiningService,
         host: str | None = None,
         port: int | None = None,
-    ):
+    ) -> None:
         self.service = service
         self.host = host if host is not None else service.config.host
         self.port = port if port is not None else service.config.port
@@ -918,7 +951,10 @@ class MiningServer:
             if request.method != "GET":
                 raise HttpError(405, "use GET")
             run_id = request.path[len("/v1/runs/"):]
-            return self._json_response(200, service.run_status(run_id))
+            # run_status is @blocking (synchronous SQLite manifest
+            # probe): it must not run on the event loop.
+            status = await asyncio.to_thread(service.run_status, run_id)
+            return self._json_response(200, status)
         raise HttpError(404, f"no route for {request.method} {request.path}")
 
     async def _route_mine(

@@ -28,7 +28,7 @@ from ..flocks.mining import MiningReport
 class ServeError(ReproError):
     """The server answered with an error status (or unparseable JSON)."""
 
-    def __init__(self, status: int, message: str, body: Optional[dict] = None):
+    def __init__(self, status: int, message: str, body: Optional[dict] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.body = body if body is not None else {}
@@ -49,7 +49,7 @@ class MiningClient:
         base_url: str,
         tenant: Optional[str] = None,
         timeout: float = 300.0,
-    ):
+    ) -> None:
         parts = urlsplit(base_url if "//" in base_url else f"//{base_url}")
         if parts.scheme not in ("", "http"):
             raise ValueError(f"only http:// is supported, got {base_url!r}")

@@ -73,7 +73,7 @@ class Metric:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()) -> None:
         self.name = name
         self.help = help
         self.labels = tuple(labels)
@@ -95,8 +95,12 @@ class Counter(Metric):
     """A monotonically increasing sum, optionally per label vector."""
 
     kind = "counter"
+    #: Bumped from worker threads and future done-callbacks, read from
+    #: the scrape path — every cell access holds the metric's lock
+    #: (proven by ``repro.analysis.conlint``).
+    GUARDED = {"_values": "_lock"}
 
-    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()) -> None:
         super().__init__(name, help, labels)
         self._values: dict[tuple[str, ...], float] = {}
 
@@ -136,8 +140,9 @@ class Gauge(Metric):
     """A value that can go up and down (queue depth, active workers)."""
 
     kind = "gauge"
+    GUARDED = {"_values": "_lock"}
 
-    def __init__(self, name: str, help: str, labels: Sequence[str] = ()):
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()) -> None:
         super().__init__(name, help, labels)
         self._values: dict[tuple[str, ...], float] = {}
 
@@ -183,13 +188,23 @@ class Histogram(Metric):
     """
 
     kind = "histogram"
+    #: The cumulative buckets and the quantile reservoir mutate together
+    #: in ``observe`` (done-callback path) while ``render``/``quantile``
+    #: read them (scrape path) — one lock covers the lot.
+    GUARDED = {
+        "_counts": "_lock",
+        "_sum": "_lock",
+        "_count": "_lock",
+        "_recent": "_lock",
+        "_recent_fifo": "_lock",
+    }
 
     def __init__(
         self,
         name: str,
         help: str,
         buckets: Iterable[float] = DEFAULT_BUCKETS,
-    ):
+    ) -> None:
         super().__init__(name, help, labels=())
         self.buckets = tuple(sorted(set(float(b) for b in buckets)))
         if not self.buckets:
@@ -260,6 +275,10 @@ class Histogram(Metric):
 
 class MetricsRegistry:
     """A named collection of metrics rendered as one /metrics payload."""
+
+    #: Registration races with scrapes; the registry lock is dropped
+    #: before any per-metric ``render`` runs (no nested metric locks).
+    GUARDED = {"_metrics": "_lock"}
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}

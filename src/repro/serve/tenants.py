@@ -38,6 +38,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..concurrency import requires
 from ..errors import ExecutionCancelled, ReproError
 from ..guard import CancellationToken, ResourceBudget
 
@@ -49,7 +50,7 @@ class AdmissionError(ReproError):
     render a useful 429 body.
     """
 
-    def __init__(self, message: str, *, tenant: str = "", limit: int = 0):
+    def __init__(self, message: str, *, tenant: str = "", limit: int = 0) -> None:
         super().__init__(message)
         self.tenant = tenant
         self.limit = limit
@@ -119,11 +120,22 @@ class FairDispatcher:
             registered via :meth:`set_policy`.
     """
 
+    #: Lock discipline, proven by ``repro.analysis.conlint``: every
+    #: scheduling structure moves under ``_lock`` (``_work_ready`` is a
+    #: Condition *on that same lock*, so waiting workers and submitters
+    #: serialize on one mutex).
+    GUARDED = {
+        "_tenants": "_lock",
+        "_ring_position": "_lock",
+        "_active": "_lock",
+        "_closed": "_lock",
+    }
+
     def __init__(
         self,
         workers: int = 2,
         default_policy: TenantPolicy | None = None,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.default_policy = (
@@ -162,6 +174,7 @@ class FairDispatcher:
         with self._lock:
             return self._state(tenant).policy
 
+    @requires("_lock")
     def _state(self, tenant: str) -> _TenantState:
         state = self._tenants.get(tenant)
         if state is None:
@@ -208,6 +221,7 @@ class FairDispatcher:
     # Worker side
     # ------------------------------------------------------------------
 
+    @requires("_lock")
     def _next_job(self) -> _Job | None:
         """Pop the next job in per-tenant round-robin order (caller
         holds the lock).  Returns None when every queue is empty."""

@@ -47,9 +47,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional
 
+from ..concurrency import requires
 from ..datalog.query import FlockQuery, as_union
 from ..flocks.filters import (
     AnyFilter,
@@ -86,7 +87,7 @@ class CachedResult:
     source_rows: int
     param_columns: tuple[str, ...]
 
-    def is_current(self, version_of) -> bool:
+    def is_current(self, version_of: Callable[[str], int]) -> bool:
         """Whether every base relation still has its recorded version.
         ``version_of(name)`` is typically ``db.version``."""
         return all(version_of(n) == v for n, v in self.versions.items())
@@ -130,11 +131,15 @@ class ResultCache:
         max_entries: cap on the number of entries (None = unbounded).
     """
 
+    #: Lock discipline, proven by ``repro.analysis.conlint``: the LRU
+    #: map and the stats counters are only touched under ``_lock``.
+    GUARDED = {"_entries": "_lock", "stats": "_lock"}
+
     def __init__(
         self,
         max_rows: Optional[int] = 100_000,
         max_entries: Optional[int] = 64,
-    ):
+    ) -> None:
         self.max_rows = max_rows
         self.max_entries = max_entries
         self.stats = CacheStats()
@@ -175,6 +180,13 @@ class ResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def stats_snapshot(self) -> CacheStats:
+        """A point-in-time copy of the counters, taken under the lock —
+        what cross-object readers (session stats, metric scrapes) should
+        use instead of reading the live ``stats`` fields."""
+        with self._lock:
+            return replace(self.stats)
 
     # ------------------------------------------------------------------
     # Writing
@@ -231,6 +243,7 @@ class ResultCache:
             self._evict()
             return entry
 
+    @requires("_lock")
     def _evict(self) -> None:
         while (
             self.max_entries is not None
@@ -337,7 +350,7 @@ class ResultCache:
     # Invalidation
     # ------------------------------------------------------------------
 
-    def invalidate_stale(self, version_of) -> int:
+    def invalidate_stale(self, version_of: Callable[[str], int]) -> int:
         """Drop every entry derived from a relation whose version moved.
         ``version_of(name)`` is typically ``db.version``.  Returns the
         number of entries dropped."""

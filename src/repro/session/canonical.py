@@ -40,7 +40,7 @@ with :func:`alpha_equivalent`.
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..datalog.atoms import Comparison, ComparisonOp, RelationalAtom, Subgoal
 from ..datalog.containment import (
@@ -179,10 +179,14 @@ def canonicalize(query: ConjunctiveQuery) -> ConjunctiveQuery:
     return best[1]
 
 
-def _orderings(groups: list[list[Subgoal]]):
+def _orderings(
+    groups: list[list[Subgoal]],
+) -> "Iterator[tuple[Subgoal, ...]]":
     """Every body ordering that permutes only within tie groups."""
 
-    def rec(index: int, prefix: tuple[Subgoal, ...]):
+    def rec(
+        index: int, prefix: tuple[Subgoal, ...]
+    ) -> "Iterator[tuple[Subgoal, ...]]":
         if index == len(groups):
             yield prefix
             return
@@ -260,7 +264,12 @@ def _match_bijective(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
             return (mapping, used)
         return (mapping, used) if src == dst else None
 
-    def match_subgoal(sg1: Subgoal, sg2: Subgoal, mapping, used):
+    def match_subgoal(
+        sg1: Subgoal,
+        sg2: Subgoal,
+        mapping: "dict[Term, Term]",
+        used: "set[Term]",
+    ) -> "tuple[dict[Term, Term], set[Term]] | None":
         pairs: list[tuple[Term, Term]]
         if isinstance(sg1, RelationalAtom) and isinstance(sg2, RelationalAtom):
             if (
@@ -283,7 +292,12 @@ def _match_bijective(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
                 return None
         return state
 
-    def search(index: int, remaining: list[Subgoal], mapping, used) -> bool:
+    def search(
+        index: int,
+        remaining: list[Subgoal],
+        mapping: "dict[Term, Term]",
+        used: "set[Term]",
+    ) -> bool:
         if index == len(q1.body):
             return True
         sg1 = _oriented(q1.body[index])

@@ -35,6 +35,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
+from ..concurrency import locked
 from ..errors import FilterError
 from ..flocks.filters import (
     AnyFilter,
@@ -47,6 +50,11 @@ from ..flocks.flock import QueryFlock
 from ..guard import CancellationToken, GuardLike, ResourceBudget
 from ..relational.catalog import Database
 from ..relational.relation import Relation
+
+if TYPE_CHECKING:
+    from ..flocks.mining import MiningReport
+    from ..recovery import CheckpointStore, RetryPolicy
+    from ..datalog.query import FlockQuery
 from .cache import (
     KIND_AGGREGATES,
     KIND_SURVIVORS,
@@ -56,7 +64,7 @@ from .cache import (
 )
 
 
-def with_support_threshold(flock: QueryFlock, threshold) -> QueryFlock:
+def with_support_threshold(flock: QueryFlock, threshold: float) -> QueryFlock:
     """The same flock with its support conjunct's threshold replaced.
 
     The knob an interactive session turns most: re-ask the same flock at
@@ -104,7 +112,7 @@ class SessionSink:
     recompute.
     """
 
-    def __init__(self, session: "MiningSession", flock: QueryFlock):
+    def __init__(self, session: "MiningSession", flock: QueryFlock) -> None:
         self.session = session
         self.flock = flock
         #: Serving and publishing are only *sound* for monotone filters
@@ -116,7 +124,9 @@ class SessionSink:
 
     # -- serving -------------------------------------------------------
 
-    def serve_step(self, query, param_columns) -> Relation | None:
+    def serve_step(
+        self, query: FlockQuery, param_columns: tuple[str, ...]
+    ) -> Relation | None:
         """A cached upper bound usable as a pre-filter step's ok-relation
         (a superset of the true survivors is sound there — later steps
         re-filter), or None."""
@@ -131,7 +141,7 @@ class SessionSink:
         self.rows_saved += entry.source_rows
         return entry.survivor_relation("ok")
 
-    def serve_exact_count(self, query) -> int | None:
+    def serve_exact_count(self, query: FlockQuery) -> int | None:
         """A prior *exact* survivor count for an alpha-equivalent query
         at exactly these thresholds (for the optimizer's statistics
         probes, where an upper bound would distort the cost model)."""
@@ -144,7 +154,13 @@ class SessionSink:
 
     # -- publishing ----------------------------------------------------
 
-    def publish_step(self, query, param_columns, ok, source_rows) -> None:
+    def publish_step(
+        self,
+        query: FlockQuery,
+        param_columns: tuple[str, ...],
+        ok: Relation,
+        source_rows: int,
+    ) -> None:
         """Record a pre-filter step's survivor set.  Skipped when the
         query references non-base predicates (ok-atoms of earlier plan
         steps): such survivors depend on transient scratch state."""
@@ -163,7 +179,9 @@ class SessionSink:
             param_columns,
         )
 
-    def publish_final(self, with_aggregates, source_rows) -> None:
+    def publish_final(
+        self, with_aggregates: Relation, source_rows: int
+    ) -> None:
         """Record the flock's full answer together with its per-conjunct
         aggregate values — the exact, re-filterable entry that serves
         any later request at stricter-or-equal thresholds."""
@@ -229,6 +247,14 @@ class MiningSession:
         lint: default lint flag per call.
     """
 
+    #: Lock discipline, proven by ``repro.analysis.conlint``: the serve
+    #: layer drives one session from many worker threads, so the
+    #: session's own counters only move under ``_counter_lock`` (the
+    #: cache locks itself).  Lock order: ``MiningSession._counter_lock``
+    #: may be held while taking ``ResultCache._lock`` (stats), never the
+    #: reverse — the cache calls back into nothing.
+    GUARDED = {"queries": "_counter_lock", "_persist_counter": "_counter_lock"}
+
     def __init__(
         self,
         db: Database,
@@ -242,9 +268,9 @@ class MiningSession:
         persist_path: str | None = None,
         lint: bool = True,
         parallelism: int | None = None,
-        retry=None,
-        checkpoint=None,
-    ):
+        retry: "RetryPolicy | None" = None,
+        checkpoint: "CheckpointStore | str | None" = None,
+    ) -> None:
         self.db = db
         self.cache = cache if cache is not None else ResultCache(
             max_rows=max_cache_rows, max_entries=max_cache_entries
@@ -288,11 +314,11 @@ class MiningSession:
         guard: GuardLike = None,
         backend: str | None = None,
         parallelism: int | None = None,
-        retry=None,
-        checkpoint=None,
+        retry: "RetryPolicy | None" = None,
+        checkpoint: "CheckpointStore | str | None" = None,
         run_id: str | None = None,
         resume: str | None = None,
-    ):
+    ) -> "tuple[Relation, MiningReport]":
         """Evaluate a flock with full cache participation; returns
         ``(relation, MiningReport)`` exactly like
         :func:`repro.flocks.mining.mine` (which this delegates to,
@@ -359,8 +385,13 @@ class MiningSession:
     # Introspection
     # ------------------------------------------------------------------
 
+    @locked("_counter_lock")
     def stats(self) -> SessionStats:
-        cache_stats = self.cache.stats
+        # Holding _counter_lock while the cache takes its own lock is
+        # the declared lock order (session → cache); the cache never
+        # calls back into the session, so the order is acyclic — and
+        # conlint's lock-order graph proves it stays that way.
+        cache_stats = self.cache.stats_snapshot()
         return SessionStats(
             queries=self.queries,
             cache_hits=cache_stats.hits,
@@ -381,7 +412,7 @@ class MiningSession:
     def __enter__(self) -> "MiningSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -392,7 +423,12 @@ class MiningSession:
         """Write one exact entry through to the SQLite file."""
         if self._persist_backend is None:
             return
-        self._persist_counter += 1
+        # Worker threads publish finals concurrently: the sequence must
+        # be unique per entry or two threads would overwrite one
+        # another's persisted table.
+        with self._counter_lock:
+            self._persist_counter += 1
+            sequence = self._persist_counter
         metadata = {
             "query": str(entry.query),
             "filter": str(entry.filter),
@@ -406,7 +442,7 @@ class MiningSession:
         }
         try:
             self._persist_backend.persist_cached_result(
-                f"_repro_cache_{self._persist_counter}",
+                f"_repro_cache_{sequence}",
                 entry.relation,
                 metadata,
             )
@@ -432,11 +468,12 @@ class MiningSession:
         except Exception:
             return
         for table_name, metadata in persisted:
-            self._persist_counter = max(
-                self._persist_counter,
-                int(table_name.rsplit("_", 1)[-1])
-                if table_name.rsplit("_", 1)[-1].isdigit() else 0,
-            )
+            with self._counter_lock:
+                self._persist_counter = max(
+                    self._persist_counter,
+                    int(table_name.rsplit("_", 1)[-1])
+                    if table_name.rsplit("_", 1)[-1].isdigit() else 0,
+                )
             cards = metadata.get("base_cards", {})
             if not cards:
                 continue

@@ -79,6 +79,12 @@ class Hang(BaseException):
         super().__init__(f"injected hang for {seconds}s")
         self.seconds = seconds
 
+    def __reduce__(self):
+        # The default BaseException reduction replays ``Hang(*args)``,
+        # i.e. ``Hang("injected hang for ...s")`` — a message string
+        # where ``seconds`` belongs.  Rebuild from the real parameter.
+        return (Hang, (self.seconds,))
+
 
 @dataclass
 class FaultSpec:

@@ -1,0 +1,175 @@
+"""Instrumented locks that verify acquisition order at runtime.
+
+The static side of lock discipline lives in ``repro.analysis.conlint``:
+it proves guarded attributes move under their lock and builds the
+declared lock-order graph from nested acquisitions.  This module is the
+*runtime* half of that contract.  A :class:`LockOrderAuditor` hands out
+:class:`InstrumentedLock` wrappers that record, per thread, which locks
+are held when another is taken; the observed edges can then be compared
+against the analyzer's declared graph (see
+``tests/analysis/test_lock_order.py``), and acquiring *against* the
+declared order raises :class:`LockOrderViolation` immediately instead
+of deadlocking some unlucky CI run years later.
+
+Usage::
+
+    auditor = LockOrderAuditor(declared={("A._la", "B._lb")})
+    session._counter_lock = auditor.instrument("A._la")
+    cache._lock = auditor.instrument("B._lb")
+    ...exercise under threads...
+    assert auditor.edges() <= {("A._la", "B._lb")}
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Set, Tuple
+
+Edge = Tuple[str, str]
+
+
+class LockOrderViolation(AssertionError):
+    """Two locks were taken in the opposite of their declared order."""
+
+
+class InstrumentedLock:
+    """A context-manager lock reporting acquisitions to its auditor.
+
+    Wraps a real ``threading.Lock`` (or anything with ``acquire`` /
+    ``release``), so it can be dropped in for a lock attribute on a
+    live object — ``with self._lock:`` and ``@locked("_lock")`` both
+    keep working.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        auditor: "LockOrderAuditor",
+        inner: Optional[threading.Lock] = None,
+    ):
+        self.name = name
+        self._auditor = auditor
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            try:
+                self._auditor._note_acquire(self.name)
+            except LockOrderViolation:
+                self._inner.release()
+                raise
+        return acquired
+
+    def release(self) -> None:
+        self._auditor._note_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class LockOrderAuditor:
+    """Tracks per-thread held-lock stacks and the edges they induce.
+
+    Args:
+        declared: the allowed lock-order edges, usually the analyzer's
+            :func:`repro.analysis.conlint.lock_order_edges` rendered to
+            ``("Class._lock", "Other._lock")`` name pairs.  When given,
+            a nested acquisition whose *reverse* is reachable through
+            the declared graph raises :class:`LockOrderViolation`.
+            ``None`` records edges without enforcing anything.
+    """
+
+    GUARDED = {"_observed": "_lock"}
+
+    def __init__(self, declared: Optional[Iterable[Edge]] = None):
+        self.declared: Optional[Set[Edge]] = (
+            set(declared) if declared is not None else None
+        )
+        self._observed: Set[Edge] = set()
+        self._lock = threading.Lock()
+        self._held = threading.local()
+
+    def instrument(
+        self, name: str, inner: Optional[threading.Lock] = None
+    ) -> InstrumentedLock:
+        """A lock named ``name`` whose acquisitions this auditor sees."""
+        return InstrumentedLock(name, self, inner)
+
+    def edges(self) -> Set[Edge]:
+        """Snapshot of every (outer, inner) nesting observed so far."""
+        with self._lock:
+            return set(self._observed)
+
+    # -- bookkeeping (called by InstrumentedLock) ----------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _note_acquire(self, name: str) -> None:
+        stack = self._stack()
+        for outer in stack:
+            if outer == name:
+                continue  # re-entrant hold (RLock) orders nothing
+            edge = (outer, name)
+            with self._lock:
+                self._observed.add(edge)
+            if self._against_declared_order(edge):
+                raise LockOrderViolation(
+                    f"acquired {name!r} while holding {outer!r}, but the "
+                    f"declared lock order requires {name!r} before "
+                    f"{outer!r}"
+                )
+        stack.append(name)
+
+    def _note_release(self, name: str) -> None:
+        stack = self._stack()
+        # Release the innermost matching hold (locks are not required
+        # to release in strict LIFO order).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def _against_declared_order(self, edge: Edge) -> bool:
+        """True when the declared graph orders ``edge[1]`` strictly
+        before ``edge[0]`` — i.e. this acquisition inverts the order."""
+        if self.declared is None:
+            return False
+        outer, inner = edge
+        if (outer, inner) in self.declared:
+            return False
+        return self._reaches(inner, outer)
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        assert self.declared is not None
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for a, b in self.declared:
+                if a == node and b not in seen:
+                    seen.add(b)
+                    frontier.append(b)
+        return False
+
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderAuditor",
+    "LockOrderViolation",
+]

@@ -1,0 +1,8 @@
+# expect: conlint-async-blocking
+"""A sync sleep on the event loop stalls every other request."""
+import time
+
+
+async def lazy_handler():
+    time.sleep(0.01)
+    return "done"

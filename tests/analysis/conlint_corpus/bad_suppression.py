@@ -1,0 +1,14 @@
+# expect: conlint-bad-suppression
+"""A suppression without justification is itself an error."""
+import threading
+
+
+class Sloppy:
+    GUARDED = {"_value": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def peek(self):
+        return self._value  # conlint: skip[conlint-guard-unlocked]

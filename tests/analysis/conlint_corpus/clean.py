@@ -1,0 +1,19 @@
+# expect: clean
+"""A well-behaved guarded class: every access under its lock."""
+import threading
+
+
+class Tidy:
+    GUARDED = {"_value": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+    def peek(self):
+        with self._lock:
+            return self._value

@@ -1,0 +1,18 @@
+# expect: clean
+"""A justified suppression drops the finding it covers."""
+import threading
+
+
+class Relaxed:
+    GUARDED = {"_value": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+    def peek_stale(self):
+        return self._value  # conlint: skip[conlint-guard-unlocked] -- stale read is fine for logging

@@ -1,0 +1,20 @@
+# expect: conlint-guard-requires
+"""A @requires helper called without holding its declared lock."""
+import threading
+
+from repro.concurrency import requires
+
+
+class Store:
+    GUARDED = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    @requires("_lock")
+    def _evict(self):
+        del self._items[:]
+
+    def clear(self):
+        self._evict()  # caller does not hold _lock

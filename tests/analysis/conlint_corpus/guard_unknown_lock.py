@@ -1,0 +1,9 @@
+# expect: conlint-guard-unknown-lock
+"""GUARDED names a lock no method of the class ever creates."""
+
+
+class Unmapped:
+    GUARDED = {"_value": "_mutex"}
+
+    def __init__(self):
+        self._value = 0

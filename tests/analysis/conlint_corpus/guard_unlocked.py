@@ -1,0 +1,18 @@
+# expect: conlint-guard-unlocked
+"""A guarded attribute read outside its declared lock."""
+import threading
+
+
+class Counter:
+    GUARDED = {"_value": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+    def peek(self):
+        return self._value  # read without holding _lock

@@ -1,0 +1,19 @@
+# expect: conlint-lock-cycle
+"""Two methods nest the same pair of locks in opposite orders."""
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._la = threading.Lock()
+        self._lb = threading.Lock()
+
+    def forward(self):
+        with self._la:
+            with self._lb:
+                pass
+
+    def backward(self):
+        with self._lb:
+            with self._la:
+                pass

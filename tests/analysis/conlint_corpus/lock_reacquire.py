@@ -1,0 +1,16 @@
+# expect: conlint-lock-cycle
+"""Re-acquiring a non-reentrant Lock the method already holds."""
+import threading
+
+
+class Reacquire:
+    GUARDED = {"_value": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def outer(self):
+        with self._lock:
+            with self._lock:  # plain Lock: guaranteed self-deadlock
+                self._value += 1

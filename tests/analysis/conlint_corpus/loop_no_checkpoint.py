@@ -1,0 +1,10 @@
+# expect: conlint-loop-no-checkpoint
+# conlint: hot-module
+"""A hot kernel loop that never polls the execution guard."""
+
+
+def drain(rows, guard):
+    total = 0
+    while rows:
+        total += rows.pop()
+    return total

@@ -1,0 +1,11 @@
+# expect: clean
+# conlint: hot-module
+"""The same hot loop, made responsive with an in-loop checkpoint."""
+
+
+def drain(rows, guard):
+    total = 0
+    while rows:
+        guard.checkpoint(rows=len(rows))
+        total += rows.pop()
+    return total

@@ -1,0 +1,2 @@
+# expect: conlint-parse-error
+def broken(:

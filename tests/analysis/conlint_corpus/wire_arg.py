@@ -1,0 +1,12 @@
+# expect: conlint-wire-arg
+"""A lambda passed as a submit argument crosses the process boundary."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(fn):
+    return fn
+
+
+def run():
+    pool = ProcessPoolExecutor(max_workers=1)
+    return pool.submit(work, lambda value: value + 1)

@@ -1,0 +1,8 @@
+# expect: conlint-wire-callable
+"""A lambda submitted to a process pool never survives pickling."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run():
+    pool = ProcessPoolExecutor(max_workers=1)
+    return pool.submit(lambda: 41 + 1)

@@ -1,0 +1,9 @@
+# expect: conlint-wire-reduce
+"""An exception with a parameterized __init__ and no __reduce__:
+unpickling in the parent replays cls(*args) and mis-builds it."""
+
+
+class WorkerError(Exception):
+    def __init__(self, message, task_id):
+        super().__init__(message)
+        self.task_id = task_id

@@ -1,0 +1,115 @@
+"""conlint entry-point plumbing: carets, exit codes, JSON schema.
+
+The analyzer must speak the same dialect as ``repro check``: caret
+spans under findings in text mode, exit codes 0 (clean) / 3 (warnings
+only) / 4 (errors), and a ``--format json`` payload whose shape is the
+``DiagnosticReport.to_dict()`` schema the rest of the toolchain parses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.conlint import lint_paths, main, to_json
+from repro.cli import main as cli_main
+
+CORPUS = Path(__file__).parent / "conlint_corpus"
+
+CLEAN = str(CORPUS / "clean.py")
+ERRORS = str(CORPUS / "guard_unlocked.py")
+WARNINGS = str(CORPUS / "loop_no_checkpoint.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([CLEAN]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warnings_only_exits_three(self, capsys):
+        assert main([WARNINGS]) == 3
+        out = capsys.readouterr().out
+        assert "conlint-loop-no-checkpoint" in out
+        assert "1 warning(s)" in out
+
+    def test_errors_exit_four(self, capsys):
+        assert main([ERRORS]) == 4
+        out = capsys.readouterr().out
+        assert "conlint-guard-unlocked" in out
+        assert "1 error(s)" in out
+
+
+class TestTextRendering:
+    def test_findings_carry_caret_spans(self, capsys):
+        main([ERRORS])
+        out = capsys.readouterr().out
+        # The offending source line, with a caret column under it.
+        assert "return self._value" in out
+        assert "^" in out
+
+    def test_location_is_path_line_col(self):
+        (diagnostic,) = list(lint_paths([ERRORS]))
+        path, line, col = diagnostic.location.rsplit(":", 2)
+        assert path == ERRORS
+        assert int(line) > 0 and int(col) > 0
+
+    def test_hints_are_printed(self, capsys):
+        main([ERRORS])
+        assert "hint:" in capsys.readouterr().out
+
+
+class TestJsonSchema:
+    def test_report_shape_matches_repro_check(self, capsys):
+        assert main([ERRORS, "--format", "json"]) == 4
+        payload = json.loads(capsys.readouterr().out)
+        # DiagnosticReport.to_dict() keys (the `repro check` schema)
+        # plus the gate-friendly ok/exit_code.
+        assert set(payload) == {
+            "clean", "errors", "warnings", "infos", "diagnostics",
+            "ok", "exit_code",
+        }
+        assert payload["clean"] is False
+        assert payload["ok"] is False
+        assert payload["exit_code"] == 4
+        assert payload["errors"] == 1
+        (diagnostic,) = payload["diagnostics"]
+        assert set(diagnostic) == {
+            "code", "severity", "message", "location", "position", "hint",
+        }
+        assert diagnostic["severity"] == "error"
+
+    def test_to_json_agrees_with_report(self):
+        report = lint_paths([WARNINGS])
+        payload = to_json(report)
+        assert payload["exit_code"] == report.exit_code() == 3
+        assert payload["warnings"] == 1
+        assert payload["clean"] is False
+
+
+class TestCheckConcurrencyFlag:
+    def test_clean_paths_exit_zero(self, capsys):
+        assert cli_main(["check", "--concurrency", CLEAN]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_errors_exit_four_with_json(self, capsys):
+        code = cli_main(
+            ["check", "--concurrency", ERRORS, "--format", "json"]
+        )
+        assert code == 4
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "conlint-guard-unlocked"
+
+    def test_check_without_flock_or_flag_is_usage_error(self, capsys):
+        assert cli_main(["check"]) == 2
+        assert "flock file is required" in capsys.readouterr().err
+
+
+class TestBadPaths:
+    def test_missing_path_reports_parse_error_code(self):
+        report = lint_paths([str(CORPUS / "does_not_exist.py")])
+        codes = {diagnostic.code for diagnostic in report}
+        assert codes == {"conlint-parse-error"}
+        assert report.exit_code() == 4

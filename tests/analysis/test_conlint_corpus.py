@@ -1,0 +1,59 @@
+"""The conlint self-test corpus: every file yields exactly its codes.
+
+Each ``tests/analysis/conlint_corpus/*.py`` file carries one or more
+``# expect: conlint-<code>`` header comments (or ``# expect: clean``)
+and is linted standalone; the set of diagnostic codes produced must
+equal the declared expectation.  This is the analyzer's ground truth —
+a pass that stops firing (or starts over-firing) breaks here first.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.conlint import lint_paths
+
+CORPUS = Path(__file__).parent / "conlint_corpus"
+EXPECT_RE = re.compile(r"^#\s*expect:\s*(\S+)", re.MULTILINE)
+
+FILES = sorted(CORPUS.glob("*.py"))
+
+
+def expected_codes(path: Path) -> set[str]:
+    declared = set(EXPECT_RE.findall(path.read_text()))
+    assert declared, f"{path.name} has no '# expect:' header"
+    declared.discard("clean")
+    return declared
+
+
+def test_corpus_covers_every_code():
+    all_expected = set().union(*(expected_codes(p) for p in FILES))
+    assert all_expected == {
+        "conlint-guard-unlocked",
+        "conlint-guard-unknown-lock",
+        "conlint-guard-requires",
+        "conlint-lock-cycle",
+        "conlint-wire-callable",
+        "conlint-wire-arg",
+        "conlint-wire-reduce",
+        "conlint-async-blocking",
+        "conlint-loop-no-checkpoint",
+        "conlint-bad-suppression",
+        "conlint-parse-error",
+    }
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_file_yields_exactly_its_codes(path: Path):
+    report = lint_paths([str(path)])
+    found = {diagnostic.code for diagnostic in report}
+    assert found == expected_codes(path)
+
+
+def test_corpus_findings_point_into_the_file():
+    for path in FILES:
+        for diagnostic in lint_paths([str(path)]):
+            assert diagnostic.location.startswith(str(path))

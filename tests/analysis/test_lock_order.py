@@ -1,0 +1,128 @@
+"""Lock-order regression: the analyzer's declared graph matches runtime.
+
+Three layers of the same contract:
+
+1. the static analyzer (``repro.analysis.conlint``) derives the
+   ``MiningSession._counter_lock → ResultCache._lock`` edge from the
+   nested acquisition in :meth:`MiningSession.stats` and proves the
+   graph acyclic;
+2. a live session with both locks swapped for
+   :class:`~repro.testing.locks.InstrumentedLock` wrappers, hammered
+   from threads, observes only declared edges at runtime;
+3. taking the two locks in the *reverse* order trips
+   :class:`~repro.testing.locks.LockOrderViolation` immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.conlint import build_model, lock_order_edges
+from repro.session import MiningSession
+from repro.testing.locks import LockOrderAuditor, LockOrderViolation
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+SESSION_LOCK = "MiningSession._counter_lock"
+CACHE_LOCK = "ResultCache._lock"
+
+
+@pytest.fixture(scope="module")
+def declared_edges() -> set[tuple[str, str]]:
+    """The analyzer's lock-order graph as ``Class.lock`` name pairs."""
+    model = build_model([str(SRC)])
+    return {
+        (f"{outer_cls}.{outer_lock}", f"{inner_cls}.{inner_lock}")
+        for (outer_cls, outer_lock), (inner_cls, inner_lock) in (
+            lock_order_edges(model)
+        )
+    }
+
+
+def test_analyzer_declares_session_to_cache_edge(declared_edges):
+    assert (SESSION_LOCK, CACHE_LOCK) in declared_edges
+
+
+def test_declared_graph_is_acyclic(declared_edges):
+    # A cycle would also be a conlint-lock-cycle error; assert directly
+    # so this test stays meaningful if the error path ever regresses.
+    reverse = {(inner, outer) for outer, inner in declared_edges}
+    assert not (declared_edges & reverse)
+
+
+def test_runtime_acquisitions_obey_declared_order(
+    declared_edges, small_basket_db, basket_flock
+):
+    session = MiningSession(small_basket_db)
+    auditor = LockOrderAuditor(declared=declared_edges)
+    session._counter_lock = auditor.instrument(SESSION_LOCK)
+    # The cache lock is re-entrant in production; keep that here.
+    session.cache._lock = auditor.instrument(
+        CACHE_LOCK, inner=threading.RLock()
+    )
+
+    session.mine(basket_flock)
+
+    errors: list[BaseException] = []
+
+    def hammer() -> None:
+        try:
+            for _ in range(100):
+                session.stats()
+                session.cache.stats_snapshot()
+        except BaseException as error:  # pragma: no cover - fail path
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    observed = auditor.edges()
+    # stats() really nested the two locks...
+    assert (SESSION_LOCK, CACHE_LOCK) in observed
+    # ...and nothing ran against the declared order.
+    assert observed <= declared_edges
+
+
+def test_reverse_acquisition_raises(declared_edges):
+    auditor = LockOrderAuditor(declared=declared_edges)
+    cache_lock = auditor.instrument(CACHE_LOCK)
+    counter_lock = auditor.instrument(SESSION_LOCK)
+    with cache_lock:
+        with pytest.raises(LockOrderViolation):
+            counter_lock.acquire()
+        # The failed acquire released the underlying lock.
+        assert not counter_lock.locked()
+    # Declared order still works after the violation.
+    with counter_lock:
+        with cache_lock:
+            pass
+    assert (SESSION_LOCK, CACHE_LOCK) in auditor.edges()
+
+
+def test_transitive_reverse_is_caught():
+    auditor = LockOrderAuditor(declared={("A._l", "B._l"), ("B._l", "C._l")})
+    a = auditor.instrument("A._l")
+    c = auditor.instrument("C._l")
+    with c:
+        with pytest.raises(LockOrderViolation):
+            a.acquire()
+
+
+def test_unordered_locks_record_without_enforcing():
+    auditor = LockOrderAuditor(declared=set())
+    a = auditor.instrument("X._l")
+    b = auditor.instrument("Y._l")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert auditor.edges() == {("X._l", "Y._l"), ("Y._l", "X._l")}

@@ -1,0 +1,82 @@
+"""Kernel loops must notice cancellation *between* iterations.
+
+The conlint cancellation pass statically requires every hot loop in the
+engine to poll the guard; these tests pin the runtime behavior those
+checkpoints buy.  A cancel that lands mid-loop (after the first filter
+or aggregate of several) must abort before the next iteration runs —
+before the in-loop checkpoints, the whole loop finished first and the
+cancel was only seen at the stage boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.engine.memory as memory_module
+from repro.datalog import atom, rule
+from repro.engine.memory import MemoryEngine
+from repro.errors import ExecutionCancelled
+from repro.flocks import QueryFlock, parse_filter
+from repro.flocks.filters import plan_aggregate_specs
+from repro.flocks.naive import _target_resolver, flock_answer_relation
+from repro.guard import CancellationToken, ExecutionGuard
+from repro.relational import database_from_dict
+
+
+@pytest.fixture
+def db():
+    return database_from_dict(
+        {"r": (("B", "I"), {(b, i) for b in range(4) for i in range(3)})}
+    )
+
+
+def composite_flock():
+    query = rule("answer", ["B"], [atom("r", "B", "$1")])
+    return QueryFlock(
+        query,
+        parse_filter("COUNT(answer.B) >= 1 AND SUM(answer.B) >= 1"),
+    )
+
+
+def test_group_filter_aborts_between_aggregates(db, monkeypatch):
+    """Cancel lands after the first of two aggregate kernels: the
+    second must never run."""
+    flock = composite_flock()
+    answer = flock_answer_relation(db, flock)
+    aggregates, conditions = plan_aggregate_specs(
+        flock.filter, _target_resolver(flock, answer)
+    )
+    assert len(aggregates) == 2  # COUNT and SUM conjuncts
+
+    cancel = CancellationToken()
+    calls = []
+    real_group_aggregate = memory_module.group_aggregate
+
+    def cancelling_aggregate(*args, **kwargs):
+        calls.append(1)
+        cancel.cancel()  # the client goes away mid-kernel
+        return real_group_aggregate(*args, **kwargs)
+
+    monkeypatch.setattr(
+        memory_module, "group_aggregate", cancelling_aggregate
+    )
+    engine = MemoryEngine(db, guard=ExecutionGuard(cancel=cancel))
+    with pytest.raises(ExecutionCancelled):
+        engine.group_filter(
+            answer, list(flock.parameter_columns), aggregates, conditions,
+            name="flock",
+        )
+    assert len(calls) == 1  # aborted before the second aggregate
+
+
+def test_group_filter_unguarded_engine_still_completes(db):
+    flock = composite_flock()
+    answer = flock_answer_relation(db, flock)
+    aggregates, conditions = plan_aggregate_specs(
+        flock.filter, _target_resolver(flock, answer)
+    )
+    result = MemoryEngine(db).group_filter(
+        answer, list(flock.parameter_columns), aggregates, conditions,
+        name="flock",
+    )
+    assert len(result) > 0

@@ -1,0 +1,139 @@
+"""Contention regressions for the metrics registry and run registry.
+
+The conlint lock-discipline pass proves every ``GUARDED`` attribute in
+``repro.serve.metrics`` and ``repro.serve.app`` moves under its lock;
+these tests are the runtime half — hammer the hot paths from threads
+and assert no update is lost and no read is torn.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.app import RunRegistry
+from repro.serve.metrics import MetricsRegistry
+
+THREADS = 8
+ITERS = 400
+
+
+def _run_all(workers):
+    threads = [threading.Thread(target=fn) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricContention:
+    def test_counter_loses_no_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "contended counter")
+
+        def bump():
+            for _ in range(ITERS):
+                counter.inc()
+
+        _run_all([bump] * THREADS)
+        assert counter.total() == THREADS * ITERS
+
+    def test_labelled_counter_cells_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_by", "per-thread cells", labels=("t",))
+
+        def bump(tid: str):
+            for _ in range(ITERS):
+                counter.inc(t=tid)
+
+        _run_all([lambda tid=str(i): bump(tid) for i in range(THREADS)])
+        for i in range(THREADS):
+            assert counter.value(t=str(i)) == ITERS
+
+    def test_gauge_balanced_inc_dec_nets_zero(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g_depth", "contended gauge")
+
+        def churn():
+            for _ in range(ITERS):
+                gauge.inc()
+                gauge.dec()
+
+        _run_all([churn] * THREADS)
+        assert gauge.value() == 0
+
+    def test_histogram_count_matches_under_concurrent_render(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_lat", "contended histogram")
+        stop = threading.Event()
+
+        def observe():
+            for i in range(ITERS):
+                histogram.observe(i / ITERS)
+
+        def scrape():
+            while not stop.is_set():
+                registry.render()
+                histogram.quantile(0.99)
+
+        scrapers = [threading.Thread(target=scrape) for _ in range(2)]
+        for thread in scrapers:
+            thread.start()
+        _run_all([observe] * THREADS)
+        stop.set()
+        for thread in scrapers:
+            thread.join()
+
+        assert histogram.count == THREADS * ITERS
+        # Cumulative buckets must sum to the count (no torn bucket row).
+        rendered = histogram.render()
+        assert f'le="+Inf"}} {THREADS * ITERS}' in rendered
+
+    def test_concurrent_registration_returns_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def register():
+            metric = registry.counter("shared_total", "raced registration")
+            with lock:
+                seen.append(metric)
+
+        _run_all([register] * THREADS)
+        assert len({id(metric) for metric in seen}) == 1
+
+
+class TestRunRegistrySnapshots:
+    def test_snapshot_is_never_torn(self):
+        """A finished status must always arrive with its timestamps —
+        the torn read ``run_status`` had before it used snapshot()."""
+        registry = RunRegistry()
+        registry.create("r1", tenant="t")
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def flip():
+            for _ in range(ITERS):
+                registry.mark_running("r1")
+                registry.finish("r1", "complete", summary={"rows": 1})
+
+        def watch():
+            while not stop.is_set():
+                snap = registry.snapshot("r1")
+                if snap is None:
+                    continue
+                if snap["status"] == "complete" and (
+                    "finished_unix" not in snap or "summary" not in snap
+                ):
+                    torn.append(snap)
+
+        watchers = [threading.Thread(target=watch) for _ in range(3)]
+        for thread in watchers:
+            thread.start()
+        _run_all([flip] * 2)
+        stop.set()
+        for thread in watchers:
+            thread.join()
+        assert torn == []
+
+    def test_snapshot_missing_run_is_none(self):
+        assert RunRegistry().snapshot("nope") is None

@@ -1,0 +1,93 @@
+"""Session counter races fixed alongside the conlint annotation sweep.
+
+Two regressions:
+
+* ``_persist_entry`` must mint a *unique* sequence per persisted entry
+  even when worker threads publish finals concurrently — the increment
+  and the read now happen under ``_counter_lock`` in one critical
+  section (two threads used to be able to read the same value and
+  overwrite one another's ``_repro_cache_<n>`` table);
+* ``stats()`` reads the query counter and the cache counters under the
+  declared session → cache lock order while miners bump them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.session import MiningSession, with_support_threshold
+
+THREADS = 8
+ITERS = 50
+
+
+class RecordingBackend:
+    """Stands in for the SQLite backend; records persisted table names."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.names: list[str] = []
+
+    def persist_cached_result(self, name, relation, metadata):
+        with self._lock:
+            self.names.append(name)
+
+    def close(self):
+        pass
+
+
+def test_persist_sequence_is_unique_across_threads(
+    small_basket_db, basket_flock
+):
+    session = MiningSession(small_basket_db)
+    session.mine(basket_flock)
+    (entry,) = session.cache.entries()
+    backend = RecordingBackend()
+    session._persist_backend = backend
+
+    def publish():
+        for _ in range(ITERS):
+            session._persist_entry(entry)
+
+    threads = [threading.Thread(target=publish) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(backend.names) == THREADS * ITERS
+    # Every persisted table got its own sequence number.
+    assert len(set(backend.names)) == THREADS * ITERS
+
+
+def test_stats_consistent_while_miners_run(small_basket_db, basket_flock):
+    session = MiningSession(small_basket_db)
+    errors: list[BaseException] = []
+    mines = 6
+
+    def miner():
+        try:
+            for threshold in (2, 3, 2, 3, 2, 3):
+                session.mine(with_support_threshold(basket_flock, threshold))
+        except BaseException as error:  # pragma: no cover - fail path
+            errors.append(error)
+
+    def reader():
+        try:
+            for _ in range(200):
+                stats = session.stats()
+                assert stats.queries >= 0
+                assert stats.cache_hits + stats.cache_misses <= stats.queries
+        except BaseException as error:  # pragma: no cover - fail path
+            errors.append(error)
+
+    threads = [threading.Thread(target=miner)] + [
+        threading.Thread(target=reader) for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    assert session.stats().queries == mines
