@@ -3,11 +3,16 @@
 :func:`check_physical_plan` types every operator of a lowered
 :class:`~repro.engine.ir.PhysicalPlan` or
 :class:`~repro.engine.ir.StepPlan` by flowing column sets through the
-operator DAG — Scan → HashJoin → AntiJoin/CompareFilter →
+operator DAG — Scan (± ScanFilter) → HashJoin → AntiJoin/CompareFilter →
 GroupAggregate → ThresholdFilter → Union → Materialize — exactly the
 way the engines consume them:
 
 * a scan's columns must be the binding-relation columns of its subgoal;
+* a runtime scan filter (sideways information passing) may only
+  restrict a column its scan binds, must name a catalogued source
+  relation and column, and must be *justified*: the plan's query has to
+  join that source on the same column, so the semi-join can only drop
+  rows the join would discard anyway;
 * every hash-join key must exist on **both** sides (a dangling key would
   silently turn the join into a cartesian product in SQL, or a KeyError
   in the columnar engine);
@@ -122,6 +127,77 @@ def _check_filters(
             )
 
 
+def _check_scan_filters(
+    stage,
+    plan: PhysicalPlan,
+    db: Optional[Database],
+    location: str,
+    out: list[Diagnostic],
+) -> None:
+    """Type and *justify* a stage's runtime semi-join filters.
+
+    A :class:`~repro.engine.ir.ScanFilter` restricts scan rows by
+    membership of one scan column in a source relation's column.  It is
+    sound only when the plan's own query joins that source atom on the
+    same column (the filter then merely front-loads a join the plan
+    performs anyway) — ``ir-scanfilter-unjustified`` is the legality
+    certificate for sideways information passing, checked like every
+    other operator invariant.
+    """
+    scan_cols = set(stage.scan.columns)
+    for sf in stage.scan_filters:
+        label = f"{location} / scan filter {sf.column} IN {sf.source}"
+        if sf.column not in scan_cols:
+            out.append(
+                error(
+                    "ir-scanfilter-column",
+                    f"scan filter restricts column {sf.column!r} but the "
+                    f"scan of {stage.scan.atom} only binds "
+                    f"{list(stage.scan.columns)}",
+                    location=label,
+                )
+            )
+        justified = any(
+            atom.predicate == sf.source and sf.column in scan_columns(atom)
+            for atom in plan.query.positive_atoms()
+        )
+        if not justified:
+            out.append(
+                error(
+                    "ir-scanfilter-unjustified",
+                    f"scan filter from {sf.source!r} on {sf.column!r} has "
+                    "no justifying positive subgoal: the query must join "
+                    "that source on the same column for the semi-join to "
+                    "be sound",
+                    location=label,
+                    hint="runtime filters may only come from ok-atoms "
+                    "already present in the rule body",
+                )
+            )
+        if db is None:
+            continue
+        if sf.source not in db:
+            out.append(
+                error(
+                    "ir-scanfilter-source",
+                    f"scan-filter source relation {sf.source!r} is not in "
+                    "the catalog",
+                    location=label,
+                )
+            )
+            continue
+        if sf.source_column not in db.get(sf.source).columns:
+            out.append(
+                error(
+                    "ir-scanfilter-source-column",
+                    f"scan-filter source {sf.source!r} has no column "
+                    f"{sf.source_column!r}; columns are "
+                    f"{list(db.get(sf.source).columns)}",
+                    location=label,
+                )
+            )
+
+
 def _check_rule_plan(
     plan: PhysicalPlan,
     db: Optional[Database],
@@ -204,6 +280,7 @@ def _check_rule_plan(
                     )
                 stage_columns = tuple(stage.join.columns)
         bound |= set(stage.scan.columns)
+        _check_scan_filters(stage, plan, db, location, out)
         _check_filters(stage.filters, bound, stage_columns, db, location, out)
         prev_columns = stage_columns
 

@@ -141,6 +141,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 db, flock, strategy=args.strategy,
                 budget=budget, backend=args.backend,
                 join_order=args.join_order,
+                runtime_filters=args.runtime_filters,
                 parallelism=args.jobs,
                 checkpoint=args.checkpoint,
                 run_id=args.run_id,
@@ -174,9 +175,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         gather = args.strategy == "stats"
         plan = _optimized_plan(db, flock, gather)
+        rf = (
+            args.join_order == "ues"
+            if args.runtime_filters is None
+            else args.runtime_filters
+        )
         result = execute_plan(
             db, flock, plan, validate=False, guard=guard,
             order_strategy=args.join_order,
+            runtime_filters=rf,
         )
         relation = result.relation
         trace_text = str(result.trace)
@@ -405,6 +412,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         strategy=args.strategy,
         parallelism=args.jobs,
+        join_order=args.join_order,
+        runtime_filters=args.runtime_filters,
         checkpoint_path=args.checkpoint,
     )
     service = MiningService(db, config)
@@ -522,10 +531,17 @@ def build_parser() -> argparse.ArgumentParser:
                      default="memory",
                      help="execution backend (sqlite falls back to memory "
                      "on backend failure)")
-    run.add_argument("--join-order", choices=("greedy", "selinger"),
+    run.add_argument("--join-order", choices=("greedy", "selinger", "ues"),
                      default="greedy", dest="join_order",
                      help="join ordering plans are lowered with: greedy "
-                     "(default) or the Selinger-style DP orderer")
+                     "(default), the Selinger-style DP orderer, or ues "
+                     "(pessimistic upper-bound ordering — robust on "
+                     "skewed data)")
+    run.add_argument("--runtime-filters", action="store_true", default=None,
+                     dest="runtime_filters",
+                     help="inject semi-join filters from materialized "
+                     "pre-filter steps into later scans (default: on "
+                     "exactly when --join-order=ues)")
     run.add_argument("--checkpoint", default=None, metavar="PATH",
                      help="persist each completed FILTER step to this "
                           "SQLite file so an interrupted run can be "
@@ -660,6 +676,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=_positive_int, default=None,
                        metavar="N",
                        help="default per-call partitioned parallelism")
+    serve.add_argument("--join-order", choices=("greedy", "selinger", "ues"),
+                       default="greedy", dest="join_order",
+                       help="default join ordering for requests that "
+                       "name none")
+    serve.add_argument("--runtime-filters", action="store_true",
+                       default=None, dest="runtime_filters",
+                       help="default runtime semi-join filter injection "
+                       "(omitted: on exactly when the join order is ues)")
     serve.add_argument("--timeout", type=_nonnegative_float, default=None,
                        metavar="SECONDS",
                        help="per-request wall-clock cap (tenant budget; "

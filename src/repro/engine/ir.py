@@ -68,6 +68,31 @@ class HashJoin:
 
 
 @dataclass(frozen=True)
+class ScanFilter:
+    """A sideways-information-passing semi-join filter pushed into a scan.
+
+    After a pre-filter step materializes its ``ok`` relation, later
+    scans that bind one of its parameter columns only need the rows
+    whose value appears among the survivors: ``column IN (SELECT
+    source_column FROM source)``.  The filter is legal precisely because
+    the step's query already contains the ``source`` ok-atom binding the
+    same column — the a-priori rewrite guarantees the join would discard
+    the other rows anyway, so pre-pruning the scan changes nothing but
+    the work.
+
+    ``keys`` records the survivor-key count at lowering time; it feeds
+    the UES bound (a scan capped to ``k`` keys on ``c`` has at most
+    ``k * max_frequency(c)`` rows) and the EXPLAIN output, not
+    execution.
+    """
+
+    column: str
+    source: str
+    source_column: str
+    keys: int
+
+
+@dataclass(frozen=True)
 class CompareFilter:
     """An arithmetic subgoal applied once all its terms are bound."""
 
@@ -94,12 +119,23 @@ class JoinStage:
     ``join`` is ``None`` for the first stage (joining the unit relation
     is the identity).  ``node`` is the guard/trace label — the single
     place checkpoints and trace rows are emitted for this stage.
+
+    ``scan_filters`` are runtime semi-join filters applied to the scan
+    *before* the join (they restrict rows, never the schema, so the
+    stage's column invariants are untouched).  ``bound`` is the
+    guaranteed output-size upper bound from the UES bound algebra
+    (:func:`repro.relational.joinorder.chain_upper_bounds`), recorded
+    for every order strategy so EXPLAIN prints estimate and bound side
+    by side and the dynamic evaluator can re-plan against whichever is
+    tighter.
     """
 
     scan: Scan
     join: HashJoin | None
     filters: tuple[CompareFilter | AntiJoin, ...]
     node: str
+    scan_filters: tuple[ScanFilter, ...] = ()
+    bound: float | None = None
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -204,9 +240,14 @@ class PhysicalPlan:
         lines = [f"EXPLAIN ({self.order_strategy} join order) for: {self.query}"]
         for stage in self.stages:
             atom = stage.scan.atom
+            bound = (
+                f", <={stage.bound:,.0f} bound"
+                if stage.bound is not None
+                else ""
+            )
             if stage.join is None:
                 lines.append(
-                    f"  scan {atom}  (~{stage.scan.cardinality} tuples)"
+                    f"  scan {atom}  (~{stage.scan.cardinality} tuples{bound})"
                 )
             else:
                 on = (
@@ -216,7 +257,12 @@ class PhysicalPlan:
                 )
                 lines.append(
                     f"  join {atom}{on}  (~{stage.join.estimate:,.0f} "
-                    f"tuples, ~{stage.estimated_bytes:,.0f} B encoded)"
+                    f"tuples{bound}, ~{stage.estimated_bytes:,.0f} B encoded)"
+                )
+            for sf in stage.scan_filters:
+                lines.append(
+                    f"    scan filter: {sf.column} IN {sf.source}."
+                    f"{sf.source_column}  ({sf.keys} keys)"
                 )
             for op in stage.filters:
                 if isinstance(op, CompareFilter):
@@ -319,6 +365,41 @@ class PartitionedStepPlan:
         lines.append(self.step.render())
         lines.append(f"  merge partitions on ({', '.join(self.merge.columns)})")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StageObservation:
+    """What one executed join stage actually did, next to what the
+    planner predicted: the System-R estimate, the UES guaranteed bound
+    (when computed), and the observed output rows.  Collected by the
+    in-memory engine per stage and surfaced through
+    :class:`repro.flocks.mining.MiningReport` so estimate quality and
+    bound tightness are inspectable per run."""
+
+    node: str
+    estimated: float
+    bound: float | None
+    actual: int
+
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "node": self.node,
+            "estimated": self.estimated,
+            "actual": self.actual,
+        }
+        if self.bound is not None:
+            data["bound"] = self.bound
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "StageObservation":
+        bound = data.get("bound")
+        return cls(
+            node=str(data.get("node", "")),
+            estimated=float(data.get("estimated", 0.0)),  # type: ignore[arg-type]
+            bound=None if bound is None else float(bound),  # type: ignore[arg-type]
+            actual=int(data.get("actual", 0)),  # type: ignore[arg-type]
+        )
 
 
 def filters_render(ops: Sequence[CompareFilter | AntiJoin]) -> list[str]:

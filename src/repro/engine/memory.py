@@ -41,6 +41,8 @@ from .ir import (
     JoinStage,
     Materialize,
     PhysicalPlan,
+    ScanFilter,
+    StageObservation,
     StepPlan,
 )
 
@@ -97,6 +99,14 @@ class MemoryEngine:
         self.scan_restrict = scan_restrict
         self.encode_scans = encode_scans
         self._bindings: dict[RelationalAtom, Relation] = {}
+        self._filtered_scans: dict[
+            tuple[RelationalAtom, tuple[ScanFilter, ...]], Relation
+        ] = {}
+        #: Per-stage estimate/bound/actual observations, appended by
+        #: :meth:`run_stage` across every plan this engine runs.
+        self.stage_log: list[StageObservation] = []
+        #: Total scan rows pruned by runtime semi-join filters.
+        self.rows_pruned: int = 0
 
     def _verify_before_execution(self, plan: PhysicalPlan | StepPlan) -> None:
         """Reject a malformed plan before running its first join, when
@@ -123,6 +133,58 @@ class MemoryEngine:
                 cached = self.scan_restrict(atom, cached)
             self._bindings[atom] = cached
         return cached
+
+    def apply_scan_filter(self, rel: Relation, sf: ScanFilter) -> Relation:
+        """Semi-join one scan against a runtime filter's survivor keys.
+
+        When both sides are encoded against the *same* dictionary object
+        the membership test runs over integer codes (codes are
+        equality-faithful, so code membership is value membership);
+        otherwise — e.g. in a process worker whose pickled relations
+        carry distinct dictionary copies — it falls back to decoded
+        values, which is always correct.
+        """
+        source = self.db.get(sf.source)
+        source_pos = source.column_position(sf.source_column)
+        pos = rel.column_position(sf.column)
+        if (
+            rel.is_encoded
+            and source.is_encoded
+            and rel.dictionary is source.dictionary
+        ):
+            keys = set(source.code_columns()[source_pos])
+            column: Sequence = rel.code_columns()[pos]
+        else:
+            keys = set(source.columns_data()[source_pos])
+            column = rel.columns_data()[pos]
+        keep = [i for i, v in enumerate(column) if v in keys]
+        if len(keep) == len(rel):
+            return rel
+        return rel.take(keep, name=rel.name)
+
+    def _filtered_scan(
+        self, stage: JoinStage, leaf: Relation | None
+    ) -> Relation:
+        """The stage's scan with its runtime filters applied (cached per
+        (atom, filters) so union branches and re-plans prune once)."""
+        base = leaf if leaf is not None else self.scan_atom(stage.scan.atom)
+        if not stage.scan_filters:
+            return base
+        key = (stage.scan.atom, stage.scan_filters)
+        if leaf is None:
+            cached = self._filtered_scans.get(key)
+            if cached is not None:
+                return cached
+        rel = base
+        for sf in stage.scan_filters:
+            before = len(rel)
+            rel = self.apply_scan_filter(rel, sf)
+            self.rows_pruned += before - len(rel)
+            if self.guard is not None:
+                self.guard.checkpoint(rows=len(rel), node=stage.node)
+        if leaf is None:
+            self._filtered_scans[key] = rel
+        return rel
 
     def apply_filter(
         self, current: Relation, op: CompareFilter | AntiJoin
@@ -163,7 +225,7 @@ class MemoryEngine:
         trip(self.trip_site)
         started = time.perf_counter()
         before = len(current) if current is not None else 0
-        scan_rel = leaf if leaf is not None else self.scan_atom(stage.scan.atom)
+        scan_rel = self._filtered_scan(stage, leaf)
         if current is None:
             current = scan_rel
         else:
@@ -172,6 +234,14 @@ class MemoryEngine:
             current = self.apply_filter(current, op)
             if self.guard is not None:
                 self.guard.checkpoint(rows=len(current), node=stage.node)
+        self.stage_log.append(
+            StageObservation(
+                node=stage.node,
+                estimated=stage.estimate,
+                bound=stage.bound,
+                actual=len(current),
+            )
+        )
         if self.guard is not None:
             self.guard.note_step(
                 name=stage.node,

@@ -133,6 +133,29 @@ def resolve_jobs(parallelism: Optional[int] = None) -> int:
     return max(1, int(parallelism))
 
 
+def clamp_default_jobs(jobs: int) -> tuple[int, Optional[str]]:
+    """Clamp a *defaulted* worker count to the machine's CPU count.
+
+    Applies only to the env/default resolution path (``REPRO_JOBS``):
+    oversubscribing beyond the core count buys nothing for CPU-bound
+    join work and multiplies pool seeding cost, so a CI matrix that
+    exports ``REPRO_JOBS=64`` onto a 4-core runner is quietly capped.
+    An *explicit* ``parallelism=`` argument is never clamped — the
+    caller asked for that worker count and gets it.
+
+    Returns ``(effective jobs, reason)`` where ``reason`` is ``None``
+    when no clamping happened (including when the CPU count is
+    unknowable).
+    """
+    cores = os.cpu_count()
+    if cores is None or jobs <= cores:
+        return jobs, None
+    return cores, (
+        f"defaulted parallelism {jobs} exceeds the {cores} available "
+        f"CPU core(s); clamped to {cores}"
+    )
+
+
 @dataclass
 class ParallelStepResult:
     """What one (possibly partitioned) step execution produced.
@@ -852,6 +875,7 @@ __all__ = [
     "ParallelExecutor",
     "ParallelStepResult",
     "BrokenProcessPool",
+    "clamp_default_jobs",
     "merged_relation",
     "resolve_jobs",
 ]

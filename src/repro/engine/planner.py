@@ -2,11 +2,14 @@
 
 The planner turns one extended conjunctive query into a
 :class:`~repro.engine.ir.PhysicalPlan`: pick a join order (greedy,
-Selinger, or caller-supplied), emit one :class:`JoinStage` per positive
-subgoal, attach each comparison/negation to the earliest stage where its
-terms are bound (the same eager placement Sections 4.1–4.3 assume for
-selections), compute System-R style size estimates per stage, and close
-with a :class:`Materialize` projection.  :func:`lower_step` wraps the
+Selinger, pessimistic UES, or caller-supplied), emit one
+:class:`JoinStage` per positive subgoal, attach each
+comparison/negation to the earliest stage where its terms are bound
+(the same eager placement Sections 4.1–4.3 assume for selections),
+compute System-R style size estimates *and* guaranteed UES upper bounds
+per stage, push runtime semi-join filters into scans whose columns a
+materialized pre-filter step already constrains, and close with a
+:class:`Materialize` projection.  :func:`lower_step` wraps the
 rule plans of one ``R(P) := FILTER(P, Q, C)`` step with the union /
 group-aggregate / threshold-filter operators.
 
@@ -17,7 +20,7 @@ strategy or backend re-derives ordering or filter placement on its own.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Collection, Mapping, Sequence
 
 from ..datalog.atoms import RelationalAtom
 from ..datalog.query import ConjunctiveQuery
@@ -25,7 +28,13 @@ from ..datalog.terms import Term, is_bindable
 from ..errors import EvaluationError
 from ..relational.binding import term_column
 from ..relational.catalog import Database
-from ..relational.joinorder import greedy_join_order, selinger_join_order
+from ..relational.joinorder import (
+    ScanCaps,
+    chain_upper_bounds,
+    greedy_join_order,
+    selinger_join_order,
+    ues_join_order,
+)
 from .ir import (
     AggregateSpec,
     AntiJoin,
@@ -36,6 +45,7 @@ from .ir import (
     Materialize,
     PhysicalPlan,
     Scan,
+    ScanFilter,
     StepPlan,
     ThresholdFilter,
     UnionOp,
@@ -47,11 +57,14 @@ def order_positive_atoms(
     positives: Sequence[RelationalAtom],
     order_strategy: str = "greedy",
     join_order: Sequence[int] | None = None,
+    scan_caps: ScanCaps | None = None,
 ) -> tuple[list[int], str]:
     """The join order to lower with, and the label it renders under.
 
     An explicit ``join_order`` (indices into ``positives``) wins over
-    the strategy; it must be a permutation.
+    the strategy; it must be a permutation.  ``scan_caps`` carries the
+    runtime-filter key counts only the pessimistic (``"ues"``) order
+    uses — the estimate-driven orders ignore them.
     """
     if join_order is not None:
         order = list(join_order)
@@ -65,9 +78,11 @@ def order_positive_atoms(
         return greedy_join_order(db, positives), "greedy"
     if order_strategy == "selinger":
         return selinger_join_order(db, positives), "selinger"
+    if order_strategy == "ues":
+        return ues_join_order(db, positives, scan_caps), "ues"
     raise ValueError(
         f"unknown order strategy {order_strategy!r}; "
-        "use 'greedy' or 'selinger'"
+        "use 'greedy', 'selinger' or 'ues'"
     )
 
 
@@ -94,6 +109,62 @@ def _column_for(db: Database, atom: RelationalAtom, rendered: str) -> str:
     return rendered
 
 
+def scan_filter_map(
+    db: Database,
+    positives: Sequence[RelationalAtom],
+    runtime_filters: Collection[str] | None,
+) -> dict[str, ScanFilter]:
+    """Rendered column → the tightest runtime semi-join filter for it.
+
+    ``runtime_filters`` names materialized pre-filter results (``ok``
+    relations of earlier plan steps) present in ``db``.  A filter on
+    column ``c`` sourced from ``S`` is *sound* for this rule only
+    because some positive subgoal of the rule is an ``S``-atom binding
+    ``c`` — the join with ``S`` would discard non-survivor rows anyway,
+    so the scan-time semi-join is pure work removal.  When two sources
+    cover the same column the smaller survivor set wins.
+    """
+    if not runtime_filters:
+        return {}
+    filters: dict[str, ScanFilter] = {}
+    for atom in positives:
+        if atom.predicate not in runtime_filters or atom.predicate not in db:
+            continue
+        source = db.get(atom.predicate)
+        keys = len(source)
+        for position, term in enumerate(atom.terms):
+            if not is_bindable(term) or position >= len(source.columns):
+                continue
+            column = term_column(term)
+            incumbent = filters.get(column)
+            if incumbent is None or keys < incumbent.keys:
+                filters[column] = ScanFilter(
+                    column=column,
+                    source=atom.predicate,
+                    source_column=source.columns[position],
+                    keys=keys,
+                )
+    return filters
+
+
+def _scan_caps(
+    positives: Sequence[RelationalAtom],
+    filters: Mapping[str, ScanFilter],
+) -> dict[int, dict[str, int]]:
+    """Per-atom column caps for the UES bound algebra, mirroring exactly
+    the scan filters :func:`lower_rule` will attach."""
+    caps: dict[int, dict[str, int]] = {}
+    for index, atom in enumerate(positives):
+        entry = {
+            column: filters[column].keys
+            for column in scan_columns(atom)
+            if column in filters and filters[column].source != atom.predicate
+        }
+        if entry:
+            caps[index] = entry
+    return caps
+
+
 def lower_rule(
     db: Database,
     query: ConjunctiveQuery,
@@ -101,6 +172,7 @@ def lower_rule(
     output_columns: Sequence[str] | None = None,
     join_order: Sequence[int] | None = None,
     order_strategy: str = "greedy",
+    runtime_filters: Collection[str] | None = None,
 ) -> PhysicalPlan:
     """Lower one rule to a physical plan.
 
@@ -112,12 +184,24 @@ def lower_rule(
             rendered terms (constants become ``_const{i}``).
         join_order: explicit positive-subgoal order (wins over
             ``order_strategy``).
-        order_strategy: ``"greedy"`` or ``"selinger"``.
+        order_strategy: ``"greedy"``, ``"selinger"`` or ``"ues"``.
+        runtime_filters: names of materialized pre-filter results whose
+            survivor keys may be pushed into later scans as
+            :class:`~repro.engine.ir.ScanFilter` operators (sideways
+            information passing).
     """
     positives = query.positive_atoms()
+    filters_by_column = scan_filter_map(db, positives, runtime_filters)
+    caps = _scan_caps(positives, filters_by_column)
     order, strategy_label = order_positive_atoms(
-        db, positives, order_strategy=order_strategy, join_order=join_order
+        db, positives, order_strategy=order_strategy, join_order=join_order,
+        scan_caps=caps,
     )
+    # Guaranteed output bounds along the chosen order — computed for
+    # every strategy (the algebra is cheap) so EXPLAIN can print
+    # estimate vs bound and the dynamic evaluator can re-plan against
+    # the tighter of the two.
+    stage_bounds = chain_upper_bounds(db, positives, order, caps)
     pending_comparisons = list(query.comparisons())
     pending_negations = list(query.negated_atoms())
 
@@ -168,8 +252,21 @@ def lower_rule(
             join = HashJoin(tuple(shared), stage_columns, running)
         bound |= atom_column_set
         filters = attach_bound_filters(stage_columns)
+        stage_scan_filters = tuple(
+            filters_by_column[column]
+            for column in columns
+            if column in filters_by_column
+            and filters_by_column[column].source != atom.predicate
+        )
         stages.append(
-            JoinStage(scan, join, filters, f"join:{atom.predicate}")
+            JoinStage(
+                scan,
+                join,
+                filters,
+                f"join:{atom.predicate}",
+                scan_filters=stage_scan_filters,
+                bound=stage_bounds[position],
+            )
         )
         prev_columns = stage_columns
 
@@ -299,6 +396,7 @@ def lower_step(
     conditions: Sequence[tuple[object, str]],
     result_name: str,
     order_strategy: str = "greedy",
+    runtime_filters: Collection[str] | None = None,
 ) -> StepPlan:
     """Lower one FILTER step: union the rule plans, group by the
     parameter columns, aggregate one column per filter conjunct, apply
@@ -310,6 +408,7 @@ def lower_step(
             output_terms=terms,
             output_columns=answer_columns,
             order_strategy=order_strategy,
+            runtime_filters=runtime_filters,
         )
         for rule, terms in zip(rules, output_terms_per_rule)
     )

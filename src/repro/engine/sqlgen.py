@@ -76,10 +76,43 @@ class _BranchRenderer:
                     self.where.append(f"{self.bindings[term]} = {ref}")
                 else:
                     self.bindings[term] = ref
+            for sf in stage.scan_filters:
+                self._attach_scan_filter(sf, alias, atom, columns)
             for op in stage.filters:
                 self._attach_filter(op)
         for op in self.plan.unit_filters:
             self._attach_filter(op)
+
+    def _attach_scan_filter(
+        self,
+        sf,
+        alias: str,
+        atom,
+        columns: Sequence[str],
+    ) -> None:
+        """Render one runtime semi-join filter as an ``IN (SELECT ...)``
+        conjunct on this stage's scan alias.
+
+        The source is a materialized pre-filter table whose columns were
+        created under :func:`safe_column` names; the membership subquery
+        is re-evaluated at execution time, so the filter stays correct
+        even when the lowering-time catalog only held an empty
+        placeholder for the source (``keys`` is advisory).
+        """
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                continue
+            if term_column(term) == sf.column:
+                self.where.append(
+                    f"{alias}.{columns[position]} IN "
+                    f"(SELECT {safe_column(sf.source_column)} "
+                    f"FROM {sf.source})"
+                )
+                return
+        raise PlanError(
+            f"scan filter column {sf.column!r} is not bound by {atom}; "
+            "the lowered plan is inconsistent"
+        )
 
     def _attach_filter(self, op: CompareFilter | AntiJoin) -> None:
         if isinstance(op, CompareFilter):

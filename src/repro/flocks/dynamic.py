@@ -203,12 +203,14 @@ class DynamicEvaluator:
         trace is returned via :attr:`last_trace`).
 
         ``order_strategy`` selects the join order when ``join_order`` is
-        not given: ``"greedy"`` (default) or ``"selinger"`` (the [G*79]
+        not given: ``"greedy"`` (default), ``"selinger"`` (the [G*79]
         DP orderer — the paper: "Any of a number of models and
         approaches to selecting this join order may be used, our idea is
-        independent of how the join order is actually chosen").  With no
+        independent of how the join order is actually chosen"), or
+        ``"ues"`` (the pessimistic bound-minimal order).  With no
         explicit ``join_order``, the remaining stages may be re-planned
-        mid-flight when observed sizes diverge from the estimates.
+        mid-flight when observed sizes diverge from the estimates (or
+        from the guaranteed bounds, whichever is tighter).
         """
         started = time.perf_counter()
         trace = DynamicTrace()
@@ -287,7 +289,11 @@ class DynamicEvaluator:
         self.last_trace = trace
         if self.guard is not None:
             self.guard.check_answer(len(result))
-        return FlockResult(result)
+        return FlockResult(
+            result,
+            stage_rows=tuple(self._engine.stage_log),
+            runtime_filter_rows_pruned=self._engine.rows_pruned,
+        )
 
     # ------------------------------------------------------------------
 
@@ -321,7 +327,14 @@ class DynamicEvaluator:
         """
         if len(plan.stages) - position - 1 < 2:
             return plan
-        estimate = max(float(stage.estimate), 1.0)
+        # Compare the observation against the tighter of the System-R
+        # estimate and the guaranteed UES bound: an in-flight filter (or
+        # a runtime scan filter) that proved far more selective than the
+        # bound is exactly the signal the remaining order should exploit.
+        reference = float(stage.estimate)
+        if stage.bound is not None:
+            reference = min(reference, float(stage.bound))
+        estimate = max(reference, 1.0)
         observed = float(max(len(current), 1))
         if max(observed / estimate, estimate / observed) < self.REPLAN_FACTOR:
             return plan

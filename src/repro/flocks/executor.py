@@ -19,9 +19,11 @@ and okM($m) can be joined with other subgoals relatively quickly".
 from __future__ import annotations
 
 import time
+from typing import Collection
 
 from ..datalog.query import as_union
 from ..datalog.safety import assert_safe
+from ..engine.ir import StageObservation
 from ..engine.memory import MemoryEngine
 from ..engine.planner import lower_step
 from ..guard import ExecutionGuard, GuardLike, as_guard
@@ -34,17 +36,38 @@ from .plans import FilterStep, QueryPlan, validate_plan
 from .result import ExecutionTrace, FlockResult, StepTrace
 
 
+class ExecStats:
+    """Mutable per-run accumulator for the engine's observability data:
+    join-stage observations and scan rows pruned by runtime filters."""
+
+    __slots__ = ("observations", "rows_pruned")
+
+    def __init__(self) -> None:
+        self.observations: list[StageObservation] = []
+        self.rows_pruned: int = 0
+
+    def absorb(self, engine: MemoryEngine) -> None:
+        self.observations.extend(engine.stage_log)
+        self.rows_pruned += engine.rows_pruned
+
+
 def lower_filter_step(
     db: Database,
     flock: QueryFlock,
     step: FilterStep,
     order_strategy: str = "greedy",
+    runtime_filters: Collection[str] | None = None,
 ):
     """Lower one FILTER step to its physical :class:`StepPlan`.
 
     This is the single lowering both backends share: the in-memory
     engine interprets the returned plan directly, the SQLite backend
     renders it to SQL (:mod:`repro.engine.sqlgen`).
+
+    ``runtime_filters`` names already-materialized pre-filter relations
+    whose survivor keys may be pushed into this step's scans as
+    semi-join :class:`~repro.engine.ir.ScanFilter` operators (sideways
+    information passing; see :func:`repro.engine.planner.scan_filter_map`).
     """
     params = list(step.parameters)
     param_cols = [str(p) for p in params]
@@ -73,6 +96,7 @@ def lower_filter_step(
         conditions,
         step.result_name,
         order_strategy=order_strategy,
+        runtime_filters=runtime_filters,
     )
 
 
@@ -86,6 +110,8 @@ def execute_step(
     order_strategy: str = "greedy",
     parallel=None,
     supervisor=None,
+    runtime_filters: Collection[str] | None = None,
+    stats: ExecStats | None = None,
 ) -> tuple[Relation, int]:
     """Execute one FILTER step; return (ok-relation, answer-tuple count).
 
@@ -127,6 +153,7 @@ def execute_step(
                 db, flock, step,
                 guard=guard, sink=sink, final_sink=final_sink,
                 order_strategy=order_strategy, parallel=parallel,
+                runtime_filters=runtime_filters, stats=stats,
             ),
             site=f"step:{step.result_name}",
         )
@@ -136,6 +163,7 @@ def execute_step(
         db, flock, step,
         guard=guard, sink=sink, final_sink=final_sink,
         order_strategy=order_strategy, parallel=parallel,
+        runtime_filters=runtime_filters, stats=stats,
     )
 
 
@@ -148,6 +176,8 @@ def _execute_step_body(
     final_sink=None,
     order_strategy: str = "greedy",
     parallel=None,
+    runtime_filters: Collection[str] | None = None,
+    stats: ExecStats | None = None,
 ) -> tuple[Relation, int]:
     trip("executor.step")
     params = list(step.parameters)
@@ -159,7 +189,10 @@ def _execute_step_body(
             ok = served.project(param_cols, name=step.result_name)
             return ok, 0
 
-    plan = lower_filter_step(db, flock, step, order_strategy=order_strategy)
+    plan = lower_filter_step(
+        db, flock, step,
+        order_strategy=order_strategy, runtime_filters=runtime_filters,
+    )
 
     if parallel is not None and parallel.jobs > 1:
         need_aggregates = final_sink is not None
@@ -178,6 +211,8 @@ def _execute_step_body(
 
     passed = engine.run_group_filter(answer, plan)
     ok = engine.finalize_step(passed, plan)
+    if stats is not None:
+        stats.absorb(engine)
     if final_sink is not None:
         final_sink.publish_final(passed, len(answer))
     elif sink is not None:
@@ -196,8 +231,15 @@ def execute_plan(
     parallel=None,
     supervisor=None,
     recorder=None,
+    runtime_filters: bool = False,
 ) -> FlockResult:
     """Run a plan and return the flock result with a per-step trace.
+
+    ``runtime_filters=True`` enables sideways information passing: once
+    a pre-filter step's ok-relation materializes, its name joins the set
+    of filter sources handed to every later step's lowering, so later
+    scans that bind one of its parameter columns are pre-pruned to the
+    survivor keys (see :class:`~repro.engine.ir.ScanFilter`).
 
     ``validate=False`` skips the legality check for hot benchmark loops
     where the same plan is executed repeatedly.
@@ -232,6 +274,8 @@ def execute_plan(
         validate_plan(flock, plan)
     scratch = db.scratch()
     trace = ExecutionTrace()
+    stats = ExecStats()
+    rf_sources: set[str] = set()
     result: Relation | None = None
     final_step = plan.final_step
     for step in plan.steps:
@@ -253,12 +297,18 @@ def execute_plan(
                 order_strategy=order_strategy,
                 parallel=parallel,
                 supervisor=supervisor,
+                runtime_filters=(
+                    frozenset(rf_sources) if runtime_filters else None
+                ),
+                stats=stats,
             )
             description = str(step.query).replace("\n", " | ")
             if recorder is not None:
                 recorder.complete(step.result_name, ok)
         elapsed = time.perf_counter() - started
         scratch.add(ok)
+        if step is not final_step:
+            rf_sources.add(step.result_name)
         step_trace = StepTrace(
             name=step.result_name,
             description=description,
@@ -279,4 +329,9 @@ def execute_plan(
         guard.check_answer(len(final))
     if recorder is not None:
         recorder.finish()
-    return FlockResult(final, trace)
+    return FlockResult(
+        final,
+        trace,
+        stage_rows=tuple(stats.observations),
+        runtime_filter_rows_pruned=stats.rows_pruned,
+    )

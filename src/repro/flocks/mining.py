@@ -65,7 +65,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..analysis.verification import plan_verification, plan_verification_enabled
-from ..engine.parallel import ParallelExecutor, resolve_jobs
+from ..engine.ir import StageObservation
+from ..engine.parallel import ParallelExecutor, clamp_default_jobs, resolve_jobs
 from ..errors import (
     BudgetExceededError,
     EvaluationError,
@@ -98,7 +99,7 @@ STRATEGIES = ("auto", "naive", "optimized", "stats", "dynamic")
 
 BACKENDS = ("memory", "sqlite")
 
-JOIN_ORDERS = ("greedy", "selinger")
+JOIN_ORDERS = ("greedy", "selinger", "ues")
 
 #: Most- to least-sophisticated machinery; degradation walks rightward.
 _STRATEGY_COST_ORDER = ("stats", "optimized", "dynamic", "naive")
@@ -135,6 +136,17 @@ class MiningReport:
     backend_requested: str = "memory"
     backend_used: str = "memory"
     join_order: str = "greedy"
+    #: Whether runtime semi-join filter injection (sideways information
+    #: passing from materialized pre-filter steps into later scans) was
+    #: enabled for this call, and how many scan rows those filters
+    #: removed before any join ran.
+    runtime_filters: bool = False
+    runtime_filter_rows_pruned: int = 0
+    #: Per-join-stage observations (System-R estimate, guaranteed UES
+    #: bound, actual output rows) from the in-memory engine —
+    #: :class:`repro.engine.ir.StageObservation` tuples.  Empty when the
+    #: run had no instrumented stages (naive/SQLite/cache paths).
+    stage_rows: tuple = ()
     #: Worker count the call asked for (``parallelism=`` argument or the
     #: ``REPRO_JOBS`` environment default) and what actually ran: the
     #: requested count when at least one step executed partitioned, 1
@@ -208,6 +220,9 @@ class MiningReport:
             "backend_requested": self.backend_requested,
             "backend_used": self.backend_used,
             "join_order": self.join_order,
+            "runtime_filters": self.runtime_filters,
+            "runtime_filter_rows_pruned": self.runtime_filter_rows_pruned,
+            "stage_rows": [o.to_dict() for o in self.stage_rows],
             "parallelism_requested": self.parallelism_requested,
             "parallelism_used": self.parallelism_used,
             "peak_partition_bytes": self.peak_partition_bytes,
@@ -259,6 +274,14 @@ class MiningReport:
             backend_requested=data.get("backend_requested", "memory"),
             backend_used=data.get("backend_used", "memory"),
             join_order=data.get("join_order", "greedy"),
+            runtime_filters=bool(data.get("runtime_filters", False)),
+            runtime_filter_rows_pruned=int(
+                data.get("runtime_filter_rows_pruned", 0)
+            ),
+            stage_rows=tuple(
+                StageObservation.from_dict(o)
+                for o in data.get("stage_rows", ())
+            ),
             parallelism_requested=int(data.get("parallelism_requested", 1)),
             parallelism_used=int(data.get("parallelism_used", 1)),
             peak_partition_bytes=int(data.get("peak_partition_bytes", 0)),
@@ -307,6 +330,21 @@ class MiningReport:
             )
         if self.join_order != "greedy":
             lines.append(f"join order: {self.join_order}")
+        if self.runtime_filters:
+            lines.append(
+                "runtime filters: on "
+                f"({self.runtime_filter_rows_pruned} scan row(s) pruned)"
+            )
+        if self.stage_rows:
+            lines.append("stages (estimate / bound / actual):")
+            for obs in self.stage_rows:
+                bound_text = (
+                    f"{obs.bound:,.0f}" if obs.bound is not None else "-"
+                )
+                lines.append(
+                    f"  {obs.node}: ~{obs.estimated:,.0f} / "
+                    f"<={bound_text} / {obs.actual}"
+                )
         if self.parallelism_requested != 1 or self.parallelism_used != 1:
             lines.append(
                 f"parallelism: {self.parallelism_used} jobs "
@@ -378,6 +416,8 @@ class _Attempt:
     certificate: Optional["LegalityCertificate"] = None
     decision_certificates: tuple["BranchCertificate", ...] = ()
     recorder: Optional[CheckpointRecorder] = None
+    stage_rows: tuple = ()
+    runtime_filter_rows_pruned: int = 0
 
 
 def _certified(flock: QueryFlock, plan):
@@ -434,6 +474,7 @@ def _run_strategy(
     checkpoint_store: CheckpointStore | None = None,
     run_id: str | None = None,
     resume: str | None = None,
+    runtime_filters: bool = False,
 ) -> None:
     """Execute one strategy, filling ``attempt``.
 
@@ -512,6 +553,8 @@ def _run_strategy(
             "strategy:dynamic",
         )
         attempt.relation = result.relation
+        attempt.stage_rows = tuple(result.stage_rows)
+        attempt.runtime_filter_rows_pruned = result.runtime_filter_rows_pruned
         attempt.decision_text = str(trace)
         attempt.decision_certificates = trace.certificates
     elif strategy in ("optimized", "stats"):
@@ -536,20 +579,26 @@ def _run_strategy(
                 db, attempt, guard,
                 lambda be: be.execute_plan(
                     flock, plan, guard=guard, order_strategy=join_order,
-                    parallel=parallel,
+                    parallel=parallel, runtime_filters=runtime_filters,
                 ),
                 fallback=lambda: execute_plan(
                     db, flock, plan, validate=False, guard=guard, sink=sink,
                     order_strategy=join_order, parallel=parallel,
-                    supervisor=supervisor,
+                    supervisor=supervisor, runtime_filters=runtime_filters,
                 ).relation,
             )
         else:
-            attempt.relation = execute_plan(
+            result = execute_plan(
                 db, flock, plan, validate=False, guard=guard, sink=sink,
                 order_strategy=join_order, parallel=parallel,
                 supervisor=supervisor, recorder=recorder,
-            ).relation
+                runtime_filters=runtime_filters,
+            )
+            attempt.relation = result.relation
+            attempt.stage_rows = tuple(result.stage_rows)
+            attempt.runtime_filter_rows_pruned = (
+                result.runtime_filter_rows_pruned
+            )
     else:  # pragma: no cover - STRATEGIES guard upstream
         raise AssertionError(strategy)
 
@@ -592,6 +641,7 @@ def mine(
     backend: str = "memory",
     session=None,
     join_order: str = "greedy",
+    runtime_filters: bool | None = None,
     verify_plans: bool | None = None,
     parallelism: int | None = None,
     retry: RetryPolicy | None = None,
@@ -620,8 +670,21 @@ def mine(
             ``budget``/``cancel``.
         backend: ``"memory"`` (default) or ``"sqlite"``.
         join_order: the join-ordering strategy plans are lowered with —
-            ``"greedy"`` (default) or ``"selinger"`` (the System-R style
-            dynamic-programming orderer).
+            ``"greedy"`` (default), ``"selinger"`` (the System-R style
+            dynamic-programming orderer), or ``"ues"`` (the pessimistic
+            orderer: stages are ranked by *guaranteed* output upper
+            bounds built from exact distinct counts and max per-value
+            frequencies, never by independence estimates — the robust
+            choice on skewed, correlated data).
+        runtime_filters: inject semi-join filters from materialized
+            pre-filter steps into later scans (sideways information
+            passing) on the plan-based strategies.  ``None`` (default)
+            enables them exactly when ``join_order="ues"`` — the
+            pessimistic mode both consumes the survivor-key counts in
+            its bounds and profits most from the pruning; pass
+            ``True``/``False`` to force either way.  Survivor counts
+            and identical results are guaranteed regardless: a filter
+            only pre-applies a join the plan performs anyway.
         parallelism: worker count for partitioned step execution
             (``--jobs`` on the CLI).  ``None`` reads the ``REPRO_JOBS``
             environment variable (default 1 = serial).  Results are
@@ -674,7 +737,7 @@ def mine(
     if join_order not in JOIN_ORDERS:
         raise ValueError(
             f"unknown order strategy {join_order!r}; "
-            "use 'greedy' or 'selinger'"
+            "use 'greedy', 'selinger' or 'ues'"
         )
     if guard is not None and (budget is not None or cancel is not None):
         raise ValueError("pass either guard= or budget=/cancel=, not both")
@@ -689,7 +752,16 @@ def mine(
     else:
         live_guard = None
 
-    jobs = resolve_jobs(parallelism)
+    requested_jobs = resolve_jobs(parallelism)
+    jobs = requested_jobs
+    clamp_reason: str | None = None
+    if parallelism is None:
+        # Only the env/default path is clamped; an explicit
+        # parallelism= argument is honored as given.
+        jobs, clamp_reason = clamp_default_jobs(requested_jobs)
+    rf = (join_order == "ues") if runtime_filters is None else bool(
+        runtime_filters
+    )
     warnings = tuple(lint_flock(flock)) if lint else ()
     used = _choose_strategy(flock) if strategy == "auto" else strategy
 
@@ -738,7 +810,7 @@ def mine(
                 warnings=warnings,
                 backend_requested=backend,
                 backend_used="memory",
-                parallelism_requested=jobs,
+                parallelism_requested=requested_jobs,
                 cache_hits=1,
                 rows_saved=entry.source_rows,
             )
@@ -747,6 +819,15 @@ def mine(
         sink = session.sink(flock)
 
     attempt = _Attempt(backend_used=backend)
+    if clamp_reason is not None:
+        attempt.downgrades.append(
+            Downgrade(
+                "parallelism",
+                f"{requested_jobs} jobs",
+                f"{jobs} jobs",
+                clamp_reason,
+            )
+        )
     parallel = (
         ParallelExecutor(jobs, db, guard=live_guard) if jobs > 1 else None
     )
@@ -772,7 +853,7 @@ def mine(
                         db, flock, used, live_guard, backend, attempt,
                         sink=sink, join_order=join_order, parallel=parallel,
                         supervisor=supervisor, checkpoint_store=store,
-                        run_id=run_id, resume=resume,
+                        run_id=run_id, resume=resume, runtime_filters=rf,
                     )
                     break
                 except (PlanError, FilterError, BudgetExceededError) as error:
@@ -847,7 +928,10 @@ def mine(
         backend_requested=backend,
         backend_used=attempt.backend_used,
         join_order=join_order,
-        parallelism_requested=jobs,
+        runtime_filters=rf,
+        runtime_filter_rows_pruned=attempt.runtime_filter_rows_pruned,
+        stage_rows=attempt.stage_rows,
+        parallelism_requested=requested_jobs,
         parallelism_used=parallelism_used,
         peak_partition_bytes=(
             parallel.peak_partition_bytes if parallel is not None else 0

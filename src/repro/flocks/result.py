@@ -59,10 +59,20 @@ class ExecutionTrace:
 @dataclass(frozen=True)
 class FlockResult:
     """A flock evaluation outcome: the acceptable parameter assignments
-    plus (for plan execution) the per-step trace."""
+    plus (for plan execution) the per-step trace.
+
+    ``stage_rows`` carries the in-memory engine's per-join-stage
+    observations (estimate, UES bound, actual rows —
+    :class:`~repro.engine.ir.StageObservation`) when the run collected
+    them; ``runtime_filter_rows_pruned`` totals the scan rows removed by
+    injected semi-join filters.  Both default to "nothing observed" so
+    evaluators without the instrumentation stay unchanged.
+    """
 
     relation: Relation
     trace: ExecutionTrace | None = None
+    stage_rows: tuple = ()
+    runtime_filter_rows_pruned: int = 0
 
     @property
     def assignments(self) -> frozenset[tuple]:

@@ -230,6 +230,7 @@ class SQLiteBackend:
         flock: QueryFlock,
         plan: QueryPlan,
         order_strategy: str = "greedy",
+        runtime_filters: bool = False,
     ) -> str:
         """Lower every step of ``plan`` and render the rewrite script.
 
@@ -237,15 +238,26 @@ class SQLiteBackend:
         empty placeholders, so the planner's join ordering sees them as
         the smallest relations and joins them first — the Example 4.1
         point of the rewrite.
+
+        With ``runtime_filters``, each later step's scans additionally
+        gain ``IN (SELECT ... FROM ok_...)`` semi-join conjuncts over
+        the already-materialized step tables.  The lowering-time
+        catalog only holds empty placeholders, so the recorded key
+        counts are advisory — the subqueries read the real tables when
+        the script runs.
         """
         db = self._require_loaded()
         scratch = db.scratch()
         schemas: dict[str, list[str]] = {}
         statements: list[str] = []
+        materialized: set[str] = set()
         final = plan.final_step
         for step in plan.steps:
             step_plan = lower_filter_step(
-                scratch, flock, step, order_strategy=order_strategy
+                scratch, flock, step, order_strategy=order_strategy,
+                runtime_filters=(
+                    frozenset(materialized) if runtime_filters else None
+                ),
             )
             columns_of = column_source(db, schemas)
             if step is final:
@@ -263,6 +275,7 @@ class SQLiteBackend:
                         tuple(str(p) for p in step.parameters),
                     )
                 )
+                materialized.add(step.result_name)
         return "\n\n".join(statements)
 
     def execute_plan(
@@ -272,6 +285,7 @@ class SQLiteBackend:
         guard: GuardLike = None,
         order_strategy: str = "greedy",
         parallel=None,
+        runtime_filters: bool = False,
     ) -> Relation:
         """The rewritten evaluation: one materialized table per FILTER
         step (the Section 1.3 path).  Step tables are dropped afterwards
@@ -281,15 +295,23 @@ class SQLiteBackend:
         per-worker connections; the merged survivors are inserted as the
         step table into the main and every worker connection, so later
         steps lower and render exactly as in the serial script.
+
+        ``runtime_filters`` injects semi-join ``IN`` conjuncts over
+        already-materialized step tables into later steps' scans (see
+        :meth:`_plan_script`).
         """
         guard = as_guard(guard)
         if parallel is not None and parallel.jobs > 1:
             result = self._execute_plan_parallel(
-                flock, plan, guard, order_strategy, parallel
+                flock, plan, guard, order_strategy, parallel,
+                runtime_filters=runtime_filters,
             )
             if result is not None:
                 return result
-        script = self._plan_script(flock, plan, order_strategy=order_strategy)
+        script = self._plan_script(
+            flock, plan, order_strategy=order_strategy,
+            runtime_filters=runtime_filters,
+        )
         step_names = tuple(s.result_name for s in plan.prefilter_steps)
         try:
             rows = self._run_script(
@@ -399,6 +421,7 @@ class SQLiteBackend:
         guard: ExecutionGuard | None,
         order_strategy: str,
         parallel,
+        runtime_filters: bool = False,
     ) -> Relation | None:
         """The rewrite script with every step's SELECT partitioned.
 
@@ -422,7 +445,10 @@ class SQLiteBackend:
             for step in plan.steps:
                 started = time.perf_counter()
                 step_plan = lower_filter_step(
-                    scratch, flock, step, order_strategy=order_strategy
+                    scratch, flock, step, order_strategy=order_strategy,
+                    runtime_filters=(
+                        frozenset(created) if runtime_filters else None
+                    ),
                 )
                 columns_of = column_source(db, schemas)
                 rows_or_none = self._parallel_step_rows(

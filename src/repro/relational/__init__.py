@@ -22,7 +22,14 @@ from .evaluate import (
     term_column,
 )
 from .io import load_database, load_relation, save_database, save_relation
-from .joinorder import selinger_join_order
+from .joinorder import (
+    AtomBounds,
+    atom_bounds,
+    chain_upper_bounds,
+    join_bounds,
+    selinger_join_order,
+    ues_join_order,
+)
 from .operators import (
     anti_join,
     cartesian_product,
@@ -42,13 +49,16 @@ from .statistics import (
 
 __all__ = [
     "AggregateFunction",
+    "AtomBounds",
     "Database",
     "Relation",
     "RelationStats",
     "ValueDictionary",
     "anti_join",
     "atom_binding_relation",
+    "atom_bounds",
     "cartesian_product",
+    "chain_upper_bounds",
     "database_from_dict",
     "estimate_chain_join_size",
     "estimate_join_size",
@@ -59,6 +69,7 @@ __all__ = [
     "group_aggregate",
     "grouped_counts",
     "having",
+    "join_bounds",
     "load_database",
     "load_relation",
     "natural_join",
@@ -72,5 +83,6 @@ __all__ = [
     "stable_hash",
     "term_column",
     "tuples_per_assignment",
+    "ues_join_order",
     "union_all",
 ]

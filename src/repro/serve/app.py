@@ -54,7 +54,7 @@ from ..errors import (
     ReproError,
 )
 from ..flocks.flock import QueryFlock, parse_flock
-from ..flocks.mining import BACKENDS, STRATEGIES, MiningReport
+from ..flocks.mining import BACKENDS, JOIN_ORDERS, STRATEGIES, MiningReport
 from ..guard import CancellationToken, ResourceBudget
 from ..recovery import CheckpointStore, new_run_id
 from ..relational.catalog import Database
@@ -99,8 +99,11 @@ class ServerConfig:
         max_queued_per_tenant: bounded queue per tenant; beyond it,
             admission fails with HTTP 429.
         cache_entries / cache_rows: shared result-cache LRU bounds.
-        backend / strategy / parallelism / join_order: per-call defaults
-            forwarded to :func:`repro.flocks.mining.mine`.
+        backend / strategy / parallelism / join_order / runtime_filters:
+            per-call defaults forwarded to
+            :func:`repro.flocks.mining.mine` (``runtime_filters=None``
+            means on exactly when the effective join order is
+            ``"ues"``).
         checkpoint_path: arm ``POST /v1/mine`` ``{"checkpoint": true}``
             durability — each such run writes its step checkpoints and
             manifest to this SQLite file, and ``GET /v1/runs/{id}``
@@ -120,6 +123,7 @@ class ServerConfig:
     strategy: str = "auto"
     parallelism: Optional[int] = None
     join_order: str = "greedy"
+    runtime_filters: Optional[bool] = None
     checkpoint_path: Optional[str] = None
     max_response_rows: int = 10_000
 
@@ -128,6 +132,8 @@ class ServerConfig:
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.join_order not in JOIN_ORDERS:
+            raise ValueError(f"unknown join order {self.join_order!r}")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
 
@@ -274,6 +280,8 @@ class _MineRequest:
     resume: Optional[str]
     run_id: str
     parallelism: Optional[int]
+    join_order: str
+    runtime_filters: Optional[bool]
 
 
 class MiningService:
@@ -346,6 +354,10 @@ class MiningService:
             "repro_downgrades_total",
             "Recovery-ladder rungs descended, by kind",
             labels=("kind",),
+        )
+        self.m_rf_pruned = m.counter(
+            "repro_runtime_filter_rows_pruned",
+            "Scan rows pruned by injected runtime semi-join filters",
         )
         self.m_latency = m.histogram(
             "repro_mine_seconds",
@@ -447,6 +459,19 @@ class MiningService:
             not isinstance(parallelism, int) or parallelism < 1
         ):
             raise HttpError(400, "'parallelism' must be a positive integer")
+        join_order = payload.get("join_order", self.config.join_order)
+        if join_order not in JOIN_ORDERS:
+            raise HttpError(
+                400,
+                f"unknown join_order {join_order!r}; choose {JOIN_ORDERS}",
+            )
+        runtime_filters = payload.get(
+            "runtime_filters", self.config.runtime_filters
+        )
+        if runtime_filters is not None and not isinstance(
+            runtime_filters, bool
+        ):
+            raise HttpError(400, "'runtime_filters' must be a boolean")
         run_id = resume if resume is not None else new_run_id()
         return _MineRequest(
             flock=flock,
@@ -458,6 +483,8 @@ class MiningService:
             resume=resume,
             run_id=run_id,
             parallelism=parallelism,
+            join_order=join_order,
+            runtime_filters=runtime_filters,
         )
 
     def submit_mine(
@@ -523,6 +550,8 @@ class MiningService:
             cancel=cancel,
             backend=request.backend,
             parallelism=request.parallelism,
+            join_order=request.join_order,
+            runtime_filters=request.runtime_filters,
             checkpoint=(
                 self.config.checkpoint_path if request.checkpoint else None
             ),
@@ -566,6 +595,9 @@ class MiningService:
             self.m_cache_misses.inc(report.get("cache_misses", 0))
             self.m_step_hits.inc(report.get("cache_step_hits", 0))
             self.m_rows_saved.inc(report.get("rows_saved", 0))
+            self.m_rf_pruned.inc(
+                report.get("runtime_filter_rows_pruned", 0)
+            )
             for downgrade in report.get("downgrades", ()):
                 self.m_downgrades.inc(kind=downgrade.get("kind", "unknown"))
         elif isinstance(error, ExecutionAborted):

@@ -126,6 +126,8 @@ class MiningClient:
         checkpoint: bool = False,
         resume: Optional[str] = None,
         parallelism: Optional[int] = None,
+        join_order: Optional[str] = None,
+        runtime_filters: Optional[bool] = None,
     ) -> dict:
         """``POST /v1/mine``: evaluate one flock; returns the response
         dict (``columns``/``rows``/``row_count``/``report``/...)."""
@@ -148,6 +150,10 @@ class MiningClient:
             payload["resume"] = resume
         if parallelism is not None:
             payload["parallelism"] = parallelism
+        if join_order is not None:
+            payload["join_order"] = join_order
+        if runtime_filters is not None:
+            payload["runtime_filters"] = runtime_filters
         if self.tenant is not None:
             payload["tenant"] = self.tenant
         return self._request("POST", "/v1/mine", payload)

@@ -245,6 +245,11 @@ class MiningSession:
         persist_path: SQLite file that exact cache entries are written
             through to and restored from, surviving the process.
         lint: default lint flag per call.
+        join_order: default join-ordering mode per call (``"greedy"`` /
+            ``"selinger"`` / ``"ues"``).
+        runtime_filters: default runtime-filter injection flag per call
+            (``None`` = on exactly when the call's join order is
+            ``"ues"``).
     """
 
     #: Lock discipline, proven by ``repro.analysis.conlint``: the serve
@@ -268,6 +273,8 @@ class MiningSession:
         persist_path: str | None = None,
         lint: bool = True,
         parallelism: int | None = None,
+        join_order: str = "greedy",
+        runtime_filters: bool | None = None,
         retry: "RetryPolicy | None" = None,
         checkpoint: "CheckpointStore | str | None" = None,
     ) -> None:
@@ -280,6 +287,12 @@ class MiningSession:
         self.backend = backend
         self.lint = lint
         self.parallelism = parallelism
+        #: Session-wide optimizer defaults: the join-ordering mode and
+        #: runtime-filter injection flag every ``mine()`` call inherits
+        #: unless it passes its own (see
+        #: :func:`repro.flocks.mining.mine`).
+        self.join_order = join_order
+        self.runtime_filters = runtime_filters
         #: Session-wide recovery defaults: a
         #: :class:`~repro.recovery.RetryPolicy` every ``mine()`` call
         #: inherits, and a :class:`~repro.recovery.CheckpointStore` (or
@@ -314,6 +327,8 @@ class MiningSession:
         guard: GuardLike = None,
         backend: str | None = None,
         parallelism: int | None = None,
+        join_order: str | None = None,
+        runtime_filters: bool | None = None,
         retry: "RetryPolicy | None" = None,
         checkpoint: "CheckpointStore | str | None" = None,
         run_id: str | None = None,
@@ -343,6 +358,12 @@ class MiningSession:
             session=self,
             parallelism=(
                 self.parallelism if parallelism is None else parallelism
+            ),
+            join_order=self.join_order if join_order is None else join_order,
+            runtime_filters=(
+                self.runtime_filters
+                if runtime_filters is None
+                else runtime_filters
             ),
             retry=self.retry if retry is None else retry,
             checkpoint=self.checkpoint if checkpoint is None else checkpoint,

@@ -19,6 +19,7 @@ from .graphs import (
     generate_random_digraph,
 )
 from .medical import MedicalWorkload, generate_medical
+from .skew import generate_skewed_clickstream
 from .text import article_database, generate_articles
 from .webdocs import WebWorkload, generate_webdocs
 
@@ -33,6 +34,7 @@ __all__ = [
     "generate_layered_hub_digraph",
     "generate_medical",
     "generate_random_digraph",
+    "generate_skewed_clickstream",
     "generate_webdocs",
     "generate_weighted_baskets",
     "item_names",

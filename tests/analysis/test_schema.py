@@ -206,6 +206,93 @@ class TestStepPlans:
         assert "ir-empty-step" in codes(bad)
 
 
+class TestScanFilters:
+    """Runtime semi-join filters: justified ones pass, corrupted ones
+    draw each of the four ir-scanfilter-* codes."""
+
+    @pytest.fixture
+    def scanfilter_db(self):
+        from repro.relational import database_from_dict
+
+        return database_from_dict(
+            {
+                "ok": (("P",), [(1,), (2,)]),
+                # In the catalog but *not* in the query: a filter sourced
+                # from it is well-typed yet unjustified.
+                "bystander": (("P",), [(1,)]),
+                "r": (("B", "P"), [(1, 1), (2, 2), (3, 3)]),
+            }
+        )
+
+    @pytest.fixture
+    def filtered_plan(self, scanfilter_db):
+        from repro.engine.ir import ScanFilter
+
+        query = rule(
+            "answer", ["B"], [atom("ok", "P"), atom("r", "B", "P")]
+        )
+        plan = lower_rule(scanfilter_db, query)
+        return self.with_filter(plan, ScanFilter("P", "ok", "P", keys=2))
+
+    @staticmethod
+    def with_filter(plan, scan_filter):
+        """The plan with ``scan_filter`` attached to the scan of r."""
+        stages = tuple(
+            dataclasses.replace(stage, scan_filters=(scan_filter,))
+            if stage.scan.atom.predicate == "r"
+            else stage
+            for stage in plan.stages
+        )
+        return dataclasses.replace(plan, stages=stages)
+
+    @staticmethod
+    def refilter(plan, **changes):
+        """The plan with its one scan filter's fields altered."""
+        stage = next(s for s in plan.stages if s.scan_filters)
+        replaced = dataclasses.replace(stage.scan_filters[0], **changes)
+        return TestScanFilters.with_filter(plan, replaced)
+
+    def test_justified_filter_is_clean(self, scanfilter_db, filtered_plan):
+        assert check_physical_plan(filtered_plan, db=scanfilter_db).is_clean
+
+    def test_filter_on_unscanned_column(self, scanfilter_db, filtered_plan):
+        bad = self.refilter(filtered_plan, column="Z")
+        assert "ir-scanfilter-column" in codes(bad, db=scanfilter_db)
+
+    def test_unjustified_source(self, scanfilter_db, filtered_plan):
+        # bystander exists and has column P, but no positive subgoal
+        # joins it — the semi-join has no legality certificate.
+        bad = self.refilter(filtered_plan, source="bystander")
+        found = codes(bad, db=scanfilter_db)
+        assert "ir-scanfilter-unjustified" in found
+        assert "ir-scanfilter-source" not in found
+
+    def test_source_missing_from_catalog(self, filtered_plan):
+        from repro.relational import database_from_dict
+
+        okless = database_from_dict(
+            {"r": (("B", "P"), [(1, 1)])}
+        )
+        assert "ir-scanfilter-source" in codes(filtered_plan, db=okless)
+
+    def test_source_column_missing(self, scanfilter_db, filtered_plan):
+        bad = self.refilter(filtered_plan, source_column="nope")
+        assert "ir-scanfilter-source-column" in codes(bad, db=scanfilter_db)
+
+    def test_catalog_checks_skipped_without_db(self, filtered_plan):
+        # Without a catalog only the structural/justification checks
+        # run; a dangling source cannot be detected.
+        bad = self.refilter(filtered_plan, source_column="nope")
+        assert "ir-scanfilter-source-column" not in codes(bad)
+
+    def test_memory_engine_gates_unjustified_filter(
+        self, scanfilter_db, filtered_plan
+    ):
+        bad = self.refilter(filtered_plan, source="bystander")
+        with pytest.raises(PlanError, match="ir-scanfilter-unjustified"):
+            MemoryEngine(scanfilter_db).run_plan(bad)
+
+
 class TestExecutionGates:
     """Both backends refuse a corrupted plan before running it."""
 

@@ -21,7 +21,7 @@ from repro.engine import (
     stable_hash,
 )
 from repro.engine.memory import MemoryEngine
-from repro.engine.parallel import merged_relation
+from repro.engine.parallel import clamp_default_jobs, merged_relation
 from repro.engine.partition import (
     partition_index,
     partition_rows,
@@ -200,6 +200,59 @@ class TestResolveJobs:
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs(0) == 1
         assert resolve_jobs() == 1
+
+
+class TestClampDefaultJobs:
+    """Defaulted worker counts are clamped to the machine's cores."""
+
+    @pytest.fixture
+    def two_cores(self, monkeypatch):
+        import repro.engine.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 2)
+
+    def test_within_cores_is_untouched(self, two_cores):
+        assert clamp_default_jobs(2) == (2, None)
+        assert clamp_default_jobs(1) == (1, None)
+
+    def test_oversubscription_is_clamped_with_reason(self, two_cores):
+        effective, reason = clamp_default_jobs(16)
+        assert effective == 2
+        assert "16" in reason and "2" in reason
+
+    def test_unknown_core_count_trusts_the_request(self, monkeypatch):
+        import repro.engine.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: None)
+        assert clamp_default_jobs(64) == (64, None)
+
+    def test_env_default_records_a_downgrade(
+        self, monkeypatch, word_db, pair_flock
+    ):
+        """REPRO_JOBS far above the core count: mine() keeps the
+        requested number in the report but runs clamped, recording a
+        parallelism downgrade."""
+        import repro.engine.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_JOBS", "64")
+        _, report = mine(word_db, pair_flock, strategy="optimized")
+        assert report.parallelism_requested == 64
+        clamps = [d for d in report.downgrades if d.kind == "parallelism"]
+        assert clamps and clamps[0].from_name == "64 jobs"
+        assert clamps[0].to_name == "2 jobs"
+
+    def test_explicit_parallelism_is_never_clamped(
+        self, monkeypatch, word_db, pair_flock
+    ):
+        import repro.engine.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        _, report = mine(
+            word_db, pair_flock, strategy="optimized", parallelism=2
+        )
+        assert report.parallelism_requested == 2
+        assert not [d for d in report.downgrades if d.kind == "parallelism"]
 
 
 # ----------------------------------------------------------------------

@@ -72,6 +72,96 @@ class TestMine:
         assert "ms" in text
 
 
+class TestOptimizerKnobs:
+    """The ``join_order=``/``runtime_filters=`` knobs: threading,
+    observability, and the pruning counter."""
+
+    @pytest.fixture(scope="class")
+    def pruning_db(self):
+        from repro.workloads import basket_database
+
+        return basket_database(n_baskets=200, n_items=60, seed=11)
+
+    @pytest.fixture(scope="class")
+    def pruning_flock(self):
+        q = rule(
+            "answer", ["B"],
+            [atom("baskets", "B", "$1"), atom("baskets", "B", "$2"),
+             comparison("$1", "<", "$2")],
+        )
+        return QueryFlock(q, parse_filter("COUNT(answer.B) >= 20"))
+
+    def test_unknown_join_order_rejected(self, small_basket_db, basket_flock):
+        with pytest.raises(ValueError, match="order strategy"):
+            mine(small_basket_db, basket_flock, join_order="magic")
+
+    def test_ues_defaults_runtime_filters_on(
+        self, small_basket_db, basket_flock
+    ):
+        _, report = mine(
+            small_basket_db, basket_flock,
+            strategy="optimized", join_order="ues",
+        )
+        assert report.join_order == "ues"
+        assert report.runtime_filters is True
+
+    def test_greedy_defaults_runtime_filters_off(
+        self, small_basket_db, basket_flock
+    ):
+        _, report = mine(small_basket_db, basket_flock, strategy="optimized")
+        assert report.join_order == "greedy"
+        assert report.runtime_filters is False
+
+    def test_explicit_flag_overrides_the_default(
+        self, small_basket_db, basket_flock
+    ):
+        _, report = mine(
+            small_basket_db, basket_flock,
+            strategy="optimized", join_order="ues", runtime_filters=False,
+        )
+        assert report.runtime_filters is False
+        assert report.runtime_filter_rows_pruned == 0
+
+    def test_runtime_filters_prune_rows(self, pruning_db, pruning_flock):
+        """The a-priori pre-filter step's survivors actually restrict
+        later scans, and the count is surfaced on the report."""
+        baseline, _ = mine(
+            pruning_db, pruning_flock,
+            strategy="stats", runtime_filters=False, parallelism=1,
+        )
+        filtered, report = mine(
+            pruning_db, pruning_flock,
+            strategy="stats", join_order="ues", parallelism=1,
+        )
+        assert filtered == baseline
+        assert report.runtime_filter_rows_pruned > 0
+
+    def test_stage_observations_carry_sound_bounds(
+        self, pruning_db, pruning_flock
+    ):
+        _, report = mine(
+            pruning_db, pruning_flock,
+            strategy="stats", join_order="ues", parallelism=1,
+        )
+        assert report.stage_rows
+        for obs in report.stage_rows:
+            assert obs.actual >= 0
+            assert obs.estimated >= 0
+            # The UES bound is a certificate: never below the rows the
+            # stage actually produced.
+            if obs.bound is not None:
+                assert obs.bound >= obs.actual
+
+    def test_report_str_mentions_pruning(self, pruning_db, pruning_flock):
+        _, report = mine(
+            pruning_db, pruning_flock,
+            strategy="stats", join_order="ues", parallelism=1,
+        )
+        text = str(report)
+        assert "runtime filters" in text
+        assert "pruned" in text
+
+
 class TestBagSemanticsCaveat:
     """The paper: "we assume that extended CQ's follow the conventional
     set semantics rather than bag semantics ... Some of our claims would

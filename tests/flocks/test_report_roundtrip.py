@@ -106,6 +106,47 @@ class TestRoundTrip:
         twice = MiningReport.from_json(once.to_json())
         assert once == twice
 
+    def test_stage_observations_round_trip(self):
+        from repro.engine.ir import StageObservation
+
+        synthetic = MiningReport(
+            strategy_requested="optimized",
+            strategy_used="optimized",
+            seconds=0.5,
+            warnings=(),
+            join_order="ues",
+            runtime_filters=True,
+            runtime_filter_rows_pruned=594,
+            stage_rows=(
+                StageObservation(
+                    node="join:baskets", estimated=120.5, bound=240.0,
+                    actual=96,
+                ),
+                # A stage without a computed bound survives as None.
+                StageObservation(
+                    node="join:ok0", estimated=14.0, bound=None, actual=14
+                ),
+            ),
+        )
+        restored = MiningReport.from_json(synthetic.to_json())
+        assert restored == synthetic
+        assert restored.stage_rows[1].bound is None
+
+    def test_real_ues_run_round_trips_observability(self, db):
+        _, report = mine(
+            db, parse_flock(FLOCK_TEXT),
+            strategy="optimized", join_order="ues",
+        )
+        assert report.runtime_filters is True
+        assert report.stage_rows
+        restored = MiningReport.from_json(report.to_json())
+        assert restored.stage_rows == report.stage_rows
+        assert restored.join_order == "ues"
+        assert (
+            restored.runtime_filter_rows_pruned
+            == report.runtime_filter_rows_pruned
+        )
+
     def test_certificates_documented_as_dropped(self, db):
         _, report = mine(db, parse_flock(FLOCK_TEXT), strategy="optimized")
         assert report.certificate is not None  # verification is on

@@ -1,0 +1,154 @@
+"""Differential properties for the join orderers and runtime filters.
+
+Join order and sideways information passing are pure *performance*
+levers: for any catalog, any flock, any backend and any worker count,
+``greedy``/``selinger``/``ues`` with or without runtime semi-join
+filters must produce the identical survivor set.  Hypothesis drives
+random small catalogs through the full knob space and compares against
+the greedy/memory/serial baseline; a fixed grid covers the
+process-parallel path.
+
+The bound algebra's soundness is a property too: every number
+:func:`chain_upper_bounds` certifies must dominate the rows the prefix
+actually produces — on *any* input, not just the benchmark workloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import atom, comparison, rule
+from repro.flocks import QueryFlock, parse_filter
+from repro.flocks.mining import mine
+from repro.relational import (
+    chain_upper_bounds,
+    database_from_dict,
+    evaluate_conjunctive,
+    ues_join_order,
+)
+
+values = st.integers(min_value=0, max_value=4)
+r_rows = st.sets(st.tuples(values, values), min_size=1, max_size=20)
+s_rows = st.sets(st.tuples(values, values), max_size=12)
+thresholds = st.integers(min_value=1, max_value=3)
+
+JOIN_ORDERS = ("greedy", "selinger", "ues")
+
+
+def make_db(r, s):
+    return database_from_dict(
+        {"r": (("B", "I"), r), "s": (("I", "C"), s)}
+    )
+
+
+def pair_flock(threshold):
+    """Two parameterized self-joins: the a-priori rewrite gives this
+    flock a pre-filter step, so runtime filters have a source."""
+    query = rule(
+        "answer",
+        ["B"],
+        [atom("r", "B", "$1"), atom("r", "B", "$2"),
+         comparison("$1", "<", "$2")],
+    )
+    return QueryFlock(query, parse_filter(f"COUNT(answer.B) >= {threshold}"))
+
+
+def join_flock(threshold):
+    query = rule(
+        "answer", ["B"],
+        [atom("r", "B", "$1"), atom("s", "$1", "C")],
+    )
+    return QueryFlock(query, parse_filter(f"COUNT(answer.B) >= {threshold}"))
+
+
+def survivors(db, flock, **knobs):
+    relation, report = mine(db, flock, strategy="optimized", **knobs)
+    return relation.tuples, report
+
+
+@pytest.mark.parametrize("make_flock", [pair_flock, join_flock])
+@given(
+    r=r_rows,
+    s=s_rows,
+    threshold=thresholds,
+    join_order=st.sampled_from(JOIN_ORDERS),
+    backend=st.sampled_from(("memory", "sqlite")),
+    runtime_filters=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_knobs_never_change_survivors(
+    make_flock, r, s, threshold, join_order, backend, runtime_filters
+):
+    db = make_db(r, s)
+    flock = make_flock(threshold)
+    baseline, _ = survivors(
+        db, flock,
+        backend="memory", parallelism=1,
+        join_order="greedy", runtime_filters=False,
+    )
+    variant, report = survivors(
+        db, flock,
+        backend=backend, parallelism=1,
+        join_order=join_order, runtime_filters=runtime_filters,
+    )
+    assert variant == baseline
+    assert report.join_order == join_order
+    assert report.runtime_filters is runtime_filters
+
+
+@given(r=r_rows, threshold=thresholds)
+@settings(max_examples=15, deadline=None)
+def test_ues_defaults_runtime_filters_on(r, threshold):
+    db = make_db(r, set())
+    flock = pair_flock(threshold)
+    baseline, _ = survivors(
+        db, flock, backend="memory", parallelism=1, join_order="greedy"
+    )
+    variant, report = survivors(
+        db, flock, backend="memory", parallelism=1, join_order="ues"
+    )
+    assert variant == baseline
+    # runtime_filters=None resolves from the join order.
+    assert report.runtime_filters is True
+
+
+@pytest.mark.parametrize("join_order", JOIN_ORDERS)
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_parallel_workers_agree(join_order, jobs):
+    """The process-parallel path (explicit ``parallelism=2``) with
+    runtime filters matches the serial greedy baseline exactly."""
+    db = make_db(
+        {(b, i) for b in range(30) for i in range(5) if (b + i) % 3},
+        set(),
+    )
+    flock = pair_flock(3)
+    baseline, _ = survivors(
+        db, flock,
+        backend="memory", parallelism=1,
+        join_order="greedy", runtime_filters=False,
+    )
+    variant, _ = survivors(
+        db, flock,
+        backend="memory", parallelism=jobs,
+        join_order=join_order, runtime_filters=True,
+    )
+    assert variant == baseline
+
+
+@given(r=r_rows, s=s_rows)
+@settings(max_examples=40, deadline=None)
+def test_chain_bounds_are_sound(r, s):
+    """Certified bounds dominate actual output at every prefix."""
+    db = make_db(r, s)
+    atoms = (atom("r", "B", "I"), atom("s", "I", "C"), atom("r", "Z", "I"))
+    order = ues_join_order(db, atoms)
+    bounds = chain_upper_bounds(db, atoms, order)
+    for k in range(len(order)):
+        prefix_atoms = [atoms[i] for i in order[: k + 1]]
+        head = []
+        for prefix_atom in prefix_atoms:
+            for term in prefix_atom.terms:
+                if str(term) not in head:
+                    head.append(str(term))
+        prefix = rule("answer", head, prefix_atoms)
+        actual = evaluate_conjunctive(db, prefix)
+        assert bounds[k] >= len(actual)

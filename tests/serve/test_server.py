@@ -128,6 +128,19 @@ class TestValidation:
             client.mine(FLOCK, strategy="quantum")
         assert excinfo.value.status == 400
 
+    def test_unknown_join_order_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.mine(FLOCK, join_order="alphabetical")
+        assert excinfo.value.status == 400
+
+    def test_non_boolean_runtime_filters_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request(
+                "POST", "/v1/mine",
+                {"flock": FLOCK, "runtime_filters": "yes"},
+            )
+        assert excinfo.value.status == 400
+
     def test_unknown_route_is_404(self, client):
         with pytest.raises(ServeError) as excinfo:
             client._request("GET", "/v1/nothing")
@@ -240,6 +253,35 @@ class TestObservability:
         client.mine(FLOCK)
         count = client.metric_value("repro_mine_seconds_count")
         assert count >= 1
+
+    # A query shape no other test mines: the shared session cache
+    # cannot serve it (exactly or by containment), so the knobs below
+    # demonstrably reach a live evaluation.
+    TRIPLE_FLOCK = """
+    QUERY:
+    answer(B) :- baskets(B,$1) AND baskets(B,$2) AND baskets(B,$3)
+                 AND $1 < $2 AND $2 < $3
+    FILTER:
+    COUNT(answer.B) >= 2
+    """
+
+    def test_join_order_and_filters_reach_the_report(self, client):
+        result = client.mine(
+            self.TRIPLE_FLOCK, strategy="optimized", join_order="ues",
+        )
+        report = result["report"]
+        assert report["join_order"] == "ues"
+        assert report["runtime_filters"] is True
+
+    def test_pruned_rows_counter_exposed(self, client):
+        client.mine(
+            self.TRIPLE_FLOCK.replace(">= 2", ">= 3"),
+            strategy="stats", join_order="ues", runtime_filters=True,
+        )
+        text = client.metrics()
+        assert "# TYPE repro_runtime_filter_rows_pruned counter" in text
+        value = client.metric_value("repro_runtime_filter_rows_pruned")
+        assert value is not None and value >= 0
 
 
 class TestAdmission:
